@@ -1,0 +1,64 @@
+// Table 1 reproduction: access patterns detected per application by the
+// Spindle-like static classifier, ranked by main-memory access volume.
+//
+// Paper reference:
+//   SpGEMM: Stream, Random      WarpX: Strided, Stencil
+//   BFS:    Stream, Random      DMRG:  Stream, Strided
+//   NWChem-TC: Stream, Random
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/lowering.h"
+#include "core/pattern_classifier.h"
+
+int main() {
+  using namespace merch;
+  std::printf("=== Table 1: access patterns detected per application ===\n");
+  TextTable table({"application", "dominant patterns (by access volume)",
+                   "paper"});
+  const std::map<std::string, std::string> paper = {
+      {"SpGEMM", "Stream, Random"}, {"WarpX", "Strided, Stencil"},
+      {"BFS", "Stream, Random"},    {"DMRG", "Stream, Strided"},
+      {"NWChem-TC", "Stream, Random"}};
+
+  for (const std::string& app : apps::AppNames()) {
+    const apps::AppBundle& bundle = bench::Bundle(app);
+    // Classify each task's objects, then weight each pattern by the
+    // program accesses the base instance issues with it.
+    std::map<int, double> volume;
+    for (const core::TaskIr& ir : bundle.task_irs) {
+      const auto kernels =
+          core::LowerTask(ir, bundle.workload.objects.size());
+      for (const auto& kernel : kernels) {
+        for (const auto& access : kernel.accesses) {
+          // Unknown is handled as Random downstream (Section 4).
+          const auto p = access.pattern == trace::AccessPattern::kUnknown
+                             ? trace::AccessPattern::kRandom
+                             : access.pattern;
+          volume[static_cast<int>(p)] +=
+              static_cast<double>(access.program_accesses);
+        }
+      }
+    }
+    std::vector<std::pair<double, int>> ranked;
+    for (const auto& [p, v] : volume) ranked.emplace_back(v, p);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::string detected;
+    for (std::size_t i = 0; i < std::min<std::size_t>(2, ranked.size());
+         ++i) {
+      if (!detected.empty()) detected += ", ";
+      detected +=
+          trace::PatternName(static_cast<trace::AccessPattern>(ranked[i].second));
+    }
+    table.AddRow({app, detected, paper.at(app)});
+  }
+  table.Print();
+  std::printf(
+      "\n(the classifier also sees the minor patterns each app carries — "
+      "e.g. index-array streams in gather loops; Table 1 lists the two "
+      "dominant ones.)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 3 reproduction: statistical model comparison for the correlation
+// function f(.), trained on the code-sample dataset (281 regions x 10
+// placements, 70/30 split) and scored with R^2.
+//
+// Paper reference: DTR 78.1%, SVR 83.6%, KNR 72.9%, RFR 89.2%,
+// GBR 94.1% (selected), ANN 93.2%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/correlation.h"
+
+int main() {
+  using namespace merch;
+  workloads::TrainingConfig cfg;  // paper scale
+  const auto samples = workloads::GenerateTrainingSamples(cfg);
+  std::fprintf(stderr, "[bench] %zu training samples\n", samples.size());
+
+  std::printf("=== Table 3: statistical models for f(.) (test R^2) ===\n");
+  TextTable table({"model", "measured R^2", "paper R^2"});
+  const std::map<std::string, std::string> paper = {
+      {"DTR", "78.1%"}, {"SVR", "83.6%"}, {"KNR", "72.9%"},
+      {"RFR", "89.2%"}, {"GBR", "94.1%"}, {"ANN", "93.2%"}};
+
+  std::string best_model;
+  double best_r2 = -1;
+  for (const std::string& kind : ml::AllRegressorKinds()) {
+    core::CorrelationFunction::Config fcfg;
+    fcfg.model_kind = kind;
+    // Model selection uses all events (Section 5.1: selection must not be
+    // impacted by event selection).
+    fcfg.events.resize(sim::kNumPmcEvents);
+    for (std::size_t i = 0; i < sim::kNumPmcEvents; ++i) fcfg.events[i] = i;
+    core::CorrelationFunction f(fcfg);
+    f.Train(samples);
+    table.AddRow({kind, TextTable::Pct(f.test_r2()), paper.at(kind)});
+    if (f.test_r2() > best_r2) {
+      best_r2 = f.test_r2();
+      best_model = kind;
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nbest model: %s (R^2 %s) — the paper selects GBR as the "
+      "correlation function.\n",
+      best_model.c_str(), TextTable::Pct(best_r2).c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 4 reproduction: accuracy of the whole performance-modeling
+// pipeline — Eq. 1 access estimation + Section 5.2 homogeneous prediction
+// + Eq. 2 — over all task instances of each application, compared with the
+// "profiling-based regression" baseline [8] that scales the base-input
+// time by the data-object-size ratio.
+//
+// Paper reference:
+//   app        regression   performance model
+//   SpGEMM      37.4%        74.2%
+//   WarpX       75.1%        87.4%
+//   BFS         38.6%        71.3%
+//   DMRG        83.9%        89.2%
+//   NWChem-TC   62.5%        83.0%
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/perf_model.h"
+
+int main() {
+  using namespace merch;
+  std::printf(
+      "=== Table 4: whole performance-modeling accuracy (per task "
+      "instance) ===\n");
+  TextTable table({"application", "profiling-based regression",
+                   "performance model", "paper (regr / model)"});
+  const std::map<std::string, std::string> paper = {
+      {"SpGEMM", "37.4% / 74.2%"}, {"WarpX", "75.1% / 87.4%"},
+      {"BFS", "38.6% / 71.3%"},    {"DMRG", "83.9% / 89.2%"},
+      {"NWChem-TC", "62.5% / 83.0%"}};
+
+  for (const std::string& app : apps::AppNames()) {
+    const apps::AppBundle& bundle = bench::Bundle(app);
+    const sim::MachineSpec machine = bench::PaperMachine();
+    auto policy = bench::TrainedSystem().MakePolicy(bundle.workload, machine);
+    sim::Engine engine(bundle.workload, machine, bench::PaperSimConfig(),
+                       policy.get());
+    const sim::SimResult result = engine.Run();
+
+    std::vector<double> truth, model_pred, regression_pred;
+    for (const core::InstanceDecision& d : policy->decisions()) {
+      const sim::RegionStats& rs = result.regions[d.region];
+      // The regression baseline scales the previous instance's measured
+      // time by the object-size ratio (its "base input" is the most
+      // recent profiled execution — the strongest fair reading of [8]).
+      const sim::RegionStats& prev = result.regions[d.region - 1];
+      double prev_total_bytes = 0, new_total_bytes = 0;
+      for (const auto b : bundle.workload.regions[d.region - 1].active_bytes) {
+        prev_total_bytes += static_cast<double>(b);
+      }
+      for (const auto b : bundle.workload.regions[d.region].active_bytes) {
+        new_total_bytes += static_cast<double>(b);
+      }
+      for (std::size_t i = 0; i < d.tasks.size(); ++i) {
+        double actual = 0, prev_time = 0;
+        for (const auto& ts : rs.tasks) {
+          if (ts.task == d.tasks[i]) actual = ts.exec_seconds;
+        }
+        for (const auto& ts : prev.tasks) {
+          if (ts.task == d.tasks[i]) prev_time = ts.exec_seconds;
+        }
+        if (actual <= 0) continue;
+        truth.push_back(actual);
+        model_pred.push_back(d.predicted_seconds[i]);
+        regression_pred.push_back(core::ProfilingRegressionPredict(
+            prev_time, prev_total_bytes, new_total_bytes));
+      }
+    }
+    table.AddRow({app, TextTable::Pct(MapeAccuracy(truth, regression_pred)),
+                  TextTable::Pct(MapeAccuracy(truth, model_pred)),
+                  paper.at(app)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: the performance model must beat size-ratio "
+      "regression on every application (paper: by 12.3%%-36.8%%).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension example: writing your own placement policy against the
+// simulator's policy interface — the seam Merchandiser itself plugs into.
+//
+// The toy policy below ("FairShare") gives every *task* an equal number of
+// DRAM pages, spent on each task's hottest pages. It is task-aware (unlike
+// MemoryOptimizer) but not balance-aware (unlike Merchandiser): a nice
+// midpoint to see why equal shares are not load balance (paper Section 1:
+// "evenly sharing fast memory among tasks cannot work").
+#include <cstdio>
+
+#include "apps/registry.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/pm_only.h"
+#include "common/table.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace merch;
+
+/// Equal DRAM page budget per task, hottest objects first.
+class FairSharePolicy final : public sim::PlacementPolicy {
+ public:
+  std::string name() const override { return "FairShare"; }
+
+  void OnRegionStart(sim::SimContext& ctx, std::size_t /*region*/) override {
+    const sim::Workload& w = ctx.workload();
+    const auto tasks = w.TaskIds();
+    if (tasks.empty()) return;
+    const std::uint64_t budget_per_task =
+        ctx.pages().spec().dram_capacity() / ctx.pages().page_bytes() * 98 /
+        100 / tasks.size();
+    for (const TaskId task : tasks) {
+      std::uint64_t budget = budget_per_task;
+      for (std::size_t obj = 0; obj < w.objects.size() && budget > 0;
+           ++obj) {
+        if (w.objects[obj].owner != task) continue;
+        const ObjectId handle = ctx.oracle().handle(obj);
+        const std::uint64_t on_dram =
+            ctx.pages().object_pages_on(handle, hm::Tier::kDram);
+        const std::uint64_t want =
+            std::min<std::uint64_t>(budget, ctx.pages().extent(handle).num_pages -
+                                                on_dram);
+        budget -= ctx.migration().MigrateHottest(handle, want, hm::Tier::kDram);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Compare the custom policy against the built-in systems on DMRG.
+  const apps::AppBundle bundle = apps::BuildApp("DMRG", 1.0 / 64, 1.0 / 16);
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  machine.hm[hm::Tier::kDram].capacity_bytes /= 64;
+  machine.hm[hm::Tier::kPm].capacity_bytes /= 64;
+  sim::SimConfig cfg;
+  cfg.page_bytes = 512 * KiB;
+
+  TextTable table({"policy", "time (s)", "task-time CoV"});
+  double pm_time = 0;
+  {
+    baselines::PmOnlyPolicy p;
+    sim::Engine e(bundle.workload, machine, cfg, &p);
+    const auto r = e.Run();
+    pm_time = r.total_seconds;
+    table.AddRow({r.policy, TextTable::Num(r.total_seconds, 2),
+                  TextTable::Num(r.AverageCoV(), 3)});
+  }
+  {
+    FairSharePolicy p;  // <- the custom policy, three methods of code
+    sim::Engine e(bundle.workload, machine, cfg, &p);
+    const auto r = e.Run();
+    table.AddRow({r.policy, TextTable::Num(r.total_seconds, 2),
+                  TextTable::Num(r.AverageCoV(), 3)});
+  }
+  {
+    workloads::TrainingConfig training;
+    training.num_regions = 48;
+    const auto system = core::MerchandiserSystem::Train(training);
+    auto p = system.MakePolicy(bundle.workload, machine);
+    sim::Engine e(bundle.workload, machine, cfg, p.get());
+    const auto r = e.Run();
+    table.AddRow({r.policy, TextTable::Num(r.total_seconds, 2),
+                  TextTable::Num(r.AverageCoV(), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nPM-only baseline: %.2fs. FairShare is task-aware but treats all\n"
+      "tasks alike; Merchandiser gives the predicted-slowest tasks more —\n"
+      "lower CoV *and* lower makespan.\n",
+      pm_time);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Domain example: a WarpX-like particle-in-cell plasma simulation on
+// heterogeneous memory.
+//
+//   1. run the real mini-PIC (two-stream instability) and watch the
+//      instability grow — the physics the workload model stands on;
+//   2. place the paper-scale WarpX workload with Merchandiser and compare
+//      against the manual WarpX-PM lifetime placement;
+//   3. show the memory-bandwidth telemetry the Figure 6 study uses.
+#include <cstdio>
+
+#include "apps/kernels/pic.h"
+#include "apps/warpx.h"
+#include "baselines/pm_only.h"
+#include "baselines/static_priority.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace merch;
+
+  // --- 1. Real PIC: the two-stream instability converts beam kinetic
+  // energy into field energy.
+  Rng rng(7);
+  apps::PicConfig pic_cfg;
+  pic_cfg.cells = 512;
+  pic_cfg.particles = 1 << 15;
+  apps::PicState pic = apps::InitTwoStream(pic_cfg, rng);
+  double field0 = 0;
+  for (const double e : pic.efield) field0 += e * e;
+  std::printf("mini-PIC: %u cells, %zu particles (two-stream setup)\n",
+              pic_cfg.cells, pic.position.size());
+  for (int step = 0; step < 40; ++step) apps::PicStep(pic, pic_cfg.dt);
+  double field1 = 0;
+  for (const double e : pic.efield) field1 += e * e;
+  std::printf("field energy grew %.1fx over 40 steps -> instability "
+              "captured by the real kernels.\n\n",
+              field1 / std::max(field0, 1e-12));
+
+  // --- 2. Scaled WarpX workload under three placements.
+  apps::WarpxConfig cfg;
+  cfg.target_bytes /= 64;
+  cfg.task_accesses /= 16;
+  const apps::AppBundle bundle = apps::BuildWarpx(cfg);
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  machine.hm[hm::Tier::kDram].capacity_bytes /= 64;
+  machine.hm[hm::Tier::kPm].capacity_bytes /= 64;
+  sim::SimConfig sim_cfg;
+  sim_cfg.page_bytes = 512 * KiB;
+
+  auto bandwidth_summary = [](const sim::SimResult& r) {
+    std::vector<double> dram, pm;
+    for (const auto& s : r.bandwidth) {
+      dram.push_back(s.dram_gbps);
+      pm.push_back(s.pm_gbps);
+    }
+    return std::make_pair(Mean(dram), Mean(pm));
+  };
+
+  TextTable table({"placement", "time (s)", "avg DRAM GB/s", "avg PM GB/s"});
+  double pm_only_time = 0;
+  {
+    baselines::PmOnlyPolicy p;
+    sim::Engine e(bundle.workload, machine, sim_cfg, &p);
+    const auto r = e.Run();
+    pm_only_time = r.total_seconds;
+    const auto [d, m] = bandwidth_summary(r);
+    table.AddRow({"PM-only", TextTable::Num(r.total_seconds, 2),
+                  TextTable::Num(d, 2), TextTable::Num(m, 2)});
+  }
+  {
+    baselines::StaticPriorityPolicy p("WarpX-PM", bundle.lifetime_priority);
+    sim::Engine e(bundle.workload, machine, sim_cfg, &p);
+    const auto r = e.Run();
+    const auto [d, m] = bandwidth_summary(r);
+    table.AddRow({"WarpX-PM (manual lifetimes)",
+                  TextTable::Num(r.total_seconds, 2), TextTable::Num(d, 2),
+                  TextTable::Num(m, 2)});
+  }
+  {
+    workloads::TrainingConfig training;
+    training.num_regions = 48;
+    const auto system = core::MerchandiserSystem::Train(training);
+    auto p = system.MakePolicy(bundle.workload, machine);
+    sim::Engine e(bundle.workload, machine, sim_cfg, p.get());
+    const auto r = e.Run();
+    const auto [d, m] = bandwidth_summary(r);
+    table.AddRow({"Merchandiser", TextTable::Num(r.total_seconds, 2),
+                  TextTable::Num(d, 2), TextTable::Num(m, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\n(PM-only time: %.2fs. Good placements shift traffic from PM to "
+      "DRAM — the Figure 6 signature.)\n",
+      pm_only_time);
+  return 0;
+}

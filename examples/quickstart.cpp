@@ -1,0 +1,90 @@
+// Quickstart: place a task-parallel SpGEMM on heterogeneous memory with
+// Merchandiser and compare against PM-only and MemoryOptimizer.
+//
+// Walkthrough of the whole public API:
+//   1. register data objects (the LB_HM_config user API),
+//   2. train the correlation function f(PMCs, r) once (offline step 1),
+//   3. prepare the application profile (offline steps 2-4),
+//   4. run under different placement policies and compare makespan and
+//      load balance.
+//
+// This example uses reduced footprints and a small training set so it
+// finishes in seconds; the bench binaries run the paper-scale versions.
+#include <cstdio>
+
+#include "apps/registry.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/pm_only.h"
+#include "common/table.h"
+#include "core/api.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace merch;
+
+  // --- 1. The user API: declare the major data objects. In a real
+  // application these would be your live allocations; the registry feeds
+  // the runtime the object/size list.
+  std::vector<double> a_matrix(1024), b_matrix(4096), c_matrix(2048);
+  void* objects[] = {a_matrix.data(), b_matrix.data(), c_matrix.data()};
+  const long long sizes[] = {
+      static_cast<long long>(a_matrix.size() * sizeof(double)),
+      static_cast<long long>(b_matrix.size() * sizeof(double)),
+      static_cast<long long>(c_matrix.size() * sizeof(double))};
+  LB_HM_config(objects, sizes, 3);
+  std::printf("Registered %zu objects through LB_HM_config\n",
+              core::HmConfigRegistry::Global().size());
+
+  // --- 2. Offline, once ever: train the correlation function on synthetic
+  // code samples (stand-in for CERE-extracted NAS/SPEC regions).
+  workloads::TrainingConfig training;
+  training.num_regions = 48;  // small for the quickstart
+  std::printf("Training correlation function (%zu code regions)...\n",
+              training.num_regions);
+  const core::MerchandiserSystem system = core::MerchandiserSystem::Train(training);
+  std::printf("  GBR test R^2 = %.3f\n", system.correlation().test_r2());
+
+  // --- 3. Build the workload (mini SpGEMM, 1/64 of the paper footprint)
+  // and the per-application offline profile.
+  const apps::AppBundle bundle = apps::BuildApp("SpGEMM", 1.0 / 64, 1.0 / 8);
+  const sim::MachineSpec machine = [] {
+    sim::MachineSpec m = sim::MachineSpec::Paper();
+    // Shrink the machine to match the shrunk footprint.
+    m.hm[hm::Tier::kDram].capacity_bytes /= 64;
+    m.hm[hm::Tier::kPm].capacity_bytes /= 64;
+    return m;
+  }();
+  sim::SimConfig sim_cfg;
+  sim_cfg.page_bytes = 512 * KiB;  // finer pages for the small footprint
+
+  // --- 4. Run the three systems.
+  TextTable table({"policy", "makespan (s)", "speedup vs PM-only",
+                   "task-time CoV"});
+  double pm_total = 0;
+  auto run = [&](sim::PlacementPolicy* policy) {
+    sim::Engine engine(bundle.workload, machine, sim_cfg, policy);
+    const sim::SimResult result = engine.Run();
+    if (result.policy == "PM-only") pm_total = result.total_seconds;
+    table.AddRow({result.policy, TextTable::Num(result.total_seconds, 2),
+                  pm_total > 0
+                      ? TextTable::Num(pm_total / result.total_seconds, 3)
+                      : "1.000",
+                  TextTable::Num(result.AverageCoV(), 3)});
+    return result;
+  };
+
+  baselines::PmOnlyPolicy pm_only;
+  run(&pm_only);
+  baselines::MemoryOptimizerPolicy mem_opt;
+  run(&mem_opt);
+  auto merchandiser = system.MakePolicy(bundle.workload, machine);
+  run(merchandiser.get());
+
+  table.Print();
+  std::printf(
+      "\nMerchandiser coordinates tasks on fast-memory usage: it posts the\n"
+      "best makespan here, and at paper scale it also yields the tightest\n"
+      "task-time distribution (run bench/fig5_load_balance).\n");
+  return 0;
+}

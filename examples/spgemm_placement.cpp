@@ -1,0 +1,96 @@
+// Domain example: sparse matrix-matrix multiplication on heterogeneous
+// memory (the paper's Figure 1.b scenario).
+//
+// Walks through the full story on real data:
+//   1. run the *actual* Gustavson SpGEMM on a power-law (GAP-kron-like)
+//      matrix and measure the per-bin work skew Ginkgo's row binning
+//      produces — the application-inherent load imbalance;
+//   2. build the simulator workload from those measurements;
+//   3. place it with Merchandiser and inspect the Algorithm 1 decisions:
+//      the slowest bins receive the largest DRAM-access shares.
+#include <cstdio>
+
+#include "apps/kernels/csr.h"
+#include "apps/spgemm.h"
+#include "baselines/pm_only.h"
+#include "common/table.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace merch;
+
+  // --- 1. Real SpGEMM and its work skew.
+  Rng rng(2023);
+  const apps::CsrMatrix a = apps::GenerateKronMatrix(1 << 13, 16.0, 0.85, rng);
+  const apps::CsrMatrix c = apps::SpGemmNumeric(a, a);
+  std::printf("real SpGEMM: A %ux%u nnz=%llu  ->  C nnz=%llu\n", a.rows,
+              a.cols, static_cast<unsigned long long>(a.nnz()),
+              static_cast<unsigned long long>(c.nnz()));
+
+  const int bins = 12;
+  const std::uint32_t rows_per_bin = (a.rows + bins - 1) / bins;
+  TextTable skew({"bin", "nnz(A)", "flops", "share of max"});
+  std::uint64_t max_flops = 1;
+  std::vector<std::uint64_t> flops(bins);
+  for (int b = 0; b < bins; ++b) {
+    flops[b] = apps::SpGemmFlops(a, a, b * rows_per_bin,
+                                 (b + 1) * rows_per_bin);
+    max_flops = std::max(max_flops, flops[b]);
+  }
+  for (int b = 0; b < bins; ++b) {
+    const std::uint64_t nnz =
+        a.row_ptr[std::min<std::uint32_t>((b + 1) * rows_per_bin, a.rows)] -
+        a.row_ptr[std::min<std::uint32_t>(b * rows_per_bin, a.rows)];
+    skew.AddRow({std::to_string(b), std::to_string(nnz),
+                 std::to_string(flops[b]),
+                 TextTable::Pct(static_cast<double>(flops[b]) /
+                                static_cast<double>(max_flops))});
+  }
+  skew.Print();
+  std::printf("-> equal-row binning leaves the busiest bin with far more "
+              "work than the lightest: the load-imbalance source.\n\n");
+
+  // --- 2. Simulator workload at 1/64 of the paper's 429.3 GB footprint.
+  apps::SpGemmConfig cfg;
+  cfg.target_bytes /= 64;
+  cfg.busiest_task_accesses /= 16;
+  const apps::AppBundle bundle = apps::BuildSpGemm(cfg);
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  machine.hm[hm::Tier::kDram].capacity_bytes /= 64;
+  machine.hm[hm::Tier::kPm].capacity_bytes /= 64;
+  sim::SimConfig sim_cfg;
+  sim_cfg.page_bytes = 512 * KiB;
+
+  // --- 3. PM-only vs Merchandiser, with the greedy decisions.
+  baselines::PmOnlyPolicy pm;
+  const double pm_time =
+      sim::Engine(bundle.workload, machine, sim_cfg, &pm).Run().total_seconds;
+
+  workloads::TrainingConfig training;
+  training.num_regions = 48;
+  const auto system = core::MerchandiserSystem::Train(training);
+  auto policy = system.MakePolicy(bundle.workload, machine);
+  sim::Engine engine(bundle.workload, machine, sim_cfg, policy.get());
+  const sim::SimResult result = engine.Run();
+
+  std::printf("PM-only %.2fs  ->  Merchandiser %.2fs  (speedup %.2fx)\n\n",
+              pm_time, result.total_seconds, pm_time / result.total_seconds);
+
+  if (!policy->decisions().empty()) {
+    const core::InstanceDecision& d = policy->decisions().back();
+    TextTable quotas({"task", "predicted PM-only (s)", "granted DRAM share",
+                      "predicted after placement (s)"});
+    for (std::size_t i = 0; i < d.tasks.size(); ++i) {
+      quotas.AddRow({std::to_string(d.tasks[i]),
+                     TextTable::Num(d.t_pm_only[i], 3),
+                     TextTable::Pct(d.dram_fraction[i]),
+                     TextTable::Num(d.predicted_seconds[i], 3)});
+    }
+    std::printf("Algorithm 1 decisions for the last task instance:\n");
+    quotas.Print();
+    std::printf("-> slower tasks get larger shares; predicted times "
+                "equalise — that is load-balance-aware placement.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Common bundle type produced by every application workload builder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kernel_ir.h"
+#include "sim/workload.h"
+
+namespace merch::apps {
+
+struct AppBundle {
+  sim::Workload workload;
+  /// One kernel-IR per task (the code Spindle would analyse; region-0
+  /// shape — the code does not change across task instances).
+  std::vector<core::TaskIr> task_irs;
+  /// Sparta-like static priority (SpGEMM only): object indices,
+  /// most-important first.
+  std::vector<std::size_t> sparta_priority;
+  /// WarpX-PM-like lifetime priorities (WarpX only): per region.
+  std::vector<std::vector<std::size_t>> lifetime_priority;
+};
+
+}  // namespace merch::apps

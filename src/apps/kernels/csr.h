@@ -1,0 +1,61 @@
+// Compressed-sparse-row matrices, Gustavson SpGEMM, and level-synchronous
+// BFS — the real algorithms behind the SpGEMM and BFS workloads (paper
+// Table 2: Ginkgo-derived SpGEMM on GAP-kron, BFS on com-Orkut).
+//
+// These run for real at reduced scale; the workload builders measure their
+// per-task work distributions (nnz per row bin, edges per partition) and
+// scale the footprints to the paper's sizes. The examples and tests also
+// exercise them directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace merch::apps {
+
+struct CsrMatrix {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint64_t> row_ptr;  // rows + 1
+  std::vector<std::uint32_t> col_idx;  // nnz
+  std::vector<double> values;          // nnz
+
+  std::uint64_t nnz() const { return col_idx.size(); }
+  /// Bytes of the CSR arrays (what the application would allocate).
+  std::uint64_t bytes() const {
+    return row_ptr.size() * 8 + col_idx.size() * 4 + values.size() * 8;
+  }
+};
+
+/// RMAT/Kronecker-style power-law sparse matrix (the GAP-kron and
+/// com-Orkut stand-in): `rows` x `rows`, ~`avg_degree` nonzeros per row,
+/// degree skew controlled by `skew` (Zipf exponent over columns).
+CsrMatrix GenerateKronMatrix(std::uint32_t rows, double avg_degree,
+                             double skew, Rng& rng);
+
+/// Gustavson symbolic phase: nnz of each row of C = A * B.
+std::vector<std::uint64_t> SpGemmSymbolic(const CsrMatrix& a,
+                                          const CsrMatrix& b);
+
+/// Gustavson numeric phase: C = A * B.
+CsrMatrix SpGemmNumeric(const CsrMatrix& a, const CsrMatrix& b);
+
+/// FLOP count of row range [row_begin, row_end) of A*B: sum over a(i,k) of
+/// nnz(B row k). This is the per-bin work measure Ginkgo's binning uses.
+std::uint64_t SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b,
+                          std::uint32_t row_begin, std::uint32_t row_end);
+
+/// Level-synchronous BFS from `source`; returns the level of every vertex
+/// (UINT32_MAX if unreachable) and, via `edges_relaxed`, the number of
+/// edges inspected per vertex-partition (partitions = contiguous vertex
+/// ranges of size ceil(n/num_partitions)). `max_depth` bounds the
+/// traversal (k-hop neighborhood queries); 0 = unbounded.
+std::vector<std::uint32_t> BfsLevels(const CsrMatrix& graph,
+                                     std::uint32_t source,
+                                     std::uint32_t num_partitions,
+                                     std::vector<std::uint64_t>* edges_relaxed,
+                                     std::uint32_t max_depth = 0);
+
+}  // namespace merch::apps

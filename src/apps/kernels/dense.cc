@@ -1,0 +1,107 @@
+#include "apps/kernels/dense.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace merch::apps {
+
+DenseMatrix DenseMatrix::Zero(std::uint32_t rows, std::uint32_t cols) {
+  DenseMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.data.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+  return m;
+}
+
+DenseMatrix DenseMatrix::Random(std::uint32_t rows, std::uint32_t cols,
+                                Rng& rng) {
+  DenseMatrix m = Zero(rows, cols);
+  for (double& v : m.data) v = rng.NextDoubleInRange(-1.0, 1.0);
+  return m;
+}
+
+DenseMatrix DenseMatrix::RandomSymmetric(std::uint32_t n, Rng& rng) {
+  DenseMatrix m = Zero(n, n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (std::uint32_t r = 0; r <= c; ++r) {
+      const double v = rng.NextDoubleInRange(-1.0, 1.0);
+      m.at(r, c) = v;
+      m.at(c, r) = v;
+    }
+    m.at(c, c) += static_cast<double>(n) * 0.1 * rng.NextDoubleInRange(0.5, 1.5);
+  }
+  return m;
+}
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols == b.rows);
+  DenseMatrix c = DenseMatrix::Zero(a.rows, b.cols);
+  for (std::uint32_t j = 0; j < b.cols; ++j) {
+    for (std::uint32_t k = 0; k < a.cols; ++k) {
+      const double bkj = b.at(k, j);
+      if (bkj == 0.0) continue;
+      for (std::uint32_t i = 0; i < a.rows; ++i) {
+        c.at(i, j) += a.at(i, k) * bkj;
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x) {
+  assert(a.cols == x.size());
+  std::vector<double> y(a.rows, 0.0);
+  for (std::uint32_t c = 0; c < a.cols; ++c) {
+    const double xc = x[c];
+    for (std::uint32_t r = 0; r < a.rows; ++r) {
+      y[r] += a.at(r, c) * xc;
+    }
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
+
+DavidsonResult DavidsonSolve(const DenseMatrix& a, double tol,
+                             int max_iterations) {
+  assert(a.rows == a.cols);
+  const std::uint32_t n = a.rows;
+  DavidsonResult result;
+  std::vector<double> v(n, 0.0);
+  v[0] = 1.0;
+  double lambda = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    std::vector<double> av = MatVec(a, v);
+    lambda = Dot(v, av);
+    // Residual r = A v - lambda v.
+    double res_norm = 0;
+    std::vector<double> r(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      r[i] = av[i] - lambda * v[i];
+      res_norm += r[i] * r[i];
+    }
+    res_norm = std::sqrt(res_norm);
+    if (res_norm < tol * std::abs(lambda)) break;
+    // Davidson correction with diagonal preconditioner, then re-normalise
+    // (single-vector variant: preconditioned power step).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double denom = a.at(i, i) - lambda;
+      v[i] += std::abs(denom) > 1e-8 ? -r[i] / denom : -r[i];
+    }
+    const double norm = Norm2(v);
+    for (double& x : v) x /= norm;
+  }
+  result.eigenvalue = lambda;
+  result.eigenvector = std::move(v);
+  return result;
+}
+
+}  // namespace merch::apps

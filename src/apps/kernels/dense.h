@@ -1,0 +1,53 @@
+// Small dense linear algebra used by the DMRG mini-app: column-major
+// matrices, GEMM, Gram-Schmidt, and a Davidson-style dominant-eigenpair
+// iteration (the paper's DMRG spends its time in a Davidson solver,
+// Figure 1.a line S2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace merch::apps {
+
+struct DenseMatrix {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<double> data;  // column major
+
+  double& at(std::uint32_t r, std::uint32_t c) {
+    return data[static_cast<std::size_t>(c) * rows + r];
+  }
+  double at(std::uint32_t r, std::uint32_t c) const {
+    return data[static_cast<std::size_t>(c) * rows + r];
+  }
+  static DenseMatrix Zero(std::uint32_t rows, std::uint32_t cols);
+  static DenseMatrix Random(std::uint32_t rows, std::uint32_t cols, Rng& rng);
+  /// Symmetric random matrix with dominant diagonal (well-conditioned for
+  /// eigen iteration).
+  static DenseMatrix RandomSymmetric(std::uint32_t n, Rng& rng);
+};
+
+/// C = A * B.
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// y = A * x.
+std::vector<double> MatVec(const DenseMatrix& a, const std::vector<double>& x);
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Norm2(const std::vector<double>& x);
+
+struct DavidsonResult {
+  double eigenvalue = 0;
+  std::vector<double> eigenvector;
+  int iterations = 0;
+};
+
+/// Davidson-style dominant eigenpair solve of symmetric A (diagonal-
+/// preconditioned subspace iteration). Iteration count is returned so the
+/// workload builder can translate convergence behaviour into work.
+DavidsonResult DavidsonSolve(const DenseMatrix& a, double tol = 1e-8,
+                             int max_iterations = 200);
+
+}  // namespace merch::apps

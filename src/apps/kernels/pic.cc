@@ -1,0 +1,93 @@
+#include "apps/kernels/pic.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace merch::apps {
+namespace {
+
+/// Cloud-in-cell weights for a position.
+void CicWeights(double x, double dx, std::uint32_t cells, std::uint32_t* i0,
+                std::uint32_t* i1, double* w0, double* w1) {
+  const double xi = x / dx;
+  const auto cell = static_cast<std::uint32_t>(xi) % cells;
+  const double frac = xi - std::floor(xi);
+  *i0 = cell;
+  *i1 = (cell + 1) % cells;
+  *w0 = 1.0 - frac;
+  *w1 = frac;
+}
+
+}  // namespace
+
+PicState InitTwoStream(const PicConfig& config, Rng& rng) {
+  PicState s;
+  s.cells = config.cells;
+  s.dx = 1.0;
+  s.position.resize(config.particles);
+  s.velocity.resize(config.particles);
+  s.efield.assign(config.cells, 0.0);
+  s.density.assign(config.cells, 0.0);
+  const double length = static_cast<double>(config.cells) * s.dx;
+  for (std::uint32_t p = 0; p < config.particles; ++p) {
+    s.position[p] = rng.NextDoubleInRange(0.0, length);
+    const double beam = (p % 2 == 0) ? config.beam_velocity
+                                     : -config.beam_velocity;
+    s.velocity[p] = beam + rng.NextGaussian(0.0, config.thermal_spread);
+  }
+  return s;
+}
+
+double PicStep(PicState& s, double dt) {
+  const std::uint32_t cells = s.cells;
+  const double length = static_cast<double>(cells) * s.dx;
+  const double weight = static_cast<double>(cells) /
+                        static_cast<double>(s.position.size());
+
+  // Deposit charge density (scatter).
+  for (double& d : s.density) d = 0.0;
+  for (std::size_t p = 0; p < s.position.size(); ++p) {
+    std::uint32_t i0, i1;
+    double w0, w1;
+    CicWeights(s.position[p], s.dx, cells, &i0, &i1, &w0, &w1);
+    s.density[i0] += w0 * weight;
+    s.density[i1] += w1 * weight;
+  }
+
+  // Field solve: E from Gauss's law by cumulative sum of (rho - 1)
+  // (uniform neutralising background), zero-mean gauge.
+  double acc = 0.0, mean = 0.0;
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    acc += (s.density[c] - 1.0) * s.dx;
+    s.efield[c] = acc;
+    mean += acc;
+  }
+  mean /= static_cast<double>(cells);
+  for (double& e : s.efield) e -= mean;
+
+  // Gather + push (leapfrog).
+  for (std::size_t p = 0; p < s.position.size(); ++p) {
+    std::uint32_t i0, i1;
+    double w0, w1;
+    CicWeights(s.position[p], s.dx, cells, &i0, &i1, &w0, &w1);
+    const double e = w0 * s.efield[i0] + w1 * s.efield[i1];
+    s.velocity[p] -= e * dt;  // electrons: qe/me = -1
+    s.position[p] += s.velocity[p] * dt;
+    // Periodic wrap.
+    while (s.position[p] < 0) s.position[p] += length;
+    while (s.position[p] >= length) s.position[p] -= length;
+  }
+  return PicEnergy(s);
+}
+
+double PicEnergy(const PicState& s) {
+  double kinetic = 0;
+  for (const double v : s.velocity) kinetic += 0.5 * v * v;
+  kinetic /= static_cast<double>(s.velocity.size());
+  double field = 0;
+  for (const double e : s.efield) field += 0.5 * e * e;
+  field /= static_cast<double>(s.efield.size());
+  return kinetic + field;
+}
+
+}  // namespace merch::apps

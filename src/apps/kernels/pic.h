@@ -1,0 +1,46 @@
+// Miniature 1D electrostatic particle-in-cell (PIC) code — the real
+// algorithm behind the WarpX workload (paper Table 2: ECP-WarpX
+// beam-plasma simulation).
+//
+// Per step: gather fields at particle positions (strided interpolation),
+// push particles (stream), deposit charge/current onto the grid (scatter),
+// solve fields with a stencil sweep. The per-kernel work counts drive the
+// workload builder; the code itself is exercised by tests and the
+// plasma-simulation example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace merch::apps {
+
+struct PicState {
+  std::uint32_t cells = 0;
+  double dx = 1.0;
+  std::vector<double> position;   // per particle, in [0, cells*dx)
+  std::vector<double> velocity;   // per particle
+  std::vector<double> efield;     // per cell
+  std::vector<double> density;    // per cell
+};
+
+struct PicConfig {
+  std::uint32_t cells = 1024;
+  std::uint32_t particles = 1 << 16;
+  double dt = 0.05;
+  double beam_velocity = 0.8;   // two-stream setup: +/- beam_velocity
+  double thermal_spread = 0.05;
+};
+
+PicState InitTwoStream(const PicConfig& config, Rng& rng);
+
+/// One PIC step: deposit -> field solve -> gather+push. Returns total
+/// kinetic + field energy (conserved to a few percent — the correctness
+/// check).
+double PicStep(PicState& state, double dt);
+
+/// Total energy (kinetic + field) of the current state.
+double PicEnergy(const PicState& state);
+
+}  // namespace merch::apps

@@ -1,0 +1,65 @@
+#include "apps/kernels/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace merch::apps {
+
+Tensor4 Tensor4::Random(std::uint32_t d0, std::uint32_t d1, std::uint32_t d2,
+                        std::uint32_t d3, Rng& rng) {
+  Tensor4 t;
+  t.d0 = d0;
+  t.d1 = d1;
+  t.d2 = d2;
+  t.d3 = d3;
+  t.data.resize(static_cast<std::size_t>(d0) * d1 * d2 * d3);
+  for (double& v : t.data) v = rng.NextDoubleInRange(-1.0, 1.0);
+  return t;
+}
+
+std::vector<TensorTile> PartitionTiles(std::uint32_t d0, std::uint32_t d1,
+                                       std::uint32_t num_tasks) {
+  // Near-square process grid: p0 x p1 >= num_tasks with p0*p1 minimal.
+  std::uint32_t p0 = 1;
+  while (p0 * p0 < num_tasks) ++p0;
+  while (num_tasks % p0 != 0 && p0 > 1) --p0;
+  const std::uint32_t p1 = num_tasks / p0;
+
+  const std::uint32_t tile0 = (d0 + p0 - 1) / p0;
+  const std::uint32_t tile1 = (d1 + p1 - 1) / p1;
+  std::vector<TensorTile> tiles;
+  tiles.reserve(num_tasks);
+  for (std::uint32_t i = 0; i < p0; ++i) {
+    for (std::uint32_t j = 0; j < p1; ++j) {
+      TensorTile t;
+      t.a_begin = std::min(i * tile0, d0);
+      t.a_end = std::min((i + 1) * tile0, d0);
+      t.b_begin = std::min(j * tile1, d1);
+      t.b_end = std::min((j + 1) * tile1, d1);
+      tiles.push_back(t);
+    }
+  }
+  return tiles;
+}
+
+std::uint64_t ContractTile(const Tensor4& a, const std::vector<double>& m,
+                           const TensorTile& tile, std::vector<double>* c_out) {
+  assert(m.size() == static_cast<std::size_t>(a.d2) * a.d3);
+  std::uint64_t flops = 0;
+  if (c_out != nullptr) c_out->assign(tile.elements(), 0.0);
+  std::size_t out = 0;
+  for (std::uint32_t ai = tile.a_begin; ai < tile.a_end; ++ai) {
+    for (std::uint32_t bi = tile.b_begin; bi < tile.b_end; ++bi) {
+      double acc = 0;
+      const std::size_t base = a.index(ai, bi, 0, 0);
+      for (std::size_t ij = 0; ij < m.size(); ++ij) {
+        acc += a.data[base + ij] * m[ij];
+      }
+      flops += 2 * m.size();
+      if (c_out != nullptr) (*c_out)[out++] = acc;
+    }
+  }
+  return flops;
+}
+
+}  // namespace merch::apps

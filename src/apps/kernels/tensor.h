@@ -1,0 +1,56 @@
+// Dense 4-D tensor contraction — the real algorithm behind the NWChem-TC
+// workload (paper Table 2: the tensor-contraction component of NWChem on a
+// cytosine-like 400x400x58x58 tensor).
+//
+// C[a,b] += sum_{i,j} A[a,b,i,j] * B[i,j], executed tile-by-tile; the
+// five NWChem-TC execution phases (Figure 3: Input Processing, Index
+// Search, Accumulation, Writeback, Output Sorting) map onto the tiled
+// pipeline. The workload builder measures per-tile work to derive task
+// imbalance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace merch::apps {
+
+struct Tensor4 {
+  std::uint32_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+  std::vector<double> data;
+
+  std::size_t index(std::uint32_t a, std::uint32_t b, std::uint32_t i,
+                    std::uint32_t j) const {
+    return ((static_cast<std::size_t>(a) * d1 + b) * d2 + i) * d3 + j;
+  }
+  double at(std::uint32_t a, std::uint32_t b, std::uint32_t i,
+            std::uint32_t j) const {
+    return data[index(a, b, i, j)];
+  }
+  static Tensor4 Random(std::uint32_t d0, std::uint32_t d1, std::uint32_t d2,
+                        std::uint32_t d3, Rng& rng);
+  std::uint64_t bytes() const { return data.size() * 8; }
+};
+
+/// One task's tile of the (d0 x d1) output plane.
+struct TensorTile {
+  std::uint32_t a_begin = 0, a_end = 0;
+  std::uint32_t b_begin = 0, b_end = 0;
+  std::uint64_t elements() const {
+    return static_cast<std::uint64_t>(a_end - a_begin) * (b_end - b_begin);
+  }
+};
+
+/// Partition the output plane into `num_tasks` tiles. Remainders make
+/// edge tiles smaller — the integer-tiling imbalance real NWChem-TC tiling
+/// exhibits ("inequable tensors", Section 7.2).
+std::vector<TensorTile> PartitionTiles(std::uint32_t d0, std::uint32_t d1,
+                                       std::uint32_t num_tasks);
+
+/// Contract one tile: C[a,b] = sum_{i,j} A[a,b,i,j] * M[i,j]. Returns the
+/// tile's flop count.
+std::uint64_t ContractTile(const Tensor4& a, const std::vector<double>& m,
+                           const TensorTile& tile, std::vector<double>* c_out);
+
+}  // namespace merch::apps

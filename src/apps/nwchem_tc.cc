@@ -1,0 +1,199 @@
+#include "apps/nwchem_tc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "apps/kernels/tensor.h"
+#include "core/lowering.h"
+
+namespace merch::apps {
+
+const std::vector<std::string>& NwchemPhaseNames() {
+  static const std::vector<std::string> kNames = {
+      "input_processing", "index_search", "accumulation", "writeback",
+      "output_sorting"};
+  return kNames;
+}
+
+AppBundle BuildNwchemTc(const NwchemTcConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // Real tiling of the output plane: tile areas differ at the edges.
+  const auto tiles = PartitionTiles(cfg.dim_a, cfg.dim_b,
+                                    static_cast<std::uint32_t>(cfg.num_tasks));
+  assert(tiles.size() >= static_cast<std::size_t>(cfg.num_tasks));
+
+  // Per-task relative work: tile elements x inner extent, plus a skewed
+  // index-search cost (symmetry-unique index blocks cluster unevenly).
+  const double inner = static_cast<double>(cfg.dim_i) * cfg.dim_j;
+  std::vector<double> tile_work(cfg.num_tasks);
+  std::vector<double> index_skew(cfg.num_tasks);
+  double max_work = 1;
+  for (int t = 0; t < cfg.num_tasks; ++t) {
+    tile_work[t] = static_cast<double>(tiles[t].elements()) * inner;
+    index_skew[t] = 0.6 + 0.8 * rng.NextDouble();
+    max_work = std::max(max_work, tile_work[t] * (1.0 + 0.4 * index_skew[t]));
+  }
+
+  AppBundle bundle;
+  sim::Workload& w = bundle.workload;
+  w.name = "NWChem-TC";
+
+  // Bytes: the 4-D input tensor slices dominate (~75%); index maps and
+  // output tiles share the rest.
+  double area_sum = 0;
+  for (int t = 0; t < cfg.num_tasks; ++t) {
+    area_sum += static_cast<double>(tiles[t].elements());
+  }
+  const double a_total = static_cast<double>(cfg.target_bytes) * 0.75;
+  const double c_total = static_cast<double>(cfg.target_bytes) * 0.15;
+  const double idx_total = static_cast<double>(cfg.target_bytes) * 0.10;
+
+  std::vector<std::size_t> obj_a(cfg.num_tasks), obj_c(cfg.num_tasks);
+  const std::size_t obj_idx = 0;
+  w.objects.push_back(sim::ObjectDecl{
+      .name = "index_map",
+      .bytes = static_cast<std::uint64_t>(idx_total),
+      .owner = kInvalidTask,
+      .heat = trace::HeatProfile::Zipf(0.7),
+      .reuse_passes = 2.0});
+  for (int t = 0; t < cfg.num_tasks; ++t) {
+    obj_a[t] = w.objects.size();
+    w.objects.push_back(sim::ObjectDecl{
+        .name = "A_slice" + std::to_string(t),
+        .bytes = static_cast<std::uint64_t>(
+            a_total * static_cast<double>(tiles[t].elements()) / area_sum),
+        .owner = static_cast<TaskId>(t),
+        .heat = trace::HeatProfile::Uniform(),
+        .reuse_passes = 1.0});
+  }
+  for (int t = 0; t < cfg.num_tasks; ++t) {
+    obj_c[t] = w.objects.size();
+    w.objects.push_back(sim::ObjectDecl{
+        .name = "C_tile" + std::to_string(t),
+        .bytes = static_cast<std::uint64_t>(
+            c_total * static_cast<double>(tiles[t].elements()) / area_sum),
+        .owner = static_cast<TaskId>(t),
+        .heat = trace::HeatProfile::Uniform(),
+        .reuse_passes = 2.0});
+  }
+
+  const double work_scale = cfg.busiest_task_accesses / max_work;
+
+  auto build_task_ir = [&](int t, double contraction_scale) {
+    const double work = tile_work[t] * work_scale * contraction_scale;
+    const double idx_work = work * 0.3 * index_skew[t];
+
+    core::TaskIr ir;
+    ir.task = static_cast<TaskId>(t);
+
+    // Phase 1 — Input Processing: stream the A slice in (unpack).
+    core::LoopNest input;
+    input.name = "input_processing";
+    input.trip_count = static_cast<std::uint64_t>(work * 0.20);
+    input.instructions_per_iteration = 4.0;
+    input.vector_fraction = 0.4;
+    input.refs.push_back(core::ArrayRef{
+        .object = obj_a[t],
+        .subscript = {.kind = core::Subscript::Kind::kAffine, .stride = 1},
+        .is_write = false,
+        .element_bytes = 8,
+        .accesses_per_iteration = 1.2});
+    ir.loops.push_back(input);
+
+    // Phase 2 — Index Search: gather through the symmetry index map.
+    core::LoopNest search;
+    search.name = "index_search";
+    search.trip_count = static_cast<std::uint64_t>(idx_work);
+    search.instructions_per_iteration = 6.0;
+    search.branch_fraction = 0.25;
+    search.refs.push_back(core::ArrayRef{
+        .object = obj_idx,
+        .subscript = {.kind = core::Subscript::Kind::kOpaque},
+        .is_write = false,
+        .element_bytes = 8,
+        .accesses_per_iteration = 1.0});
+    ir.loops.push_back(search);
+
+    // Phase 3 — Accumulation: the contraction loop; streams A, gathers
+    // the block offsets.
+    core::LoopNest accum;
+    accum.name = "accumulation";
+    accum.trip_count = static_cast<std::uint64_t>(work * 0.35);
+    accum.instructions_per_iteration = 10.0;
+    accum.vector_fraction = 0.7;
+    accum.refs.push_back(core::ArrayRef{
+        .object = obj_a[t],
+        .subscript = {.kind = core::Subscript::Kind::kAffine, .stride = 1},
+        .is_write = false,
+        .element_bytes = 8,
+        .accesses_per_iteration = 1.0});
+    accum.refs.push_back(core::ArrayRef{
+        .object = obj_idx,
+        .subscript = {.kind = core::Subscript::Kind::kIndirect,
+                      .index_object = obj_a[t]},
+        .is_write = false,
+        .element_bytes = 8,
+        .accesses_per_iteration = 0.2});
+    ir.loops.push_back(accum);
+
+    // Phase 4 — Writeback: streaming writes of the C tile.
+    core::LoopNest writeback;
+    writeback.name = "writeback";
+    writeback.trip_count = static_cast<std::uint64_t>(work * 0.15);
+    writeback.instructions_per_iteration = 3.0;
+    writeback.vector_fraction = 0.4;
+    writeback.refs.push_back(core::ArrayRef{
+        .object = obj_c[t],
+        .subscript = {.kind = core::Subscript::Kind::kAffine, .stride = 1},
+        .is_write = true,
+        .element_bytes = 8,
+        .accesses_per_iteration = 1.5});
+    ir.loops.push_back(writeback);
+
+    // Phase 5 — Output Sorting: permute the tile into NWChem's canonical
+    // index order — strided rewrites.
+    core::LoopNest sorting;
+    sorting.name = "output_sorting";
+    sorting.trip_count = static_cast<std::uint64_t>(work * 0.10);
+    sorting.instructions_per_iteration = 5.0;
+    sorting.branch_fraction = 0.12;
+    sorting.refs.push_back(core::ArrayRef{
+        .object = obj_c[t],
+        .subscript = {.kind = core::Subscript::Kind::kAffine, .stride = 16},
+        .is_write = true,
+        .element_bytes = 8,
+        .accesses_per_iteration = 1.0});
+    ir.loops.push_back(sorting);
+    return ir;
+  };
+
+  for (int r = 0; r < cfg.contractions; ++r) {
+    sim::Region region;
+    region.name = "contraction_" + std::to_string(r);
+    region.active_bytes.assign(w.objects.size(), 0);
+    // Successive contractions in the sequence vary in inner extent
+    // (+-15%) — the "new input problems" per task instance.
+    const double contraction_scale =
+        1.0 + 0.15 * std::sin(1.3 * static_cast<double>(r + 1));
+    region.active_bytes[obj_idx] = w.objects[obj_idx].bytes;
+    for (int t = 0; t < cfg.num_tasks; ++t) {
+      region.active_bytes[obj_a[t]] = static_cast<std::uint64_t>(
+          static_cast<double>(w.objects[obj_a[t]].bytes) *
+          std::min(1.0, contraction_scale));
+      region.active_bytes[obj_c[t]] = w.objects[obj_c[t]].bytes;
+      const core::TaskIr ir = build_task_ir(t, contraction_scale);
+      sim::TaskProgram tp;
+      tp.task = static_cast<TaskId>(t);
+      tp.kernels = core::LowerTask(ir, w.objects.size());
+      region.tasks.push_back(std::move(tp));
+      if (r == 0) bundle.task_irs.push_back(ir);
+    }
+    w.regions.push_back(std::move(region));
+  }
+  assert(w.Validate().empty());
+  return bundle;
+}
+
+}  // namespace merch::apps

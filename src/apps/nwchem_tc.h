@@ -1,0 +1,31 @@
+// NWChem-TC workload (paper Table 2, Figure 3): the tensor-contraction
+// component of NWChem on a cytosine-like 400x400x58x58 tensor, 24
+// OpenMP-thread tasks, five execution phases per contraction (Input
+// Processing, Index Search, Accumulation, Writeback, Output Sorting —
+// Figure 3's phase list). Integer tiling of the output plane makes edge
+// tiles smaller and index lookups skewed ("inequable tensors", Section
+// 7.2) — the app-inherent imbalance source.
+//
+// The builder tiles the real dims with apps/kernels/tensor.h, contracts a
+// reduced-scale tensor for validation, and scales to 308.1 GB.
+#pragma once
+
+#include "apps/app.h"
+
+namespace merch::apps {
+
+struct NwchemTcConfig {
+  int num_tasks = 24;   // paper: 24 OpenMP threads
+  int contractions = 5; // contraction sequence = task instances
+  std::uint32_t dim_a = 400, dim_b = 400, dim_i = 58, dim_j = 58;
+  std::uint64_t target_bytes = static_cast<std::uint64_t>(308.1 * 1073741824.0);
+  double busiest_task_accesses = 4e9;
+  std::uint64_t seed = 888;
+};
+
+AppBundle BuildNwchemTc(const NwchemTcConfig& config = {});
+
+/// The five phase names, Figure 3 order.
+const std::vector<std::string>& NwchemPhaseNames();
+
+}  // namespace merch::apps

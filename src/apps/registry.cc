@@ -1,0 +1,59 @@
+#include "apps/registry.h"
+
+#include <stdexcept>
+
+#include "apps/bfs.h"
+#include "apps/dmrg.h"
+#include "apps/nwchem_tc.h"
+#include "apps/spgemm.h"
+#include "apps/warpx.h"
+
+namespace merch::apps {
+
+const std::vector<std::string>& AppNames() {
+  static const std::vector<std::string> kNames = {
+      "SpGEMM", "WarpX", "BFS", "DMRG", "NWChem-TC"};
+  return kNames;
+}
+
+AppBundle BuildApp(const std::string& name, double footprint_scale,
+                   double work_scale) {
+  if (name == "SpGEMM") {
+    SpGemmConfig cfg;
+    cfg.target_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.target_bytes) * footprint_scale);
+    cfg.busiest_task_accesses *= work_scale;
+    return BuildSpGemm(cfg);
+  }
+  if (name == "BFS") {
+    BfsConfig cfg;
+    cfg.target_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.target_bytes) * footprint_scale);
+    cfg.busiest_task_accesses *= work_scale;
+    return BuildBfs(cfg);
+  }
+  if (name == "WarpX") {
+    WarpxConfig cfg;
+    cfg.target_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.target_bytes) * footprint_scale);
+    cfg.task_accesses *= work_scale;
+    return BuildWarpx(cfg);
+  }
+  if (name == "DMRG") {
+    DmrgConfig cfg;
+    cfg.target_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.target_bytes) * footprint_scale);
+    cfg.busiest_task_accesses *= work_scale;
+    return BuildDmrg(cfg);
+  }
+  if (name == "NWChem-TC") {
+    NwchemTcConfig cfg;
+    cfg.target_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.target_bytes) * footprint_scale);
+    cfg.busiest_task_accesses *= work_scale;
+    return BuildNwchemTc(cfg);
+  }
+  throw std::invalid_argument("unknown application: " + name);
+}
+
+}  // namespace merch::apps

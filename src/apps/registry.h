@@ -1,0 +1,21 @@
+// Uniform access to the five paper applications (Table 2) at paper scale
+// or an arbitrary downscale (tests use ~1/64 footprints).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace merch::apps {
+
+/// Names in the paper's Table 2 / Figure 4 order.
+const std::vector<std::string>& AppNames();
+
+/// Build one application's bundle. `footprint_scale` scales memory
+/// footprints; `work_scale` scales per-task access counts (simulation
+/// duration). Scale 1.0 = paper configuration.
+AppBundle BuildApp(const std::string& name, double footprint_scale = 1.0,
+                   double work_scale = 1.0);
+
+}  // namespace merch::apps

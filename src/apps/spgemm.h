@@ -1,0 +1,31 @@
+// SpGEMM workload (paper Table 2, Figure 1.b): general sparse matrix-
+// matrix multiplication as in Ginkgo — a main loop of C = A * B products,
+// A partitioned into row bins, one OpenMP-thread task per bin, with two
+// synchronisation points per product (symbolic NNZ pass, numeric pass).
+//
+// The builder runs the *real* Gustavson SpGEMM (apps/kernels/csr.h) on a
+// GAP-kron-like power-law matrix at reduced scale, measures each bin's
+// nnz/flops (the source of the load imbalance: "different distributions of
+// non-zero elements", Section 7.2), and scales footprints to the paper's
+// 429.3 GB.
+#pragma once
+
+#include "apps/app.h"
+
+namespace merch::apps {
+
+struct SpGemmConfig {
+  int num_tasks = 12;        // paper: 12 OpenMP threads
+  int iterations = 5;        // main-loop products = task instances
+  std::uint32_t rows = 1u << 15;  // real-measurement scale
+  double avg_degree = 16.0;
+  double skew = 0.85;        // kron power-law exponent
+  std::uint64_t target_bytes = static_cast<std::uint64_t>(429.3 * 1073741824.0);
+  /// Program-level accesses of the busiest task per instance (work scale).
+  double busiest_task_accesses = 3e9;
+  std::uint64_t seed = 1234;
+};
+
+AppBundle BuildSpGemm(const SpGemmConfig& config = {});
+
+}  // namespace merch::apps

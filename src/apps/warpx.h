@@ -1,0 +1,29 @@
+// WarpX workload (paper Table 2): beam-plasma PIC simulation, 24
+// OpenMP-thread tasks each owning a spatial tile (particles + field
+// arrays), with a barrier per time step. Regular access patterns
+// (Table 1: Strided, Stencil), and no application-inherent load imbalance
+// (Section 7.2) — what imbalance appears under tiering is the page
+// manager's fault.
+//
+// The builder runs the real mini-PIC (apps/kernels/pic.h) to validate
+// dynamics and derive per-kernel access ratios, then scales to the paper's
+// 1.056 TB footprint.
+#pragma once
+
+#include "apps/app.h"
+
+namespace merch::apps {
+
+struct WarpxConfig {
+  int num_tasks = 24;   // paper: 24 OpenMP threads
+  int steps = 5;        // time steps = task instances
+  std::uint32_t real_cells = 512;       // real-measurement scale
+  std::uint32_t real_particles = 1u << 15;
+  std::uint64_t target_bytes = static_cast<std::uint64_t>(1056.0 * 1073741824.0);
+  double task_accesses = 7e9;  // per-task program accesses per step
+  std::uint64_t seed = 777;
+};
+
+AppBundle BuildWarpx(const WarpxConfig& config = {});
+
+}  // namespace merch::apps

@@ -1,0 +1,69 @@
+#include "baselines/memory_mode_policy.h"
+
+namespace merch::baselines {
+namespace {
+
+int Severity(trace::AccessPattern p) {
+  using trace::AccessPattern;
+  switch (p) {
+    case AccessPattern::kStream:
+      return 0;
+    case AccessPattern::kStrided:
+      return 1;
+    case AccessPattern::kStencil:
+      return 2;
+    case AccessPattern::kUnknown:
+      return 3;
+    case AccessPattern::kRandom:
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace
+
+void MemoryModePolicy::OnSimulationStart(sim::SimContext& ctx) {
+  const sim::Workload& w = ctx.workload();
+  object_patterns_.assign(w.objects.size(), trace::AccessPattern::kStream);
+  std::vector<bool> seen(w.objects.size(), false);
+  for (const sim::Region& region : w.regions) {
+    for (const sim::TaskProgram& tp : region.tasks) {
+      for (const sim::Kernel& k : tp.kernels) {
+        for (const trace::ObjectAccess& a : k.accesses) {
+          if (!seen[a.object] ||
+              Severity(a.pattern) > Severity(object_patterns_[a.object])) {
+            object_patterns_[a.object] = a.pattern;
+            seen[a.object] = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void MemoryModePolicy::OnInterval(sim::SimContext& ctx) {
+  const sim::Workload& w = ctx.workload();
+  sim::AccessOracle& oracle = ctx.oracle();
+
+  std::vector<cachesim::MemoryModeObject> objects(w.objects.size());
+  for (std::size_t i = 0; i < w.objects.size(); ++i) {
+    objects[i].bytes = w.objects[i].bytes;
+    objects[i].pattern = object_patterns_[i];
+    objects[i].mm_accesses = oracle.ObjectEpochAccesses(i);
+  }
+  const cachesim::MemoryModeCache cache(ctx.machine().hm.dram_capacity());
+  const cachesim::MemoryModeResult result =
+      cache.Evaluate(objects, ctx.pages().page_bytes());
+
+  for (std::size_t i = 0; i < w.objects.size(); ++i) {
+    // Objects idle this interval keep their previous fraction (their lines
+    // stay cached until evicted by pressure, which Evaluate models via the
+    // active-footprint coverage).
+    if (objects[i].mm_accesses > 0) {
+      ctx.SetHwDramFraction(i, result.dram_fraction[i]);
+    }
+  }
+  ctx.AddBackgroundTraffic(result.writeback_bytes_to_pm, 0.0);
+}
+
+}  // namespace merch::baselines

@@ -1,0 +1,32 @@
+// Optane Memory Mode baseline — the "hardware-based solution".
+//
+// DRAM becomes a direct-mapped write-back cache managed entirely by the
+// memory controller (paper Section 2); software placement is impossible.
+// Each interval this policy re-evaluates the cache model over the
+// interval's per-object activity, installs the resulting served-from-DRAM
+// fractions, and charges the fill/write-back traffic to PM and DRAM.
+#pragma once
+
+#include <vector>
+
+#include "cachesim/memory_mode.h"
+#include "sim/policy.h"
+
+namespace merch::baselines {
+
+class MemoryModePolicy final : public sim::PlacementPolicy {
+ public:
+  MemoryModePolicy() = default;
+
+  std::string name() const override { return "MemoryMode"; }
+  bool uses_hardware_cache() const override { return true; }
+
+  void OnSimulationStart(sim::SimContext& ctx) override;
+  void OnInterval(sim::SimContext& ctx) override;
+
+ private:
+  /// Dominant (least cache-friendly) pattern per object across all kernels.
+  std::vector<trace::AccessPattern> object_patterns_;
+};
+
+}  // namespace merch::baselines

@@ -1,0 +1,30 @@
+#include "baselines/memory_optimizer.h"
+
+namespace merch::baselines {
+
+void MemoryOptimizerPolicy::OnInterval(sim::SimContext& ctx) {
+  sim::AccessOracle& oracle = ctx.oracle();
+  const auto hot = pte_.Profile(oracle);
+
+  std::vector<PageId> batch;
+  for (const profiler::HotPage& h : hot) {
+    if (batch.size() >= config_.promote_batch) break;
+    if (h.est_accesses < config_.hot_threshold) break;  // sorted descending
+    if (oracle.PageTier(h.page) != hm::Tier::kPm) continue;
+    batch.push_back(h.page);
+  }
+  if (batch.empty()) return;
+
+  // LFU-evict cold DRAM pages when space is needed, then promote. No task
+  // awareness anywhere, and the eviction ranking is the daemon's own
+  // saturated estimate, not ground truth.
+  const int scans = config_.pte.scans_per_interval;
+  const std::uint64_t salt = ++interval_counter_;
+  auto heat_fn = [&oracle, scans, salt](PageId p) {
+    return profiler::SaturatedEvictionHeat(oracle, p, scans, salt);
+  };
+  ctx.migration().MakeRoomInDram(batch.size(), heat_fn);
+  promoted_ += ctx.migration().MigratePages(batch, hm::Tier::kDram);
+}
+
+}  // namespace merch::baselines

@@ -1,0 +1,44 @@
+// Intel MemoryOptimizer baseline (paper Section 1/2; github
+// intel/memory-optimizer) — the "industry-quality software-based solution".
+//
+// A userspace daemon that, every interval, samples a bounded set of pages,
+// estimates hotness from PTE accessed-bit scans, promotes the hottest PM
+// pages to DRAM and demotes cold DRAM pages when space runs out. It is
+// deliberately task-agnostic: that is the property whose consequences the
+// paper measures (load imbalance up, makespan barely down).
+#pragma once
+
+#include "profiler/pte_scan.h"
+#include "profiler/thermostat.h"
+#include "sim/policy.h"
+
+namespace merch::baselines {
+
+struct MemoryOptimizerConfig {
+  profiler::PteScanProfiler::Config pte{};
+  /// Hot pages promoted per interval at most.
+  std::size_t promote_batch = 512;
+  /// Only pages at least this hot (estimated interval accesses) move.
+  double hot_threshold = 1.0;
+  std::uint64_t seed = 31;
+};
+
+class MemoryOptimizerPolicy final : public sim::PlacementPolicy {
+ public:
+  explicit MemoryOptimizerPolicy(MemoryOptimizerConfig config = {})
+      : config_(config), pte_(config.pte, config.seed) {}
+
+  std::string name() const override { return "MemoryOptimizer"; }
+
+  void OnInterval(sim::SimContext& ctx) override;
+
+  std::uint64_t pages_promoted() const { return promoted_; }
+
+ private:
+  MemoryOptimizerConfig config_;
+  profiler::PteScanProfiler pte_;
+  std::uint64_t promoted_ = 0;
+  std::uint64_t interval_counter_ = 0;
+};
+
+}  // namespace merch::baselines

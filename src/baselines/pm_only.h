@@ -1,0 +1,15 @@
+// PM-only baseline: never migrates anything. All objects start on PM, so
+// this is the paper's "PM-only" normalisation baseline (Figure 4's 1.0
+// line).
+#pragma once
+
+#include "sim/policy.h"
+
+namespace merch::baselines {
+
+class PmOnlyPolicy final : public sim::PlacementPolicy {
+ public:
+  std::string name() const override { return "PM-only"; }
+};
+
+}  // namespace merch::baselines

@@ -1,0 +1,49 @@
+#include "baselines/static_priority.h"
+
+#include <algorithm>
+
+namespace merch::baselines {
+
+void StaticPriorityPolicy::OnRegionStart(sim::SimContext& ctx,
+                                         std::size_t region) {
+  const std::vector<std::size_t>* priority = &global_priority_;
+  if (region < per_region_.size() && !per_region_[region].empty()) {
+    priority = &per_region_[region];
+  }
+  Apply(ctx, *priority);
+}
+
+void StaticPriorityPolicy::Apply(sim::SimContext& ctx,
+                                 const std::vector<std::size_t>& priority) {
+  // Demote everything not in this region's priority list (lifetime ended),
+  // then fill DRAM in priority order, leaving 2% headroom.
+  const sim::Workload& w = ctx.workload();
+  std::vector<bool> keep(w.objects.size(), false);
+  for (const std::size_t obj : priority) {
+    if (obj < keep.size()) keep[obj] = true;
+  }
+  for (std::size_t obj = 0; obj < w.objects.size(); ++obj) {
+    if (keep[obj]) continue;
+    const ObjectId handle = ctx.oracle().handle(obj);
+    const std::uint64_t on_dram =
+        ctx.pages().object_pages_on(handle, hm::Tier::kDram);
+    if (on_dram > 0) ctx.migration().DemoteColdest(handle, on_dram);
+  }
+  const std::uint64_t dram_pages =
+      ctx.pages().spec().dram_capacity() / ctx.pages().page_bytes();
+  const auto budget =
+      static_cast<std::uint64_t>(0.98 * static_cast<double>(dram_pages));
+  for (const std::size_t obj : priority) {
+    if (obj >= w.objects.size()) continue;
+    const ObjectId handle = ctx.oracle().handle(obj);
+    const std::uint64_t used = dram_pages - ctx.pages().tier_free_pages(hm::Tier::kDram);
+    if (used >= budget) break;
+    const std::uint64_t headroom = budget - used;
+    const std::uint64_t want = ctx.pages().extent(handle).num_pages -
+                               ctx.pages().object_pages_on(handle, hm::Tier::kDram);
+    ctx.migration().MigrateHottest(handle, std::min(want, headroom),
+                                   hm::Tier::kDram);
+  }
+}
+
+}  // namespace merch::baselines

@@ -1,0 +1,47 @@
+// CPU cache hierarchy model: translates program-level accesses into main-
+// memory accesses.
+//
+// This is the simulator's ground truth for "the caching effect" that the
+// paper's alpha parameter (Eq. 1) approximates from the outside. The model
+// is analytic, per access pattern: it answers "what fraction of this
+// kernel's program-level accesses to this object miss all CPU caches".
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "trace/heat.h"
+#include "trace/pattern.h"
+
+namespace merch::cachesim {
+
+struct CpuCacheSpec {
+  std::uint64_t l2_bytes = 1 * MiB;     // per core
+  std::uint64_t llc_bytes = 35 * MiB;   // shared last-level cache
+  std::uint32_t line_bytes = 64;
+
+  /// Xeon Gold 6252N-like hierarchy (paper's testbed CPU: 24 cores,
+  /// 35.75 MB LLC).
+  static CpuCacheSpec PaperXeon() { return CpuCacheSpec{}; }
+};
+
+/// Fraction of program-level accesses that reach main memory (miss LLC).
+/// `object_bytes` is the object's size; `reuse_passes` is how many times the
+/// kernel sweeps the object (>= 1; temporal reuse amortises cold misses for
+/// cache-resident objects). For random-pattern accesses, `heat` (when
+/// given) describes the skew of the access stream: an LRU-ish LLC retains
+/// the hottest lines, so a Zipf-skewed gather stream (sparse-matrix hub
+/// rows, graph hubs) hits cache far more than a uniform one — and the
+/// *residual* main-memory accesses are correspondingly flatter.
+double MainMemoryMissRate(const trace::ObjectAccess& access,
+                          std::uint64_t object_bytes,
+                          const CpuCacheSpec& cache,
+                          double reuse_passes = 1.0,
+                          const trace::HeatProfile* heat = nullptr);
+
+/// Fraction of program-level accesses missing the (smaller) L2 — used only
+/// to synthesise the L2_LD_Miss performance event.
+double L2MissRate(const trace::ObjectAccess& access, std::uint64_t object_bytes,
+                  const CpuCacheSpec& cache);
+
+}  // namespace merch::cachesim

@@ -1,0 +1,52 @@
+// Optane Memory Mode model: DRAM as a hardware-managed, direct-mapped,
+// write-back cache in front of PM (paper Section 2).
+//
+// Under Memory Mode software cannot place pages; the DRAM cache decides
+// which main-memory accesses are served fast. The paper's observation is
+// that this works poorly for sparse/random workloads ("bad locality in the
+// hardware-managed cache", Section 7.1 observation 2), and that it is task-
+// agnostic, so it inherits the same load-imbalance pathology as software
+// PGO. This model captures both effects analytically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/pattern.h"
+
+namespace merch::cachesim {
+
+/// Activity summary of one object during the current interval.
+struct MemoryModeObject {
+  std::uint64_t bytes = 0;
+  trace::AccessPattern pattern = trace::AccessPattern::kStream;
+  /// Main-memory accesses to the object this interval (post-CPU-cache).
+  double mm_accesses = 0;
+};
+
+struct MemoryModeResult {
+  /// Per-object fraction of main-memory accesses served by the DRAM cache.
+  std::vector<double> dram_fraction;
+  /// Fill traffic: bytes read from PM into the DRAM cache this interval
+  /// (misses), plus write-back bytes to PM. Feeds bandwidth telemetry.
+  double fill_bytes_from_pm = 0;
+  double writeback_bytes_to_pm = 0;
+};
+
+class MemoryModeCache {
+ public:
+  /// `dram_bytes` is the cache capacity (all of DRAM under Memory Mode).
+  explicit MemoryModeCache(std::uint64_t dram_bytes)
+      : dram_bytes_(dram_bytes) {}
+
+  /// Steady-state hit fractions for the given interval activity. The cache
+  /// is shared: objects compete for capacity in proportion to their touched
+  /// footprint, with per-pattern direct-mapped conflict factors.
+  MemoryModeResult Evaluate(const std::vector<MemoryModeObject>& objects,
+                            std::uint64_t page_bytes) const;
+
+ private:
+  std::uint64_t dram_bytes_;
+};
+
+}  // namespace merch::cachesim

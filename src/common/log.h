@@ -1,0 +1,42 @@
+// Minimal leveled logging. Benches and the runtime daemon use this to
+// narrate decisions (migration quotas, greedy rounds) without depending on
+// an external logging library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace merch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users are not spammed; benches raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace merch
+
+#define MERCH_LOG(level) ::merch::internal::LogLine(::merch::LogLevel::level)

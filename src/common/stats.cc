@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace merch {
+
+double Sum(std::span<const double> xs) {
+  // Kahan summation: benches accumulate millions of epoch samples.
+  double sum = 0.0, c = 0.0;
+  for (const double x : xs) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return Sum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double CoefficientOfVariation(std::span<const double> xs) {
+  const double m = Mean(xs);
+  if (m == 0.0) return 0.0;
+  return StdDev(xs) / std::abs(m);
+}
+
+double Percentile(std::span<const double> xs, double p) {
+  assert(!xs.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxStats ComputeBoxStats(std::span<const double> xs) {
+  BoxStats b;
+  if (xs.empty()) return b;
+  b.q1 = Percentile(xs, 25.0);
+  b.median = Percentile(xs, 50.0);
+  b.q3 = Percentile(xs, 75.0);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.min = b.q3;
+  b.max = b.q1;
+  for (const double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      ++b.outliers;
+      continue;
+    }
+    b.min = std::min(b.min, x);
+    b.max = std::max(b.max, x);
+  }
+  return b;
+}
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double RSquared(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  const double mean_t = Mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean_t) * (truth[i] - mean_t);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double MapeAccuracy(std::span<const double> truth,
+                    std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    acc += std::abs(truth[i] - pred[i]) / std::abs(truth[i]);
+    ++counted;
+  }
+  if (counted == 0) return 0.0;
+  const double mape = acc / static_cast<double>(counted);
+  return std::clamp(1.0 - mape, 0.0, 1.0);
+}
+
+double MeanSquaredError(std::span<const double> truth,
+                        std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace merch

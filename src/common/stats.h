@@ -1,0 +1,57 @@
+// Descriptive statistics used across the evaluation harness.
+//
+// The paper quantifies load balance with the coefficient of variation of
+// task execution times (Section 7.2) and model quality with R-squared
+// (Section 7.3); box plot summaries drive Figure 5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace merch {
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // population variance
+double StdDev(std::span<const double> xs);
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+double Sum(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean. The paper's load-balance metric
+/// (smaller is more balanced). Returns 0 for empty or zero-mean input.
+double CoefficientOfVariation(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::span<const double> xs, double p);
+
+/// Five-number summary for box plots (Figure 5): whiskers at 1.5 IQR.
+struct BoxStats {
+  double min = 0;          // lowest non-outlier
+  double q1 = 0;           // 25th percentile
+  double median = 0;       // 50th percentile
+  double q3 = 0;           // 75th percentile
+  double max = 0;          // highest non-outlier
+  std::size_t outliers = 0;  // points beyond the whiskers
+};
+BoxStats ComputeBoxStats(std::span<const double> xs);
+
+/// Cosine similarity between two vectors (paper Section 5.2: similarity of
+/// object-size vectors scales basic-block counts). Returns 0 when either
+/// vector is all-zero.
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+/// Coefficient of determination of predictions vs. ground truth.
+double RSquared(std::span<const double> truth, std::span<const double> pred);
+
+/// Mean absolute percentage error based accuracy: 1 - mean(|t-p| / |t|),
+/// clamped to [0, 1]. This is the "prediction accuracy" reported in the
+/// paper's Table 4.
+double MapeAccuracy(std::span<const double> truth,
+                    std::span<const double> pred);
+
+/// Mean squared error.
+double MeanSquaredError(std::span<const double> truth,
+                        std::span<const double> pred);
+
+}  // namespace merch

@@ -1,0 +1,35 @@
+// Fixed-width text tables. Every bench binary prints the paper's table or
+// figure data series through this, so bench_output.txt is self-describing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace merch {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string Num(double v, int precision = 3);
+  /// Format as a percentage ("17.1%").
+  static std::string Pct(double fraction, int precision = 1);
+
+  /// Render with aligned columns, a header separator, and a trailing
+  /// newline.
+  std::string Render() const;
+
+  /// Render directly to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace merch

@@ -1,0 +1,61 @@
+// Core identifier and unit types shared by every Merchandiser module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace merch {
+
+/// Identifies one task in a task-parallel application (one MPI rank or one
+/// OpenMP worker owning a task; see paper Section 2).
+using TaskId = std::uint32_t;
+
+/// Identifies one user-registered data object (paper Section 4, User API).
+using ObjectId = std::uint32_t;
+
+/// Identifies one memory page in the simulated address space.
+using PageId = std::uint64_t;
+
+/// Identifies a kernel (static code region) inside a task program.
+using KernelId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+inline constexpr ObjectId kInvalidObject = std::numeric_limits<ObjectId>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Byte-size helpers. The simulator works in bytes throughout; these keep
+/// configuration sites readable.
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// Small (4 KiB) page: unit of placement and migration.
+inline constexpr std::uint64_t kPageBytes = 4 * KiB;
+/// Huge (2 MiB) region: unit of Thermostat-style sampling (one 4 KiB page
+/// sampled per 2 MiB region; paper Section 4).
+inline constexpr std::uint64_t kHugeRegionBytes = 2 * MiB;
+inline constexpr std::uint64_t kPagesPerHugeRegion =
+    kHugeRegionBytes / kPageBytes;
+
+/// Cache line size assumed by the access-count math (paper Section 4 uses
+/// 64-byte lines in its alpha example).
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+
+/// Pages needed to hold `bytes`, rounding up.
+constexpr std::uint64_t PagesForBytes(std::uint64_t bytes) {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+/// Cache lines needed to hold `bytes`, rounding up. This is the rounding the
+/// paper applies when an object size is not divisible by the line size.
+constexpr std::uint64_t LinesForBytes(std::uint64_t bytes) {
+  return (bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+}
+
+/// Human-readable byte count ("1.5 TiB", "429.3 GiB", ...).
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace merch

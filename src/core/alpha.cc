@@ -1,0 +1,114 @@
+#include "core/alpha.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cachesim/cpu_cache.h"
+
+namespace merch::core {
+
+double LinearAlpha(std::uint64_t s_base, std::uint64_t s_new,
+                   std::uint32_t element_bytes,
+                   std::uint32_t stride_elements) {
+  if (s_base == 0 || s_new == 0) return 1.0;
+  // Unit of one main-memory access: a cache line for dense stepping, one
+  // element's line for wide strides (every element lands on its own line).
+  const std::uint64_t step =
+      static_cast<std::uint64_t>(element_bytes) *
+      std::max<std::uint32_t>(1, stride_elements);
+  const std::uint64_t unit = std::max<std::uint64_t>(kCacheLineBytes, step);
+  // Paper: sizes not divisible by the line size round up to a divisible
+  // size. Units touched by each input:
+  const std::uint64_t units_base = (s_base + unit - 1) / unit;
+  const std::uint64_t units_new = (s_new + unit - 1) / unit;
+  // Eq. 1 should produce esti = prof * units_new / units_base; solving
+  // esti = S_new / (S_base * alpha) * prof for alpha:
+  return (static_cast<double>(s_new) * static_cast<double>(units_base)) /
+         (static_cast<double>(s_base) * static_cast<double>(units_new));
+}
+
+double StencilAlphaOffline(std::uint32_t element_bytes) {
+  // Microbenchmark: sweep a 7-point-style stencil over two sizes, compare
+  // program-level scaling to counter-measured main-memory scaling.
+  const cachesim::CpuCacheSpec cache = cachesim::CpuCacheSpec::PaperXeon();
+  trace::ObjectAccess access;
+  access.pattern = trace::AccessPattern::kStencil;
+  access.element_bytes = element_bytes;
+
+  const std::uint64_t s_base = 256 * MiB;
+  const std::uint64_t s_new = 512 * MiB;
+  const double prog_base = static_cast<double>(s_base / element_bytes) * 3.0;
+  const double prog_new = static_cast<double>(s_new / element_bytes) * 3.0;
+  const double mm_base =
+      prog_base * cachesim::MainMemoryMissRate(access, s_base, cache);
+  const double mm_new =
+      prog_new * cachesim::MainMemoryMissRate(access, s_new, cache);
+  if (mm_base <= 0 || mm_new <= 0) return 1.0;
+  // alpha such that Eq. 1 maps mm_base at s_base to mm_new at s_new.
+  return (static_cast<double>(s_new) * mm_base) /
+         (static_cast<double>(s_base) * mm_new);
+}
+
+AlphaEstimator::AlphaEstimator(trace::AccessPattern pattern,
+                               std::uint32_t element_bytes,
+                               std::uint32_t stride_elements,
+                               bool input_independent)
+    : pattern_(pattern),
+      element_bytes_(element_bytes),
+      stride_elements_(stride_elements) {
+  using trace::AccessPattern;
+  switch (pattern) {
+    case AccessPattern::kStream:
+    case AccessPattern::kStrided:
+      refine_ = false;  // fully offline; alpha computed per query
+      alpha_ = 1.0;
+      break;
+    case AccessPattern::kStencil:
+      if (input_independent) {
+        refine_ = false;
+        alpha_ = StencilAlphaOffline(element_bytes);
+      } else {
+        refine_ = true;
+        alpha_ = 1.0;
+      }
+      break;
+    case AccessPattern::kRandom:
+    case AccessPattern::kUnknown:
+      refine_ = true;
+      alpha_ = 1.0;
+      break;
+  }
+}
+
+void AlphaEstimator::SetBase(double s_base_bytes, double prof_mem_acc) {
+  s_base_ = s_base_bytes;
+  prof_acc_ = prof_mem_acc;
+}
+
+double AlphaEstimator::EstimateAccesses(double s_new_bytes) const {
+  if (s_base_ <= 0 || prof_acc_ <= 0) return 0.0;
+  double alpha = alpha_;
+  if (pattern_ == trace::AccessPattern::kStream ||
+      pattern_ == trace::AccessPattern::kStrided) {
+    alpha = LinearAlpha(static_cast<std::uint64_t>(s_base_),
+                        static_cast<std::uint64_t>(std::max(1.0, s_new_bytes)),
+                        element_bytes_, stride_elements_);
+  }
+  return s_new_bytes / (s_base_ * alpha) * prof_acc_;
+}
+
+void AlphaEstimator::Refine(double s_new_bytes, double measured_mm_acc) {
+  if (!refine_ || s_base_ <= 0 || prof_acc_ <= 0 || measured_mm_acc <= 0 ||
+      s_new_bytes <= 0) {
+    return;
+  }
+  // Implied alpha from this instance's measurement (solve Eq. 1 for alpha).
+  const double implied = (s_new_bytes * prof_acc_) / (s_base_ * measured_mm_acc);
+  if (!std::isfinite(implied) || implied <= 0) return;
+  // EWMA: early instances move alpha quickly, later ones stabilise it.
+  const double eta = refinements_ == 0 ? 0.8 : 0.4;
+  alpha_ = (1.0 - eta) * alpha_ + eta * implied;
+  ++refinements_;
+}
+
+}  // namespace merch::core

@@ -1,0 +1,57 @@
+#include "core/api.h"
+
+namespace merch::core {
+
+ObjectId HmConfigRegistry::Register(const void* address, std::uint64_t bytes,
+                                    std::string label) {
+  const ObjectId existing = Find(address);
+  if (existing != kInvalidObject) {
+    objects_[existing].bytes = bytes;
+    if (!label.empty()) objects_[existing].label = std::move(label);
+    return existing;
+  }
+  RegisteredObject obj;
+  obj.address = address;
+  obj.bytes = bytes;
+  obj.label = label.empty() ? "obj" + std::to_string(objects_.size())
+                            : std::move(label);
+  objects_.push_back(std::move(obj));
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+void HmConfigRegistry::RegisterAll(const std::vector<const void*>& objects,
+                                   const std::vector<std::uint64_t>& sizes) {
+  const std::size_t n = std::min(objects.size(), sizes.size());
+  for (std::size_t i = 0; i < n; ++i) Register(objects[i], sizes[i]);
+}
+
+std::vector<std::uint64_t> HmConfigRegistry::SizeVector() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(objects_.size());
+  for (const RegisteredObject& o : objects_) out.push_back(o.bytes);
+  return out;
+}
+
+ObjectId HmConfigRegistry::Find(const void* address) const {
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].address == address) return static_cast<ObjectId>(i);
+  }
+  return kInvalidObject;
+}
+
+HmConfigRegistry& HmConfigRegistry::Global() {
+  static HmConfigRegistry registry;
+  return registry;
+}
+
+}  // namespace merch::core
+
+extern "C" void* LB_HM_config(void** objects, const long long* sizes,
+                              int count) {
+  auto& registry = merch::core::HmConfigRegistry::Global();
+  for (int i = 0; i < count; ++i) {
+    registry.Register(objects[i],
+                      sizes[i] > 0 ? static_cast<std::uint64_t>(sizes[i]) : 0);
+  }
+  return &registry;
+}

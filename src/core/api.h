@@ -1,0 +1,65 @@
+// The user-facing Merchandiser API (paper Section 4, "User API"):
+//
+//   void *LB_HM_config(void* objects, int* sizes)
+//
+// The user lists the major data objects right before task execution; their
+// sizes may be runtime variables but are known at that point. The user
+// does not need to know which objects cause load imbalance — any object
+// may be passed. This header provides a faithful C-style entry point plus
+// the registry the runtime consumes; applications in this repository call
+// it from their setup code exactly where the paper places it (right before
+// the parallel region).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace merch::core {
+
+struct RegisteredObject {
+  const void* address = nullptr;   // application pointer (identity only)
+  std::uint64_t bytes = 0;
+  std::string label;
+  TaskId owner = kInvalidTask;     // filled by task-semantic profiling
+};
+
+/// Registry of objects handed to LB_HM_config. One per application run.
+class HmConfigRegistry {
+ public:
+  /// Register one object; returns its ObjectId. Re-registering the same
+  /// address updates the size (sizes change across task instances).
+  ObjectId Register(const void* address, std::uint64_t bytes,
+                    std::string label = {});
+
+  /// Bulk registration matching the paper's signature semantics.
+  void RegisterAll(const std::vector<const void*>& objects,
+                   const std::vector<std::uint64_t>& sizes);
+
+  std::size_t size() const { return objects_.size(); }
+  const RegisteredObject& object(ObjectId id) const { return objects_[id]; }
+  /// Current size vector (the Eq. 1 / Section 5.2 input vector).
+  std::vector<std::uint64_t> SizeVector() const;
+
+  /// Lookup by address; kInvalidObject if absent.
+  ObjectId Find(const void* address) const;
+
+  void Clear() { objects_.clear(); }
+
+  /// Process-wide registry used by the C-style entry point.
+  static HmConfigRegistry& Global();
+
+ private:
+  std::vector<RegisteredObject> objects_;
+};
+
+}  // namespace merch::core
+
+extern "C" {
+/// Paper-faithful C entry point. `objects` points to an array of `count`
+/// object pointers, `sizes` to their byte sizes. Returns an opaque handle
+/// (the global registry). Place the call right before task execution.
+void* LB_HM_config(void** objects, const long long* sizes, int count);
+}

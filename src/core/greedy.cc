@@ -1,0 +1,124 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace merch::core {
+namespace {
+
+std::uint64_t MapToPages(double r, const GreedyTaskInput& task) {
+  if (task.pages_for_access_fraction.empty()) {
+    // Paper's even-distribution assumption (Algorithm 1, line 18).
+    return static_cast<std::uint64_t>(
+        std::ceil(r * static_cast<double>(task.footprint_pages)));
+  }
+  // Piecewise-linear interpolation of the density-ordered cost curve.
+  const auto& curve = task.pages_for_access_fraction;
+  double prev_f = 0, prev_p = 0;
+  for (const auto& [f, p] : curve) {
+    if (r <= f) {
+      const double t = f > prev_f ? (r - prev_f) / (f - prev_f) : 1.0;
+      return static_cast<std::uint64_t>(std::ceil(prev_p + t * (p - prev_p)));
+    }
+    prev_f = f;
+    prev_p = p;
+  }
+  return static_cast<std::uint64_t>(std::ceil(prev_p));
+}
+
+}  // namespace
+
+GreedyResult RunGreedyAllocation(std::span<const GreedyTaskInput> tasks,
+                                 std::uint64_t dram_capacity_pages,
+                                 const PerformanceModel& model,
+                                 GreedyConfig config) {
+  const std::size_t n = tasks.size();
+  GreedyResult result;
+  result.dram_fraction.assign(n, 0.0);
+  result.dram_pages.assign(n, 0);
+  result.predicted_seconds.resize(n);
+  if (n == 0) return result;
+
+  // Lines 6-8: initialise allocations to zero, D' to the PM-only times.
+  for (std::size_t i = 0; i < n; ++i) {
+    result.predicted_seconds[i] = tasks[i].t_pm_only;
+  }
+
+  auto pages_used = [&]() {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t p : result.dram_pages) sum += p;
+    return sum;
+  };
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    result.rounds = round + 1;
+
+    // Line 10: longest task. Line 11: second-longest execution time.
+    std::size_t longest = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (result.predicted_seconds[i] > result.predicted_seconds[longest]) {
+        longest = i;
+      }
+    }
+    double second = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != longest) second = std::max(second, result.predicted_seconds[i]);
+    }
+    if (n == 1) second = tasks[0].t_dram_only;  // single task: run to the bound
+
+    if (result.dram_fraction[longest] >= 1.0 - 1e-9) {
+      // The critical task is fully DRAM-resident; no placement decision can
+      // shorten the makespan further.
+      break;
+    }
+
+    // Lines 13-16: grow the longest task's DRAM accesses in `step`
+    // increments until it is predicted to dip below the second-longest.
+    double r = result.dram_fraction[longest];
+    double predicted = result.predicted_seconds[longest];
+    do {
+      r = std::min(1.0, r + config.step);
+      predicted = model.PredictHybrid(tasks[longest].t_pm_only,
+                                      tasks[longest].t_dram_only,
+                                      tasks[longest].pmcs, r);
+    } while (predicted > second && r < 1.0 - 1e-9);
+
+    // Lines 17-18: commit and map to a page budget.
+    const std::uint64_t new_pages = MapToPages(r, tasks[longest]);
+
+    // Line 19 (capacity guard): if this allocation overflows DRAM, claw the
+    // increase back one step at a time until it fits, then stop.
+    std::uint64_t others = pages_used() - result.dram_pages[longest];
+    double fitted_r = r;
+    std::uint64_t fitted_pages = new_pages;
+    while (fitted_r > result.dram_fraction[longest] &&
+           others + fitted_pages > dram_capacity_pages) {
+      fitted_r = std::max(result.dram_fraction[longest], fitted_r - config.step);
+      fitted_pages = MapToPages(fitted_r, tasks[longest]);
+    }
+    const bool capacity_hit = fitted_r < r - 1e-12;
+
+    if (fitted_r <= result.dram_fraction[longest] + 1e-12 && capacity_hit) {
+      break;  // no headroom at all
+    }
+    result.dram_fraction[longest] = fitted_r;
+    result.dram_pages[longest] = fitted_pages;
+    result.predicted_seconds[longest] = model.PredictHybrid(
+        tasks[longest].t_pm_only, tasks[longest].t_dram_only,
+        tasks[longest].pmcs, fitted_r);
+    if (capacity_hit) break;
+
+    bool all_full = true;
+    for (const double rf : result.dram_fraction) {
+      if (rf < 1.0 - 1e-9) {
+        all_full = false;
+        break;
+      }
+    }
+    if (all_full) break;
+  }
+  return result;
+}
+
+}  // namespace merch::core

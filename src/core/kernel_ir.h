@@ -1,0 +1,64 @@
+// Miniature loop-nest IR — the input to the Spindle-like static analysis.
+//
+// The paper compiles applications with Spindle (LLVM) to extract, per data
+// object, the structural information of memory access instructions
+// (Section 4). Our applications are simulated rather than compiled, so
+// they describe their kernels in this IR; the classifier derives the same
+// object-level pattern labels Spindle would (Table 1), and the workload
+// builder lowers the IR to simulator access descriptors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace merch::core {
+
+/// How one array reference's subscript is formed from the loop induction
+/// variable.
+struct Subscript {
+  enum class Kind {
+    kAffine,       // A[i*stride + c]
+    kNeighborhood, // A[i+o] for a set of offsets (stencils)
+    kIndirect,     // A[B[i]] — gather/scatter through an index object
+    kOpaque,       // not analysable statically (function of runtime data)
+  };
+  Kind kind = Kind::kAffine;
+  std::int64_t stride = 1;            // kAffine
+  std::vector<std::int64_t> offsets;  // kNeighborhood
+  std::size_t index_object = SIZE_MAX;  // kIndirect: the index array
+};
+
+/// One memory reference in the loop body.
+struct ArrayRef {
+  std::size_t object = SIZE_MAX;  // workload object index
+  Subscript subscript;
+  bool is_write = false;
+  std::uint32_t element_bytes = 8;
+  /// Executions of this reference per loop iteration (inner loops over
+  /// variable extents, e.g. B-row scans inside SpGEMM, average to a
+  /// fractional rate).
+  double accesses_per_iteration = 1.0;
+};
+
+/// A counted loop with straight-line body.
+struct LoopNest {
+  std::string name;
+  std::uint64_t trip_count = 0;
+  std::vector<ArrayRef> refs;
+  /// Non-memory instructions per iteration.
+  double instructions_per_iteration = 4.0;
+  double branch_fraction = 0.05;
+  double vector_fraction = 0.2;
+};
+
+/// A task's code: a sequence of loop nests (the "basic blocks" whose
+/// execution times Section 5.2 measures offline).
+struct TaskIr {
+  TaskId task = 0;
+  std::vector<LoopNest> loops;
+};
+
+}  // namespace merch::core

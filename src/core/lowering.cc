@@ -1,0 +1,72 @@
+#include "core/lowering.h"
+
+#include <map>
+
+#include "core/pattern_classifier.h"
+
+namespace merch::core {
+
+sim::Kernel LowerLoop(
+    const LoopNest& loop,
+    const std::vector<trace::AccessPattern>& object_patterns) {
+  sim::Kernel kernel;
+  kernel.name = loop.name;
+  kernel.instructions = static_cast<std::uint64_t>(
+      loop.instructions_per_iteration * static_cast<double>(loop.trip_count));
+  kernel.branch_fraction = loop.branch_fraction;
+  kernel.vector_fraction = loop.vector_fraction;
+
+  // Group refs per object: one ObjectAccess per referenced object.
+  struct Acc {
+    double reads = 0, writes = 0;
+    std::uint32_t element_bytes = 8;
+    std::int64_t stride = 1;
+  };
+  std::map<std::size_t, Acc> per_object;
+  for (const ArrayRef& ref : loop.refs) {
+    const double count =
+        static_cast<double>(loop.trip_count) * ref.accesses_per_iteration;
+    Acc& acc = per_object[ref.object];
+    (ref.is_write ? acc.writes : acc.reads) += count;
+    acc.element_bytes = ref.element_bytes;
+    if (ref.subscript.kind == Subscript::Kind::kAffine) {
+      acc.stride = std::max<std::int64_t>(1, std::abs(ref.subscript.stride));
+    }
+    // The index array of an indirect ref is read once per iteration too.
+    if (ref.subscript.kind == Subscript::Kind::kIndirect &&
+        ref.subscript.index_object != SIZE_MAX) {
+      Acc& idx = per_object[ref.subscript.index_object];
+      idx.reads += count;
+      idx.element_bytes = 4;  // index arrays are int32 throughout
+    }
+  }
+
+  for (const auto& [object, acc] : per_object) {
+    trace::ObjectAccess a;
+    a.object = static_cast<ObjectId>(object);
+    a.pattern = object < object_patterns.size()
+                    ? object_patterns[object]
+                    : ClassifyObjectInLoop(loop, object);
+    a.program_accesses =
+        static_cast<std::uint64_t>(acc.reads + acc.writes);
+    a.element_bytes = acc.element_bytes;
+    a.stride_elements = static_cast<std::uint32_t>(acc.stride);
+    const double total = acc.reads + acc.writes;
+    a.read_fraction = total > 0 ? acc.reads / total : 1.0;
+    if (a.program_accesses > 0) kernel.accesses.push_back(a);
+  }
+  return kernel;
+}
+
+std::vector<sim::Kernel> LowerTask(const TaskIr& task,
+                                   std::size_t num_objects) {
+  const auto patterns = ClassifyTask(task, num_objects);
+  std::vector<sim::Kernel> kernels;
+  kernels.reserve(task.loops.size());
+  for (const LoopNest& loop : task.loops) {
+    kernels.push_back(LowerLoop(loop, patterns));
+  }
+  return kernels;
+}
+
+}  // namespace merch::core

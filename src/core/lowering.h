@@ -1,0 +1,24 @@
+// Lowers the kernel IR into simulator access descriptors, using the
+// classifier's object-level pattern labels. This is the bridge between
+// "what the application code looks like" (TaskIr) and "what the simulator
+// executes" (sim::Kernel) — and it guarantees the patterns the simulator
+// exercises are exactly the patterns Merchandiser's static analysis saw.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_ir.h"
+#include "sim/workload.h"
+
+namespace merch::core {
+
+/// Lower one loop nest. `object_patterns` is ClassifyTask's output for the
+/// enclosing task (index = workload object).
+sim::Kernel LowerLoop(const LoopNest& loop,
+                      const std::vector<trace::AccessPattern>& object_patterns);
+
+/// Lower a task's full loop sequence into kernels.
+std::vector<sim::Kernel> LowerTask(const TaskIr& task,
+                                   std::size_t num_objects);
+
+}  // namespace merch::core

@@ -1,0 +1,23 @@
+#include "core/merchandiser.h"
+
+namespace merch::core {
+
+MerchandiserSystem MerchandiserSystem::Train(
+    workloads::TrainingConfig training,
+    CorrelationFunction::Config correlation_config) {
+  const auto samples = workloads::GenerateTrainingSamples(training);
+  CorrelationFunction correlation(correlation_config);
+  correlation.Train(samples);
+  return MerchandiserSystem(std::move(correlation));
+}
+
+std::unique_ptr<MerchandiserPolicy> MerchandiserSystem::MakePolicy(
+    const sim::Workload& workload, const sim::MachineSpec& machine,
+    MerchandiserConfig config) const {
+  HomogeneousPredictor predictor =
+      HomogeneousPredictor::Prepare(workload, machine);
+  return std::make_unique<MerchandiserPolicy>(&correlation_,
+                                              std::move(predictor), config);
+}
+
+}  // namespace merch::core

@@ -1,0 +1,147 @@
+// The Merchandiser runtime (paper Sections 3-6) as a simulator placement
+// policy.
+//
+// Lifecycle across task instances (= workload regions):
+//   Region 0 — the *base input*. The runtime behaves like a conventional
+//   hot-page manager while collecting task information: object-level
+//   access counts attributed to tasks (PEBS-style sampling), per-task
+//   PMCs, and basic-block execution counts (all "online collection of task
+//   information", Section 5.3).
+//   Regions 1..N — *new inputs*. Before the tasks run, the runtime
+//   (1) estimates per-object access counts via Eq. 1 with per-pattern
+//   alpha, (2) predicts PM-only / DRAM-only times via the Section 5.2
+//   basic-block predictor, (3) runs Algorithm 1 to decide each task's
+//   DRAM-access share, and (4) migrates pages toward those targets. During
+//   execution, interval-driven hot-page migration continues but is capped
+//   by each task's page quota (Section 6, "Page migration"). After each
+//   instance, PEBS measurements refine alpha for input-dependent patterns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/alpha.h"
+#include "core/correlation.h"
+#include "core/greedy.h"
+#include "core/homogeneous.h"
+#include "core/perf_model.h"
+#include "profiler/pebs.h"
+#include "profiler/pte_scan.h"
+#include "profiler/thermostat.h"
+#include "sim/policy.h"
+
+namespace merch::core {
+
+struct MerchandiserConfig {
+  profiler::PteScanProfiler::Config pte{};
+  double pebs_period = 2000;
+  GreedyConfig greedy{};
+  /// Hot pages migrated per interval (MemoryOptimizer-compatible batch).
+  std::size_t interval_migration_pages = 512;
+  /// Paper-faithful Merchandiser (Section 6) keeps MemoryOptimizer's
+  /// sampling-driven migration and only *caps* it with the Algorithm 1
+  /// quotas. When true, the runtime additionally bulk-migrates each
+  /// object's pages toward its quota at instance start — an extension
+  /// evaluated by bench/ablation_greedy (helpful for single-sweep streams,
+  /// at the cost of burstier migration traffic).
+  bool proactive_placement = true;
+  std::uint64_t seed = 99;
+};
+
+/// Record of one instance's decisions, for evaluation (Table 4 compares
+/// these predictions against measured times).
+struct InstanceDecision {
+  std::size_t region = 0;
+  std::vector<TaskId> tasks;
+  std::vector<double> dram_fraction;     // Algorithm 1 output r_i
+  std::vector<double> predicted_seconds; // Eq. 2 prediction at r_i
+  std::vector<double> t_pm_only;         // Section 5.2 predictions
+  std::vector<double> t_dram_only;
+  std::vector<double> estimated_accesses;  // Eq. 1 totals
+  int greedy_rounds = 0;
+};
+
+class MerchandiserPolicy final : public sim::PlacementPolicy {
+ public:
+  MerchandiserPolicy(const CorrelationFunction* correlation,
+                     HomogeneousPredictor homogeneous,
+                     MerchandiserConfig config = {});
+
+  std::string name() const override { return "Merchandiser"; }
+
+  void OnSimulationStart(sim::SimContext& ctx) override;
+  void OnRegionStart(sim::SimContext& ctx, std::size_t region) override;
+  void OnInterval(sim::SimContext& ctx) override;
+  void OnRegionEnd(sim::SimContext& ctx, std::size_t region) override;
+
+  /// Per-instance decisions made so far (instances after the base input).
+  const std::vector<InstanceDecision>& decisions() const { return decisions_; }
+
+  /// Average refined alpha across this application's refinable objects —
+  /// the per-application alpha values reported in Section 7.3.
+  double AverageAlpha() const;
+
+ private:
+  struct TaskObjectKey {
+    TaskId task;
+    std::size_t object;
+    bool operator<(const TaskObjectKey& o) const {
+      return task != o.task ? task < o.task : object < o.object;
+    }
+  };
+
+  /// Object-level pattern for a task, read from the task's kernels in the
+  /// base region (these descriptors were lowered from the kernel IR by the
+  /// classifier, so this equals consuming the static-analysis output).
+  void BuildAlphaEstimators(const sim::Workload& workload);
+
+  /// One candidate object for a task's DRAM budget, densest first.
+  struct PlacementCandidate {
+    std::size_t object = 0;
+    double est_accesses = 0;
+    double pages = 0;       // full object pages (placement granularity)
+    /// Capacity-accounting pages: shared objects are charged to each task
+    /// in proportion to its access share, so summing costs across tasks
+    /// matches physical DRAM consumption.
+    double pages_cost = 0;
+    /// Per-access DRAM benefit (ns gained per access) — the knapsack item
+    /// value; ranks candidates together with access density.
+    double benefit_per_access = 1.0;
+  };
+  /// Density-ordered candidates + Eq.1 access totals for `task` under the
+  /// instance's input sizes. Also used to build the greedy page-cost curve.
+  std::vector<PlacementCandidate> BuildCandidates(
+      sim::SimContext& ctx, const sim::Region& region, TaskId task,
+      double* total_est) ;
+
+  /// Bulk placement toward the greedy targets at instance start.
+  void ApplyPlacement(sim::SimContext& ctx, const sim::Region& region,
+                      const GreedyResult& greedy,
+                      const std::vector<TaskId>& task_order);
+
+  const CorrelationFunction* correlation_;
+  HomogeneousPredictor homogeneous_;
+  PerformanceModel model_;
+  MerchandiserConfig config_;
+  profiler::PteScanProfiler pte_;
+  profiler::ThermostatSampler thermostat_;
+  profiler::PebsSampler pebs_;
+
+  std::map<TaskObjectKey, AlphaEstimator> alpha_;
+  /// Base-input profiled accesses per (task, object).
+  std::map<TaskObjectKey, double> base_accesses_;
+  std::vector<std::uint64_t> base_sizes_;
+  bool base_collected_ = false;
+
+  /// Page quota per task for the current instance (Algorithm 1 output).
+  std::map<TaskId, std::uint64_t> quota_pages_;
+  std::map<TaskId, std::uint64_t> used_pages_;
+  /// Per-object DRAM page target for the current instance.
+  std::vector<std::uint64_t> object_target_pages_;
+
+  std::vector<InstanceDecision> decisions_;
+  std::uint64_t interval_counter_ = 0;
+};
+
+}  // namespace merch::core

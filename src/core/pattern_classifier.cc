@@ -1,0 +1,124 @@
+#include "core/pattern_classifier.h"
+
+#include <algorithm>
+#include <set>
+
+namespace merch::core {
+namespace {
+
+using trace::AccessPattern;
+
+/// Severity order for merging: higher = less cache friendly.
+int Severity(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kStream:
+      return 0;
+    case AccessPattern::kStrided:
+      return 1;
+    case AccessPattern::kStencil:
+      return 2;
+    case AccessPattern::kUnknown:
+      return 3;
+    case AccessPattern::kRandom:
+      return 4;
+  }
+  return 4;
+}
+
+AccessPattern Merge(AccessPattern a, AccessPattern b) {
+  return Severity(a) >= Severity(b) ? a : b;
+}
+
+AccessPattern ClassifyRef(const ArrayRef& ref) {
+  switch (ref.subscript.kind) {
+    case Subscript::Kind::kAffine:
+      return std::abs(ref.subscript.stride) <= 1 ? AccessPattern::kStream
+                                                 : AccessPattern::kStrided;
+    case Subscript::Kind::kNeighborhood: {
+      // A single-offset "neighborhood" is just a shifted stream.
+      return ref.subscript.offsets.size() >= 2 ? AccessPattern::kStencil
+                                               : AccessPattern::kStream;
+    }
+    case Subscript::Kind::kIndirect:
+      return AccessPattern::kRandom;
+    case Subscript::Kind::kOpaque:
+      return AccessPattern::kUnknown;
+  }
+  return AccessPattern::kUnknown;
+}
+
+}  // namespace
+
+AccessPattern ClassifyObjectInLoop(const LoopNest& loop, std::size_t object) {
+  bool referenced = false;
+  AccessPattern result = AccessPattern::kStream;
+  for (const ArrayRef& ref : loop.refs) {
+    if (ref.object == object) {
+      const AccessPattern p = ClassifyRef(ref);
+      result = referenced ? Merge(result, p) : p;
+      referenced = true;
+    }
+    // The index array of an indirect reference is itself swept
+    // sequentially (B in A[i] = B[C[i]] is random; C is a stream).
+    if (ref.subscript.kind == Subscript::Kind::kIndirect &&
+        ref.subscript.index_object == object) {
+      result = referenced ? Merge(result, AccessPattern::kStream)
+                          : AccessPattern::kStream;
+      referenced = true;
+    }
+  }
+  return referenced ? result : AccessPattern::kUnknown;
+}
+
+std::vector<AccessPattern> ClassifyTask(const TaskIr& task,
+                                        std::size_t num_objects) {
+  std::vector<AccessPattern> out(num_objects, AccessPattern::kUnknown);
+  std::vector<bool> seen(num_objects, false);
+  for (const LoopNest& loop : task.loops) {
+    for (std::size_t obj = 0; obj < num_objects; ++obj) {
+      bool referenced = false;
+      for (const ArrayRef& ref : loop.refs) {
+        if (ref.object == obj ||
+            (ref.subscript.kind == Subscript::Kind::kIndirect &&
+             ref.subscript.index_object == obj)) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) continue;
+      const AccessPattern p = ClassifyObjectInLoop(loop, obj);
+      out[obj] = seen[obj] ? Merge(out[obj], p) : p;
+      seen[obj] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<AccessPattern> DistinctPatterns(const std::vector<TaskIr>& tasks,
+                                            std::size_t num_objects) {
+  std::set<int> seen;
+  for (const TaskIr& t : tasks) {
+    const auto per_object = ClassifyTask(t, num_objects);
+    for (std::size_t obj = 0; obj < per_object.size(); ++obj) {
+      // Only count objects the task actually references.
+      bool referenced = false;
+      for (const LoopNest& loop : t.loops) {
+        for (const ArrayRef& ref : loop.refs) {
+          if (ref.object == obj ||
+              (ref.subscript.kind == Subscript::Kind::kIndirect &&
+               ref.subscript.index_object == obj)) {
+            referenced = true;
+            break;
+          }
+        }
+        if (referenced) break;
+      }
+      if (referenced) seen.insert(static_cast<int>(per_object[obj]));
+    }
+  }
+  std::vector<AccessPattern> out;
+  for (const int p : seen) out.push_back(static_cast<AccessPattern>(p));
+  return out;
+}
+
+}  // namespace merch::core

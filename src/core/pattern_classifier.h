@@ -1,0 +1,38 @@
+// Object-level access-pattern classification (the Spindle stand-in).
+//
+// Classifies each (loop, object) pair into the paper's four patterns
+// (Section 4):
+//   Stream  — affine stride-1 stepping (incl. delta/reduction/transpose)
+//   Strided — affine constant stride > 1
+//   Stencil — neighborhood subscripts with loop-carried reuse
+//   Random  — indirect addressing (gather/scatter/pointer chase)
+// Opaque subscripts classify as Unknown and are *treated* as Random
+// downstream, with alpha left to runtime refinement (paper: "Handling
+// unknown patterns").
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_ir.h"
+#include "trace/pattern.h"
+
+namespace merch::core {
+
+/// Pattern of one object within one loop. When an object is referenced in
+/// several ways, the least cache-friendly classification wins
+/// (Random > Unknown > Stencil > Strided > Stream) — the conservative
+/// choice for placement.
+trace::AccessPattern ClassifyObjectInLoop(const LoopNest& loop,
+                                          std::size_t object);
+
+/// Per-object classification across a whole task: least-friendly pattern
+/// over all loops referencing the object. Objects never referenced get
+/// kUnknown.
+std::vector<trace::AccessPattern> ClassifyTask(const TaskIr& task,
+                                               std::size_t num_objects);
+
+/// Distinct patterns appearing across tasks (Table 1 rows), in enum order.
+std::vector<trace::AccessPattern> DistinctPatterns(
+    const std::vector<TaskIr>& tasks, std::size_t num_objects);
+
+}  // namespace merch::core

@@ -1,0 +1,66 @@
+#include "core/trace_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace merch::core {
+
+TraceClassification ClassifyTrace(std::span<const std::uint64_t> addresses,
+                                  const TraceClassifierConfig& config) {
+  TraceClassification out;
+  if (addresses.size() < 8) return out;
+
+  const auto elem = static_cast<std::int64_t>(config.element_bytes);
+  // Element-granular deltas between successive accesses.
+  std::map<std::int64_t, std::size_t> delta_counts;
+  std::size_t in_neighborhood = 0;
+  const std::size_t n_deltas = addresses.size() - 1;
+  for (std::size_t i = 1; i < addresses.size(); ++i) {
+    const auto delta =
+        (static_cast<std::int64_t>(addresses[i]) -
+         static_cast<std::int64_t>(addresses[i - 1])) /
+        elem;
+    ++delta_counts[delta];
+    if (std::abs(delta) <= config.stencil_radius) ++in_neighborhood;
+  }
+
+  // Dominant delta.
+  std::int64_t dominant = 0;
+  std::size_t dominant_count = 0;
+  for (const auto& [delta, count] : delta_counts) {
+    if (count > dominant_count) {
+      dominant = delta;
+      dominant_count = count;
+    }
+  }
+  const double agreement =
+      static_cast<double>(dominant_count) / static_cast<double>(n_deltas);
+
+  if (agreement >= config.stride_agreement && dominant != 0) {
+    out.stride = std::abs(dominant);
+    out.confidence = agreement;
+    out.pattern = out.stride == 1 ? trace::AccessPattern::kStream
+                                  : trace::AccessPattern::kStrided;
+    return out;
+  }
+
+  // Stencil: the trace hops back and forth within a small neighborhood
+  // while drifting forward (A[i-1], A[i], A[i+1], then i+1...). Require
+  // most deltas to be small *and* at least two distinct delta values
+  // (otherwise a noisy stream would qualify).
+  const double neighborhood_fraction =
+      static_cast<double>(in_neighborhood) / static_cast<double>(n_deltas);
+  if (neighborhood_fraction >= config.stencil_agreement &&
+      delta_counts.size() >= 2) {
+    out.pattern = trace::AccessPattern::kStencil;
+    out.confidence = neighborhood_fraction;
+    return out;
+  }
+
+  out.pattern = trace::AccessPattern::kRandom;
+  out.confidence = 1.0 - std::max(agreement, neighborhood_fraction);
+  return out;
+}
+
+}  // namespace merch::core

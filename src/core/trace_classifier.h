@@ -1,0 +1,49 @@
+// Trace-driven access-pattern detection — the paper's fallback when source
+// code is unavailable (Section 5.3, "Limitation"): "we can use a dynamic
+// binary instrumentation tool to ... generate instruction traces. Then, we
+// use a tool to identify memory access patterns of the traces."
+//
+// This is that second tool: given the address trace of one data object
+// (what a Pin/Gleipnir-style instrumenter would emit, filtered to the
+// object's range), classify the access pattern with the same four-way
+// labels the static classifier produces. Detection logic:
+//   - compute successive address deltas (in elements);
+//   - constant delta 1/-1            -> Stream
+//   - constant delta |d| > 1         -> Strided
+//   - small alternating neighborhood
+//     deltas with strong reuse       -> Stencil
+//   - anything else                  -> Random
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "trace/pattern.h"
+
+namespace merch::core {
+
+struct TraceClassification {
+  trace::AccessPattern pattern = trace::AccessPattern::kUnknown;
+  /// Dominant absolute stride in elements (Stream/Strided).
+  std::int64_t stride = 0;
+  /// Fraction of deltas matching the dominant behaviour (confidence).
+  double confidence = 0;
+};
+
+struct TraceClassifierConfig {
+  std::uint32_t element_bytes = 8;
+  /// Minimum fraction of deltas that must agree for a Stream/Strided call.
+  double stride_agreement = 0.85;
+  /// Neighborhood radius (in elements) under which back-and-forth deltas
+  /// count as stencil locality.
+  std::int64_t stencil_radius = 4;
+  /// Minimum fraction of in-neighborhood deltas for a Stencil call.
+  double stencil_agreement = 0.7;
+};
+
+/// Classify one object's address trace (byte addresses, program order).
+/// Traces shorter than 8 accesses return kUnknown.
+TraceClassification ClassifyTrace(std::span<const std::uint64_t> addresses,
+                                  const TraceClassifierConfig& config = {});
+
+}  // namespace merch::core

@@ -1,0 +1,99 @@
+#include "hm/migration.h"
+
+#include <algorithm>
+
+namespace merch::hm {
+
+void MigrationEngine::Account(Tier to, std::uint64_t pages) {
+  const std::uint64_t bytes = pages * table_->page_bytes();
+  if (to == Tier::kDram) {
+    epoch_.pages_to_dram += pages;
+    epoch_.bytes_to_dram += bytes;
+    lifetime_.pages_to_dram += pages;
+    lifetime_.bytes_to_dram += bytes;
+  } else {
+    epoch_.pages_to_pm += pages;
+    epoch_.bytes_to_pm += bytes;
+    lifetime_.pages_to_pm += pages;
+    lifetime_.bytes_to_pm += bytes;
+  }
+}
+
+std::uint64_t MigrationEngine::MigrateHottest(ObjectId obj, std::uint64_t k,
+                                              Tier to) {
+  const std::uint64_t moved = table_->MoveHottest(obj, k, to);
+  if (moved < k) {
+    epoch_.failed_capacity += k - moved;
+    lifetime_.failed_capacity += k - moved;
+  }
+  Account(to, moved);
+  return moved;
+}
+
+std::uint64_t MigrationEngine::MigratePages(std::span<const PageId> pages,
+                                            Tier to) {
+  std::uint64_t moved = 0;
+  for (const PageId p : pages) {
+    if (table_->page_tier(p) == to) continue;
+    if (table_->MovePage(p, to)) {
+      ++moved;
+    } else {
+      ++epoch_.failed_capacity;
+      ++lifetime_.failed_capacity;
+    }
+  }
+  Account(to, moved);
+  return moved;
+}
+
+std::uint64_t MigrationEngine::DemoteColdest(ObjectId obj, std::uint64_t k) {
+  const std::uint64_t moved = table_->EvictColdest(obj, k, Tier::kDram);
+  Account(Tier::kPm, moved);
+  return moved;
+}
+
+std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
+                                              const HeatFn& heat) {
+  const std::uint64_t free_now = table_->tier_free_pages(Tier::kDram);
+  if (free_now >= pages_needed) return 0;
+  std::uint64_t to_free = pages_needed - free_now;
+
+  // Gather DRAM-resident pages with their epoch counts, coldest first.
+  // Object page ranges are heat-ordered, so the cold end of each object is
+  // its range tail; we still sort globally by observed epoch accesses to
+  // mimic an LFU decision over profiling data.
+  struct Cold {
+    PageId page;
+    double accesses;
+  };
+  std::vector<Cold> candidates;
+  for (ObjectId id = 0; id < table_->num_objects(); ++id) {
+    if (!table_->is_live(id)) continue;
+    const ObjectExtent& e = table_->extent(id);
+    for (PageId p = e.first_page; p < e.first_page + e.num_pages; ++p) {
+      if (table_->page_tier(p) == Tier::kDram) {
+        const double a = heat ? heat(p)
+                              : static_cast<double>(table_->page(p).epoch_accesses);
+        candidates.push_back({p, a});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cold& a, const Cold& b) { return a.accesses < b.accesses; });
+
+  std::uint64_t freed = 0;
+  for (const Cold& c : candidates) {
+    if (freed >= to_free) break;
+    if (table_->MovePage(c.page, Tier::kPm)) ++freed;
+  }
+  Account(Tier::kPm, freed);
+  return freed;
+}
+
+MigrationStats MigrationEngine::TakeEpochStats() {
+  MigrationStats out = epoch_;
+  epoch_ = MigrationStats{};
+  return out;
+}
+
+}  // namespace merch::hm

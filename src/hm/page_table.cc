@@ -1,0 +1,141 @@
+#include "hm/page_table.h"
+
+#include <cassert>
+
+namespace merch::hm {
+
+PageTable::PageTable(HmSpec spec, std::uint64_t page_bytes)
+    : spec_(spec), page_bytes_(page_bytes) {
+  assert(page_bytes_ > 0);
+}
+
+std::optional<ObjectId> PageTable::RegisterObject(std::uint64_t bytes,
+                                                  Tier initial, TaskId owner) {
+  const std::uint64_t npages = (bytes + page_bytes_ - 1) / page_bytes_;
+  Tier tier = initial;
+  if (tier_free_pages(tier) < npages) {
+    tier = OtherTier(tier);
+    if (tier_free_pages(tier) < npages) return std::nullopt;
+  }
+  const auto id = static_cast<ObjectId>(extents_.size());
+  const PageId first = pages_.size();
+  pages_.resize(pages_.size() + npages, PageEntry{.tier = tier});
+  used_pages_[static_cast<std::size_t>(tier)] += npages;
+  extents_.push_back(ObjectExtent{.id = id,
+                                  .owner = owner,
+                                  .first_page = first,
+                                  .num_pages = npages,
+                                  .bytes = bytes});
+  live_.push_back(true);
+  dram_pages_per_object_.push_back(tier == Tier::kDram ? npages : 0);
+  return id;
+}
+
+void PageTable::ReleaseObject(ObjectId id) {
+  assert(id < extents_.size());
+  if (!live_[id]) return;
+  const ObjectExtent& e = extents_[id];
+  for (PageId p = e.first_page; p < e.first_page + e.num_pages; ++p) {
+    used_pages_[static_cast<std::size_t>(pages_[p].tier)] -= 1;
+  }
+  dram_pages_per_object_[id] = 0;
+  live_[id] = false;
+}
+
+std::optional<ObjectId> PageTable::ObjectOfPage(PageId p) const {
+  for (const ObjectExtent& e : extents_) {
+    if (live_[e.id] && p >= e.first_page && p < e.first_page + e.num_pages) {
+      return e.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t PageTable::object_pages_on(ObjectId id, Tier t) const {
+  assert(id < extents_.size());
+  const std::uint64_t on_dram = dram_pages_per_object_[id];
+  return t == Tier::kDram ? on_dram : extents_[id].num_pages - on_dram;
+}
+
+bool PageTable::MovePage(PageId p, Tier to) {
+  assert(p < pages_.size());
+  PageEntry& e = pages_[p];
+  if (e.tier == to) return true;
+  if (tier_free_pages(to) == 0) return false;
+  used_pages_[static_cast<std::size_t>(e.tier)] -= 1;
+  used_pages_[static_cast<std::size_t>(to)] += 1;
+  const Tier from = e.tier == to ? OtherTier(to) : e.tier;
+  e.tier = to;
+  if (auto obj = ObjectOfPage(p)) {
+    dram_pages_per_object_[*obj] += (to == Tier::kDram) ? 1 : -1;
+  }
+  NotifyMove(p, from, to);
+  return true;
+}
+
+std::uint64_t PageTable::MoveHottest(ObjectId id, std::uint64_t k, Tier to) {
+  assert(id < extents_.size() && live_[id]);
+  const ObjectExtent& e = extents_[id];
+  std::uint64_t moved = 0;
+  for (PageId p = e.first_page; p < e.first_page + e.num_pages && moved < k;
+       ++p) {
+    PageEntry& pe = pages_[p];
+    if (pe.tier == to) continue;
+    if (tier_free_pages(to) == 0) break;
+    used_pages_[static_cast<std::size_t>(pe.tier)] -= 1;
+    used_pages_[static_cast<std::size_t>(to)] += 1;
+    const Tier from = OtherTier(to);
+    pe.tier = to;
+    NotifyMove(p, from, to);
+    ++moved;
+  }
+  if (to == Tier::kDram) {
+    dram_pages_per_object_[id] += moved;
+  } else {
+    dram_pages_per_object_[id] -= moved;
+  }
+  return moved;
+}
+
+std::uint64_t PageTable::EvictColdest(ObjectId id, std::uint64_t k,
+                                      Tier from) {
+  assert(id < extents_.size() && live_[id]);
+  const ObjectExtent& e = extents_[id];
+  const Tier to = OtherTier(from);
+  std::uint64_t moved = 0;
+  for (PageId p = e.first_page + e.num_pages; p > e.first_page && moved < k;
+       --p) {
+    PageEntry& pe = pages_[p - 1];
+    if (pe.tier != from) continue;
+    if (tier_free_pages(to) == 0) break;
+    used_pages_[static_cast<std::size_t>(pe.tier)] -= 1;
+    used_pages_[static_cast<std::size_t>(to)] += 1;
+    pe.tier = to;
+    NotifyMove(p - 1, from, to);
+    ++moved;
+  }
+  if (to == Tier::kDram) {
+    dram_pages_per_object_[id] += moved;
+  } else {
+    dram_pages_per_object_[id] -= moved;
+  }
+  return moved;
+}
+
+void PageTable::RecordAccesses(PageId p, std::uint64_t count) {
+  assert(p < pages_.size());
+  pages_[p].epoch_accesses += count;
+  pages_[p].total_accesses += count;
+}
+
+void PageTable::ResetEpochCounters() {
+  for (PageEntry& e : pages_) e.epoch_accesses = 0;
+}
+
+std::uint64_t PageTable::TotalEpochAccesses() const {
+  std::uint64_t sum = 0;
+  for (const PageEntry& e : pages_) sum += e.epoch_accesses;
+  return sum;
+}
+
+}  // namespace merch::hm

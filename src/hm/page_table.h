@@ -1,0 +1,134 @@
+// Simulated page table: tracks which tier owns each page, per-page access
+// counters (the "accessed bit" history that PTE-scan profilers read), and
+// per-object residency bookkeeping.
+//
+// Objects are allocated as contiguous page ranges. Within an object, pages
+// are indexed in *heat order*: page 0 receives the most accesses under the
+// object's heat profile (src/trace). This canonical ordering loses nothing
+// for placement studies (any permutation of page ids would behave
+// identically) and makes "migrate the hottest k pages" an O(1) range
+// operation for ideal policies while sampling-based policies still probe
+// individual pages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "hm/tier.h"
+
+namespace merch::hm {
+
+/// Per-page metadata.
+struct PageEntry {
+  Tier tier = Tier::kPm;
+  /// Accesses recorded since the last epoch reset (profilers read this).
+  std::uint64_t epoch_accesses = 0;
+  /// Accesses over the whole simulation.
+  std::uint64_t total_accesses = 0;
+};
+
+/// One registered data object's page range.
+struct ObjectExtent {
+  ObjectId id = kInvalidObject;
+  TaskId owner = kInvalidTask;  // task that predominantly accesses it
+  PageId first_page = 0;
+  std::uint64_t num_pages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class PageTable {
+ public:
+  /// `page_bytes` is the placement granularity. The paper migrates 4 KiB
+  /// pages; large simulations use 2 MiB regions to bound metadata (the
+  /// ratio of sizes, not the absolute granularity, drives every result).
+  PageTable(HmSpec spec, std::uint64_t page_bytes = kHugeRegionBytes);
+
+  /// Allocate `bytes` for an object on `initial` tier (falls back to the
+  /// other tier if full; returns nullopt only if both tiers are full).
+  std::optional<ObjectId> RegisterObject(std::uint64_t bytes, Tier initial,
+                                         TaskId owner = kInvalidTask);
+
+  /// Release an object's pages (WarpX-PM-style lifetime management needs
+  /// deallocation). Its ObjectId is not reused.
+  void ReleaseObject(ObjectId id);
+
+  std::size_t num_objects() const { return extents_.size(); }
+  const ObjectExtent& extent(ObjectId id) const { return extents_[id]; }
+  bool is_live(ObjectId id) const { return live_[id]; }
+
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  const HmSpec& spec() const { return spec_; }
+
+  Tier page_tier(PageId p) const { return pages_[p].tier; }
+  const PageEntry& page(PageId p) const { return pages_[p]; }
+  std::uint64_t num_pages() const { return pages_.size(); }
+
+  /// Which object owns page `p` (linear in #objects; used by samplers on
+  /// small object counts).
+  std::optional<ObjectId> ObjectOfPage(PageId p) const;
+
+  /// Bytes currently resident on `t`.
+  std::uint64_t tier_used_bytes(Tier t) const {
+    return used_pages_[static_cast<std::size_t>(t)] * page_bytes_;
+  }
+  std::uint64_t tier_free_bytes(Tier t) const {
+    const std::uint64_t cap = spec_[t].capacity_bytes;
+    const std::uint64_t used = tier_used_bytes(t);
+    return cap > used ? cap - used : 0;
+  }
+  std::uint64_t tier_free_pages(Tier t) const {
+    return tier_free_bytes(t) / page_bytes_;
+  }
+
+  /// Number of an object's pages resident on `t`.
+  std::uint64_t object_pages_on(ObjectId id, Tier t) const;
+
+  /// Move one page to `to`. Returns false if `to` is at capacity.
+  bool MovePage(PageId p, Tier to);
+
+  /// Move the first `k` not-yet-on-`to` pages of the object, scanning from
+  /// the hot end (rank 0). Returns pages actually moved.
+  std::uint64_t MoveHottest(ObjectId id, std::uint64_t k, Tier to);
+
+  /// Move the last `k` pages of the object that are on `from` (cold end)
+  /// to the other tier. Returns pages actually moved.
+  std::uint64_t EvictColdest(ObjectId id, std::uint64_t k, Tier from);
+
+  /// Record `count` accesses against page `p` (profilers see these).
+  void RecordAccesses(PageId p, std::uint64_t count);
+
+  /// Zero all epoch counters (start of a profiling interval).
+  void ResetEpochCounters();
+
+  /// Sum of epoch accesses over all pages (sanity checks / tests).
+  std::uint64_t TotalEpochAccesses() const;
+
+  /// Observer invoked after every page move (p, from, to). The simulator
+  /// uses it to maintain per-object heat-weighted DRAM fractions
+  /// incrementally. At most one listener.
+  using MoveListener = std::function<void(PageId, Tier, Tier)>;
+  void SetMoveListener(MoveListener listener) {
+    move_listener_ = std::move(listener);
+  }
+
+ private:
+  void NotifyMove(PageId p, Tier from, Tier to) {
+    if (move_listener_) move_listener_(p, from, to);
+  }
+
+  MoveListener move_listener_;
+  HmSpec spec_;
+  std::uint64_t page_bytes_;
+  std::vector<PageEntry> pages_;
+  std::vector<ObjectExtent> extents_;
+  std::vector<bool> live_;
+  std::uint64_t used_pages_[kNumTiers] = {0, 0};
+  // Per-object count of pages on DRAM, to answer object_pages_on in O(1).
+  std::vector<std::uint64_t> dram_pages_per_object_;
+};
+
+}  // namespace merch::hm

@@ -1,0 +1,109 @@
+// Memory tier descriptions for the heterogeneous-memory (HM) simulator.
+//
+// The paper's testbed is 192 GB DDR4 DRAM + 1.5 TB Intel Optane PM per
+// machine (Section 7), with the PM/DRAM performance ratios given in
+// Section 2 and the peak bandwidths annotated in Figure 6. We have no
+// Optane hardware, so those published numbers parameterise a simulated HM
+// (see DESIGN.md, substitution table).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace merch::hm {
+
+enum class Tier : std::uint8_t {
+  kDram = 0,  // fast, small
+  kPm = 1,    // slow, large (Optane persistent memory)
+};
+inline constexpr std::size_t kNumTiers = 2;
+
+inline const char* TierName(Tier t) {
+  return t == Tier::kDram ? "DRAM" : "PM";
+}
+
+inline Tier OtherTier(Tier t) {
+  return t == Tier::kDram ? Tier::kPm : Tier::kDram;
+}
+
+/// Performance/capacity description of one tier.
+struct TierSpec {
+  std::uint64_t capacity_bytes = 0;
+  double read_bandwidth_gbps = 0;   // GB/s, peak sequential read
+  double write_bandwidth_gbps = 0;  // GB/s, peak sequential write
+  double seq_latency_ns = 0;        // sequential (prefetch-friendly) access
+  double rand_latency_ns = 0;       // dependent random access
+  /// Multiplier on latency for write accesses. Optane's write path (media
+  /// write + small on-DIMM write buffer) is far slower than its read path;
+  /// DRAM writes are roughly symmetric.
+  double write_latency_factor = 1.0;
+};
+
+/// Full HM description: one spec per tier.
+struct HmSpec {
+  std::array<TierSpec, kNumTiers> tiers;
+
+  const TierSpec& operator[](Tier t) const {
+    return tiers[static_cast<std::size_t>(t)];
+  }
+  TierSpec& operator[](Tier t) { return tiers[static_cast<std::size_t>(t)]; }
+
+  std::uint64_t dram_capacity() const { return (*this)[Tier::kDram].capacity_bytes; }
+  std::uint64_t pm_capacity() const { return (*this)[Tier::kPm].capacity_bytes; }
+
+  /// The paper's evaluation platform. DRAM: 192 GB, 180 GB/s peak
+  /// (Fig. 6), ~80 ns sequential / ~100 ns random latency. PM: 1.5 TB,
+  /// 52 GB/s read peak (Fig. 6), write bandwidth 4.74x lower than DRAM
+  /// write, latencies 2.08x (seq) and 3.77x (random) longer than DRAM
+  /// (Section 2 ratios for Optane PM 100 series).
+  static HmSpec PaperOptane() {
+    HmSpec spec;
+    spec[Tier::kDram] = TierSpec{
+        .capacity_bytes = 192 * GiB,
+        .read_bandwidth_gbps = 180.0,
+        .write_bandwidth_gbps = 140.0,
+        .seq_latency_ns = 80.0,
+        .rand_latency_ns = 100.0,
+    };
+    spec[Tier::kPm] = TierSpec{
+        .capacity_bytes = 1536 * GiB,
+        .read_bandwidth_gbps = 52.0,            // 180 / 3.46, Fig. 6 peak
+        .write_bandwidth_gbps = 140.0 / 4.74,  // Section 2 write ratio
+        .seq_latency_ns = 80.0 * 2.08,
+        .rand_latency_ns = 100.0 * 3.77,
+        .write_latency_factor = 2.0,
+    };
+    return spec;
+  }
+
+  /// A CXL-attached memory expander as the slow tier (paper Section 5.3,
+  /// "Extensibility": Merchandiser ports to other HM systems by
+  /// regenerating training data and re-selecting events). CXL.mem adds
+  /// roughly one NUMA hop of latency (~2-2.5x DRAM) but keeps far higher
+  /// bandwidth than Optane and symmetric writes.
+  static HmSpec CxlLike() {
+    HmSpec spec = PaperOptane();
+    spec[Tier::kPm] = TierSpec{
+        .capacity_bytes = 1536 * GiB,
+        .read_bandwidth_gbps = 90.0,
+        .write_bandwidth_gbps = 80.0,
+        .seq_latency_ns = 80.0 * 2.2,
+        .rand_latency_ns = 100.0 * 2.4,
+        .write_latency_factor = 1.1,
+    };
+    return spec;
+  }
+
+  /// A small HM for unit tests: 16 MiB DRAM, 128 MiB PM, same ratios.
+  static HmSpec Tiny() {
+    HmSpec spec = PaperOptane();
+    spec[Tier::kDram].capacity_bytes = 16 * MiB;
+    spec[Tier::kPm].capacity_bytes = 128 * MiB;
+    return spec;
+  }
+};
+
+}  // namespace merch::hm

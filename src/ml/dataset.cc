@@ -1,0 +1,107 @@
+#include "ml/dataset.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace merch::ml {
+
+void Dataset::Add(std::vector<double> x, double y) {
+  if (num_features_ == 0) num_features_ = x.size();
+  assert(x.size() == num_features_);
+  X_.insert(X_.end(), x.begin(), x.end());
+  y_.push_back(y);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng& rng) const {
+  const auto perm = rng.Permutation(size());
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+  Dataset train(num_features_), test(num_features_);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto r = row(perm[i]);
+    std::vector<double> x(r.begin(), r.end());
+    if (i < n_train) {
+      train.Add(std::move(x), y_[perm[i]]);
+    } else {
+      test.Add(std::move(x), y_[perm[i]]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_);
+  for (const std::size_t i : indices) {
+    const auto r = row(i);
+    out.Add(std::vector<double>(r.begin(), r.end()), y_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::SelectFeatures(std::span<const std::size_t> features) const {
+  Dataset out(features.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    std::vector<double> x;
+    x.reserve(features.size());
+    for (const std::size_t f : features) x.push_back(r[f]);
+    out.Add(std::move(x), y_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::PermuteFeature(std::size_t feature, Rng& rng) const {
+  assert(feature < num_features_);
+  const auto perm = rng.Permutation(size());
+  Dataset out(num_features_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    std::vector<double> x(r.begin(), r.end());
+    x[feature] = row(perm[i])[feature];
+    out.Add(std::move(x), y_[i]);
+  }
+  return out;
+}
+
+void Standardizer::Fit(const Dataset& data) {
+  const std::size_t nf = data.num_features();
+  mean_.assign(nf, 0.0);
+  inv_std_.assign(nf, 1.0);
+  if (data.empty()) return;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = data.row(i);
+    for (std::size_t f = 0; f < nf; ++f) mean_[f] += r[f];
+  }
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(nf, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = data.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      var[f] += (r[f] - mean_[f]) * (r[f] - mean_[f]);
+    }
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double sd = std::sqrt(var[f] / static_cast<double>(data.size()));
+    inv_std_[f] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Transform(std::span<const double> x) const {
+  assert(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    out[f] = (x[f] - mean_[f]) * inv_std_[f];
+  }
+  return out;
+}
+
+Dataset Standardizer::TransformAll(const Dataset& data) const {
+  Dataset out(data.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.Add(Transform(data.row(i)), data.target(i));
+  }
+  return out;
+}
+
+}  // namespace merch::ml

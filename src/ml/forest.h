@@ -1,0 +1,37 @@
+// Random forest regressor: bagged CART trees with per-split feature
+// subsampling (paper Table 3: "RFR", n_estimators=20, max_depth=10).
+#pragma once
+
+#include <memory>
+
+#include "ml/tree.h"
+
+namespace merch::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 20;
+  TreeConfig tree;
+  /// Per-split feature candidates as a fraction of features; 0 = sqrt(F).
+  double feature_fraction = 0.0;
+};
+
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig config = {},
+                                 std::uint64_t seed = 7)
+      : config_(config), rng_(seed) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string name() const override { return "RFR"; }
+
+  /// Mean impurity importance over trees.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  ForestConfig config_;
+  Rng rng_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace merch::ml

@@ -1,0 +1,72 @@
+#include "ml/gbr.h"
+
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace merch::ml {
+
+void GradientBoostedRegressor::Fit(const Dataset& data) {
+  stages_.clear();
+  if (data.empty()) {
+    base_prediction_ = 0;
+    return;
+  }
+  base_prediction_ = Mean(data.targets());
+  std::vector<double> residuals(data.size());
+  std::vector<double> current(data.size(), base_prediction_);
+
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config_.subsample *
+                                  static_cast<double>(data.size())));
+  stages_.reserve(config_.num_stages);
+  for (std::size_t stage = 0; stage < config_.num_stages; ++stage) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      residuals[i] = data.target(i) - current[i];
+    }
+    DecisionTreeRegressor tree(config_.tree, rng_.NextU64());
+    if (n_sub < data.size()) {
+      const auto idx = rng_.SampleWithoutReplacement(data.size(), n_sub);
+      Dataset sub(data.num_features());
+      std::vector<double> sub_res;
+      sub_res.reserve(idx.size());
+      for (const std::size_t i : idx) {
+        const auto r = data.row(i);
+        sub.Add(std::vector<double>(r.begin(), r.end()), residuals[i]);
+      }
+      tree.Fit(sub);
+    } else {
+      tree.FitResiduals(data, residuals);
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      current[i] += config_.learning_rate * tree.Predict(data.row(i));
+    }
+    stages_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedRegressor::Predict(std::span<const double> x) const {
+  double y = base_prediction_;
+  for (const auto& tree : stages_) {
+    y += config_.learning_rate * tree.Predict(x);
+  }
+  return y;
+}
+
+std::vector<double> GradientBoostedRegressor::FeatureImportance() const {
+  if (stages_.empty()) return {};
+  std::vector<double> acc = stages_[0].FeatureImportance();
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    const auto imp = stages_[s].FeatureImportance();
+    for (std::size_t f = 0; f < acc.size() && f < imp.size(); ++f) {
+      acc[f] += imp[f];
+    }
+  }
+  double total = std::accumulate(acc.begin(), acc.end(), 0.0);
+  if (total > 0) {
+    for (double& v : acc) v /= total;
+  }
+  return acc;
+}
+
+}  // namespace merch::ml

@@ -1,0 +1,73 @@
+#include "ml/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/gbr.h"
+
+namespace merch::ml {
+
+std::vector<double> PermutationImportance(const Regressor& model,
+                                          const Dataset& eval, Rng& rng,
+                                          int repeats) {
+  const double base = model.Score(eval);
+  std::vector<double> out(eval.num_features(), 0.0);
+  for (std::size_t f = 0; f < eval.num_features(); ++f) {
+    double drop = 0;
+    for (int r = 0; r < repeats; ++r) {
+      const Dataset permuted = eval.PermuteFeature(f, rng);
+      drop += base - model.Score(permuted);
+    }
+    out[f] = std::max(0.0, drop / repeats);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RankFeatures(const std::vector<double>& importance) {
+  std::vector<std::size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] > importance[b];
+                   });
+  return order;
+}
+
+std::vector<EliminationStep> RecursiveFeatureElimination(
+    const Dataset& train, const Dataset& test,
+    const std::function<std::unique_ptr<Regressor>()>& make_model, Rng& rng) {
+  std::vector<std::size_t> features(train.num_features());
+  std::iota(features.begin(), features.end(), 0);
+
+  std::vector<EliminationStep> steps;
+  while (!features.empty()) {
+    const Dataset sub_train = train.SelectFeatures(features);
+    const Dataset sub_test = test.SelectFeatures(features);
+    auto model = make_model();
+    model->Fit(sub_train);
+
+    EliminationStep step;
+    step.num_features = features.size();
+    step.test_r2 = model->Score(sub_test);
+    step.features = features;
+    steps.push_back(step);
+
+    if (features.size() == 1) break;
+
+    // Importance within the current subset: prefer the ensemble's impurity
+    // importance when available, fall back to permutation importance.
+    std::vector<double> imp;
+    if (auto* gbr = dynamic_cast<GradientBoostedRegressor*>(model.get())) {
+      imp = gbr->FeatureImportance();
+    }
+    if (imp.empty()) {
+      imp = PermutationImportance(*model, sub_test, rng, 2);
+    }
+    const auto rank = RankFeatures(imp);
+    const std::size_t drop_local = rank.back();
+    features.erase(features.begin() + static_cast<long>(drop_local));
+  }
+  return steps;
+}
+
+}  // namespace merch::ml

@@ -1,0 +1,43 @@
+// Feature-importance utilities for the event-selection study.
+//
+// The paper ranks hardware events by Gini importance and drops the least
+// important event until accuracy degrades (Section 5.1); Figure 7 sweeps
+// model accuracy against the number of retained events. Impurity ("Gini")
+// importance comes from the tree ensembles directly; permutation
+// importance is provided as a model-agnostic cross-check.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace merch::ml {
+
+/// Model-agnostic permutation importance: R^2 drop when each feature is
+/// shuffled on the evaluation set. `repeats` shuffles are averaged.
+std::vector<double> PermutationImportance(const Regressor& model,
+                                          const Dataset& eval, Rng& rng,
+                                          int repeats = 3);
+
+/// Feature indices sorted by importance, descending.
+std::vector<std::size_t> RankFeatures(const std::vector<double>& importance);
+
+/// Recursive feature elimination (the paper's selection loop): train
+/// `make_model()` on progressively smaller feature sets, dropping the
+/// least-important feature each round. Returns, for every feature count
+/// from num_features down to 1, the test R^2 and the retained features.
+struct EliminationStep {
+  std::size_t num_features = 0;
+  double test_r2 = 0;
+  std::vector<std::size_t> features;  // retained, original indices
+};
+
+std::vector<EliminationStep> RecursiveFeatureElimination(
+    const Dataset& train, const Dataset& test,
+    const std::function<std::unique_ptr<Regressor>()>& make_model, Rng& rng);
+
+}  // namespace merch::ml

@@ -1,0 +1,92 @@
+#include "ml/kernel_ridge.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace merch::ml {
+namespace {
+
+/// In-place Cholesky solve of (A)x = b for symmetric positive-definite A
+/// (row-major n x n). Returns false if A is not SPD.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b,
+                   std::size_t n) {
+  // Decompose A = L L^T (lower triangle stored in-place).
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution L^T x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= a[k * n + i] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+double KernelRidgeRegressor::Kernel(std::span<const double> a,
+                                    std::span<const double> b) const {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::exp(-gamma_ * d);
+}
+
+void KernelRidgeRegressor::Fit(const Dataset& data) {
+  alpha_.clear();
+  if (data.empty()) return;
+  scaler_.Fit(data);
+  train_ = scaler_.TransformAll(data);
+  gamma_ = config_.gamma > 0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(data.num_features());
+  y_mean_ = Mean(data.targets());
+
+  const std::size_t n = train_.size();
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = Kernel(train_.row(i), train_.row(j));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += config_.ridge_lambda;
+  }
+  alpha_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alpha_[i] = train_.target(i) - y_mean_;
+  const bool ok = CholeskySolve(k, alpha_, n);
+  assert(ok && "kernel matrix not SPD; increase ridge_lambda");
+  (void)ok;
+}
+
+double KernelRidgeRegressor::Predict(std::span<const double> x) const {
+  if (alpha_.empty()) return y_mean_;
+  const auto q = scaler_.Transform(x);
+  double y = y_mean_;
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    y += alpha_[i] * Kernel(train_.row(i), q);
+  }
+  return y;
+}
+
+}  // namespace merch::ml

@@ -1,0 +1,50 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace merch::ml {
+
+void KNeighborsRegressor::Fit(const Dataset& data) {
+  scaler_.Fit(data);
+  train_ = scaler_.TransformAll(data);
+}
+
+double KNeighborsRegressor::Predict(std::span<const double> x) const {
+  if (train_.empty()) return 0.0;
+  const std::vector<double> q = scaler_.Transform(x);
+  struct Neighbor {
+    double dist_sq;
+    double y;
+  };
+  std::vector<Neighbor> all;
+  all.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto r = train_.row(i);
+    double d = 0;
+    for (std::size_t f = 0; f < q.size(); ++f) {
+      d += (r[f] - q[f]) * (r[f] - q[f]);
+    }
+    all.push_back({d, train_.target(i)});
+  }
+  const std::size_t k = std::min(config_.k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.dist_sq < b.dist_sq;
+                    });
+  if (!config_.distance_weighted) {
+    double sum = 0;
+    for (std::size_t i = 0; i < k; ++i) sum += all[i].y;
+    return sum / static_cast<double>(k);
+  }
+  double wsum = 0, ysum = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(all[i].dist_sq) + 1e-9);
+    wsum += w;
+    ysum += w * all[i].y;
+  }
+  return ysum / wsum;
+}
+
+}  // namespace merch::ml

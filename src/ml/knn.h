@@ -1,0 +1,30 @@
+// k-nearest-neighbors regressor (paper Table 3: "KNR", n_neighbors=8).
+// Brute-force with standardised features: the training sets here are a few
+// thousand rows, where brute force beats any index.
+#pragma once
+
+#include "ml/model.h"
+
+namespace merch::ml {
+
+struct KnnConfig {
+  std::size_t k = 8;
+  /// Inverse-distance weighting (sklearn weights='distance' when true).
+  bool distance_weighted = true;
+};
+
+class KNeighborsRegressor final : public Regressor {
+ public:
+  explicit KNeighborsRegressor(KnnConfig config = {}) : config_(config) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string name() const override { return "KNR"; }
+
+ private:
+  KnnConfig config_;
+  Standardizer scaler_;
+  Dataset train_;
+};
+
+}  // namespace merch::ml

@@ -1,0 +1,141 @@
+#include "ml/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace merch::ml {
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+std::vector<double> MLPRegressor::Forward(
+    std::span<const double> x,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> a(x.begin(), x.end());
+  if (activations != nullptr) activations->push_back(a);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> z(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.b[o];
+      const double* wrow = layer.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * a[i];
+      // ReLU on hidden layers; linear output.
+      z[o] = (li + 1 < layers_.size()) ? std::max(0.0, acc) : acc;
+    }
+    a = std::move(z);
+    if (activations != nullptr) activations->push_back(a);
+  }
+  return a;
+}
+
+void MLPRegressor::Fit(const Dataset& data) {
+  layers_.clear();
+  if (data.empty()) return;
+  scaler_.Fit(data);
+  const Dataset scaled = scaler_.TransformAll(data);
+  y_mean_ = Mean(data.targets());
+  y_std_ = StdDev(data.targets());
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+
+  // Build layers: input -> hidden... -> 1, He initialisation.
+  std::vector<std::size_t> dims;
+  dims.push_back(data.num_features());
+  for (const std::size_t h : config_.hidden) dims.push_back(h);
+  dims.push_back(1);
+  for (std::size_t li = 0; li + 1 < dims.size(); ++li) {
+    Layer layer;
+    layer.in = dims[li];
+    layer.out = dims[li + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (double& w : layer.w) w = rng_.NextGaussian(0.0, scale);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.out, 0.0);
+    layer.vb.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  std::size_t adam_t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng_.Permutation(scaled.size());
+    for (std::size_t start = 0; start < perm.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(perm.size(), start + config_.batch_size);
+      // Accumulate batch gradients.
+      std::vector<std::vector<double>> grad_w(layers_.size());
+      std::vector<std::vector<double>> grad_b(layers_.size());
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        grad_w[li].assign(layers_[li].w.size(), 0.0);
+        grad_b[li].assign(layers_[li].out, 0.0);
+      }
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t i = perm[bi];
+        std::vector<std::vector<double>> acts;
+        const auto out = Forward(scaled.row(i), &acts);
+        const double target = (scaled.target(i) - y_mean_) / y_std_;
+        // Backprop, squared loss: dL/dout = out - target.
+        std::vector<double> delta = {out[0] - target};
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          const Layer& layer = layers_[li];
+          const std::vector<double>& a_in = acts[li];
+          const std::vector<double>& a_out = acts[li + 1];
+          std::vector<double> delta_prev(layer.in, 0.0);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            // ReLU derivative (output layer is linear; a_out>0 check only
+            // applies to hidden layers).
+            double d = delta[o];
+            if (li + 1 < layers_.size() && a_out[o] <= 0.0) d = 0.0;
+            grad_b[li][o] += d;
+            double* gw = grad_w[li].data() + o * layer.in;
+            const double* wrow = layer.w.data() + o * layer.in;
+            for (std::size_t ii = 0; ii < layer.in; ++ii) {
+              gw[ii] += d * a_in[ii];
+              delta_prev[ii] += d * wrow[ii];
+            }
+          }
+          delta = std::move(delta_prev);
+        }
+      }
+      // Adam update.
+      ++adam_t;
+      const double batch_n = static_cast<double>(end - start);
+      const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(adam_t));
+      const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(adam_t));
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        for (std::size_t wi = 0; wi < layer.w.size(); ++wi) {
+          const double g =
+              grad_w[li][wi] / batch_n + config_.l2_alpha * layer.w[wi];
+          layer.mw[wi] = kAdamBeta1 * layer.mw[wi] + (1 - kAdamBeta1) * g;
+          layer.vw[wi] = kAdamBeta2 * layer.vw[wi] + (1 - kAdamBeta2) * g * g;
+          layer.w[wi] -= config_.learning_rate * (layer.mw[wi] / bc1) /
+                         (std::sqrt(layer.vw[wi] / bc2) + kAdamEps);
+        }
+        for (std::size_t bi2 = 0; bi2 < layer.b.size(); ++bi2) {
+          const double g = grad_b[li][bi2] / batch_n;
+          layer.mb[bi2] = kAdamBeta1 * layer.mb[bi2] + (1 - kAdamBeta1) * g;
+          layer.vb[bi2] = kAdamBeta2 * layer.vb[bi2] + (1 - kAdamBeta2) * g * g;
+          layer.b[bi2] -= config_.learning_rate * (layer.mb[bi2] / bc1) /
+                          (std::sqrt(layer.vb[bi2] / bc2) + kAdamEps);
+        }
+      }
+    }
+  }
+}
+
+double MLPRegressor::Predict(std::span<const double> x) const {
+  if (layers_.empty()) return y_mean_;
+  const auto scaled = scaler_.Transform(x);
+  const auto out = Forward(scaled, nullptr);
+  return out[0] * y_std_ + y_mean_;
+}
+
+}  // namespace merch::ml

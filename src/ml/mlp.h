@@ -1,0 +1,50 @@
+// Multi-layer perceptron regressor (paper Table 3: "ANN",
+// hidden_layer=(200, 20), alpha=1e-5). ReLU activations, Adam optimiser,
+// mini-batch training, standardised inputs and target.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace merch::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {200, 20};
+  double l2_alpha = 1e-5;
+  double learning_rate = 1e-3;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 200;
+};
+
+class MLPRegressor final : public Regressor {
+ public:
+  explicit MLPRegressor(MlpConfig config = {}, std::uint64_t seed = 7)
+      : config_(std::move(config)), rng_(seed) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string name() const override { return "ANN"; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;  // out x in, row major
+    std::vector<double> b;  // out
+    // Adam state.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  std::vector<double> Forward(std::span<const double> x,
+                              std::vector<std::vector<double>>* activations)
+      const;
+
+  MlpConfig config_;
+  Rng rng_;
+  Standardizer scaler_;
+  double y_mean_ = 0, y_std_ = 1;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace merch::ml

@@ -1,0 +1,149 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace merch::ml {
+namespace {
+
+struct SplitResult {
+  std::size_t feature = static_cast<std::size_t>(-1);
+  double threshold = 0;
+  double gain = 0;  // impurity (SSE) decrease
+  std::size_t split_point = 0;  // index into the sorted order
+};
+
+}  // namespace
+
+void DecisionTreeRegressor::Fit(const Dataset& data) {
+  FitResiduals(data, data.targets());
+}
+
+void DecisionTreeRegressor::FitResiduals(const Dataset& data,
+                                         std::span<const double> targets) {
+  assert(data.size() == targets.size());
+  nodes_.clear();
+  num_features_ = data.num_features();
+  importance_.assign(num_features_, 0.0);
+  if (data.empty()) {
+    nodes_.push_back(Node{.value = 0.0});
+    return;
+  }
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(data, targets, indices, 0, data.size(), 0);
+}
+
+std::int32_t DecisionTreeRegressor::Build(const Dataset& data,
+                                          std::span<const double> targets,
+                                          std::vector<std::size_t>& indices,
+                                          std::size_t begin, std::size_t end,
+                                          int depth) {
+  const std::size_t n = end - begin;
+  double sum = 0, sum_sq = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += targets[indices[i]];
+    sum_sq += targets[indices[i]] * targets[indices[i]];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sse = sum_sq - sum * mean;
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    nodes_.push_back(Node{.value = mean});
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split ||
+      sse <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset (forest mode).
+  std::vector<std::size_t> features(num_features_);
+  std::iota(features.begin(), features.end(), 0);
+  if (config_.max_features > 0 && config_.max_features < num_features_) {
+    for (std::size_t i = 0; i < config_.max_features; ++i) {
+      const std::size_t j = i + rng_.NextBelow(num_features_ - i);
+      std::swap(features[i], features[j]);
+    }
+    features.resize(config_.max_features);
+  }
+
+  SplitResult best;
+  std::vector<std::size_t> order(indices.begin() + begin, indices.begin() + end);
+  std::vector<std::size_t> best_order;
+  for (const std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.row(a)[f] < data.row(b)[f];
+    });
+    // Scan split positions; prefix sums give left/right SSE in O(1).
+    double left_sum = 0, left_sq = 0;
+    for (std::size_t k = 1; k < n; ++k) {
+      const double y = targets[order[k - 1]];
+      left_sum += y;
+      left_sq += y * y;
+      const double xv_prev = data.row(order[k - 1])[f];
+      const double xv = data.row(order[k])[f];
+      if (xv <= xv_prev) continue;  // no boundary between equal values
+      if (k < config_.min_samples_leaf || n - k < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(k);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(n - k);
+      const double gain = sse - left_sse - right_sse;
+      if (gain > best.gain) {
+        best = SplitResult{f, 0.5 * (xv_prev + xv), gain, k};
+        best_order = order;
+      }
+    }
+  }
+
+  if (best.feature == static_cast<std::size_t>(-1)) return make_leaf();
+
+  importance_[best.feature] += best.gain;
+  std::copy(best_order.begin(), best_order.end(), indices.begin() + begin);
+
+  const std::size_t node_index = nodes_.size();
+  nodes_.push_back(Node{.feature = best.feature, .threshold = best.threshold,
+                        .value = mean});
+  const std::int32_t left =
+      Build(data, targets, indices, begin, begin + best.split_point, depth + 1);
+  const std::int32_t right =
+      Build(data, targets, indices, begin + best.split_point, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return static_cast<std::int32_t>(node_index);
+}
+
+double DecisionTreeRegressor::Predict(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.0;
+  // Root is node 0 (Build pushes the root before its children... note the
+  // root is pushed first only when it splits; a pure-leaf fit also lands at
+  // index 0).
+  std::size_t i = 0;
+  for (;;) {
+    const Node& n = nodes_[i];
+    if (n.feature == static_cast<std::size_t>(-1)) return n.value;
+    i = static_cast<std::size_t>(x[n.feature] <= n.threshold ? n.left
+                                                             : n.right);
+  }
+}
+
+std::vector<double> DecisionTreeRegressor::FeatureImportance() const {
+  std::vector<double> out = importance_;
+  double total = 0;
+  for (const double v : out) total += v;
+  if (total > 0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace merch::ml

@@ -1,0 +1,37 @@
+#include "profiler/pebs.h"
+
+#include <cmath>
+
+namespace merch::profiler {
+
+double PebsSampler::Estimate(double true_accesses) {
+  if (true_accesses <= 0) return 0.0;
+  const double expected_samples = true_accesses / period_;
+  // Poisson(lambda) sampled count; normal approximation above 30.
+  double samples;
+  if (expected_samples > 30.0) {
+    samples = std::max(
+        0.0, rng_.NextGaussian(expected_samples, std::sqrt(expected_samples)));
+  } else {
+    // Knuth's algorithm for small lambda.
+    const double limit = std::exp(-expected_samples);
+    double prod = rng_.NextDouble();
+    int k = 0;
+    while (prod > limit && k < 4096) {
+      ++k;
+      prod *= rng_.NextDouble();
+    }
+    samples = k;
+  }
+  return samples * period_;
+}
+
+std::vector<double> PebsSampler::EstimateAll(
+    std::span<const double> true_counts) {
+  std::vector<double> out;
+  out.reserve(true_counts.size());
+  for (const double t : true_counts) out.push_back(Estimate(t));
+  return out;
+}
+
+}  // namespace merch::profiler

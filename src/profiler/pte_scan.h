@@ -1,0 +1,78 @@
+// PTE-scan sampling profiler — the MemoryOptimizer profiling method.
+//
+// The real daemon repeatedly clears and re-reads the PTE accessed bit on a
+// random sample of pages; a page "hot score" is how many scans observed the
+// bit set (paper Section 2). Two properties matter and are modelled here:
+//
+//  1. *Saturation*: a scan observes at most "accessed since last scan", so
+//     counts saturate at scans_per_interval — very hot pages are
+//     indistinguishable beyond that.
+//  2. *Random sampling is task-blind*: pages are drawn uniformly from the
+//     address space, so a task with a larger or hotter footprint dominates
+//     the sample — the root of the load-imbalance problem the paper
+//     identifies (Section 1, reason 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/access_source.h"
+
+namespace merch::profiler {
+
+struct HotPage {
+  PageId page = kInvalidPage;
+  double est_accesses = 0;  // de-saturated estimate for the interval
+};
+
+class PteScanProfiler {
+ public:
+  struct Config {
+    /// Pages sampled per interval (MemoryOptimizer bounds this to keep
+    /// overhead small; paper Section 4).
+    std::size_t sample_pages = 1024;
+    /// Accessed-bit scan rounds per interval.
+    int scans_per_interval = 12;
+    /// Restrict sampling to pages currently on this tier (the daemon
+    /// profiles PM to find promotion candidates). Nullopt = all pages.
+    bool pm_only = true;
+  };
+
+  PteScanProfiler(Config config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// Sample the current interval. Returns sampled pages with nonzero
+  /// estimates, sorted by estimate descending (hot first).
+  std::vector<HotPage> Profile(const trace::PageAccessSource& source);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+/// Sum page estimates per owning object: how a system without task
+/// semantics would attribute them, and how Merchandiser aggregates its
+/// task-aware profile.
+std::vector<double> AggregateByObject(const std::vector<HotPage>& pages,
+                                      const trace::PageAccessSource& source,
+                                      std::size_t num_objects);
+
+/// Sum page estimates per owning task (kInvalidTask pages are dropped).
+std::vector<double> AggregateByTask(const std::vector<HotPage>& pages,
+                                    const trace::PageAccessSource& source,
+                                    std::size_t num_tasks);
+
+/// Eviction-ranking heat as a PTE-scan-based daemon actually sees it: the
+/// accessed-bit count *saturates* (a page swept once this interval is
+/// indistinguishable from a continuously hot page) and carries sampling
+/// jitter. Policies pass this — not ground truth — to LFU eviction, which
+/// is precisely why reactive tiering thrashes: just-swept stream pages
+/// outrank persistently warm ones and pin DRAM uselessly.
+double SaturatedEvictionHeat(const trace::PageAccessSource& source, PageId p,
+                             int scans_per_interval, std::uint64_t salt);
+
+}  // namespace merch::profiler

@@ -1,0 +1,39 @@
+#include "profiler/thermostat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace merch::profiler {
+
+std::vector<HotPage> ThermostatSampler::ProfileDram(
+    const trace::PageAccessSource& source) {
+  std::vector<HotPage> out;
+  const std::uint64_t n = source.num_pages();
+  for (PageId p = 0; p < n; ++p) {
+    if (source.PageTier(p) != hm::Tier::kDram) continue;
+    const double true_accesses = source.EpochAccesses(p);
+    // The poisoned 4 KiB sub-page sees a share of the region's accesses;
+    // scaling by 512 recovers the mean with lognormal spread.
+    const double est =
+        true_accesses > 0
+            ? true_accesses * rng_.NextLogNormal(0.0, config_.sample_sigma)
+            : 0.0;
+    out.push_back(HotPage{p, est});
+  }
+  return out;
+}
+
+std::vector<HotPage> ThermostatSampler::ColdDramPages(
+    const trace::PageAccessSource& source) {
+  std::vector<HotPage> all = ProfileDram(source);
+  std::vector<HotPage> cold;
+  for (const HotPage& h : all) {
+    if (h.est_accesses < config_.cold_threshold) cold.push_back(h);
+  }
+  std::sort(cold.begin(), cold.end(), [](const HotPage& a, const HotPage& b) {
+    return a.est_accesses < b.est_accesses;
+  });
+  return cold;
+}
+
+}  // namespace merch::profiler

@@ -1,0 +1,50 @@
+// Thermostat-style DRAM profiling (Agarwal & Wenisch, ASPLOS'17; used by
+// Merchandiser for the DRAM side — paper Section 4).
+//
+// Thermostat samples one 4 KiB page out of each 2 MiB huge page, poisons
+// it to trap accesses, and scales the observed count by 512 to estimate
+// the huge page's access rate. That makes it accurate enough to find
+// *cold* DRAM pages to demote, at ~1% overhead for tens of GB — but too
+// slow for the TiB-scale PM tier, which is why the PM side uses the
+// bounded PTE-scan sampler instead.
+//
+// Our placement granularity already is the 2 MiB region, so the 4-KiB-
+// subsample manifests as multiplicative estimation error on each region's
+// true count (the sampled small page is not perfectly representative).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "profiler/pte_scan.h"
+#include "trace/access_source.h"
+
+namespace merch::profiler {
+
+class ThermostatSampler {
+ public:
+  struct Config {
+    /// Relative error (lognormal sigma) of the scaled 4K-of-2M estimate.
+    double sample_sigma = 0.35;
+    /// Pages with estimates below this count as cold.
+    double cold_threshold = 1.0;
+  };
+
+  ThermostatSampler(Config config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// Estimate access counts for every DRAM-resident page. Exhaustive over
+  /// DRAM (Thermostat is cheap at DRAM scale), noisy per page.
+  std::vector<HotPage> ProfileDram(const trace::PageAccessSource& source);
+
+  /// DRAM pages whose estimate falls below the cold threshold — demotion
+  /// candidates, coldest first.
+  std::vector<HotPage> ColdDramPages(const trace::PageAccessSource& source);
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace merch::profiler

@@ -1,0 +1,460 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cachesim/cpu_cache.h"
+#include "common/log.h"
+
+namespace merch::sim {
+namespace {
+
+/// Blend read/write bandwidth of a tier for a given read fraction.
+double MixedBandwidthBytesPerSec(const hm::TierSpec& tier, double read_fraction) {
+  const double r = std::clamp(read_fraction, 0.0, 1.0);
+  const double rb = tier.read_bandwidth_gbps * 1e9;
+  const double wb = tier.write_bandwidth_gbps * 1e9;
+  // Harmonic blend: time per byte is the mix of per-byte times.
+  return 1.0 / (r / rb + (1.0 - r) / wb);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SimContext
+
+const Workload& SimContext::workload() const { return engine_->workload(); }
+const MachineSpec& SimContext::machine() const { return engine_->machine(); }
+hm::PageTable& SimContext::pages() { return engine_->pages(); }
+hm::MigrationEngine& SimContext::migration() { return engine_->migration(); }
+AccessOracle& SimContext::oracle() { return engine_->oracle(); }
+double SimContext::now() const { return engine_->now(); }
+std::size_t SimContext::region_index() const { return engine_->region_index(); }
+const std::vector<RegionStats>& SimContext::history() const {
+  return engine_->history();
+}
+double SimContext::ObjectDramFraction(std::size_t object) const {
+  return engine_->ObjectDramFraction(object);
+}
+void SimContext::SetHwDramFraction(std::size_t object, double fraction) {
+  engine_->SetHwDramFraction(object, fraction);
+}
+void SimContext::AddBackgroundTraffic(double bytes_on_pm,
+                                      double bytes_on_dram) {
+  engine_->AddBackgroundTraffic(bytes_on_pm, bytes_on_dram);
+}
+
+// -------------------------------------------------------------------- Engine
+
+Engine::Engine(const Workload& workload, const MachineSpec& machine,
+               SimConfig config, PlacementPolicy* policy)
+    : workload_(&workload),
+      machine_(machine),
+      config_(config),
+      policy_(policy),
+      rng_(config.seed) {
+  assert(workload.Validate().empty() && "invalid workload");
+  hw_cache_mode_ = policy_ != nullptr && policy_->uses_hardware_cache();
+  pages_ = std::make_unique<hm::PageTable>(machine_.hm, config_.page_bytes);
+  migration_ = std::make_unique<hm::MigrationEngine>(*pages_);
+  RegisterObjects();
+  oracle_ = std::make_unique<AccessOracle>(*workload_, *pages_, handles_);
+  ctx_ = std::make_unique<SimContext>(*this);
+
+  dram_weight_.assign(workload_->objects.size(), 0.0);
+  hw_fraction_.assign(workload_->objects.size(), 0.0);
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const hm::ObjectExtent& e = pages_->extent(handles_[i]);
+    const std::uint64_t on_dram = pages_->object_pages_on(handles_[i], hm::Tier::kDram);
+    dram_weight_[i] =
+        workload_->objects[i].heat.CumulativeFraction(on_dram, e.num_pages);
+  }
+  // Keep heat-weighted DRAM fractions current as policies migrate pages.
+  pages_->SetMoveListener([this](PageId p, hm::Tier /*from*/, hm::Tier to) {
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      const hm::ObjectExtent& e = pages_->extent(handles_[i]);
+      if (p >= e.first_page && p < e.first_page + e.num_pages) {
+        const double w = workload_->objects[i].heat.PageFraction(
+            p - e.first_page, e.num_pages);
+        dram_weight_[i] += (to == hm::Tier::kDram) ? w : -w;
+        dram_weight_[i] = std::clamp(dram_weight_[i], 0.0, 1.0);
+        return;
+      }
+    }
+  });
+}
+
+void Engine::RegisterObjects() {
+  handles_.reserve(workload_->objects.size());
+  for (const ObjectDecl& o : workload_->objects) {
+    // Everything starts on PM: the paper's App Direct baseline state (cold
+    // data lands on the big tier; policies promote from there).
+    auto id = pages_->RegisterObject(o.bytes, hm::Tier::kPm, o.owner);
+    assert(id.has_value() && "HM capacity exceeded by workload");
+    handles_.push_back(*id);
+  }
+}
+
+double Engine::ObjectDramFraction(std::size_t object) const {
+  if (config_.force_tier.has_value()) {
+    return *config_.force_tier == hm::Tier::kDram ? 1.0 : 0.0;
+  }
+  if (hw_cache_mode_) return hw_fraction_[object];
+  return dram_weight_[object];
+}
+
+void Engine::SetHwDramFraction(std::size_t object, double fraction) {
+  hw_fraction_[object] = std::clamp(fraction, 0.0, 1.0);
+}
+
+void Engine::AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram) {
+  pending_background_pm_ += bytes_on_pm;
+  pending_background_dram_ += bytes_on_dram;
+}
+
+Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
+                                           const Region& region) const {
+  DerivedKernel d;
+  d.instructions = kernel.instructions;
+  d.branch_instructions = kernel.branch_fraction *
+                          static_cast<double>(kernel.instructions);
+  d.vector_instructions = kernel.vector_fraction *
+                          static_cast<double>(kernel.instructions);
+  d.compute_seconds = static_cast<double>(kernel.instructions) /
+                      (machine_.base_ipc * machine_.core_ghz * 1e9);
+  d.accesses.reserve(kernel.accesses.size());
+  for (const trace::ObjectAccess& a : kernel.accesses) {
+    const ObjectDecl& decl = workload_->objects[a.object];
+    const std::uint64_t active =
+        region.active_bytes.empty() ? decl.bytes
+                                    : std::max<std::uint64_t>(
+                                          region.active_bytes[a.object], 1);
+    const double miss = cachesim::MainMemoryMissRate(
+        a, active, machine_.cache, decl.reuse_passes, &decl.heat);
+    const double l2_rate = cachesim::L2MissRate(a, active, machine_.cache);
+    const trace::PatternTraits& traits = trace::TraitsOf(a.pattern);
+    DerivedAccess da;
+    da.object = a.object;
+    da.pattern = a.pattern;
+    da.program = static_cast<double>(a.program_accesses);
+    da.mm = da.program * miss;
+    da.bytes = da.mm * machine_.cache.line_bytes;
+    da.read_fraction = a.read_fraction;
+    da.mlp = traits.mlp;
+    da.overlap = traits.overlap;
+    da.prefetch_miss = traits.prefetch_miss;
+    da.sequential = traits.sequential_latency;
+    da.sweeping = traits.sweeping;
+    da.l2_misses = da.program * l2_rate;
+    d.accesses.push_back(da);
+  }
+  return d;
+}
+
+double Engine::SweepDramFraction(std::size_t object, double f0,
+                                 double f1) const {
+  if (config_.force_tier.has_value()) {
+    return *config_.force_tier == hm::Tier::kDram ? 1.0 : 0.0;
+  }
+  if (hw_cache_mode_) return hw_fraction_[object];
+  const hm::ObjectExtent& e = pages_->extent(handles_[object]);
+  if (e.num_pages == 0) return 0.0;
+  f0 = std::clamp(f0, 0.0, 1.0);
+  f1 = std::clamp(f1, f0, 1.0);
+  constexpr int kProbes = 16;
+  int hits = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    const double f = f0 + (f1 - f0) * (static_cast<double>(i) + 0.5) / kProbes;
+    const auto rank = std::min<std::uint64_t>(
+        e.num_pages - 1,
+        static_cast<std::uint64_t>(f * static_cast<double>(e.num_pages)));
+    if (pages_->page_tier(e.first_page + rank) == hm::Tier::kDram) ++hits;
+  }
+  return static_cast<double>(hits) / kProbes;
+}
+
+Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
+                                        double progress, double lambda_dram,
+                                        double lambda_pm) const {
+  // Sweeping accesses see the placement of the pages they are about to
+  // touch; the lookahead window approximates one epoch's advance.
+  constexpr double kLookahead = 0.05;
+  KernelTiming out;
+  double dram_time = 0, pm_time = 0;
+  double overlap_weight = 0, mm_total = 0;
+  for (const DerivedAccess& a : kernel.accesses) {
+    const double f =
+        a.sweeping
+            ? SweepDramFraction(a.object, progress,
+                                std::min(1.0, progress + kLookahead))
+            : ObjectDramFraction(a.object);
+    for (int tier_i = 0; tier_i < 2; ++tier_i) {
+      const hm::Tier tier = tier_i == 0 ? hm::Tier::kDram : hm::Tier::kPm;
+      const double share = tier == hm::Tier::kDram ? f : 1.0 - f;
+      if (share <= 0) continue;
+      const double accesses = a.mm * share;
+      const double bytes = a.bytes * share;
+      const hm::TierSpec& spec = machine_.hm[tier];
+      const double lambda = tier == hm::Tier::kDram ? lambda_dram : lambda_pm;
+      const double bw = MixedBandwidthBytesPerSec(spec, a.read_fraction);
+      const double base_lat =
+          a.sequential ? spec.seq_latency_ns : spec.rand_latency_ns;
+      // Writes pay the tier's write-latency factor (Optane's asymmetric
+      // write path); the blend follows the access's read/write mix.
+      const double lat_ns =
+          base_lat * (a.read_fraction +
+                      (1.0 - a.read_fraction) * spec.write_latency_factor);
+      const double t_bw = bytes / bw;
+      const double t_lat = accesses * lat_ns * 1e-9 / a.mlp;
+      // Processor-sharing contention: when aggregate demand exceeds the
+      // tier's service capacity, every request stream on that tier slows
+      // by the same factor (queueing inflates both bandwidth- and
+      // latency-bound service). This keeps the achieved aggregate rate at
+      // or below the physical peak.
+      const double t = std::max(t_bw, t_lat) * lambda;
+      if (tier == hm::Tier::kDram) {
+        dram_time += t;
+        out.dram_bytes += bytes;
+      } else {
+        pm_time += t;
+        out.pm_bytes += bytes;
+      }
+    }
+    overlap_weight += a.overlap * a.mm;
+    mm_total += a.mm;
+  }
+  const double memory = dram_time + pm_time;
+  const double overlap = mm_total > 0 ? overlap_weight / mm_total : 0.0;
+  const double compute = kernel.compute_seconds;
+  // T = C + M - o*min(C, M): o=1 gives perfect overlap (max), o=0 serial.
+  out.seconds = compute + memory - overlap * std::min(compute, memory);
+  out.seconds = std::max(out.seconds, 1e-12);
+  out.memory_seconds = out.seconds - compute > 0 ? out.seconds - compute : 0;
+  return out;
+}
+
+void Engine::BuildRegionRuntime(const Region& region) {
+  running_.clear();
+  running_.reserve(region.tasks.size());
+  for (const TaskProgram& tp : region.tasks) {
+    TaskRuntime rt;
+    rt.task = tp.task;
+    rt.program = &tp;
+    rt.kernels.reserve(tp.kernels.size());
+    for (const Kernel& k : tp.kernels) {
+      rt.kernels.push_back(DeriveKernel(k, region));
+    }
+    rt.stats.task = tp.task;
+    rt.stats.object_program_accesses.assign(workload_->objects.size(), 0.0);
+    rt.stats.object_mm_accesses.assign(workload_->objects.size(), 0.0);
+    rt.stats.kernel_seconds.assign(tp.kernels.size(), 0.0);
+    rt.stats.agg.core_ghz = machine_.core_ghz;
+    running_.push_back(std::move(rt));
+  }
+}
+
+void Engine::CollectMigrationTraffic() {
+  const hm::MigrationStats stats = migration_->TakeEpochStats();
+  migration_queue_bytes_ +=
+      static_cast<double>(stats.bytes_to_dram + stats.bytes_to_pm);
+}
+
+void Engine::StepEpoch() {
+  const double dt = config_.epoch_seconds;
+
+  // Any migrations policies performed since the last epoch become traffic.
+  CollectMigrationTraffic();
+  const double migration_rate =
+      std::min(migration_queue_bytes_ / dt, config_.migration_gbps * 1e9);
+
+  // Fixed-point contention resolution.
+  double lambda_dram = 1.0, lambda_pm = 1.0;
+  std::vector<KernelTiming> timing(running_.size());
+  for (int iter = 0; iter < 8; ++iter) {
+    double demand_dram = migration_rate + background_dram_rate_;
+    double demand_pm = migration_rate + background_pm_rate_;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      TaskRuntime& rt = running_[i];
+      if (rt.done) continue;
+      timing[i] = TimeKernel(rt.kernels[rt.kernel_index], rt.kernel_fraction,
+                             lambda_dram, lambda_pm);
+      demand_dram += timing[i].dram_bytes / timing[i].seconds;
+      demand_pm += timing[i].pm_bytes / timing[i].seconds;
+    }
+    // Multiplicative update: demand was computed *under* the current
+    // lambdas, so scaling them by achieved-demand/capacity converges to
+    // the processor-sharing fixed point instead of oscillating.
+    const double util_dram =
+        demand_dram / (machine_.hm[hm::Tier::kDram].read_bandwidth_gbps * 1e9);
+    const double util_pm =
+        demand_pm / (machine_.hm[hm::Tier::kPm].read_bandwidth_gbps * 1e9);
+    const double next_dram = std::max(1.0, lambda_dram * util_dram);
+    const double next_pm = std::max(1.0, lambda_pm * util_pm);
+    if (std::abs(next_dram - lambda_dram) < 1e-3 * lambda_dram &&
+        std::abs(next_pm - lambda_pm) < 1e-3 * lambda_pm && iter >= 1) {
+      lambda_dram = next_dram;
+      lambda_pm = next_pm;
+      break;
+    }
+    lambda_dram = next_dram;
+    lambda_pm = next_pm;
+  }
+
+  // Advance tasks.
+  double dram_bytes_epoch = 0, pm_bytes_epoch = 0;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    TaskRuntime& rt = running_[i];
+    if (rt.done) continue;
+    double dt_left = dt;
+    while (dt_left > 0 && !rt.done) {
+      const DerivedKernel& dk = rt.kernels[rt.kernel_index];
+      const KernelTiming kt =
+          TimeKernel(dk, rt.kernel_fraction, lambda_dram, lambda_pm);
+      const double remaining = (1.0 - rt.kernel_fraction) * kt.seconds;
+      const double advance = std::min(remaining, dt_left);
+      const double dprog = advance / kt.seconds;
+      const double f_before = rt.kernel_fraction;
+      const double f_after = std::min(1.0, f_before + dprog);
+
+      // Account this slice of the kernel.
+      for (const DerivedAccess& a : dk.accesses) {
+        const double mm = a.mm * dprog;
+        if (a.sweeping) {
+          oracle_->AddSweep(a.object, rt.task, f_before, f_after, mm);
+        } else {
+          oracle_->Add(a.object, rt.task, mm);
+        }
+        rt.stats.object_program_accesses[a.object] += a.program * dprog;
+        rt.stats.object_mm_accesses[a.object] += mm;
+        rt.stats.agg.program_accesses += a.program * dprog;
+        rt.stats.agg.mm_accesses += mm;
+        rt.stats.agg.l2_misses += a.l2_misses * dprog;
+        rt.stats.agg.prefetch_miss_weighted += a.prefetch_miss * mm;
+        rt.stats.agg.overlap_weighted += a.overlap * mm;
+      }
+      rt.stats.agg.instructions +=
+          static_cast<std::uint64_t>(static_cast<double>(dk.instructions) * dprog);
+      rt.stats.agg.branch_instructions += dk.branch_instructions * dprog;
+      rt.stats.agg.vector_instructions += dk.vector_instructions * dprog;
+      rt.stats.agg.compute_seconds += dk.compute_seconds * dprog;
+      rt.stats.agg.memory_seconds += kt.memory_seconds * dprog;
+      dram_bytes_epoch += kt.dram_bytes * dprog;
+      pm_bytes_epoch += kt.pm_bytes * dprog;
+      rt.stats.kernel_seconds[rt.kernel_index] += advance;
+
+      dt_left -= advance;
+      rt.kernel_fraction += dprog;
+      if (rt.kernel_fraction >= 1.0 - 1e-12) {
+        rt.kernel_fraction = 0.0;
+        ++rt.kernel_index;
+        if (rt.kernel_index >= rt.kernels.size()) {
+          rt.done = true;
+          rt.finish_time = t_ + (dt - dt_left);
+        }
+      }
+    }
+  }
+
+  // Drain migration queue and background traffic.
+  const double migrated = migration_rate * dt;
+  migration_queue_bytes_ = std::max(0.0, migration_queue_bytes_ - migrated);
+  const double bg_dram = background_dram_rate_ * dt;
+  const double bg_pm = background_pm_rate_ * dt;
+
+  BandwidthSample sample;
+  sample.t = t_;
+  sample.dram_gbps = (dram_bytes_epoch + migrated + bg_dram) / dt / 1e9;
+  sample.pm_gbps = (pm_bytes_epoch + migrated + bg_pm) / dt / 1e9;
+  sample.migration_gbps = migrated / dt / 1e9;
+  bandwidth_.push_back(sample);
+
+  t_ += dt;
+
+  if (t_ >= interval_deadline_ - 1e-12) {
+    FireInterval();
+    interval_deadline_ += config_.interval_seconds;
+  }
+}
+
+void Engine::FireInterval() {
+  if (policy_ != nullptr) policy_->OnInterval(*ctx_);
+  oracle_->ResetEpoch();
+  // Background traffic set during OnInterval applies to the next interval.
+  background_pm_rate_ = pending_background_pm_ / config_.interval_seconds;
+  background_dram_rate_ = pending_background_dram_ / config_.interval_seconds;
+  pending_background_pm_ = 0;
+  pending_background_dram_ = 0;
+}
+
+void Engine::FinishRegion(const Region& region, double region_start) {
+  RegionStats rs;
+  rs.name = region.name;
+  rs.start_time = region_start;
+  double slowest = 0;
+  for (TaskRuntime& rt : running_) {
+    rt.stats.exec_seconds = rt.finish_time - region_start;
+    slowest = std::max(slowest, rt.stats.exec_seconds);
+  }
+  rs.duration = slowest;
+  for (TaskRuntime& rt : running_) {
+    rt.stats.barrier_wait = slowest - rt.stats.exec_seconds;
+    rt.stats.agg.exec_seconds = rt.stats.exec_seconds;
+    rt.stats.pmcs = SynthesizePmcs(rt.stats.agg, rng_, config_.pmc_noise);
+    rs.tasks.push_back(std::move(rt.stats));
+  }
+  history_.push_back(std::move(rs));
+}
+
+SimResult Engine::Run() {
+  interval_deadline_ = config_.interval_seconds;
+  if (policy_ != nullptr) policy_->OnSimulationStart(*ctx_);
+
+  for (region_index_ = 0; region_index_ < workload_->regions.size();
+       ++region_index_) {
+    const Region& region = workload_->regions[region_index_];
+    BuildRegionRuntime(region);
+    const double region_start = t_;
+    if (policy_ != nullptr) policy_->OnRegionStart(*ctx_, region_index_);
+    bool any_active = !running_.empty();
+    while (any_active) {
+      StepEpoch();
+      any_active = false;
+      for (const TaskRuntime& rt : running_) {
+        if (!rt.done) {
+          any_active = true;
+          break;
+        }
+      }
+    }
+    // Synchronisation point: flush the profiling interval so policies see
+    // the region's tail activity (regions shorter than the interval would
+    // otherwise never be profiled).
+    FireInterval();
+    FinishRegion(region, region_start);
+    if (policy_ != nullptr) policy_->OnRegionEnd(*ctx_, region_index_);
+  }
+
+  SimResult result;
+  result.policy = policy_ != nullptr
+                      ? policy_->name()
+                      : (config_.force_tier == hm::Tier::kDram ? "DRAM-only"
+                                                               : "PM-only");
+  result.workload = workload_->name;
+  result.regions = history_;
+  result.bandwidth = std::move(bandwidth_);
+  result.migration = migration_->lifetime_stats();
+  double total = 0;
+  for (const RegionStats& r : result.regions) total += r.duration;
+  result.total_seconds = total;
+  return result;
+}
+
+SimResult SimulateHomogeneous(const Workload& workload,
+                              const MachineSpec& machine, hm::Tier tier,
+                              SimConfig config) {
+  config.force_tier = tier;
+  Engine engine(workload, machine, config, nullptr);
+  return engine.Run();
+}
+
+}  // namespace merch::sim

@@ -1,0 +1,165 @@
+// Discrete-time heterogeneous-memory execution engine.
+//
+// The engine advances all tasks of a region in lock-step epochs. Per epoch
+// it (1) derives each object's served-from-DRAM fraction from page
+// placement (or the hardware-cache model), (2) resolves bandwidth
+// contention across tasks, migration traffic, and background traffic with
+// a short fixed-point iteration, (3) advances task progress, and (4)
+// accumulates access counts (for profilers) and bandwidth telemetry
+// (Figure 6). Regions end with a barrier: the region's duration is its
+// slowest task — the paper's central observation is that placement must
+// optimise *that*, not individual task speed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "hm/migration.h"
+#include "hm/page_table.h"
+#include "sim/machine.h"
+#include "sim/oracle.h"
+#include "sim/policy.h"
+#include "sim/telemetry.h"
+#include "sim/workload.h"
+
+namespace merch::sim {
+
+struct SimConfig {
+  /// Simulation time step.
+  double epoch_seconds = 0.02;
+  /// Profiling/migration interval (MemoryOptimizer-style daemon period).
+  double interval_seconds = 0.5;
+  /// Placement granularity (2 MiB regions bound metadata at TiB scale; the
+  /// paper migrates 4 KiB pages — ratios, not granularity, drive results).
+  std::uint64_t page_bytes = 2 * MiB;
+  /// Migration engine transfer-rate cap.
+  double migration_gbps = 2.0;
+  /// PMU measurement noise (multiplicative sigma).
+  double pmc_noise = 0.02;
+  std::uint64_t seed = 42;
+  /// Homogeneous-run override: serve every access from this tier,
+  /// ignoring capacity (used to obtain T_dram_only / T_pm_only bounds).
+  std::optional<hm::Tier> force_tier;
+};
+
+class Engine {
+ public:
+  /// `policy` may be null (homogeneous/force-tier runs only).
+  Engine(const Workload& workload, const MachineSpec& machine,
+         SimConfig config, PlacementPolicy* policy);
+
+  SimResult Run();
+
+  // --- accessors used by SimContext ---
+  const Workload& workload() const { return *workload_; }
+  const MachineSpec& machine() const { return machine_; }
+  const SimConfig& config() const { return config_; }
+  hm::PageTable& pages() { return *pages_; }
+  hm::MigrationEngine& migration() { return *migration_; }
+  AccessOracle& oracle() { return *oracle_; }
+  double now() const { return t_; }
+  std::size_t region_index() const { return region_index_; }
+  const std::vector<RegionStats>& history() const { return history_; }
+  double ObjectDramFraction(std::size_t object) const;
+  void SetHwDramFraction(std::size_t object, double fraction);
+  void AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram);
+
+ private:
+  struct DerivedAccess {
+    std::size_t object = 0;
+    trace::AccessPattern pattern = trace::AccessPattern::kStream;
+    double program = 0;        // program-level accesses
+    double mm = 0;             // main-memory accesses
+    double bytes = 0;          // mm * line size
+    double read_fraction = 1.0;
+    double mlp = 1.0;
+    double overlap = 0.0;
+    double prefetch_miss = 0.0;
+    bool sequential = true;
+    bool sweeping = true;
+    double l2_misses = 0;
+  };
+  struct DerivedKernel {
+    double compute_seconds = 0;
+    std::uint64_t instructions = 0;
+    double branch_instructions = 0;
+    double vector_instructions = 0;
+    std::vector<DerivedAccess> accesses;
+  };
+  struct KernelTiming {
+    double seconds = 0;    // contended kernel duration
+    double dram_bytes = 0; // bytes on DRAM for the whole kernel
+    double pm_bytes = 0;
+    double memory_seconds = 0;  // unhidden memory time
+  };
+  struct TaskRuntime {
+    TaskId task = kInvalidTask;
+    const TaskProgram* program = nullptr;
+    std::vector<DerivedKernel> kernels;
+    std::size_t kernel_index = 0;
+    double kernel_fraction = 0;  // progress within current kernel
+    bool done = false;
+    double finish_time = 0;
+    TaskStats stats;  // accumulated
+  };
+
+  void RegisterObjects();
+  void BuildRegionRuntime(const Region& region);
+  DerivedKernel DeriveKernel(const Kernel& kernel, const Region& region) const;
+  /// Contended duration of `kernel` under contention factors, evaluated at
+  /// the given sweep progress (sequential accesses only benefit from DRAM
+  /// pages in the upcoming rank window; see trace::PatternTraits::sweeping).
+  KernelTiming TimeKernel(const DerivedKernel& kernel, double progress,
+                          double lambda_dram, double lambda_pm) const;
+
+  /// Fraction of pages in the rank window [f0, f1) of `object` resident on
+  /// DRAM (probed at fixed stride; exact for prefix placements).
+  double SweepDramFraction(std::size_t object, double f0, double f1) const;
+  /// One epoch: contention fixed point, task advancement, telemetry.
+  void StepEpoch();
+  /// Run the policy's profiling interval and reset interval counters.
+  void FireInterval();
+  /// Pull migration-engine activity into the rate-limited traffic queue.
+  void CollectMigrationTraffic();
+  void FinishRegion(const Region& region, double region_start);
+
+  const Workload* workload_;
+  MachineSpec machine_;
+  SimConfig config_;
+  PlacementPolicy* policy_;
+  Rng rng_;
+
+  std::unique_ptr<hm::PageTable> pages_;
+  std::unique_ptr<hm::MigrationEngine> migration_;
+  std::unique_ptr<AccessOracle> oracle_;
+  std::unique_ptr<SimContext> ctx_;
+
+  std::vector<ObjectId> handles_;
+  std::vector<double> dram_weight_;   // heat-weighted DRAM fraction / object
+  std::vector<double> hw_fraction_;   // hardware-cache mode fractions
+  bool hw_cache_mode_ = false;
+
+  double t_ = 0;
+  double interval_deadline_ = 0;
+  std::size_t region_index_ = 0;
+  std::vector<TaskRuntime> running_;
+  std::vector<RegionStats> history_;
+  std::vector<BandwidthSample> bandwidth_;
+
+  double migration_queue_bytes_ = 0;
+  double background_pm_rate_ = 0;    // bytes/s charged to PM
+  double background_dram_rate_ = 0;  // bytes/s charged to DRAM
+  double pending_background_pm_ = 0;
+  double pending_background_dram_ = 0;
+};
+
+/// Convenience: run `workload` with every access served from `tier`
+/// (capacity ignored). Returns per-region per-task stats — the source of
+/// the T_pm_only / T_dram_only bounds in Eq. 2.
+SimResult SimulateHomogeneous(const Workload& workload,
+                              const MachineSpec& machine, hm::Tier tier,
+                              SimConfig config = {});
+
+}  // namespace merch::sim

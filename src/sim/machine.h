@@ -1,0 +1,32 @@
+// Full machine description: heterogeneous memory + CPU.
+#pragma once
+
+#include "cachesim/cpu_cache.h"
+#include "hm/tier.h"
+
+namespace merch::sim {
+
+struct MachineSpec {
+  hm::HmSpec hm;
+  cachesim::CpuCacheSpec cache;
+  double core_ghz = 2.1;  // Xeon Gold 6252N base clock
+  double base_ipc = 2.0;  // sustained non-stalled instructions/cycle
+  int cores = 24;
+
+  /// The paper's evaluation platform (Section 7): 2x Xeon Gold 6252N,
+  /// 192 GB DRAM + 1.5 TB Optane PM. We model one socket's worth of cores;
+  /// task counts in the workloads match the paper's per-app configurations.
+  static MachineSpec Paper() {
+    return MachineSpec{.hm = hm::HmSpec::PaperOptane(),
+                       .cache = cachesim::CpuCacheSpec::PaperXeon()};
+  }
+
+  /// Downscaled machine for fast unit tests.
+  static MachineSpec Tiny() {
+    return MachineSpec{.hm = hm::HmSpec::Tiny(),
+                       .cache = cachesim::CpuCacheSpec{.l2_bytes = 256 * KiB,
+                                                       .llc_bytes = 2 * MiB}};
+  }
+};
+
+}  // namespace merch::sim

@@ -1,0 +1,133 @@
+#include "sim/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace merch::sim {
+
+AccessOracle::AccessOracle(const Workload& workload,
+                           const hm::PageTable& pages,
+                           std::vector<ObjectId> object_handles)
+    : workload_(&workload), pages_(&pages), handles_(std::move(object_handles)) {
+  assert(handles_.size() == workload.objects.size());
+  const auto tasks = workload.TaskIds();
+  max_task_ = tasks.empty() ? 0 : tasks.back() + 1;
+  epoch_by_object_.assign(handles_.size(), 0.0);
+  sweeps_by_object_.assign(handles_.size(), {});
+  lifetime_by_object_.assign(handles_.size(), 0.0);
+  epoch_by_object_task_.assign(handles_.size(),
+                               std::vector<double>(max_task_, 0.0));
+}
+
+void AccessOracle::Add(std::size_t object, TaskId task, double mm_accesses) {
+  assert(object < handles_.size());
+  epoch_by_object_[object] += mm_accesses;
+  lifetime_by_object_[object] += mm_accesses;
+  if (task < max_task_) epoch_by_object_task_[object][task] += mm_accesses;
+}
+
+void AccessOracle::AddSweep(std::size_t object, TaskId task, double f0,
+                            double f1, double mm_accesses) {
+  assert(object < handles_.size());
+  lifetime_by_object_[object] += mm_accesses;
+  if (task < max_task_) epoch_by_object_task_[object][task] += mm_accesses;
+  auto& windows = sweeps_by_object_[object];
+  // Merge with the most recent window when contiguous (consecutive epochs
+  // of the same kernel): keeps window counts at ~one per kernel slice.
+  if (!windows.empty() && std::abs(windows.back().f1 - f0) < 1e-9) {
+    windows.back().f1 = f1;
+    windows.back().accesses += mm_accesses;
+    return;
+  }
+  windows.push_back(SweepWindow{f0, f1, mm_accesses});
+}
+
+void AccessOracle::ResetEpoch() {
+  for (auto& v : epoch_by_object_) v = 0.0;
+  for (auto& w : sweeps_by_object_) w.clear();
+  for (auto& per_task : epoch_by_object_task_) {
+    for (auto& v : per_task) v = 0.0;
+  }
+}
+
+double AccessOracle::ObjectEpochAccesses(std::size_t object) const {
+  double sum = epoch_by_object_[object];
+  for (const SweepWindow& w : sweeps_by_object_[object]) sum += w.accesses;
+  return sum;
+}
+
+double AccessOracle::TaskEpochAccesses(TaskId task) const {
+  double sum = 0;
+  if (task >= max_task_) return 0;
+  for (const auto& per_task : epoch_by_object_task_) sum += per_task[task];
+  return sum;
+}
+
+double AccessOracle::TotalEpochAccesses() const {
+  double sum = 0;
+  for (std::size_t i = 0; i < epoch_by_object_.size(); ++i) {
+    sum += ObjectEpochAccesses(i);
+  }
+  return sum;
+}
+
+double AccessOracle::TaskObjectEpochAccesses(std::size_t object,
+                                             TaskId task) const {
+  if (task >= max_task_) return 0;
+  return epoch_by_object_task_[object][task];
+}
+
+double AccessOracle::ObjectLifetimeAccesses(std::size_t object) const {
+  return lifetime_by_object_[object];
+}
+
+std::uint64_t AccessOracle::num_pages() const { return pages_->num_pages(); }
+
+std::size_t AccessOracle::LocateObject(PageId p) const {
+  // Handles are registered in workload order so extents are ascending.
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const hm::ObjectExtent& e = pages_->extent(handles_[i]);
+    if (p >= e.first_page && p < e.first_page + e.num_pages) return i;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+double AccessOracle::EpochAccesses(PageId p) const {
+  const std::size_t obj = LocateObject(p);
+  if (obj == std::numeric_limits<std::size_t>::max()) return 0.0;
+  const hm::ObjectExtent& e = pages_->extent(handles_[obj]);
+  const std::uint64_t idx = p - e.first_page;
+  double sum = epoch_by_object_[obj] *
+               workload_->objects[obj].heat.PageFraction(idx, e.num_pages);
+  // Sweep windows: this page's rank interval is [idx/n, (idx+1)/n);
+  // each window spreads its accesses uniformly over [f0, f1).
+  const double n = static_cast<double>(e.num_pages);
+  const double r0 = static_cast<double>(idx) / n;
+  const double r1 = static_cast<double>(idx + 1) / n;
+  for (const SweepWindow& w : sweeps_by_object_[obj]) {
+    const double lo = std::max(r0, w.f0);
+    const double hi = std::min(r1, w.f1);
+    if (hi > lo && w.f1 > w.f0) {
+      sum += w.accesses * (hi - lo) / (w.f1 - w.f0);
+    }
+  }
+  return sum;
+}
+
+hm::Tier AccessOracle::PageTier(PageId p) const { return pages_->page_tier(p); }
+
+ObjectId AccessOracle::PageObject(PageId p) const {
+  const std::size_t obj = LocateObject(p);
+  if (obj == std::numeric_limits<std::size_t>::max()) return kInvalidObject;
+  return static_cast<ObjectId>(obj);
+}
+
+TaskId AccessOracle::PageTask(PageId p) const {
+  const ObjectId obj = PageObject(p);
+  if (obj == kInvalidObject) return kInvalidTask;
+  return workload_->objects[obj].owner;
+}
+
+}  // namespace merch::sim

@@ -1,0 +1,81 @@
+// Analytic access oracle: per-interval, per-object access accounting.
+//
+// Tracking per-4KiB-page counters for TiB-scale address spaces is
+// infeasible, so the engine records object-level main-memory access totals
+// and the oracle materialises per-page counts on demand through each
+// object's heat profile. Profilers consume it through the PageAccessSource
+// interface, exactly as they would consume real PTE accessed bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "hm/page_table.h"
+#include "sim/workload.h"
+#include "trace/access_source.h"
+
+namespace merch::sim {
+
+class AccessOracle final : public trace::PageAccessSource {
+ public:
+  AccessOracle(const Workload& workload, const hm::PageTable& pages,
+               std::vector<ObjectId> object_handles);
+
+  /// Record `mm_accesses` main-memory accesses by `task` to workload object
+  /// index `object` during the current interval, distributed over pages by
+  /// the object's static heat profile (random-pattern accesses).
+  void Add(std::size_t object, TaskId task, double mm_accesses);
+
+  /// Record a *sweep* slice: `mm_accesses` accesses landing uniformly on
+  /// the page-rank window [f0, f1) of the object (sequential patterns
+  /// touch pages in rank order as the kernel progresses). Adjacent slices
+  /// from consecutive epochs merge.
+  void AddSweep(std::size_t object, TaskId task, double f0, double f1,
+                double mm_accesses);
+
+  /// Zero the interval counters (called at interval boundaries after
+  /// policies have consumed them).
+  void ResetEpoch();
+
+  /// Interval totals.
+  double ObjectEpochAccesses(std::size_t object) const;
+  double TaskEpochAccesses(TaskId task) const;
+  double TotalEpochAccesses() const;
+  /// Accesses by `task` to `object` this interval.
+  double TaskObjectEpochAccesses(std::size_t object, TaskId task) const;
+
+  /// Lifetime totals (whole simulation so far).
+  double ObjectLifetimeAccesses(std::size_t object) const;
+
+  // --- trace::PageAccessSource ---
+  std::uint64_t num_pages() const override;
+  double EpochAccesses(PageId p) const override;
+  hm::Tier PageTier(PageId p) const override;
+  ObjectId PageObject(PageId p) const override;
+  TaskId PageTask(PageId p) const override;
+
+  /// PageTable object id for workload object index `i`.
+  ObjectId handle(std::size_t i) const { return handles_[i]; }
+
+ private:
+  struct SweepWindow {
+    double f0 = 0, f1 = 0;  // page-rank fractions
+    double accesses = 0;
+  };
+
+  /// Workload object index owning page `p`, or SIZE_MAX.
+  std::size_t LocateObject(PageId p) const;
+
+  const Workload* workload_;
+  const hm::PageTable* pages_;
+  std::vector<ObjectId> handles_;         // workload index -> PageTable id
+  std::vector<double> epoch_by_object_;   // static-heat portion
+  std::vector<std::vector<SweepWindow>> sweeps_by_object_;
+  std::vector<double> lifetime_by_object_;
+  // Flattened (object, task) interval counters: tasks are dense small ids.
+  std::vector<std::vector<double>> epoch_by_object_task_;
+  std::size_t max_task_ = 0;
+};
+
+}  // namespace merch::sim

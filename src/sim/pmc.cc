@@ -1,0 +1,79 @@
+#include "sim/pmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace merch::sim {
+
+const std::vector<std::string>& PmcEventNames() {
+  static const std::vector<std::string> kNames = {
+      "LLC_MPKI",    "IPC",        "PRF_Miss",   "MEM_WCY",
+      "L2_LD_Miss",  "BR_MSP",     "VEC_INS",    "L3_LD_Miss",
+      "TLB_MPKI",    "L1_MPKI",    "PAGE_WALK",  "ICACHE_MPKI",
+      "FE_STALL",    "FP_RATIO",   "UOPS_INS",   "PORT5_UTIL",
+      "DIV_ACTIVE",  "SB_FULL",    "RAT_STALL",  "MS_SWITCH",
+      "LOCK_CYC",    "SMT_CONT",   "TEMP_VAR",   "PWR_THR",
+  };
+  return kNames;
+}
+
+const std::string& PmcEventName(std::size_t index) {
+  return PmcEventNames().at(index);
+}
+
+EventVector SynthesizePmcs(const TaskAggregates& agg, Rng& rng, double noise) {
+  EventVector e{};
+  const double instructions = std::max<double>(1.0, agg.instructions);
+  const double kilo_ins = instructions / 1000.0;
+  const double cycles =
+      std::max(1.0, agg.exec_seconds * agg.core_ghz * 1e9);
+  const double mm = agg.mm_accesses;
+  const double prog = std::max(1.0, agg.program_accesses);
+
+  e[kLlcMpki] = mm / kilo_ins;
+  e[kIpc] = instructions / cycles;
+  e[kPrfMiss] = mm > 0 ? agg.prefetch_miss_weighted / mm : 0.0;
+  e[kMemWcy] =
+      agg.exec_seconds > 0 ? agg.memory_seconds / agg.exec_seconds : 0.0;
+  e[kL2LdMiss] = agg.l2_misses / prog;
+  // Misprediction rate grows with branchiness; data-dependent branches in
+  // irregular code mispredict more.
+  const double branchiness = agg.branch_instructions / instructions;
+  const double irregularity = e[kPrfMiss];
+  e[kBrMsp] = branchiness * (0.01 + 0.08 * irregularity);
+  e[kVecIns] = agg.vector_instructions / instructions;
+  e[kL3LdMiss] = mm / prog;
+
+  // Correlated distractors: track the memory behaviour through different
+  // lenses (they carry signal, but less cleanly than the top events).
+  e[kTlbMpki] = 0.15 * e[kLlcMpki] * (0.3 + irregularity);
+  e[kL1Mpki] = (agg.l2_misses * 3.0) / kilo_ins;
+  e[kPageWalkCyc] = 0.2 * e[kTlbMpki];
+  e[kIcacheMpki] = 0.02 + 0.01 * branchiness;
+
+  // Compute-side events: functions of the instruction mix, nearly
+  // independent of data placement.
+  e[kFeStall] = 0.05 + 0.3 * branchiness;
+  e[kFpRatio] = e[kVecIns] * 0.8 + 0.05;
+  e[kUopsPerIns] = 1.1 + 0.4 * e[kVecIns];
+  e[kPort5Util] = 0.2 + 0.3 * e[kVecIns];
+  e[kDivActive] = 0.01 + 0.02 * e[kFpRatio];
+  e[kSbFull] = 0.05 + 0.2 * (1.0 - agg.overlap_weighted / std::max(1.0, mm));
+  e[kRatStall] = 0.03 + 0.1 * e[kFeStall];
+  e[kMsSwitches] = 0.001 + 0.004 * branchiness;
+  e[kLockCycles] = 0.002;
+  e[kSmtContention] = 0.1;
+
+  // Pure noise.
+  e[kCoreTempVar] = rng.NextDoubleInRange(0.0, 1.0);
+  e[kPwrThrottle] = rng.NextDoubleInRange(0.0, 1.0);
+
+  if (noise > 0) {
+    for (std::size_t i = 0; i < kNumPmcEvents - 2; ++i) {
+      e[i] *= std::max(0.0, 1.0 + rng.NextGaussian(0.0, noise));
+    }
+  }
+  return e;
+}
+
+}  // namespace merch::sim

@@ -1,0 +1,85 @@
+// Performance monitoring counter (PMC) synthesis.
+//
+// The paper's correlation function f(PMCs, r_dram) takes 8 hardware events
+// selected by Gini importance out of "all collectable events" (Section
+// 5.1). The simulator stands in for the PMU: it synthesises a 24-event
+// vector per task from the task's workload structure and achieved timing.
+// The 8 paper events are genuine functions of memory behaviour; the rest
+// are weakly-correlated or pure-noise distractors, so the event-selection
+// study (Figure 7, Table 3) has something real to select against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace merch::sim {
+
+/// Indices into an event vector. First eight are the paper's selected
+/// events in its importance order (Section 5.1).
+enum PmcEvent : std::size_t {
+  kLlcMpki = 0,   // LLC misses per kilo-instruction
+  kIpc = 1,       // instructions per cycle
+  kPrfMiss = 2,   // prefetch miss ratio
+  kMemWcy = 3,    // memory wait (stall) cycle ratio
+  kL2LdMiss = 4,  // L2 load miss ratio
+  kBrMsp = 5,     // branch misprediction ratio
+  kVecIns = 6,    // vector instruction ratio
+  kL3LdMiss = 7,  // L3 load miss ratio
+  // Correlated distractors.
+  kTlbMpki = 8,
+  kL1Mpki = 9,
+  kPageWalkCyc = 10,
+  kIcacheMpki = 11,
+  // Weakly correlated compute-side events.
+  kFeStall = 12,
+  kFpRatio = 13,
+  kUopsPerIns = 14,
+  kPort5Util = 15,
+  kDivActive = 16,
+  kSbFull = 17,
+  kRatStall = 18,
+  kMsSwitches = 19,
+  kLockCycles = 20,
+  kSmtContention = 21,
+  // Pure noise.
+  kCoreTempVar = 22,
+  kPwrThrottle = 23,
+  kNumPmcEvents = 24,
+};
+
+using EventVector = std::array<double, kNumPmcEvents>;
+
+/// Event name for reports ("LLC_MPKI", ...).
+const std::string& PmcEventName(std::size_t index);
+
+/// All names in index order.
+const std::vector<std::string>& PmcEventNames();
+
+/// Aggregated behaviour of one task over one execution; the engine fills
+/// this while simulating and then synthesises PMCs from it.
+struct TaskAggregates {
+  std::uint64_t instructions = 0;
+  double program_accesses = 0;     // program-level loads+stores
+  double mm_accesses = 0;          // accesses reaching main memory
+  double l2_misses = 0;            // program accesses missing L2
+  double prefetch_miss_weighted = 0;  // mm_accesses-weighted prefetch miss
+  double overlap_weighted = 0;        // mm_accesses-weighted overlap factor
+  double branch_instructions = 0;
+  double vector_instructions = 0;
+  double exec_seconds = 0;
+  double compute_seconds = 0;
+  double memory_seconds = 0;       // unhidden memory service time
+  double core_ghz = 2.1;
+};
+
+/// Synthesise the full event vector. `noise` is the multiplicative
+/// measurement-noise sigma (0 disables noise; the engine defaults to 2%,
+/// matching run-to-run PMU variation).
+EventVector SynthesizePmcs(const TaskAggregates& agg, Rng& rng,
+                           double noise = 0.02);
+
+}  // namespace merch::sim

@@ -1,0 +1,81 @@
+// Placement-policy interface: the seam where Merchandiser and the baseline
+// page-management systems plug into the simulator.
+//
+// Policies act at three moments: simulation start (offline preparation),
+// region start (Merchandiser runs Algorithm 1 here, before task execution —
+// "the runtime first employs a heuristic algorithm ... before task
+// execution", Section 6), and periodic profiling intervals (hot-page
+// detection + migration, as MemoryOptimizer's daemon does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "hm/migration.h"
+#include "hm/page_table.h"
+#include "sim/machine.h"
+#include "sim/oracle.h"
+#include "sim/telemetry.h"
+#include "sim/workload.h"
+
+namespace merch::sim {
+
+class Engine;
+
+/// Everything a policy may observe and manipulate. Ground-truth fields a
+/// real system could not see (exact future times) are deliberately absent;
+/// policies see profiling data (oracle counters = PTE/PEBS equivalents) and
+/// completed-region statistics (= their own measurements).
+class SimContext {
+ public:
+  SimContext(Engine& engine) : engine_(&engine) {}
+
+  const Workload& workload() const;
+  const MachineSpec& machine() const;
+  hm::PageTable& pages();
+  hm::MigrationEngine& migration();
+  AccessOracle& oracle();
+  double now() const;
+  std::size_t region_index() const;
+  /// Stats of regions that already completed (earlier task instances).
+  const std::vector<RegionStats>& history() const;
+
+  /// Heat-weighted fraction of `object`'s accesses currently landing on
+  /// DRAM given its page placement (what the object's placement *implies*;
+  /// policies use it to audit their own decisions).
+  double ObjectDramFraction(std::size_t object) const;
+
+  /// For hardware-cache policies (Memory Mode): override the served-from-
+  /// DRAM fraction of an object for subsequent epochs.
+  void SetHwDramFraction(std::size_t object, double fraction);
+
+  /// Charge additional memory traffic (cache fills, write-backs) spread
+  /// over the next interval.
+  void AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram);
+
+ private:
+  Engine* engine_;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Memory Mode returns true: placement is hardware-managed, the page
+  /// table is bypassed, and served-from-DRAM fractions come from
+  /// SetHwDramFraction.
+  virtual bool uses_hardware_cache() const { return false; }
+
+  virtual void OnSimulationStart(SimContext& /*ctx*/) {}
+  virtual void OnRegionStart(SimContext& /*ctx*/, std::size_t /*region*/) {}
+  /// Called every config.interval_seconds of simulated time while a region
+  /// runs, after telemetry for the interval is finalised and before the
+  /// oracle's interval counters reset.
+  virtual void OnInterval(SimContext& /*ctx*/) {}
+  virtual void OnRegionEnd(SimContext& /*ctx*/, std::size_t /*region*/) {}
+};
+
+}  // namespace merch::sim

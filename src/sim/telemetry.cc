@@ -1,0 +1,30 @@
+#include "sim/telemetry.h"
+
+#include "common/stats.h"
+
+namespace merch::sim {
+
+std::vector<double> SimResult::NormalizedTaskTimes() const {
+  std::vector<double> out;
+  for (const RegionStats& r : regions) {
+    if (r.tasks.empty() || r.duration <= 0) continue;
+    for (const TaskStats& t : r.tasks) {
+      out.push_back(t.exec_seconds / r.duration);
+    }
+  }
+  return out;
+}
+
+double SimResult::AverageCoV() const {
+  std::vector<double> covs;
+  for (const RegionStats& r : regions) {
+    if (r.tasks.size() < 2) continue;
+    std::vector<double> times;
+    times.reserve(r.tasks.size());
+    for (const TaskStats& t : r.tasks) times.push_back(t.exec_seconds);
+    covs.push_back(CoefficientOfVariation(times));
+  }
+  return Mean(covs);
+}
+
+}  // namespace merch::sim

@@ -1,0 +1,62 @@
+// Simulation outputs: per-epoch bandwidth samples (Figure 6), per-region
+// per-task execution statistics (Figures 4 and 5), and migration traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hm/migration.h"
+#include "sim/pmc.h"
+
+namespace merch::sim {
+
+/// One epoch's achieved memory bandwidth (GB/s), split by source.
+struct BandwidthSample {
+  double t = 0;                // simulated seconds
+  double dram_gbps = 0;        // total DRAM traffic
+  double pm_gbps = 0;          // total PM traffic
+  double migration_gbps = 0;   // page-migration portion (counted in both)
+};
+
+/// One task instance's outcome inside one region.
+struct TaskStats {
+  TaskId task = kInvalidTask;
+  double exec_seconds = 0;     // region start -> this task's last kernel
+  double barrier_wait = 0;     // idle time until the region's barrier
+  TaskAggregates agg;
+  EventVector pmcs{};
+  /// Per workload-object totals for this task instance.
+  std::vector<double> object_program_accesses;
+  std::vector<double> object_mm_accesses;
+  /// Wall-clock seconds spent in each kernel ("basic block" timings for
+  /// the Section 5.2 homogeneous-memory predictor).
+  std::vector<double> kernel_seconds;
+};
+
+struct RegionStats {
+  std::string name;
+  double start_time = 0;
+  double duration = 0;  // barrier-to-barrier (== slowest task)
+  std::vector<TaskStats> tasks;
+};
+
+struct SimResult {
+  std::string policy;
+  std::string workload;
+  double total_seconds = 0;
+  std::vector<RegionStats> regions;
+  std::vector<BandwidthSample> bandwidth;
+  hm::MigrationStats migration;
+
+  /// All task exec times across regions, normalized per region to that
+  /// region's slowest task (the Figure 5 data series).
+  std::vector<double> NormalizedTaskTimes() const;
+
+  /// Average coefficient of variation of task times across regions (the
+  /// paper's A.C.V load-balance metric, Section 7.2).
+  double AverageCoV() const;
+};
+
+}  // namespace merch::sim

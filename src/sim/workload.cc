@@ -1,0 +1,52 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace merch::sim {
+
+std::vector<TaskId> Workload::TaskIds() const {
+  std::set<TaskId> ids;
+  for (const Region& r : regions) {
+    for (const TaskProgram& t : r.tasks) ids.insert(t.task);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+std::uint64_t Workload::TotalBytes() const {
+  std::uint64_t sum = 0;
+  for (const ObjectDecl& o : objects) sum += o.bytes;
+  return sum;
+}
+
+std::string Workload::Validate() const {
+  std::ostringstream err;
+  for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+    const Region& r = regions[ri];
+    if (!r.active_bytes.empty() && r.active_bytes.size() != objects.size()) {
+      err << "region " << ri << " active_bytes size " << r.active_bytes.size()
+          << " != objects " << objects.size() << "; ";
+    }
+    std::set<TaskId> seen;
+    for (const TaskProgram& t : r.tasks) {
+      if (!seen.insert(t.task).second) {
+        err << "region " << ri << " has duplicate task " << t.task << "; ";
+      }
+      for (const Kernel& k : t.kernels) {
+        for (const trace::ObjectAccess& a : k.accesses) {
+          if (a.object >= objects.size()) {
+            err << "region " << ri << " kernel " << k.name
+                << " references object " << a.object << " out of range; ";
+          }
+          if (a.element_bytes == 0) {
+            err << "kernel " << k.name << " has zero element_bytes; ";
+          }
+        }
+      }
+    }
+  }
+  return err.str();
+}
+
+}  // namespace merch::sim

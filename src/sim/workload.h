@@ -1,0 +1,76 @@
+// Workload description consumed by the simulator engine.
+//
+// An application is a sequence of *regions* (parallel sections ending in a
+// barrier, i.e. the synchronization points of paper Section 2). Each region
+// runs one *task instance* per task; a task instance is a sequence of
+// kernels touching registered data objects. Repeating a task across regions
+// with different input sizes models the paper's "task instances with new
+// inputs" (DMRG sweeps, SpGEMM main-loop iterations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/heat.h"
+#include "trace/pattern.h"
+
+namespace merch::sim {
+
+/// A data object registered for HM management (what the application passes
+/// to the LB_HM_config API in paper Section 4).
+struct ObjectDecl {
+  std::string name;
+  std::uint64_t bytes = 0;
+  /// Task that predominantly accesses it, or kInvalidTask when shared.
+  TaskId owner = kInvalidTask;
+  trace::HeatProfile heat = trace::HeatProfile::Uniform();
+  /// How many times a typical kernel sweeps the object (temporal reuse,
+  /// amortises cold misses when the object is cache-resident).
+  double reuse_passes = 1.0;
+};
+
+/// One code region inside a task instance.
+struct Kernel {
+  std::string name;
+  std::uint64_t instructions = 0;  // non-memory work
+  double branch_fraction = 0.05;   // of instructions
+  double vector_fraction = 0.20;   // of instructions
+  std::vector<trace::ObjectAccess> accesses;
+};
+
+/// One task's program for one region (a task instance).
+struct TaskProgram {
+  TaskId task = 0;
+  std::vector<Kernel> kernels;
+};
+
+/// A parallel section: all task instances start together and synchronize at
+/// the end (implicit barrier).
+struct Region {
+  std::string name;
+  std::vector<TaskProgram> tasks;
+  /// Input sizes of this instance: active bytes per object (same length as
+  /// Workload::objects). Drives the Merchandiser runtime's input-aware
+  /// estimation (Eq. 1) and cosine-similarity scaling (Section 5.2).
+  std::vector<std::uint64_t> active_bytes;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<ObjectDecl> objects;
+  std::vector<Region> regions;
+
+  /// All distinct task ids appearing in any region, ascending.
+  std::vector<TaskId> TaskIds() const;
+
+  /// Total bytes across objects.
+  std::uint64_t TotalBytes() const;
+
+  /// Consistency checks (object ids in range, active_bytes sized, ...);
+  /// returns an empty string when valid, else a description of the problem.
+  std::string Validate() const;
+};
+
+}  // namespace merch::sim

@@ -1,0 +1,35 @@
+// Abstract view of per-page access activity for one profiling epoch.
+//
+// Profilers (src/profiler) are written against this interface so they work
+// both over the simulator's analytic access oracle (large runs) and over
+// synthetic or recorded page counters (tests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "hm/tier.h"
+
+namespace merch::trace {
+
+class PageAccessSource {
+ public:
+  virtual ~PageAccessSource() = default;
+
+  virtual std::uint64_t num_pages() const = 0;
+
+  /// Expected accesses to page `p` during the current epoch. Fractional
+  /// values are allowed (analytic oracles spread object totals over pages).
+  virtual double EpochAccesses(PageId p) const = 0;
+
+  /// Tier currently holding page `p`.
+  virtual hm::Tier PageTier(PageId p) const = 0;
+
+  /// Object owning page `p`, or kInvalidObject for unmapped pages.
+  virtual ObjectId PageObject(PageId p) const = 0;
+
+  /// Task owning the object of page `p`, or kInvalidTask.
+  virtual TaskId PageTask(PageId p) const = 0;
+};
+
+}  // namespace merch::trace

@@ -1,0 +1,44 @@
+#include "trace/pattern.h"
+
+#include <array>
+
+namespace merch::trace {
+
+const char* PatternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kStream:
+      return "Stream";
+    case AccessPattern::kStrided:
+      return "Strided";
+    case AccessPattern::kStencil:
+      return "Stencil";
+    case AccessPattern::kRandom:
+      return "Random";
+    case AccessPattern::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+const PatternTraits& TraitsOf(AccessPattern p) {
+  // Values chosen to reproduce the qualitative behaviour the paper relies
+  // on: streams are bandwidth-bound and latency-tolerant; random access is
+  // latency-bound with little overlap (hence benefits most from DRAM's
+  // lower random latency, and caches — including Memory Mode's DRAM cache —
+  // serve it poorly).
+  static const std::array<PatternTraits, 5> kTraits = {{
+      /*kStream*/ {.mlp = 16.0, .overlap = 0.80, .prefetch_miss = 0.05,
+                   .sequential_latency = true, .sweeping = true},
+      /*kStrided*/ {.mlp = 8.0, .overlap = 0.60, .prefetch_miss = 0.25,
+                    .sequential_latency = true, .sweeping = true},
+      /*kStencil*/ {.mlp = 12.0, .overlap = 0.70, .prefetch_miss = 0.12,
+                    .sequential_latency = true, .sweeping = true},
+      /*kRandom*/ {.mlp = 4.0, .overlap = 0.20, .prefetch_miss = 0.85,
+                   .sequential_latency = false, .sweeping = false},
+      /*kUnknown*/ {.mlp = 4.0, .overlap = 0.20, .prefetch_miss = 0.85,
+                    .sequential_latency = false, .sweeping = false},
+  }};
+  return kTraits[static_cast<std::size_t>(p)];
+}
+
+}  // namespace merch::trace

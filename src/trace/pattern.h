@@ -1,0 +1,68 @@
+// Memory access patterns (paper Section 4).
+//
+// Merchandiser classifies object-level accesses into four patterns —
+// stream, strided, stencil, random — because the pattern determines (a) how
+// program-level accesses translate into main-memory accesses (the caching
+// effect captured by alpha in Eq. 1) and (b) how latency-tolerant the
+// accesses are (prefetchability / memory-level parallelism).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace merch::trace {
+
+enum class AccessPattern : std::uint8_t {
+  kStream = 0,   // A[i] = B[i] + C[i]; includes delta, reduction, transpose
+  kStrided = 1,  // A[i*stride]; constant stride known statically
+  kStencil = 2,  // A[i] = A[i-1] + A[i+1]; loop-carried neighborhoods
+  kRandom = 3,   // A[i] = B[C[i]]; gather/scatter/pointer chase
+  kUnknown = 4,  // unclassifiable statically; treated as random (Section 4)
+};
+
+const char* PatternName(AccessPattern p);
+
+/// Pattern-dependent microarchitectural traits used by the simulator's
+/// ground-truth timing model. These are *simulator* constants — the
+/// Merchandiser runtime never reads them (it learns behaviour from profiling
+/// and the trained correlation function, exactly as the paper's system does).
+struct PatternTraits {
+  /// Average outstanding main-memory requests (memory-level parallelism).
+  /// Prefetchable patterns overlap many misses; dependent random chains
+  /// cannot.
+  double mlp;
+  /// Fraction of main-memory service time the core can hide under compute
+  /// (prefetch distance / OoO window effectiveness).
+  double overlap;
+  /// Hardware-prefetcher miss ratio contribution (feeds the PRF_Miss PMC).
+  double prefetch_miss;
+  /// Whether latency per access uses the tier's sequential or random spec.
+  bool sequential_latency;
+  /// Whether the pattern *sweeps* its object (touches pages in rank order,
+  /// once per kernel execution). Sweeping accesses only benefit from DRAM
+  /// pages placed *ahead* of the sweep position — promoting a page after
+  /// the sweep passed it is useless, which is why reactive hot-page
+  /// tiering barely helps streaming workloads (paper Section 1).
+  bool sweeping;
+};
+
+const PatternTraits& TraitsOf(AccessPattern p);
+
+/// One object's access behaviour inside one kernel.
+struct ObjectAccess {
+  ObjectId object = kInvalidObject;
+  AccessPattern pattern = AccessPattern::kStream;
+  /// Program-level accesses (loads+stores executed by the code) to this
+  /// object per kernel execution.
+  std::uint64_t program_accesses = 0;
+  /// Bytes touched per access (element size).
+  std::uint32_t element_bytes = 8;
+  /// Constant stride in elements (>=1); only meaningful for kStrided.
+  std::uint32_t stride_elements = 1;
+  /// Fraction of accesses that are reads (rest are writes).
+  double read_fraction = 1.0;
+};
+
+}  // namespace merch::trace

@@ -1,0 +1,49 @@
+// Synthetic code regions — the CERE stand-in.
+//
+// The paper extracts 281 loop regions from NAS and SPEC 2006 FP with CERE
+// and uses them as code samples for training the correlation function
+// (Section 5.1). We have neither tool offline, so we synthesise regions
+// spanning the same behaviour space: 1-4 objects per region, random
+// pattern mix, object sizes from cache-resident to tens of GiB, arithmetic
+// intensity from memory-bound to compute-bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/workload.h"
+
+namespace merch::workloads {
+
+struct RegionObjectSpec {
+  trace::AccessPattern pattern = trace::AccessPattern::kStream;
+  std::uint64_t bytes = 0;
+  double accesses_per_byte = 1.0;  // program-level access intensity
+  std::uint32_t element_bytes = 8;
+  std::uint32_t stride_elements = 1;
+  double read_fraction = 0.8;
+};
+
+struct CodeRegionSpec {
+  std::string name;
+  std::vector<RegionObjectSpec> objects;
+  /// Non-memory instructions per program-level access (arithmetic
+  /// intensity knob).
+  double instructions_per_access = 4.0;
+  double branch_fraction = 0.05;
+  double vector_fraction = 0.2;
+};
+
+/// Random but reproducible set of diverse code-region specs.
+std::vector<CodeRegionSpec> GenerateCodeRegionSpecs(std::size_t count,
+                                                    Rng& rng);
+
+/// Single-task single-kernel workload for one region. `input_scale` scales
+/// object sizes and access counts together (the paper collects PMCs with a
+/// *seed input* different from the training input).
+sim::Workload BuildCodeRegionWorkload(const CodeRegionSpec& spec,
+                                      double input_scale = 1.0);
+
+}  // namespace merch::workloads

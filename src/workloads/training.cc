@@ -1,0 +1,132 @@
+#include "workloads/training.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "sim/engine.h"
+#include "sim/fixed_fraction.h"
+
+namespace merch::workloads {
+namespace {
+
+/// Simulation knobs for the small single-kernel code samples: fine epochs
+/// are unnecessary, and every sample must be cheap (thousands of runs).
+sim::SimConfig SampleSimConfig(std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.epoch_seconds = 0.05;
+  cfg.interval_seconds = 1e9;  // no profiling interval work
+  cfg.page_bytes = 2 * MiB;
+  cfg.pmc_noise = 0.02;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<TrainingSample> GenerateTrainingSamples(const TrainingConfig& cfg) {
+  Rng rng(cfg.seed);
+  const auto specs = GenerateCodeRegionSpecs(cfg.num_regions, rng);
+
+  std::vector<TrainingSample> samples;
+  samples.reserve(cfg.num_regions * cfg.placements_per_region);
+
+  std::size_t region_i = 0;
+  for (const CodeRegionSpec& spec : specs) {
+    ++region_i;
+    const sim::Workload train_wl = BuildCodeRegionWorkload(spec, 1.0);
+    const sim::Workload seed_wl =
+        BuildCodeRegionWorkload(spec, cfg.seed_input_scale);
+
+    // Bounds.
+    const auto pm_run = sim::SimulateHomogeneous(
+        train_wl, cfg.machine, hm::Tier::kPm, SampleSimConfig(rng.NextU64()));
+    const auto dram_run = sim::SimulateHomogeneous(
+        train_wl, cfg.machine, hm::Tier::kDram, SampleSimConfig(rng.NextU64()));
+    const double t_pm = pm_run.total_seconds;
+    const double t_dram = dram_run.total_seconds;
+    if (t_pm <= 0 || t_dram <= 0 || t_pm <= t_dram * 1.0001) {
+      // Fully compute-bound sample: placement is irrelevant; f would be
+      // ill-conditioned. Skip (the paper's region set also spans such
+      // loops; they contribute nothing to a placement model).
+      continue;
+    }
+
+    // Seed-input PMC collection on PM only (the paper collects workload
+    // characteristics from one execution of a specific data placement).
+    const auto seed_run = sim::SimulateHomogeneous(
+        seed_wl, cfg.machine, hm::Tier::kPm, SampleSimConfig(rng.NextU64()));
+    const sim::EventVector pmcs = seed_run.regions.at(0).tasks.at(0).pmcs;
+
+    for (std::size_t p = 0; p < cfg.placements_per_region; ++p) {
+      // Spread requested fractions over (0, 0.9]; jitter them so the
+      // model sees r values off the grid. The grid stays clear of r -> 1
+      // because the Eq. 2 inversion divides by (1 - r): targets computed
+      // at extreme r amplify measurement noise into useless labels (and a
+      // placement that serves ~everything from DRAM needs no model).
+      const double base_frac = 0.9 *
+          (static_cast<double>(p) + 0.5) /
+          static_cast<double>(cfg.placements_per_region);
+      const double frac =
+          std::clamp(base_frac + rng.NextDoubleInRange(-0.04, 0.04), 0.02, 0.90);
+
+      sim::FixedFractionPolicy policy =
+          sim::FixedFractionPolicy::Uniform(train_wl.objects.size(), frac);
+      sim::Engine engine(train_wl, cfg.machine, SampleSimConfig(rng.NextU64()),
+                         &policy);
+      const sim::SimResult hybrid = engine.Run();
+      const double t_hybrid = hybrid.total_seconds;
+
+      // Achieved r: heat-weighted DRAM share of main-memory accesses.
+      const auto& task = hybrid.regions.at(0).tasks.at(0);
+      double dram_acc = 0, total_acc = 0;
+      for (std::size_t obj = 0; obj < task.object_mm_accesses.size(); ++obj) {
+        const double share = obj < policy.achieved().size()
+                                 ? policy.achieved()[obj]
+                                 : frac;
+        dram_acc += task.object_mm_accesses[obj] * share;
+        total_acc += task.object_mm_accesses[obj];
+      }
+      if (total_acc <= 0) continue;
+      const double r = std::clamp(dram_acc / total_acc, 0.0, 0.995);
+
+      TrainingSample s;
+      s.pmcs = pmcs;
+      s.r_dram = r;
+      // Clamp pathological inversions (t_hybrid measured slightly outside
+      // the homogeneous bounds maps to f < 0 or huge f).
+      s.f_target = std::clamp(
+          (t_hybrid - t_dram * r) / (t_pm * (1.0 - r)), 0.0, 3.0);
+      samples.push_back(s);
+    }
+    if (region_i % 50 == 0) {
+      MERCH_LOG(kInfo) << "training data: " << region_i << "/" << specs.size()
+                       << " regions, " << samples.size() << " samples";
+    }
+  }
+  return samples;
+}
+
+ml::Dataset ToDataset(const std::vector<TrainingSample>& samples,
+                      const std::vector<std::size_t>& event_subset) {
+  ml::Dataset data;
+  for (const TrainingSample& s : samples) {
+    data.Add(MakeFeatureRow(s.pmcs, s.r_dram, event_subset), s.f_target);
+  }
+  return data;
+}
+
+std::vector<double> MakeFeatureRow(const sim::EventVector& pmcs, double r_dram,
+                                   const std::vector<std::size_t>& event_subset) {
+  std::vector<double> row;
+  if (event_subset.empty()) {
+    row.assign(pmcs.begin(), pmcs.end());
+  } else {
+    row.reserve(event_subset.size() + 1);
+    for (const std::size_t e : event_subset) row.push_back(pmcs.at(e));
+  }
+  row.push_back(r_dram);
+  return row;
+}
+
+}  // namespace merch::workloads

@@ -1,0 +1,51 @@
+// Correlation-function training-data generation (paper Section 5.1).
+//
+// For each code sample: run on PM only and DRAM only (the bounds), then
+// under `placements_per_region` fixed data placements; for each placement,
+// invert Eq. 2 to obtain the target value of f:
+//
+//   f = (T_hybrid - T_dram_only * r) / (T_pm_only * (1 - r))
+//
+// The feature vector is the sample's PMC vector collected with a *seed
+// input* (a different input size than the one generating targets, exactly
+// as the paper separates seed and training inputs) concatenated with r.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "sim/machine.h"
+#include "sim/pmc.h"
+#include "workloads/code_region.h"
+
+namespace merch::workloads {
+
+struct TrainingConfig {
+  std::size_t num_regions = 281;          // paper's CERE region count
+  std::size_t placements_per_region = 10; // paper: 10 data placements
+  double seed_input_scale = 0.6;          // PMC-collection input vs training
+  std::uint64_t seed = 2023;
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+};
+
+struct TrainingSample {
+  sim::EventVector pmcs{};
+  double r_dram = 0;
+  double f_target = 0;
+};
+
+/// Generate raw samples by simulation.
+std::vector<TrainingSample> GenerateTrainingSamples(const TrainingConfig& cfg);
+
+/// Pack samples into an ml::Dataset. Feature layout: the PMC events in
+/// `event_subset` order (empty = all kNumPmcEvents events), then r_dram as
+/// the final feature. Target: f.
+ml::Dataset ToDataset(const std::vector<TrainingSample>& samples,
+                      const std::vector<std::size_t>& event_subset = {});
+
+/// Feature vector for one prediction query, matching ToDataset's layout.
+std::vector<double> MakeFeatureRow(const sim::EventVector& pmcs, double r_dram,
+                                   const std::vector<std::size_t>& event_subset = {});
+
+}  // namespace merch::workloads

@@ -1,0 +1,119 @@
+// Tests for the alpha model (Eq. 1): offline linear alphas including the
+// paper's worked example, stencil microbenchmark alpha, and runtime
+// refinement.
+#include <gtest/gtest.h>
+
+#include "core/alpha.h"
+
+namespace merch::core {
+namespace {
+
+using trace::AccessPattern;
+
+TEST(LinearAlpha, PaperWorkedExample) {
+  // Paper Section 4: stream pattern, 4-byte ints, 64B lines, S_base=128B
+  // (2 memory accesses), S_new=192B (3 accesses) => alpha = 1 and the
+  // estimate reproduces 3 accesses from prof=2.
+  const double alpha = LinearAlpha(128, 192, 4, 1);
+  EXPECT_DOUBLE_EQ(alpha, 1.0);
+  AlphaEstimator est(AccessPattern::kStream, 4, 1);
+  est.SetBase(128.0, 2.0);
+  EXPECT_NEAR(est.EstimateAccesses(192.0), 3.0, 1e-9);
+}
+
+TEST(LinearAlpha, NonDivisibleSizesRoundUp) {
+  // 100B and 130B both round to line multiples (2 and 3 lines).
+  const double alpha = LinearAlpha(100, 130, 4, 1);
+  AlphaEstimator est(AccessPattern::kStream, 4, 1);
+  est.SetBase(100.0, 2.0);
+  EXPECT_NEAR(est.EstimateAccesses(130.0), 3.0, 1e-9);
+  EXPECT_GT(alpha, 0.0);
+}
+
+TEST(LinearAlpha, ProportionalForLargeSizes) {
+  // For line-aligned large sizes alpha -> 1: accesses scale with size.
+  EXPECT_NEAR(LinearAlpha(1 << 20, 1 << 22, 8, 1), 1.0, 1e-9);
+}
+
+TEST(LinearAlpha, WideStrideUsesElementUnits) {
+  // With stride*elem = 128B > line, each element is its own access; the
+  // unit is 128B and alpha corrects relative to that granularity.
+  const double alpha = LinearAlpha(1280, 2560, 8, 16);
+  EXPECT_NEAR(alpha, 1.0, 1e-9);
+}
+
+TEST(StencilAlpha, OfflineMicrobenchmarkReasonable) {
+  const double alpha = StencilAlphaOffline(8);
+  EXPECT_GT(alpha, 0.1);
+  EXPECT_LT(alpha, 10.0);
+}
+
+TEST(AlphaEstimator, StreamDoesNotRefine) {
+  AlphaEstimator est(AccessPattern::kStream, 8, 1);
+  EXPECT_FALSE(est.refines_at_runtime());
+  est.SetBase(1e6, 1e5);
+  const double before = est.EstimateAccesses(2e6);
+  est.Refine(2e6, 12345.0);  // must be ignored
+  EXPECT_DOUBLE_EQ(est.EstimateAccesses(2e6), before);
+}
+
+TEST(AlphaEstimator, InputIndependentStencilUsesOfflineAlpha) {
+  AlphaEstimator est(AccessPattern::kStencil, 8, 1, true);
+  EXPECT_FALSE(est.refines_at_runtime());
+  EXPECT_NE(est.alpha(), 0.0);
+}
+
+TEST(AlphaEstimator, InputDependentStencilRefines) {
+  AlphaEstimator est(AccessPattern::kStencil, 8, 1, false);
+  EXPECT_TRUE(est.refines_at_runtime());
+  EXPECT_DOUBLE_EQ(est.alpha(), 1.0);
+}
+
+TEST(AlphaEstimator, RandomStartsAtOneAndRefines) {
+  AlphaEstimator est(AccessPattern::kRandom, 8, 1);
+  EXPECT_TRUE(est.refines_at_runtime());
+  EXPECT_DOUBLE_EQ(est.alpha(), 1.0);
+  est.SetBase(1e6, 1e5);
+  // Ground truth behaviour: accesses scale with size/2 (alpha = 2).
+  est.Refine(2e6, 1e5);  // measured at double size: same accesses
+  // Implied alpha from that instance: (2e6 * 1e5) / (1e6 * 1e5) = 2.
+  EXPECT_GT(est.alpha(), 1.5);
+  EXPECT_LT(est.alpha(), 2.1);
+}
+
+TEST(AlphaEstimator, RefinementConvergesOverInstances) {
+  AlphaEstimator est(AccessPattern::kRandom, 8, 1);
+  est.SetBase(1e6, 1e5);
+  // True relation: mm = 0.05 * size / alpha_true with alpha_true = 4:
+  // measured(s) = s / (1e6 * 4) * 1e5.
+  for (int i = 0; i < 6; ++i) {
+    const double s = 1e6 * (1.0 + 0.3 * i);
+    const double measured = s / (1e6 * 4.0) * 1e5;
+    est.Refine(s, measured);
+  }
+  EXPECT_NEAR(est.alpha(), 4.0, 0.2);
+  // Estimates now track the true relation.
+  EXPECT_NEAR(est.EstimateAccesses(3e6), 3e6 / (1e6 * 4.0) * 1e5, 4000.0);
+}
+
+TEST(AlphaEstimator, IgnoresGarbageMeasurements) {
+  AlphaEstimator est(AccessPattern::kRandom, 8, 1);
+  est.SetBase(1e6, 1e5);
+  est.Refine(2e6, 0.0);    // zero measurement: skipped
+  est.Refine(0.0, 1e5);    // zero size: skipped
+  EXPECT_DOUBLE_EQ(est.alpha(), 1.0);
+}
+
+TEST(AlphaEstimator, NoBaseMeansNoEstimate) {
+  AlphaEstimator est(AccessPattern::kStream, 8, 1);
+  EXPECT_FALSE(est.has_base());
+  EXPECT_DOUBLE_EQ(est.EstimateAccesses(1e6), 0.0);
+}
+
+TEST(AlphaEstimator, UnknownPatternTreatedAsRandom) {
+  AlphaEstimator est(AccessPattern::kUnknown, 8, 1);
+  EXPECT_TRUE(est.refines_at_runtime());
+}
+
+}  // namespace
+}  // namespace merch::core

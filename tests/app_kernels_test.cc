@@ -1,0 +1,330 @@
+// Correctness tests for the real application algorithms (apps/kernels):
+// CSR/SpGEMM/BFS, dense linear algebra + Davidson, PIC, and tensor
+// contraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "apps/kernels/csr.h"
+#include "apps/kernels/dense.h"
+#include "apps/kernels/pic.h"
+#include "apps/kernels/tensor.h"
+
+namespace merch::apps {
+namespace {
+
+// ------------------------------------------------------------------- CSR
+
+CsrMatrix TinyMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  CsrMatrix m;
+  m.rows = 3;
+  m.cols = 3;
+  m.row_ptr = {0, 2, 3, 5};
+  m.col_idx = {0, 2, 1, 0, 2};
+  m.values = {1, 2, 3, 4, 5};
+  return m;
+}
+
+/// Dense reference product for validation.
+std::vector<double> DenseProduct(const CsrMatrix& a, const CsrMatrix& b) {
+  std::vector<double> c(a.rows * b.cols, 0.0);
+  for (std::uint32_t i = 0; i < a.rows; ++i) {
+    for (std::uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      for (std::uint64_t j = b.row_ptr[a.col_idx[k]];
+           j < b.row_ptr[a.col_idx[k] + 1]; ++j) {
+        c[i * b.cols + b.col_idx[j]] += a.values[k] * b.values[j];
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Csr, SymbolicCountsMatchDenseReference) {
+  const CsrMatrix a = TinyMatrix();
+  const auto nnz = SpGemmSymbolic(a, a);
+  const auto dense = DenseProduct(a, a);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    std::uint64_t expected = 0;
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (dense[i * 3 + j] != 0.0) ++expected;
+    }
+    EXPECT_EQ(nnz[i], expected) << "row " << i;
+  }
+}
+
+TEST(Csr, NumericMatchesDenseReference) {
+  const CsrMatrix a = TinyMatrix();
+  const CsrMatrix c = SpGemmNumeric(a, a);
+  const auto dense = DenseProduct(a, a);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint64_t k = c.row_ptr[i]; k < c.row_ptr[i + 1]; ++k) {
+      EXPECT_NEAR(c.values[k], dense[i * 3 + c.col_idx[k]], 1e-12);
+    }
+    // Every dense nonzero is present.
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (dense[i * 3 + j] == 0.0) continue;
+      bool found = false;
+      for (std::uint64_t k = c.row_ptr[i]; k < c.row_ptr[i + 1]; ++k) {
+        found |= c.col_idx[k] == j;
+      }
+      EXPECT_TRUE(found) << "missing C(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Csr, NumericOnGeneratedMatrixMatchesReference) {
+  Rng rng(5);
+  const CsrMatrix a = GenerateKronMatrix(64, 4.0, 0.8, rng);
+  const CsrMatrix c = SpGemmNumeric(a, a);
+  const auto dense = DenseProduct(a, a);
+  double max_err = 0;
+  for (std::uint32_t i = 0; i < c.rows; ++i) {
+    for (std::uint64_t k = c.row_ptr[i]; k < c.row_ptr[i + 1]; ++k) {
+      max_err = std::max(max_err,
+                         std::abs(c.values[k] - dense[i * 64 + c.col_idx[k]]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(Csr, GeneratorProducesValidCsr) {
+  Rng rng(7);
+  const CsrMatrix m = GenerateKronMatrix(1024, 8.0, 0.9, rng);
+  EXPECT_EQ(m.row_ptr.size(), 1025u);
+  EXPECT_EQ(m.row_ptr[0], 0u);
+  EXPECT_EQ(m.row_ptr[1024], m.nnz());
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    EXPECT_LE(m.row_ptr[i], m.row_ptr[i + 1]);
+    for (std::uint64_t k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+      EXPECT_LT(m.col_idx[k], 1024u);
+      if (k > m.row_ptr[i]) {
+        EXPECT_LE(m.col_idx[k - 1], m.col_idx[k]) << "rows must be sorted";
+      }
+    }
+  }
+  // Average degree near the request.
+  EXPECT_NEAR(static_cast<double>(m.nnz()) / 1024.0, 8.0, 2.0);
+}
+
+TEST(Csr, GeneratorDegreeSkew) {
+  Rng rng(9);
+  const CsrMatrix m = GenerateKronMatrix(4096, 16.0, 1.0, rng);
+  std::vector<std::uint64_t> degrees;
+  for (std::uint32_t i = 0; i < m.rows; ++i) {
+    degrees.push_back(m.row_ptr[i + 1] - m.row_ptr[i]);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  // Power-law: the top 1% of rows hold far more than 1% of edges.
+  std::uint64_t top = 0;
+  for (std::size_t i = degrees.size() - 41; i < degrees.size(); ++i) {
+    top += degrees[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(m.nnz()), 0.05);
+}
+
+TEST(Csr, SpGemmFlopsMatchesManualCount) {
+  const CsrMatrix a = TinyMatrix();
+  // Row 0 of A has cols {0,2} -> flops = nnz(B row 0) + nnz(B row 2) = 2+2.
+  EXPECT_EQ(SpGemmFlops(a, a, 0, 1), 4u);
+  EXPECT_EQ(SpGemmFlops(a, a, 0, 3),
+            SpGemmFlops(a, a, 0, 1) + SpGemmFlops(a, a, 1, 2) +
+                SpGemmFlops(a, a, 2, 3));
+}
+
+TEST(Bfs, LevelsCorrectOnPathGraph) {
+  // 0 -> 1 -> 2 -> 3 chain.
+  CsrMatrix g;
+  g.rows = 4;
+  g.cols = 4;
+  g.row_ptr = {0, 1, 2, 3, 3};
+  g.col_idx = {1, 2, 3};
+  g.values = {1, 1, 1};
+  std::vector<std::uint64_t> relaxed;
+  const auto levels = BfsLevels(g, 0, 2, &relaxed);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 2u);
+  EXPECT_EQ(levels[3], 3u);
+  // Partition 0 (vertices 0,1) relaxed 2 edges, partition 1 relaxed 1.
+  EXPECT_EQ(relaxed[0], 2u);
+  EXPECT_EQ(relaxed[1], 1u);
+}
+
+TEST(Bfs, UnreachableVerticesMarked) {
+  CsrMatrix g;
+  g.rows = 3;
+  g.cols = 3;
+  g.row_ptr = {0, 1, 1, 1};
+  g.col_idx = {1};
+  g.values = {1};
+  const auto levels = BfsLevels(g, 0, 1, nullptr);
+  EXPECT_EQ(levels[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Bfs, RelaxedEdgesBoundedByTotal) {
+  Rng rng(11);
+  const CsrMatrix g = GenerateKronMatrix(2048, 8.0, 0.9, rng);
+  std::vector<std::uint64_t> relaxed;
+  BfsLevels(g, 1, 4, &relaxed);
+  std::uint64_t total = 0;
+  for (const auto e : relaxed) total += e;
+  EXPECT_LE(total, g.nnz());
+}
+
+// ----------------------------------------------------------------- Dense
+
+TEST(Dense, MatMulMatchesManual) {
+  DenseMatrix a = DenseMatrix::Zero(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const DenseMatrix c = MatMul(a, a);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 7);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 10);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 15);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 22);
+}
+
+TEST(Dense, MatVecMatchesMatMul) {
+  Rng rng(13);
+  const DenseMatrix a = DenseMatrix::Random(5, 5, rng);
+  DenseMatrix x_mat = DenseMatrix::Zero(5, 1);
+  std::vector<double> x(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    x[i] = rng.NextDoubleInRange(-1, 1);
+    x_mat.at(i, 0) = x[i];
+  }
+  const auto y = MatVec(a, x);
+  const DenseMatrix y_mat = MatMul(a, x_mat);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(y[i], y_mat.at(i, 0), 1e-12);
+  }
+}
+
+TEST(Dense, DavidsonFindsEigenpair) {
+  Rng rng(17);
+  const DenseMatrix a = DenseMatrix::RandomSymmetric(48, rng);
+  const DavidsonResult r = DavidsonSolve(a, 1e-9, 500);
+  // Residual ||A v - lambda v|| should be tiny.
+  const auto av = MatVec(a, r.eigenvector);
+  double res = 0;
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    const double d = av[i] - r.eigenvalue * r.eigenvector[i];
+    res += d * d;
+  }
+  EXPECT_LT(std::sqrt(res), 1e-5 * std::abs(r.eigenvalue));
+  EXPECT_NEAR(Norm2(r.eigenvector), 1.0, 1e-6);
+  EXPECT_GT(r.iterations, 1);
+}
+
+// -------------------------------------------------------------------- PIC
+
+TEST(Pic, InitialisationShape) {
+  Rng rng(19);
+  PicConfig cfg;
+  cfg.cells = 128;
+  cfg.particles = 1024;
+  const PicState s = InitTwoStream(cfg, rng);
+  EXPECT_EQ(s.position.size(), 1024u);
+  EXPECT_EQ(s.efield.size(), 128u);
+  for (const double x : s.position) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 128.0);
+  }
+}
+
+TEST(Pic, ChargeDepositConservesParticles) {
+  Rng rng(23);
+  PicConfig cfg;
+  cfg.cells = 64;
+  cfg.particles = 4096;
+  PicState s = InitTwoStream(cfg, rng);
+  PicStep(s, cfg.dt);
+  // Density integrates to cells (normalised weight: mean density 1).
+  double total = 0;
+  for (const double d : s.density) total += d;
+  EXPECT_NEAR(total, 64.0, 1e-6);
+}
+
+TEST(Pic, EnergyApproximatelyConserved) {
+  Rng rng(29);
+  PicConfig cfg;
+  cfg.cells = 256;
+  cfg.particles = 1 << 14;
+  cfg.dt = 0.02;
+  PicState s = InitTwoStream(cfg, rng);
+  const double e0 = PicEnergy(s);
+  double e_last = e0;
+  for (int step = 0; step < 50; ++step) e_last = PicStep(s, cfg.dt);
+  // The two-stream instability converts beam kinetic energy into field
+  // energy; the crude cumulative-sum field solve is not exactly
+  // conservative, so we assert boundedness (no numerical blow-up), not
+  // strict conservation.
+  EXPECT_GT(e_last, 0.2 * e0);
+  EXPECT_LT(e_last, 5.0 * e0);
+}
+
+TEST(Pic, ParticlesStayInDomain) {
+  Rng rng(31);
+  PicConfig cfg;
+  cfg.cells = 64;
+  cfg.particles = 2048;
+  PicState s = InitTwoStream(cfg, rng);
+  for (int step = 0; step < 20; ++step) PicStep(s, 0.1);
+  for (const double x : s.position) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 64.0);
+  }
+}
+
+// ----------------------------------------------------------------- Tensor
+
+TEST(Tensor, PartitionCoversPlaneWithoutOverlap) {
+  const auto tiles = PartitionTiles(400, 400, 24);
+  std::uint64_t covered = 0;
+  for (const TensorTile& t : tiles) covered += t.elements();
+  EXPECT_EQ(covered, 400u * 400u);
+}
+
+TEST(Tensor, PartitionEdgeTilesSmaller) {
+  const auto tiles = PartitionTiles(400, 400, 24);
+  std::uint64_t min_e = UINT64_MAX, max_e = 0;
+  for (const TensorTile& t : tiles) {
+    if (t.elements() == 0) continue;
+    min_e = std::min(min_e, t.elements());
+    max_e = std::max(max_e, t.elements());
+  }
+  EXPECT_LT(min_e, max_e);  // integer tiling leaves uneven edges
+}
+
+TEST(Tensor, ContractionMatchesNaive) {
+  Rng rng(37);
+  const Tensor4 a = Tensor4::Random(6, 5, 4, 3, rng);
+  std::vector<double> m(4 * 3);
+  for (double& v : m) v = rng.NextDoubleInRange(-1, 1);
+  TensorTile tile{.a_begin = 1, .a_end = 4, .b_begin = 0, .b_end = 5};
+  std::vector<double> c;
+  const std::uint64_t flops = ContractTile(a, m, tile, &c);
+  EXPECT_EQ(flops, tile.elements() * 2 * 12);
+  std::size_t out = 0;
+  for (std::uint32_t ai = 1; ai < 4; ++ai) {
+    for (std::uint32_t bi = 0; bi < 5; ++bi) {
+      double expect = 0;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        for (std::uint32_t j = 0; j < 3; ++j) {
+          expect += a.at(ai, bi, i, j) * m[i * 3 + j];
+        }
+      }
+      EXPECT_NEAR(c[out++], expect, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace merch::apps

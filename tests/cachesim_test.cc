@@ -1,0 +1,175 @@
+// Tests for the CPU-cache miss model and the Memory Mode DRAM-cache model.
+#include <gtest/gtest.h>
+
+#include "cachesim/cpu_cache.h"
+#include "cachesim/memory_mode.h"
+#include "common/types.h"
+
+namespace merch::cachesim {
+namespace {
+
+using trace::AccessPattern;
+using trace::ObjectAccess;
+
+CpuCacheSpec Cache() { return CpuCacheSpec::PaperXeon(); }
+
+ObjectAccess Access(AccessPattern p, std::uint32_t elem = 8,
+                    std::uint32_t stride = 1) {
+  ObjectAccess a;
+  a.pattern = p;
+  a.element_bytes = elem;
+  a.stride_elements = stride;
+  return a;
+}
+
+TEST(CpuCache, StreamMissesOncePerLine) {
+  const double m = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                      1 * GiB, Cache());
+  EXPECT_NEAR(m, 8.0 / 64.0, 1e-12);
+}
+
+TEST(CpuCache, StreamElementSizeScalesMisses) {
+  const double m4 = MainMemoryMissRate(Access(AccessPattern::kStream, 4),
+                                       1 * GiB, Cache());
+  const double m8 = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                       1 * GiB, Cache());
+  EXPECT_NEAR(m8, 2.0 * m4, 1e-12);
+}
+
+TEST(CpuCache, WideStrideMissesEveryAccess) {
+  const double m = MainMemoryMissRate(Access(AccessPattern::kStrided, 8, 16),
+                                      1 * GiB, Cache());
+  EXPECT_DOUBLE_EQ(m, 1.0);
+}
+
+TEST(CpuCache, NarrowStrideBetweenStreamAndOne) {
+  const double stream = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                           1 * GiB, Cache());
+  const double strided = MainMemoryMissRate(
+      Access(AccessPattern::kStrided, 8, 4), 1 * GiB, Cache());
+  EXPECT_GT(strided, stream);
+  EXPECT_LE(strided, 1.0);
+}
+
+TEST(CpuCache, StencilReusesNeighborLines) {
+  const double stream = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                           1 * GiB, Cache());
+  const double stencil = MainMemoryMissRate(Access(AccessPattern::kStencil, 8),
+                                            1 * GiB, Cache());
+  EXPECT_LT(stencil, stream);
+}
+
+TEST(CpuCache, RandomMissesScaleWithObjectSize) {
+  const double small = MainMemoryMissRate(Access(AccessPattern::kRandom, 8),
+                                          Cache().llc_bytes / 2, Cache());
+  const double large = MainMemoryMissRate(Access(AccessPattern::kRandom, 8),
+                                          100 * GiB, Cache());
+  EXPECT_LT(small, 0.01);  // fits in LLC
+  EXPECT_GT(large, 0.99);  // far exceeds LLC
+}
+
+TEST(CpuCache, ZipfHeatAbsorbsHotLines) {
+  const trace::HeatProfile skew = trace::HeatProfile::Zipf(1.0);
+  const double uniform = MainMemoryMissRate(Access(AccessPattern::kRandom, 8),
+                                            50 * GiB, Cache());
+  const double skewed = MainMemoryMissRate(Access(AccessPattern::kRandom, 8),
+                                           50 * GiB, Cache(), 1.0, &skew);
+  // Hub lines live in the LLC: the skewed stream misses much less.
+  EXPECT_LT(skewed, uniform);
+  EXPECT_LT(skewed, 0.7);
+}
+
+TEST(CpuCache, ReusePassesAmortiseCacheResidentObjects) {
+  const std::uint64_t small = Cache().llc_bytes / 4;
+  const double once = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                         small, Cache(), 1.0);
+  const double many = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                         small, Cache(), 10.0);
+  EXPECT_NEAR(many, once / 10.0, 1e-12);
+  // No amortisation for objects bigger than the cache.
+  const double big = MainMemoryMissRate(Access(AccessPattern::kStream, 8),
+                                        10 * GiB, Cache(), 10.0);
+  EXPECT_DOUBLE_EQ(big, once);
+}
+
+TEST(CpuCache, L2MissesAtLeastLlcMisses) {
+  for (const auto p : {AccessPattern::kStream, AccessPattern::kRandom}) {
+    const ObjectAccess a = Access(p, 8);
+    EXPECT_GE(L2MissRate(a, 1 * GiB, Cache()),
+              MainMemoryMissRate(a, 1 * GiB, Cache()) - 1e-12);
+  }
+}
+
+TEST(CpuCache, UnknownTreatedAsRandom) {
+  const double unknown = MainMemoryMissRate(Access(AccessPattern::kUnknown, 8),
+                                            10 * GiB, Cache());
+  const double random = MainMemoryMissRate(Access(AccessPattern::kRandom, 8),
+                                           10 * GiB, Cache());
+  EXPECT_DOUBLE_EQ(unknown, random);
+}
+
+// ---------------------------------------------------------------- MemoryMode
+
+TEST(MemoryMode, FractionsWithinBounds) {
+  MemoryModeCache cache(192 * GiB);
+  std::vector<MemoryModeObject> objects = {
+      {.bytes = 100 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9},
+      {.bytes = 300 * GiB, .pattern = AccessPattern::kRandom, .mm_accesses = 1e9},
+  };
+  const MemoryModeResult r = cache.Evaluate(objects, 2 * MiB);
+  for (const double f : r.dram_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(MemoryMode, RandomLocalityWorseThanStream) {
+  MemoryModeCache cache(192 * GiB);
+  std::vector<MemoryModeObject> objects = {
+      {.bytes = 50 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9},
+      {.bytes = 50 * GiB, .pattern = AccessPattern::kRandom, .mm_accesses = 1e9},
+  };
+  const MemoryModeResult r = cache.Evaluate(objects, 2 * MiB);
+  EXPECT_GT(r.dram_fraction[0], r.dram_fraction[1]);
+}
+
+TEST(MemoryMode, PressureLowersHitRates) {
+  MemoryModeCache cache(192 * GiB);
+  std::vector<MemoryModeObject> light = {
+      {.bytes = 50 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9}};
+  std::vector<MemoryModeObject> heavy = {
+      {.bytes = 50 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9},
+      {.bytes = 900 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9}};
+  const double f_light = cache.Evaluate(light, 2 * MiB).dram_fraction[0];
+  const double f_heavy = cache.Evaluate(heavy, 2 * MiB).dram_fraction[0];
+  EXPECT_GT(f_light, f_heavy);
+}
+
+TEST(MemoryMode, IdleObjectsIgnored) {
+  MemoryModeCache cache(192 * GiB);
+  std::vector<MemoryModeObject> objects = {
+      {.bytes = 100 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 0},
+      {.bytes = 100 * GiB, .pattern = AccessPattern::kStream, .mm_accesses = 1e9},
+  };
+  const MemoryModeResult r = cache.Evaluate(objects, 2 * MiB);
+  EXPECT_EQ(r.dram_fraction[0], 0.0);
+  EXPECT_GT(r.dram_fraction[1], 0.5);  // only 100 GiB active in 163 GiB eff.
+}
+
+TEST(MemoryMode, WritebackTrafficGrowsWithMisses) {
+  MemoryModeCache cache(16 * GiB);  // tiny cache => many misses
+  std::vector<MemoryModeObject> objects = {
+      {.bytes = 800 * GiB, .pattern = AccessPattern::kRandom, .mm_accesses = 1e9}};
+  const MemoryModeResult r = cache.Evaluate(objects, 2 * MiB);
+  EXPECT_GT(r.writeback_bytes_to_pm, 0.0);
+}
+
+TEST(MemoryMode, EmptyActivity) {
+  MemoryModeCache cache(192 * GiB);
+  const MemoryModeResult r = cache.Evaluate({}, 2 * MiB);
+  EXPECT_TRUE(r.dram_fraction.empty());
+  EXPECT_EQ(r.writeback_bytes_to_pm, 0.0);
+}
+
+}  // namespace
+}  // namespace merch::cachesim

@@ -1,0 +1,177 @@
+// Tests for the Spindle-like static pattern classifier and IR lowering.
+#include <gtest/gtest.h>
+
+#include "core/lowering.h"
+#include "core/pattern_classifier.h"
+
+namespace merch::core {
+namespace {
+
+using trace::AccessPattern;
+
+ArrayRef Affine(std::size_t obj, std::int64_t stride, bool write = false) {
+  return ArrayRef{.object = obj,
+                  .subscript = {.kind = Subscript::Kind::kAffine,
+                                .stride = stride},
+                  .is_write = write};
+}
+
+ArrayRef Neighborhood(std::size_t obj, std::vector<std::int64_t> offsets) {
+  ArrayRef r;
+  r.object = obj;
+  r.subscript.kind = Subscript::Kind::kNeighborhood;
+  r.subscript.offsets = std::move(offsets);
+  return r;
+}
+
+ArrayRef Indirect(std::size_t obj, std::size_t index_obj) {
+  ArrayRef r;
+  r.object = obj;
+  r.subscript.kind = Subscript::Kind::kIndirect;
+  r.subscript.index_object = index_obj;
+  return r;
+}
+
+LoopNest Loop(std::vector<ArrayRef> refs, std::uint64_t trips = 1000) {
+  LoopNest l;
+  l.name = "loop";
+  l.trip_count = trips;
+  l.refs = std::move(refs);
+  return l;
+}
+
+TEST(Classifier, StreamFromUnitStride) {
+  // A[i] = B[i] + C[i]
+  const LoopNest l = Loop({Affine(0, 1, true), Affine(1, 1), Affine(2, 1)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kStream);
+  EXPECT_EQ(ClassifyObjectInLoop(l, 1), AccessPattern::kStream);
+}
+
+TEST(Classifier, NegativeUnitStrideIsStream) {
+  const LoopNest l = Loop({Affine(0, -1)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kStream);
+}
+
+TEST(Classifier, StridedFromConstantStride) {
+  // A[i*stride] = B[i*stride]
+  const LoopNest l = Loop({Affine(0, 8, true), Affine(1, 8)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kStrided);
+}
+
+TEST(Classifier, StencilFromNeighborhood) {
+  // A[i] = A[i-1] + A[i+1]
+  const LoopNest l = Loop({Neighborhood(0, {-1, 0, 1})});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kStencil);
+}
+
+TEST(Classifier, SingleOffsetNeighborhoodIsStream) {
+  const LoopNest l = Loop({Neighborhood(0, {3})});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kStream);
+}
+
+TEST(Classifier, RandomFromIndirect) {
+  // A[i] = B[C[i]] : B random, C (the index array) streams.
+  const LoopNest l = Loop({Affine(0, 1, true), Indirect(1, 2)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 1), AccessPattern::kRandom);
+  EXPECT_EQ(ClassifyObjectInLoop(l, 2), AccessPattern::kStream);
+}
+
+TEST(Classifier, OpaqueIsUnknown) {
+  ArrayRef r;
+  r.object = 0;
+  r.subscript.kind = Subscript::Kind::kOpaque;
+  const LoopNest l = Loop({r});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 0), AccessPattern::kUnknown);
+}
+
+TEST(Classifier, UnreferencedIsUnknown) {
+  const LoopNest l = Loop({Affine(0, 1)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 5), AccessPattern::kUnknown);
+}
+
+TEST(Classifier, MixedReferencesTakeLeastCacheFriendly) {
+  // Object read both streamed and gathered -> Random wins.
+  const LoopNest l = Loop({Affine(1, 1), Indirect(1, 0)});
+  EXPECT_EQ(ClassifyObjectInLoop(l, 1), AccessPattern::kRandom);
+}
+
+TEST(Classifier, TaskLevelMergesAcrossLoops) {
+  TaskIr task;
+  task.task = 0;
+  task.loops.push_back(Loop({Affine(0, 1)}));           // stream
+  task.loops.push_back(Loop({Neighborhood(0, {-1, 1})}));  // stencil
+  const auto patterns = ClassifyTask(task, 1);
+  EXPECT_EQ(patterns[0], AccessPattern::kStencil);
+}
+
+TEST(Classifier, DistinctPatternsForTable1) {
+  TaskIr t0;
+  t0.task = 0;
+  t0.loops.push_back(Loop({Affine(0, 1), Indirect(1, 0)}));
+  TaskIr t1;
+  t1.task = 1;
+  t1.loops.push_back(Loop({Affine(2, 4)}));
+  const auto distinct = DistinctPatterns({t0, t1}, 3);
+  // Stream (obj 0), Strided (obj 2), Random (obj 1).
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+// ------------------------------------------------------------------ Lowering
+
+TEST(Lowering, AccessCountsFromTripCount) {
+  LoopNest l = Loop({Affine(0, 1), Affine(0, 1, true)}, 500);
+  const sim::Kernel k = LowerLoop(l, {AccessPattern::kStream});
+  ASSERT_EQ(k.accesses.size(), 1u);
+  EXPECT_EQ(k.accesses[0].program_accesses, 1000u);  // 2 refs x 500 trips
+  EXPECT_NEAR(k.accesses[0].read_fraction, 0.5, 1e-12);
+}
+
+TEST(Lowering, AccessesPerIterationScales) {
+  LoopNest l = Loop({}, 1000);
+  ArrayRef r = Affine(0, 1);
+  r.accesses_per_iteration = 0.25;
+  l.refs.push_back(r);
+  const sim::Kernel k = LowerLoop(l, {AccessPattern::kStream});
+  ASSERT_EQ(k.accesses.size(), 1u);
+  EXPECT_EQ(k.accesses[0].program_accesses, 250u);
+}
+
+TEST(Lowering, IndirectChargesIndexObject) {
+  LoopNest l = Loop({Indirect(0, 1)}, 100);
+  const sim::Kernel k =
+      LowerLoop(l, {AccessPattern::kRandom, AccessPattern::kStream});
+  ASSERT_EQ(k.accesses.size(), 2u);
+  // Object 0 gathered 100 times; index object 1 read 100 times.
+  EXPECT_EQ(k.accesses[0].program_accesses, 100u);
+  EXPECT_EQ(k.accesses[0].pattern, AccessPattern::kRandom);
+  EXPECT_EQ(k.accesses[1].program_accesses, 100u);
+  EXPECT_EQ(k.accesses[1].pattern, AccessPattern::kStream);
+}
+
+TEST(Lowering, InstructionsFromPerIteration) {
+  LoopNest l = Loop({Affine(0, 1)}, 1000);
+  l.instructions_per_iteration = 7.5;
+  const sim::Kernel k = LowerLoop(l, {AccessPattern::kStream});
+  EXPECT_EQ(k.instructions, 7500u);
+}
+
+TEST(Lowering, TaskProducesKernelPerLoop) {
+  TaskIr task;
+  task.task = 3;
+  task.loops.push_back(Loop({Affine(0, 1)}));
+  task.loops.push_back(Loop({Affine(0, 2)}));
+  const auto kernels = LowerTask(task, 1);
+  ASSERT_EQ(kernels.size(), 2u);
+  // Task-level classification merges to Strided for both kernels.
+  EXPECT_EQ(kernels[0].accesses[0].pattern, AccessPattern::kStrided);
+  EXPECT_EQ(kernels[1].accesses[0].pattern, AccessPattern::kStrided);
+}
+
+TEST(Lowering, StrideRecordedFromAffine) {
+  LoopNest l = Loop({Affine(0, 16)});
+  const sim::Kernel k = LowerLoop(l, {AccessPattern::kStrided});
+  EXPECT_EQ(k.accesses[0].stride_elements, 16u);
+}
+
+}  // namespace
+}  // namespace merch::core

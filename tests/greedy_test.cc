@@ -1,0 +1,152 @@
+// Tests for Algorithm 1 (core/greedy.h) against a stub performance model.
+//
+// The stub correlation function makes Eq. 2 behave linearly:
+// f == 1 => T(r) = t_pm (1 - r) + t_dram r, so allocations are easy to
+// verify analytically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "workloads/training.h"
+
+namespace merch::core {
+namespace {
+
+/// Correlation function trained to approximate f == 1.
+const CorrelationFunction& UnitCorrelation() {
+  static const CorrelationFunction* kF = [] {
+    std::vector<workloads::TrainingSample> samples;
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+      workloads::TrainingSample s;
+      for (auto& e : s.pmcs) e = rng.NextDoubleInRange(0, 1);
+      s.r_dram = rng.NextDoubleInRange(0, 1);
+      s.f_target = 1.0;
+      samples.push_back(s);
+    }
+    auto* f = new CorrelationFunction();
+    f->Train(samples);
+    return f;
+  }();
+  return *kF;
+}
+
+GreedyTaskInput Task(TaskId id, double t_pm, double t_dram, double accesses,
+                     std::uint64_t pages) {
+  GreedyTaskInput in;
+  in.task = id;
+  in.t_pm_only = t_pm;
+  in.t_dram_only = t_dram;
+  in.total_accesses = accesses;
+  in.footprint_pages = pages;
+  return in;
+}
+
+TEST(Greedy, SingleTaskRunsToCapacity) {
+  PerformanceModel model(&UnitCorrelation());
+  const std::vector<GreedyTaskInput> tasks = {Task(0, 10.0, 4.0, 1e6, 1000)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 10000, model);
+  // No capacity pressure: the lone task reaches r = 1.
+  EXPECT_NEAR(r.dram_fraction[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.predicted_seconds[0], 4.0, 0.5);
+}
+
+TEST(Greedy, CapacityBindsSingleTask) {
+  PerformanceModel model(&UnitCorrelation());
+  const std::vector<GreedyTaskInput> tasks = {Task(0, 10.0, 4.0, 1e6, 1000)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 300, model);
+  EXPECT_LE(r.dram_pages[0], 300u);
+  EXPECT_LE(r.dram_fraction[0], 0.31);
+}
+
+TEST(Greedy, LongestTaskServedFirst) {
+  PerformanceModel model(&UnitCorrelation());
+  // Task 0 is much slower; with tight capacity it must get everything.
+  const std::vector<GreedyTaskInput> tasks = {
+      Task(0, 20.0, 8.0, 1e6, 1000), Task(1, 5.0, 2.0, 1e6, 1000)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 400, model);
+  EXPECT_GT(r.dram_fraction[0], 0.3);
+  EXPECT_LE(r.dram_fraction[1], 0.05 + 1e-9);
+}
+
+TEST(Greedy, EqualizesPredictedTimes) {
+  PerformanceModel model(&UnitCorrelation());
+  const std::vector<GreedyTaskInput> tasks = {
+      Task(0, 20.0, 8.0, 1e6, 1000), Task(1, 14.0, 6.0, 1e6, 1000),
+      Task(2, 10.0, 4.0, 1e6, 1000)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 1400, model);
+  // With capacity for roughly half the pages, predicted times should be
+  // pulled together: spread well below the no-placement spread (10s).
+  const double lo =
+      *std::min_element(r.predicted_seconds.begin(), r.predicted_seconds.end());
+  const double hi =
+      *std::max_element(r.predicted_seconds.begin(), r.predicted_seconds.end());
+  EXPECT_LT(hi - lo, 3.0);
+  // Slowest task gets the largest share.
+  EXPECT_GE(r.dram_fraction[0], r.dram_fraction[1] - 1e-9);
+  EXPECT_GE(r.dram_fraction[1], r.dram_fraction[2] - 1e-9);
+}
+
+TEST(Greedy, StepGranularityRespected) {
+  PerformanceModel model(&UnitCorrelation());
+  const std::vector<GreedyTaskInput> tasks = {Task(0, 10.0, 4.0, 1e6, 100)};
+  GreedyConfig cfg;
+  cfg.step = 0.25;
+  const GreedyResult r = RunGreedyAllocation(tasks, 1000, model, cfg);
+  // r must be a multiple of the step (possibly clamped at 1).
+  const double rem = std::fmod(r.dram_fraction[0] + 1e-12, 0.25);
+  EXPECT_LT(std::min(rem, 0.25 - rem), 1e-6);
+}
+
+TEST(Greedy, PagesFollowEvenDistributionByDefault) {
+  PerformanceModel model(&UnitCorrelation());
+  const std::vector<GreedyTaskInput> tasks = {Task(0, 10.0, 4.0, 1e6, 800)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 10000, model);
+  EXPECT_EQ(r.dram_pages[0],
+            static_cast<std::uint64_t>(
+                std::ceil(r.dram_fraction[0] * 800.0)));
+}
+
+TEST(Greedy, PageCostCurveReducesPageCharge) {
+  PerformanceModel model(&UnitCorrelation());
+  GreedyTaskInput dense = Task(0, 10.0, 4.0, 1e6, 1000);
+  // Dense-first placement: 80% of accesses live on 20% of pages.
+  dense.pages_for_access_fraction = {{0.8, 200.0}, {1.0, 1000.0}};
+  const std::vector<GreedyTaskInput> tasks = {dense};
+  const GreedyResult r = RunGreedyAllocation(tasks, 220, model);
+  // 220 pages buy ~84% of accesses under the curve (vs 22% evenly).
+  EXPECT_GT(r.dram_fraction[0], 0.5);
+}
+
+TEST(Greedy, ZeroTasks) {
+  PerformanceModel model(&UnitCorrelation());
+  const GreedyResult r = RunGreedyAllocation({}, 100, model);
+  EXPECT_TRUE(r.dram_fraction.empty());
+}
+
+TEST(Greedy, CapacityNeverExceeded) {
+  PerformanceModel model(&UnitCorrelation());
+  for (const std::uint64_t cap : {50u, 500u, 1500u, 5000u}) {
+    const std::vector<GreedyTaskInput> tasks = {
+        Task(0, 20.0, 8.0, 1e6, 1000), Task(1, 14.0, 6.0, 1e6, 1000),
+        Task(2, 10.0, 4.0, 1e6, 1000)};
+    const GreedyResult r = RunGreedyAllocation(tasks, cap, model);
+    std::uint64_t total = 0;
+    for (const auto p : r.dram_pages) total += p;
+    EXPECT_LE(total, cap + 1000u / 20)  // one step of slack at most
+        << "capacity " << cap;
+  }
+}
+
+TEST(Greedy, TerminatesOnDegenerateInputs) {
+  PerformanceModel model(&UnitCorrelation());
+  // Identical tasks with zero dram benefit: must not loop forever.
+  const std::vector<GreedyTaskInput> tasks = {
+      Task(0, 5.0, 5.0, 1e6, 100), Task(1, 5.0, 5.0, 1e6, 100)};
+  const GreedyResult r = RunGreedyAllocation(tasks, 10000, model);
+  EXPECT_LE(r.rounds, 10000);
+}
+
+}  // namespace
+}  // namespace merch::core

@@ -1,0 +1,109 @@
+// Property tests for page-heat profiles (trace/heat.h): the placement math
+// relies on CumulativeFraction being a proper monotone CDF and on
+// PagesForFraction being its inverse, across page counts from tiny to
+// TiB-scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "trace/heat.h"
+
+namespace merch::trace {
+namespace {
+
+TEST(HeatUniform, PageFractionIsConstant) {
+  const HeatProfile h = HeatProfile::Uniform();
+  EXPECT_DOUBLE_EQ(h.PageFraction(0, 10), 0.1);
+  EXPECT_DOUBLE_EQ(h.PageFraction(9, 10), 0.1);
+}
+
+TEST(HeatUniform, CumulativeLinear) {
+  const HeatProfile h = HeatProfile::Uniform();
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(10, 10), 1.0);
+}
+
+TEST(HeatZipf, HotPagesFirst) {
+  const HeatProfile h = HeatProfile::Zipf(1.0);
+  EXPECT_GT(h.PageFraction(0, 100), h.PageFraction(1, 100));
+  EXPECT_GT(h.PageFraction(10, 100), h.PageFraction(90, 100));
+}
+
+TEST(HeatZipf, SkewConcentrates) {
+  // Higher exponent => more mass on the hottest 10% of pages.
+  const double mild = HeatProfile::Zipf(0.5).CumulativeFraction(100, 1000);
+  const double strong = HeatProfile::Zipf(1.5).CumulativeFraction(100, 1000);
+  EXPECT_GT(strong, mild);
+  EXPECT_GT(strong, 0.9);
+}
+
+// Parameterized properties over (page count, zipf exponent).
+class HeatProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(HeatProperty, CumulativeIsMonotoneCdf) {
+  const auto [n, s] = GetParam();
+  const HeatProfile h =
+      s == 0.0 ? HeatProfile::Uniform() : HeatProfile::Zipf(s);
+  double prev = 0;
+  for (std::uint64_t k = 0; k <= n; k += std::max<std::uint64_t>(1, n / 23)) {
+    const double c = h.CumulativeFraction(k, n);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(n, n), 1.0);
+}
+
+TEST_P(HeatProperty, PagesForFractionInvertsCumulative) {
+  const auto [n, s] = GetParam();
+  const HeatProfile h =
+      s == 0.0 ? HeatProfile::Uniform() : HeatProfile::Zipf(s);
+  for (const double target : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const std::uint64_t k = h.PagesForFraction(target, n);
+    EXPECT_GE(h.CumulativeFraction(k, n), target - 1e-9);
+    if (k > 0) {
+      EXPECT_LT(h.CumulativeFraction(k - 1, n), target);
+    }
+  }
+}
+
+TEST_P(HeatProperty, PageFractionsSumToOne) {
+  const auto [n, s] = GetParam();
+  if (n > 4096) GTEST_SKIP() << "exact summation only for small n";
+  const HeatProfile h =
+      s == 0.0 ? HeatProfile::Uniform() : HeatProfile::Zipf(s);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) sum += h.PageFraction(i, n);
+  EXPECT_NEAR(sum, 1.0, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeatProperty,
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(1, 2, 7, 64, 1000, 4096, 786432),
+        ::testing::Values(0.0, 0.4, 0.8, 0.99, 1.0, 1.3)));
+
+TEST(HeatZipf, HugeCountsStayFinite) {
+  // TiB-scale object at 4 KiB pages: 2^28 pages.
+  const HeatProfile h = HeatProfile::Zipf(0.9);
+  const std::uint64_t n = 1ull << 28;
+  const double half = h.CumulativeFraction(n / 2, n);
+  EXPECT_GT(half, 0.5);
+  EXPECT_LT(half, 1.0);
+  EXPECT_TRUE(std::isfinite(h.PageFraction(n - 1, n)));
+}
+
+TEST(HeatZipf, BoundaryArguments) {
+  const HeatProfile h = HeatProfile::Zipf(0.8);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(200, 100), 1.0);  // k > n clamps
+  EXPECT_EQ(h.PagesForFraction(0.0, 100), 0u);
+  EXPECT_EQ(h.PagesForFraction(1.0, 100), 100u);
+}
+
+}  // namespace
+}  // namespace merch::trace

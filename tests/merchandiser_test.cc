@@ -1,0 +1,188 @@
+// End-to-end tests of the Merchandiser runtime policy on a small
+// controlled workload: base-instance profiling, Eq. 1 estimation,
+// Algorithm 1 quotas, placement, and alpha refinement.
+#include <gtest/gtest.h>
+
+#include "baselines/pm_only.h"
+#include "common/stats.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+namespace merch::core {
+namespace {
+
+/// Two imbalanced tasks, three instances, random pattern (placement
+/// sensitive), per-task objects sized so DRAM can hold roughly half.
+sim::Workload ImbalancedWorkload() {
+  sim::Workload w;
+  w.name = "mini";
+  w.objects.push_back(
+      sim::ObjectDecl{.name = "heavy", .bytes = 8 * GiB, .owner = 0});
+  w.objects.push_back(
+      sim::ObjectDecl{.name = "light", .bytes = 4 * GiB, .owner = 1});
+  for (int r = 0; r < 3; ++r) {
+    const double scale = 1.0 + 0.1 * r;  // growing inputs
+    sim::Region region;
+    region.name = "inst" + std::to_string(r);
+    for (int t = 0; t < 2; ++t) {
+      sim::Kernel k;
+      k.name = "work";
+      k.instructions = 20000000;
+      trace::ObjectAccess a;
+      a.object = static_cast<ObjectId>(t);
+      a.pattern = trace::AccessPattern::kRandom;
+      a.program_accesses = static_cast<std::uint64_t>(
+          (t == 0 ? 8e7 : 3e7) * scale);
+      k.accesses.push_back(a);
+      region.tasks.push_back(
+          sim::TaskProgram{.task = static_cast<TaskId>(t), .kernels = {k}});
+    }
+    region.active_bytes = {
+        static_cast<std::uint64_t>(8.0 * GiB * scale),
+        static_cast<std::uint64_t>(4.0 * GiB * scale)};
+    // Cap at allocation.
+    region.active_bytes[0] = std::min<std::uint64_t>(region.active_bytes[0],
+                                                     8 * GiB);
+    region.active_bytes[1] = std::min<std::uint64_t>(region.active_bytes[1],
+                                                     4 * GiB);
+    w.regions.push_back(region);
+  }
+  return w;
+}
+
+sim::MachineSpec SmallMachine() {
+  sim::MachineSpec m = sim::MachineSpec::Paper();
+  m.hm[hm::Tier::kDram].capacity_bytes = 6 * GiB;
+  m.hm[hm::Tier::kPm].capacity_bytes = 48 * GiB;
+  return m;
+}
+
+const MerchandiserSystem& SharedSystem() {
+  static const MerchandiserSystem* kSystem = [] {
+    workloads::TrainingConfig cfg;
+    cfg.num_regions = 40;
+    cfg.placements_per_region = 6;
+    return new MerchandiserSystem(MerchandiserSystem::Train(cfg));
+  }();
+  return *kSystem;
+}
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig cfg;
+  cfg.epoch_seconds = 0.01;
+  cfg.interval_seconds = 0.25;
+  cfg.page_bytes = 16 * MiB;
+  return cfg;
+}
+
+TEST(Merchandiser, BeatsPmOnly) {
+  const sim::Workload w = ImbalancedWorkload();
+  const sim::MachineSpec machine = SmallMachine();
+  baselines::PmOnlyPolicy pm_policy;
+  sim::Engine pm_engine(w, machine, TestConfig(), &pm_policy);
+  const double pm_time = pm_engine.Run().total_seconds;
+
+  auto policy = SharedSystem().MakePolicy(w, machine);
+  sim::Engine engine(w, machine, TestConfig(), policy.get());
+  const double merch_time = engine.Run().total_seconds;
+  EXPECT_LT(merch_time, pm_time * 0.95);
+}
+
+TEST(Merchandiser, RecordsDecisionsForManagedInstances) {
+  const sim::Workload w = ImbalancedWorkload();
+  auto policy = SharedSystem().MakePolicy(w, SmallMachine());
+  sim::Engine engine(w, SmallMachine(), TestConfig(), policy.get());
+  engine.Run();
+  // Instances 1 and 2 are managed (0 is the base input).
+  ASSERT_EQ(policy->decisions().size(), 2u);
+  for (const InstanceDecision& d : policy->decisions()) {
+    ASSERT_EQ(d.tasks.size(), 2u);
+    for (const double r : d.dram_fraction) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+    for (const double acc : d.estimated_accesses) {
+      EXPECT_GT(acc, 0.0) << "base profiling must produce estimates";
+    }
+    for (std::size_t i = 0; i < d.tasks.size(); ++i) {
+      EXPECT_GT(d.t_pm_only[i], 0.0);
+      EXPECT_GT(d.t_dram_only[i], 0.0);
+      EXPECT_LT(d.t_dram_only[i], d.t_pm_only[i]);
+    }
+  }
+}
+
+TEST(Merchandiser, GivesHeavyTaskLargerShare) {
+  const sim::Workload w = ImbalancedWorkload();
+  auto policy = SharedSystem().MakePolicy(w, SmallMachine());
+  sim::Engine engine(w, SmallMachine(), TestConfig(), policy.get());
+  engine.Run();
+  ASSERT_FALSE(policy->decisions().empty());
+  const InstanceDecision& d = policy->decisions().back();
+  // Task 0 does ~2.6x the work of task 1; load balancing must grant it at
+  // least as large a DRAM-access share.
+  EXPECT_GE(d.dram_fraction[0], d.dram_fraction[1] - 1e-9);
+}
+
+TEST(Merchandiser, ReducesImbalanceOnManagedInstances) {
+  const sim::Workload w = ImbalancedWorkload();
+  const sim::MachineSpec machine = SmallMachine();
+  baselines::PmOnlyPolicy pm_policy;
+  sim::Engine pm_engine(w, machine, TestConfig(), &pm_policy);
+  const auto pm = pm_engine.Run();
+
+  auto policy = SharedSystem().MakePolicy(w, machine);
+  sim::Engine engine(w, machine, TestConfig(), policy.get());
+  const auto merch = engine.Run();
+
+  // Compare the CoV of the last (managed, fully profiled) instance.
+  auto cov = [](const sim::RegionStats& r) {
+    std::vector<double> t;
+    for (const auto& ts : r.tasks) t.push_back(ts.exec_seconds);
+    return merch::CoefficientOfVariation(t);
+  };
+  EXPECT_LT(cov(merch.regions.back()), cov(pm.regions.back()));
+}
+
+TEST(Merchandiser, AverageAlphaIsPositive) {
+  const sim::Workload w = ImbalancedWorkload();
+  auto policy = SharedSystem().MakePolicy(w, SmallMachine());
+  sim::Engine engine(w, SmallMachine(), TestConfig(), policy.get());
+  engine.Run();
+  EXPECT_GT(policy->AverageAlpha(), 0.0);
+  EXPECT_LT(policy->AverageAlpha(), 100.0);
+}
+
+TEST(Merchandiser, QuotaOnlyModeStillRuns) {
+  const sim::Workload w = ImbalancedWorkload();
+  MerchandiserConfig cfg;
+  cfg.proactive_placement = false;  // paper-faithful quota-capped mode
+  auto policy = SharedSystem().MakePolicy(w, SmallMachine(), cfg);
+  sim::Engine engine(w, SmallMachine(), TestConfig(), policy.get());
+  const auto r = engine.Run();
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_EQ(policy->decisions().size(), 2u);
+}
+
+TEST(Merchandiser, PredictionsTrackActualsLoosely) {
+  // Table 4's premise: Eq. 2 predictions land in the right ballpark.
+  const sim::Workload w = ImbalancedWorkload();
+  auto policy = SharedSystem().MakePolicy(w, SmallMachine());
+  sim::Engine engine(w, SmallMachine(), TestConfig(), policy.get());
+  const auto result = engine.Run();
+  for (const InstanceDecision& d : policy->decisions()) {
+    const sim::RegionStats& rs = result.regions[d.region];
+    for (std::size_t i = 0; i < d.tasks.size(); ++i) {
+      double actual = 0;
+      for (const auto& ts : rs.tasks) {
+        if (ts.task == d.tasks[i]) actual = ts.exec_seconds;
+      }
+      ASSERT_GT(actual, 0.0);
+      EXPECT_LT(d.predicted_seconds[i], actual * 3.0);
+      EXPECT_GT(d.predicted_seconds[i], actual / 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace merch::core

@@ -1,0 +1,283 @@
+// Tests for the from-scratch ML stack (src/ml): dataset handling, every
+// Table-3 regressor family, importance, and feature elimination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/forest.h"
+#include "ml/gbr.h"
+#include "ml/importance.h"
+#include "ml/kernel_ridge.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace merch::ml {
+namespace {
+
+/// Nonlinear regression target: y = sin(3 x0) + x1^2 - 0.5 x2 with noise;
+/// features 3 and 4 are pure distractors.
+Dataset MakeDataset(std::size_t n, std::uint64_t seed, double noise = 0.02) {
+  Rng rng(seed);
+  Dataset data(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (double& v : x) v = rng.NextDoubleInRange(-1, 1);
+    const double y = std::sin(3 * x[0]) + x[1] * x[1] - 0.5 * x[2] +
+                     rng.NextGaussian(0, noise);
+    data.Add(std::move(x), y);
+  }
+  return data;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(2);
+  d.Add({1.0, 2.0}, 3.0);
+  d.Add({4.0, 5.0}, 6.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.target(0), 3.0);
+}
+
+TEST(Dataset, SplitPartitions) {
+  Dataset d = MakeDataset(100, 1);
+  Rng rng(2);
+  auto [train, test] = d.Split(0.7, rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.num_features(), 5u);
+}
+
+TEST(Dataset, SubsetAndSelectFeatures) {
+  Dataset d = MakeDataset(10, 3);
+  const std::vector<std::size_t> idx = {0, 5, 9};
+  const Dataset sub = d.Subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.target(1), d.target(5));
+
+  const std::vector<std::size_t> feats = {2, 0};
+  const Dataset sel = d.SelectFeatures(feats);
+  EXPECT_EQ(sel.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(sel.row(4)[0], d.row(4)[2]);
+  EXPECT_DOUBLE_EQ(sel.row(4)[1], d.row(4)[0]);
+}
+
+TEST(Dataset, PermuteFeatureOnlyTouchesOneColumn) {
+  Dataset d = MakeDataset(50, 4);
+  Rng rng(5);
+  const Dataset p = d.PermuteFeature(1, rng);
+  double col0_same = 0, col1_same = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    col0_same += d.row(i)[0] == p.row(i)[0] ? 1 : 0;
+    col1_same += d.row(i)[1] == p.row(i)[1] ? 1 : 0;
+  }
+  EXPECT_EQ(col0_same, 50);
+  EXPECT_LT(col1_same, 20);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Dataset d = MakeDataset(200, 6);
+  Standardizer s;
+  s.Fit(d);
+  const Dataset t = s.TransformAll(d);
+  for (std::size_t f = 0; f < t.num_features(); ++f) {
+    double mean = 0, var = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) mean += t.row(i)[f];
+    mean /= t.size();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      var += (t.row(i)[f] - mean) * (t.row(i)[f] - mean);
+    }
+    var /= t.size();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-6);
+  }
+}
+
+// Every Table-3 model family must clearly beat the mean-baseline (R^2 = 0)
+// on a smooth nonlinear target.
+class RegressorFamily : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegressorFamily, BeatsMeanBaseline) {
+  Dataset d = MakeDataset(600, 7);
+  Rng rng(8);
+  auto [train, test] = d.Split(0.7, rng);
+  auto model = MakeRegressor(GetParam(), 9);
+  model->Fit(train);
+  EXPECT_GT(model->Score(test), 0.5) << GetParam();
+}
+
+TEST_P(RegressorFamily, PredictionFiniteAndStable) {
+  Dataset d = MakeDataset(200, 10);
+  auto model = MakeRegressor(GetParam(), 11);
+  model->Fit(d);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.0, 0.9};
+  const double y1 = model->Predict(x);
+  const double y2 = model->Predict(x);
+  EXPECT_TRUE(std::isfinite(y1));
+  EXPECT_DOUBLE_EQ(y1, y2);  // prediction is deterministic post-fit
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, RegressorFamily,
+                         ::testing::ValuesIn(AllRegressorKinds()));
+
+TEST(ModelFactory, RejectsUnknownKind) {
+  EXPECT_THROW(MakeRegressor("nope"), std::invalid_argument);
+}
+
+TEST(DecisionTree, PerfectFitOnTrainWithDepth) {
+  // A deep tree should interpolate a small noiseless dataset.
+  Dataset d = MakeDataset(64, 12, /*noise=*/0.0);
+  DecisionTreeRegressor tree(TreeConfig{.max_depth = 20,
+                                        .min_samples_leaf = 1,
+                                        .min_samples_split = 2});
+  tree.Fit(d);
+  EXPECT_GT(tree.Score(d), 0.99);
+}
+
+TEST(DecisionTree, ImportanceFindsInformativeFeatures) {
+  Dataset d = MakeDataset(800, 13);
+  DecisionTreeRegressor tree(TreeConfig{.max_depth = 8});
+  tree.Fit(d);
+  const auto imp = tree.FeatureImportance();
+  ASSERT_EQ(imp.size(), 5u);
+  // Informative features 0..2 dominate distractors 3..4.
+  EXPECT_GT(imp[0] + imp[1] + imp[2], 0.9);
+  double sum = 0;
+  for (const double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, EmptyAndConstantTargets) {
+  DecisionTreeRegressor tree;
+  Dataset empty(3);
+  tree.Fit(empty);
+  EXPECT_EQ(tree.Predict(std::vector<double>{1, 2, 3}), 0.0);
+
+  Dataset constant(2);
+  for (int i = 0; i < 10; ++i) constant.Add({double(i), 0.0}, 7.0);
+  tree.Fit(constant);
+  EXPECT_DOUBLE_EQ(tree.Predict(std::vector<double>{3.0, 0.0}), 7.0);
+}
+
+TEST(Gbr, OutperformsSingleShallowTree) {
+  Dataset d = MakeDataset(600, 14);
+  Rng rng(15);
+  auto [train, test] = d.Split(0.7, rng);
+  DecisionTreeRegressor tree(TreeConfig{.max_depth = 3});
+  tree.Fit(train);
+  GradientBoostedRegressor gbr(GbrConfig{}, 16);
+  gbr.Fit(train);
+  EXPECT_GT(gbr.Score(test), tree.Score(test));
+}
+
+TEST(Gbr, ImportanceNormalised) {
+  Dataset d = MakeDataset(300, 17);
+  GradientBoostedRegressor gbr(GbrConfig{.num_stages = 40}, 18);
+  gbr.Fit(d);
+  const auto imp = gbr.FeatureImportance();
+  double sum = 0;
+  for (const double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(imp[0], imp[3]);
+}
+
+TEST(Forest, VarianceLowerThanSingleTree) {
+  // Across resampled datasets, forest predictions vary less than a deep
+  // tree's (the point of bagging).
+  const std::vector<double> probe = {0.5, 0.5, 0.5, 0.5, 0.5};
+  std::vector<double> tree_preds, forest_preds;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Dataset d = MakeDataset(200, 100 + seed, 0.1);
+    DecisionTreeRegressor tree(
+        TreeConfig{.max_depth = 12, .min_samples_leaf = 1}, seed);
+    tree.Fit(d);
+    tree_preds.push_back(tree.Predict(probe));
+    RandomForestRegressor forest(ForestConfig{.num_trees = 20}, seed);
+    forest.Fit(d);
+    forest_preds.push_back(forest.Predict(probe));
+  }
+  auto variance = [](const std::vector<double>& xs) {
+    double m = 0;
+    for (const double x : xs) m += x;
+    m /= xs.size();
+    double v = 0;
+    for (const double x : xs) v += (x - m) * (x - m);
+    return v / xs.size();
+  };
+  EXPECT_LT(variance(forest_preds), variance(tree_preds));
+}
+
+TEST(Knn, ExactOnTrainingPoints) {
+  Dataset d(1);
+  for (int i = 0; i < 20; ++i) d.Add({double(i)}, double(i * i));
+  KNeighborsRegressor knn(KnnConfig{.k = 1});
+  knn.Fit(d);
+  EXPECT_NEAR(knn.Predict(std::vector<double>{5.0}), 25.0, 1e-6);
+}
+
+TEST(KernelRidge, SmoothInterpolation) {
+  Dataset d(1);
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i * 0.3;
+    d.Add({x}, std::sin(x));
+  }
+  KernelRidgeRegressor kr(
+      KernelRidgeConfig{.ridge_lambda = 1e-6, .gamma = 2.0});
+  kr.Fit(d);
+  EXPECT_NEAR(kr.Predict(std::vector<double>{1.55}), std::sin(1.55), 0.05);
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  Rng rng(19);
+  Dataset d(2);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.NextDoubleInRange(-1, 1);
+    const double b = rng.NextDoubleInRange(-1, 1);
+    d.Add({a, b}, 2 * a - 3 * b + 1);
+  }
+  MLPRegressor mlp(MlpConfig{.hidden = {16}, .epochs = 100}, 20);
+  mlp.Fit(d);
+  EXPECT_GT(mlp.Score(d), 0.95);
+}
+
+TEST(Importance, PermutationFindsInformative) {
+  Dataset d = MakeDataset(500, 21);
+  GradientBoostedRegressor gbr(GbrConfig{.num_stages = 60}, 22);
+  gbr.Fit(d);
+  Rng rng(23);
+  const auto imp = PermutationImportance(gbr, d, rng, 2);
+  EXPECT_GT(imp[0], imp[4]);
+  EXPECT_GT(imp[1], imp[3]);
+}
+
+TEST(Importance, RankFeaturesDescending) {
+  const std::vector<double> imp = {0.1, 0.5, 0.2};
+  const auto rank = RankFeatures(imp);
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_EQ(rank[0], 1u);
+  EXPECT_EQ(rank[1], 2u);
+  EXPECT_EQ(rank[2], 0u);
+}
+
+TEST(Importance, RecursiveEliminationKeepsSignal) {
+  Dataset d = MakeDataset(400, 24);
+  Rng split_rng(25);
+  auto [train, test] = d.Split(0.7, split_rng);
+  Rng rng(26);
+  const auto steps = RecursiveFeatureElimination(
+      train, test, [] { return MakeRegressor("GBR", 27); }, rng);
+  ASSERT_EQ(steps.size(), 5u);  // 5 features -> 5 elimination rounds
+  EXPECT_EQ(steps.front().num_features, 5u);
+  EXPECT_EQ(steps.back().num_features, 1u);
+  // With 3 informative features retained, accuracy should stay high.
+  EXPECT_GT(steps[2].test_r2, 0.5);
+  // The very last retained feature should be informative (0, 1, or 2).
+  EXPECT_LE(steps.back().features[0], 2u);
+}
+
+}  // namespace
+}  // namespace merch::ml

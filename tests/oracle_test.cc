@@ -1,0 +1,117 @@
+// Tests for the analytic access oracle (sim/oracle.h), including sweep
+// windows.
+#include <gtest/gtest.h>
+
+#include "hm/page_table.h"
+#include "sim/oracle.h"
+
+namespace merch::sim {
+namespace {
+
+Workload TwoObjectWorkload() {
+  Workload w;
+  w.name = "test";
+  w.objects.push_back(ObjectDecl{.name = "uniform", .bytes = 10 * 4096,
+                                 .owner = 0,
+                                 .heat = trace::HeatProfile::Uniform()});
+  w.objects.push_back(ObjectDecl{.name = "zipf", .bytes = 20 * 4096,
+                                 .owner = 1,
+                                 .heat = trace::HeatProfile::Zipf(1.0)});
+  Region r;
+  r.name = "r";
+  r.tasks.push_back(TaskProgram{.task = 0, .kernels = {}});
+  r.tasks.push_back(TaskProgram{.task = 1, .kernels = {}});
+  w.regions.push_back(r);
+  return w;
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : workload_(TwoObjectWorkload()),
+        pages_([] {
+          hm::HmSpec spec = hm::HmSpec::PaperOptane();
+          spec[hm::Tier::kDram].capacity_bytes = 16 * 4096;
+          spec[hm::Tier::kPm].capacity_bytes = 64 * 4096;
+          return spec;
+        }(), 4096) {
+    handles_.push_back(*pages_.RegisterObject(10 * 4096, hm::Tier::kPm, 0));
+    handles_.push_back(*pages_.RegisterObject(20 * 4096, hm::Tier::kPm, 1));
+    oracle_ = std::make_unique<AccessOracle>(workload_, pages_, handles_);
+  }
+
+  Workload workload_;
+  hm::PageTable pages_;
+  std::vector<ObjectId> handles_;
+  std::unique_ptr<AccessOracle> oracle_;
+};
+
+TEST_F(OracleTest, StaticAddAccumulates) {
+  oracle_->Add(0, 0, 100);
+  oracle_->Add(0, 0, 50);
+  EXPECT_DOUBLE_EQ(oracle_->ObjectEpochAccesses(0), 150.0);
+  EXPECT_DOUBLE_EQ(oracle_->TaskEpochAccesses(0), 150.0);
+  EXPECT_DOUBLE_EQ(oracle_->TaskObjectEpochAccesses(0, 0), 150.0);
+  EXPECT_DOUBLE_EQ(oracle_->TotalEpochAccesses(), 150.0);
+}
+
+TEST_F(OracleTest, StaticHeatDistribution) {
+  oracle_->Add(0, 0, 1000);  // uniform over 10 pages
+  EXPECT_DOUBLE_EQ(oracle_->EpochAccesses(0), 100.0);
+  EXPECT_DOUBLE_EQ(oracle_->EpochAccesses(9), 100.0);
+  oracle_->Add(1, 1, 1000);  // zipf over pages 10..29
+  EXPECT_GT(oracle_->EpochAccesses(10), oracle_->EpochAccesses(29));
+}
+
+TEST_F(OracleTest, SweepWindowLandsOnRankRange) {
+  // Sweep covering the first half of object 0 (ranks [0, 0.5)).
+  oracle_->AddSweep(0, 0, 0.0, 0.5, 500);
+  // 5 pages in the window, 100 each; pages beyond get nothing.
+  EXPECT_NEAR(oracle_->EpochAccesses(0), 100.0, 1e-9);
+  EXPECT_NEAR(oracle_->EpochAccesses(4), 100.0, 1e-9);
+  EXPECT_NEAR(oracle_->EpochAccesses(5), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(oracle_->ObjectEpochAccesses(0), 500.0);
+}
+
+TEST_F(OracleTest, ContiguousSweepsMerge) {
+  oracle_->AddSweep(0, 0, 0.0, 0.25, 100);
+  oracle_->AddSweep(0, 0, 0.25, 0.5, 100);
+  // Merged window [0, 0.5) with 200 accesses -> 40 per page over 5 pages.
+  EXPECT_NEAR(oracle_->EpochAccesses(2), 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(oracle_->ObjectEpochAccesses(0), 200.0);
+}
+
+TEST_F(OracleTest, SweepAttributesToTask) {
+  oracle_->AddSweep(1, 1, 0.0, 1.0, 700);
+  EXPECT_DOUBLE_EQ(oracle_->TaskEpochAccesses(1), 700.0);
+  EXPECT_DOUBLE_EQ(oracle_->TaskObjectEpochAccesses(1, 1), 700.0);
+}
+
+TEST_F(OracleTest, ResetClearsEpochKeepsLifetime) {
+  oracle_->Add(0, 0, 100);
+  oracle_->AddSweep(1, 1, 0.0, 1.0, 200);
+  oracle_->ResetEpoch();
+  EXPECT_DOUBLE_EQ(oracle_->TotalEpochAccesses(), 0.0);
+  EXPECT_DOUBLE_EQ(oracle_->EpochAccesses(0), 0.0);
+  EXPECT_DOUBLE_EQ(oracle_->ObjectLifetimeAccesses(0), 100.0);
+  EXPECT_DOUBLE_EQ(oracle_->ObjectLifetimeAccesses(1), 200.0);
+}
+
+TEST_F(OracleTest, PageMetadata) {
+  EXPECT_EQ(oracle_->num_pages(), 30u);
+  EXPECT_EQ(oracle_->PageObject(5), 0u);
+  EXPECT_EQ(oracle_->PageObject(15), 1u);
+  EXPECT_EQ(oracle_->PageTask(5), 0u);
+  EXPECT_EQ(oracle_->PageTask(15), 1u);
+  EXPECT_EQ(oracle_->PageTier(5), hm::Tier::kPm);
+  pages_.MovePage(5, hm::Tier::kDram);
+  EXPECT_EQ(oracle_->PageTier(5), hm::Tier::kDram);
+}
+
+TEST_F(OracleTest, HandleLookup) {
+  EXPECT_EQ(oracle_->handle(0), handles_[0]);
+  EXPECT_EQ(oracle_->handle(1), handles_[1]);
+}
+
+}  // namespace
+}  // namespace merch::sim

@@ -1,0 +1,176 @@
+// Unit tests for the simulated page table (hm/page_table.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hm/page_table.h"
+
+namespace merch::hm {
+namespace {
+
+HmSpec SmallSpec() {
+  HmSpec spec = HmSpec::PaperOptane();
+  spec[Tier::kDram].capacity_bytes = 8 * kPageBytes * 1024;  // 8 Ki pages...
+  spec[Tier::kDram].capacity_bytes = 8 * 4096;               // 8 pages of 4K
+  spec[Tier::kPm].capacity_bytes = 64 * 4096;                // 64 pages
+  return spec;
+}
+
+TEST(PageTable, RegisterAllocatesContiguousPages) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 3, Tier::kPm);
+  const auto b = pt.RegisterObject(4096 * 2, Tier::kPm);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(pt.extent(*a).first_page, 0u);
+  EXPECT_EQ(pt.extent(*a).num_pages, 3u);
+  EXPECT_EQ(pt.extent(*b).first_page, 3u);
+  EXPECT_EQ(pt.num_pages(), 5u);
+}
+
+TEST(PageTable, PartialPageRoundsUp) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4097, Tier::kPm);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(pt.extent(*a).num_pages, 2u);
+}
+
+TEST(PageTable, FallsBackToOtherTierWhenFull) {
+  PageTable pt(SmallSpec(), 4096);
+  // DRAM holds 8 pages; ask for 10 on DRAM -> lands on PM.
+  const auto a = pt.RegisterObject(4096 * 10, Tier::kDram);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(pt.page_tier(pt.extent(*a).first_page), Tier::kPm);
+}
+
+TEST(PageTable, RejectsWhenBothTiersFull) {
+  PageTable pt(SmallSpec(), 4096);
+  ASSERT_TRUE(pt.RegisterObject(4096 * 64, Tier::kPm));
+  EXPECT_FALSE(pt.RegisterObject(4096 * 16, Tier::kPm).has_value());
+}
+
+TEST(PageTable, MovePageUpdatesUsage) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 4, Tier::kPm);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(pt.tier_used_bytes(Tier::kDram), 0u);
+  EXPECT_TRUE(pt.MovePage(0, Tier::kDram));
+  EXPECT_EQ(pt.tier_used_bytes(Tier::kDram), 4096u);
+  EXPECT_EQ(pt.page_tier(0), Tier::kDram);
+  EXPECT_EQ(pt.object_pages_on(*a, Tier::kDram), 1u);
+  EXPECT_EQ(pt.object_pages_on(*a, Tier::kPm), 3u);
+}
+
+TEST(PageTable, MovePageToSameTierIsNoop) {
+  PageTable pt(SmallSpec(), 4096);
+  ASSERT_TRUE(pt.RegisterObject(4096, Tier::kPm));
+  EXPECT_TRUE(pt.MovePage(0, Tier::kPm));
+  EXPECT_EQ(pt.tier_used_bytes(Tier::kDram), 0u);
+}
+
+TEST(PageTable, MovePageFailsAtCapacity) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 16, Tier::kPm);
+  ASSERT_TRUE(a);
+  // Fill DRAM (8 pages).
+  EXPECT_EQ(pt.MoveHottest(*a, 8, Tier::kDram), 8u);
+  EXPECT_FALSE(pt.MovePage(15, Tier::kDram));
+}
+
+TEST(PageTable, MoveHottestTakesPrefix) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 6, Tier::kPm);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(pt.MoveHottest(*a, 3, Tier::kDram), 3u);
+  EXPECT_EQ(pt.page_tier(0), Tier::kDram);
+  EXPECT_EQ(pt.page_tier(2), Tier::kDram);
+  EXPECT_EQ(pt.page_tier(3), Tier::kPm);
+}
+
+TEST(PageTable, MoveHottestSkipsAlreadyResident) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 6, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MoveHottest(*a, 2, Tier::kDram);
+  EXPECT_EQ(pt.MoveHottest(*a, 2, Tier::kDram), 2u);
+  EXPECT_EQ(pt.object_pages_on(*a, Tier::kDram), 4u);
+  EXPECT_EQ(pt.page_tier(3), Tier::kDram);
+}
+
+TEST(PageTable, EvictColdestTakesSuffix) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 6, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MoveHottest(*a, 6, Tier::kDram);
+  EXPECT_EQ(pt.EvictColdest(*a, 2, Tier::kDram), 2u);
+  EXPECT_EQ(pt.page_tier(5), Tier::kPm);
+  EXPECT_EQ(pt.page_tier(4), Tier::kPm);
+  EXPECT_EQ(pt.page_tier(3), Tier::kDram);
+}
+
+TEST(PageTable, AccessCountersAccumulateAndReset) {
+  PageTable pt(SmallSpec(), 4096);
+  ASSERT_TRUE(pt.RegisterObject(4096 * 2, Tier::kPm));
+  pt.RecordAccesses(0, 5);
+  pt.RecordAccesses(0, 7);
+  pt.RecordAccesses(1, 1);
+  EXPECT_EQ(pt.page(0).epoch_accesses, 12u);
+  EXPECT_EQ(pt.TotalEpochAccesses(), 13u);
+  pt.ResetEpochCounters();
+  EXPECT_EQ(pt.TotalEpochAccesses(), 0u);
+  EXPECT_EQ(pt.page(0).total_accesses, 12u);  // lifetime survives reset
+}
+
+TEST(PageTable, ObjectOfPage) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 2, Tier::kPm);
+  const auto b = pt.RegisterObject(4096 * 3, Tier::kPm);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(pt.ObjectOfPage(0), *a);
+  EXPECT_EQ(pt.ObjectOfPage(2), *b);
+  EXPECT_EQ(pt.ObjectOfPage(4), *b);
+  EXPECT_FALSE(pt.ObjectOfPage(99).has_value());
+}
+
+TEST(PageTable, ReleaseFreesCapacity) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 60, Tier::kPm);
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(pt.RegisterObject(4096 * 10, Tier::kPm).has_value());
+  pt.ReleaseObject(*a);
+  EXPECT_FALSE(pt.is_live(*a));
+  EXPECT_TRUE(pt.RegisterObject(4096 * 10, Tier::kPm).has_value());
+}
+
+TEST(PageTable, MoveListenerObservesMoves) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 4, Tier::kPm);
+  ASSERT_TRUE(a);
+  std::vector<PageId> moved;
+  pt.SetMoveListener([&](PageId p, Tier from, Tier to) {
+    EXPECT_EQ(from, Tier::kPm);
+    EXPECT_EQ(to, Tier::kDram);
+    moved.push_back(p);
+  });
+  pt.MoveHottest(*a, 2, Tier::kDram);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], 0u);
+  EXPECT_EQ(moved[1], 1u);
+}
+
+TEST(PageTable, ListenerSeesEvictions) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 4, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MoveHottest(*a, 4, Tier::kDram);
+  int demotions = 0;
+  pt.SetMoveListener([&](PageId, Tier from, Tier to) {
+    EXPECT_EQ(from, Tier::kDram);
+    EXPECT_EQ(to, Tier::kPm);
+    ++demotions;
+  });
+  pt.EvictColdest(*a, 3, Tier::kDram);
+  EXPECT_EQ(demotions, 3);
+}
+
+}  // namespace
+}  // namespace merch::hm

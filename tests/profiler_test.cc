@@ -1,0 +1,186 @@
+// Tests for the sampling profilers: PTE-scan (MemoryOptimizer-style),
+// Thermostat-style DRAM sampling, and PEBS-style event sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiler/pebs.h"
+#include "profiler/pte_scan.h"
+#include "profiler/thermostat.h"
+#include "trace/synthetic_trace.h"
+
+namespace merch::profiler {
+namespace {
+
+using trace::HeatProfile;
+using trace::SyntheticAccessSource;
+using trace::SyntheticObjectSpec;
+
+SyntheticAccessSource HotColdSource() {
+  return SyntheticAccessSource({
+      // Object 0: hot PM object (task 0).
+      {.task = 0, .num_pages = 64, .heat = HeatProfile::Zipf(1.0),
+       .epoch_accesses = 100000, .tier = hm::Tier::kPm},
+      // Object 1: completely cold PM object (task 1).
+      {.task = 1, .num_pages = 64, .heat = HeatProfile::Uniform(),
+       .epoch_accesses = 0, .tier = hm::Tier::kPm},
+      // Object 2: warm DRAM object (task 2).
+      {.task = 2, .num_pages = 32, .heat = HeatProfile::Uniform(),
+       .epoch_accesses = 3200, .tier = hm::Tier::kDram},
+  });
+}
+
+TEST(PteScan, FindsOnlyAccessedPmPages) {
+  const auto src = HotColdSource();
+  PteScanProfiler profiler({.sample_pages = 128, .scans_per_interval = 12},
+                           42);
+  const auto hot = profiler.Profile(src);
+  EXPECT_FALSE(hot.empty());
+  for (const HotPage& h : hot) {
+    EXPECT_EQ(src.PageTier(h.page), hm::Tier::kPm);
+    EXPECT_LT(h.page, 64u) << "cold object pages must not appear";
+    EXPECT_GT(h.est_accesses, 0.0);
+  }
+}
+
+TEST(PteScan, SortedDescending) {
+  const auto src = HotColdSource();
+  PteScanProfiler profiler({.sample_pages = 128}, 43);
+  const auto hot = profiler.Profile(src);
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GE(hot[i - 1].est_accesses, hot[i].est_accesses);
+  }
+}
+
+TEST(PteScan, EstimatesSaturate) {
+  // A page receiving far more accesses than scan rounds cannot be
+  // distinguished beyond the saturation cap — the paper's core argument
+  // about indiscriminate PTE-based profiling.
+  const auto src = HotColdSource();
+  PteScanProfiler profiler({.sample_pages = 128, .scans_per_interval = 10},
+                           44);
+  const auto hot = profiler.Profile(src);
+  ASSERT_FALSE(hot.empty());
+  for (const HotPage& h : hot) {
+    EXPECT_LE(h.est_accesses, 10.0 * 3.0 + 1e-9);
+  }
+}
+
+TEST(PteScan, AllTiersWhenNotPmOnly) {
+  const auto src = HotColdSource();
+  PteScanProfiler profiler({.sample_pages = 160, .pm_only = false}, 45);
+  const auto hot = profiler.Profile(src);
+  bool saw_dram = false;
+  for (const HotPage& h : hot) {
+    saw_dram |= src.PageTier(h.page) == hm::Tier::kDram;
+  }
+  EXPECT_TRUE(saw_dram);
+}
+
+TEST(PteScan, AggregationAttributesByObjectAndTask) {
+  const auto src = HotColdSource();
+  PteScanProfiler profiler({.sample_pages = 128}, 46);
+  const auto hot = profiler.Profile(src);
+  const auto by_object = AggregateByObject(hot, src, 3);
+  const auto by_task = AggregateByTask(hot, src, 3);
+  EXPECT_GT(by_object[0], 0.0);
+  EXPECT_EQ(by_object[1], 0.0);
+  EXPECT_EQ(by_object[2], 0.0);  // DRAM pages excluded by pm_only sampling
+  EXPECT_GT(by_task[0], 0.0);
+  EXPECT_EQ(by_task[1], 0.0);
+}
+
+TEST(PteScan, DeterministicForSeed) {
+  const auto src = HotColdSource();
+  PteScanProfiler a({.sample_pages = 64}, 7);
+  PteScanProfiler b({.sample_pages = 64}, 7);
+  const auto ha = a.Profile(src);
+  const auto hb = b.Profile(src);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].page, hb[i].page);
+    EXPECT_DOUBLE_EQ(ha[i].est_accesses, hb[i].est_accesses);
+  }
+}
+
+TEST(SaturatedHeat, JustSweptLooksLikePersistentlyHot) {
+  const auto src = HotColdSource();
+  // Page 0 (very hot) and a mid page of object 0 both saturate.
+  const double hot0 = SaturatedEvictionHeat(src, 0, 12, 1);
+  const double cold = SaturatedEvictionHeat(src, 64, 12, 1);  // 0 accesses
+  EXPECT_GT(hot0, 11.0);
+  EXPECT_LT(cold, 1.0);  // only jitter
+}
+
+TEST(Thermostat, ProfilesOnlyDram) {
+  const auto src = HotColdSource();
+  ThermostatSampler sampler({}, 48);
+  const auto pages = sampler.ProfileDram(src);
+  EXPECT_EQ(pages.size(), 32u);
+  for (const HotPage& h : pages) {
+    EXPECT_EQ(src.PageTier(h.page), hm::Tier::kDram);
+  }
+}
+
+TEST(Thermostat, EstimatesUnbiasedWithinTolerance) {
+  const auto src = HotColdSource();
+  ThermostatSampler sampler({.sample_sigma = 0.35}, 49);
+  const auto pages = sampler.ProfileDram(src);
+  double total = 0;
+  for (const HotPage& h : pages) total += h.est_accesses;
+  // True DRAM total is 3200; lognormal(0, .35) has mean e^{sigma^2/2}~1.063.
+  EXPECT_NEAR(total, 3200.0 * 1.063, 3200.0 * 0.25);
+}
+
+TEST(Thermostat, ColdPagesAreColdestFirst) {
+  SyntheticAccessSource src({
+      {.task = 0, .num_pages = 16, .heat = HeatProfile::Zipf(1.2),
+       .epoch_accesses = 100, .tier = hm::Tier::kDram},
+  });
+  ThermostatSampler sampler({.cold_threshold = 2.0}, 50);
+  const auto cold = sampler.ColdDramPages(src);
+  for (std::size_t i = 1; i < cold.size(); ++i) {
+    EXPECT_LE(cold[i - 1].est_accesses, cold[i].est_accesses);
+  }
+  for (const HotPage& h : cold) EXPECT_LT(h.est_accesses, 2.0);
+}
+
+// PEBS property: over many estimates, mean error shrinks like sqrt(n).
+class PebsAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(PebsAccuracy, MeanApproximatesTruth) {
+  const double truth = GetParam();
+  PebsSampler sampler(1000.0, 51);
+  double sum = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) sum += sampler.Estimate(truth);
+  const double mean = sum / trials;
+  EXPECT_NEAR(mean, truth, std::max(truth * 0.15, 900.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PebsAccuracy,
+                         ::testing::Values(5e3, 5e4, 5e5, 5e6));
+
+TEST(Pebs, ZeroIsZero) {
+  PebsSampler sampler(1000.0, 52);
+  EXPECT_EQ(sampler.Estimate(0.0), 0.0);
+  EXPECT_EQ(sampler.Estimate(-5.0), 0.0);
+}
+
+TEST(Pebs, EstimateAllMatchesShape) {
+  PebsSampler sampler(100.0, 53);
+  const std::vector<double> truth = {1000, 0, 50000};
+  const auto est = sampler.EstimateAll(truth);
+  ASSERT_EQ(est.size(), 3u);
+  EXPECT_EQ(est[1], 0.0);
+  EXPECT_GT(est[2], est[0]);
+}
+
+TEST(Pebs, QuantisedToPeriodMultiples) {
+  PebsSampler sampler(500.0, 54);
+  const double e = sampler.Estimate(2000.0);
+  EXPECT_NEAR(std::fmod(e, 500.0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace merch::profiler

@@ -1,0 +1,255 @@
+// Cross-module property sweeps (parameterized): invariants that must hold
+// across wide input ranges rather than single examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/alpha.h"
+#include "core/greedy.h"
+#include "profiler/pte_scan.h"
+#include "sim/engine.h"
+#include "sim/fixed_fraction.h"
+#include "trace/synthetic_trace.h"
+#include "workloads/training.h"
+
+namespace merch {
+namespace {
+
+// ------------------------------------------------------------ Eq. 1 alpha
+
+// Property: for affine patterns, the Eq. 1 estimate with the offline alpha
+// reproduces the unit-rounded access-count ratio exactly, for any size
+// pair / element size / stride.
+class LinearAlphaProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, std::uint32_t,
+                     std::uint32_t>> {};
+
+TEST_P(LinearAlphaProperty, EstimateMatchesUnitCounts) {
+  const auto [s_base, s_new, elem, stride] = GetParam();
+  const std::uint64_t step = static_cast<std::uint64_t>(elem) * stride;
+  const std::uint64_t unit = std::max<std::uint64_t>(64, step);
+  const double units_base =
+      static_cast<double>((s_base + unit - 1) / unit);
+  const double units_new = static_cast<double>((s_new + unit - 1) / unit);
+
+  core::AlphaEstimator est(stride == 1 ? trace::AccessPattern::kStream
+                                       : trace::AccessPattern::kStrided,
+                           elem, stride);
+  const double prof = units_base;  // profiled accesses = units touched
+  est.SetBase(static_cast<double>(s_base), prof);
+  EXPECT_NEAR(est.EstimateAccesses(static_cast<double>(s_new)), units_new,
+              1e-6 * units_new)
+      << "base=" << s_base << " new=" << s_new << " elem=" << elem
+      << " stride=" << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinearAlphaProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(128, 4096, 1 << 20),
+                       ::testing::Values<std::uint64_t>(192, 1 << 16,
+                                                        3u << 20),
+                       ::testing::Values<std::uint32_t>(4, 8),
+                       ::testing::Values<std::uint32_t>(1, 2, 16)));
+
+// ------------------------------------------------------------- Algorithm 1
+
+const core::CorrelationFunction& FlatF() {
+  static const core::CorrelationFunction* kF = [] {
+    std::vector<workloads::TrainingSample> samples;
+    Rng rng(5);
+    for (int i = 0; i < 150; ++i) {
+      workloads::TrainingSample s;
+      for (auto& e : s.pmcs) e = rng.NextDoubleInRange(0, 1);
+      s.r_dram = rng.NextDoubleInRange(0, 1);
+      s.f_target = 1.0;
+      samples.push_back(s);
+    }
+    auto* f = new core::CorrelationFunction();
+    f->Train(samples);
+    return f;
+  }();
+  return *kF;
+}
+
+// Property: total granted pages are monotone non-decreasing in capacity,
+// and the predicted makespan (max predicted time) is monotone
+// non-increasing.
+class GreedyCapacityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyCapacityProperty, MonotoneInCapacity) {
+  const int num_tasks = GetParam();
+  core::PerformanceModel model(&FlatF());
+  Rng rng(17);
+  std::vector<core::GreedyTaskInput> tasks;
+  for (int t = 0; t < num_tasks; ++t) {
+    core::GreedyTaskInput in;
+    in.task = static_cast<TaskId>(t);
+    in.t_pm_only = rng.NextDoubleInRange(5, 20);
+    in.t_dram_only = in.t_pm_only * rng.NextDoubleInRange(0.3, 0.7);
+    in.total_accesses = 1e6;
+    in.footprint_pages = 1000;
+    tasks.push_back(in);
+  }
+  std::uint64_t prev_pages = 0;
+  double prev_makespan = 1e18;
+  for (const std::uint64_t cap : {100u, 400u, 1600u, 6400u, 25600u}) {
+    const auto r = core::RunGreedyAllocation(tasks, cap, model);
+    std::uint64_t total = 0;
+    double makespan = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      total += r.dram_pages[i];
+      makespan = std::max(makespan, r.predicted_seconds[i]);
+    }
+    EXPECT_GE(total + 50, prev_pages) << "capacity " << cap;
+    EXPECT_LE(makespan, prev_makespan + 1e-9) << "capacity " << cap;
+    prev_pages = total;
+    prev_makespan = makespan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, GreedyCapacityProperty,
+                         ::testing::Values(1, 2, 6, 12, 24));
+
+// ---------------------------------------------------------------- Profiler
+
+// Property: larger page samples give per-object aggregates closer to the
+// truth (relative error shrinks with sample size).
+TEST(PteScanProperty, AggregateErrorShrinksWithSampleSize) {
+  trace::SyntheticAccessSource source({
+      {.task = 0, .num_pages = 4096, .heat = trace::HeatProfile::Zipf(0.7),
+       .epoch_accesses = 1e6, .tier = hm::Tier::kPm},
+      {.task = 1, .num_pages = 4096, .heat = trace::HeatProfile::Uniform(),
+       .epoch_accesses = 2e6, .tier = hm::Tier::kPm},
+  });
+  // Compare the *ratio* of per-object aggregates to the true 1:2 ratio.
+  auto ratio_error = [&](std::size_t sample_pages) {
+    double err = 0;
+    const int trials = 6;
+    for (int t = 0; t < trials; ++t) {
+      profiler::PteScanProfiler profiler(
+          {.sample_pages = sample_pages, .scans_per_interval = 100},
+          1000 + t);
+      const auto hot = profiler.Profile(source);
+      const auto agg = profiler::AggregateByObject(hot, source, 2);
+      if (agg[0] <= 0) return 1.0;
+      err += std::abs(agg[1] / agg[0] - 2.0) / 2.0;
+    }
+    return err / trials;
+  };
+  EXPECT_LT(ratio_error(4096), ratio_error(128));
+}
+
+// -------------------------------------------------------------- Simulator
+
+sim::Workload PatternWorkload(trace::AccessPattern pattern) {
+  sim::Workload w;
+  w.name = "prop";
+  w.objects.push_back(
+      sim::ObjectDecl{.name = "x", .bytes = 4 * GiB, .owner = 0});
+  sim::Kernel k;
+  k.name = "k";
+  k.instructions = 10000000;
+  trace::ObjectAccess a;
+  a.object = 0;
+  a.pattern = pattern;
+  a.program_accesses = 50000000;
+  a.stride_elements = pattern == trace::AccessPattern::kStrided ? 8 : 1;
+  k.accesses.push_back(a);
+  sim::Region region;
+  region.name = "r";
+  region.tasks.push_back(sim::TaskProgram{.task = 0, .kernels = {k}});
+  region.active_bytes = {4 * GiB};
+  w.regions.push_back(region);
+  return w;
+}
+
+// Property: tier sensitivity (PM-only / DRAM-only time ratio) orders as
+// random >= strided >= stream — the premise behind pattern
+// classification driving placement value.
+TEST(EngineProperty, TierSensitivityOrdersByPattern) {
+  sim::SimConfig cfg;
+  cfg.interval_seconds = 1e9;
+  const sim::MachineSpec machine = sim::MachineSpec::Paper();
+  auto ratio = [&](trace::AccessPattern p) {
+    const sim::Workload w = PatternWorkload(p);
+    return sim::SimulateHomogeneous(w, machine, hm::Tier::kPm, cfg)
+               .total_seconds /
+           sim::SimulateHomogeneous(w, machine, hm::Tier::kDram, cfg)
+               .total_seconds;
+  };
+  const double stream = ratio(trace::AccessPattern::kStream);
+  const double strided = ratio(trace::AccessPattern::kStrided);
+  const double random = ratio(trace::AccessPattern::kRandom);
+  EXPECT_GE(random, strided - 0.05);
+  EXPECT_GE(strided, stream - 0.05);
+  EXPECT_GT(random, 1.5);
+}
+
+// Property: simulated time under a fixed fraction decreases monotonically
+// (within tolerance) as the fraction rises, for every pattern.
+class FractionMonotone
+    : public ::testing::TestWithParam<trace::AccessPattern> {};
+
+TEST_P(FractionMonotone, TimeDecreasesWithDramFraction) {
+  const sim::Workload w = PatternWorkload(GetParam());
+  sim::SimConfig cfg;
+  cfg.interval_seconds = 1e9;
+  double prev = 1e18;
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::FixedFractionPolicy policy = sim::FixedFractionPolicy::Uniform(1, frac);
+    sim::Engine engine(w, sim::MachineSpec::Paper(), cfg, &policy);
+    const double t = engine.Run().total_seconds;
+    EXPECT_LE(t, prev * 1.02) << "fraction " << frac;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, FractionMonotone,
+                         ::testing::Values(trace::AccessPattern::kStream,
+                                           trace::AccessPattern::kStrided,
+                                           trace::AccessPattern::kStencil,
+                                           trace::AccessPattern::kRandom));
+
+// Property: page-granularity choice does not change homogeneous timings
+// (placement granularity must only matter when placement differs).
+class PageSizeInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageSizeInvariance, HomogeneousTimeIndependentOfPageSize) {
+  const sim::Workload w = PatternWorkload(trace::AccessPattern::kRandom);
+  sim::SimConfig cfg;
+  cfg.interval_seconds = 1e9;
+  cfg.page_bytes = GetParam();
+  const double t =
+      sim::SimulateHomogeneous(w, sim::MachineSpec::Paper(), hm::Tier::kPm,
+                               cfg)
+          .total_seconds;
+  cfg.page_bytes = 2 * MiB;
+  const double t_ref =
+      sim::SimulateHomogeneous(w, sim::MachineSpec::Paper(), hm::Tier::kPm,
+                               cfg)
+          .total_seconds;
+  EXPECT_NEAR(t, t_ref, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageSizeInvariance,
+                         ::testing::Values<std::uint64_t>(64 * KiB, 512 * KiB,
+                                                          2 * MiB, 16 * MiB));
+
+// Property: the engine conserves access counts — the oracle's lifetime
+// totals equal the per-task stats totals.
+TEST(EngineProperty, AccessAccountingConsistent) {
+  const sim::Workload w = PatternWorkload(trace::AccessPattern::kStream);
+  sim::SimConfig cfg;
+  cfg.interval_seconds = 1e9;
+  sim::FixedFractionPolicy policy = sim::FixedFractionPolicy::Uniform(1, 0.4);
+  sim::Engine engine(w, sim::MachineSpec::Paper(), cfg, &policy);
+  const auto r = engine.Run();
+  const double stats_total = r.regions[0].tasks[0].object_mm_accesses[0];
+  EXPECT_NEAR(engine.oracle().ObjectLifetimeAccesses(0), stats_total,
+              0.01 * stats_total);
+}
+
+}  // namespace
+}  // namespace merch

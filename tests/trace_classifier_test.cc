@@ -1,0 +1,114 @@
+// Tests for the trace-driven pattern detector (the paper's no-source-code
+// fallback path, Section 5.3 Limitation).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/trace_classifier.h"
+
+namespace merch::core {
+namespace {
+
+using trace::AccessPattern;
+
+std::vector<std::uint64_t> StrideTrace(std::uint64_t base, std::int64_t stride,
+                                       std::size_t n,
+                                       std::uint32_t elem = 8) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(base + static_cast<std::uint64_t>(i) * stride * elem);
+  }
+  return out;
+}
+
+TEST(TraceClassifier, DetectsStream) {
+  const auto t = StrideTrace(0x1000, 1, 256);
+  const TraceClassification c = ClassifyTrace(t);
+  EXPECT_EQ(c.pattern, AccessPattern::kStream);
+  EXPECT_EQ(c.stride, 1);
+  EXPECT_GT(c.confidence, 0.95);
+}
+
+TEST(TraceClassifier, DetectsReverseStream) {
+  auto t = StrideTrace(0x1000, 1, 256);
+  std::reverse(t.begin(), t.end());
+  EXPECT_EQ(ClassifyTrace(t).pattern, AccessPattern::kStream);
+}
+
+TEST(TraceClassifier, DetectsStride) {
+  const auto t = StrideTrace(0x1000, 16, 256);
+  const TraceClassification c = ClassifyTrace(t);
+  EXPECT_EQ(c.pattern, AccessPattern::kStrided);
+  EXPECT_EQ(c.stride, 16);
+}
+
+TEST(TraceClassifier, ElementSizeMatters) {
+  // Byte stride 32 = element stride 8 for 4-byte elements.
+  const auto t = StrideTrace(0x1000, 8, 128, 4);
+  TraceClassifierConfig cfg;
+  cfg.element_bytes = 4;
+  const TraceClassification c = ClassifyTrace(t, cfg);
+  EXPECT_EQ(c.pattern, AccessPattern::kStrided);
+  EXPECT_EQ(c.stride, 8);
+}
+
+TEST(TraceClassifier, DetectsStencil) {
+  // A[i-1], A[i], A[i+1] per iteration: deltas -1, +1, +1, 0-ish pattern.
+  std::vector<std::uint64_t> t;
+  for (std::uint64_t i = 1; i < 100; ++i) {
+    t.push_back(0x1000 + (i - 1) * 8);
+    t.push_back(0x1000 + i * 8);
+    t.push_back(0x1000 + (i + 1) * 8);
+  }
+  const TraceClassification c = ClassifyTrace(t);
+  EXPECT_EQ(c.pattern, AccessPattern::kStencil);
+}
+
+TEST(TraceClassifier, DetectsRandom) {
+  Rng rng(13);
+  std::vector<std::uint64_t> t;
+  for (int i = 0; i < 500; ++i) {
+    t.push_back(0x1000 + rng.NextBelow(1 << 20) * 8);
+  }
+  EXPECT_EQ(ClassifyTrace(t).pattern, AccessPattern::kRandom);
+}
+
+TEST(TraceClassifier, StreamSurvivesSparseNoise) {
+  Rng rng(17);
+  auto t = StrideTrace(0x1000, 1, 400);
+  // 5% of accesses jump elsewhere (interleaved scalar accesses).
+  for (std::size_t i = 0; i < t.size(); i += 20) {
+    t[i] = 0x900000 + rng.NextBelow(4096) * 8;
+  }
+  EXPECT_EQ(ClassifyTrace(t).pattern, AccessPattern::kStream);
+}
+
+TEST(TraceClassifier, ShortTraceIsUnknown) {
+  const auto t = StrideTrace(0x1000, 1, 4);
+  EXPECT_EQ(ClassifyTrace(t).pattern, AccessPattern::kUnknown);
+}
+
+TEST(TraceClassifier, AgreesWithStaticClassifierOnGeneratedTraces) {
+  // Property: traces synthesised from each pattern re-classify to it.
+  Rng rng(23);
+  // Stream.
+  EXPECT_EQ(ClassifyTrace(StrideTrace(0, 1, 200)).pattern,
+            AccessPattern::kStream);
+  // Strided, several widths.
+  for (const std::int64_t s : {2, 4, 32, 128}) {
+    EXPECT_EQ(ClassifyTrace(StrideTrace(0, s, 200)).pattern,
+              AccessPattern::kStrided)
+        << "stride " << s;
+  }
+  // Random (gather through an index array).
+  std::vector<std::uint64_t> gather;
+  for (int i = 0; i < 300; ++i) {
+    gather.push_back(rng.NextBelow(100000) * 8);
+  }
+  EXPECT_EQ(ClassifyTrace(gather).pattern, AccessPattern::kRandom);
+}
+
+}  // namespace
+}  // namespace merch::core

@@ -1,0 +1,106 @@
+// Tests for pattern traits and the synthetic page-access source.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/pattern.h"
+#include "trace/synthetic_trace.h"
+
+namespace merch::trace {
+namespace {
+
+TEST(Pattern, NamesAreDistinct) {
+  EXPECT_STREQ(PatternName(AccessPattern::kStream), "Stream");
+  EXPECT_STREQ(PatternName(AccessPattern::kStrided), "Strided");
+  EXPECT_STREQ(PatternName(AccessPattern::kStencil), "Stencil");
+  EXPECT_STREQ(PatternName(AccessPattern::kRandom), "Random");
+  EXPECT_STREQ(PatternName(AccessPattern::kUnknown), "Unknown");
+}
+
+TEST(Pattern, TraitsReflectLatencyTolerance) {
+  // Streams overlap and parallelise far better than dependent random
+  // chains — the premise of the tier-sensitivity model.
+  EXPECT_GT(TraitsOf(AccessPattern::kStream).mlp,
+            TraitsOf(AccessPattern::kRandom).mlp);
+  EXPECT_GT(TraitsOf(AccessPattern::kStream).overlap,
+            TraitsOf(AccessPattern::kRandom).overlap);
+  EXPECT_LT(TraitsOf(AccessPattern::kStream).prefetch_miss,
+            TraitsOf(AccessPattern::kRandom).prefetch_miss);
+}
+
+TEST(Pattern, SweepingFlagsSequentialPatterns) {
+  EXPECT_TRUE(TraitsOf(AccessPattern::kStream).sweeping);
+  EXPECT_TRUE(TraitsOf(AccessPattern::kStrided).sweeping);
+  EXPECT_TRUE(TraitsOf(AccessPattern::kStencil).sweeping);
+  EXPECT_FALSE(TraitsOf(AccessPattern::kRandom).sweeping);
+  EXPECT_FALSE(TraitsOf(AccessPattern::kUnknown).sweeping);
+}
+
+TEST(Pattern, UnknownSharesRandomTraits) {
+  const PatternTraits& u = TraitsOf(AccessPattern::kUnknown);
+  const PatternTraits& r = TraitsOf(AccessPattern::kRandom);
+  EXPECT_EQ(u.mlp, r.mlp);
+  EXPECT_EQ(u.sequential_latency, r.sequential_latency);
+}
+
+class SyntheticSourceTest : public ::testing::Test {
+ protected:
+  SyntheticAccessSource MakeSource() {
+    return SyntheticAccessSource({
+        {.task = 0, .num_pages = 10, .heat = HeatProfile::Uniform(),
+         .epoch_accesses = 1000, .tier = hm::Tier::kPm},
+        {.task = 1, .num_pages = 20, .heat = HeatProfile::Zipf(1.0),
+         .epoch_accesses = 2000, .tier = hm::Tier::kDram},
+        {.task = 1, .num_pages = 5, .heat = HeatProfile::Uniform(),
+         .epoch_accesses = 500, .tier = hm::Tier::kPm},
+    });
+  }
+};
+
+TEST_F(SyntheticSourceTest, PageLayout) {
+  const auto src = MakeSource();
+  EXPECT_EQ(src.num_pages(), 35u);
+  EXPECT_EQ(src.PageObject(0), 0u);
+  EXPECT_EQ(src.PageObject(9), 0u);
+  EXPECT_EQ(src.PageObject(10), 1u);
+  EXPECT_EQ(src.PageObject(34), 2u);
+}
+
+TEST_F(SyntheticSourceTest, TierAndTaskAttribution) {
+  const auto src = MakeSource();
+  EXPECT_EQ(src.PageTier(0), hm::Tier::kPm);
+  EXPECT_EQ(src.PageTier(15), hm::Tier::kDram);
+  EXPECT_EQ(src.PageTask(0), 0u);
+  EXPECT_EQ(src.PageTask(12), 1u);
+  EXPECT_EQ(src.PageTask(32), 1u);
+}
+
+TEST_F(SyntheticSourceTest, PerPageAccessesSumToObjectTotal) {
+  const auto src = MakeSource();
+  double sum = 0;
+  for (PageId p = 10; p < 30; ++p) sum += src.EpochAccesses(p);
+  EXPECT_NEAR(sum, 2000.0, 15.0);  // zipf harmonic approximation tolerance
+}
+
+TEST_F(SyntheticSourceTest, UniformPagesEqual) {
+  const auto src = MakeSource();
+  EXPECT_DOUBLE_EQ(src.EpochAccesses(0), 100.0);
+  EXPECT_DOUBLE_EQ(src.EpochAccesses(9), 100.0);
+}
+
+TEST_F(SyntheticSourceTest, ZipfPagesDecreasing) {
+  const auto src = MakeSource();
+  EXPECT_GT(src.EpochAccesses(10), src.EpochAccesses(11));
+  EXPECT_GT(src.EpochAccesses(11), src.EpochAccesses(29));
+}
+
+TEST_F(SyntheticSourceTest, GroundTruthQueries) {
+  const auto src = MakeSource();
+  EXPECT_DOUBLE_EQ(src.ObjectAccesses(1), 2000.0);
+  EXPECT_DOUBLE_EQ(src.TaskAccesses(1), 2500.0);
+  EXPECT_DOUBLE_EQ(src.TaskAccesses(0), 1000.0);
+  EXPECT_DOUBLE_EQ(src.TaskAccesses(9), 0.0);
+}
+
+}  // namespace
+}  // namespace merch::trace

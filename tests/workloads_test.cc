@@ -1,0 +1,134 @@
+// Tests for workload validation and the synthetic code-region generator
+// (CERE stand-in).
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+#include "workloads/code_region.h"
+
+namespace merch {
+namespace {
+
+TEST(Workload, ValidateAcceptsEmpty) {
+  sim::Workload w;
+  EXPECT_EQ(w.Validate(), "");
+}
+
+TEST(Workload, ValidateCatchesBadObjectIndex) {
+  sim::Workload w;
+  w.objects.push_back(sim::ObjectDecl{.name = "x", .bytes = 4096});
+  sim::Kernel k;
+  k.name = "k";
+  trace::ObjectAccess a;
+  a.object = 5;  // out of range
+  a.program_accesses = 10;
+  k.accesses.push_back(a);
+  sim::Region r;
+  r.tasks.push_back(sim::TaskProgram{.task = 0, .kernels = {k}});
+  w.regions.push_back(r);
+  EXPECT_NE(w.Validate().find("out of range"), std::string::npos);
+}
+
+TEST(Workload, ValidateCatchesDuplicateTask) {
+  sim::Workload w;
+  sim::Region r;
+  r.tasks.push_back(sim::TaskProgram{.task = 3});
+  r.tasks.push_back(sim::TaskProgram{.task = 3});
+  w.regions.push_back(r);
+  EXPECT_NE(w.Validate().find("duplicate task"), std::string::npos);
+}
+
+TEST(Workload, ValidateCatchesActiveBytesMismatch) {
+  sim::Workload w;
+  w.objects.push_back(sim::ObjectDecl{.name = "x", .bytes = 4096});
+  sim::Region r;
+  r.active_bytes = {1, 2, 3};  // objects.size() == 1
+  w.regions.push_back(r);
+  EXPECT_NE(w.Validate().find("active_bytes"), std::string::npos);
+}
+
+TEST(Workload, TaskIdsSortedUnique) {
+  sim::Workload w;
+  sim::Region r1, r2;
+  r1.tasks.push_back(sim::TaskProgram{.task = 4});
+  r1.tasks.push_back(sim::TaskProgram{.task = 1});
+  r2.tasks.push_back(sim::TaskProgram{.task = 4});
+  w.regions = {r1, r2};
+  const auto ids = w.TaskIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 4u);
+}
+
+TEST(Workload, TotalBytes) {
+  sim::Workload w;
+  w.objects.push_back(sim::ObjectDecl{.name = "a", .bytes = 100});
+  w.objects.push_back(sim::ObjectDecl{.name = "b", .bytes = 250});
+  EXPECT_EQ(w.TotalBytes(), 350u);
+}
+
+TEST(CodeRegions, GeneratorIsDeterministic) {
+  Rng a(5), b(5);
+  const auto sa = workloads::GenerateCodeRegionSpecs(10, a);
+  const auto sb = workloads::GenerateCodeRegionSpecs(10, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].objects.size(), sb[i].objects.size());
+    for (std::size_t o = 0; o < sa[i].objects.size(); ++o) {
+      EXPECT_EQ(sa[i].objects[o].bytes, sb[i].objects[o].bytes);
+      EXPECT_EQ(sa[i].objects[o].pattern, sb[i].objects[o].pattern);
+    }
+  }
+}
+
+TEST(CodeRegions, SpecsWithinDocumentedRanges) {
+  Rng rng(6);
+  const auto specs = workloads::GenerateCodeRegionSpecs(60, rng);
+  ASSERT_EQ(specs.size(), 60u);
+  for (const auto& spec : specs) {
+    EXPECT_GE(spec.objects.size(), 1u);
+    EXPECT_LE(spec.objects.size(), 4u);
+    for (const auto& obj : spec.objects) {
+      EXPECT_GE(obj.bytes, 32 * MiB);
+      EXPECT_LE(obj.bytes, 33ull * 1024 * MiB);
+      EXPECT_GT(obj.accesses_per_byte, 0.0);
+    }
+    EXPECT_GT(spec.instructions_per_access, 0.0);
+  }
+}
+
+TEST(CodeRegions, SpecsCoverAllPatterns) {
+  Rng rng(7);
+  const auto specs = workloads::GenerateCodeRegionSpecs(100, rng);
+  std::set<int> seen;
+  for (const auto& spec : specs) {
+    for (const auto& obj : spec.objects) {
+      seen.insert(static_cast<int>(obj.pattern));
+    }
+  }
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(CodeRegions, BuildProducesValidSingleTaskWorkload) {
+  Rng rng(8);
+  const auto specs = workloads::GenerateCodeRegionSpecs(5, rng);
+  for (const auto& spec : specs) {
+    const sim::Workload w = workloads::BuildCodeRegionWorkload(spec);
+    EXPECT_EQ(w.Validate(), "");
+    ASSERT_EQ(w.regions.size(), 1u);
+    ASSERT_EQ(w.regions[0].tasks.size(), 1u);
+    EXPECT_EQ(w.objects.size(), spec.objects.size());
+  }
+}
+
+TEST(CodeRegions, InputScaleShrinksEverything) {
+  Rng rng(9);
+  const auto specs = workloads::GenerateCodeRegionSpecs(1, rng);
+  const sim::Workload full = workloads::BuildCodeRegionWorkload(specs[0], 1.0);
+  const sim::Workload half = workloads::BuildCodeRegionWorkload(specs[0], 0.5);
+  EXPECT_LT(half.TotalBytes(), full.TotalBytes());
+  EXPECT_LT(half.regions[0].tasks[0].kernels[0].accesses[0].program_accesses,
+            full.regions[0].tasks[0].kernels[0].accesses[0].program_accesses);
+}
+
+}  // namespace
+}  // namespace merch

@@ -1,0 +1,209 @@
+// merchctl — command-line driver for the Merchandiser simulator.
+//
+// Runs any bundled application under any placement policy at a chosen
+// scale and prints makespan, per-task balance, and bandwidth statistics.
+//
+//   merchctl list
+//   merchctl run --app SpGEMM [--policy all|pm|mm|mo|merch|sparta|warpx-pm]
+//                [--scale 1.0] [--work 1.0] [--train-regions 281]
+//                [--tasks]      # per-task execution times
+//                [--bandwidth]  # bandwidth timeline summary
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/registry.h"
+#include "baselines/memory_mode_policy.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/pm_only.h"
+#include "baselines/static_priority.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace merch;
+
+struct Options {
+  std::string command;
+  std::string app = "SpGEMM";
+  std::string policy = "all";
+  double scale = 1.0;
+  double work = 1.0;
+  std::size_t train_regions = 281;
+  bool show_tasks = false;
+  bool show_bandwidth = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: merchctl list\n"
+               "       merchctl run --app <name> [--policy all|pm|mm|mo|"
+               "merch|sparta|warpx-pm]\n"
+               "                    [--scale S] [--work W] "
+               "[--train-regions N] [--tasks] [--bandwidth]\n");
+  return 2;
+}
+
+sim::SimResult RunPolicy(const Options& opt, const apps::AppBundle& bundle,
+                         const sim::MachineSpec& machine,
+                         const sim::SimConfig& cfg, const std::string& name,
+                         const core::MerchandiserSystem* system) {
+  if (name == "pm") {
+    baselines::PmOnlyPolicy p;
+    return sim::Engine(bundle.workload, machine, cfg, &p).Run();
+  }
+  if (name == "mm") {
+    baselines::MemoryModePolicy p;
+    return sim::Engine(bundle.workload, machine, cfg, &p).Run();
+  }
+  if (name == "mo") {
+    baselines::MemoryOptimizerPolicy p;
+    return sim::Engine(bundle.workload, machine, cfg, &p).Run();
+  }
+  if (name == "sparta") {
+    baselines::StaticPriorityPolicy p("Sparta-like", bundle.sparta_priority);
+    return sim::Engine(bundle.workload, machine, cfg, &p).Run();
+  }
+  if (name == "warpx-pm") {
+    baselines::StaticPriorityPolicy p("WarpX-PM", bundle.lifetime_priority);
+    return sim::Engine(bundle.workload, machine, cfg, &p).Run();
+  }
+  if (name == "merch") {
+    auto p = system->MakePolicy(bundle.workload, machine);
+    return sim::Engine(bundle.workload, machine, cfg, p.get()).Run();
+  }
+  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  std::exit(2);
+  (void)opt;
+}
+
+void Report(const Options& opt, const sim::SimResult& r, double pm_baseline) {
+  std::printf("%-16s makespan %9.2fs  speedup %5.3fx  task-CoV %.3f  "
+              "migrated %s\n",
+              r.policy.c_str(), r.total_seconds,
+              pm_baseline > 0 ? pm_baseline / r.total_seconds : 1.0,
+              r.AverageCoV(),
+              FormatBytes(r.migration.bytes_to_dram + r.migration.bytes_to_pm)
+                  .c_str());
+  if (opt.show_tasks) {
+    for (std::size_t ri = 0; ri < r.regions.size(); ++ri) {
+      std::printf("  instance %zu (%.2fs):", ri, r.regions[ri].duration);
+      for (const auto& ts : r.regions[ri].tasks) {
+        std::printf(" %.2f", ts.exec_seconds);
+      }
+      std::printf("\n");
+    }
+  }
+  if (opt.show_bandwidth) {
+    std::vector<double> dram, pm;
+    for (const auto& s : r.bandwidth) {
+      dram.push_back(s.dram_gbps);
+      pm.push_back(s.pm_gbps);
+    }
+    std::printf("  bandwidth: DRAM avg %.2f / max %.2f GB/s,  PM avg %.2f "
+                "/ max %.2f GB/s\n",
+                Mean(dram), Max(dram), Mean(pm), Max(pm));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) return Usage();
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      opt.app = next();
+    } else if (arg == "--policy") {
+      opt.policy = next();
+    } else if (arg == "--scale") {
+      opt.scale = std::atof(next());
+    } else if (arg == "--work") {
+      opt.work = std::atof(next());
+    } else if (arg == "--train-regions") {
+      opt.train_regions = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--tasks") {
+      opt.show_tasks = true;
+    } else if (arg == "--bandwidth") {
+      opt.show_bandwidth = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (opt.command == "list") {
+    std::printf("applications:\n");
+    for (const auto& name : apps::AppNames()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::printf("policies: pm mm mo merch sparta warpx-pm all\n");
+    return 0;
+  }
+  if (opt.command != "run") return Usage();
+
+  const apps::AppBundle bundle = apps::BuildApp(opt.app, opt.scale, opt.work);
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  machine.hm[hm::Tier::kDram].capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(machine.hm[hm::Tier::kDram].capacity_bytes) *
+      opt.scale);
+  machine.hm[hm::Tier::kPm].capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(machine.hm[hm::Tier::kPm].capacity_bytes) *
+      opt.scale);
+  sim::SimConfig cfg;
+  cfg.epoch_seconds = 0.05;
+  cfg.page_bytes = opt.scale >= 0.5
+                       ? 2 * MiB
+                       : std::max<std::uint64_t>(
+                             64 * KiB,
+                             static_cast<std::uint64_t>(2.0 * MiB * opt.scale *
+                                                        16));
+  cfg.migration_gbps = 2.0;
+
+  std::unique_ptr<core::MerchandiserSystem> system;
+  const bool needs_system = opt.policy == "all" || opt.policy == "merch";
+  if (needs_system) {
+    workloads::TrainingConfig training;
+    training.num_regions = opt.train_regions;
+    std::fprintf(stderr, "training correlation function (%zu regions)...\n",
+                 training.num_regions);
+    system = std::make_unique<core::MerchandiserSystem>(
+        core::MerchandiserSystem::Train(training));
+  }
+
+  std::printf("%s @ footprint scale %.3g (%s), work scale %.3g\n",
+              opt.app.c_str(), opt.scale,
+              FormatBytes(bundle.workload.TotalBytes()).c_str(), opt.work);
+  if (opt.policy == "all") {
+    const auto pm = RunPolicy(opt, bundle, machine, cfg, "pm", nullptr);
+    Report(opt, pm, pm.total_seconds);
+    for (const char* p : {"mm", "mo", "merch"}) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, p, system.get()),
+             pm.total_seconds);
+    }
+    if (!bundle.sparta_priority.empty()) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, "sparta", nullptr),
+             pm.total_seconds);
+    }
+    if (!bundle.lifetime_priority.empty()) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, "warpx-pm", nullptr),
+             pm.total_seconds);
+    }
+  } else {
+    Report(opt, RunPolicy(opt, bundle, machine, cfg, opt.policy, system.get()),
+           0.0);
+  }
+  return 0;
+}

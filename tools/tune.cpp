@@ -1,0 +1,80 @@
+// Throwaway tuning harness: dynamics of one app under all policies.
+#include <cstdio>
+#include <cstring>
+#include "apps/registry.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/memory_mode_policy.h"
+#include "baselines/pm_only.h"
+#include "core/merchandiser.h"
+#include "sim/engine.h"
+
+using namespace merch;
+
+int main(int argc, char** argv) {
+  const char* app = argc > 1 ? argv[1] : "SpGEMM";
+  const double fscale = argc > 2 ? atof(argv[2]) : 1.0/64;
+  const double wscale = argc > 3 ? atof(argv[3]) : 1.0/8;
+
+  auto bundle = apps::BuildApp(app, fscale, wscale);
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  machine.hm[hm::Tier::kDram].capacity_bytes = (std::uint64_t)(machine.hm[hm::Tier::kDram].capacity_bytes * fscale);
+  machine.hm[hm::Tier::kPm].capacity_bytes = (std::uint64_t)(machine.hm[hm::Tier::kPm].capacity_bytes * fscale);
+  sim::SimConfig cfg;
+  cfg.page_bytes = fscale >= 0.5 ? 2 * MiB
+                                  : (std::uint64_t)(2.0 * MiB * fscale * 16);
+  if (cfg.page_bytes < 64*KiB) cfg.page_bytes = 64*KiB;
+  cfg.epoch_seconds = 0.05;
+
+  auto pm = sim::SimulateHomogeneous(bundle.workload, machine, hm::Tier::kPm, cfg);
+  auto dram = sim::SimulateHomogeneous(bundle.workload, machine, hm::Tier::kDram, cfg);
+  printf("%s: PM-only %.1fs  DRAM-only %.1fs  ratio %.2f  dram/footprint %.2f\n",
+         app, pm.total_seconds, dram.total_seconds, pm.total_seconds/dram.total_seconds,
+         (double)machine.hm.dram_capacity()/bundle.workload.TotalBytes());
+
+  auto run = [&](sim::PlacementPolicy* p){
+    sim::Engine e(bundle.workload, machine, cfg, p);
+    auto r = e.Run();
+    printf("  %-16s total %.1fs  speedup %.3f  ACV %.3f  migGB %.1f\n",
+           r.policy.c_str(), r.total_seconds, pm.total_seconds/r.total_seconds,
+           r.AverageCoV(), (r.migration.bytes_to_dram+r.migration.bytes_to_pm)/1e9);
+  };
+  baselines::PmOnlyPolicy pmp; run(&pmp);
+  baselines::MemoryModePolicy mm; run(&mm);
+  baselines::MemoryOptimizerPolicy mo; run(&mo);
+  workloads::TrainingConfig tc; tc.num_regions = 48;
+  auto system = core::MerchandiserSystem::Train(tc);
+  printf("  [GBR R2=%.3f]\n", system.correlation().test_r2());
+  auto merch_policy = system.MakePolicy(bundle.workload, machine);
+  {
+    sim::Engine e(bundle.workload, machine, cfg, merch_policy.get());
+    auto r = e.Run();
+    printf("  %-16s total %.1fs  speedup %.3f  ACV %.3f  migGB %.1f\n",
+           r.policy.c_str(), r.total_seconds, pm.total_seconds/r.total_seconds,
+           r.AverageCoV(), (r.migration.bytes_to_dram+r.migration.bytes_to_pm)/1e9);
+    for (auto& d : merch_policy->decisions()) {
+      printf("   region %zu rounds %d:\n", d.region, d.greedy_rounds);
+      for (size_t i = 0; i < d.tasks.size(); ++i) {
+        double actual = 0;
+        for (auto& ts : r.regions[d.region].tasks) if (ts.task==d.tasks[i]) actual = ts.exec_seconds;
+        printf("    task %u r=%.2f pred=%.3f tpm=%.3f tdram=%.3f est_acc=%.2e actual=%.3f\n",
+               d.tasks[i], d.dram_fraction[i], d.predicted_seconds[i],
+               d.t_pm_only[i], d.t_dram_only[i], d.estimated_accesses[i], actual);
+      }
+      if (d.region >= 2) break;
+    }
+    printf("   region0 (base) task times: ");
+    for (auto& ts : r.regions[0].tasks) printf("%.2f ", ts.exec_seconds);
+    printf("\n   avg alpha=%.2f\n", merch_policy->AverageAlpha());
+  }
+  {
+    core::MerchandiserConfig mc;
+    mc.proactive_placement = true;
+    auto pro = system.MakePolicy(bundle.workload, machine, mc);
+    sim::Engine e(bundle.workload, machine, cfg, pro.get());
+    auto r = e.Run();
+    printf("  %-16s total %.1fs  speedup %.3f  ACV %.3f  migGB %.1f\n",
+           "Merch+proactive", r.total_seconds, pm.total_seconds/r.total_seconds,
+           r.AverageCoV(), (r.migration.bytes_to_dram+r.migration.bytes_to_pm)/1e9);
+  }
+  return 0;
+}
