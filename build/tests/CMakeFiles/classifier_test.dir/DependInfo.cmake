@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classifier_test.cc" "tests/CMakeFiles/classifier_test.dir/classifier_test.cc.o" "gcc" "tests/CMakeFiles/classifier_test.dir/classifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/merch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/merch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/merch_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/merch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/merch_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/merch_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
