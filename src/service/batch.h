@@ -1,0 +1,47 @@
+// Batch front-end helpers shared by `merchctl sweep` and `merchd`:
+// parsing newline-delimited request files and draining a request list
+// through a PlacementService with wall-clock accounting.
+//
+// Request-file grammar (one request per line):
+//
+//   app=SpGEMM policy=merch scale=0.1 work=0.5 train_regions=64 seed=7
+//
+// Tokens are space-separated key=value pairs in any order; omitted keys
+// keep PlacementRequest defaults. Blank lines and lines starting with '#'
+// are skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/placement_service.h"
+#include "service/request.h"
+
+namespace merch::service {
+
+/// Parse one request line. Returns:
+///   kRequest — `*out` holds the parsed request,
+///   kSkip    — blank or comment line,
+///   kError   — malformed; `*error` names the offending token.
+enum class ParseStatus { kRequest, kSkip, kError };
+ParseStatus ParseRequestLine(const std::string& line, PlacementRequest* out,
+                             std::string* error);
+
+/// Read a whole request file. Returns false (with `*error` set, naming the
+/// line number) on the first malformed line or an unreadable file.
+bool LoadRequestFile(const std::string& path,
+                     std::vector<PlacementRequest>* out, std::string* error);
+
+/// Outcome of pushing one batch through a service.
+struct BatchReport {
+  std::vector<PlacementResult> results;  // one per request, input order
+  std::vector<bool> cache_hits;          // ticket-level: served from cache
+  double wall_seconds = 0;
+  double jobs_per_second = 0;            // requests / wall_seconds
+};
+
+/// Submit every request, wait for all futures, measure wall-clock.
+BatchReport RunBatch(PlacementService& service,
+                     const std::vector<PlacementRequest>& requests);
+
+}  // namespace merch::service

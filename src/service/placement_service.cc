@@ -1,0 +1,212 @@
+#include "service/placement_service.h"
+
+#include <exception>
+#include <utility>
+
+#include "apps/registry.h"
+#include "baselines/memory_mode_policy.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/pm_only.h"
+#include "baselines/static_priority.h"
+#include "sim/policy.h"
+#include "workloads/training.h"
+
+namespace merch::service {
+
+PlacementService::PlacementService(Config config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.threads, config.queue_capacity) {}
+
+PlacementService::~PlacementService() { Shutdown(); }
+
+void PlacementService::Shutdown() { pool_.Shutdown(); }
+
+PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  if (std::string err = CanonicalizeRequest(request); !err.empty()) {
+    PlacementResult bad;
+    bad.request = std::move(request);
+    bad.error = std::move(err);
+    std::promise<PlacementResult> p;
+    p.set_value(std::move(bad));
+    ticket.future = p.get_future().share();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+    return ticket;
+  }
+  const std::string key = CanonicalKey(request);
+
+  if (auto cached = cache_.Get(key)) {
+    std::promise<PlacementResult> p;
+    p.set_value(*std::move(cached));
+    ticket.future = p.get_future().share();
+    ticket.cache_hit = true;
+    return ticket;
+  }
+
+  auto promise = std::make_shared<std::promise<PlacementResult>>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      ++coalesced_;
+      ticket.future = it->second;
+      ticket.coalesced = true;
+      return ticket;
+    }
+    ticket.future = promise->get_future().share();
+    inflight_.emplace(key, ticket.future);
+  }
+
+  const bool accepted = pool_.Submit(
+      [this, key, request = std::move(request), promise]() mutable {
+        RunJob(key, request, promise);
+      });
+  if (!accepted) {  // shutting down: fail the request instead of hanging it
+    PlacementResult bad;
+    bad.error = "service is shutting down";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+      ++failed_;
+    }
+    promise->set_value(std::move(bad));
+  }
+  return ticket;
+}
+
+void PlacementService::RunJob(
+    const std::string& key, const PlacementRequest& req,
+    std::shared_ptr<std::promise<PlacementResult>> promise) {
+  std::shared_ptr<const core::MerchandiserSystem> system;
+  if (req.policy == "merch") system = TrainedSystem(req.train_regions);
+
+  PlacementResult result = RunRequest(req, system.get());
+  if (result.ok()) cache_.Put(key, result);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    ++simulated_;
+    if (!result.ok()) ++failed_;
+  }
+  promise->set_value(std::move(result));
+}
+
+ServiceStats PlacementService::Stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.coalesced = coalesced_;
+    s.simulated = simulated_;
+    s.failed = failed_;
+  }
+  s.cache = cache_.Stats();
+  s.threads = pool_.thread_count();
+  return s;
+}
+
+std::shared_ptr<const core::MerchandiserSystem> PlacementService::TrainedSystem(
+    std::size_t train_regions) {
+  std::lock_guard<std::mutex> lock(train_mu_);
+  auto it = systems_.find(train_regions);
+  if (it != systems_.end()) return it->second;
+  workloads::TrainingConfig training;
+  training.num_regions = train_regions;
+  auto system = std::make_shared<const core::MerchandiserSystem>(
+      core::MerchandiserSystem::Train(training));
+  systems_.emplace(train_regions, system);
+  return system;
+}
+
+sim::MachineSpec PlacementService::RequestMachine(const PlacementRequest& req) {
+  sim::MachineSpec machine = sim::MachineSpec::Paper();
+  for (auto tier : {hm::Tier::kDram, hm::Tier::kPm}) {
+    machine.hm[tier].capacity_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(machine.hm[tier].capacity_bytes) * req.scale);
+  }
+  return machine;
+}
+
+sim::SimConfig PlacementService::RequestSimConfig(const PlacementRequest& req) {
+  sim::SimConfig cfg;
+  cfg.epoch_seconds = 0.05;
+  // Downscaled footprints shrink the placement granularity with them so a
+  // run still spans many pages (same rule merchctl has always applied).
+  cfg.page_bytes =
+      req.scale >= 0.5
+          ? 2 * MiB
+          : std::max<std::uint64_t>(
+                64 * KiB,
+                static_cast<std::uint64_t>(2.0 * MiB * req.scale * 16));
+  cfg.migration_gbps = 2.0;
+  cfg.seed = req.seed;
+  return cfg;
+}
+
+PlacementResult PlacementService::RunRequest(
+    const PlacementRequest& req, const core::MerchandiserSystem* system) {
+  PlacementResult out;
+  out.request = req;
+  try {
+    const apps::AppBundle bundle = apps::BuildApp(req.app, req.scale, req.work);
+    const sim::MachineSpec machine = RequestMachine(req);
+    const sim::SimConfig cfg = RequestSimConfig(req);
+
+    std::unique_ptr<sim::PlacementPolicy> policy;
+    if (req.policy == "pm") {
+      policy = std::make_unique<baselines::PmOnlyPolicy>();
+    } else if (req.policy == "mm") {
+      policy = std::make_unique<baselines::MemoryModePolicy>();
+    } else if (req.policy == "mo") {
+      policy = std::make_unique<baselines::MemoryOptimizerPolicy>();
+    } else if (req.policy == "sparta") {
+      if (bundle.sparta_priority.empty()) {
+        out.error = "policy 'sparta' is not defined for app " + req.app;
+        return out;
+      }
+      policy = std::make_unique<baselines::StaticPriorityPolicy>(
+          "Sparta-like", bundle.sparta_priority);
+    } else if (req.policy == "warpx-pm") {
+      if (bundle.lifetime_priority.empty()) {
+        out.error = "policy 'warpx-pm' is not defined for app " + req.app;
+        return out;
+      }
+      policy = std::make_unique<baselines::StaticPriorityPolicy>(
+          "WarpX-PM", bundle.lifetime_priority);
+    } else if (req.policy == "merch") {
+      if (system == nullptr) {
+        out.error = "policy 'merch' needs a trained MerchandiserSystem";
+        return out;
+      }
+      policy = system->MakePolicy(bundle.workload, machine);
+    } else {
+      out.error = "unknown policy '" + req.policy + "'";
+      return out;
+    }
+
+    sim::Engine engine(bundle.workload, machine, cfg, policy.get());
+    const sim::SimResult r = engine.Run();
+    out.makespan_seconds = r.total_seconds;
+    out.task_cov = r.AverageCoV();
+    out.migrated_bytes = static_cast<std::uint64_t>(
+        r.migration.bytes_to_dram + r.migration.bytes_to_pm);
+    out.regions = r.regions.size();
+    out.placements.reserve(bundle.workload.objects.size());
+    for (std::size_t i = 0; i < bundle.workload.objects.size(); ++i) {
+      const auto& obj = bundle.workload.objects[i];
+      out.placements.push_back(
+          {obj.name, obj.bytes, engine.ObjectDramFraction(i)});
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace merch::service

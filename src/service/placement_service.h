@@ -1,0 +1,124 @@
+// Merchandiser-as-a-service: a long-lived, concurrent placement-query
+// engine on top of the simulator.
+//
+// Every Submit() turns a PlacementRequest into (at most) one simulation
+// job on a fixed ThreadPool. Three layers keep repeated and concurrent
+// traffic cheap:
+//
+//   1. ResultCache — completed canonical requests are served back without
+//      re-simulation (placement queries are deterministic; see
+//      service/result_cache.h).
+//   2. In-flight coalescing — identical requests submitted while the first
+//      is still queued or running share one job and one future.
+//   3. Trained-system sharing — 'merch' requests reuse one immutable
+//      MerchandiserSystem per training budget ("the construction of f
+//      happens only once", paper Section 5.1); training is serialized and
+//      every simulation job only reads the trained function.
+//
+// Each simulation owns its Engine/PageTable/Rng state, so jobs are
+// embarrassingly parallel and results are bit-identical regardless of the
+// pool width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/merchandiser.h"
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace merch::service {
+
+/// Point-in-time counters (cache counters come from the ResultCache).
+struct ServiceStats {
+  std::uint64_t submitted = 0;   // Submit() calls
+  std::uint64_t coalesced = 0;   // joined an identical in-flight request
+  std::uint64_t simulated = 0;   // jobs that actually ran an Engine
+  std::uint64_t failed = 0;      // jobs whose result carries an error
+  CacheStats cache;
+  std::size_t threads = 0;
+};
+
+class PlacementService {
+ public:
+  struct Config {
+    std::size_t threads = 1;
+    std::size_t cache_capacity = 128;
+    std::size_t queue_capacity = 1024;
+  };
+
+  /// How a Submit() was satisfied, plus the (shared) result future.
+  struct Ticket {
+    std::shared_future<PlacementResult> future;
+    bool cache_hit = false;   // served from the result cache, no job
+    bool coalesced = false;   // joined an existing in-flight job
+  };
+
+  explicit PlacementService(Config config);
+
+  /// Drains in-flight jobs (ThreadPool::Shutdown semantics).
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  /// Canonicalizes and enqueues `request`. Invalid requests yield a ready
+  /// future whose result carries the error — Submit itself never throws.
+  Ticket Submit(PlacementRequest request);
+
+  ServiceStats Stats() const;
+
+  /// Stop accepting work and finish everything accepted so far.
+  void Shutdown();
+
+  // --- request plumbing shared with merchctl's direct-run path ---
+
+  /// The evaluation machine with both tier capacities scaled by
+  /// `req.scale` (capacity pressure tracks the footprint).
+  static sim::MachineSpec RequestMachine(const PlacementRequest& req);
+
+  /// Simulation knobs for `req` (epoch, placement granularity, seed).
+  static sim::SimConfig RequestSimConfig(const PlacementRequest& req);
+
+  /// Synchronously run one canonicalized request. `system` may be null for
+  /// policies other than 'merch'. Never throws; errors land in the result.
+  static PlacementResult RunRequest(const PlacementRequest& req,
+                                    const core::MerchandiserSystem* system);
+
+ private:
+  /// The shared immutable trained system for `train_regions`, training it
+  /// on first use. Training is serialized across jobs.
+  std::shared_ptr<const core::MerchandiserSystem> TrainedSystem(
+      std::size_t train_regions);
+
+  void RunJob(const std::string& key, const PlacementRequest& req,
+              std::shared_ptr<std::promise<PlacementResult>> promise);
+
+  Config config_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;  // guards inflight_ + counters
+  std::unordered_map<std::string, std::shared_future<PlacementResult>>
+      inflight_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t simulated_ = 0;
+  std::uint64_t failed_ = 0;
+
+  std::mutex train_mu_;  // serializes training; guards systems_
+  std::map<std::size_t, std::shared_ptr<const core::MerchandiserSystem>>
+      systems_;
+
+  ThreadPool pool_;  // last member: jobs may touch everything above
+};
+
+}  // namespace merch::service

@@ -1,0 +1,53 @@
+#include "service/result_cache.h"
+
+namespace merch::service {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+std::optional<PlacementResult> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key, PlacementResult value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+  order_.emplace_front(key, std::move(value));
+  index_[key] = order_.begin();
+}
+
+bool ResultCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) != 0;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.clear();
+  index_.clear();
+}
+
+CacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CacheStats{hits_, misses_, evictions_, index_.size(), capacity_};
+}
+
+}  // namespace merch::service

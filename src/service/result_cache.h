@@ -1,0 +1,58 @@
+// LRU cache of completed placement results, keyed by the canonicalized
+// request string (CanonicalKey in service/request.h).
+//
+// Placement queries are deterministic — the same canonical request always
+// produces the same result — so the cache never needs invalidation, only
+// capacity-driven LRU eviction. All operations are thread-safe; hit, miss
+// and eviction counters feed the ServiceStats snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "service/request.h"
+
+namespace merch::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// Copy-out lookup (callers never hold references across the lock);
+  /// bumps the entry to most-recently-used on hit.
+  std::optional<PlacementResult> Get(const std::string& key);
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void Put(const std::string& key, PlacementResult value);
+
+  bool Contains(const std::string& key) const;
+  void Clear();
+  CacheStats Stats() const;
+
+ private:
+  using Entry = std::pair<std::string, PlacementResult>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace merch::service

@@ -1,0 +1,77 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace merch::service {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < queue_capacity_;
+    });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(job));
+    ++accepted_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  bool join_here = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    if (!joining_) joining_ = join_here = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (!join_here) return;  // another caller owns the joins
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ThreadPool::jobs_executed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return executed_;
+}
+
+std::size_t ThreadPool::jobs_accepted() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++executed_;
+    }
+  }
+}
+
+}  // namespace merch::service

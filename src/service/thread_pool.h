@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a bounded job queue.
+//
+// The service layer runs placement simulations as jobs: each job owns its
+// Engine/PageTable state, so jobs never share mutable simulator state and
+// the pool needs no work stealing — a bounded MPMC queue in front of N
+// workers is sufficient and keeps shutdown semantics simple. Submit()
+// blocks when the queue is full (back-pressure toward batch drivers
+// instead of unbounded memory growth) and Shutdown() drains every job that
+// was accepted before joining the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace merch::service {
+
+class ThreadPool {
+ public:
+  /// `threads` is clamped to at least 1. `queue_capacity` bounds the number
+  /// of accepted-but-not-started jobs.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 256);
+
+  /// Joins after draining (equivalent to Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job. Blocks while the queue is at capacity. Returns false
+  /// (and drops the job) if the pool is shutting down.
+  bool Submit(std::function<void()> job);
+
+  /// Stop accepting new jobs, run everything already accepted, join all
+  /// workers. Idempotent; safe to call concurrently with Submit().
+  void Shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Jobs fully executed so far (monotonic).
+  std::size_t jobs_executed() const;
+
+  /// Jobs accepted by Submit() so far (monotonic).
+  std::size_t jobs_accepted() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  bool shutdown_ = false;
+  bool joining_ = false;
+  std::size_t executed_ = 0;
+  std::size_t accepted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace merch::service

@@ -1,17 +1,24 @@
 // merchctl — command-line driver for the Merchandiser simulator.
 //
 // Runs any bundled application under any placement policy at a chosen
-// scale and prints makespan, per-task balance, and bandwidth statistics.
+// scale and prints makespan, per-task balance, and bandwidth statistics;
+// `sweep` answers whole app x policy x scale grids through the concurrent
+// placement service.
 //
 //   merchctl list
 //   merchctl run --app SpGEMM [--policy all|pm|mm|mo|merch|sparta|warpx-pm]
 //                [--scale 1.0] [--work 1.0] [--train-regions 281]
 //                [--tasks]      # per-task execution times
 //                [--bandwidth]  # bandwidth timeline summary
+//   merchctl sweep [--apps all|A,B,...] [--policies all|p,q,...]
+//                  [--scales 1.0,0.5,...] [--work W] [--train-regions N]
+//                  [--seed S] [--threads T] [--cache N] [--repeat R]
+//                  [--file requests.txt] [--placements]
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "apps/registry.h"
 #include "baselines/memory_mode_policy.h"
@@ -21,6 +28,8 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/merchandiser.h"
+#include "service/batch.h"
+#include "service/placement_service.h"
 #include "sim/engine.h"
 
 namespace {
@@ -34,8 +43,18 @@ struct Options {
   double scale = 1.0;
   double work = 1.0;
   std::size_t train_regions = 281;
+  std::uint64_t seed = 42;
   bool show_tasks = false;
   bool show_bandwidth = false;
+  // sweep-only
+  std::string apps = "all";
+  std::string policies = "pm,mm,mo,merch";
+  std::string scales;
+  std::string file;
+  std::size_t threads = 1;
+  std::size_t cache = 128;
+  std::size_t repeat = 1;
+  bool show_placements = false;
 };
 
 int Usage() {
@@ -44,8 +63,39 @@ int Usage() {
                "       merchctl run --app <name> [--policy all|pm|mm|mo|"
                "merch|sparta|warpx-pm]\n"
                "                    [--scale S] [--work W] "
-               "[--train-regions N] [--tasks] [--bandwidth]\n");
+               "[--train-regions N] [--seed N] [--tasks] [--bandwidth]\n"
+               "       merchctl sweep [--apps all|A,B,...] "
+               "[--policies all|p,q,...] [--scales S1,S2,...]\n"
+               "                      [--work W] [--train-regions N] "
+               "[--seed N] [--threads T]\n"
+               "                      [--cache N] [--repeat R] "
+               "[--file requests.txt] [--placements]\n");
   return 2;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Canonicalize (app, policy, ...) through the service's validator;
+/// prints the error and returns false on a bad field.
+bool ValidateRequest(service::PlacementRequest& req) {
+  if (const std::string err = service::CanonicalizeRequest(req);
+      !err.empty()) {
+    std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+    return false;
+  }
+  return true;
 }
 
 sim::SimResult RunPolicy(const Options& opt, const apps::AppBundle& bundle,
@@ -76,7 +126,7 @@ sim::SimResult RunPolicy(const Options& opt, const apps::AppBundle& bundle,
     auto p = system->MakePolicy(bundle.workload, machine);
     return sim::Engine(bundle.workload, machine, cfg, p.get()).Run();
   }
-  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  std::fprintf(stderr, "merchctl: unknown policy '%s'\n", name.c_str());
   std::exit(2);
   (void)opt;
 }
@@ -110,6 +160,139 @@ void Report(const Options& opt, const sim::SimResult& r, double pm_baseline) {
   }
 }
 
+int RunCommand(const Options& opt) {
+  service::PlacementRequest proto{opt.app,  opt.policy == "all" ? "pm"
+                                                                : opt.policy,
+                                  opt.scale, opt.work, opt.train_regions,
+                                  opt.seed};
+  if (!ValidateRequest(proto)) return 2;
+
+  const apps::AppBundle bundle =
+      apps::BuildApp(proto.app, opt.scale, opt.work);
+  const sim::MachineSpec machine =
+      service::PlacementService::RequestMachine(proto);
+  const sim::SimConfig cfg =
+      service::PlacementService::RequestSimConfig(proto);
+
+  std::unique_ptr<core::MerchandiserSystem> system;
+  const bool needs_system = opt.policy == "all" || opt.policy == "merch";
+  if (needs_system) {
+    workloads::TrainingConfig training;
+    training.num_regions = opt.train_regions;
+    std::fprintf(stderr, "training correlation function (%zu regions)...\n",
+                 training.num_regions);
+    system = std::make_unique<core::MerchandiserSystem>(
+        core::MerchandiserSystem::Train(training));
+  }
+
+  std::printf("%s @ footprint scale %.3g (%s), work scale %.3g\n",
+              proto.app.c_str(), opt.scale,
+              FormatBytes(bundle.workload.TotalBytes()).c_str(), opt.work);
+  if (opt.policy == "all") {
+    const auto pm = RunPolicy(opt, bundle, machine, cfg, "pm", nullptr);
+    Report(opt, pm, pm.total_seconds);
+    for (const char* p : {"mm", "mo", "merch"}) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, p, system.get()),
+             pm.total_seconds);
+    }
+    if (!bundle.sparta_priority.empty()) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, "sparta", nullptr),
+             pm.total_seconds);
+    }
+    if (!bundle.lifetime_priority.empty()) {
+      Report(opt, RunPolicy(opt, bundle, machine, cfg, "warpx-pm", nullptr),
+             pm.total_seconds);
+    }
+  } else {
+    Report(opt,
+           RunPolicy(opt, bundle, machine, cfg, proto.policy, system.get()),
+           0.0);
+  }
+  return 0;
+}
+
+int SweepCommand(const Options& opt) {
+  std::vector<service::PlacementRequest> requests;
+  if (!opt.file.empty()) {
+    std::string err;
+    if (!service::LoadRequestFile(opt.file, &requests, &err)) {
+      std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+      return 2;
+    }
+  } else {
+    const std::vector<std::string> app_list =
+        opt.apps == "all" ? apps::AppNames() : SplitCsv(opt.apps);
+    const std::vector<std::string> policy_list =
+        opt.policies == "all" ? std::vector<std::string>{"pm", "mm", "mo",
+                                                         "merch"}
+                              : SplitCsv(opt.policies);
+    const std::string scales = opt.scales.empty()
+                                   ? std::to_string(opt.scale)
+                                   : opt.scales;
+    for (const auto& app : app_list) {
+      for (const auto& policy : policy_list) {
+        for (const auto& scale : SplitCsv(scales)) {
+          requests.push_back({app, policy, std::atof(scale.c_str()), opt.work,
+                              opt.train_regions, opt.seed});
+        }
+      }
+    }
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "merchctl: sweep has no requests\n");
+    return 2;
+  }
+  // Reject bad fields up front — one typo should not cost a half-run sweep.
+  for (auto& req : requests) {
+    if (!ValidateRequest(req)) return 2;
+  }
+
+  service::PlacementService svc(
+      {.threads = opt.threads, .cache_capacity = opt.cache});
+  int failures = 0;
+  for (std::size_t pass = 0; pass < opt.repeat; ++pass) {
+    const service::BatchReport report = service::RunBatch(svc, requests);
+    if (pass == 0) {
+      for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto& r = report.results[i];
+        if (!r.ok()) {
+          ++failures;
+          std::printf("%-10s %-9s scale %-7.3g ERROR: %s\n",
+                      r.request.app.c_str(), r.request.policy.c_str(),
+                      r.request.scale, r.error.c_str());
+          continue;
+        }
+        std::printf("%-10s %-9s scale %-7.3g makespan %9.2fs  task-CoV %.3f"
+                    "  migrated %-10s%s\n",
+                    r.request.app.c_str(), r.request.policy.c_str(),
+                    r.request.scale, r.makespan_seconds, r.task_cov,
+                    FormatBytes(r.migrated_bytes).c_str(),
+                    report.cache_hits[i] ? "  [cached]" : "");
+        if (opt.show_placements) {
+          for (const auto& p : r.placements) {
+            std::printf("    %-24s %-10s DRAM %.0f%%\n", p.object.c_str(),
+                        FormatBytes(p.bytes).c_str(),
+                        100.0 * p.dram_fraction);
+          }
+        }
+      }
+    }
+    std::printf("pass %zu: %zu requests in %.2fs  (%.2f jobs/s)\n", pass + 1,
+                requests.size(), report.wall_seconds,
+                report.jobs_per_second);
+  }
+  const service::ServiceStats stats = svc.Stats();
+  std::printf("service: threads %zu  simulated %llu  coalesced %llu  "
+              "cache hits %llu / misses %llu / evictions %llu\n",
+              stats.threads,
+              static_cast<unsigned long long>(stats.simulated),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,11 +318,31 @@ int main(int argc, char** argv) {
       opt.work = std::atof(next());
     } else if (arg == "--train-regions") {
       opt.train_regions = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--tasks") {
       opt.show_tasks = true;
     } else if (arg == "--bandwidth") {
       opt.show_bandwidth = true;
+    } else if (arg == "--apps") {
+      opt.apps = next();
+    } else if (arg == "--policies") {
+      opt.policies = next();
+    } else if (arg == "--scales") {
+      opt.scales = next();
+    } else if (arg == "--file") {
+      opt.file = next();
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache") {
+      opt.cache = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--repeat") {
+      opt.repeat = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(next())));
+    } else if (arg == "--placements") {
+      opt.show_placements = true;
     } else {
+      std::fprintf(stderr, "merchctl: unknown flag '%s'\n", arg.c_str());
       return Usage();
     }
   }
@@ -152,58 +355,7 @@ int main(int argc, char** argv) {
     std::printf("policies: pm mm mo merch sparta warpx-pm all\n");
     return 0;
   }
-  if (opt.command != "run") return Usage();
-
-  const apps::AppBundle bundle = apps::BuildApp(opt.app, opt.scale, opt.work);
-  sim::MachineSpec machine = sim::MachineSpec::Paper();
-  machine.hm[hm::Tier::kDram].capacity_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(machine.hm[hm::Tier::kDram].capacity_bytes) *
-      opt.scale);
-  machine.hm[hm::Tier::kPm].capacity_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(machine.hm[hm::Tier::kPm].capacity_bytes) *
-      opt.scale);
-  sim::SimConfig cfg;
-  cfg.epoch_seconds = 0.05;
-  cfg.page_bytes = opt.scale >= 0.5
-                       ? 2 * MiB
-                       : std::max<std::uint64_t>(
-                             64 * KiB,
-                             static_cast<std::uint64_t>(2.0 * MiB * opt.scale *
-                                                        16));
-  cfg.migration_gbps = 2.0;
-
-  std::unique_ptr<core::MerchandiserSystem> system;
-  const bool needs_system = opt.policy == "all" || opt.policy == "merch";
-  if (needs_system) {
-    workloads::TrainingConfig training;
-    training.num_regions = opt.train_regions;
-    std::fprintf(stderr, "training correlation function (%zu regions)...\n",
-                 training.num_regions);
-    system = std::make_unique<core::MerchandiserSystem>(
-        core::MerchandiserSystem::Train(training));
-  }
-
-  std::printf("%s @ footprint scale %.3g (%s), work scale %.3g\n",
-              opt.app.c_str(), opt.scale,
-              FormatBytes(bundle.workload.TotalBytes()).c_str(), opt.work);
-  if (opt.policy == "all") {
-    const auto pm = RunPolicy(opt, bundle, machine, cfg, "pm", nullptr);
-    Report(opt, pm, pm.total_seconds);
-    for (const char* p : {"mm", "mo", "merch"}) {
-      Report(opt, RunPolicy(opt, bundle, machine, cfg, p, system.get()),
-             pm.total_seconds);
-    }
-    if (!bundle.sparta_priority.empty()) {
-      Report(opt, RunPolicy(opt, bundle, machine, cfg, "sparta", nullptr),
-             pm.total_seconds);
-    }
-    if (!bundle.lifetime_priority.empty()) {
-      Report(opt, RunPolicy(opt, bundle, machine, cfg, "warpx-pm", nullptr),
-             pm.total_seconds);
-    }
-  } else {
-    Report(opt, RunPolicy(opt, bundle, machine, cfg, opt.policy, system.get()),
-           0.0);
-  }
-  return 0;
+  if (opt.command == "run") return RunCommand(opt);
+  if (opt.command == "sweep") return SweepCommand(opt);
+  return Usage();
 }

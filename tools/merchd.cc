@@ -1,0 +1,129 @@
+// merchd — batch placement-query driver ("Merchandiser daemon, offline").
+//
+// Reads a newline-delimited request file (see service/batch.h for the
+// grammar), answers every request through the concurrent PlacementService,
+// and prints one result line per request plus a throughput summary. The
+// same file answered twice (--repeat 2) demonstrates the result cache:
+// the second pass is pure cache hits.
+//
+//   merchd --file requests.txt [--threads N] [--cache N] [--repeat R]
+//          [--placements] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "service/batch.h"
+#include "service/placement_service.h"
+
+namespace {
+
+using namespace merch;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: merchd --file requests.txt [--threads N] [--cache N]"
+               " [--repeat R] [--placements] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::size_t threads = 1;
+  std::size_t cache = 128;
+  std::size_t repeat = 1;
+  bool placements = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(Usage());
+      return argv[++i];
+    };
+    if (arg == "--file") {
+      file = next();
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache") {
+      cache = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--repeat") {
+      repeat = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(next())));
+    } else if (arg == "--placements") {
+      placements = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "merchd: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (file.empty()) return Usage();
+
+  std::vector<service::PlacementRequest> requests;
+  std::string err;
+  if (!service::LoadRequestFile(file, &requests, &err)) {
+    std::fprintf(stderr, "merchd: %s\n", err.c_str());
+    return 2;
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "merchd: %s contains no requests\n", file.c_str());
+    return 2;
+  }
+  for (auto& req : requests) {
+    if (std::string cerr = service::CanonicalizeRequest(req); !cerr.empty()) {
+      std::fprintf(stderr, "merchd: %s\n", cerr.c_str());
+      return 2;
+    }
+  }
+
+  service::PlacementService svc({.threads = threads, .cache_capacity = cache});
+  int failures = 0;
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    const service::BatchReport report = service::RunBatch(svc, requests);
+    std::size_t pass_hits = 0;
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      const auto& r = report.results[i];
+      if (report.cache_hits[i]) ++pass_hits;
+      if (!r.ok()) {
+        if (pass == 0) ++failures;
+        std::printf("%-10s %-9s scale %-7.3g ERROR: %s\n",
+                    r.request.app.c_str(), r.request.policy.c_str(),
+                    r.request.scale, r.error.c_str());
+        continue;
+      }
+      if (quiet || pass > 0) continue;
+      std::printf("%-10s %-9s scale %-7.3g seed %-6llu makespan %9.2fs  "
+                  "task-CoV %.3f  migrated %s\n",
+                  r.request.app.c_str(), r.request.policy.c_str(),
+                  r.request.scale,
+                  static_cast<unsigned long long>(r.request.seed),
+                  r.makespan_seconds, r.task_cov,
+                  FormatBytes(r.migrated_bytes).c_str());
+      if (placements) {
+        for (const auto& p : r.placements) {
+          std::printf("    %-24s %-10s DRAM %.0f%%\n", p.object.c_str(),
+                      FormatBytes(p.bytes).c_str(), 100.0 * p.dram_fraction);
+        }
+      }
+    }
+    std::printf("pass %zu: %zu requests in %.2fs  (%.2f jobs/s, %zu served "
+                "from cache)\n",
+                pass + 1, requests.size(), report.wall_seconds,
+                report.jobs_per_second, pass_hits);
+  }
+  const service::ServiceStats stats = svc.Stats();
+  std::printf("service: threads %zu  simulated %llu  coalesced %llu  cache "
+              "hits %llu / misses %llu / evictions %llu\n",
+              stats.threads,
+              static_cast<unsigned long long>(stats.simulated),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions));
+  return failures == 0 ? 0 : 1;
+}
