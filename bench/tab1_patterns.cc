@@ -1,5 +1,6 @@
 // Table 1 reproduction: access patterns detected per application by the
-// Spindle-like static classifier, ranked by main-memory access volume.
+// static analysis subsystem (src/analysis), ranked by touched-bytes
+// volume from the footprint/reuse passes.
 //
 // Paper reference:
 //   SpGEMM: Stream, Random      WarpX: Strided, Stencil
@@ -8,11 +9,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "analysis/ir.h"
+#include "analysis/passes.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
-#include "core/lowering.h"
-#include "core/pattern_classifier.h"
 
 int main() {
   using namespace merch;
@@ -26,22 +28,20 @@ int main() {
 
   for (const std::string& app : apps::AppNames()) {
     const apps::AppBundle& bundle = bench::Bundle(app);
-    // Classify each task's objects, then weight each pattern by the
-    // program accesses the base instance issues with it.
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const analysis::ModuleAnalysis result = analysis::Analyze(module);
+
+    // Weight each object's paper-label pattern by the touched bytes the
+    // base instance moves with it (Unknown folds into Random downstream,
+    // Section 4).
     std::map<int, double> volume;
-    for (const core::TaskIr& ir : bundle.task_irs) {
-      const auto kernels =
-          core::LowerTask(ir, bundle.workload.objects.size());
-      for (const auto& kernel : kernels) {
-        for (const auto& access : kernel.accesses) {
-          // Unknown is handled as Random downstream (Section 4).
-          const auto p = access.pattern == trace::AccessPattern::kUnknown
-                             ? trace::AccessPattern::kRandom
-                             : access.pattern;
-          volume[static_cast<int>(p)] +=
-              static_cast<double>(access.program_accesses);
-        }
-      }
+    for (const analysis::ObjectReport& obj : result.objects) {
+      if (!obj.referenced) continue;
+      const auto p = obj.trace_pattern == trace::AccessPattern::kUnknown
+                         ? trace::AccessPattern::kRandom
+                         : obj.trace_pattern;
+      volume[static_cast<int>(p)] += obj.touched_bytes;
     }
     std::vector<std::pair<double, int>> ranked;
     for (const auto& [p, v] : volume) ranked.emplace_back(v, p);
@@ -57,7 +57,7 @@ int main() {
   }
   table.Print();
   std::printf(
-      "\n(the classifier also sees the minor patterns each app carries — "
+      "\n(the analysis also sees the minor patterns each app carries — "
       "e.g. index-array streams in gather loops; Table 1 lists the two "
       "dominant ones.)\n");
   return 0;

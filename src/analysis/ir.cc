@@ -1,0 +1,94 @@
+#include "analysis/ir.h"
+
+namespace merch::analysis {
+namespace {
+
+void FlattenLoop(const LoopIr& loop, std::uint64_t outer_trips,
+                 std::vector<core::LoopNest>* out) {
+  const std::uint64_t trips = outer_trips * std::max<std::uint64_t>(
+                                               1, loop.trip_count);
+  if (!loop.refs.empty() || loop.children.empty()) {
+    core::LoopNest nest;
+    nest.name = loop.name;
+    nest.trip_count = trips;
+    nest.instructions_per_iteration = loop.instructions_per_iteration;
+    nest.branch_fraction = loop.branch_fraction;
+    nest.vector_fraction = loop.vector_fraction;
+    nest.refs.reserve(loop.refs.size());
+    for (const RefIr& ref : loop.refs) {
+      nest.refs.push_back(core::ArrayRef{
+          .object = ref.object,
+          .subscript = ref.subscript,
+          .is_write = ref.is_write,
+          .element_bytes = ref.element_bytes,
+          .accesses_per_iteration = ref.rate});
+    }
+    out->push_back(std::move(nest));
+  }
+  for (const LoopIr& child : loop.children) FlattenLoop(child, trips, out);
+}
+
+}  // namespace
+
+std::size_t Module::FindObject(std::string_view name) const {
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::vector<core::TaskIr> Module::ToCoreIr() const {
+  std::vector<core::TaskIr> out;
+  out.reserve(tasks.size());
+  for (const TaskDecl& task : tasks) {
+    core::TaskIr ir;
+    ir.task = task.task;
+    for (const LoopIr& loop : task.loops) FlattenLoop(loop, 1, &ir.loops);
+    out.push_back(std::move(ir));
+  }
+  return out;
+}
+
+Module ModuleFromWorkload(const sim::Workload& workload,
+                          const std::vector<core::TaskIr>& task_irs) {
+  Module m;
+  m.name = workload.name;
+  m.objects.reserve(workload.objects.size());
+  for (const sim::ObjectDecl& obj : workload.objects) {
+    ObjectDecl decl;
+    decl.name = obj.name;
+    decl.bytes = obj.bytes;
+    decl.owner = obj.owner;
+    decl.registered = true;  // builders register every workload object
+    m.objects.push_back(std::move(decl));
+  }
+  m.tasks.reserve(task_irs.size());
+  for (const core::TaskIr& ir : task_irs) {
+    TaskDecl task;
+    task.task = ir.task;
+    task.loops.reserve(ir.loops.size());
+    for (const core::LoopNest& nest : ir.loops) {
+      LoopIr loop;
+      loop.name = nest.name;
+      loop.trip_count = nest.trip_count;
+      loop.instructions_per_iteration = nest.instructions_per_iteration;
+      loop.branch_fraction = nest.branch_fraction;
+      loop.vector_fraction = nest.vector_fraction;
+      loop.refs.reserve(nest.refs.size());
+      for (const core::ArrayRef& ref : nest.refs) {
+        RefIr r;
+        r.object = ref.object;
+        r.subscript = ref.subscript;
+        r.is_write = ref.is_write;
+        r.element_bytes = ref.element_bytes;
+        r.rate = ref.accesses_per_iteration;
+        loop.refs.push_back(std::move(r));
+      }
+      task.loops.push_back(std::move(loop));
+    }
+    m.tasks.push_back(std::move(task));
+  }
+  return m;
+}
+
+}  // namespace merch::analysis

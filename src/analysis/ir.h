@@ -1,0 +1,97 @@
+// Extended kernel IR for the Spindle-style static analysis subsystem.
+//
+// Kernels become *data* instead of C++: a textual DSL (`.kir` files, see
+// analysis/parser.h) describes object declarations, LB_HM_config
+// registration, and per-task nested loop nests with affine / neighborhood
+// / indirect / opaque subscripts. The analysis passes (analysis/passes.h)
+// and the placement lint (analysis/lint.h) run over this Module; the same
+// Module is also constructible from an application bundle's in-memory IR
+// (ModuleFromWorkload) so every path — .kir files, the five app builders,
+// the PlacementService gate, bench/tab1_patterns — shares one analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/kernel_ir.h"
+#include "sim/workload.h"
+
+namespace merch::analysis {
+
+/// 1-based position inside a .kir file; {0, 0} for IR built in memory.
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+};
+
+/// One declared data object (what the application would hand to
+/// LB_HM_config, plus what the user *claimed* about it).
+struct ObjectDecl {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint32_t element_bytes = 8;
+  TaskId owner = kInvalidTask;
+  /// Registered with LB_HM_config (a `register` statement in the DSL).
+  bool registered = false;
+  /// Optional user-declared pattern hint ("stream", "strided", "stencil",
+  /// "random") — the lint cross-checks it against the derived pattern.
+  std::string pattern_hint;
+  SourceLoc loc;
+};
+
+/// One memory reference inside a loop body. Reuses the core subscript
+/// forms; `rate` is executions per iteration of the innermost enclosing
+/// loop (fractional for data-dependent inner scans).
+struct RefIr {
+  std::size_t object = SIZE_MAX;
+  core::Subscript subscript;
+  bool is_write = false;
+  std::uint32_t element_bytes = 8;
+  double rate = 1.0;
+  SourceLoc loc;
+};
+
+/// A counted loop: references plus nested child loops. Trip counts
+/// multiply down the nest when flattening to the core IR.
+struct LoopIr {
+  std::string name;
+  std::uint64_t trip_count = 0;
+  double instructions_per_iteration = 4.0;
+  double branch_fraction = 0.05;
+  double vector_fraction = 0.2;
+  std::vector<RefIr> refs;
+  std::vector<LoopIr> children;
+  SourceLoc loc;
+};
+
+struct TaskDecl {
+  TaskId task = 0;
+  std::vector<LoopIr> loops;
+  SourceLoc loc;
+};
+
+struct Module {
+  std::string name;
+  std::vector<ObjectDecl> objects;
+  std::vector<TaskDecl> tasks;
+
+  /// Index of the object named `name`, or SIZE_MAX.
+  std::size_t FindObject(std::string_view name) const;
+
+  /// Flatten to the core IR the classifier/lowering consume: nested loops
+  /// become a depth-first sequence of LoopNests with multiplied trip
+  /// counts (a ref at depth d executes ancestors' trips × its loop's
+  /// trips times).
+  std::vector<core::TaskIr> ToCoreIr() const;
+};
+
+/// Bridge from an application bundle: the workload's registered objects
+/// plus its per-task region-0 kernel IRs become a Module (every object
+/// registered — the builders call LB_HM_config for all of them).
+Module ModuleFromWorkload(const sim::Workload& workload,
+                          const std::vector<core::TaskIr>& task_irs);
+
+}  // namespace merch::analysis

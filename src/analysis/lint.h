@@ -1,0 +1,44 @@
+// Placement lint: diagnostics over the kernel IR plus what the
+// application told the LB_HM_config registry.
+//
+// The lint walks a Module (parsed from a .kir file or bridged from an app
+// bundle) together with the analysis results and reports actionable
+// findings: objects referenced but never registered, opaque subscripts
+// that silently degrade to runtime refinement, write-heavy objects (PM
+// write asymmetry, paper Fig. 3), index arrays misregistered as random,
+// and dead object declarations. Error-severity findings make `merchctl
+// analyze` exit non-zero and the PlacementService reject the request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ir.h"
+#include "analysis/passes.h"
+
+namespace merch::analysis {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity s);
+
+struct Finding {
+  Severity severity = Severity::kNote;
+  /// Stable kebab-case code, e.g. "unregistered-object".
+  std::string code;
+  std::string message;
+  std::string object;  // the object concerned, when there is one
+  SourceLoc loc;
+};
+
+/// Run every lint check. `analysis` must come from Analyze(module).
+std::vector<Finding> Lint(const Module& module,
+                          const ModuleAnalysis& analysis);
+
+bool HasErrors(const std::vector<Finding>& findings);
+
+/// "file:line:col: severity: [code] message" (location omitted for IR
+/// built in memory).
+std::string FormatFinding(const std::string& file, const Finding& finding);
+
+}  // namespace merch::analysis

@@ -1,0 +1,566 @@
+#include "analysis/parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace merch::analysis {
+namespace {
+
+struct Token {
+  std::string text;
+  SourceLoc loc;
+};
+
+/// Whitespace-separated tokens; '{' and '}' always stand alone; '#' starts
+/// a comment running to end of line.
+std::vector<Token> Scan(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1, col = 1;
+  std::string current;
+  SourceLoc start;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back({current, start});
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '#') {  // comment to end of line
+      flush();
+      while (i < text.size() && text[i] != '\n') ++i;
+      --i;
+      continue;
+    }
+    if (c == '\n') {
+      flush();
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+      ++col;
+      continue;
+    }
+    if (c == '{' || c == '}') {
+      flush();
+      tokens.push_back({std::string(1, c), {line, col}});
+      ++col;
+      continue;
+    }
+    if (current.empty()) start = {line, col};
+    current.push_back(c);
+    ++col;
+  }
+  flush();
+  return tokens;
+}
+
+/// Shortest decimal form of `v` that strtod round-trips exactly.
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(Scan(text)) {}
+
+  ParseResult Run() {
+    while (pos_ < tokens_.size()) {
+      const Token& tok = tokens_[pos_];
+      if (tok.text == "kernel") {
+        ++pos_;
+        if (const Token* name = Take("kernel name")) {
+          result_.module.name = name->text;
+        }
+      } else if (tok.text == "object") {
+        ParseObject();
+      } else if (tok.text == "register") {
+        ParseRegister();
+      } else if (tok.text == "task") {
+        ParseTask();
+      } else {
+        Error(tok.loc, "expected 'kernel', 'object', 'register' or 'task', "
+                       "got '" + tok.text + "'");
+        SkipLine(tok.loc.line);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  const Token* Peek() const {
+    return pos_ < tokens_.size() ? &tokens_[pos_] : nullptr;
+  }
+
+  /// Consume and return the next token, or record an error naming `what`.
+  const Token* Take(const char* what) {
+    if (pos_ < tokens_.size()) return &tokens_[pos_++];
+    Error(LastLoc(), std::string("unexpected end of input, expected ") + what);
+    return nullptr;
+  }
+
+  SourceLoc LastLoc() const {
+    return tokens_.empty() ? SourceLoc{1, 1} : tokens_.back().loc;
+  }
+
+  void Error(SourceLoc loc, std::string message) {
+    result_.errors.push_back({loc, std::move(message)});
+  }
+
+  /// Error recovery: skip tokens on `line` so one bad statement does not
+  /// cascade.
+  void SkipLine(int line) {
+    while (pos_ < tokens_.size() && tokens_[pos_].loc.line == line) ++pos_;
+  }
+
+  // ---- value parsing ------------------------------------------------
+
+  bool ParseI64(const Token& tok, std::string_view value, std::int64_t* out) {
+    errno = 0;
+    char* end = nullptr;
+    const std::string s(value);
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end == s.c_str() || *end != '\0') {
+      Error(tok.loc, "expected an integer, got '" + s + "'");
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool ParseF64(const Token& tok, std::string_view value, double* out) {
+    errno = 0;
+    char* end = nullptr;
+    const std::string s(value);
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end == s.c_str() || *end != '\0' || !std::isfinite(v)) {
+      Error(tok.loc, "expected a number, got '" + s + "'");
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  /// Non-negative count; accepts 10-based scientific shorthand ("1e6").
+  bool ParseU64(const Token& tok, std::string_view value, std::uint64_t* out) {
+    double v = 0;
+    if (!ParseF64(tok, value, &v)) return false;
+    if (v < 0 || v > 1.8e19 || v != std::floor(v)) {
+      Error(tok.loc, "expected a non-negative whole number, got '" +
+                         std::string(value) + "'");
+      return false;
+    }
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+  }
+
+  /// Byte size with optional KiB/MiB/GiB/TiB (or K/M/G/T) suffix.
+  bool ParseBytes(const Token& tok, std::string_view value,
+                  std::uint64_t* out) {
+    std::size_t suffix = value.size();
+    while (suffix > 0 &&
+           !std::isdigit(static_cast<unsigned char>(value[suffix - 1])) &&
+           value[suffix - 1] != '.') {
+      --suffix;
+    }
+    const std::string_view unit = value.substr(suffix);
+    double scale = 1.0;
+    if (unit == "" || unit == "B") {
+      scale = 1.0;
+    } else if (unit == "K" || unit == "KiB") {
+      scale = static_cast<double>(KiB);
+    } else if (unit == "M" || unit == "MiB") {
+      scale = static_cast<double>(MiB);
+    } else if (unit == "G" || unit == "GiB") {
+      scale = static_cast<double>(GiB);
+    } else if (unit == "T" || unit == "TiB") {
+      scale = static_cast<double>(GiB) * 1024.0;
+    } else {
+      Error(tok.loc, "unknown size suffix '" + std::string(unit) + "'");
+      return false;
+    }
+    double v = 0;
+    if (!ParseF64(tok, value.substr(0, suffix), &v)) return false;
+    if (v < 0) {
+      Error(tok.loc, "byte size must be non-negative");
+      return false;
+    }
+    *out = static_cast<std::uint64_t>(v * scale);
+    return true;
+  }
+
+  /// Splits "key=value" tokens; returns false (without consuming) when the
+  /// next token is not an attribute.
+  bool TakeAttr(std::string* key, std::string* value, const Token** tok) {
+    const Token* t = Peek();
+    if (t == nullptr) return false;
+    const std::size_t eq = t->text.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    *key = t->text.substr(0, eq);
+    *value = t->text.substr(eq + 1);
+    *tok = t;
+    ++pos_;
+    return true;
+  }
+
+  std::size_t ResolveObject(const Token& tok, const std::string& name) {
+    const std::size_t idx = result_.module.FindObject(name);
+    if (idx == SIZE_MAX) {
+      Error(tok.loc, "unknown object '" + name +
+                         "' (objects must be declared before use)");
+    }
+    return idx;
+  }
+
+  // ---- statements ---------------------------------------------------
+
+  void ParseObject() {
+    const SourceLoc loc = tokens_[pos_].loc;
+    ++pos_;  // 'object'
+    const Token* name = Take("object name");
+    if (name == nullptr) return;
+    ObjectDecl decl;
+    decl.name = name->text;
+    decl.loc = name->loc;
+    if (result_.module.FindObject(decl.name) != SIZE_MAX) {
+      Error(name->loc, "object '" + decl.name + "' redeclared");
+      SkipLine(loc.line);
+      return;
+    }
+    std::string key, value;
+    const Token* tok = nullptr;
+    bool saw_bytes = false;
+    while (TakeAttr(&key, &value, &tok)) {
+      if (key == "bytes") {
+        saw_bytes = ParseBytes(*tok, value, &decl.bytes);
+      } else if (key == "elem") {
+        std::uint64_t v = 0;
+        if (ParseU64(*tok, value, &v) && v > 0) {
+          decl.element_bytes = static_cast<std::uint32_t>(v);
+        }
+      } else if (key == "owner") {
+        if (value == "shared") {
+          decl.owner = kInvalidTask;
+        } else {
+          std::int64_t v = 0;
+          if (ParseI64(*tok, value, &v)) decl.owner = static_cast<TaskId>(v);
+        }
+      } else if (key == "pattern") {
+        if (value == "stream" || value == "strided" || value == "stencil" ||
+            value == "random") {
+          decl.pattern_hint = value;
+        } else {
+          Error(tok->loc, "unknown pattern hint '" + value +
+                              "' (stream|strided|stencil|random)");
+        }
+      } else {
+        Error(tok->loc, "unknown object attribute '" + key + "'");
+      }
+    }
+    if (!saw_bytes) {
+      Error(loc, "object '" + decl.name + "' is missing bytes=<size>");
+    }
+    result_.module.objects.push_back(std::move(decl));
+  }
+
+  void ParseRegister() {
+    const SourceLoc loc = tokens_[pos_].loc;
+    ++pos_;  // 'register'
+    bool any = false;
+    while (const Token* t = Peek()) {
+      if (t->loc.line != loc.line) break;  // register lists end at newline
+      ++pos_;
+      const std::size_t idx = ResolveObject(*t, t->text);
+      if (idx != SIZE_MAX) result_.module.objects[idx].registered = true;
+      any = true;
+    }
+    if (!any) Error(loc, "register statement names no objects");
+  }
+
+  void ParseTask() {
+    const SourceLoc loc = tokens_[pos_].loc;
+    ++pos_;  // 'task'
+    const Token* id = Take("task id");
+    if (id == nullptr) return;
+    TaskDecl task;
+    task.loc = loc;
+    std::int64_t v = 0;
+    if (!ParseI64(*id, id->text, &v) || v < 0) {
+      SkipLine(loc.line);
+      return;
+    }
+    task.task = static_cast<TaskId>(v);
+    const Token* brace = Take("'{'");
+    if (brace == nullptr || brace->text != "{") {
+      if (brace != nullptr) {
+        Error(brace->loc, "expected '{' after task id, got '" + brace->text +
+                              "'");
+      }
+      return;
+    }
+    while (true) {
+      const Token* t = Peek();
+      if (t == nullptr) {
+        Error(LastLoc(), "unexpected end of input inside task " +
+                             std::to_string(task.task) + " (missing '}')");
+        break;
+      }
+      if (t->text == "}") {
+        ++pos_;
+        break;
+      }
+      if (t->text == "loop") {
+        LoopIr body;
+        if (ParseLoop(&body)) task.loops.push_back(std::move(body));
+      } else {
+        Error(t->loc, "expected 'loop' or '}' inside task, got '" + t->text +
+                          "'");
+        SkipLine(t->loc.line);
+      }
+    }
+    result_.module.tasks.push_back(std::move(task));
+  }
+
+  bool ParseLoop(LoopIr* out) {
+    const SourceLoc loc = tokens_[pos_].loc;
+    ++pos_;  // 'loop'
+    const Token* name = Take("loop name");
+    if (name == nullptr) return false;
+    out->name = name->text;
+    out->loc = loc;
+    std::string key, value;
+    const Token* tok = nullptr;
+    bool saw_trips = false;
+    while (TakeAttr(&key, &value, &tok)) {
+      if (key == "trips") {
+        saw_trips = ParseU64(*tok, value, &out->trip_count);
+      } else if (key == "insns") {
+        ParseF64(*tok, value, &out->instructions_per_iteration);
+      } else if (key == "branch") {
+        ParseF64(*tok, value, &out->branch_fraction);
+      } else if (key == "vector") {
+        ParseF64(*tok, value, &out->vector_fraction);
+      } else {
+        Error(tok->loc, "unknown loop attribute '" + key + "'");
+      }
+    }
+    if (!saw_trips) {
+      Error(loc, "loop '" + out->name + "' is missing trips=<count>");
+    }
+    const Token* brace = Take("'{'");
+    if (brace == nullptr || brace->text != "{") {
+      if (brace != nullptr) {
+        Error(brace->loc, "expected '{' after loop header, got '" +
+                              brace->text + "'");
+      }
+      return false;
+    }
+    while (true) {
+      const Token* t = Peek();
+      if (t == nullptr) {
+        Error(LastLoc(), "unexpected end of input inside loop '" + out->name +
+                             "' (missing '}')");
+        return false;
+      }
+      if (t->text == "}") {
+        ++pos_;
+        return true;
+      }
+      if (t->text == "loop") {
+        LoopIr child;
+        if (ParseLoop(&child)) out->children.push_back(std::move(child));
+      } else if (t->text == "read" || t->text == "write") {
+        RefIr ref;
+        if (ParseRef(&ref)) out->refs.push_back(std::move(ref));
+      } else {
+        Error(t->loc, "expected 'read', 'write', 'loop' or '}', got '" +
+                          t->text + "'");
+        SkipLine(t->loc.line);
+      }
+    }
+  }
+
+  bool ParseRef(RefIr* out) {
+    const Token& rw = tokens_[pos_++];
+    out->is_write = rw.text == "write";
+    out->loc = rw.loc;
+    const Token* obj = Take("object name");
+    if (obj == nullptr) return false;
+    out->object = ResolveObject(*obj, obj->text);
+    const Token* kind = Take("subscript kind");
+    if (kind == nullptr) return false;
+    if (kind->text == "affine") {
+      out->subscript.kind = core::Subscript::Kind::kAffine;
+    } else if (kind->text == "stencil") {
+      out->subscript.kind = core::Subscript::Kind::kNeighborhood;
+    } else if (kind->text == "indirect") {
+      out->subscript.kind = core::Subscript::Kind::kIndirect;
+    } else if (kind->text == "opaque") {
+      out->subscript.kind = core::Subscript::Kind::kOpaque;
+    } else {
+      Error(kind->loc, "unknown subscript kind '" + kind->text +
+                           "' (affine|stencil|indirect|opaque)");
+      SkipLine(rw.loc.line);
+      return false;
+    }
+    std::string key, value;
+    const Token* tok = nullptr;
+    while (TakeAttr(&key, &value, &tok)) {
+      if (key == "stride" &&
+          out->subscript.kind == core::Subscript::Kind::kAffine) {
+        ParseI64(*tok, value, &out->subscript.stride);
+      } else if (key == "offsets" &&
+                 out->subscript.kind == core::Subscript::Kind::kNeighborhood) {
+        out->subscript.offsets.clear();
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const std::size_t comma = value.find(',', start);
+          const std::string item = value.substr(
+              start,
+              comma == std::string::npos ? std::string::npos : comma - start);
+          std::int64_t off = 0;
+          if (!item.empty() && ParseI64(*tok, item, &off)) {
+            out->subscript.offsets.push_back(off);
+          }
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        if (out->subscript.offsets.empty()) {
+          Error(tok->loc, "stencil offsets=<int,int,...> names no offsets");
+        }
+      } else if (key == "via" &&
+                 out->subscript.kind == core::Subscript::Kind::kIndirect) {
+        out->subscript.index_object = ResolveObject(*tok, value);
+      } else if (key == "elem") {
+        std::uint64_t v = 0;
+        if (ParseU64(*tok, value, &v) && v > 0) {
+          out->element_bytes = static_cast<std::uint32_t>(v);
+        }
+      } else if (key == "rate") {
+        ParseF64(*tok, value, &out->rate);
+      } else {
+        Error(tok->loc, "attribute '" + key + "' does not apply to a " +
+                            kind->text + " reference");
+      }
+    }
+    if (out->subscript.kind == core::Subscript::Kind::kIndirect &&
+        out->subscript.index_object == SIZE_MAX) {
+      Error(kind->loc, "indirect reference is missing via=<index-object>");
+    }
+    return out->object != SIZE_MAX;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParseResult result_;
+};
+
+void SerializeLoop(const Module& m, const LoopIr& loop, int depth,
+                   std::string* out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += pad + "loop " + loop.name +
+          " trips=" + std::to_string(loop.trip_count) +
+          " insns=" + FormatDouble(loop.instructions_per_iteration) +
+          " branch=" + FormatDouble(loop.branch_fraction) +
+          " vector=" + FormatDouble(loop.vector_fraction) + " {\n";
+  for (const RefIr& ref : loop.refs) {
+    *out += pad + "  ";
+    *out += ref.is_write ? "write " : "read ";
+    *out += ref.object < m.objects.size() ? m.objects[ref.object].name
+                                          : "?";
+    switch (ref.subscript.kind) {
+      case core::Subscript::Kind::kAffine:
+        *out += " affine stride=" + std::to_string(ref.subscript.stride);
+        break;
+      case core::Subscript::Kind::kNeighborhood: {
+        *out += " stencil offsets=";
+        for (std::size_t i = 0; i < ref.subscript.offsets.size(); ++i) {
+          if (i > 0) *out += ",";
+          *out += std::to_string(ref.subscript.offsets[i]);
+        }
+        break;
+      }
+      case core::Subscript::Kind::kIndirect:
+        *out += " indirect via=";
+        *out += ref.subscript.index_object < m.objects.size()
+                    ? m.objects[ref.subscript.index_object].name
+                    : "?";
+        break;
+      case core::Subscript::Kind::kOpaque:
+        *out += " opaque";
+        break;
+    }
+    *out += " elem=" + std::to_string(ref.element_bytes) +
+            " rate=" + FormatDouble(ref.rate) + "\n";
+  }
+  for (const LoopIr& child : loop.children) {
+    SerializeLoop(m, child, depth + 1, out);
+  }
+  *out += pad + "}\n";
+}
+
+}  // namespace
+
+ParseResult ParseKir(std::string_view text) { return Parser(text).Run(); }
+
+ParseResult ParseKirFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.errors.push_back({{0, 0}, "cannot open '" + path + "'"});
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseKir(buf.str());
+}
+
+std::string SerializeKir(const Module& module) {
+  std::string out = "kernel " + module.name + "\n\n";
+  for (const ObjectDecl& obj : module.objects) {
+    out += "object " + obj.name + " bytes=" + std::to_string(obj.bytes) +
+           " elem=" + std::to_string(obj.element_bytes);
+    if (obj.owner != kInvalidTask) {
+      out += " owner=" + std::to_string(obj.owner);
+    }
+    if (!obj.pattern_hint.empty()) out += " pattern=" + obj.pattern_hint;
+    out += "\n";
+  }
+  std::string registered;
+  for (const ObjectDecl& obj : module.objects) {
+    if (obj.registered) registered += " " + obj.name;
+  }
+  if (!registered.empty()) out += "register" + registered + "\n";
+  for (const TaskDecl& task : module.tasks) {
+    out += "\ntask " + std::to_string(task.task) + " {\n";
+    for (const LoopIr& loop : task.loops) {
+      SerializeLoop(module, loop, 1, &out);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string FormatParseError(const std::string& file, const ParseError& err) {
+  std::string out = file.empty() ? "<kir>" : file;
+  if (err.loc.valid()) {
+    out += ":" + std::to_string(err.loc.line) + ":" +
+           std::to_string(err.loc.col);
+  }
+  return out + ": error: " + err.message;
+}
+
+}  // namespace merch::analysis

@@ -1,0 +1,58 @@
+// Textual front-end for the kernel IR: `.kir` files.
+//
+// Grammar (whitespace-separated tokens, `#` starts a comment):
+//
+//   kernel <name>
+//   object <name> bytes=<size> [elem=<n>] [owner=<task>|owner=shared]
+//                 [pattern=stream|strided|stencil|random]
+//   register <name> [<name> ...]          # the LB_HM_config call
+//   task <id> {
+//     loop <name> trips=<n> [insns=<f>] [branch=<f>] [vector=<f>] {
+//       read|write <object> affine [stride=<int>] [elem=<n>] [rate=<f>]
+//       read|write <object> stencil offsets=<int>,<int>,... [...]
+//       read|write <object> indirect via=<object> [...]
+//       read|write <object> opaque [...]
+//       loop ... { ... }                  # nests; trip counts multiply
+//     }
+//   }
+//
+// Sizes accept KiB/MiB/GiB/TiB suffixes; trip counts accept 10-based
+// scientific shorthand (`trips=1e6`). Parse errors carry precise 1-based
+// line:column locations. SerializeKir emits a canonical form that parses
+// back to a structurally identical Module (round-trip property).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/ir.h"
+
+namespace merch::analysis {
+
+struct ParseError {
+  SourceLoc loc;
+  std::string message;
+};
+
+struct ParseResult {
+  Module module;
+  std::vector<ParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse `.kir` text. On errors the returned module holds whatever was
+/// recovered before the first error in each statement.
+ParseResult ParseKir(std::string_view text);
+
+/// Parse a `.kir` file; an unreadable file yields a single error at 0:0.
+ParseResult ParseKirFile(const std::string& path);
+
+/// Canonical textual form of a module. Parsing the output reproduces the
+/// module exactly (structural round-trip).
+std::string SerializeKir(const Module& module);
+
+/// "file:line:col: error: message" (file may be empty).
+std::string FormatParseError(const std::string& file, const ParseError& err);
+
+}  // namespace merch::analysis

@@ -1,0 +1,341 @@
+#include "analysis/passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/alpha.h"
+#include "core/lowering.h"
+#include "core/pattern_classifier.h"
+
+namespace merch::analysis {
+namespace {
+
+PatternClass MergeClass(PatternClass a, PatternClass b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Span of offsets in elements (0 for empty).
+std::int64_t OffsetSpan(const std::vector<std::int64_t>& offsets) {
+  if (offsets.empty()) return 0;
+  const auto [lo, hi] = std::minmax_element(offsets.begin(), offsets.end());
+  return *hi - *lo;
+}
+
+/// Distinct bytes one (flattened) reference can touch. `executions` is
+/// trip_count x rate.
+std::uint64_t RefFootprint(const core::ArrayRef& ref, double executions,
+                           std::uint64_t object_bytes) {
+  double span = 0;
+  switch (ClassifyRefClass(ref)) {
+    case PatternClass::kScalar:
+      // Degenerate single-line pattern: never charge the whole object.
+      span = static_cast<double>(kCacheLineBytes);
+      break;
+    case PatternClass::kStream:
+    case PatternClass::kStrided:
+      span = executions *
+             static_cast<double>(std::max<std::int64_t>(
+                 1, std::abs(ref.subscript.stride))) *
+             ref.element_bytes;
+      break;
+    case PatternClass::kStencil:
+      span = (executions +
+              static_cast<double>(OffsetSpan(ref.subscript.offsets))) *
+             ref.element_bytes;
+      break;
+    case PatternClass::kOpaque:
+    case PatternClass::kRandom:
+      // Not statically boundable: the whole object is reachable.
+      span = static_cast<double>(object_bytes);
+      break;
+  }
+  if (object_bytes > 0) {
+    span = std::min(span, static_cast<double>(object_bytes));
+  }
+  return static_cast<std::uint64_t>(span);
+}
+
+}  // namespace
+
+const char* PatternClassName(PatternClass c) {
+  switch (c) {
+    case PatternClass::kScalar:
+      return "Scalar";
+    case PatternClass::kStream:
+      return "Stream";
+    case PatternClass::kStrided:
+      return "Strided";
+    case PatternClass::kStencil:
+      return "Stencil";
+    case PatternClass::kOpaque:
+      return "Opaque";
+    case PatternClass::kRandom:
+      return "Random";
+  }
+  return "Opaque";
+}
+
+trace::AccessPattern ToTracePattern(PatternClass c) {
+  switch (c) {
+    case PatternClass::kScalar:
+    case PatternClass::kStream:
+      return trace::AccessPattern::kStream;
+    case PatternClass::kStrided:
+      return trace::AccessPattern::kStrided;
+    case PatternClass::kStencil:
+      return trace::AccessPattern::kStencil;
+    case PatternClass::kOpaque:
+      return trace::AccessPattern::kUnknown;
+    case PatternClass::kRandom:
+      return trace::AccessPattern::kRandom;
+  }
+  return trace::AccessPattern::kUnknown;
+}
+
+PatternClass ClassifyRefClass(const core::ArrayRef& ref) {
+  switch (ref.subscript.kind) {
+    case core::Subscript::Kind::kAffine:
+      if (ref.subscript.stride == 0) return PatternClass::kScalar;
+      return std::abs(ref.subscript.stride) <= 1 ? PatternClass::kStream
+                                                 : PatternClass::kStrided;
+    case core::Subscript::Kind::kNeighborhood:
+      return ref.subscript.offsets.size() >= 2 ? PatternClass::kStencil
+                                               : PatternClass::kStream;
+    case core::Subscript::Kind::kIndirect:
+      return PatternClass::kRandom;
+    case core::Subscript::Kind::kOpaque:
+      return PatternClass::kOpaque;
+  }
+  return PatternClass::kOpaque;
+}
+
+double AnalyticAlpha(PatternClass cls, std::uint32_t element_bytes,
+                     std::int64_t stride, std::uint64_t s_base,
+                     std::uint64_t s_new) {
+  if (s_base == 0 || s_new == 0) return 1.0;
+  std::uint64_t unit = 0;
+  switch (cls) {
+    case PatternClass::kScalar:
+      // Size-invariant traffic: esti == prof requires alpha = size ratio.
+      return static_cast<double>(s_new) / static_cast<double>(s_base);
+    case PatternClass::kStream:
+    case PatternClass::kStrided: {
+      // One main-memory access per cache line for dense stepping; every
+      // element lands on its own line once the stride clears the line.
+      const std::uint64_t step =
+          static_cast<std::uint64_t>(element_bytes) *
+          static_cast<std::uint64_t>(std::max<std::int64_t>(
+              1, std::abs(stride)));
+      unit = std::max<std::uint64_t>(kCacheLineBytes, step);
+      break;
+    }
+    case PatternClass::kStencil:
+      // All neighborhood offsets share the sweep's just-fetched lines, so
+      // the line itself stays the unit regardless of the point count.
+      unit = kCacheLineBytes;
+      break;
+    case PatternClass::kOpaque:
+    case PatternClass::kRandom:
+      return 1.0;  // runtime refinement territory (Section 4)
+  }
+  const std::uint64_t units_base = (s_base + unit - 1) / unit;
+  const std::uint64_t units_new = (s_new + unit - 1) / unit;
+  return (static_cast<double>(s_new) * static_cast<double>(units_base)) /
+         (static_cast<double>(s_base) * static_cast<double>(units_new));
+}
+
+double ProfiledAlpha(PatternClass cls, std::uint32_t element_bytes,
+                     std::int64_t stride, std::uint64_t s_base,
+                     std::uint64_t s_new) {
+  switch (cls) {
+    case PatternClass::kScalar:
+      return s_base > 0
+                 ? static_cast<double>(s_new) / static_cast<double>(s_base)
+                 : 1.0;
+    case PatternClass::kStream:
+    case PatternClass::kStrided:
+      return core::LinearAlpha(
+          s_base, s_new, element_bytes,
+          static_cast<std::uint32_t>(std::max<std::int64_t>(
+              1, std::abs(stride))));
+    case PatternClass::kStencil:
+      return core::StencilAlphaOffline(element_bytes);
+    case PatternClass::kOpaque:
+    case PatternClass::kRandom:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+ModuleAnalysis Analyze(const Module& module) {
+  ModuleAnalysis out;
+  out.objects.resize(module.objects.size());
+  for (std::size_t i = 0; i < module.objects.size(); ++i) {
+    out.objects[i].object = i;
+    out.objects[i].name = module.objects[i].name;
+  }
+
+  struct Tally {
+    PatternClass cls = PatternClass::kScalar;
+    bool referenced = false;
+    double reads = 0, writes = 0, bytes = 0;
+    std::uint64_t footprint = 0;
+    std::int64_t stride = 1;           // widest affine stride seen
+    std::uint32_t element_bytes = 8;   // of the heaviest ref
+    double element_weight = -1;
+    bool runtime_refined = false;
+  };
+  std::vector<Tally> tally(module.objects.size());
+
+  const std::vector<core::TaskIr> tasks = module.ToCoreIr();
+  std::set<int> distinct;
+  for (const core::TaskIr& task : tasks) {
+    std::vector<int> task_sweeps(module.objects.size(), 0);
+    for (const core::LoopNest& loop : task.loops) {
+      std::set<std::size_t> touched_here;
+      for (const core::ArrayRef& ref : loop.refs) {
+        const double executions =
+            static_cast<double>(loop.trip_count) * ref.accesses_per_iteration;
+        if (ref.object < tally.size()) {
+          Tally& t = tally[ref.object];
+          const PatternClass cls = ClassifyRefClass(ref);
+          t.cls = t.referenced ? MergeClass(t.cls, cls) : cls;
+          t.referenced = true;
+          (ref.is_write ? t.writes : t.reads) += executions;
+          t.bytes += executions * ref.element_bytes;
+          if (executions > t.element_weight) {
+            t.element_weight = executions;
+            t.element_bytes = ref.element_bytes;
+          }
+          if (ref.subscript.kind == core::Subscript::Kind::kAffine) {
+            t.stride = std::max<std::int64_t>(t.stride,
+                                              std::abs(ref.subscript.stride));
+          }
+          if (cls == PatternClass::kOpaque || cls == PatternClass::kRandom) {
+            t.runtime_refined = true;
+          }
+          t.footprint = std::max(
+              t.footprint,
+              RefFootprint(ref, executions, module.objects[ref.object].bytes));
+          touched_here.insert(ref.object);
+        }
+        // The index array of an indirect reference is itself swept
+        // sequentially (int32 indices, as in core lowering).
+        const std::size_t via = ref.subscript.index_object;
+        if (ref.subscript.kind == core::Subscript::Kind::kIndirect &&
+            via < tally.size()) {
+          Tally& t = tally[via];
+          t.cls = t.referenced ? MergeClass(t.cls, PatternClass::kStream)
+                               : PatternClass::kStream;
+          t.referenced = true;
+          t.reads += executions;
+          t.bytes += executions * 4.0;
+          if (executions > t.element_weight) {
+            t.element_weight = executions;
+            t.element_bytes = 4;
+          }
+          core::ArrayRef index_ref;
+          index_ref.object = via;
+          index_ref.subscript.kind = core::Subscript::Kind::kAffine;
+          index_ref.subscript.stride = 1;
+          index_ref.element_bytes = 4;
+          t.footprint = std::max(
+              t.footprint, RefFootprint(index_ref, executions,
+                                        module.objects[via].bytes));
+          touched_here.insert(via);
+        }
+      }
+      for (const std::size_t obj : touched_here) ++task_sweeps[obj];
+    }
+    // Distinct labels are a per-task statement (Table 1 lists what each
+    // task's code exhibits), so classify the task in isolation.
+    const auto task_patterns =
+        ClassifyTaskPatterns(task, module.objects.size());
+    for (std::size_t i = 0; i < tally.size(); ++i) {
+      out.objects[i].sweeps = std::max(out.objects[i].sweeps, task_sweeps[i]);
+      if (task_sweeps[i] > 0) {
+        distinct.insert(static_cast<int>(task_patterns[i]));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < tally.size(); ++i) {
+    const Tally& t = tally[i];
+    ObjectReport& r = out.objects[i];
+    r.referenced = t.referenced;
+    if (!t.referenced) continue;
+    r.pattern = t.cls;
+    r.trace_pattern = ToTracePattern(t.cls);
+    r.touched_accesses = t.reads + t.writes;
+    r.touched_bytes = t.bytes;
+    r.write_fraction =
+        r.touched_accesses > 0 ? t.writes / r.touched_accesses : 0;
+    r.footprint_bytes = t.footprint;
+    r.runtime_refined = t.runtime_refined;
+    r.reswept = r.sweeps >= 2;
+    r.suggested_reuse_passes = std::max(1, r.sweeps);
+
+    // Eq. 1 alpha under the doubling convention. The base size is the
+    // declared object size (fall back to the derived footprint when the
+    // declaration omits it).
+    const std::uint64_t s_base =
+        module.objects[i].bytes > 0 ? module.objects[i].bytes : t.footprint;
+    r.analytic_alpha = !t.runtime_refined && t.cls != PatternClass::kOpaque &&
+                       t.cls != PatternClass::kRandom && s_base > 0;
+    if (r.analytic_alpha) {
+      r.alpha = AnalyticAlpha(t.cls, t.element_bytes, t.stride, s_base,
+                              2 * s_base);
+      r.profiled_alpha = ProfiledAlpha(t.cls, t.element_bytes, t.stride,
+                                       s_base, 2 * s_base);
+    }
+  }
+
+  // Distinct paper labels (Table 1), kUnknown handled as Random downstream.
+  for (const int p : distinct) {
+    out.distinct.push_back(static_cast<trace::AccessPattern>(p));
+  }
+  return out;
+}
+
+std::vector<trace::AccessPattern> ClassifyTaskPatterns(
+    const core::TaskIr& task, std::size_t num_objects) {
+  std::vector<PatternClass> cls(num_objects, PatternClass::kScalar);
+  std::vector<bool> seen(num_objects, false);
+  for (const core::LoopNest& loop : task.loops) {
+    for (const core::ArrayRef& ref : loop.refs) {
+      if (ref.object < num_objects) {
+        const PatternClass c = ClassifyRefClass(ref);
+        cls[ref.object] = seen[ref.object] ? MergeClass(cls[ref.object], c)
+                                           : c;
+        seen[ref.object] = true;
+      }
+      const std::size_t via = ref.subscript.index_object;
+      if (ref.subscript.kind == core::Subscript::Kind::kIndirect &&
+          via < num_objects) {
+        cls[via] = seen[via] ? MergeClass(cls[via], PatternClass::kStream)
+                             : PatternClass::kStream;
+        seen[via] = true;
+      }
+    }
+  }
+  std::vector<trace::AccessPattern> out(num_objects,
+                                        trace::AccessPattern::kUnknown);
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    if (seen[i]) out[i] = ToTracePattern(cls[i]);
+  }
+  return out;
+}
+
+std::vector<sim::Kernel> LowerTask(const core::TaskIr& task,
+                                   std::size_t num_objects) {
+  const auto patterns = ClassifyTaskPatterns(task, num_objects);
+  std::vector<sim::Kernel> kernels;
+  kernels.reserve(task.loops.size());
+  for (const core::LoopNest& loop : task.loops) {
+    kernels.push_back(core::LowerLoop(loop, patterns));
+  }
+  return kernels;
+}
+
+}  // namespace merch::analysis

@@ -1,0 +1,119 @@
+// Static analysis passes over the kernel IR (paper Section 4).
+//
+// Per referenced object the passes derive:
+//   - a pattern class (a refinement of the 4-way paper label: scalar
+//     broadcasts get their own degenerate class so footprint estimation
+//     does not charge the whole object),
+//   - an *analytic* alpha (Eq. 1's scaling factor) computed directly from
+//     stride / offset / trip-count structure for affine and neighborhood
+//     subscripts, cross-checked against the profiled alpha table in
+//     core/alpha; indirect and opaque references fall back to runtime
+//     refinement exactly as Section 4 prescribes,
+//   - static footprint (distinct bytes reachable) and touched-bytes
+//     estimates,
+//   - a reuse bucket (single-pass vs re-swept) feeding cachesim's
+//     reuse-amortisation parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ir.h"
+#include "core/kernel_ir.h"
+#include "sim/workload.h"
+#include "trace/pattern.h"
+
+namespace merch::analysis {
+
+/// Refined per-reference classification. Order = merge severity (least to
+/// most cache-hostile); kScalar maps to the paper's Stream label but keeps
+/// a one-line footprint.
+enum class PatternClass {
+  kScalar = 0,   // affine stride 0: A[c], one cache line total
+  kStream = 1,   // affine |stride| == 1
+  kStrided = 2,  // affine |stride| > 1
+  kStencil = 3,  // multi-offset neighborhood
+  kOpaque = 4,   // statically unanalysable; alpha refined at runtime
+  kRandom = 5,   // indirect gather/scatter; alpha refined at runtime
+};
+
+const char* PatternClassName(PatternClass c);
+
+/// Collapse to the paper's 4-way label (+Unknown): kScalar -> Stream,
+/// kOpaque -> Unknown (treated as Random downstream).
+trace::AccessPattern ToTracePattern(PatternClass c);
+
+/// Classify one reference considered alone.
+PatternClass ClassifyRefClass(const core::ArrayRef& ref);
+
+/// Analytic alpha (Eq. 1) for scaling an object of `s_base` bytes to
+/// `s_new` bytes, derived purely from subscript structure: the unit of one
+/// main-memory access is a cache line for dense stepping and one element's
+/// line for wide strides; neighborhood offsets share their sweep's lines.
+/// Scalar broadcasts are size-invariant (alpha = size ratio). Returns 1.0
+/// (runtime-refined) for kOpaque/kRandom.
+double AnalyticAlpha(PatternClass cls, std::uint32_t element_bytes,
+                     std::int64_t stride, std::uint64_t s_base,
+                     std::uint64_t s_new);
+
+/// The profiled-alpha table entry from core/alpha for the same scaling
+/// (LinearAlpha for affine, StencilAlphaOffline for stencils) — the
+/// cross-check target for AnalyticAlpha.
+double ProfiledAlpha(PatternClass cls, std::uint32_t element_bytes,
+                     std::int64_t stride, std::uint64_t s_base,
+                     std::uint64_t s_new);
+
+/// Everything the passes know about one object.
+struct ObjectReport {
+  std::size_t object = SIZE_MAX;
+  std::string name;
+  PatternClass pattern = PatternClass::kOpaque;  // least cache-friendly ref
+  trace::AccessPattern trace_pattern = trace::AccessPattern::kUnknown;
+  bool referenced = false;
+
+  /// Eq. 1 alpha for doubling the object (s_new = 2 * s_base), plus the
+  /// profiled table's value under the same convention. `analytic_alpha`
+  /// is false when the object needs runtime refinement instead.
+  bool analytic_alpha = false;
+  double alpha = 1.0;
+  double profiled_alpha = 1.0;
+
+  std::uint64_t footprint_bytes = 0;  // distinct bytes statically reachable
+  double touched_accesses = 0;        // program-level accesses per instance
+  double touched_bytes = 0;
+  double write_fraction = 0;
+
+  /// Reuse bucket: number of kernels (per task, max across tasks) that
+  /// sweep the object. `reswept` objects amortise cold misses when
+  /// cache-resident; `suggested_reuse_passes` feeds
+  /// cachesim::MainMemoryMissRate's amortisation parameter.
+  int sweeps = 0;
+  bool reswept = false;
+  double suggested_reuse_passes = 1.0;
+
+  bool runtime_refined = false;  // has indirect/opaque refs (Section 4)
+};
+
+struct ModuleAnalysis {
+  std::vector<ObjectReport> objects;  // one per module object, in order
+  /// Distinct paper-label patterns across referenced objects (Table 1
+  /// rows), in enum order.
+  std::vector<trace::AccessPattern> distinct;
+};
+
+ModuleAnalysis Analyze(const Module& module);
+
+/// Classify-and-lower one core task through the analysis pass: the same
+/// result LowerTask in core/lowering produces, but with the analysis
+/// classifier as the single pattern authority. The app builders route
+/// through this.
+std::vector<sim::Kernel> LowerTask(const core::TaskIr& task,
+                                   std::size_t num_objects);
+
+/// Per-object paper labels for one core task (parity-compatible with
+/// core::ClassifyTask; unreferenced objects get kUnknown).
+std::vector<trace::AccessPattern> ClassifyTaskPatterns(
+    const core::TaskIr& task, std::size_t num_objects);
+
+}  // namespace merch::analysis

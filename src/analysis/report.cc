@@ -1,0 +1,126 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+
+namespace merch::analysis {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TextReport(const std::string& file, const Module& module,
+                       const ModuleAnalysis& analysis,
+                       const std::vector<Finding>& findings) {
+  std::string out = "kernel " + module.name;
+  if (!file.empty()) out += " (" + file + ")";
+  out += ": " + std::to_string(module.objects.size()) + " objects, " +
+         std::to_string(module.tasks.size()) + " tasks\n\n";
+
+  TextTable table({"object", "pattern", "alpha", "alpha-src", "footprint",
+                   "touched", "reuse", "writes"});
+  for (const ObjectReport& r : analysis.objects) {
+    if (!r.referenced) {
+      table.AddRow({r.name, "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow(
+        {r.name, PatternClassName(r.pattern),
+         r.analytic_alpha ? TextTable::Num(r.alpha, 3) : "1.000",
+         r.analytic_alpha ? "analytic" : "runtime",
+         FormatBytes(r.footprint_bytes),
+         FormatBytes(static_cast<std::uint64_t>(r.touched_bytes)),
+         r.reswept ? "re-swept x" + std::to_string(r.sweeps) : "single-pass",
+         TextTable::Pct(r.write_fraction, 0)});
+  }
+  out += table.Render();
+
+  out += "\nlint:\n";
+  if (findings.empty()) {
+    out += "  clean — no findings\n";
+  }
+  std::size_t errors = 0, warnings = 0;
+  for (const Finding& f : findings) {
+    out += "  " + FormatFinding(file, f) + "\n";
+    if (f.severity == Severity::kError) ++errors;
+    if (f.severity == Severity::kWarning) ++warnings;
+  }
+  out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+         " warning(s)\n";
+  return out;
+}
+
+std::string JsonReport(const std::string& file, const Module& module,
+                       const ModuleAnalysis& analysis,
+                       const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"kernel\": \"" + JsonEscape(module.name) +
+                    "\",\n  \"file\": \"" + JsonEscape(file) +
+                    "\",\n  \"objects\": [\n";
+  for (std::size_t i = 0; i < analysis.objects.size(); ++i) {
+    const ObjectReport& r = analysis.objects[i];
+    out += "    {\"name\": \"" + JsonEscape(r.name) + "\"";
+    out += ", \"referenced\": ";
+    out += r.referenced ? "true" : "false";
+    if (r.referenced) {
+      out += std::string(", \"pattern\": \"") + PatternClassName(r.pattern) +
+             "\"";
+      out += std::string(", \"paper_pattern\": \"") +
+             trace::PatternName(r.trace_pattern) + "\"";
+      out += ", \"alpha\": " + JsonNum(r.alpha);
+      out += std::string(", \"alpha_source\": \"") +
+             (r.analytic_alpha ? "analytic" : "runtime") + "\"";
+      if (r.analytic_alpha) {
+        out += ", \"profiled_alpha\": " + JsonNum(r.profiled_alpha);
+      }
+      out += ", \"footprint_bytes\": " +
+             std::to_string(r.footprint_bytes);
+      out += ", \"touched_bytes\": " + JsonNum(r.touched_bytes);
+      out += ", \"write_fraction\": " + JsonNum(r.write_fraction);
+      out += ", \"sweeps\": " + std::to_string(r.sweeps);
+      out += std::string(", \"reuse\": \"") +
+             (r.reswept ? "re-swept" : "single-pass") + "\"";
+    }
+    out += i + 1 < analysis.objects.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += std::string("    {\"severity\": \"") + SeverityName(f.severity) +
+           "\", \"code\": \"" + JsonEscape(f.code) + "\", \"object\": \"" +
+           JsonEscape(f.object) + "\", \"line\": " +
+           std::to_string(f.loc.line) + ", \"message\": \"" +
+           JsonEscape(f.message) + "\"";
+    out += i + 1 < findings.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace merch::analysis

@@ -1,0 +1,25 @@
+// Rendering of analysis + lint results for `merchctl analyze`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ir.h"
+#include "analysis/lint.h"
+#include "analysis/passes.h"
+
+namespace merch::analysis {
+
+/// Human-readable report: module summary, per-object table (pattern,
+/// analytic alpha + profiled cross-check, footprint, touched bytes, reuse
+/// bucket, write share), then the lint findings.
+std::string TextReport(const std::string& file, const Module& module,
+                       const ModuleAnalysis& analysis,
+                       const std::vector<Finding>& findings);
+
+/// The same content as a JSON document.
+std::string JsonReport(const std::string& file, const Module& module,
+                       const ModuleAnalysis& analysis,
+                       const std::vector<Finding>& findings);
+
+}  // namespace merch::analysis

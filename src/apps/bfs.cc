@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "apps/kernels/csr.h"
-#include "core/lowering.h"
+#include "analysis/passes.h"
 
 namespace merch::apps {
 
@@ -172,7 +172,7 @@ AppBundle BuildBfs(const BfsConfig& cfg) {
       const core::TaskIr ir = build_task_ir(t, relaxed_per_region[r]);
       sim::TaskProgram tp;
       tp.task = static_cast<TaskId>(t);
-      tp.kernels = core::LowerTask(ir, w.objects.size());
+      tp.kernels = analysis::LowerTask(ir, w.objects.size());
       region.tasks.push_back(std::move(tp));
       if (r == 0) bundle.task_irs.push_back(ir);
     }

@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "apps/kernels/dense.h"
-#include "core/lowering.h"
+#include "analysis/passes.h"
 
 namespace merch::apps {
 
@@ -160,7 +160,7 @@ AppBundle BuildDmrg(const DmrgConfig& cfg) {
       const core::TaskIr ir = build_task_ir(t, s);
       sim::TaskProgram tp;
       tp.task = static_cast<TaskId>(t);
-      tp.kernels = core::LowerTask(ir, w.objects.size());
+      tp.kernels = analysis::LowerTask(ir, w.objects.size());
       region.tasks.push_back(std::move(tp));
       if (s == 0) bundle.task_irs.push_back(ir);
     }

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "apps/kernels/pic.h"
-#include "core/lowering.h"
+#include "analysis/passes.h"
 
 namespace merch::apps {
 
@@ -174,7 +174,7 @@ AppBundle BuildWarpx(const WarpxConfig& cfg) {
       const core::TaskIr ir = build_task_ir(t, cfg.task_accesses * drift);
       sim::TaskProgram tp;
       tp.task = static_cast<TaskId>(t);
-      tp.kernels = core::LowerTask(ir, w.objects.size());
+      tp.kernels = analysis::LowerTask(ir, w.objects.size());
       region.tasks.push_back(std::move(tp));
       if (r == 0) bundle.task_irs.push_back(ir);
     }

@@ -29,9 +29,37 @@ AccessPattern Merge(AccessPattern a, AccessPattern b) {
   return Severity(a) >= Severity(b) ? a : b;
 }
 
+/// Referenced-object bitmap for one task, computed in a single scan over
+/// the task's refs.
+std::vector<bool> ReferencedObjects(const TaskIr& task,
+                                    std::size_t num_objects) {
+  std::vector<bool> referenced(num_objects, false);
+  for (const LoopNest& loop : task.loops) {
+    for (const ArrayRef& ref : loop.refs) {
+      if (ref.object < num_objects) referenced[ref.object] = true;
+      if (ref.subscript.kind == Subscript::Kind::kIndirect &&
+          ref.subscript.index_object < num_objects) {
+        referenced[ref.subscript.index_object] = true;
+      }
+    }
+  }
+  return referenced;
+}
+
+}  // namespace
+
+bool RefTouchesObject(const ArrayRef& ref, std::size_t object) {
+  if (ref.object == object) return true;
+  return ref.subscript.kind == Subscript::Kind::kIndirect &&
+         ref.subscript.index_object == object;
+}
+
 AccessPattern ClassifyRef(const ArrayRef& ref) {
   switch (ref.subscript.kind) {
     case Subscript::Kind::kAffine:
+      // Stride 0 is a scalar broadcast (A[c]): a degenerate stream whose
+      // footprint is one cache line, not the object. The 4-way label stays
+      // kStream; analysis::ClassifyRefClass carries the distinction.
       return std::abs(ref.subscript.stride) <= 1 ? AccessPattern::kStream
                                                  : AccessPattern::kStrided;
     case Subscript::Kind::kNeighborhood: {
@@ -47,25 +75,23 @@ AccessPattern ClassifyRef(const ArrayRef& ref) {
   return AccessPattern::kUnknown;
 }
 
-}  // namespace
-
 AccessPattern ClassifyObjectInLoop(const LoopNest& loop, std::size_t object) {
   bool referenced = false;
   AccessPattern result = AccessPattern::kStream;
   for (const ArrayRef& ref : loop.refs) {
-    if (ref.object == object) {
-      const AccessPattern p = ClassifyRef(ref);
-      result = referenced ? Merge(result, p) : p;
-      referenced = true;
-    }
+    if (!RefTouchesObject(ref, object)) continue;
     // The index array of an indirect reference is itself swept
-    // sequentially (B in A[i] = B[C[i]] is random; C is a stream).
-    if (ref.subscript.kind == Subscript::Kind::kIndirect &&
+    // sequentially (B in A[i] = B[C[i]] is random; C is a stream) — even
+    // when the same ref also names the object directly.
+    AccessPattern p = ref.object == object ? ClassifyRef(ref)
+                                           : AccessPattern::kStream;
+    if (ref.object == object &&
+        ref.subscript.kind == Subscript::Kind::kIndirect &&
         ref.subscript.index_object == object) {
-      result = referenced ? Merge(result, AccessPattern::kStream)
-                          : AccessPattern::kStream;
-      referenced = true;
+      p = Merge(p, AccessPattern::kStream);
     }
+    result = referenced ? Merge(result, p) : p;
+    referenced = true;
   }
   return referenced ? result : AccessPattern::kUnknown;
 }
@@ -76,15 +102,11 @@ std::vector<AccessPattern> ClassifyTask(const TaskIr& task,
   std::vector<bool> seen(num_objects, false);
   for (const LoopNest& loop : task.loops) {
     for (std::size_t obj = 0; obj < num_objects; ++obj) {
-      bool referenced = false;
-      for (const ArrayRef& ref : loop.refs) {
-        if (ref.object == obj ||
-            (ref.subscript.kind == Subscript::Kind::kIndirect &&
-             ref.subscript.index_object == obj)) {
-          referenced = true;
-          break;
-        }
-      }
+      const bool referenced =
+          std::any_of(loop.refs.begin(), loop.refs.end(),
+                      [obj](const ArrayRef& r) {
+                        return RefTouchesObject(r, obj);
+                      });
       if (!referenced) continue;
       const AccessPattern p = ClassifyObjectInLoop(loop, obj);
       out[obj] = seen[obj] ? Merge(out[obj], p) : p;
@@ -99,21 +121,12 @@ std::vector<AccessPattern> DistinctPatterns(const std::vector<TaskIr>& tasks,
   std::set<int> seen;
   for (const TaskIr& t : tasks) {
     const auto per_object = ClassifyTask(t, num_objects);
+    // One scan for the referenced set instead of a per-object loop rescan
+    // (only referenced objects count — an unreferenced object's kUnknown
+    // is absence, not a pattern).
+    const std::vector<bool> referenced = ReferencedObjects(t, num_objects);
     for (std::size_t obj = 0; obj < per_object.size(); ++obj) {
-      // Only count objects the task actually references.
-      bool referenced = false;
-      for (const LoopNest& loop : t.loops) {
-        for (const ArrayRef& ref : loop.refs) {
-          if (ref.object == obj ||
-              (ref.subscript.kind == Subscript::Kind::kIndirect &&
-               ref.subscript.index_object == obj)) {
-            referenced = true;
-            break;
-          }
-        }
-        if (referenced) break;
-      }
-      if (referenced) seen.insert(static_cast<int>(per_object[obj]));
+      if (referenced[obj]) seen.insert(static_cast<int>(per_object[obj]));
     }
   }
   std::vector<AccessPattern> out;

@@ -18,6 +18,18 @@
 
 namespace merch::core {
 
+/// True when `ref` touches `object` — either directly or as the index
+/// array of an indirect (gather/scatter) subscript. The single source of
+/// truth for "is this object referenced here"; classification, lowering
+/// and the analysis passes all funnel through it.
+bool RefTouchesObject(const ArrayRef& ref, std::size_t object);
+
+/// Pattern of one reference considered alone. Affine stride 0 (a scalar
+/// broadcast like A[c]) classifies as kStream at this level; the analysis
+/// layer refines it to a degenerate single-line pattern so footprint
+/// estimation does not charge the whole object (analysis::PatternClass).
+trace::AccessPattern ClassifyRef(const ArrayRef& ref);
+
 /// Pattern of one object within one loop. When an object is referenced in
 /// several ways, the least cache-friendly classification wins
 /// (Random > Unknown > Stencil > Strided > Stream) — the conservative

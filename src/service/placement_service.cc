@@ -3,6 +3,9 @@
 #include <exception>
 #include <utility>
 
+#include "analysis/ir.h"
+#include "analysis/lint.h"
+#include "analysis/passes.h"
 #include "apps/registry.h"
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
@@ -155,6 +158,23 @@ PlacementResult PlacementService::RunRequest(
   out.request = req;
   try {
     const apps::AppBundle bundle = apps::BuildApp(req.app, req.scale, req.work);
+
+    // Static-analysis gate: reject requests whose kernel IR carries
+    // error-severity lint findings (e.g. a referenced object the app never
+    // registered with LB_HM_config) — the runtime could not place it.
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const std::vector<analysis::Finding> findings =
+        analysis::Lint(module, analysis::Analyze(module));
+    if (analysis::HasErrors(findings)) {
+      for (const analysis::Finding& f : findings) {
+        if (f.severity != analysis::Severity::kError) continue;
+        if (!out.error.empty()) out.error += "; ";
+        out.error += "lint: [" + f.code + "] " + f.message;
+      }
+      return out;
+    }
+
     const sim::MachineSpec machine = RequestMachine(req);
     const sim::SimConfig cfg = RequestSimConfig(req);
 

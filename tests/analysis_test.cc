@@ -1,0 +1,531 @@
+// Tests for the static analysis subsystem (src/analysis): parser
+// round-trips, pattern-classification edge cases, analytic-vs-profiled
+// alpha agreement on the five applications, footprint/reuse derivation,
+// and the placement lint.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/ir.h"
+#include "analysis/lint.h"
+#include "analysis/parser.h"
+#include "analysis/passes.h"
+#include "analysis/report.h"
+#include "apps/registry.h"
+#include "core/pattern_classifier.h"
+
+namespace merch {
+namespace {
+
+using analysis::PatternClass;
+using core::Subscript;
+using trace::AccessPattern;
+
+core::ArrayRef Affine(std::size_t object, std::int64_t stride,
+                      bool write = false) {
+  core::ArrayRef ref;
+  ref.object = object;
+  ref.subscript.kind = Subscript::Kind::kAffine;
+  ref.subscript.stride = stride;
+  ref.is_write = write;
+  return ref;
+}
+
+core::ArrayRef Neighborhood(std::size_t object,
+                            std::vector<std::int64_t> offsets) {
+  core::ArrayRef ref;
+  ref.object = object;
+  ref.subscript.kind = Subscript::Kind::kNeighborhood;
+  ref.subscript.offsets = std::move(offsets);
+  return ref;
+}
+
+core::ArrayRef Indirect(std::size_t object, std::size_t via,
+                        bool write = false) {
+  core::ArrayRef ref;
+  ref.object = object;
+  ref.subscript.kind = Subscript::Kind::kIndirect;
+  ref.subscript.index_object = via;
+  ref.is_write = write;
+  return ref;
+}
+
+const char* kGatherKir = R"(
+kernel gather
+object values bytes=64MiB elem=8 owner=0
+object idx bytes=8MiB elem=4 owner=0
+object out bytes=64MiB elem=8 owner=0
+register values idx out
+task 0 {
+  loop sweep trips=1e6 insns=6 branch=0.1 vector=0.2 {
+    read idx affine stride=1 elem=4
+    read values indirect via=idx
+    write out affine stride=1
+  }
+}
+)";
+
+// ---- parser ----------------------------------------------------------
+
+TEST(KirParser, ParsesGatherKernel) {
+  const analysis::ParseResult r = analysis::ParseKir(kGatherKir);
+  ASSERT_TRUE(r.ok()) << analysis::FormatParseError("", r.errors.front());
+  const analysis::Module& m = r.module;
+  EXPECT_EQ(m.name, "gather");
+  ASSERT_EQ(m.objects.size(), 3u);
+  EXPECT_EQ(m.objects[0].name, "values");
+  EXPECT_EQ(m.objects[0].bytes, 64 * MiB);
+  EXPECT_EQ(m.objects[1].element_bytes, 4u);
+  EXPECT_TRUE(m.objects[2].registered);
+  ASSERT_EQ(m.tasks.size(), 1u);
+  ASSERT_EQ(m.tasks[0].loops.size(), 1u);
+  const analysis::LoopIr& loop = m.tasks[0].loops[0];
+  EXPECT_EQ(loop.trip_count, 1000000u);
+  ASSERT_EQ(loop.refs.size(), 3u);
+  EXPECT_EQ(loop.refs[1].subscript.kind, Subscript::Kind::kIndirect);
+  EXPECT_EQ(loop.refs[1].subscript.index_object, 1u);
+  EXPECT_TRUE(loop.refs[2].is_write);
+}
+
+TEST(KirParser, RoundTripIsAFixedPoint) {
+  // parse -> serialize -> parse -> serialize must stabilise: the canonical
+  // form reproduces itself (structural round-trip property).
+  const analysis::ParseResult first = analysis::ParseKir(kGatherKir);
+  ASSERT_TRUE(first.ok());
+  const std::string canon = analysis::SerializeKir(first.module);
+  const analysis::ParseResult second = analysis::ParseKir(canon);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(analysis::SerializeKir(second.module), canon);
+}
+
+TEST(KirParser, RoundTripPreservesEverySubscriptForm) {
+  analysis::Module m;
+  m.name = "forms";
+  for (const char* name : {"a", "b", "c", "d"}) {
+    analysis::ObjectDecl obj;
+    obj.name = name;
+    obj.bytes = 123456789;
+    obj.element_bytes = 4;
+    obj.owner = 2;
+    obj.registered = true;
+    m.objects.push_back(obj);
+  }
+  m.objects[3].pattern_hint = "random";
+  analysis::TaskDecl task;
+  task.task = 7;
+  analysis::LoopIr outer;
+  outer.name = "outer";
+  outer.trip_count = 12345;
+  outer.instructions_per_iteration = 6.5;
+  outer.branch_fraction = 0.125;
+  outer.vector_fraction = 0.375;
+  analysis::LoopIr inner;
+  inner.name = "inner";
+  inner.trip_count = 77;
+  analysis::RefIr r0;  // negative-stride affine
+  r0.object = 0;
+  r0.subscript.kind = Subscript::Kind::kAffine;
+  r0.subscript.stride = -3;
+  r0.rate = 0.25;
+  analysis::RefIr r1;  // multi-offset stencil, write
+  r1.object = 1;
+  r1.subscript.kind = Subscript::Kind::kNeighborhood;
+  r1.subscript.offsets = {-2, 0, 2};
+  r1.is_write = true;
+  analysis::RefIr r2;  // indirect
+  r2.object = 2;
+  r2.subscript.kind = Subscript::Kind::kIndirect;
+  r2.subscript.index_object = 0;
+  r2.element_bytes = 16;
+  analysis::RefIr r3;  // opaque
+  r3.object = 3;
+  r3.subscript.kind = Subscript::Kind::kOpaque;
+  inner.refs = {r0, r1};
+  outer.refs = {r2, r3};
+  outer.children.push_back(inner);
+  task.loops.push_back(outer);
+  m.tasks.push_back(task);
+
+  const std::string canon = analysis::SerializeKir(m);
+  const analysis::ParseResult back = analysis::ParseKir(canon);
+  ASSERT_TRUE(back.ok()) << canon;
+  EXPECT_EQ(analysis::SerializeKir(back.module), canon);
+  ASSERT_EQ(back.module.tasks.size(), 1u);
+  const analysis::LoopIr& o = back.module.tasks[0].loops[0];
+  ASSERT_EQ(o.children.size(), 1u);
+  EXPECT_EQ(o.children[0].refs[0].subscript.stride, -3);
+  EXPECT_EQ(o.children[0].refs[1].subscript.offsets,
+            (std::vector<std::int64_t>{-2, 0, 2}));
+  EXPECT_EQ(o.refs[0].subscript.index_object, 0u);
+  EXPECT_EQ(o.refs[0].element_bytes, 16u);
+  EXPECT_DOUBLE_EQ(o.children[0].refs[0].rate, 0.25);
+}
+
+TEST(KirParser, ErrorsCarrySourceLocations) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel bad\n"
+      "object a bytes=1MiB\n"
+      "task 0 {\n"
+      "  loop l trips=10 {\n"
+      "    read ghost affine stride=1\n"
+      "  }\n"
+      "}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].loc.line, 5);
+  EXPECT_EQ(r.errors[0].loc.col, 10);
+  EXPECT_NE(r.errors[0].message.find("ghost"), std::string::npos);
+  EXPECT_NE(analysis::FormatParseError("x.kir", r.errors[0]).find("x.kir:5:10"),
+            std::string::npos);
+}
+
+TEST(KirParser, ReportsMissingTripsAndVia) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel bad\n"
+      "object a bytes=1MiB\n"
+      "object b bytes=1MiB\n"
+      "task 0 {\n"
+      "  loop l {\n"
+      "    read a indirect\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_NE(r.errors[0].message.find("trips"), std::string::npos);
+  EXPECT_NE(r.errors[1].message.find("via"), std::string::npos);
+}
+
+TEST(KirParser, RecoversAndKeepsParsingAfterBadStatement) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel recover\n"
+      "object a bytes=1MiB\n"
+      "frobnicate everything\n"
+      "object b bytes=2MiB\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.module.objects.size(), 2u);  // b still parsed after the error
+}
+
+TEST(KirParser, RejectsRedeclarationAndUnknownSuffix) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "object a bytes=1MiB\n"
+      "object a bytes=2MiB\n"
+      "object c bytes=3XiB\n");
+  // The bad suffix also voids the bytes= attribute, so "missing bytes"
+  // piggybacks on the suffix error.
+  ASSERT_EQ(r.errors.size(), 3u);
+  EXPECT_NE(r.errors[0].message.find("redeclared"), std::string::npos);
+  EXPECT_NE(r.errors[1].message.find("suffix"), std::string::npos);
+  EXPECT_NE(r.errors[2].message.find("missing bytes"), std::string::npos);
+}
+
+// ---- flattening ------------------------------------------------------
+
+TEST(ModuleIr, NestedTripCountsMultiplyWhenFlattened) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel nest\n"
+      "object a bytes=1MiB\n"
+      "register a\n"
+      "task 0 {\n"
+      "  loop i trips=100 {\n"
+      "    loop j trips=50 {\n"
+      "      read a affine stride=1\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  const std::vector<core::TaskIr> tasks = r.module.ToCoreIr();
+  ASSERT_EQ(tasks.size(), 1u);
+  ASSERT_FALSE(tasks[0].loops.empty());
+  bool found = false;
+  for (const core::LoopNest& loop : tasks[0].loops) {
+    if (loop.refs.empty()) continue;
+    EXPECT_EQ(loop.trip_count, 5000u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- classification edge cases ---------------------------------------
+
+TEST(PatternClassification, NegativeStridesMatchPositiveCounterparts) {
+  EXPECT_EQ(analysis::ClassifyRefClass(Affine(0, -1)), PatternClass::kStream);
+  EXPECT_EQ(analysis::ClassifyRefClass(Affine(0, -4)), PatternClass::kStrided);
+  EXPECT_EQ(core::ClassifyRef(Affine(0, -1)), AccessPattern::kStream);
+  EXPECT_EQ(core::ClassifyRef(Affine(0, -4)), AccessPattern::kStrided);
+}
+
+TEST(PatternClassification, SingleOffsetNeighborhoodIsAShiftedStream) {
+  EXPECT_EQ(analysis::ClassifyRefClass(Neighborhood(0, {1})),
+            PatternClass::kStream);
+  EXPECT_EQ(core::ClassifyRef(Neighborhood(0, {1})), AccessPattern::kStream);
+  EXPECT_EQ(analysis::ClassifyRefClass(Neighborhood(0, {-1, 0, 1})),
+            PatternClass::kStencil);
+}
+
+TEST(PatternClassification, ScalarBroadcastIsDegenerate) {
+  EXPECT_EQ(analysis::ClassifyRefClass(Affine(0, 0)), PatternClass::kScalar);
+  // The 4-way paper label folds it into Stream (core parity).
+  EXPECT_EQ(analysis::ToTracePattern(PatternClass::kScalar),
+            AccessPattern::kStream);
+  EXPECT_EQ(core::ClassifyRef(Affine(0, 0)), AccessPattern::kStream);
+}
+
+TEST(PatternClassification, IndirectThroughIndirectChain) {
+  // out[i] = data[idx2[idx1[i]]] modelled as two gathers: idx2 is both an
+  // indirect target (via idx1) and the index array of the data gather —
+  // the random classification must win for idx2, idx1 stays a stream.
+  core::TaskIr task;
+  core::LoopNest loop;
+  loop.name = "chain";
+  loop.trip_count = 1000;
+  loop.refs.push_back(Indirect(/*object=*/1, /*via=*/0));  // idx2[idx1[i]]
+  loop.refs.push_back(Indirect(/*object=*/2, /*via=*/1));  // data[idx2[...]]
+  task.loops.push_back(loop);
+
+  const auto got = analysis::ClassifyTaskPatterns(task, 3);
+  EXPECT_EQ(got[0], AccessPattern::kStream);
+  EXPECT_EQ(got[1], AccessPattern::kRandom);
+  EXPECT_EQ(got[2], AccessPattern::kRandom);
+  const auto core_got = core::ClassifyTask(task, 3);
+  EXPECT_EQ(core_got, got);
+}
+
+TEST(PatternClassification, IndexArrayAlsoDirectlySwept) {
+  // idx is swept directly (stride 1) and used as the index array of a
+  // gather — both uses are streams, so it must NOT classify random.
+  core::TaskIr task;
+  core::LoopNest loop;
+  loop.name = "gather";
+  loop.trip_count = 1000;
+  loop.refs.push_back(Affine(0, 1));
+  loop.refs.push_back(Indirect(/*object=*/1, /*via=*/0));
+  task.loops.push_back(loop);
+  const auto got = analysis::ClassifyTaskPatterns(task, 2);
+  EXPECT_EQ(got[0], AccessPattern::kStream);
+  EXPECT_EQ(got[1], AccessPattern::kRandom);
+  EXPECT_EQ(core::ClassifyTask(task, 2), got);
+
+  // ...but an object gathered through *itself* (a[a[i]]) is random.
+  core::TaskIr self;
+  core::LoopNest sl;
+  sl.name = "self";
+  sl.trip_count = 10;
+  sl.refs.push_back(Indirect(/*object=*/0, /*via=*/0));
+  self.loops.push_back(sl);
+  EXPECT_EQ(analysis::ClassifyTaskPatterns(self, 1)[0], AccessPattern::kRandom);
+  EXPECT_EQ(core::ClassifyTask(self, 1)[0], AccessPattern::kRandom);
+}
+
+TEST(PatternClassification, ParityWithCoreOnAllFiveApps) {
+  for (const std::string& name : apps::AppNames()) {
+    const apps::AppBundle bundle = apps::BuildApp(name, 0.02, 0.05);
+    for (const core::TaskIr& ir : bundle.task_irs) {
+      const auto ours =
+          analysis::ClassifyTaskPatterns(ir, bundle.workload.objects.size());
+      const auto core_labels =
+          core::ClassifyTask(ir, bundle.workload.objects.size());
+      EXPECT_EQ(ours, core_labels) << name << " task " << ir.task;
+    }
+  }
+}
+
+// ---- footprint and alpha ---------------------------------------------
+
+TEST(AnalysisPasses, ScalarFootprintIsOneCacheLine) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel scalar\n"
+      "object big bytes=1GiB\n"
+      "register big\n"
+      "task 0 {\n"
+      "  loop l trips=1e6 {\n"
+      "    read big affine stride=0\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  const analysis::ModuleAnalysis a = analysis::Analyze(r.module);
+  EXPECT_EQ(a.objects[0].pattern, PatternClass::kScalar);
+  EXPECT_EQ(a.objects[0].footprint_bytes, kCacheLineBytes);
+  // Size-invariant traffic: Eq. 1 alpha under doubling equals the size
+  // ratio, so esti_mem_acc stays put when the object grows.
+  EXPECT_TRUE(a.objects[0].analytic_alpha);
+  EXPECT_DOUBLE_EQ(a.objects[0].alpha, 2.0);
+}
+
+TEST(AnalysisPasses, FootprintBoundedByObjectAndStride) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel fp\n"
+      "object small bytes=1MiB\n"
+      "object wide bytes=1GiB\n"
+      "register small wide\n"
+      "task 0 {\n"
+      "  loop l trips=1e4 {\n"
+      "    read small affine stride=1\n"
+      "    read wide affine stride=-16\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  const analysis::ModuleAnalysis a = analysis::Analyze(r.module);
+  // 1e4 trips * 8B stream = 80 KB < 1 MiB: the sweep bound wins.
+  EXPECT_EQ(a.objects[0].footprint_bytes, 80000u);
+  // |stride| 16 * 8B * 1e4 trips = 1.28 MB distinct bytes reachable.
+  EXPECT_EQ(a.objects[1].footprint_bytes, 1280000u);
+  EXPECT_EQ(a.objects[1].pattern, PatternClass::kStrided);
+}
+
+TEST(AnalysisPasses, ReuseBucketsCountPerTaskSweeps) {
+  const analysis::ParseResult r = analysis::ParseKir(kGatherKir);
+  ASSERT_TRUE(r.ok());
+  const analysis::ModuleAnalysis a = analysis::Analyze(r.module);
+  // One loop: everything single-pass.
+  for (const analysis::ObjectReport& obj : a.objects) {
+    EXPECT_FALSE(obj.reswept) << obj.name;
+    EXPECT_EQ(obj.sweeps, 1) << obj.name;
+  }
+  // values is gathered (random) -> runtime-refined alpha.
+  EXPECT_TRUE(a.objects[0].runtime_refined);
+  EXPECT_FALSE(a.objects[0].analytic_alpha);
+  // idx is only ever an index array -> stream, analytic.
+  EXPECT_EQ(a.objects[1].pattern, PatternClass::kStream);
+  EXPECT_TRUE(a.objects[1].analytic_alpha);
+  // out is write-only.
+  EXPECT_DOUBLE_EQ(a.objects[2].write_fraction, 1.0);
+}
+
+TEST(AnalysisPasses, AnalyticAlphaAgreesWithProfiledTableOnApps) {
+  // Acceptance criterion: for stream/strided/stencil objects of the five
+  // applications the statically derived alpha must sit within 15% of the
+  // profiled table's value (core::LinearAlpha / StencilAlphaOffline).
+  int checked = 0;
+  for (const std::string& name : apps::AppNames()) {
+    const apps::AppBundle bundle = apps::BuildApp(name, 0.02, 0.05);
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const analysis::ModuleAnalysis a = analysis::Analyze(module);
+    for (const analysis::ObjectReport& obj : a.objects) {
+      if (!obj.referenced || !obj.analytic_alpha) continue;
+      ASSERT_GT(obj.profiled_alpha, 0.0) << name << "/" << obj.name;
+      const double rel = std::abs(obj.alpha - obj.profiled_alpha) /
+                         obj.profiled_alpha;
+      EXPECT_LE(rel, 0.15) << name << "/" << obj.name << " analytic "
+                           << obj.alpha << " vs profiled "
+                           << obj.profiled_alpha;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 5);  // the agreement must actually cover objects
+}
+
+TEST(AnalysisPasses, DistinctPatternsMatchCoreTable1Helper) {
+  for (const std::string& name : apps::AppNames()) {
+    const apps::AppBundle bundle = apps::BuildApp(name, 0.02, 0.05);
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const analysis::ModuleAnalysis a = analysis::Analyze(module);
+    const auto expected = core::DistinctPatterns(
+        bundle.task_irs, bundle.workload.objects.size());
+    EXPECT_EQ(a.distinct, expected) << name;
+  }
+}
+
+// ---- lint ------------------------------------------------------------
+
+std::vector<std::string> Codes(const std::vector<analysis::Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.code);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PlacementLint, FlagsUnregisteredReferencedObject) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel l\n"
+      "object a bytes=1MiB\n"
+      "task 0 {\n"
+      "  loop x trips=10 {\n"
+      "    read a affine stride=1\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  const auto findings = analysis::Lint(r.module, analysis::Analyze(r.module));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "unregistered-object");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kError);
+  EXPECT_TRUE(analysis::HasErrors(findings));
+}
+
+TEST(PlacementLint, CleanModuleHasNoFindings) {
+  const analysis::ParseResult r = analysis::ParseKir(kGatherKir);
+  ASSERT_TRUE(r.ok());
+  const auto findings = analysis::Lint(r.module, analysis::Analyze(r.module));
+  // out is write-only -> only the write-heavy advisory remains.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "write-heavy");
+  EXPECT_FALSE(analysis::HasErrors(findings));
+}
+
+TEST(PlacementLint, FlagsOpaqueDeadIndexMisregisteredAndMismatch) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel l\n"
+      "object data bytes=64MiB\n"
+      "object idx bytes=1MiB elem=4 pattern=random\n"
+      "object tbl bytes=8MiB\n"
+      "object ghost bytes=1MiB\n"
+      "object claimed bytes=4MiB pattern=stencil\n"
+      "register data idx tbl ghost claimed\n"
+      "task 0 {\n"
+      "  loop x trips=1000 {\n"
+      "    read idx affine stride=1 elem=4\n"
+      "    read data indirect via=idx\n"
+      "    read tbl opaque\n"
+      "    read claimed affine stride=4\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  const auto findings = analysis::Lint(r.module, analysis::Analyze(r.module));
+  const auto codes = Codes(findings);
+  EXPECT_EQ(codes,
+            (std::vector<std::string>{"dead-object", "index-misregistered",
+                                      "opaque-subscript", "pattern-mismatch"}));
+  EXPECT_FALSE(analysis::HasErrors(findings));  // all advisory
+  for (const auto& f : findings) {
+    if (f.code == "dead-object") {
+      EXPECT_EQ(f.object, "ghost");
+      EXPECT_EQ(f.severity, analysis::Severity::kWarning);
+    }
+    if (f.code == "index-misregistered") EXPECT_EQ(f.object, "idx");
+    if (f.code == "pattern-mismatch") EXPECT_EQ(f.object, "claimed");
+  }
+}
+
+TEST(PlacementLint, AppBundlesLintClean) {
+  // The five builders register everything they reference: the service
+  // gate must pass them.
+  for (const std::string& name : apps::AppNames()) {
+    const apps::AppBundle bundle = apps::BuildApp(name, 0.02, 0.05);
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const auto findings =
+        analysis::Lint(module, analysis::Analyze(module));
+    EXPECT_FALSE(analysis::HasErrors(findings)) << name;
+  }
+}
+
+TEST(Reports, TextAndJsonCarryPatternsAndFindings) {
+  const analysis::ParseResult r = analysis::ParseKir(kGatherKir);
+  ASSERT_TRUE(r.ok());
+  const analysis::ModuleAnalysis a = analysis::Analyze(r.module);
+  const auto findings = analysis::Lint(r.module, a);
+  const std::string text =
+      analysis::TextReport("g.kir", r.module, a, findings);
+  EXPECT_NE(text.find("Random"), std::string::npos);
+  EXPECT_NE(text.find("write-heavy"), std::string::npos);
+  const std::string json =
+      analysis::JsonReport("g.kir", r.module, a, findings);
+  EXPECT_NE(json.find("\"pattern\": \"Random\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merch

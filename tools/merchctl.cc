@@ -14,12 +14,17 @@
 //                  [--scales 1.0,0.5,...] [--work W] [--train-regions N]
 //                  [--seed S] [--threads T] [--cache N] [--repeat R]
 //                  [--file requests.txt] [--placements]
+//   merchctl analyze <file.kir> [--json]
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
+#include "analysis/parser.h"
+#include "analysis/passes.h"
+#include "analysis/report.h"
 #include "apps/registry.h"
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
@@ -55,6 +60,9 @@ struct Options {
   std::size_t cache = 128;
   std::size_t repeat = 1;
   bool show_placements = false;
+  // analyze-only
+  std::string kir_file;
+  bool json = false;
 };
 
 int Usage() {
@@ -69,7 +77,8 @@ int Usage() {
                "                      [--work W] [--train-regions N] "
                "[--seed N] [--threads T]\n"
                "                      [--cache N] [--repeat R] "
-               "[--file requests.txt] [--placements]\n");
+               "[--file requests.txt] [--placements]\n"
+               "       merchctl analyze <file.kir> [--json]\n");
   return 2;
 }
 
@@ -293,6 +302,34 @@ int SweepCommand(const Options& opt) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Static analysis of a textual kernel IR: parse, derive per-object
+/// pattern/alpha/footprint, lint against the declared registrations.
+/// Exit codes: 0 clean, 1 error-severity lint findings, 2 parse failure.
+int AnalyzeCommand(const Options& opt) {
+  if (opt.kir_file.empty()) {
+    std::fprintf(stderr, "merchctl: analyze needs a .kir file\n");
+    return Usage();
+  }
+  const analysis::ParseResult parsed = analysis::ParseKirFile(opt.kir_file);
+  if (!parsed.ok()) {
+    for (const analysis::ParseError& err : parsed.errors) {
+      std::fprintf(stderr, "%s\n",
+                   analysis::FormatParseError(opt.kir_file, err).c_str());
+    }
+    return 2;
+  }
+  const analysis::ModuleAnalysis result = analysis::Analyze(parsed.module);
+  const std::vector<analysis::Finding> findings =
+      analysis::Lint(parsed.module, result);
+  const std::string report =
+      opt.json ? analysis::JsonReport(opt.kir_file, parsed.module, result,
+                                      findings)
+               : analysis::TextReport(opt.kir_file, parsed.module, result,
+                                      findings);
+  std::fputs(report.c_str(), stdout);
+  return analysis::HasErrors(findings) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,6 +378,11 @@ int main(int argc, char** argv) {
           1, static_cast<std::size_t>(std::atoll(next())));
     } else if (arg == "--placements") {
       opt.show_placements = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (opt.command == "analyze" && arg.rfind("--", 0) != 0 &&
+               opt.kir_file.empty()) {
+      opt.kir_file = arg;
     } else {
       std::fprintf(stderr, "merchctl: unknown flag '%s'\n", arg.c_str());
       return Usage();
@@ -357,5 +399,8 @@ int main(int argc, char** argv) {
   }
   if (opt.command == "run") return RunCommand(opt);
   if (opt.command == "sweep") return SweepCommand(opt);
+  if (opt.command == "analyze") return AnalyzeCommand(opt);
+  std::fprintf(stderr, "merchctl: unknown command '%s'\n",
+               opt.command.c_str());
   return Usage();
 }

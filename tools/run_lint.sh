@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library, tool, and bench
+# sources using the CMake compilation database.
+#
+#   tools/run_lint.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory must have been configured (CMakeLists.txt exports
+# compile_commands.json unconditionally). Exits non-zero when clang-tidy
+# reports any warning, so CI can gate on it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_lint.sh: clang-tidy not found on PATH; skipping lint" >&2
+  exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_lint.sh: $build/compile_commands.json missing —" \
+       "configure first: cmake -B $build -S $repo" >&2
+  exit 2
+fi
+
+# Library + tool sources only; tests inherit the same checks through the
+# header filter when their headers are touched.
+mapfile -t sources < <(find "$repo/src" "$repo/tools" "$repo/bench" \
+  -name '*.cc' -o -name '*.cpp' | sort)
+
+status=0
+clang-tidy -p "$build" --quiet "$@" "${sources[@]}" || status=$?
+exit $status
