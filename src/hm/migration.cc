@@ -56,35 +56,85 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
                                               const HeatFn& heat) {
   const std::uint64_t free_now = table_->tier_free_pages(Tier::kDram);
   if (free_now >= pages_needed) return 0;
-  std::uint64_t to_free = pages_needed - free_now;
+  const std::uint64_t to_free = pages_needed - free_now;
 
-  // Gather DRAM-resident pages with their epoch counts, coldest first.
-  // Object page ranges are heat-ordered, so the cold end of each object is
-  // its range tail; we still sort globally by observed epoch accesses to
-  // mimic an LFU decision over profiling data.
+  // Gather DRAM-resident pages with their observed epoch counts, coldest
+  // first. Object page ranges are heat-ordered, so the cold end of each
+  // object is its range tail; we still order globally by observed epoch
+  // accesses to mimic an LFU decision over profiling data. Ties are
+  // common (saturated profiler heat collides on the 16-bit jitter), so
+  // the order tie-breaks on page id: a total order makes the eviction
+  // sequence independent of the selection algorithm below.
   struct Cold {
     PageId page;
     double accesses;
   };
+  const auto colder = [](const Cold& a, const Cold& b) {
+    if (a.accesses != b.accesses) return a.accesses < b.accesses;
+    return a.page < b.page;
+  };
+  const auto count_of = [&](PageId p) {
+    return heat ? heat(p)
+                : static_cast<double>(table_->page(p).epoch_accesses);
+  };
   std::vector<Cold> candidates;
-  for (ObjectId id = 0; id < table_->num_objects(); ++id) {
-    if (!table_->is_live(id)) continue;
-    const ObjectExtent& e = table_->extent(id);
-    for (PageId p = e.first_page; p < e.first_page + e.num_pages; ++p) {
-      if (table_->page_tier(p) == Tier::kDram) {
-        const double a = heat ? heat(p)
-                              : static_cast<double>(table_->page(p).epoch_accesses);
-        candidates.push_back({p, a});
+  // Index of the first candidate not yet in sorted order.
+  std::size_t sorted = 0;
+  if (table_->legacy_scan()) {
+    // Pre-index cost profile (bench baseline): probe every page of every
+    // live object and sort the full candidate set.
+    for (ObjectId id = 0; id < table_->num_objects(); ++id) {
+      if (!table_->is_live(id)) continue;
+      const ObjectExtent& e = table_->extent(id);
+      for (PageId p = e.first_page; p < e.first_page + e.num_pages; ++p) {
+        if (table_->page(p).tier == Tier::kDram) {
+          candidates.push_back({p, count_of(p)});
+        }
       }
     }
+    std::sort(candidates.begin(), candidates.end(), colder);
+    sorted = candidates.size();
+  } else {
+    // Enumerate exactly the DRAM-resident pages via the residency bitsets
+    // (same ascending page order the probe loop produces), then select
+    // the `to_free` coldest: nth_element plus a sort of that prefix
+    // yields the same eviction sequence as sorting everything — the
+    // comparator is a total order — at O(n + k log k) instead of
+    // O(n log n) with n = all DRAM pages per interval.
+    candidates.reserve(table_->tier_used_bytes(Tier::kDram) /
+                       table_->page_bytes());
+    for (ObjectId id = 0; id < table_->num_objects(); ++id) {
+      if (!table_->is_live(id)) continue;
+      const ObjectExtent& e = table_->extent(id);
+      for (std::uint64_t r = table_->FindRank(id, 0, /*on_dram=*/true);
+           r < e.num_pages; r = table_->FindRank(id, r + 1, true)) {
+        const PageId p = e.first_page + r;
+        candidates.push_back({p, count_of(p)});
+      }
+    }
+    if (candidates.size() > to_free) {
+      const auto mid =
+          candidates.begin() + static_cast<std::ptrdiff_t>(to_free);
+      std::nth_element(candidates.begin(), mid, candidates.end(), colder);
+      std::sort(candidates.begin(), mid, colder);
+      sorted = to_free;
+    } else {
+      std::sort(candidates.begin(), candidates.end(), colder);
+      sorted = candidates.size();
+    }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Cold& a, const Cold& b) { return a.accesses < b.accesses; });
 
   std::uint64_t freed = 0;
-  for (const Cold& c : candidates) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (freed >= to_free) break;
-    if (table_->MovePage(c.page, Tier::kPm)) ++freed;
+    if (i == sorted) {
+      // Moves past the selected prefix are needed only when PM itself ran
+      // out of room; continue in the same global order.
+      std::sort(candidates.begin() + static_cast<std::ptrdiff_t>(i),
+                candidates.end(), colder);
+      sorted = candidates.size();
+    }
+    if (table_->MovePage(candidates[i].page, Tier::kPm)) ++freed;
   }
   Account(Tier::kPm, freed);
   return freed;

@@ -1,8 +1,16 @@
 #include "hm/page_table.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace merch::hm {
+namespace {
+
+/// Lowest set bit of a 1-based Fenwick position.
+constexpr std::uint64_t LowBit(std::uint64_t i) { return i & (~i + 1); }
+
+}  // namespace
 
 PageTable::PageTable(HmSpec spec, std::uint64_t page_bytes)
     : spec_(spec), page_bytes_(page_bytes) {
@@ -20,6 +28,7 @@ std::optional<ObjectId> PageTable::RegisterObject(std::uint64_t bytes,
   const auto id = static_cast<ObjectId>(extents_.size());
   const PageId first = pages_.size();
   pages_.resize(pages_.size() + npages, PageEntry{.tier = tier});
+  tier_of_.resize(tier_of_.size() + npages, tier);
   used_pages_[static_cast<std::size_t>(tier)] += npages;
   extents_.push_back(ObjectExtent{.id = id,
                                   .owner = owner,
@@ -27,7 +36,22 @@ std::optional<ObjectId> PageTable::RegisterObject(std::uint64_t bytes,
                                   .num_pages = npages,
                                   .bytes = bytes});
   live_.push_back(true);
-  dram_pages_per_object_.push_back(tier == Tier::kDram ? npages : 0);
+  const bool on_dram = tier == Tier::kDram;
+  dram_pages_per_object_.push_back(on_dram ? npages : 0);
+  ResidencyIndex ri;
+  ri.bits.assign((npages + 63) / 64, on_dram ? ~0ull : 0ull);
+  if (on_dram && (npages & 63) != 0) {
+    ri.bits.back() = (1ull << (npages & 63)) - 1;  // clear past-end ranks
+  }
+  // A Fenwick tree over an all-equal array builds in O(n): position i
+  // covers LowBit(i) ranks, each contributing 0 or 1.
+  ri.tree.assign(npages + 1, 0);
+  if (on_dram) {
+    for (std::uint64_t i = 1; i <= npages; ++i) {
+      ri.tree[i] = static_cast<std::uint32_t>(LowBit(i));
+    }
+  }
+  residency_.push_back(std::move(ri));
   return id;
 }
 
@@ -38,17 +62,41 @@ void PageTable::ReleaseObject(ObjectId id) {
   for (PageId p = e.first_page; p < e.first_page + e.num_pages; ++p) {
     used_pages_[static_cast<std::size_t>(pages_[p].tier)] -= 1;
   }
+  // The residency index keeps mirroring the (unchanged) page tiers; only
+  // the live-object DRAM count is zeroed, like the capacity accounting.
   dram_pages_per_object_[id] = 0;
   live_[id] = false;
 }
 
-std::optional<ObjectId> PageTable::ObjectOfPage(PageId p) const {
-  for (const ObjectExtent& e : extents_) {
-    if (live_[e.id] && p >= e.first_page && p < e.first_page + e.num_pages) {
-      return e.id;
-    }
+std::optional<ObjectId> PageTable::OwnerOfPage(PageId p) const {
+  if (p >= pages_.size()) return std::nullopt;
+  // Extents are append-allocated: sorted by first_page and contiguous.
+  const auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), p,
+      [](PageId v, const ObjectExtent& e) { return v < e.first_page; });
+  // The last extent with first_page <= p; zero-page extents at the same
+  // first_page sort before the one that actually holds pages.
+  for (auto cand = it; cand != extents_.begin();) {
+    --cand;
+    if (p < cand->first_page + cand->num_pages) return cand->id;
+    if (cand->num_pages > 0) break;  // real gap (cannot happen today)
   }
   return std::nullopt;
+}
+
+std::optional<ObjectId> PageTable::ObjectOfPage(PageId p) const {
+  if (legacy_scan_) {
+    // Pre-index cost profile (bench baseline): scan every extent.
+    for (const ObjectExtent& e : extents_) {
+      if (live_[e.id] && p >= e.first_page && p < e.first_page + e.num_pages) {
+        return e.id;
+      }
+    }
+    return std::nullopt;
+  }
+  const std::optional<ObjectId> id = OwnerOfPage(p);
+  if (!id.has_value() || !live_[*id]) return std::nullopt;
+  return id;
 }
 
 std::uint64_t PageTable::object_pages_on(ObjectId id, Tier t) const {
@@ -57,19 +105,95 @@ std::uint64_t PageTable::object_pages_on(ObjectId id, Tier t) const {
   return t == Tier::kDram ? on_dram : extents_[id].num_pages - on_dram;
 }
 
-bool PageTable::MovePage(PageId p, Tier to) {
-  assert(p < pages_.size());
-  PageEntry& e = pages_[p];
-  if (e.tier == to) return true;
-  if (tier_free_pages(to) == 0) return false;
-  used_pages_[static_cast<std::size_t>(e.tier)] -= 1;
+std::uint64_t PageTable::dram_pages_in_rank_range(ObjectId id,
+                                                  std::uint64_t r0,
+                                                  std::uint64_t r1) const {
+  assert(id < extents_.size());
+  const std::vector<std::uint32_t>& tree = residency_[id].tree;
+  r1 = std::min<std::uint64_t>(r1, extents_[id].num_pages);
+  r0 = std::min(r0, r1);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = r1; i > 0; i -= LowBit(i)) sum += tree[i];
+  for (std::uint64_t i = r0; i > 0; i -= LowBit(i)) sum -= tree[i];
+  return sum;
+}
+
+void PageTable::SetResidency(ObjectId id, std::uint64_t rank, bool on_dram) {
+  ResidencyIndex& ri = residency_[id];
+  std::uint64_t& word = ri.bits[rank >> 6];
+  const std::uint64_t mask = 1ull << (rank & 63);
+  assert(((word & mask) != 0) != on_dram && "residency out of sync");
+  word ^= mask;
+  const std::uint32_t delta = on_dram ? 1u : ~0u;  // +1 / -1 mod 2^32
+  for (std::uint64_t i = rank + 1; i < ri.tree.size(); i += LowBit(i)) {
+    ri.tree[i] += delta;
+  }
+}
+
+std::uint64_t PageTable::FindRank(ObjectId id, std::uint64_t start,
+                                  bool on_dram) const {
+  const std::uint64_t n = extents_[id].num_pages;
+  const std::vector<std::uint64_t>& bits = residency_[id].bits;
+  std::uint64_t w = start >> 6;
+  while (w < bits.size()) {
+    // Bits equal to the target become 1; mask off ranks before `start`.
+    std::uint64_t match = on_dram ? bits[w] : ~bits[w];
+    if (w == start >> 6) match &= ~0ull << (start & 63);
+    if (match != 0) {
+      const std::uint64_t rank = (w << 6) + std::countr_zero(match);
+      return rank < n ? rank : n;
+    }
+    ++w;
+  }
+  return n;
+}
+
+std::uint64_t PageTable::FindRankBefore(ObjectId id, std::uint64_t end,
+                                        bool on_dram) const {
+  const std::uint64_t n = extents_[id].num_pages;
+  if (end == 0) return n;
+  std::uint64_t w = (end - 1) >> 6;
+  while (true) {
+    std::uint64_t match = on_dram ? residency_[id].bits[w] : ~residency_[id].bits[w];
+    if (w == (end - 1) >> 6) {
+      const std::uint64_t top = (end - 1) & 63;  // highest admissible bit
+      match &= top == 63 ? ~0ull : (1ull << (top + 1)) - 1;
+    }
+    // Past-end ranks in the last word read as "PM" in the raw bitset;
+    // clamp so a !on_dram search cannot return them.
+    if (match != 0) {
+      const std::uint64_t rank = (w << 6) + 63 - std::countl_zero(match);
+      if (rank < n) return rank;
+      match &= (1ull << (n & 63)) - 1;
+      if (match != 0) return (w << 6) + 63 - std::countl_zero(match);
+    }
+    if (w == 0) return n;
+    --w;
+  }
+}
+
+void PageTable::CommitMove(ObjectId owner, PageId p, Tier to) {
+  PageEntry& pe = pages_[p];
+  const Tier from = pe.tier;
+  assert(from != to);
+  used_pages_[static_cast<std::size_t>(from)] -= 1;
   used_pages_[static_cast<std::size_t>(to)] += 1;
-  const Tier from = e.tier == to ? OtherTier(to) : e.tier;
-  e.tier = to;
-  if (auto obj = ObjectOfPage(p)) {
-    dram_pages_per_object_[*obj] += (to == Tier::kDram) ? 1 : -1;
+  pe.tier = to;
+  tier_of_[p] = to;
+  SetResidency(owner, p - extents_[owner].first_page, to == Tier::kDram);
+  if (live_[owner]) {
+    dram_pages_per_object_[owner] += (to == Tier::kDram) ? 1 : -1;
   }
   NotifyMove(p, from, to);
+}
+
+bool PageTable::MovePage(PageId p, Tier to) {
+  assert(p < pages_.size());
+  if (pages_[p].tier == to) return true;
+  if (tier_free_pages(to) == 0) return false;
+  const std::optional<ObjectId> owner = OwnerOfPage(p);
+  assert(owner.has_value() && "every page belongs to exactly one extent");
+  CommitMove(*owner, p, to);
   return true;
 }
 
@@ -77,22 +201,25 @@ std::uint64_t PageTable::MoveHottest(ObjectId id, std::uint64_t k, Tier to) {
   assert(id < extents_.size() && live_[id]);
   const ObjectExtent& e = extents_[id];
   std::uint64_t moved = 0;
-  for (PageId p = e.first_page; p < e.first_page + e.num_pages && moved < k;
-       ++p) {
-    PageEntry& pe = pages_[p];
-    if (pe.tier == to) continue;
-    if (tier_free_pages(to) == 0) break;
-    used_pages_[static_cast<std::size_t>(pe.tier)] -= 1;
-    used_pages_[static_cast<std::size_t>(to)] += 1;
-    const Tier from = OtherTier(to);
-    pe.tier = to;
-    NotifyMove(p, from, to);
-    ++moved;
+  if (legacy_scan_) {
+    // Pre-index cost profile (bench baseline): probe every page from the
+    // hot end. Visits the same pages in the same order as the bitset walk.
+    for (PageId p = e.first_page; p < e.first_page + e.num_pages && moved < k;
+         ++p) {
+      if (pages_[p].tier == to) continue;
+      if (tier_free_pages(to) == 0) break;
+      CommitMove(id, p, to);
+      ++moved;
+    }
+    return moved;
   }
-  if (to == Tier::kDram) {
-    dram_pages_per_object_[id] += moved;
-  } else {
-    dram_pages_per_object_[id] -= moved;
+  const bool source_dram = to == Tier::kPm;  // pages not yet on `to`
+  std::uint64_t rank = FindRank(id, 0, source_dram);
+  while (rank < e.num_pages && moved < k) {
+    if (tier_free_pages(to) == 0) break;
+    CommitMove(id, e.first_page + rank, to);
+    ++moved;
+    rank = FindRank(id, rank + 1, source_dram);
   }
   return moved;
 }
@@ -103,21 +230,26 @@ std::uint64_t PageTable::EvictColdest(ObjectId id, std::uint64_t k,
   const ObjectExtent& e = extents_[id];
   const Tier to = OtherTier(from);
   std::uint64_t moved = 0;
-  for (PageId p = e.first_page + e.num_pages; p > e.first_page && moved < k;
-       --p) {
-    PageEntry& pe = pages_[p - 1];
-    if (pe.tier != from) continue;
-    if (tier_free_pages(to) == 0) break;
-    used_pages_[static_cast<std::size_t>(pe.tier)] -= 1;
-    used_pages_[static_cast<std::size_t>(to)] += 1;
-    pe.tier = to;
-    NotifyMove(p - 1, from, to);
-    ++moved;
+  if (legacy_scan_) {
+    // Pre-index cost profile (bench baseline): probe every page from the
+    // cold end, same visit order as the bitset walk.
+    for (PageId p = e.first_page + e.num_pages;
+         p > e.first_page && moved < k; --p) {
+      if (pages_[p - 1].tier != from) continue;
+      if (tier_free_pages(to) == 0) break;
+      CommitMove(id, p - 1, to);
+      ++moved;
+    }
+    return moved;
   }
-  if (to == Tier::kDram) {
-    dram_pages_per_object_[id] += moved;
-  } else {
-    dram_pages_per_object_[id] -= moved;
+  const bool source_dram = from == Tier::kDram;
+  std::uint64_t rank = FindRankBefore(id, e.num_pages, source_dram);
+  while (rank < e.num_pages && moved < k) {
+    if (tier_free_pages(to) == 0) break;
+    CommitMove(id, e.first_page + rank, to);
+    ++moved;
+    if (rank == 0) break;
+    rank = FindRankBefore(id, rank, source_dram);
   }
   return moved;
 }

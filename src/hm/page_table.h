@@ -9,6 +9,15 @@
 // identically) and makes "migrate the hottest k pages" an O(1) range
 // operation for ideal policies while sampling-based policies still probe
 // individual pages.
+//
+// Residency queries are served from an incremental per-object index kept
+// in lock-step with every page move:
+//   - a rank-order DRAM bitset   -> page_rank_on_dram is O(1)
+//   - a Fenwick tree over ranks  -> dram_pages_in_rank_range is O(log n)
+//   - sorted contiguous extents  -> ObjectOfPage is O(log #objects)
+// The index mirrors physical page tiers exactly (including pages of
+// released objects, whose tiers do not change on release), so the probing
+// and indexed read paths agree bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -63,12 +72,15 @@ class PageTable {
   std::uint64_t page_bytes() const { return page_bytes_; }
   const HmSpec& spec() const { return spec_; }
 
-  Tier page_tier(PageId p) const { return pages_[p].tier; }
+  /// Tier of page `p`, served from a dense one-byte-per-page array so
+  /// random probes (profiler sampling, sweep windows) stay cache-resident;
+  /// always equal to page(p).tier.
+  Tier page_tier(PageId p) const { return tier_of_[p]; }
   const PageEntry& page(PageId p) const { return pages_[p]; }
   std::uint64_t num_pages() const { return pages_.size(); }
 
-  /// Which object owns page `p` (linear in #objects; used by samplers on
-  /// small object counts).
+  /// Which live object owns page `p`. Binary search over the sorted
+  /// contiguous extents: O(log #objects).
   std::optional<ObjectId> ObjectOfPage(PageId p) const;
 
   /// Bytes currently resident on `t`.
@@ -84,8 +96,21 @@ class PageTable {
     return tier_free_bytes(t) / page_bytes_;
   }
 
-  /// Number of an object's pages resident on `t`.
+  /// Number of an object's pages resident on `t` (O(1); zero for a
+  /// released object regardless of where its stale pages sit).
   std::uint64_t object_pages_on(ObjectId id, Tier t) const;
+
+  /// Whether the page at heat rank `rank` of `id` is on DRAM. O(1) bitset
+  /// probe; mirrors page_tier(extent.first_page + rank) exactly.
+  bool page_rank_on_dram(ObjectId id, std::uint64_t rank) const {
+    const std::vector<std::uint64_t>& bits = residency_[id].bits;
+    return ((bits[rank >> 6] >> (rank & 63)) & 1u) != 0;
+  }
+
+  /// DRAM pages among heat ranks [r0, r1) of `id`. O(log num_pages) via
+  /// the per-object Fenwick tree.
+  std::uint64_t dram_pages_in_rank_range(ObjectId id, std::uint64_t r0,
+                                         std::uint64_t r1) const;
 
   /// Move one page to `to`. Returns false if `to` is at capacity.
   bool MovePage(PageId p, Tier to);
@@ -115,20 +140,62 @@ class PageTable {
     move_listener_ = std::move(listener);
   }
 
+  /// First rank in [start, num_pages) of `id` whose residency matches
+  /// `on_dram`, or num_pages. Word-skipping scan over the bitset; visits
+  /// ranks in the same ascending order a per-page probe loop would, so
+  /// callers can enumerate an object's DRAM pages without touching its PM
+  /// pages.
+  std::uint64_t FindRank(ObjectId id, std::uint64_t start, bool on_dram) const;
+
+  /// Highest rank < end whose residency matches `on_dram`, or num_pages
+  /// when none exists.
+  std::uint64_t FindRankBefore(ObjectId id, std::uint64_t end,
+                               bool on_dram) const;
+
+  /// Benchmark-only escape hatch: route ObjectOfPage, MoveHottest,
+  /// EvictColdest, and MigrationEngine::MakeRoomInDram through the
+  /// pre-index linear page/extent scans so bench/engine_speed can measure
+  /// the legacy engine's cost profile. Results are identical either way
+  /// (the scans visit pages in the same order the word-skipping bitset
+  /// walks do); only the constant factors change. The residency index
+  /// stays maintained.
+  void set_legacy_scan(bool on) { legacy_scan_ = on; }
+  bool legacy_scan() const { return legacy_scan_; }
+
  private:
+  /// Per-object incremental DRAM-residency index over heat ranks.
+  struct ResidencyIndex {
+    std::vector<std::uint64_t> bits;   // bit per rank, 1 = on DRAM
+    std::vector<std::uint32_t> tree;   // 1-based Fenwick over ranks
+  };
+
   void NotifyMove(PageId p, Tier from, Tier to) {
     if (move_listener_) move_listener_(p, from, to);
   }
 
+  /// Owning extent of `p` ignoring liveness (index maintenance must track
+  /// stale pages of released objects too).
+  std::optional<ObjectId> OwnerOfPage(PageId p) const;
+
+  /// Retier page `p` of object `owner`: usage counters, residency index,
+  /// live-object DRAM count, listener. Caller has verified `p` is not on
+  /// `to` and `to` has capacity.
+  void CommitMove(ObjectId owner, PageId p, Tier to);
+
+  void SetResidency(ObjectId id, std::uint64_t rank, bool on_dram);
+
   MoveListener move_listener_;
   HmSpec spec_;
   std::uint64_t page_bytes_;
+  bool legacy_scan_ = false;
   std::vector<PageEntry> pages_;
+  std::vector<Tier> tier_of_;  // dense mirror of pages_[p].tier
   std::vector<ObjectExtent> extents_;
   std::vector<bool> live_;
   std::uint64_t used_pages_[kNumTiers] = {0, 0};
   // Per-object count of pages on DRAM, to answer object_pages_on in O(1).
   std::vector<std::uint64_t> dram_pages_per_object_;
+  std::vector<ResidencyIndex> residency_;
 };
 
 }  // namespace merch::hm

@@ -87,8 +87,10 @@ double SaturatedEvictionHeat(const trace::PageAccessSource& source, PageId p,
                              int scans_per_interval, std::uint64_t salt) {
   const double a = source.EpochAccesses(p);
   const double scans = std::max(1, scans_per_interval);
-  // Expected set-bit rounds; saturates at `scans`.
-  const double observed = scans * (1.0 - std::exp(-a / scans));
+  // Expected set-bit rounds; saturates at `scans`. Untouched pages skip
+  // the exp (exp(-0) == 1 exactly, so the value is the same +0.0).
+  const double observed =
+      a == 0.0 ? 0.0 : scans * (1.0 - std::exp(-a / scans));
   // Deterministic per-page jitter stands in for scan-sampling noise and
   // breaks the massive ties among saturated pages.
   std::uint64_t h = (p + 1) * 0x9E3779B97F4A7C15ull ^ salt;

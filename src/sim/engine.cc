@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <latch>
 
 #include "cachesim/cpu_cache.h"
 #include "common/log.h"
@@ -17,6 +20,15 @@ double MixedBandwidthBytesPerSec(const hm::TierSpec& tier, double read_fraction)
   const double wb = tier.write_bandwidth_gbps * 1e9;
   // Harmonic blend: time per byte is the mix of per-byte times.
   return 1.0 / (r / rb + (1.0 - r) / wb);
+}
+
+/// Boolean escape hatch: unset/empty keeps `fallback`; "0"/"off"/"false"
+/// disables; anything else enables.
+bool EnvToggle(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
 }
 
 }  // namespace
@@ -55,10 +67,18 @@ Engine::Engine(const Workload& workload, const MachineSpec& machine,
       rng_(config.seed) {
   assert(workload.Validate().empty() && "invalid workload");
   hw_cache_mode_ = policy_ != nullptr && policy_->uses_hardware_cache();
+  sweep_index_ = EnvToggle("MERCH_SWEEP_INDEX", config_.sweep_index);
+  timing_memo_ = EnvToggle("MERCH_ENGINE_MEMO", config_.timing_memo);
+  if (config_.timing_threads > 1) {
+    pool_ = std::make_unique<service::ThreadPool>(config_.timing_threads);
+  }
   pages_ = std::make_unique<hm::PageTable>(machine_.hm, config_.page_bytes);
+  pages_->set_legacy_scan(!sweep_index_);
   migration_ = std::make_unique<hm::MigrationEngine>(*pages_);
   RegisterObjects();
-  oracle_ = std::make_unique<AccessOracle>(*workload_, *pages_, handles_);
+  oracle_ =
+      std::make_unique<AccessOracle>(*workload_, *pages_, handles_,
+                                     /*linear_lookup=*/!sweep_index_);
   ctx_ = std::make_unique<SimContext>(*this);
 
   dram_weight_.assign(workload_->objects.size(), 0.0);
@@ -69,18 +89,32 @@ Engine::Engine(const Workload& workload, const MachineSpec& machine,
     dram_weight_[i] =
         workload_->objects[i].heat.CumulativeFraction(on_dram, e.num_pages);
   }
-  // Keep heat-weighted DRAM fractions current as policies migrate pages.
+  // Keep heat-weighted DRAM fractions current as policies migrate pages,
+  // and stamp every move so memoized timing bases know to rebuild. The
+  // owner lookup is the page table's O(log n) extent binary search.
   pages_->SetMoveListener([this](PageId p, hm::Tier /*from*/, hm::Tier to) {
-    for (std::size_t i = 0; i < handles_.size(); ++i) {
-      const hm::ObjectExtent& e = pages_->extent(handles_[i]);
-      if (p >= e.first_page && p < e.first_page + e.num_pages) {
-        const double w = workload_->objects[i].heat.PageFraction(
-            p - e.first_page, e.num_pages);
-        dram_weight_[i] += (to == hm::Tier::kDram) ? w : -w;
-        dram_weight_[i] = std::clamp(dram_weight_[i], 0.0, 1.0);
-        return;
+    ++placement_version_;
+    std::size_t i = handles_.size();
+    if (sweep_index_) {
+      const std::optional<ObjectId> obj = pages_->ObjectOfPage(p);
+      if (!obj.has_value() || *obj >= handles_.size()) return;  // scratch
+      i = *obj;  // engine registered first: handle == index
+    } else {
+      // Pre-index cost profile: linear extent scan (bench baseline only).
+      for (std::size_t k = 0; k < handles_.size(); ++k) {
+        const hm::ObjectExtent& ek = pages_->extent(handles_[k]);
+        if (p >= ek.first_page && p < ek.first_page + ek.num_pages) {
+          i = k;
+          break;
+        }
       }
+      if (i == handles_.size()) return;
     }
+    const hm::ObjectExtent& e = pages_->extent(handles_[i]);
+    const double w = workload_->objects[i].heat.PageFraction(
+        p - e.first_page, e.num_pages);
+    dram_weight_[i] += (to == hm::Tier::kDram) ? w : -w;
+    dram_weight_[i] = std::clamp(dram_weight_[i], 0.0, 1.0);
   });
 }
 
@@ -91,6 +125,7 @@ void Engine::RegisterObjects() {
     // data lands on the big tier; policies promote from there).
     auto id = pages_->RegisterObject(o.bytes, hm::Tier::kPm, o.owner);
     assert(id.has_value() && "HM capacity exceeded by workload");
+    assert(*id == handles_.size() && "engine handles must be identity-mapped");
     handles_.push_back(*id);
   }
 }
@@ -104,12 +139,21 @@ double Engine::ObjectDramFraction(std::size_t object) const {
 }
 
 void Engine::SetHwDramFraction(std::size_t object, double fraction) {
+  ++placement_version_;
   hw_fraction_[object] = std::clamp(fraction, 0.0, 1.0);
 }
 
 void Engine::AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram) {
   pending_background_pm_ += bytes_on_pm;
   pending_background_dram_ += bytes_on_dram;
+}
+
+EngineCounters Engine::counters() const {
+  EngineCounters c;
+  c.epochs = epochs_;
+  c.timing_evals = timing_evals_;
+  c.base_builds = base_builds_.load(std::memory_order_relaxed);
+  return c;
 }
 
 Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
@@ -146,6 +190,7 @@ Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
     da.sequential = traits.sequential_latency;
     da.sweeping = traits.sweeping;
     da.l2_misses = da.program * l2_rate;
+    d.has_sweep = d.has_sweep || da.sweeping;
     d.accesses.push_back(da);
   }
   return d;
@@ -168,19 +213,24 @@ double Engine::SweepDramFraction(std::size_t object, double f0,
     const auto rank = std::min<std::uint64_t>(
         e.num_pages - 1,
         static_cast<std::uint64_t>(f * static_cast<double>(e.num_pages)));
-    if (pages_->page_tier(e.first_page + rank) == hm::Tier::kDram) ++hits;
+    const bool on_dram =
+        sweep_index_
+            ? pages_->page_rank_on_dram(handles_[object], rank)
+            : pages_->page(e.first_page + rank).tier == hm::Tier::kDram;
+    if (on_dram) ++hits;
   }
   return static_cast<double>(hits) / kProbes;
 }
 
-Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
-                                        double progress, double lambda_dram,
-                                        double lambda_pm) const {
+void Engine::ComputeKernelBase(const DerivedKernel& kernel, double progress,
+                               KernelBase* out) const {
+  base_builds_.fetch_add(1, std::memory_order_relaxed);
   // Sweeping accesses see the placement of the pages they are about to
   // touch; the lookahead window approximates one epoch's advance.
   constexpr double kLookahead = 0.05;
-  KernelTiming out;
-  double dram_time = 0, pm_time = 0;
+  out->costs.clear();
+  out->costs.reserve(kernel.accesses.size());
+  out->compute_seconds = kernel.compute_seconds;
   double overlap_weight = 0, mm_total = 0;
   for (const DerivedAccess& a : kernel.accesses) {
     const double f =
@@ -188,6 +238,7 @@ Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
             ? SweepDramFraction(a.object, progress,
                                 std::min(1.0, progress + kLookahead))
             : ObjectDramFraction(a.object);
+    AccessCost cost;
     for (int tier_i = 0; tier_i < 2; ++tier_i) {
       const hm::Tier tier = tier_i == 0 ? hm::Tier::kDram : hm::Tier::kPm;
       const double share = tier == hm::Tier::kDram ? f : 1.0 - f;
@@ -195,7 +246,6 @@ Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
       const double accesses = a.mm * share;
       const double bytes = a.bytes * share;
       const hm::TierSpec& spec = machine_.hm[tier];
-      const double lambda = tier == hm::Tier::kDram ? lambda_dram : lambda_pm;
       const double bw = MixedBandwidthBytesPerSec(spec, a.read_fraction);
       const double base_lat =
           a.sequential ? spec.seq_latency_ns : spec.rand_latency_ns;
@@ -206,31 +256,102 @@ Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
                       (1.0 - a.read_fraction) * spec.write_latency_factor);
       const double t_bw = bytes / bw;
       const double t_lat = accesses * lat_ns * 1e-9 / a.mlp;
-      // Processor-sharing contention: when aggregate demand exceeds the
-      // tier's service capacity, every request stream on that tier slows
-      // by the same factor (queueing inflates both bandwidth- and
-      // latency-bound service). This keeps the achieved aggregate rate at
-      // or below the physical peak.
-      const double t = std::max(t_bw, t_lat) * lambda;
       if (tier == hm::Tier::kDram) {
-        dram_time += t;
-        out.dram_bytes += bytes;
+        cost.t_dram = std::max(t_bw, t_lat);
+        cost.dram_bytes = bytes;
       } else {
-        pm_time += t;
-        out.pm_bytes += bytes;
+        cost.t_pm = std::max(t_bw, t_lat);
+        cost.pm_bytes = bytes;
       }
     }
+    out->costs.push_back(cost);
     overlap_weight += a.overlap * a.mm;
     mm_total += a.mm;
   }
+  out->overlap = mm_total > 0 ? overlap_weight / mm_total : 0.0;
+}
+
+Engine::KernelTiming Engine::TimingFromBase(const KernelBase& base,
+                                            double lambda_dram,
+                                            double lambda_pm) const {
+  ++timing_evals_;
+  KernelTiming out;
+  double dram_time = 0, pm_time = 0;
+  for (const AccessCost& c : base.costs) {
+    // Processor-sharing contention: when aggregate demand exceeds the
+    // tier's service capacity, every request stream on that tier slows
+    // by the same factor (queueing inflates both bandwidth- and
+    // latency-bound service). This keeps the achieved aggregate rate at
+    // or below the physical peak. The factor is linear per access, which
+    // is exactly why the base is reusable across contention iterations.
+    dram_time += c.t_dram * lambda_dram;
+    out.dram_bytes += c.dram_bytes;
+    pm_time += c.t_pm * lambda_pm;
+    out.pm_bytes += c.pm_bytes;
+  }
   const double memory = dram_time + pm_time;
-  const double overlap = mm_total > 0 ? overlap_weight / mm_total : 0.0;
-  const double compute = kernel.compute_seconds;
+  const double compute = base.compute_seconds;
   // T = C + M - o*min(C, M): o=1 gives perfect overlap (max), o=0 serial.
-  out.seconds = compute + memory - overlap * std::min(compute, memory);
+  out.seconds = compute + memory - base.overlap * std::min(compute, memory);
   out.seconds = std::max(out.seconds, 1e-12);
   out.memory_seconds = out.seconds - compute > 0 ? out.seconds - compute : 0;
   return out;
+}
+
+Engine::KernelTiming Engine::TimeKernel(const DerivedKernel& kernel,
+                                        double progress, double lambda_dram,
+                                        double lambda_pm) const {
+  ComputeKernelBase(kernel, progress, &scratch_base_);
+  return TimingFromBase(scratch_base_, lambda_dram, lambda_pm);
+}
+
+bool Engine::BaseValid(const TaskRuntime& rt) const {
+  const KernelBase& b = rt.base;
+  if (!b.valid || b.kernel_index != rt.kernel_index) return false;
+  if (b.placement_version != placement_version_) return false;
+  // Non-sweeping kernels time independently of progress.
+  return !rt.kernels[rt.kernel_index].has_sweep ||
+         b.progress == rt.kernel_fraction;
+}
+
+void Engine::BuildBase(TaskRuntime& rt) {
+  ComputeKernelBase(rt.kernels[rt.kernel_index], rt.kernel_fraction,
+                    &rt.base);
+  rt.base.valid = true;
+  rt.base.kernel_index = rt.kernel_index;
+  rt.base.progress = rt.kernel_fraction;
+  rt.base.placement_version = placement_version_;
+}
+
+void Engine::RefreshKernelBases() {
+  rebuild_.clear();
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (!running_[i].done && !BaseValid(running_[i])) rebuild_.push_back(i);
+  }
+  if (rebuild_.empty()) return;
+  if (pool_ == nullptr || rebuild_.size() == 1) {
+    for (const std::size_t i : rebuild_) BuildBase(running_[i]);
+    return;
+  }
+  // Static chunking: each worker writes only its own tasks' bases, reading
+  // placement state that no one mutates mid-epoch; any later reduction
+  // over the bases is serial in task order, so pool width cannot change a
+  // single result bit.
+  const std::size_t chunks = std::min(pool_->thread_count(), rebuild_.size());
+  std::latch pending(static_cast<std::ptrdiff_t>(chunks));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = rebuild_.size() * c / chunks;
+    const std::size_t end = rebuild_.size() * (c + 1) / chunks;
+    const bool accepted = pool_->Submit([this, begin, end, &pending] {
+      for (std::size_t k = begin; k < end; ++k) BuildBase(running_[rebuild_[k]]);
+      pending.count_down();
+    });
+    if (!accepted) {  // pool shut down (not reachable mid-run); stay serial
+      for (std::size_t k = begin; k < end; ++k) BuildBase(running_[rebuild_[k]]);
+      pending.count_down();
+    }
+  }
+  pending.wait();
 }
 
 void Engine::BuildRegionRuntime(const Region& region) {
@@ -251,6 +372,8 @@ void Engine::BuildRegionRuntime(const Region& region) {
     rt.stats.agg.core_ghz = machine_.core_ghz;
     running_.push_back(std::move(rt));
   }
+  live_tasks_ = running_.size();
+  timing_.assign(running_.size(), KernelTiming{});
 }
 
 void Engine::CollectMigrationTraffic() {
@@ -261,25 +384,32 @@ void Engine::CollectMigrationTraffic() {
 
 void Engine::StepEpoch() {
   const double dt = config_.epoch_seconds;
+  ++epochs_;
 
   // Any migrations policies performed since the last epoch become traffic.
   CollectMigrationTraffic();
   const double migration_rate =
       std::min(migration_queue_bytes_ / dt, config_.migration_gbps * 1e9);
 
+  // Placement and sweep windows are fixed for the whole epoch, so one base
+  // per task serves every timing evaluation below.
+  if (timing_memo_) RefreshKernelBases();
+
   // Fixed-point contention resolution.
   double lambda_dram = 1.0, lambda_pm = 1.0;
-  std::vector<KernelTiming> timing(running_.size());
   for (int iter = 0; iter < 8; ++iter) {
     double demand_dram = migration_rate + background_dram_rate_;
     double demand_pm = migration_rate + background_pm_rate_;
     for (std::size_t i = 0; i < running_.size(); ++i) {
       TaskRuntime& rt = running_[i];
       if (rt.done) continue;
-      timing[i] = TimeKernel(rt.kernels[rt.kernel_index], rt.kernel_fraction,
-                             lambda_dram, lambda_pm);
-      demand_dram += timing[i].dram_bytes / timing[i].seconds;
-      demand_pm += timing[i].pm_bytes / timing[i].seconds;
+      timing_[i] = timing_memo_
+                       ? TimingFromBase(rt.base, lambda_dram, lambda_pm)
+                       : TimeKernel(rt.kernels[rt.kernel_index],
+                                    rt.kernel_fraction, lambda_dram,
+                                    lambda_pm);
+      demand_dram += timing_[i].dram_bytes / timing_[i].seconds;
+      demand_pm += timing_[i].pm_bytes / timing_[i].seconds;
     }
     // Multiplicative update: demand was computed *under* the current
     // lambdas, so scaling them by achieved-demand/capacity converges to
@@ -308,8 +438,15 @@ void Engine::StepEpoch() {
     double dt_left = dt;
     while (dt_left > 0 && !rt.done) {
       const DerivedKernel& dk = rt.kernels[rt.kernel_index];
-      const KernelTiming kt =
-          TimeKernel(dk, rt.kernel_fraction, lambda_dram, lambda_pm);
+      // The first slice reuses the epoch's base directly; later slices
+      // (kernel boundary or sweep progress inside the epoch) rebuild it.
+      KernelTiming kt;
+      if (timing_memo_) {
+        if (!BaseValid(rt)) BuildBase(rt);
+        kt = TimingFromBase(rt.base, lambda_dram, lambda_pm);
+      } else {
+        kt = TimeKernel(dk, rt.kernel_fraction, lambda_dram, lambda_pm);
+      }
       const double remaining = (1.0 - rt.kernel_fraction) * kt.seconds;
       const double advance = std::min(remaining, dt_left);
       const double dprog = advance / kt.seconds;
@@ -349,6 +486,7 @@ void Engine::StepEpoch() {
         ++rt.kernel_index;
         if (rt.kernel_index >= rt.kernels.size()) {
           rt.done = true;
+          --live_tasks_;
           rt.finish_time = t_ + (dt - dt_left);
         }
       }
@@ -415,16 +553,8 @@ SimResult Engine::Run() {
     BuildRegionRuntime(region);
     const double region_start = t_;
     if (policy_ != nullptr) policy_->OnRegionStart(*ctx_, region_index_);
-    bool any_active = !running_.empty();
-    while (any_active) {
+    while (live_tasks_ > 0) {
       StepEpoch();
-      any_active = false;
-      for (const TaskRuntime& rt : running_) {
-        if (!rt.done) {
-          any_active = true;
-          break;
-        }
-      }
     }
     // Synchronisation point: flush the profiling interval so policies see
     // the region's tail activity (regions shorter than the interval would

@@ -9,8 +9,24 @@
 // (Figure 6). Regions end with a barrier: the region's duration is its
 // slowest task — the paper's central observation is that placement must
 // optimise *that*, not individual task speed.
+//
+// Hot-path structure: a kernel's timing under contention factors
+// (lambda_dram, lambda_pm) is linear in the lambdas per access, so the
+// engine splits TimeKernel into a lambda-independent per-access cost table
+// (KernelBase: the expensive part — residency probes, bandwidth blends,
+// latency math) and an O(#accesses) fused multiply-add application. The
+// base is memoized per task and invalidated only when the task's kernel,
+// its sweep window, or any page placement changed since it was built; the
+// fixed-point iterations and the advance pass then reuse one base instead
+// of re-evaluating TimeKernel up to 9x per task per epoch. Base rebuilds
+// are independent per task and may be spread over a service::ThreadPool
+// (SimConfig::timing_threads); every reduction stays serial in task order,
+// so results are bit-identical at any width and with memoization or the
+// residency index disabled (tests/engine_equiv_test.cc enforces this).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -18,6 +34,7 @@
 #include "common/rng.h"
 #include "hm/migration.h"
 #include "hm/page_table.h"
+#include "service/thread_pool.h"
 #include "sim/machine.h"
 #include "sim/oracle.h"
 #include "sim/policy.h"
@@ -42,6 +59,28 @@ struct SimConfig {
   /// Homogeneous-run override: serve every access from this tier,
   /// ignoring capacity (used to obtain T_dram_only / T_pm_only bounds).
   std::optional<hm::Tier> force_tier;
+  /// Threads refreshing per-task timing bases each epoch (1 = serial in
+  /// the caller). Bit-identical results at any width.
+  std::size_t timing_threads = 1;
+  /// Escape hatches, overridable by the MERCH_SWEEP_INDEX and
+  /// MERCH_ENGINE_MEMO environment variables ("0"/"off"/"false" disables):
+  /// serve SweepDramFraction probes from the page table's O(1) residency
+  /// bitset, and memoize per-task timing bases across the epoch loop.
+  /// Both off reproduces the pre-index engine's cost profile; results are
+  /// identical either way (bench/engine_speed measures the gap).
+  bool sweep_index = true;
+  bool timing_memo = true;
+};
+
+/// Monotonic hot-path counters (bench/engine_speed reads these).
+struct EngineCounters {
+  std::uint64_t epochs = 0;
+  /// KernelTiming evaluations requested (fixed-point + advance passes).
+  std::uint64_t timing_evals = 0;
+  /// Full per-access cost-table builds (the expensive evaluations; with
+  /// memoization this is the small fraction of timing_evals not served
+  /// from a cached base).
+  std::uint64_t base_builds = 0;
 };
 
 class Engine {
@@ -66,6 +105,8 @@ class Engine {
   void SetHwDramFraction(std::size_t object, double fraction);
   void AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram);
 
+  EngineCounters counters() const;
+
  private:
   struct DerivedAccess {
     std::size_t object = 0;
@@ -86,6 +127,7 @@ class Engine {
     std::uint64_t instructions = 0;
     double branch_instructions = 0;
     double vector_instructions = 0;
+    bool has_sweep = false;  // any sweeping access (timing depends on progress)
     std::vector<DerivedAccess> accesses;
   };
   struct KernelTiming {
@@ -93,6 +135,25 @@ class Engine {
     double dram_bytes = 0; // bytes on DRAM for the whole kernel
     double pm_bytes = 0;
     double memory_seconds = 0;  // unhidden memory time
+  };
+  /// Lambda-independent per-access tier costs: TimeKernel's inner loop
+  /// with the contention factor divided out.
+  struct AccessCost {
+    double t_dram = 0;     // max(bandwidth, latency) seconds at lambda == 1
+    double t_pm = 0;
+    double dram_bytes = 0;
+    double pm_bytes = 0;
+  };
+  /// Memoized expensive half of TimeKernel, tagged with the inputs it was
+  /// built from so staleness is detectable.
+  struct KernelBase {
+    std::vector<AccessCost> costs;
+    double compute_seconds = 0;
+    double overlap = 0;  // mm-weighted average overlap factor
+    bool valid = false;
+    std::size_t kernel_index = 0;
+    double progress = 0;
+    std::uint64_t placement_version = 0;
   };
   struct TaskRuntime {
     TaskId task = kInvalidTask;
@@ -103,6 +164,7 @@ class Engine {
     bool done = false;
     double finish_time = 0;
     TaskStats stats;  // accumulated
+    KernelBase base;  // memoized timing base for the current kernel
   };
 
   void RegisterObjects();
@@ -111,11 +173,30 @@ class Engine {
   /// Contended duration of `kernel` under contention factors, evaluated at
   /// the given sweep progress (sequential accesses only benefit from DRAM
   /// pages in the upcoming rank window; see trace::PatternTraits::sweeping).
+  /// Equivalent to ComputeKernelBase + TimingFromBase; the unmemoized path.
   KernelTiming TimeKernel(const DerivedKernel& kernel, double progress,
                           double lambda_dram, double lambda_pm) const;
 
+  /// The expensive, lambda-independent half of TimeKernel: residency
+  /// lookups, bandwidth blends, latency math. Thread-safe for concurrent
+  /// distinct `out` (reads only placement state that is quiescent during
+  /// an epoch).
+  void ComputeKernelBase(const DerivedKernel& kernel, double progress,
+                         KernelBase* out) const;
+  /// The cheap half: apply contention factors to a prepared base.
+  /// Bit-identical to evaluating TimeKernel with the base's inputs.
+  KernelTiming TimingFromBase(const KernelBase& base, double lambda_dram,
+                              double lambda_pm) const;
+  bool BaseValid(const TaskRuntime& rt) const;
+  void BuildBase(TaskRuntime& rt);
+  /// Rebuild every live task's stale base, across timing_threads workers
+  /// when a pool exists.
+  void RefreshKernelBases();
+
   /// Fraction of pages in the rank window [f0, f1) of `object` resident on
-  /// DRAM (probed at fixed stride; exact for prefix placements).
+  /// DRAM (probed at fixed stride; exact for prefix placements). Each
+  /// probe is an O(1) residency-bitset lookup (page-tier probe with the
+  /// index disabled).
   double SweepDramFraction(std::size_t object, double f0, double f1) const;
   /// One epoch: contention fixed point, task advancement, telemetry.
   void StepEpoch();
@@ -135,18 +216,33 @@ class Engine {
   std::unique_ptr<hm::MigrationEngine> migration_;
   std::unique_ptr<AccessOracle> oracle_;
   std::unique_ptr<SimContext> ctx_;
+  std::unique_ptr<service::ThreadPool> pool_;  // timing_threads > 1 only
 
   std::vector<ObjectId> handles_;
   std::vector<double> dram_weight_;   // heat-weighted DRAM fraction / object
   std::vector<double> hw_fraction_;   // hardware-cache mode fractions
   bool hw_cache_mode_ = false;
+  bool sweep_index_ = true;           // resolved sweep_index escape hatch
+  bool timing_memo_ = true;           // resolved timing_memo escape hatch
+
+  /// Bumped on every page move and hardware-fraction update; memoized
+  /// bases referencing an older version are stale.
+  std::uint64_t placement_version_ = 1;
 
   double t_ = 0;
   double interval_deadline_ = 0;
   std::size_t region_index_ = 0;
   std::vector<TaskRuntime> running_;
+  std::size_t live_tasks_ = 0;        // not-done entries of running_
+  std::vector<KernelTiming> timing_;  // per-task scratch, hoisted off StepEpoch
+  std::vector<std::size_t> rebuild_;  // stale-base indices, reused per epoch
   std::vector<RegionStats> history_;
   std::vector<BandwidthSample> bandwidth_;
+
+  mutable KernelBase scratch_base_;   // unmemoized TimeKernel scratch
+  mutable std::uint64_t epochs_ = 0;
+  mutable std::uint64_t timing_evals_ = 0;
+  mutable std::atomic<std::uint64_t> base_builds_{0};  // workers increment
 
   double migration_queue_bytes_ = 0;
   double background_pm_rate_ = 0;    // bytes/s charged to PM

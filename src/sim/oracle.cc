@@ -9,11 +9,22 @@ namespace merch::sim {
 
 AccessOracle::AccessOracle(const Workload& workload,
                            const hm::PageTable& pages,
-                           std::vector<ObjectId> object_handles)
-    : workload_(&workload), pages_(&pages), handles_(std::move(object_handles)) {
+                           std::vector<ObjectId> object_handles,
+                           bool linear_lookup)
+    : workload_(&workload),
+      pages_(&pages),
+      handles_(std::move(object_handles)),
+      linear_lookup_(linear_lookup) {
   assert(handles_.size() == workload.objects.size());
   const auto tasks = workload.TaskIds();
   max_task_ = tasks.empty() ? 0 : tasks.back() + 1;
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    if (handles_[i] >= index_of_handle_.size()) {
+      index_of_handle_.resize(handles_[i] + 1,
+                              std::numeric_limits<std::size_t>::max());
+    }
+    index_of_handle_[handles_[i]] = i;
+  }
   epoch_by_object_.assign(handles_.size(), 0.0);
   sweeps_by_object_.assign(handles_.size(), {});
   lifetime_by_object_.assign(handles_.size(), 0.0);
@@ -86,10 +97,30 @@ double AccessOracle::ObjectLifetimeAccesses(std::size_t object) const {
 std::uint64_t AccessOracle::num_pages() const { return pages_->num_pages(); }
 
 std::size_t AccessOracle::LocateObject(PageId p) const {
-  // Handles are registered in workload order so extents are ascending.
-  for (std::size_t i = 0; i < handles_.size(); ++i) {
-    const hm::ObjectExtent& e = pages_->extent(handles_[i]);
-    if (p >= e.first_page && p < e.first_page + e.num_pages) return i;
+  if (linear_lookup_) {
+    // Pre-index cost profile: scan every extent (bench baseline only).
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      const hm::ObjectExtent& e = pages_->extent(handles_[i]);
+      if (p >= e.first_page && p < e.first_page + e.num_pages) return i;
+    }
+    return std::numeric_limits<std::size_t>::max();
+  }
+  // One-entry memo: consecutive probes usually land in the same extent.
+  if (last_located_ < handles_.size()) {
+    const hm::ObjectExtent& e = pages_->extent(handles_[last_located_]);
+    if (p >= e.first_page && p < e.first_page + e.num_pages &&
+        pages_->is_live(handles_[last_located_])) {
+      return last_located_;
+    }
+  }
+  // The page table's sorted-extent binary search, mapped back to the
+  // workload object index (policies may register extra scratch objects
+  // the oracle does not track).
+  const std::optional<ObjectId> id = pages_->ObjectOfPage(p);
+  if (id.has_value() && *id < index_of_handle_.size()) {
+    const std::size_t idx = index_of_handle_[*id];
+    if (idx < handles_.size()) last_located_ = idx;
+    return idx;
   }
   return std::numeric_limits<std::size_t>::max();
 }
@@ -97,6 +128,13 @@ std::size_t AccessOracle::LocateObject(PageId p) const {
 double AccessOracle::EpochAccesses(PageId p) const {
   const std::size_t obj = LocateObject(p);
   if (obj == std::numeric_limits<std::size_t>::max()) return 0.0;
+  // Idle-object short cut (bit-identical: zero static accesses times any
+  // page fraction is exactly +0.0, and there are no windows to add). The
+  // legacy cost profile keeps the full heat-profile evaluation.
+  if (!linear_lookup_ && epoch_by_object_[obj] == 0.0 &&
+      sweeps_by_object_[obj].empty()) {
+    return 0.0;
+  }
   const hm::ObjectExtent& e = pages_->extent(handles_[obj]);
   const std::uint64_t idx = p - e.first_page;
   double sum = epoch_by_object_[obj] *
@@ -116,7 +154,11 @@ double AccessOracle::EpochAccesses(PageId p) const {
   return sum;
 }
 
-hm::Tier AccessOracle::PageTier(PageId p) const { return pages_->page_tier(p); }
+hm::Tier AccessOracle::PageTier(PageId p) const {
+  // Legacy mode loads from the strided PageEntry array (the pre-index
+  // memory layout); the default is the dense tier byte array.
+  return linear_lookup_ ? pages_->page(p).tier : pages_->page_tier(p);
+}
 
 ObjectId AccessOracle::PageObject(PageId p) const {
   const std::size_t obj = LocateObject(p);

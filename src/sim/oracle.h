@@ -19,8 +19,12 @@ namespace merch::sim {
 
 class AccessOracle final : public trace::PageAccessSource {
  public:
+  /// `linear_lookup` replaces the O(log n) page->object binary search with
+  /// the pre-index linear extent scan — only for benchmarking the legacy
+  /// engine's cost profile (bench/engine_speed); results are identical.
   AccessOracle(const Workload& workload, const hm::PageTable& pages,
-               std::vector<ObjectId> object_handles);
+               std::vector<ObjectId> object_handles,
+               bool linear_lookup = false);
 
   /// Record `mm_accesses` main-memory accesses by `task` to workload object
   /// index `object` during the current interval, distributed over pages by
@@ -64,12 +68,20 @@ class AccessOracle final : public trace::PageAccessSource {
     double accesses = 0;
   };
 
-  /// Workload object index owning page `p`, or SIZE_MAX.
+  /// Workload object index owning page `p`, or SIZE_MAX. Keeps a
+  /// one-entry memo of the last located object: page probes arrive in
+  /// runs within one extent (profiler scans, eviction gathers), so most
+  /// calls skip the binary search. Not thread-safe — every caller
+  /// (profilers, policies, the engine's serial advance loop) runs on the
+  /// simulation thread; the parallel timing path never locates pages.
   std::size_t LocateObject(PageId p) const;
 
   const Workload* workload_;
   const hm::PageTable* pages_;
   std::vector<ObjectId> handles_;         // workload index -> PageTable id
+  std::vector<std::size_t> index_of_handle_;  // PageTable id -> workload index
+  bool linear_lookup_ = false;
+  mutable std::size_t last_located_ = SIZE_MAX;  // LocateObject memo
   std::vector<double> epoch_by_object_;   // static-heat portion
   std::vector<std::vector<SweepWindow>> sweeps_by_object_;
   std::vector<double> lifetime_by_object_;

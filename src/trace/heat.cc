@@ -28,10 +28,18 @@ double HeatProfile::Harmonic(double k) const {
   return integral + correction;
 }
 
+double HeatProfile::HarmonicTotal(double n) const {
+  if (n != cached_n_) {
+    cached_n_ = n;
+    cached_hn_ = Harmonic(n);
+  }
+  return cached_hn_;
+}
+
 double HeatProfile::PageFraction(std::uint64_t i, std::uint64_t n) const {
   assert(n > 0 && i < n);
   if (kind_ == Kind::kUniform) return 1.0 / static_cast<double>(n);
-  const double hn = Harmonic(static_cast<double>(n));
+  const double hn = HarmonicTotal(static_cast<double>(n));
   return std::pow(static_cast<double>(i + 1), -exponent_) / hn;
 }
 
@@ -42,7 +50,7 @@ double HeatProfile::CumulativeFraction(std::uint64_t k, std::uint64_t n) const {
   if (kind_ == Kind::kUniform) {
     return static_cast<double>(k) / static_cast<double>(n);
   }
-  return Harmonic(static_cast<double>(k)) / Harmonic(static_cast<double>(n));
+  return Harmonic(static_cast<double>(k)) / HarmonicTotal(static_cast<double>(n));
 }
 
 std::uint64_t HeatProfile::PagesForFraction(double target,

@@ -42,8 +42,17 @@ class HeatProfile {
   /// Euler-Maclaurin so TiB-scale page counts stay O(1).
   double Harmonic(double k) const;
 
+  /// Harmonic(n) through a one-entry cache keyed on n. Callers pass the
+  /// object's page count, which is fixed per object, so per-page queries
+  /// (profilers probe millions per interval) skip the pow/log chain.
+  /// Returns exactly Harmonic(n). Not thread-safe; every consumer
+  /// evaluates heat serially per workload.
+  double HarmonicTotal(double n) const;
+
   Kind kind_;
   double exponent_;
+  mutable double cached_n_ = -1.0;
+  mutable double cached_hn_ = 0.0;
 };
 
 }  // namespace merch::trace

@@ -141,6 +141,74 @@ TEST(PageTable, ReleaseFreesCapacity) {
   EXPECT_TRUE(pt.RegisterObject(4096 * 10, Tier::kPm).has_value());
 }
 
+TEST(PageTable, ObjectOfPageIgnoresReleasedObjects) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 2, Tier::kPm);
+  const auto b = pt.RegisterObject(4096 * 3, Tier::kPm);
+  ASSERT_TRUE(a && b);
+  pt.ReleaseObject(*a);
+  EXPECT_FALSE(pt.ObjectOfPage(0).has_value());  // released
+  EXPECT_EQ(pt.ObjectOfPage(2), *b);             // later extents unaffected
+}
+
+TEST(PageTable, RankResidencyMirrorsPageTiers) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 6, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MoveHottest(*a, 2, Tier::kDram);
+  pt.MovePage(4, Tier::kDram);
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(pt.page_rank_on_dram(*a, r),
+              pt.page_tier(pt.extent(*a).first_page + r) == Tier::kDram);
+  }
+}
+
+TEST(PageTable, DramPagesInRankRange) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 8, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MovePage(1, Tier::kDram);
+  pt.MovePage(2, Tier::kDram);
+  pt.MovePage(6, Tier::kDram);
+  EXPECT_EQ(pt.dram_pages_in_rank_range(*a, 0, 8), 3u);
+  EXPECT_EQ(pt.dram_pages_in_rank_range(*a, 1, 3), 2u);
+  EXPECT_EQ(pt.dram_pages_in_rank_range(*a, 3, 6), 0u);
+  EXPECT_EQ(pt.dram_pages_in_rank_range(*a, 4, 4), 0u);  // empty range
+  EXPECT_EQ(pt.dram_pages_in_rank_range(*a, 6, 99), 1u);  // clamped end
+}
+
+TEST(PageTable, FindRankWalksResidency) {
+  PageTable pt(SmallSpec(), 4096);
+  const auto a = pt.RegisterObject(4096 * 8, Tier::kPm);
+  ASSERT_TRUE(a);
+  pt.MovePage(2, Tier::kDram);
+  pt.MovePage(5, Tier::kDram);
+  EXPECT_EQ(pt.FindRank(*a, 0, true), 2u);
+  EXPECT_EQ(pt.FindRank(*a, 3, true), 5u);
+  EXPECT_EQ(pt.FindRank(*a, 6, true), 8u);  // none left -> num_pages
+  EXPECT_EQ(pt.FindRank(*a, 0, false), 0u);
+  EXPECT_EQ(pt.FindRankBefore(*a, 8, true), 5u);
+  EXPECT_EQ(pt.FindRankBefore(*a, 5, true), 2u);
+  EXPECT_EQ(pt.FindRankBefore(*a, 2, true), 8u);  // none below -> num_pages
+  EXPECT_EQ(pt.FindRankBefore(*a, 0, false), 8u);  // empty prefix
+}
+
+TEST(PageTable, LegacyScanMatchesIndexedOps) {
+  PageTable fast(SmallSpec(), 4096);
+  PageTable legacy(SmallSpec(), 4096);
+  legacy.set_legacy_scan(true);
+  for (PageTable* pt : {&fast, &legacy}) {
+    ASSERT_TRUE(pt->RegisterObject(4096 * 7, Tier::kPm));
+    pt->MoveHottest(0, 3, Tier::kDram);
+    pt->MovePage(5, Tier::kDram);
+    pt->EvictColdest(0, 2, Tier::kDram);
+  }
+  for (PageId p = 0; p < fast.num_pages(); ++p) {
+    EXPECT_EQ(fast.page_tier(p), legacy.page_tier(p));
+  }
+  EXPECT_EQ(fast.ObjectOfPage(4), legacy.ObjectOfPage(4));
+}
+
 TEST(PageTable, MoveListenerObservesMoves) {
   PageTable pt(SmallSpec(), 4096);
   const auto a = pt.RegisterObject(4096 * 4, Tier::kPm);
