@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capacity"
+  "../bench/ablation_capacity.pdb"
+  "CMakeFiles/ablation_capacity.dir/ablation_capacity.cc.o"
+  "CMakeFiles/ablation_capacity.dir/ablation_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

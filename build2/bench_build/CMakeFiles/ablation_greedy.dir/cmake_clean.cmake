@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_greedy"
+  "../bench/ablation_greedy.pdb"
+  "CMakeFiles/ablation_greedy.dir/ablation_greedy.cc.o"
+  "CMakeFiles/ablation_greedy.dir/ablation_greedy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

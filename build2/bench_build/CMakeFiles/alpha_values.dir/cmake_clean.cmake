@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/alpha_values"
+  "../bench/alpha_values.pdb"
+  "CMakeFiles/alpha_values.dir/alpha_values.cc.o"
+  "CMakeFiles/alpha_values.dir/alpha_values.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

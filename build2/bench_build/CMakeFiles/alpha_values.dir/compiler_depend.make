@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alpha_values.
+# This may be replaced when dependencies are built.

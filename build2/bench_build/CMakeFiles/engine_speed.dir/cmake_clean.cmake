@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/engine_speed"
+  "../bench/engine_speed.pdb"
+  "CMakeFiles/engine_speed.dir/engine_speed.cc.o"
+  "CMakeFiles/engine_speed.dir/engine_speed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

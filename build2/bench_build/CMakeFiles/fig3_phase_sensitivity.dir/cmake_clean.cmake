@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_phase_sensitivity"
+  "../bench/fig3_phase_sensitivity.pdb"
+  "CMakeFiles/fig3_phase_sensitivity.dir/fig3_phase_sensitivity.cc.o"
+  "CMakeFiles/fig3_phase_sensitivity.dir/fig3_phase_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_phase_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_phase_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_overall"
+  "../bench/fig4_overall.pdb"
+  "CMakeFiles/fig4_overall.dir/fig4_overall.cc.o"
+  "CMakeFiles/fig4_overall.dir/fig4_overall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_load_balance"
+  "../bench/fig5_load_balance.pdb"
+  "CMakeFiles/fig5_load_balance.dir/fig5_load_balance.cc.o"
+  "CMakeFiles/fig5_load_balance.dir/fig5_load_balance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

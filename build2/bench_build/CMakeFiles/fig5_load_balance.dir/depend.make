@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_load_balance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_bandwidth"
+  "../bench/fig6_bandwidth.pdb"
+  "CMakeFiles/fig6_bandwidth.dir/fig6_bandwidth.cc.o"
+  "CMakeFiles/fig6_bandwidth.dir/fig6_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

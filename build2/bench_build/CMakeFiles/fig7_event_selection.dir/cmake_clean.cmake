@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_event_selection"
+  "../bench/fig7_event_selection.pdb"
+  "CMakeFiles/fig7_event_selection.dir/fig7_event_selection.cc.o"
+  "CMakeFiles/fig7_event_selection.dir/fig7_event_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_event_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

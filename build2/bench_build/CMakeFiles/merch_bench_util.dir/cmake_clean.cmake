@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/merch_bench_util.dir/bench_util.cc.o.d"
+  "libmerch_bench_util.a"
+  "libmerch_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead"
+  "../bench/overhead.pdb"
+  "CMakeFiles/overhead.dir/overhead.cc.o"
+  "CMakeFiles/overhead.dir/overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/service_throughput"
+  "../bench/service_throughput.pdb"
+  "CMakeFiles/service_throughput.dir/service_throughput.cc.o"
+  "CMakeFiles/service_throughput.dir/service_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_patterns"
+  "../bench/tab1_patterns.pdb"
+  "CMakeFiles/tab1_patterns.dir/tab1_patterns.cc.o"
+  "CMakeFiles/tab1_patterns.dir/tab1_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab1_patterns.
+# This may be replaced when dependencies are built.

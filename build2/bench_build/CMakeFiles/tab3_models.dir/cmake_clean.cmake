@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_models"
+  "../bench/tab3_models.pdb"
+  "CMakeFiles/tab3_models.dir/tab3_models.cc.o"
+  "CMakeFiles/tab3_models.dir/tab3_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_model_accuracy"
+  "../bench/tab4_model_accuracy.pdb"
+  "CMakeFiles/tab4_model_accuracy.dir/tab4_model_accuracy.cc.o"
+  "CMakeFiles/tab4_model_accuracy.dir/tab4_model_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

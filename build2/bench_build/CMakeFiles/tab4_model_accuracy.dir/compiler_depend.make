@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab4_model_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plasma_simulation.dir/plasma_simulation.cpp.o"
+  "CMakeFiles/plasma_simulation.dir/plasma_simulation.cpp.o.d"
+  "plasma_simulation"
+  "plasma_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plasma_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

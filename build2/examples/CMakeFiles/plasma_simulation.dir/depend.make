@@ -1,0 +1,2 @@
+# Empty dependencies file for plasma_simulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_placement.dir/spgemm_placement.cpp.o"
+  "CMakeFiles/spgemm_placement.dir/spgemm_placement.cpp.o.d"
+  "spgemm_placement"
+  "spgemm_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spgemm_placement.
+# This may be replaced when dependencies are built.

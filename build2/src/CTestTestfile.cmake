@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hm")
+subdirs("cachesim")
+subdirs("trace")
+subdirs("sim")
+subdirs("profiler")
+subdirs("ml")
+subdirs("workloads")
+subdirs("core")
+subdirs("analysis")
+subdirs("baselines")
+subdirs("apps")
+subdirs("service")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_analysis.dir/ir.cc.o"
+  "CMakeFiles/merch_analysis.dir/ir.cc.o.d"
+  "CMakeFiles/merch_analysis.dir/lint.cc.o"
+  "CMakeFiles/merch_analysis.dir/lint.cc.o.d"
+  "CMakeFiles/merch_analysis.dir/parser.cc.o"
+  "CMakeFiles/merch_analysis.dir/parser.cc.o.d"
+  "CMakeFiles/merch_analysis.dir/passes.cc.o"
+  "CMakeFiles/merch_analysis.dir/passes.cc.o.d"
+  "CMakeFiles/merch_analysis.dir/report.cc.o"
+  "CMakeFiles/merch_analysis.dir/report.cc.o.d"
+  "libmerch_analysis.a"
+  "libmerch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

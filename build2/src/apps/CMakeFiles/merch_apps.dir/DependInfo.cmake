@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cc" "src/apps/CMakeFiles/merch_apps.dir/bfs.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/bfs.cc.o.d"
+  "/root/repo/src/apps/dmrg.cc" "src/apps/CMakeFiles/merch_apps.dir/dmrg.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/dmrg.cc.o.d"
+  "/root/repo/src/apps/kernels/csr.cc" "src/apps/CMakeFiles/merch_apps.dir/kernels/csr.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/kernels/csr.cc.o.d"
+  "/root/repo/src/apps/kernels/dense.cc" "src/apps/CMakeFiles/merch_apps.dir/kernels/dense.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/kernels/dense.cc.o.d"
+  "/root/repo/src/apps/kernels/pic.cc" "src/apps/CMakeFiles/merch_apps.dir/kernels/pic.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/kernels/pic.cc.o.d"
+  "/root/repo/src/apps/kernels/tensor.cc" "src/apps/CMakeFiles/merch_apps.dir/kernels/tensor.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/kernels/tensor.cc.o.d"
+  "/root/repo/src/apps/nwchem_tc.cc" "src/apps/CMakeFiles/merch_apps.dir/nwchem_tc.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/nwchem_tc.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/merch_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/spgemm.cc" "src/apps/CMakeFiles/merch_apps.dir/spgemm.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/spgemm.cc.o.d"
+  "/root/repo/src/apps/warpx.cc" "src/apps/CMakeFiles/merch_apps.dir/warpx.cc.o" "gcc" "src/apps/CMakeFiles/merch_apps.dir/warpx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/analysis/CMakeFiles/merch_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/merch_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/profiler/CMakeFiles/merch_profiler.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workloads/CMakeFiles/merch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/merch_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_apps.dir/bfs.cc.o"
+  "CMakeFiles/merch_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/merch_apps.dir/dmrg.cc.o"
+  "CMakeFiles/merch_apps.dir/dmrg.cc.o.d"
+  "CMakeFiles/merch_apps.dir/kernels/csr.cc.o"
+  "CMakeFiles/merch_apps.dir/kernels/csr.cc.o.d"
+  "CMakeFiles/merch_apps.dir/kernels/dense.cc.o"
+  "CMakeFiles/merch_apps.dir/kernels/dense.cc.o.d"
+  "CMakeFiles/merch_apps.dir/kernels/pic.cc.o"
+  "CMakeFiles/merch_apps.dir/kernels/pic.cc.o.d"
+  "CMakeFiles/merch_apps.dir/kernels/tensor.cc.o"
+  "CMakeFiles/merch_apps.dir/kernels/tensor.cc.o.d"
+  "CMakeFiles/merch_apps.dir/nwchem_tc.cc.o"
+  "CMakeFiles/merch_apps.dir/nwchem_tc.cc.o.d"
+  "CMakeFiles/merch_apps.dir/registry.cc.o"
+  "CMakeFiles/merch_apps.dir/registry.cc.o.d"
+  "CMakeFiles/merch_apps.dir/spgemm.cc.o"
+  "CMakeFiles/merch_apps.dir/spgemm.cc.o.d"
+  "CMakeFiles/merch_apps.dir/warpx.cc.o"
+  "CMakeFiles/merch_apps.dir/warpx.cc.o.d"
+  "libmerch_apps.a"
+  "libmerch_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

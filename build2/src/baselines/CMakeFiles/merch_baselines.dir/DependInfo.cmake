@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/memory_mode_policy.cc" "src/baselines/CMakeFiles/merch_baselines.dir/memory_mode_policy.cc.o" "gcc" "src/baselines/CMakeFiles/merch_baselines.dir/memory_mode_policy.cc.o.d"
+  "/root/repo/src/baselines/memory_optimizer.cc" "src/baselines/CMakeFiles/merch_baselines.dir/memory_optimizer.cc.o" "gcc" "src/baselines/CMakeFiles/merch_baselines.dir/memory_optimizer.cc.o.d"
+  "/root/repo/src/baselines/static_priority.cc" "src/baselines/CMakeFiles/merch_baselines.dir/static_priority.cc.o" "gcc" "src/baselines/CMakeFiles/merch_baselines.dir/static_priority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/profiler/CMakeFiles/merch_profiler.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_baselines.dir/memory_mode_policy.cc.o"
+  "CMakeFiles/merch_baselines.dir/memory_mode_policy.cc.o.d"
+  "CMakeFiles/merch_baselines.dir/memory_optimizer.cc.o"
+  "CMakeFiles/merch_baselines.dir/memory_optimizer.cc.o.d"
+  "CMakeFiles/merch_baselines.dir/static_priority.cc.o"
+  "CMakeFiles/merch_baselines.dir/static_priority.cc.o.d"
+  "libmerch_baselines.a"
+  "libmerch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmerch_baselines.a"
+)

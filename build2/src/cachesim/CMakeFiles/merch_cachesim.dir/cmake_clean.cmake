@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_cachesim.dir/cpu_cache.cc.o"
+  "CMakeFiles/merch_cachesim.dir/cpu_cache.cc.o.d"
+  "CMakeFiles/merch_cachesim.dir/memory_mode.cc.o"
+  "CMakeFiles/merch_cachesim.dir/memory_mode.cc.o.d"
+  "libmerch_cachesim.a"
+  "libmerch_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_common.dir/log.cc.o"
+  "CMakeFiles/merch_common.dir/log.cc.o.d"
+  "CMakeFiles/merch_common.dir/rng.cc.o"
+  "CMakeFiles/merch_common.dir/rng.cc.o.d"
+  "CMakeFiles/merch_common.dir/stats.cc.o"
+  "CMakeFiles/merch_common.dir/stats.cc.o.d"
+  "CMakeFiles/merch_common.dir/table.cc.o"
+  "CMakeFiles/merch_common.dir/table.cc.o.d"
+  "libmerch_common.a"
+  "libmerch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

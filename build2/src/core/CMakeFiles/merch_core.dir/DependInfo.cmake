@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha.cc" "src/core/CMakeFiles/merch_core.dir/alpha.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/alpha.cc.o.d"
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/merch_core.dir/api.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/api.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/merch_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/merch_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/homogeneous.cc" "src/core/CMakeFiles/merch_core.dir/homogeneous.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/homogeneous.cc.o.d"
+  "/root/repo/src/core/lowering.cc" "src/core/CMakeFiles/merch_core.dir/lowering.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/lowering.cc.o.d"
+  "/root/repo/src/core/merchandiser.cc" "src/core/CMakeFiles/merch_core.dir/merchandiser.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/merchandiser.cc.o.d"
+  "/root/repo/src/core/merchandiser_policy.cc" "src/core/CMakeFiles/merch_core.dir/merchandiser_policy.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/merchandiser_policy.cc.o.d"
+  "/root/repo/src/core/pattern_classifier.cc" "src/core/CMakeFiles/merch_core.dir/pattern_classifier.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/pattern_classifier.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/merch_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/trace_classifier.cc" "src/core/CMakeFiles/merch_core.dir/trace_classifier.cc.o" "gcc" "src/core/CMakeFiles/merch_core.dir/trace_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/merch_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/profiler/CMakeFiles/merch_profiler.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workloads/CMakeFiles/merch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_core.dir/alpha.cc.o"
+  "CMakeFiles/merch_core.dir/alpha.cc.o.d"
+  "CMakeFiles/merch_core.dir/api.cc.o"
+  "CMakeFiles/merch_core.dir/api.cc.o.d"
+  "CMakeFiles/merch_core.dir/correlation.cc.o"
+  "CMakeFiles/merch_core.dir/correlation.cc.o.d"
+  "CMakeFiles/merch_core.dir/greedy.cc.o"
+  "CMakeFiles/merch_core.dir/greedy.cc.o.d"
+  "CMakeFiles/merch_core.dir/homogeneous.cc.o"
+  "CMakeFiles/merch_core.dir/homogeneous.cc.o.d"
+  "CMakeFiles/merch_core.dir/lowering.cc.o"
+  "CMakeFiles/merch_core.dir/lowering.cc.o.d"
+  "CMakeFiles/merch_core.dir/merchandiser.cc.o"
+  "CMakeFiles/merch_core.dir/merchandiser.cc.o.d"
+  "CMakeFiles/merch_core.dir/merchandiser_policy.cc.o"
+  "CMakeFiles/merch_core.dir/merchandiser_policy.cc.o.d"
+  "CMakeFiles/merch_core.dir/pattern_classifier.cc.o"
+  "CMakeFiles/merch_core.dir/pattern_classifier.cc.o.d"
+  "CMakeFiles/merch_core.dir/perf_model.cc.o"
+  "CMakeFiles/merch_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/merch_core.dir/trace_classifier.cc.o"
+  "CMakeFiles/merch_core.dir/trace_classifier.cc.o.d"
+  "libmerch_core.a"
+  "libmerch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hm/migration.cc" "src/hm/CMakeFiles/merch_hm.dir/migration.cc.o" "gcc" "src/hm/CMakeFiles/merch_hm.dir/migration.cc.o.d"
+  "/root/repo/src/hm/page_table.cc" "src/hm/CMakeFiles/merch_hm.dir/page_table.cc.o" "gcc" "src/hm/CMakeFiles/merch_hm.dir/page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

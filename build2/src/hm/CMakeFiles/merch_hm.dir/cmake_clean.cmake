@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_hm.dir/migration.cc.o"
+  "CMakeFiles/merch_hm.dir/migration.cc.o.d"
+  "CMakeFiles/merch_hm.dir/page_table.cc.o"
+  "CMakeFiles/merch_hm.dir/page_table.cc.o.d"
+  "libmerch_hm.a"
+  "libmerch_hm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

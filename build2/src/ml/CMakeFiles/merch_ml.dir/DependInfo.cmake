@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/merch_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/merch_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/gbr.cc" "src/ml/CMakeFiles/merch_ml.dir/gbr.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/gbr.cc.o.d"
+  "/root/repo/src/ml/importance.cc" "src/ml/CMakeFiles/merch_ml.dir/importance.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/importance.cc.o.d"
+  "/root/repo/src/ml/kernel_ridge.cc" "src/ml/CMakeFiles/merch_ml.dir/kernel_ridge.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/kernel_ridge.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/merch_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/merch_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/merch_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/merch_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/merch_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

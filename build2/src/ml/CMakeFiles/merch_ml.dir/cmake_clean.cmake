@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_ml.dir/dataset.cc.o"
+  "CMakeFiles/merch_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/merch_ml.dir/forest.cc.o"
+  "CMakeFiles/merch_ml.dir/forest.cc.o.d"
+  "CMakeFiles/merch_ml.dir/gbr.cc.o"
+  "CMakeFiles/merch_ml.dir/gbr.cc.o.d"
+  "CMakeFiles/merch_ml.dir/importance.cc.o"
+  "CMakeFiles/merch_ml.dir/importance.cc.o.d"
+  "CMakeFiles/merch_ml.dir/kernel_ridge.cc.o"
+  "CMakeFiles/merch_ml.dir/kernel_ridge.cc.o.d"
+  "CMakeFiles/merch_ml.dir/knn.cc.o"
+  "CMakeFiles/merch_ml.dir/knn.cc.o.d"
+  "CMakeFiles/merch_ml.dir/mlp.cc.o"
+  "CMakeFiles/merch_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/merch_ml.dir/model.cc.o"
+  "CMakeFiles/merch_ml.dir/model.cc.o.d"
+  "CMakeFiles/merch_ml.dir/tree.cc.o"
+  "CMakeFiles/merch_ml.dir/tree.cc.o.d"
+  "libmerch_ml.a"
+  "libmerch_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/pebs.cc" "src/profiler/CMakeFiles/merch_profiler.dir/pebs.cc.o" "gcc" "src/profiler/CMakeFiles/merch_profiler.dir/pebs.cc.o.d"
+  "/root/repo/src/profiler/pte_scan.cc" "src/profiler/CMakeFiles/merch_profiler.dir/pte_scan.cc.o" "gcc" "src/profiler/CMakeFiles/merch_profiler.dir/pte_scan.cc.o.d"
+  "/root/repo/src/profiler/thermostat.cc" "src/profiler/CMakeFiles/merch_profiler.dir/thermostat.cc.o" "gcc" "src/profiler/CMakeFiles/merch_profiler.dir/thermostat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_profiler.dir/pebs.cc.o"
+  "CMakeFiles/merch_profiler.dir/pebs.cc.o.d"
+  "CMakeFiles/merch_profiler.dir/pte_scan.cc.o"
+  "CMakeFiles/merch_profiler.dir/pte_scan.cc.o.d"
+  "CMakeFiles/merch_profiler.dir/thermostat.cc.o"
+  "CMakeFiles/merch_profiler.dir/thermostat.cc.o.d"
+  "libmerch_profiler.a"
+  "libmerch_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

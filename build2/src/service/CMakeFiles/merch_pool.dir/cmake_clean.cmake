@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_pool.dir/thread_pool.cc.o"
+  "CMakeFiles/merch_pool.dir/thread_pool.cc.o.d"
+  "libmerch_pool.a"
+  "libmerch_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

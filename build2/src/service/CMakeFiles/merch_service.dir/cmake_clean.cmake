@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_service.dir/batch.cc.o"
+  "CMakeFiles/merch_service.dir/batch.cc.o.d"
+  "CMakeFiles/merch_service.dir/placement_service.cc.o"
+  "CMakeFiles/merch_service.dir/placement_service.cc.o.d"
+  "CMakeFiles/merch_service.dir/request.cc.o"
+  "CMakeFiles/merch_service.dir/request.cc.o.d"
+  "CMakeFiles/merch_service.dir/result_cache.cc.o"
+  "CMakeFiles/merch_service.dir/result_cache.cc.o.d"
+  "libmerch_service.a"
+  "libmerch_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for merch_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/merch_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/merch_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/oracle.cc" "src/sim/CMakeFiles/merch_sim.dir/oracle.cc.o" "gcc" "src/sim/CMakeFiles/merch_sim.dir/oracle.cc.o.d"
+  "/root/repo/src/sim/pmc.cc" "src/sim/CMakeFiles/merch_sim.dir/pmc.cc.o" "gcc" "src/sim/CMakeFiles/merch_sim.dir/pmc.cc.o.d"
+  "/root/repo/src/sim/telemetry.cc" "src/sim/CMakeFiles/merch_sim.dir/telemetry.cc.o" "gcc" "src/sim/CMakeFiles/merch_sim.dir/telemetry.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/merch_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/merch_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

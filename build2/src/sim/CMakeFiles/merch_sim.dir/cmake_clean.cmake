@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_sim.dir/engine.cc.o"
+  "CMakeFiles/merch_sim.dir/engine.cc.o.d"
+  "CMakeFiles/merch_sim.dir/oracle.cc.o"
+  "CMakeFiles/merch_sim.dir/oracle.cc.o.d"
+  "CMakeFiles/merch_sim.dir/pmc.cc.o"
+  "CMakeFiles/merch_sim.dir/pmc.cc.o.d"
+  "CMakeFiles/merch_sim.dir/telemetry.cc.o"
+  "CMakeFiles/merch_sim.dir/telemetry.cc.o.d"
+  "CMakeFiles/merch_sim.dir/workload.cc.o"
+  "CMakeFiles/merch_sim.dir/workload.cc.o.d"
+  "libmerch_sim.a"
+  "libmerch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_trace.dir/heat.cc.o"
+  "CMakeFiles/merch_trace.dir/heat.cc.o.d"
+  "CMakeFiles/merch_trace.dir/pattern.cc.o"
+  "CMakeFiles/merch_trace.dir/pattern.cc.o.d"
+  "CMakeFiles/merch_trace.dir/synthetic_trace.cc.o"
+  "CMakeFiles/merch_trace.dir/synthetic_trace.cc.o.d"
+  "libmerch_trace.a"
+  "libmerch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/code_region.cc" "src/workloads/CMakeFiles/merch_workloads.dir/code_region.cc.o" "gcc" "src/workloads/CMakeFiles/merch_workloads.dir/code_region.cc.o.d"
+  "/root/repo/src/workloads/training.cc" "src/workloads/CMakeFiles/merch_workloads.dir/training.cc.o" "gcc" "src/workloads/CMakeFiles/merch_workloads.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/merch_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merch_workloads.dir/code_region.cc.o"
+  "CMakeFiles/merch_workloads.dir/code_region.cc.o.d"
+  "CMakeFiles/merch_workloads.dir/training.cc.o"
+  "CMakeFiles/merch_workloads.dir/training.cc.o.d"
+  "libmerch_workloads.a"
+  "libmerch_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merch_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_test.dir/alpha_test.cc.o"
+  "CMakeFiles/alpha_test.dir/alpha_test.cc.o.d"
+  "alpha_test"
+  "alpha_test.pdb"
+  "alpha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

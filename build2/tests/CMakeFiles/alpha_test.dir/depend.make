@@ -1,0 +1,2 @@
+# Empty dependencies file for alpha_test.
+# This may be replaced when dependencies are built.

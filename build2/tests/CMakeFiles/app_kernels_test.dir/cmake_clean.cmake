@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_kernels_test.dir/app_kernels_test.cc.o"
+  "CMakeFiles/app_kernels_test.dir/app_kernels_test.cc.o.d"
+  "app_kernels_test"
+  "app_kernels_test.pdb"
+  "app_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_workloads_test.dir/app_workloads_test.cc.o"
+  "CMakeFiles/app_workloads_test.dir/app_workloads_test.cc.o.d"
+  "app_workloads_test"
+  "app_workloads_test.pdb"
+  "app_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

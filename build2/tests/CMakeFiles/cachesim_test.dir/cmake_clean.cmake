@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_test.dir/cachesim_test.cc.o"
+  "CMakeFiles/cachesim_test.dir/cachesim_test.cc.o.d"
+  "cachesim_test"
+  "cachesim_test.pdb"
+  "cachesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classifier_test.cc" "tests/CMakeFiles/classifier_test.dir/classifier_test.cc.o" "gcc" "tests/CMakeFiles/classifier_test.dir/classifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/merch_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/apps/CMakeFiles/merch_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/baselines/CMakeFiles/merch_baselines.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workloads/CMakeFiles/merch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/merch_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/merch_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/merch_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/service/CMakeFiles/merch_pool.dir/DependInfo.cmake"
+  "/root/repo/build2/src/profiler/CMakeFiles/merch_profiler.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cachesim/CMakeFiles/merch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/merch_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hm/CMakeFiles/merch_hm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/merch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

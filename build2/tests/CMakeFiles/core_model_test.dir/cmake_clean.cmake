@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_model_test.dir/core_model_test.cc.o"
+  "CMakeFiles/core_model_test.dir/core_model_test.cc.o.d"
+  "core_model_test"
+  "core_model_test.pdb"
+  "core_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

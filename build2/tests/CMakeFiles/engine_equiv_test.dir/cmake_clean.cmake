@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_equiv_test.dir/engine_equiv_test.cc.o"
+  "CMakeFiles/engine_equiv_test.dir/engine_equiv_test.cc.o.d"
+  "engine_equiv_test"
+  "engine_equiv_test.pdb"
+  "engine_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensibility_test.dir/extensibility_test.cc.o"
+  "CMakeFiles/extensibility_test.dir/extensibility_test.cc.o.d"
+  "extensibility_test"
+  "extensibility_test.pdb"
+  "extensibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

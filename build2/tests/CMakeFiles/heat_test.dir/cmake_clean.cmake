@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_test.dir/heat_test.cc.o"
+  "CMakeFiles/heat_test.dir/heat_test.cc.o.d"
+  "heat_test"
+  "heat_test.pdb"
+  "heat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

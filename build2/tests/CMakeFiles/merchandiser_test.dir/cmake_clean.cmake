@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merchandiser_test.dir/merchandiser_test.cc.o"
+  "CMakeFiles/merchandiser_test.dir/merchandiser_test.cc.o.d"
+  "merchandiser_test"
+  "merchandiser_test.pdb"
+  "merchandiser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merchandiser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

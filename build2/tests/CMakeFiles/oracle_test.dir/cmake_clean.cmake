@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_test.dir/oracle_test.cc.o"
+  "CMakeFiles/oracle_test.dir/oracle_test.cc.o.d"
+  "oracle_test"
+  "oracle_test.pdb"
+  "oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_table_test.dir/page_table_test.cc.o"
+  "CMakeFiles/page_table_test.dir/page_table_test.cc.o.d"
+  "page_table_test"
+  "page_table_test.pdb"
+  "page_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_test.dir/profiler_test.cc.o"
+  "CMakeFiles/profiler_test.dir/profiler_test.cc.o.d"
+  "profiler_test"
+  "profiler_test.pdb"
+  "profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

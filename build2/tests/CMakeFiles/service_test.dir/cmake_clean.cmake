@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test.dir/service_test.cc.o"
+  "CMakeFiles/service_test.dir/service_test.cc.o.d"
+  "service_test"
+  "service_test.pdb"
+  "service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

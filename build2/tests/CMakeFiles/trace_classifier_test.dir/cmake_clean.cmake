@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_classifier_test.dir/trace_classifier_test.cc.o"
+  "CMakeFiles/trace_classifier_test.dir/trace_classifier_test.cc.o.d"
+  "trace_classifier_test"
+  "trace_classifier_test.pdb"
+  "trace_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

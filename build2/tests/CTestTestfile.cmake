@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/common_test[1]_include.cmake")
+include("/root/repo/build2/tests/heat_test[1]_include.cmake")
+include("/root/repo/build2/tests/page_table_test[1]_include.cmake")
+include("/root/repo/build2/tests/migration_test[1]_include.cmake")
+include("/root/repo/build2/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build2/tests/trace_test[1]_include.cmake")
+include("/root/repo/build2/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build2/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build2/tests/engine_test[1]_include.cmake")
+include("/root/repo/build2/tests/ml_test[1]_include.cmake")
+include("/root/repo/build2/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build2/tests/alpha_test[1]_include.cmake")
+include("/root/repo/build2/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build2/tests/greedy_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build2/tests/merchandiser_test[1]_include.cmake")
+include("/root/repo/build2/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build2/tests/app_kernels_test[1]_include.cmake")
+include("/root/repo/build2/tests/app_workloads_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/trace_classifier_test[1]_include.cmake")
+include("/root/repo/build2/tests/extensibility_test[1]_include.cmake")
+include("/root/repo/build2/tests/property_test[1]_include.cmake")
+include("/root/repo/build2/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build2/tests/engine_equiv_test[1]_include.cmake")
+include("/root/repo/build2/tests/service_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merchctl.dir/merchctl.cc.o"
+  "CMakeFiles/merchctl.dir/merchctl.cc.o.d"
+  "merchctl"
+  "merchctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merchctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

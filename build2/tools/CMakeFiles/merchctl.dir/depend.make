@@ -1,0 +1,2 @@
+# Empty dependencies file for merchctl.
+# This may be replaced when dependencies are built.

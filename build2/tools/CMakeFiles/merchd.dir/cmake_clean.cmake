@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merchd.dir/merchd.cc.o"
+  "CMakeFiles/merchd.dir/merchd.cc.o.d"
+  "merchd"
+  "merchd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merchd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

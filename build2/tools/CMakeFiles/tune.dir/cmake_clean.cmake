@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune.dir/tune.cpp.o"
+  "CMakeFiles/tune.dir/tune.cpp.o.d"
+  "tune"
+  "tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
