@@ -1,0 +1,155 @@
+// Observability overhead check: what do the MERCH_TRACE_* / MERCH_METRIC_*
+// hooks cost the engine hot path?
+//
+// Runs the same Engine workloads twice — recorder stopped (the always-on
+// cost: one relaxed atomic load per macro site) and recorder started
+// (full event capture) — and reports the wall-clock delta plus the cost
+// per recorded event. Simulation results must be bit-identical between
+// the two passes: instrumentation observes the run, it must never steer
+// it. Under -DMERCH_OBS=OFF every macro compiles away and both passes
+// measure the uninstrumented engine.
+//
+// Budgets (ISSUE acceptance): tracing-off is the baseline by definition
+// here; tracing-on must stay within 5% of it. --enforce turns a blown
+// budget into a non-zero exit (CI keeps it advisory by default because
+// 1-core shared runners jitter more than the budget).
+//
+//   obs_overhead [--quick] [--enforce] [--repeat N]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "baselines/memory_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/placement_service.h"
+#include "sim/engine.h"
+
+namespace merch {
+namespace {
+
+struct Workload {
+  std::string app;
+  double scale;
+  double work;
+};
+
+struct PassResult {
+  double wall_seconds = 0;
+  // Result fingerprint: any divergence between passes is a bug.
+  std::vector<double> makespans;
+  std::vector<double> covs;
+  std::uint64_t events = 0;
+};
+
+PassResult RunPass(const std::vector<Workload>& workloads, std::size_t repeat,
+                   bool traced) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+  if (traced) {
+    rec.set_ring_capacity(1u << 20);  // keep every event: measure capture
+    rec.Start();
+  }
+  PassResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    for (const Workload& w : workloads) {
+      const apps::AppBundle bundle = apps::BuildApp(w.app, w.scale, w.work);
+      service::PlacementRequest req{w.app, "mo", w.scale, w.work, 6, 42};
+      const sim::MachineSpec machine =
+          service::PlacementService::RequestMachine(req);
+      const sim::SimConfig cfg =
+          service::PlacementService::RequestSimConfig(req);
+      baselines::MemoryOptimizerPolicy policy;
+      const sim::SimResult r =
+          sim::Engine(bundle.workload, machine, cfg, &policy).Run();
+      out.makespans.push_back(r.total_seconds);
+      out.covs.push_back(r.AverageCoV());
+    }
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (traced) {
+    rec.Stop();
+    out.events = rec.Snapshot().size() + rec.dropped();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace merch
+
+int main(int argc, char** argv) {
+  using namespace merch;
+  bool quick = false;
+  bool enforce = false;
+  std::size_t repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_overhead [--quick] [--enforce] [--repeat N]\n");
+      return 2;
+    }
+  }
+  const double scale = quick ? 0.01 : 0.05;
+  const double work = quick ? 0.02 : 0.1;
+  std::vector<Workload> workloads;
+  for (const std::string& app : apps::AppNames()) {
+    workloads.push_back({app, scale, work});
+  }
+  if (quick) workloads.resize(2);
+
+  // Warm-up: fault in code and the apps' generated inputs so the first
+  // measured pass is not paying one-time costs.
+  (void)RunPass(workloads, 1, /*traced=*/false);
+
+  const PassResult off = RunPass(workloads, repeat, /*traced=*/false);
+  const PassResult on = RunPass(workloads, repeat, /*traced=*/true);
+
+  if (off.makespans != on.makespans || off.covs != on.covs) {
+    std::fprintf(stderr,
+                 "obs_overhead: FAIL — tracing changed simulation results\n");
+    return 1;
+  }
+
+  const double overhead =
+      off.wall_seconds > 0
+          ? (on.wall_seconds - off.wall_seconds) / off.wall_seconds
+          : 0.0;
+  const double ns_per_event =
+      on.events > 0 ? (on.wall_seconds - off.wall_seconds) * 1e9 /
+                          static_cast<double>(on.events)
+                    : 0.0;
+#if defined(MERCH_OBS_ENABLED)
+  const char* mode = "MERCH_OBS=ON";
+#else
+  const char* mode = "MERCH_OBS=OFF";
+#endif
+  std::printf("obs_overhead (%s, %zu workloads x %zu repeats)\n", mode,
+              workloads.size(), repeat);
+  std::printf("  tracing off: %8.3fs\n", off.wall_seconds);
+  std::printf("  tracing on:  %8.3fs  (%+.2f%%, %llu events, %.0f ns/event)\n",
+              on.wall_seconds, 100.0 * overhead,
+              static_cast<unsigned long long>(on.events), ns_per_event);
+  std::printf("  results bit-identical: yes\n");
+
+  if (enforce && overhead > 0.05) {
+    std::fprintf(stderr,
+                 "obs_overhead: FAIL — tracing-on overhead %.2f%% exceeds "
+                 "the 5%% budget\n",
+                 100.0 * overhead);
+    return 1;
+  }
+  return 0;
+}

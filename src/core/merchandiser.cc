@@ -1,10 +1,13 @@
 #include "core/merchandiser.h"
 
+#include "obs/trace.h"
+
 namespace merch::core {
 
 MerchandiserSystem MerchandiserSystem::Train(
     workloads::TrainingConfig training,
     CorrelationFunction::Config correlation_config) {
+  MERCH_TRACE_SPAN(obs::Category::kCore, "core.train");
   const auto samples = workloads::GenerateTrainingSamples(training);
   CorrelationFunction correlation(correlation_config);
   correlation.Train(samples);

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace merch::core {
 namespace {
@@ -76,6 +78,7 @@ void MerchandiserPolicy::OnSimulationStart(sim::SimContext& ctx) {
 }
 
 void MerchandiserPolicy::OnInterval(sim::SimContext& ctx) {
+  MERCH_TRACE_SPAN(obs::Category::kCore, "core.interval");
   sim::AccessOracle& oracle = ctx.oracle();
   const sim::Workload& w = ctx.workload();
   const std::size_t region = ctx.region_index();
@@ -138,6 +141,7 @@ std::vector<MerchandiserPolicy::PlacementCandidate>
 MerchandiserPolicy::BuildCandidates(sim::SimContext& ctx,
                                     const sim::Region& region, TaskId task,
                                     double* total_est) {
+  MERCH_TRACE_SPAN(obs::Category::kCore, "core.estimate_accesses");
   const sim::Workload& w = ctx.workload();
   // Per-access DRAM benefit weight per (task, object): the knapsack item
   // *value* is the performance gained by serving the access from DRAM
@@ -225,6 +229,9 @@ MerchandiserPolicy::BuildCandidates(sim::SimContext& ctx,
 void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
                                        std::size_t region) {
   if (region == 0) return;  // base instance: profile-only
+  MERCH_TRACE_SPAN_VAR(decision_span, obs::Category::kCore,
+                       "core.instance_decision");
+  decision_span.set_arg("region", static_cast<std::int64_t>(region));
   const sim::Workload& w = ctx.workload();
   const sim::Region& reg = w.regions[region];
   const std::vector<std::uint64_t>& new_sizes =
@@ -291,8 +298,15 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
 
   const std::uint64_t dram_pages =
       ctx.pages().spec().dram_capacity() / ctx.pages().page_bytes();
-  const GreedyResult greedy = RunGreedyAllocation(
-      inputs, dram_pages, model_, config_.greedy);
+  GreedyResult greedy;
+  {
+    MERCH_TRACE_SPAN_VAR(greedy_span, obs::Category::kCore, "core.greedy");
+    greedy = RunGreedyAllocation(inputs, dram_pages, model_, config_.greedy);
+    greedy_span.set_arg("rounds", static_cast<std::int64_t>(greedy.rounds));
+  }
+  MERCH_METRIC_COUNT("merch_core_decisions_total", 1);
+  MERCH_METRIC_COUNT("merch_core_greedy_rounds_total",
+                     static_cast<std::uint64_t>(greedy.rounds));
 
   decision.dram_fraction = greedy.dram_fraction;
   decision.predicted_seconds = greedy.predicted_seconds;

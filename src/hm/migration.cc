@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace merch::hm {
 
 void MigrationEngine::Account(Tier to, std::uint64_t pages) {
   const std::uint64_t bytes = pages * table_->page_bytes();
+  if (to == Tier::kDram) {
+    MERCH_METRIC_COUNT("merch_hm_pages_to_dram_total", pages);
+  } else {
+    MERCH_METRIC_COUNT("merch_hm_pages_to_pm_total", pages);
+  }
   if (to == Tier::kDram) {
     epoch_.pages_to_dram += pages;
     epoch_.bytes_to_dram += bytes;
@@ -21,17 +29,21 @@ void MigrationEngine::Account(Tier to, std::uint64_t pages) {
 
 std::uint64_t MigrationEngine::MigrateHottest(ObjectId obj, std::uint64_t k,
                                               Tier to) {
+  MERCH_TRACE_SPAN_VAR(span, obs::Category::kHm, "hm.migrate_hottest");
   const std::uint64_t moved = table_->MoveHottest(obj, k, to);
   if (moved < k) {
     epoch_.failed_capacity += k - moved;
     lifetime_.failed_capacity += k - moved;
+    MERCH_METRIC_COUNT("merch_hm_failed_capacity_total", k - moved);
   }
   Account(to, moved);
+  span.set_arg("pages", static_cast<std::int64_t>(moved));
   return moved;
 }
 
 std::uint64_t MigrationEngine::MigratePages(std::span<const PageId> pages,
                                             Tier to) {
+  MERCH_TRACE_SPAN_VAR(span, obs::Category::kHm, "hm.migrate_batch");
   std::uint64_t moved = 0;
   for (const PageId p : pages) {
     if (table_->page_tier(p) == to) continue;
@@ -40,15 +52,19 @@ std::uint64_t MigrationEngine::MigratePages(std::span<const PageId> pages,
     } else {
       ++epoch_.failed_capacity;
       ++lifetime_.failed_capacity;
+      MERCH_METRIC_COUNT("merch_hm_failed_capacity_total", 1);
     }
   }
   Account(to, moved);
+  span.set_arg("pages", static_cast<std::int64_t>(moved));
   return moved;
 }
 
 std::uint64_t MigrationEngine::DemoteColdest(ObjectId obj, std::uint64_t k) {
+  MERCH_TRACE_SPAN_VAR(span, obs::Category::kHm, "hm.demote_coldest");
   const std::uint64_t moved = table_->EvictColdest(obj, k, Tier::kDram);
   Account(Tier::kPm, moved);
+  span.set_arg("pages", static_cast<std::int64_t>(moved));
   return moved;
 }
 
@@ -56,6 +72,7 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
                                               const HeatFn& heat) {
   const std::uint64_t free_now = table_->tier_free_pages(Tier::kDram);
   if (free_now >= pages_needed) return 0;
+  MERCH_TRACE_SPAN_VAR(span, obs::Category::kHm, "hm.make_room");
   const std::uint64_t to_free = pages_needed - free_now;
 
   // Gather DRAM-resident pages with their observed epoch counts, coldest
@@ -137,6 +154,8 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
     if (table_->MovePage(candidates[i].page, Tier::kPm)) ++freed;
   }
   Account(Tier::kPm, freed);
+  MERCH_METRIC_COUNT("merch_hm_evictions_total", freed);
+  span.set_arg("pages", static_cast<std::int64_t>(freed));
   return freed;
 }
 

@@ -4,6 +4,9 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace merch::hm {
 namespace {
 
@@ -52,6 +55,10 @@ std::optional<ObjectId> PageTable::RegisterObject(std::uint64_t bytes,
     }
   }
   residency_.push_back(std::move(ri));
+  MERCH_METRIC_COUNT("merch_hm_objects_registered_total", 1);
+  MERCH_METRIC_GAUGE_SET("merch_hm_pages", pages_.size());
+  MERCH_TRACE_INSTANT_ARG(obs::Category::kHm, "hm.register_object", "pages",
+                          npages);
   return id;
 }
 
@@ -66,6 +73,8 @@ void PageTable::ReleaseObject(ObjectId id) {
   // the live-object DRAM count is zeroed, like the capacity accounting.
   dram_pages_per_object_[id] = 0;
   live_[id] = false;
+  MERCH_TRACE_INSTANT_ARG(obs::Category::kHm, "hm.release_object", "pages",
+                          e.num_pages);
 }
 
 std::optional<ObjectId> PageTable::OwnerOfPage(PageId p) const {

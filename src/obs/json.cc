@@ -1,0 +1,281 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace merch::obs {
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (++depth_ > 64) return Fail("nesting too deep");
+    bool ok = ParseValueInner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool ParseValueInner(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+          pos_ += 4;
+          return true;
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+          pos_ += 5;
+          return true;
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          out->kind = JsonValue::Kind::kNull;
+          pos_ += 4;
+          return true;
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("invalid \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode (surrogate pairs pass through as two
+            // three-byte sequences; good enough for a validator).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("invalid escape");
+        }
+        ++pos_;
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("invalid fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("invalid exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+}  // namespace merch::obs

@@ -1,0 +1,40 @@
+// Minimal JSON document parser, used to validate the observability
+// exports (Chrome traces, metrics snapshots) in tests, in the
+// tools/trace_check CLI, and in CI — without an external JSON dependency.
+//
+// Accepts strict RFC 8259 JSON (no comments, no trailing commas). Numbers
+// are held as double; this is a validator/inspector, not a round-tripping
+// store.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace merch::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                           // arrays
+  std::vector<std::pair<std::string, JsonValue>> fields;  // objects
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// First field named `key` in an object, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parse `text` into `*out`. On failure returns false and describes the
+/// first error (with byte offset) in `*error`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace merch::obs

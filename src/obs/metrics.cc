@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace merch::obs {
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  *out += buf;
+}
+
+void AppendCount(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must be ascending");
+}
+
+void Histogram::Observe(double v) {
+  // First bound >= v: Prometheus `le` semantics (v on a boundary counts
+  // in that boundary's bucket).
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double> kBounds = {
+      0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+      0.1,    0.5,    1.0,   5.0,   10.0, 60.0};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts = h->BucketCounts();
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    AppendCount(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    AppendNumber(&out, value);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += h.name + "_bucket{le=\"";
+      AppendNumber(&out, h.bounds[i]);
+      out += "\"} ";
+      AppendCount(&out, cumulative);
+      out += "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} ";
+    AppendCount(&out, h.count);
+    out += "\n" + h.name + "_sum ";
+    AppendNumber(&out, h.sum);
+    out += "\n" + h.name + "_count ";
+    AppendCount(&out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendCount(&out, value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendNumber(&out, value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + h.name + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendNumber(&out, h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendCount(&out, h.counts[i]);
+    }
+    out += "], \"count\": ";
+    AppendCount(&out, h.count);
+    out += ", \"sum\": ";
+    AppendNumber(&out, h.sum);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->Set(0.0);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->Reset();
+  }
+}
+
+}  // namespace merch::obs

@@ -1,0 +1,179 @@
+// Process-wide metrics registry: named thread-safe counters, gauges, and
+// fixed-bucket histograms with point-in-time snapshots, exported as JSON
+// or Prometheus text exposition format.
+//
+// Instruments are created on first use and live until process exit, so a
+// `Counter&` fetched once (the MERCH_METRIC_* macros cache it in a
+// function-local static) is a single relaxed atomic op per update. Like
+// the trace macros, every MERCH_METRIC_* call compiles to nothing under
+// -DMERCH_OBS=OFF.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace merch::obs {
+
+/// Monotonic counter. Prometheus type `counter`.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value. Prometheus type `gauge`.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `v <=
+/// bounds[i]` and `v > bounds[i-1]`; everything above the last bound
+/// lands in the implicit +Inf bucket. Prometheus type `histogram`.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; the +Inf bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Raw (non-cumulative) per-bucket counts; size() == bounds().size()+1,
+  /// the final entry being the +Inf bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds for sub-second latencies, in seconds.
+const std::vector<double>& DefaultLatencyBounds();
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // raw, bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Find-or-create by name. Metric names must be unique across the three
+  /// instrument kinds ([a-zA-Z_][a-zA-Z0-9_]* to stay Prometheus-legal).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation; later callers get the
+  /// existing instrument regardless of the bounds they pass.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Consistent-enough point-in-time copy (each instrument is read
+  /// atomically; the set of instruments is read under the registry lock).
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (one # TYPE line per metric).
+  std::string PrometheusText() const;
+  /// The same snapshot as a JSON object.
+  std::string Json() const;
+
+  /// Zero every instrument (tests and repeated bench passes). Instrument
+  /// identities (references) remain valid.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the instrument values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace merch::obs
+
+#if defined(MERCH_OBS_ENABLED)
+
+/// Bump a named counter by `n`.
+#define MERCH_METRIC_COUNT(name, n)                                     \
+  do {                                                                  \
+    static ::merch::obs::Counter& merch_obs_counter =                   \
+        ::merch::obs::MetricsRegistry::Instance().GetCounter(name);     \
+    merch_obs_counter.Add(static_cast<std::uint64_t>(n));               \
+  } while (0)
+
+/// Set a named gauge to `v`.
+#define MERCH_METRIC_GAUGE_SET(name, v)                                 \
+  do {                                                                  \
+    static ::merch::obs::Gauge& merch_obs_gauge =                       \
+        ::merch::obs::MetricsRegistry::Instance().GetGauge(name);       \
+    merch_obs_gauge.Set(static_cast<double>(v));                        \
+  } while (0)
+
+/// Add a (possibly negative) delta to a named gauge.
+#define MERCH_METRIC_GAUGE_ADD(name, d)                                 \
+  do {                                                                  \
+    static ::merch::obs::Gauge& merch_obs_gauge =                       \
+        ::merch::obs::MetricsRegistry::Instance().GetGauge(name);       \
+    merch_obs_gauge.Add(static_cast<double>(d));                        \
+  } while (0)
+
+/// Observe `v` in a named histogram with the default latency bounds.
+#define MERCH_METRIC_OBSERVE(name, v)                                   \
+  do {                                                                  \
+    static ::merch::obs::Histogram& merch_obs_hist =                    \
+        ::merch::obs::MetricsRegistry::Instance().GetHistogram(         \
+            name, ::merch::obs::DefaultLatencyBounds());                \
+    merch_obs_hist.Observe(static_cast<double>(v));                     \
+  } while (0)
+
+#else  // !MERCH_OBS_ENABLED
+
+#define MERCH_METRIC_COUNT(name, n) \
+  do {                              \
+  } while (0)
+#define MERCH_METRIC_GAUGE_SET(name, v) \
+  do {                                  \
+  } while (0)
+#define MERCH_METRIC_GAUGE_ADD(name, d) \
+  do {                                  \
+  } while (0)
+#define MERCH_METRIC_OBSERVE(name, v) \
+  do {                                \
+  } while (0)
+
+#endif  // MERCH_OBS_ENABLED

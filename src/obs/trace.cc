@@ -1,0 +1,303 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace merch::obs {
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping for event names. Names are code-controlled, but a
+/// workload or region name could carry anything.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* CategoryName(Category cat) {
+  switch (cat) {
+    case Category::kSim:
+      return "sim";
+    case Category::kHm:
+      return "hm";
+    case Category::kService:
+      return "service";
+    case Category::kCore:
+      return "core";
+    case Category::kPool:
+      return "pool";
+    case Category::kCache:
+      return "cache";
+    case Category::kApp:
+      return "app";
+  }
+  return "?";
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  // Leaked on purpose: worker threads may emit events during static
+  // destruction of other objects.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->written = 0;
+  }
+  t0_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+std::uint64_t TraceRecorder::NowNs() const {
+  const std::uint64_t t0 = t0_ns_.load(std::memory_order_relaxed);
+  if (t0 == 0) return 0;
+  const std::uint64_t now = SteadyNowNs();
+  return now > t0 ? now - t0 : 0;
+}
+
+void TraceRecorder::set_ring_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ring_capacity_ = std::max<std::size_t>(16, events);
+}
+
+std::size_t TraceRecorder::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return ring_capacity_;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // The shared_ptr is co-owned by the registry, so a buffer outlives its
+  // thread and its events still appear in exports after the thread joins.
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buf->ring.resize(ring_capacity_);
+    buf->tid = next_tid_++;
+    buffers_.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+void TraceRecorder::Append(const TraceEvent& ev) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);  // contended only by exporters
+  buf.ring[buf.written % buf.ring.size()] = ev;
+  buf.ring[buf.written % buf.ring.size()].tid = buf.tid;
+  ++buf.written;
+}
+
+void TraceRecorder::RecordSpan(Category cat, const char* name,
+                               std::uint64_t start_ns, std::uint64_t dur_ns,
+                               const char* arg_name, std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.cat = cat;
+  ev.span = true;
+  Append(ev);
+}
+
+void TraceRecorder::RecordInstant(Category cat, const char* name,
+                                  const char* arg_name, std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  ev.ts_ns = NowNs();
+  ev.cat = cat;
+  ev.span = false;
+  Append(ev);
+}
+
+const char* TraceRecorder::Intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& existing : interned_) {
+    if (*existing == s) return existing->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(s));
+  return interned_.back()->c_str();
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    const std::size_t cap = buf->ring.size();
+    const std::size_t n = std::min<std::uint64_t>(buf->written, cap);
+    // Oldest retained event first: on wrap-around the ring keeps the
+    // newest `cap` events starting at written % cap.
+    const std::size_t start =
+        buf->written > cap ? buf->written % cap : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(buf->ring[(start + i) % cap]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    const std::uint64_t cap = buf->ring.size();
+    if (buf->written > cap) total += buf->written - cap;
+  }
+  return total;
+}
+
+std::string TraceRecorder::ChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    AppendJsonEscaped(&out, ev.name);
+    out += "\", \"cat\": \"";
+    out += CategoryName(ev.cat);
+    // Chrome timestamps are microseconds; keep nanosecond precision in
+    // the fraction.
+    std::snprintf(buf, sizeof buf, "\", \"ph\": \"%s\", \"ts\": %.3f",
+                  ev.span ? "X" : "i",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    out += buf;
+    if (ev.span) {
+      std::snprintf(buf, sizeof buf, ", \"dur\": %.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      out += buf;
+    } else {
+      out += ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    std::snprintf(buf, sizeof buf, ", \"pid\": 1, \"tid\": %u",
+                  ev.tid);
+    out += buf;
+    if (ev.arg_name != nullptr) {
+      out += ", \"args\": {\"";
+      AppendJsonEscaped(&out, ev.arg_name);
+      std::snprintf(buf, sizeof buf, "\": %" PRId64 "}", ev.arg);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::TextSummary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    bool span = false;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> by_name;
+  for (const TraceEvent& ev : Snapshot()) {
+    Agg& agg = by_name[{CategoryName(ev.cat), ev.name}];
+    ++agg.count;
+    agg.total_ns += ev.dur_ns;
+    agg.span = agg.span || ev.span;
+  }
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-9s %-28s %10s %12s %12s\n", "cat",
+                "name", "count", "total-ms", "mean-us");
+  out += line;
+  for (const auto& [key, agg] : by_name) {
+    const double total_ms = static_cast<double>(agg.total_ns) / 1e6;
+    const double mean_us =
+        static_cast<double>(agg.total_ns) / 1e3 /
+        static_cast<double>(agg.count);
+    std::snprintf(line, sizeof line, "%-9s %-28s %10" PRIu64 " %12.3f %12.3f\n",
+                  key.first.c_str(), key.second.c_str(), agg.count,
+                  agg.span ? total_ms : 0.0, agg.span ? mean_us : 0.0);
+    out += line;
+  }
+  const std::uint64_t lost = dropped();
+  if (lost > 0) {
+    std::snprintf(line, sizeof line,
+                  "(%" PRIu64 " events dropped to ring wrap-around)\n", lost);
+    out += line;
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path,
+                                    std::string* error) const {
+  const std::string json = ChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if ((!ok || !closed) && error != nullptr) *error = "short write to " + path;
+  return ok && closed;
+}
+
+}  // namespace merch::obs

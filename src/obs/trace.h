@@ -1,0 +1,226 @@
+// Structured trace recorder: lock-cheap per-thread ring buffers of typed
+// span/instant events, exported as Chrome trace_event JSON (loadable in
+// chrome://tracing and Perfetto) or as a compact text summary.
+//
+// Recording is two-level gated:
+//   - compile time: building with -DMERCH_OBS=OFF removes every
+//     MERCH_TRACE_* macro body, so instrumented code is bit-identical to
+//     uninstrumented code (bench/obs_overhead checks the cost);
+//   - run time: events are only recorded between TraceRecorder::Start()
+//     and Stop(); a disabled recorder costs one relaxed atomic load per
+//     macro.
+//
+// Each thread appends to its own fixed-capacity ring buffer under a
+// per-buffer mutex that only the exporter ever contends, so emitting an
+// event never blocks on other threads. When a ring wraps, the oldest
+// events are dropped and counted (`dropped()`), never the newest —
+// diagnosis usually needs the tail of the timeline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace merch::obs {
+
+/// Subsystem that emitted an event. Exported as the Chrome `cat` field so
+/// traces can be filtered per layer.
+enum class Category : std::uint8_t {
+  kSim,      // sim::Engine epochs/regions/intervals
+  kHm,       // hm::MigrationEngine / PageTable
+  kService,  // service::PlacementService requests
+  kCore,     // core::Merchandiser estimation / model / greedy
+  kPool,     // service::ThreadPool queueing
+  kCache,    // service::ResultCache lookups
+  kApp,      // tools / benches / tests
+};
+
+const char* CategoryName(Category cat);
+
+/// One recorded event. `name` and `arg_name` must outlive the recorder:
+/// string literals, or strings interned via TraceRecorder::Intern.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr = no argument
+  std::int64_t arg = 0;
+  std::uint64_t ts_ns = 0;   // nanoseconds since Start()
+  std::uint64_t dur_ns = 0;  // spans only; 0 for instants
+  std::uint32_t tid = 0;     // small per-thread id (assigned at first use)
+  Category cat = Category::kApp;
+  bool span = false;  // true = complete span ("X"), false = instant ("i")
+};
+
+class TraceRecorder {
+ public:
+  /// The process-wide recorder.
+  static TraceRecorder& Instance();
+
+  /// Clear previously recorded events, rebase the clock, start recording.
+  void Start();
+  /// Stop recording. Recorded events stay available for export.
+  void Stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since Start() (0 if never started).
+  std::uint64_t NowNs() const;
+
+  void RecordSpan(Category cat, const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, const char* arg_name = nullptr,
+                  std::int64_t arg = 0);
+  void RecordInstant(Category cat, const char* name,
+                     const char* arg_name = nullptr, std::int64_t arg = 0);
+
+  /// Stable pointer for a dynamic event name (region names, app names).
+  /// Interned strings live until process exit.
+  const char* Intern(const std::string& s);
+
+  /// Per-thread ring capacity in events. Takes effect for buffers created
+  /// after the call; Start() recreates nothing, so set this first.
+  void set_ring_capacity(std::size_t events);
+  std::size_t ring_capacity() const;
+
+  /// All retained events, merged across threads and sorted by timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events lost to ring wrap-around since Start().
+  std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON (the `{"traceEvents": [...]}` object form).
+  std::string ChromeJson() const;
+  /// Per-(category, name) count / total / mean table, for terminals.
+  std::string TextSummary() const;
+  /// Write ChromeJson() to `path`. Returns false (and sets `*error`) on
+  /// I/O failure.
+  bool WriteChromeJson(const std::string& path,
+                       std::string* error = nullptr) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;  // capacity fixed at creation
+    std::uint64_t written = 0;     // total events ever appended
+    std::uint32_t tid = 0;
+  };
+
+  TraceRecorder() = default;
+
+  ThreadBuffer& LocalBuffer();
+  void Append(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> t0_ns_{0};  // steady_clock epoch of Start()
+
+  mutable std::mutex registry_mu_;  // guards buffers_, interned_, capacity_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+  std::size_t ring_capacity_ = 1u << 16;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: captures the start time at construction and records one
+/// complete ("X") event at scope exit. Does nothing unless the recorder
+/// was enabled at construction *and* still is at destruction.
+class SpanScope {
+ public:
+  SpanScope(Category cat, const char* name, const char* arg_name = nullptr,
+            std::int64_t arg = 0)
+      : name_(name), arg_name_(arg_name), arg_(arg), cat_(cat) {
+    TraceRecorder& rec = TraceRecorder::Instance();
+    armed_ = rec.enabled();
+    if (armed_) start_ns_ = rec.NowNs();
+  }
+  ~SpanScope() {
+    if (!armed_) return;
+    TraceRecorder& rec = TraceRecorder::Instance();
+    if (!rec.enabled()) return;
+    rec.RecordSpan(cat_, name_, start_ns_, rec.NowNs() - start_ns_,
+                   arg_name_, arg_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attach/replace the span's argument after construction (e.g. a result
+  /// count known only at the end of the scope).
+  void set_arg(const char* arg_name, std::int64_t arg) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+ private:
+  const char* name_;
+  const char* arg_name_;
+  std::int64_t arg_;
+  std::uint64_t start_ns_ = 0;
+  Category cat_;
+  bool armed_ = false;
+};
+
+/// What MERCH_TRACE_SPAN_VAR declares under -DMERCH_OBS=OFF: keeps
+/// `var.set_arg(...)` call sites compiling while the optimizer erases the
+/// empty object entirely.
+struct NullSpan {
+  void set_arg(const char*, std::int64_t) {}
+};
+
+}  // namespace merch::obs
+
+// ---------------------------------------------------------------- macros
+//
+// The only supported way to instrument hot paths: all of these compile to
+// nothing under -DMERCH_OBS=OFF.
+
+#define MERCH_OBS_CONCAT_(a, b) a##b
+#define MERCH_OBS_CONCAT(a, b) MERCH_OBS_CONCAT_(a, b)
+
+#if defined(MERCH_OBS_ENABLED)
+
+/// Trace the enclosing scope as a complete span.
+#define MERCH_TRACE_SPAN(cat, name)                                \
+  ::merch::obs::SpanScope MERCH_OBS_CONCAT(merch_obs_span_,        \
+                                           __COUNTER__)((cat), (name))
+
+/// Span with a named integer argument, bound to a local so the code can
+/// update it via set_arg before scope exit.
+#define MERCH_TRACE_SPAN_VAR(var, cat, name) \
+  ::merch::obs::SpanScope var((cat), (name))
+
+/// Zero-duration instant event.
+#define MERCH_TRACE_INSTANT(cat, name)                                   \
+  do {                                                                   \
+    ::merch::obs::TraceRecorder& merch_obs_rec =                         \
+        ::merch::obs::TraceRecorder::Instance();                         \
+    if (merch_obs_rec.enabled())                                         \
+      merch_obs_rec.RecordInstant((cat), (name));                        \
+  } while (0)
+
+#define MERCH_TRACE_INSTANT_ARG(cat, name, argname, argval)              \
+  do {                                                                   \
+    ::merch::obs::TraceRecorder& merch_obs_rec =                         \
+        ::merch::obs::TraceRecorder::Instance();                         \
+    if (merch_obs_rec.enabled())                                         \
+      merch_obs_rec.RecordInstant(                                       \
+          (cat), (name), (argname),                                      \
+          static_cast<std::int64_t>(argval));                            \
+  } while (0)
+
+#else  // !MERCH_OBS_ENABLED
+
+#define MERCH_TRACE_SPAN(cat, name) \
+  do {                              \
+  } while (0)
+#define MERCH_TRACE_SPAN_VAR(var, cat, name) \
+  ::merch::obs::NullSpan var;                \
+  (void)sizeof(var)
+#define MERCH_TRACE_INSTANT(cat, name) \
+  do {                                 \
+  } while (0)
+#define MERCH_TRACE_INSTANT_ARG(cat, name, argname, argval) \
+  do {                                                      \
+  } while (0)
+
+#endif  // MERCH_OBS_ENABLED

@@ -1,0 +1,76 @@
+#include "obs/validate.h"
+
+#include "obs/json.h"
+
+namespace merch::obs {
+namespace {
+
+bool FailEvent(TraceValidation* v, std::size_t index,
+               const std::string& why) {
+  v->ok = false;
+  v->error = "traceEvents[" + std::to_string(index) + "]: " + why;
+  return false;
+}
+
+bool CheckEvent(const JsonValue& ev, std::size_t index, TraceValidation* v) {
+  if (!ev.is_object()) return FailEvent(v, index, "not an object");
+  const JsonValue* name = ev.Find("name");
+  if (name == nullptr || !name->is_string() || name->str.empty()) {
+    return FailEvent(v, index, "missing string 'name'");
+  }
+  const JsonValue* cat = ev.Find("cat");
+  if (cat == nullptr || !cat->is_string() || cat->str.empty()) {
+    return FailEvent(v, index, "missing string 'cat'");
+  }
+  const JsonValue* ph = ev.Find("ph");
+  if (ph == nullptr || !ph->is_string()) {
+    return FailEvent(v, index, "missing string 'ph'");
+  }
+  const JsonValue* ts = ev.Find("ts");
+  if (ts == nullptr || !ts->is_number() || ts->number < 0) {
+    return FailEvent(v, index, "missing non-negative numeric 'ts'");
+  }
+  if (ph->str == "X") {
+    const JsonValue* dur = ev.Find("dur");
+    if (dur == nullptr || !dur->is_number() || dur->number < 0) {
+      return FailEvent(v, index,
+                       "'X' event missing non-negative numeric 'dur'");
+    }
+    ++v->spans;
+  } else if (ph->str == "i") {
+    ++v->instants;
+  } else {
+    return FailEvent(v, index, "unexpected ph '" + ph->str + "'");
+  }
+  v->categories.insert(cat->str);
+  ++v->events;
+  return true;
+}
+
+}  // namespace
+
+TraceValidation ValidateChromeTrace(const std::string& json) {
+  TraceValidation v;
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(json, &root, &error)) {
+    v.error = "not valid JSON: " + error;
+    return v;
+  }
+  if (!root.is_object()) {
+    v.error = "top level is not an object";
+    return v;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    v.error = "missing 'traceEvents' array";
+    return v;
+  }
+  v.ok = true;
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    if (!CheckEvent(events->items[i], i, &v)) return v;
+  }
+  return v;
+}
+
+}  // namespace merch::obs

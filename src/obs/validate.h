@@ -1,0 +1,27 @@
+// Structural validation of Chrome trace_event JSON produced by the trace
+// recorder — shared by tests/obs_test.cc, the tools/trace_check CLI, and
+// the CI observability step.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace merch::obs {
+
+struct TraceValidation {
+  bool ok = false;
+  std::string error;  // first structural problem found
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::set<std::string> categories;  // distinct `cat` values seen
+};
+
+/// Checks that `json` is well-formed JSON shaped like a Chrome trace:
+/// a top-level object with a `traceEvents` array whose entries each carry
+/// a string `name`, a string `cat`, a one-char `ph` of "X" or "i", a
+/// non-negative numeric `ts`, and (for "X" events) a non-negative `dur`.
+TraceValidation ValidateChromeTrace(const std::string& json);
+
+}  // namespace merch::obs

@@ -1,5 +1,6 @@
 #include "service/placement_service.h"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -11,6 +12,8 @@
 #include "baselines/memory_optimizer.h"
 #include "baselines/pm_only.h"
 #include "baselines/static_priority.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/policy.h"
 #include "workloads/training.h"
 
@@ -31,6 +34,7 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
     std::lock_guard<std::mutex> lock(mu_);
     ++submitted_;
   }
+  MERCH_METRIC_COUNT("merch_service_submitted_total", 1);
   if (std::string err = CanonicalizeRequest(request); !err.empty()) {
     PlacementResult bad;
     bad.request = std::move(request);
@@ -40,6 +44,7 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
     ticket.future = p.get_future().share();
     std::lock_guard<std::mutex> lock(mu_);
     ++failed_;
+    MERCH_METRIC_COUNT("merch_service_failed_total", 1);
     return ticket;
   }
   const std::string key = CanonicalKey(request);
@@ -58,6 +63,8 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       ++coalesced_;
+      MERCH_METRIC_COUNT("merch_service_coalesced_total", 1);
+      MERCH_TRACE_INSTANT(obs::Category::kService, "service.coalesced");
       ticket.future = it->second;
       ticket.coalesced = true;
       return ticket;
@@ -78,6 +85,7 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
       inflight_.erase(key);
       ++failed_;
     }
+    MERCH_METRIC_COUNT("merch_service_failed_total", 1);
     promise->set_value(std::move(bad));
   }
   return ticket;
@@ -86,6 +94,9 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
 void PlacementService::RunJob(
     const std::string& key, const PlacementRequest& req,
     std::shared_ptr<std::promise<PlacementResult>> promise) {
+  MERCH_TRACE_SPAN_VAR(request_span, obs::Category::kService,
+                       "service.request");
+  const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<const core::MerchandiserSystem> system;
   if (req.policy == "merch") system = TrainedSystem(req.train_regions);
 
@@ -97,6 +108,12 @@ void PlacementService::RunJob(
     ++simulated_;
     if (!result.ok()) ++failed_;
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
+  MERCH_METRIC_COUNT("merch_service_simulated_total", 1);
+  if (!result.ok()) MERCH_METRIC_COUNT("merch_service_failed_total", 1);
   promise->set_value(std::move(result));
 }
 

@@ -1,5 +1,8 @@
 #include "service/result_cache.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace merch::service {
 
 ResultCache::ResultCache(std::size_t capacity)
@@ -10,9 +13,13 @@ std::optional<PlacementResult> ResultCache::Get(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    MERCH_METRIC_COUNT("merch_cache_misses_total", 1);
+    MERCH_TRACE_INSTANT_ARG(obs::Category::kCache, "cache.lookup", "hit", 0);
     return std::nullopt;
   }
   ++hits_;
+  MERCH_METRIC_COUNT("merch_cache_hits_total", 1);
+  MERCH_TRACE_INSTANT_ARG(obs::Category::kCache, "cache.lookup", "hit", 1);
   order_.splice(order_.begin(), order_, it->second);
   return it->second->second;
 }
@@ -29,6 +36,8 @@ void ResultCache::Put(const std::string& key, PlacementResult value) {
     index_.erase(order_.back().first);
     order_.pop_back();
     ++evictions_;
+    MERCH_METRIC_COUNT("merch_cache_evictions_total", 1);
+    MERCH_TRACE_INSTANT(obs::Category::kCache, "cache.evict");
   }
   order_.emplace_front(key, std::move(value));
   index_[key] = order_.begin();

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace merch::service {
 
 ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
@@ -25,7 +28,10 @@ bool ThreadPool::Submit(std::function<void()> job) {
     if (shutdown_) return false;
     queue_.push_back(std::move(job));
     ++accepted_;
+    MERCH_METRIC_GAUGE_SET("merch_pool_queue_depth", queue_.size());
   }
+  MERCH_METRIC_COUNT("merch_pool_jobs_accepted_total", 1);
+  MERCH_TRACE_INSTANT(obs::Category::kPool, "pool.enqueue");
   not_empty_.notify_one();
   return true;
 }
@@ -64,9 +70,14 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
+      MERCH_METRIC_GAUGE_SET("merch_pool_queue_depth", queue_.size());
     }
     not_full_.notify_one();
+    MERCH_TRACE_INSTANT(obs::Category::kPool, "pool.dequeue");
+    MERCH_METRIC_GAUGE_ADD("merch_pool_active", 1);
     job();
+    MERCH_METRIC_GAUGE_ADD("merch_pool_active", -1);
+    MERCH_METRIC_COUNT("merch_pool_jobs_executed_total", 1);
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++executed_;

@@ -9,6 +9,8 @@
 
 #include "cachesim/cpu_cache.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace merch::sim {
 namespace {
@@ -383,8 +385,10 @@ void Engine::CollectMigrationTraffic() {
 }
 
 void Engine::StepEpoch() {
+  MERCH_TRACE_SPAN_VAR(epoch_span, obs::Category::kSim, "engine.epoch");
   const double dt = config_.epoch_seconds;
   ++epochs_;
+  epoch_span.set_arg("live_tasks", static_cast<std::int64_t>(live_tasks_));
 
   // Any migrations policies performed since the last epoch become traffic.
   CollectMigrationTraffic();
@@ -488,6 +492,11 @@ void Engine::StepEpoch() {
           rt.done = true;
           --live_tasks_;
           rt.finish_time = t_ + (dt - dt_left);
+          MERCH_TRACE_INSTANT_ARG(obs::Category::kSim, "engine.task_done",
+                                  "task", rt.task);
+        } else {
+          MERCH_TRACE_INSTANT_ARG(obs::Category::kSim, "engine.kernel_done",
+                                  "kernel", rt.kernel_index - 1);
         }
       }
     }
@@ -515,6 +524,7 @@ void Engine::StepEpoch() {
 }
 
 void Engine::FireInterval() {
+  MERCH_TRACE_SPAN(obs::Category::kSim, "engine.interval");
   if (policy_ != nullptr) policy_->OnInterval(*ctx_);
   oracle_->ResetEpoch();
   // Background traffic set during OnInterval applies to the next interval.
@@ -544,12 +554,18 @@ void Engine::FinishRegion(const Region& region, double region_start) {
 }
 
 SimResult Engine::Run() {
+  MERCH_TRACE_SPAN_VAR(run_span, obs::Category::kSim, "engine.run");
+  run_span.set_arg("regions",
+                   static_cast<std::int64_t>(workload_->regions.size()));
   interval_deadline_ = config_.interval_seconds;
   if (policy_ != nullptr) policy_->OnSimulationStart(*ctx_);
 
   for (region_index_ = 0; region_index_ < workload_->regions.size();
        ++region_index_) {
     const Region& region = workload_->regions[region_index_];
+    MERCH_TRACE_SPAN_VAR(region_span, obs::Category::kSim, "engine.region");
+    region_span.set_arg("region",
+                        static_cast<std::int64_t>(region_index_));
     BuildRegionRuntime(region);
     const double region_start = t_;
     if (policy_ != nullptr) policy_->OnRegionStart(*ctx_, region_index_);
@@ -563,6 +579,14 @@ SimResult Engine::Run() {
     FinishRegion(region, region_start);
     if (policy_ != nullptr) policy_->OnRegionEnd(*ctx_, region_index_);
   }
+
+  // One registry update per run, so the hot loops above never touch the
+  // shared counters: the memo hit ratio is timing_evals vs base_builds.
+  MERCH_METRIC_COUNT("merch_engine_runs_total", 1);
+  MERCH_METRIC_COUNT("merch_engine_epochs_total", epochs_);
+  MERCH_METRIC_COUNT("merch_engine_timing_evals_total", timing_evals_);
+  MERCH_METRIC_COUNT("merch_engine_base_builds_total",
+                     base_builds_.load(std::memory_order_relaxed));
 
   SimResult result;
   result.policy = policy_ != nullptr

@@ -1,0 +1,287 @@
+// Observability layer tests (ctest label "obs"): trace recording and
+// Chrome-JSON export, ring-buffer drop accounting, metrics instruments
+// and their Prometheus/JSON exports, thread-safety under concurrent
+// emitters, and the engine integration (tracing must observe a run, never
+// change it).
+#include <algorithm>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "baselines/memory_optimizer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+#include "service/placement_service.h"
+#include "sim/engine.h"
+
+namespace merch::obs {
+namespace {
+
+// The recorder and registry are process-wide; every test starts from a
+// clean slate and leaves the recorder stopped.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Instance().set_ring_capacity(1u << 16);
+    TraceRecorder::Instance().Start();
+    MetricsRegistry::Instance().Reset();
+  }
+  void TearDown() override { TraceRecorder::Instance().Stop(); }
+};
+
+TEST_F(ObsTest, ChromeJsonIsWellFormed) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  {
+    MERCH_TRACE_SPAN(Category::kApp, "outer");
+    MERCH_TRACE_INSTANT_ARG(Category::kApp, "tick", "n", 7);
+  }
+  rec.Stop();
+
+  const std::string json = rec.ChromeJson();
+  const TraceValidation v = ValidateChromeTrace(json);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.events, 2u);
+  EXPECT_EQ(v.spans, 1u);
+  EXPECT_EQ(v.instants, 1u);
+  EXPECT_EQ(v.categories.count("app"), 1u);
+
+  // The instant's argument must survive the export.
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(json, &doc, &err)) << err;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found_arg = false;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* args = ev.Find("args");
+    if (args == nullptr) continue;
+    const JsonValue* n = args->Find("n");
+    if (n != nullptr && n->is_number() && n->number == 7.0) found_arg = true;
+  }
+  EXPECT_TRUE(found_arg);
+}
+
+TEST_F(ObsTest, SpansNestAndOrder) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  {
+    MERCH_TRACE_SPAN_VAR(outer, Category::kSim, "outer");
+    {
+      MERCH_TRACE_SPAN(Category::kSim, "inner");
+    }
+  }
+  rec.Stop();
+
+  const std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto outer = std::find_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return std::string(e.name) == "outer"; });
+  const auto inner = std::find_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return std::string(e.name) == "inner"; });
+  ASSERT_NE(outer, events.end());
+  ASSERT_NE(inner, events.end());
+  // The inner span lies entirely within the outer one.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+  // Snapshot is sorted by start time.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST_F(ObsTest, RingWrapDropsOldestAndCounts) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.set_ring_capacity(64);  // applies to buffers created after this
+  constexpr int kEmitted = 500;
+  std::thread emitter([&] {
+    for (int i = 0; i < kEmitted; ++i) {
+      rec.RecordInstant(Category::kApp, "e", "i", i);
+    }
+  });
+  emitter.join();
+  rec.Stop();
+
+  const std::vector<TraceEvent> events = rec.Snapshot();
+  std::size_t from_emitter = 0;
+  std::int64_t max_arg = -1;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "e") {
+      ++from_emitter;
+      max_arg = std::max(max_arg, e.arg);
+    }
+  }
+  EXPECT_EQ(from_emitter, 64u);
+  EXPECT_EQ(rec.dropped(), static_cast<std::uint64_t>(kEmitted - 64));
+  // The newest events are the ones retained.
+  EXPECT_EQ(max_arg, kEmitted - 1);
+}
+
+TEST_F(ObsTest, ConcurrentEmittersAreAllRecorded) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::latch go(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      go.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        MERCH_TRACE_SPAN(Category::kService, "work");
+        MERCH_TRACE_INSTANT(Category::kPool, "tick");
+        MERCH_METRIC_COUNT("obs_test_concurrent_total", 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  rec.Stop();
+
+  std::size_t spans = 0, instants = 0;
+  for (const TraceEvent& e : rec.Snapshot()) {
+    if (std::string(e.name) == "work") ++spans;
+    if (std::string(e.name) == "tick") ++instants;
+  }
+  // 2000 events per thread fit comfortably in the default ring.
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(spans, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(spans, instants);
+  EXPECT_EQ(MetricsRegistry::Instance()
+                .GetCounter("obs_test_concurrent_total")
+                .Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const TraceValidation v = ValidateChromeTrace(rec.ChromeJson());
+  ASSERT_TRUE(v.ok) << v.error;
+}
+
+TEST_F(ObsTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Stop();
+  MERCH_TRACE_SPAN(Category::kApp, "ignored");
+  MERCH_TRACE_INSTANT(Category::kApp, "ignored");
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(ObsHistogram, BucketBoundariesAreLessOrEqual) {
+  Histogram h({1.0, 2.0, 4.0});
+  // A value equal to a bound belongs to that bound's bucket (Prometheus
+  // `le` semantics).
+  h.Observe(0.5);  // le 1.0
+  h.Observe(1.0);  // le 1.0 (boundary)
+  h.Observe(1.5);  // le 2.0
+  h.Observe(2.0);  // le 2.0 (boundary)
+  h.Observe(4.0);  // le 4.0 (boundary)
+  h.Observe(9.0);  // +Inf
+  const std::vector<std::uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(ObsMetrics, PrometheusTextFormat) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.Reset();
+  reg.GetCounter("obs_test_requests_total").Add(3);
+  reg.GetGauge("obs_test_depth").Set(2.5);
+  Histogram& h = reg.GetHistogram("obs_test_latency_seconds", {0.1, 1.0});
+  h.Observe(0.05);
+  h.Observe(0.5);
+  h.Observe(5.0);
+
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# TYPE obs_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_latency_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end in +Inf.
+  EXPECT_NE(text.find("obs_test_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_latency_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonExportIsWellFormed) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.Reset();
+  reg.GetCounter("obs_test_json_total").Add(11);
+  reg.GetGauge("obs_test_json_gauge").Set(-1.5);
+  reg.GetHistogram("obs_test_json_hist", {1.0}).Observe(0.5);
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(reg.Json(), &doc, &err)) << err;
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->Find("obs_test_json_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->number, 11.0);
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* g = gauges->Find("obs_test_json_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->number, -1.5);
+  const JsonValue* hists = doc.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_NE(hists->Find("obs_test_json_hist"), nullptr);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsIdentity) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter& c = reg.GetCounter("obs_test_reset_total");
+  c.Add(5);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(&c, &reg.GetCounter("obs_test_reset_total"));
+}
+
+// Tracing observes an engine run; it must never change its results.
+TEST(ObsEngine, TracingIsInvisibleToResults) {
+  const apps::AppBundle bundle = apps::BuildApp("SpGEMM", 0.01, 0.02);
+  service::PlacementRequest req{"SpGEMM", "mo", 0.01, 0.02, 6, 42};
+  const sim::MachineSpec machine =
+      service::PlacementService::RequestMachine(req);
+  const sim::SimConfig cfg = service::PlacementService::RequestSimConfig(req);
+
+  auto run = [&] {
+    baselines::MemoryOptimizerPolicy policy;
+    return sim::Engine(bundle.workload, machine, cfg, &policy).Run();
+  };
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Stop();
+  const sim::SimResult untraced = run();
+  rec.set_ring_capacity(1u << 18);
+  rec.Start();
+  const sim::SimResult traced = run();
+  rec.Stop();
+
+  EXPECT_EQ(untraced.total_seconds, traced.total_seconds);
+  ASSERT_EQ(untraced.regions.size(), traced.regions.size());
+  for (std::size_t i = 0; i < untraced.regions.size(); ++i) {
+    EXPECT_EQ(untraced.regions[i].duration, traced.regions[i].duration);
+  }
+
+#if defined(MERCH_OBS_ENABLED)
+  // The traced run must have produced spans from the sim and hm layers.
+  const TraceValidation v = ValidateChromeTrace(rec.ChromeJson());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.categories.count("sim"), 1u);
+  EXPECT_EQ(v.categories.count("hm"), 1u);
+  EXPECT_GT(v.spans, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace merch::obs

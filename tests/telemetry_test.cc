@@ -1,0 +1,82 @@
+// Edge cases of the SimResult summary metrics (the Figure 5 / A.C.V
+// inputs): empty results, degenerate regions, zero durations.
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace merch::sim {
+namespace {
+
+TaskStats Task(TaskId id, double exec) {
+  TaskStats t;
+  t.task = id;
+  t.exec_seconds = exec;
+  return t;
+}
+
+RegionStats Region(double duration, std::vector<TaskStats> tasks) {
+  RegionStats r;
+  r.duration = duration;
+  r.tasks = std::move(tasks);
+  return r;
+}
+
+TEST(Telemetry, EmptyResultYieldsZeroCovAndNoTimes) {
+  SimResult r;
+  EXPECT_EQ(r.AverageCoV(), 0.0);
+  EXPECT_TRUE(r.NormalizedTaskTimes().empty());
+}
+
+TEST(Telemetry, SingleTaskRegionIsSkippedByCov) {
+  // CoV of one sample is undefined; the region must not drag the average
+  // toward zero.
+  SimResult r;
+  r.regions.push_back(Region(2.0, {Task(0, 2.0)}));
+  EXPECT_EQ(r.AverageCoV(), 0.0);
+  // ...but its normalized time still exists (2.0 / 2.0).
+  const std::vector<double> times = r.NormalizedTaskTimes();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+}
+
+TEST(Telemetry, ZeroDurationRegionIsSkippedByNormalizedTimes) {
+  // A zero-length region cannot normalize (division by zero); it must be
+  // dropped rather than emit inf/nan.
+  SimResult r;
+  r.regions.push_back(Region(0.0, {Task(0, 0.0), Task(1, 0.0)}));
+  r.regions.push_back(Region(4.0, {Task(0, 2.0), Task(1, 4.0)}));
+  const std::vector<double> times = r.NormalizedTaskTimes();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+}
+
+TEST(Telemetry, EmptyRegionContributesNothing) {
+  SimResult r;
+  r.regions.push_back(Region(1.0, {}));
+  EXPECT_EQ(r.AverageCoV(), 0.0);
+  EXPECT_TRUE(r.NormalizedTaskTimes().empty());
+}
+
+TEST(Telemetry, PerfectlyBalancedRegionHasZeroCov) {
+  SimResult r;
+  r.regions.push_back(Region(3.0, {Task(0, 3.0), Task(1, 3.0), Task(2, 3.0)}));
+  EXPECT_DOUBLE_EQ(r.AverageCoV(), 0.0);
+}
+
+TEST(Telemetry, CovAveragesOnlyEligibleRegions) {
+  SimResult r;
+  // Eligible: two tasks, imbalanced (CoV > 0).
+  r.regions.push_back(Region(4.0, {Task(0, 2.0), Task(1, 4.0)}));
+  // Ineligible: single task — must not dilute the average.
+  r.regions.push_back(Region(1.0, {Task(0, 1.0)}));
+  const double cov_one_region = r.AverageCoV();
+  EXPECT_GT(cov_one_region, 0.0);
+
+  SimResult only_eligible;
+  only_eligible.regions.push_back(r.regions.front());
+  EXPECT_DOUBLE_EQ(cov_one_region, only_eligible.AverageCoV());
+}
+
+}  // namespace
+}  // namespace merch::sim

@@ -30,9 +30,12 @@
 #include "baselines/memory_optimizer.h"
 #include "baselines/pm_only.h"
 #include "baselines/static_priority.h"
+#include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/merchandiser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch.h"
 #include "service/placement_service.h"
 #include "sim/engine.h"
@@ -63,6 +66,9 @@ struct Options {
   // analyze-only
   std::string kir_file;
   bool json = false;
+  // observability
+  std::string trace_file;
+  std::string metrics_file;
 };
 
 int Usage() {
@@ -78,8 +84,21 @@ int Usage() {
                "[--seed N] [--threads T]\n"
                "                      [--cache N] [--repeat R] "
                "[--file requests.txt] [--placements]\n"
-               "       merchctl analyze <file.kir> [--json]\n");
+               "       merchctl analyze <file.kir> [--json]\n"
+               "common: [--trace FILE.json] [--metrics FILE.prom]\n"
+               "        [--log-level debug|info|warn|error]\n");
   return 2;
+}
+
+/// Parse a --log-level value; unknown values are a usage error (exit 2).
+bool ParseLogLevel(const char* value, LogLevel* out) {
+  const std::string v = value;
+  if (v == "debug") *out = LogLevel::kDebug;
+  else if (v == "info") *out = LogLevel::kInfo;
+  else if (v == "warn") *out = LogLevel::kWarn;
+  else if (v == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
 }
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
@@ -380,6 +399,18 @@ int main(int argc, char** argv) {
       opt.show_placements = true;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--trace") {
+      opt.trace_file = next();
+    } else if (arg == "--metrics") {
+      opt.metrics_file = next();
+    } else if (arg == "--log-level") {
+      const char* value = next();
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) {
+        std::fprintf(stderr, "merchctl: unknown log level '%s'\n", value);
+        return 2;
+      }
+      SetLogLevel(level);
     } else if (opt.command == "analyze" && arg.rfind("--", 0) != 0 &&
                opt.kir_file.empty()) {
       opt.kir_file = arg;
@@ -397,10 +428,51 @@ int main(int argc, char** argv) {
     std::printf("policies: pm mm mo merch sparta warpx-pm all\n");
     return 0;
   }
-  if (opt.command == "run") return RunCommand(opt);
-  if (opt.command == "sweep") return SweepCommand(opt);
-  if (opt.command == "analyze") return AnalyzeCommand(opt);
-  std::fprintf(stderr, "merchctl: unknown command '%s'\n",
-               opt.command.c_str());
-  return Usage();
+
+  const bool tracing = !opt.trace_file.empty();
+  if (tracing) obs::TraceRecorder::Instance().Start();
+
+  int rc;
+  if (opt.command == "run") {
+    rc = RunCommand(opt);
+  } else if (opt.command == "sweep") {
+    rc = SweepCommand(opt);
+  } else if (opt.command == "analyze") {
+    rc = AnalyzeCommand(opt);
+  } else {
+    std::fprintf(stderr, "merchctl: unknown command '%s'\n",
+                 opt.command.c_str());
+    return Usage();
+  }
+
+  if (tracing) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+    rec.Stop();
+    std::string err;
+    if (!rec.WriteChromeJson(opt.trace_file, &err)) {
+      std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::fprintf(stderr, "merchctl: wrote %zu trace events to %s (%llu "
+                 "dropped)\n",
+                 rec.Snapshot().size(), opt.trace_file.c_str(),
+                 static_cast<unsigned long long>(rec.dropped()));
+  }
+  if (!opt.metrics_file.empty()) {
+    const auto& registry = obs::MetricsRegistry::Instance();
+    const bool as_json =
+        opt.metrics_file.size() >= 5 &&
+        opt.metrics_file.rfind(".json") == opt.metrics_file.size() - 5;
+    const std::string text =
+        as_json ? registry.Json() : registry.PrometheusText();
+    std::FILE* f = std::fopen(opt.metrics_file.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "merchctl: cannot write metrics file '%s'\n",
+                   opt.metrics_file.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return rc;
 }

@@ -7,14 +7,31 @@
 // the second pass is pure cache hits.
 //
 //   merchd --file requests.txt [--threads N] [--cache N] [--repeat R]
-//          [--placements] [--quiet]
+//          [--placements] [--quiet] [--log-level debug|info|warn|error]
+//          [--trace FILE.json]
+//          [--metrics-file FILE.prom] [--metrics-interval SECONDS]
+//
+// --metrics-file enables a periodic snapshot writer: a background thread
+// rewrites the file (Prometheus text format, atomically via rename) every
+// --metrics-interval seconds while the batch runs, and once more at exit,
+// so an external scraper tailing the file sees live queue depth and
+// request counters.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch.h"
 #include "service/placement_service.h"
 
@@ -25,9 +42,64 @@ using namespace merch;
 int Usage() {
   std::fprintf(stderr,
                "usage: merchd --file requests.txt [--threads N] [--cache N]"
-               " [--repeat R] [--placements] [--quiet]\n");
+               " [--repeat R] [--placements] [--quiet]\n"
+               "              [--log-level debug|info|warn|error]"
+               " [--trace FILE.json]\n"
+               "              [--metrics-file FILE.prom]"
+               " [--metrics-interval SECONDS]\n");
   return 2;
 }
+
+/// Writes the metrics registry to `path` (Prometheus text format) via a
+/// temp file + rename so readers never observe a torn snapshot.
+bool WriteMetricsFile(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const std::string text = obs::MetricsRegistry::Instance().PrometheusText();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Background periodic metrics-snapshot writer.
+class MetricsWriter {
+ public:
+  MetricsWriter(std::string path, double interval_seconds)
+      : path_(std::move(path)), interval_(interval_seconds) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~MetricsWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    if (!WriteMetricsFile(path_)) {  // final snapshot at exit
+      std::fprintf(stderr, "merchd: cannot write metrics file '%s'\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto period = std::chrono::duration<double>(interval_);
+    while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+      lock.unlock();
+      WriteMetricsFile(path_);
+      lock.lock();
+    }
+  }
+
+  std::string path_;
+  double interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -38,6 +110,9 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;
   bool placements = false;
   bool quiet = false;
+  std::string trace_file;
+  std::string metrics_file;
+  double metrics_interval = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -57,6 +132,27 @@ int main(int argc, char** argv) {
       placements = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--metrics-file") {
+      metrics_file = next();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::atof(next());
+      if (metrics_interval <= 0) {
+        std::fprintf(stderr, "merchd: --metrics-interval must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      const std::string value = next();
+      if (value == "debug") SetLogLevel(LogLevel::kDebug);
+      else if (value == "info") SetLogLevel(LogLevel::kInfo);
+      else if (value == "warn") SetLogLevel(LogLevel::kWarn);
+      else if (value == "error") SetLogLevel(LogLevel::kError);
+      else {
+        std::fprintf(stderr, "merchd: unknown log level '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "merchd: unknown flag '%s'\n", arg.c_str());
       return Usage();
@@ -79,6 +175,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "merchd: %s\n", cerr.c_str());
       return 2;
     }
+  }
+
+  if (!trace_file.empty()) obs::TraceRecorder::Instance().Start();
+  std::unique_ptr<MetricsWriter> metrics_writer;
+  if (!metrics_file.empty()) {
+    metrics_writer =
+        std::make_unique<MetricsWriter>(metrics_file, metrics_interval);
   }
 
   service::PlacementService svc({.threads = threads, .cache_capacity = cache});
@@ -125,5 +228,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.misses),
               static_cast<unsigned long long>(stats.cache.evictions));
+
+  // Join the workers before the final snapshot: a job's future resolves
+  // before its worker updates the post-job gauges, so writing the exit
+  // snapshot while threads still run could freeze `merch_pool_active` at
+  // a non-zero value.
+  svc.Shutdown();
+  metrics_writer.reset();  // final metrics snapshot
+  if (!trace_file.empty()) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+    rec.Stop();
+    std::string werr;
+    if (!rec.WriteChromeJson(trace_file, &werr)) {
+      std::fprintf(stderr, "merchd: %s\n", werr.c_str());
+      return 1;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,119 @@
+// trace_check — structural validator for traces written by --trace.
+//
+// Reads a Chrome trace_event JSON file, checks that it is well-formed
+// (parseable JSON, correctly shaped events), and optionally that it
+// contains events from a required set of subsystem categories. CI uses
+// this to assert that a traced sweep really exercised the instrumented
+// layers (sim, hm, service, core).
+//
+//   trace_check trace.json [--require sim,hm,service,core]
+//               [--min-events N] [--quiet]
+//
+// Exit codes: 0 valid (and requirements met), 1 structural or coverage
+// failure, 2 usage / unreadable file.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/validate.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_check <trace.json> [--require cat1,cat2,...]"
+               " [--min-events N] [--quiet]\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  std::size_t min_events = 1;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(Usage());
+      return argv[++i];
+    };
+    if (arg == "--require") {
+      required = SplitCsv(next());
+    } else if (arg == "--min-events") {
+      min_events = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "trace_check: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_check: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::string json;
+  char buf[1 << 16];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    json.append(buf, n);
+  }
+  std::fclose(f);
+
+  const merch::obs::TraceValidation v =
+      merch::obs::ValidateChromeTrace(json);
+  if (!v.ok) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(),
+                 v.error.c_str());
+    return 1;
+  }
+  if (v.events < min_events) {
+    std::fprintf(stderr,
+                 "trace_check: %s: %zu events, expected at least %zu\n",
+                 path.c_str(), v.events, min_events);
+    return 1;
+  }
+  int missing = 0;
+  for (const std::string& cat : required) {
+    if (v.categories.count(cat) == 0) {
+      std::fprintf(stderr,
+                   "trace_check: %s: no events from category '%s'\n",
+                   path.c_str(), cat.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  if (!quiet) {
+    std::string cats;
+    for (const std::string& c : v.categories) {
+      if (!cats.empty()) cats += ",";
+      cats += c;
+    }
+    std::printf("%s: %zu events (%zu spans, %zu instants) categories %s\n",
+                path.c_str(), v.events, v.spans, v.instants, cats.c_str());
+  }
+  return 0;
+}
