@@ -1,12 +1,31 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
 #include "baselines/pm_only.h"
 
 namespace merch::bench {
+
+RepeatTiming MeasureRepeated(int repeats,
+                             const std::function<double()>& sample) {
+  repeats = std::max(1, repeats);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) samples.push_back(sample());
+  std::sort(samples.begin(), samples.end());
+  RepeatTiming t;
+  t.repeats = repeats;
+  t.min_seconds = samples.front();
+  const std::size_t mid = samples.size() / 2;
+  t.median_seconds = samples.size() % 2 == 1
+                         ? samples[mid]
+                         : 0.5 * (samples[mid - 1] + samples[mid]);
+  return t;
+}
 
 sim::MachineSpec PaperMachine() { return sim::MachineSpec::Paper(); }
 

@@ -6,6 +6,7 @@
 // paper gives them. Results are deterministic (fixed seeds).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +16,21 @@
 #include "sim/engine.h"
 
 namespace merch::bench {
+
+/// Summary of N repeats of one timed measurement (--repeat N in the speed
+/// benches). The min is the tracked number — least scheduling noise on a
+/// deterministic workload; the median is reported alongside as a sanity
+/// check on run-to-run spread.
+struct RepeatTiming {
+  double min_seconds = 0;
+  double median_seconds = 0;
+  int repeats = 0;
+};
+
+/// Call `sample` `repeats` times (clamped to >= 1); each call returns one
+/// wall-clock sample in seconds.
+RepeatTiming MeasureRepeated(int repeats,
+                             const std::function<double()>& sample);
 
 /// The evaluation machine (paper Section 7).
 sim::MachineSpec PaperMachine();

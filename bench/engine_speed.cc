@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "apps/registry.h"
+#include "bench/bench_util.h"
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
 #include "baselines/pm_only.h"
@@ -55,7 +56,8 @@ struct RunRow {
   std::string policy;
   double scale = 1.0;
   std::string variant;  // "legacy" | "optimized"
-  double wall_seconds = 0;
+  double wall_seconds = 0;         // min over --repeat runs
+  double wall_median_seconds = 0;  // median over --repeat runs
   double sim_seconds = 0;  // simulated makespan (must match across variants)
   std::uint64_t epochs = 0;
   double epochs_per_sec = 0;
@@ -130,6 +132,22 @@ RunRow TimeEngineRun(const std::string& app, const std::string& policy,
   row.epochs_per_sec = wall > 0 ? static_cast<double>(c.epochs) / wall : 0;
   row.timing_evals = c.timing_evals;
   row.base_builds = c.base_builds;
+  row.wall_median_seconds = wall;
+  return row;
+}
+
+/// TimeEngineRun under --repeat: min/median wall clock over `repeats`
+/// otherwise-identical runs (deterministic, so every other field agrees).
+RunRow TimeEngineRunRepeated(const std::string& app, const std::string& policy,
+                             double scale, double work, bool optimized,
+                             bool quick, int repeats) {
+  RunRow row;
+  const bench::RepeatTiming t = bench::MeasureRepeated(repeats, [&] {
+    row = TimeEngineRun(app, policy, scale, work, optimized, quick);
+    return row.wall_seconds;
+  });
+  row.wall_seconds = t.min_seconds;
+  row.wall_median_seconds = t.median_seconds;
   return row;
 }
 
@@ -184,11 +202,12 @@ void WriteJson(const char* path, const std::vector<RunRow>& rows,
         f,
         "    {\"app\": \"%s\", \"policy\": \"%s\", \"scale\": %g, "
         "\"variant\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"wall_median_seconds\": %.6f, "
         "\"sim_seconds\": %.9g, \"epochs\": %llu, \"epochs_per_sec\": %.1f, "
         "\"timing_evals\": %llu, \"base_builds\": %llu, "
         "\"speedup\": %.3f}%s\n",
         r.app.c_str(), r.policy.c_str(), r.scale, r.variant.c_str(),
-        r.wall_seconds, r.sim_seconds,
+        r.wall_seconds, r.wall_median_seconds, r.sim_seconds,
         static_cast<unsigned long long>(r.epochs), r.epochs_per_sec,
         static_cast<unsigned long long>(r.timing_evals),
         static_cast<unsigned long long>(r.base_builds),
@@ -215,14 +234,19 @@ void WriteJson(const char* path, const std::vector<RunRow>& rows,
 int main(int argc, char** argv) {
   using namespace merch;
   bool quick = false;
+  int repeats = 1;
   const char* out = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--repeat N] [--out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -245,10 +269,12 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < scales.size(); ++s) {
     for (const std::string& app : apps::AppNames()) {
       for (const std::string& policy : Policies()) {
-        const RunRow legacy = TimeEngineRun(app, policy, scales[s].first,
-                                            scales[s].second, false, quick);
-        const RunRow optimized = TimeEngineRun(
-            app, policy, scales[s].first, scales[s].second, true, quick);
+        const RunRow legacy =
+            TimeEngineRunRepeated(app, policy, scales[s].first,
+                                  scales[s].second, false, quick, repeats);
+        const RunRow optimized =
+            TimeEngineRunRepeated(app, policy, scales[s].first,
+                                  scales[s].second, true, quick, repeats);
         if (legacy.sim_seconds != optimized.sim_seconds) {
           std::fprintf(stderr, "%s/%s: variants diverged (%.9g vs %.9g)\n",
                        app.c_str(), policy.c_str(), legacy.sim_seconds,

@@ -1,0 +1,15 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace merch::common {
+
+bool EnvToggle(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+}  // namespace merch::common

@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ml/model.h"
@@ -15,6 +18,37 @@
 #include "workloads/training.h"
 
 namespace merch::core {
+
+class CorrelationFunction;
+
+/// f specialized on one task's PMC vector: the feature prefix is fixed
+/// and only the trailing r slot varies — the decision loop's exact access
+/// pattern. Backed by the model's PartialModel specialization (tree
+/// ensembles collapse to a piecewise-constant function of r, evaluated at
+/// binary-search cost); Evaluate(r) is bitwise equal to
+/// CorrelationFunction::Evaluate(pmcs, r). Falls back to the scalar path
+/// for models without a specialization. Specializations are shared
+/// through the owning CorrelationFunction's profile cache, so re-deciding
+/// the same tasks (capacity sweeps, repeated instances) skips the
+/// construction cost entirely.
+class CorrelationProfile {
+ public:
+  CorrelationProfile() = default;
+  CorrelationProfile(CorrelationProfile&&) = default;
+  CorrelationProfile& operator=(CorrelationProfile&&) = default;
+
+  /// f(pmcs, r) for the pmcs this profile was built from.
+  double Evaluate(double r_dram) const;
+
+  bool specialized() const { return partial_ != nullptr; }
+
+ private:
+  friend class CorrelationFunction;
+
+  const CorrelationFunction* fn_ = nullptr;
+  sim::EventVector pmcs_{};  // fallback path only
+  std::shared_ptr<const ml::PartialModel> partial_;
+};
 
 class CorrelationFunction {
  public:
@@ -37,6 +71,25 @@ class CorrelationFunction {
   /// f(PMCs, r): scaling applied to the PM-only term of Eq. 2.
   double Evaluate(const sim::EventVector& pmcs, double r_dram) const;
 
+  /// The per-task feature prefix: the selected events of `pmcs` in model
+  /// order, without the trailing r slot. Computed once per task and
+  /// reused across every r the decision loop probes.
+  std::vector<double> PrefixRow(const sim::EventVector& pmcs) const;
+
+  /// f for many r values sharing one feature prefix, as one batched model
+  /// pass. out[i] is bitwise equal to Evaluate(pmcs, r_values[i]) for the
+  /// pmcs behind `prefix` (same row layout, same clamps, and the batched
+  /// tree walk is bit-identical — ml/flat_forest.h).
+  void EvaluateGrid(std::span<const double> prefix,
+                    std::span<const double> r_values,
+                    std::span<double> out) const;
+
+  /// Specializes f on one task's PMCs (see CorrelationProfile). The
+  /// underlying specialization is memoized per feature row (thread-safe),
+  /// so repeated profiles of the same task — capacity sweeps, repeated
+  /// instances, warm-started re-decisions — cost one map lookup.
+  CorrelationProfile MakeProfile(const sim::EventVector& pmcs) const;
+
   bool trained() const { return model_ != nullptr; }
   double test_r2() const { return test_r2_; }
   const std::vector<std::size_t>& events() const { return config_.events; }
@@ -49,6 +102,24 @@ class CorrelationFunction {
   Config config_;
   std::unique_ptr<ml::Regressor> model_;
   double test_r2_ = 0;
+  /// Specialization memo, keyed by the exact bits of the feature row.
+  /// `calls` counts MakeProfile requests: the first request for a row
+  /// returns the scalar fallback (a one-shot decision never pays the
+  /// specialization's construction cost), the second builds and caches
+  /// it, and everything after is a map lookup. Values are immutable once
+  /// built; concurrent misses may both build (identical) specializations
+  /// — the first insert wins, benignly. Behind a pointer so the function
+  /// stays movable.
+  struct ProfileEntry {
+    std::shared_ptr<const ml::PartialModel> model;
+    std::uint64_t calls = 0;
+  };
+  struct ProfileCache {
+    std::mutex mu;
+    std::unordered_map<std::string, ProfileEntry> map;
+  };
+  std::unique_ptr<ProfileCache> profiles_ =
+      std::make_unique<ProfileCache>();
 };
 
 }  // namespace merch::core

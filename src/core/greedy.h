@@ -10,7 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -57,11 +61,50 @@ struct GreedyConfig {
   /// Safety valve on outer rounds (the algorithm terminates on capacity or
   /// saturation; this guards degenerate inputs).
   int max_rounds = 10000;
+  /// Incremental implementation: a lazy-deletion max-heap over predicted
+  /// task times replaces the per-round full rescan, and each probed task
+  /// evaluates through the correlation function specialized on its PMCs
+  /// (CorrelationProfile — the tree ensemble collapses to a
+  /// piecewise-constant function of r, so a probe costs a binary search).
+  /// Bit-identical to the rescan (same totally-ordered tie-breaks, same
+  /// Eq. 2 operation sequence; see greedy.cc). Escape hatch:
+  /// MERCH_GREEDY_HEAP=0 forces the rescan at runtime.
+  bool incremental = true;
 };
 
 GreedyResult RunGreedyAllocation(std::span<const GreedyTaskInput> tasks,
                                  std::uint64_t dram_capacity_pages,
                                  const PerformanceModel& model,
                                  GreedyConfig config = {});
+
+/// Thread-safe exact-input memo for whole greedy runs, shared across a
+/// PlacementService's jobs so parallel sweeps warm-start from any point
+/// that already decided the same instance. Keyed by a bitwise fingerprint
+/// of everything Algorithm 1 reads (task ids, homogeneous bounds, PMCs,
+/// access totals, page curves, capacity, step) plus the correlation
+/// function's identity; the algorithm is a pure function of those inputs,
+/// so replaying a hit is bit-identical to re-running it. Heuristic reuse
+/// across *near*-identical inputs is deliberately not attempted — it
+/// would break the bit-identity contract.
+class GreedyResultCache {
+ public:
+  static std::string Fingerprint(std::span<const GreedyTaskInput> tasks,
+                                 std::uint64_t dram_capacity_pages,
+                                 const PerformanceModel& model,
+                                 const GreedyConfig& config);
+
+  /// Counts a hit or miss; a miss is expected to be followed by Insert.
+  std::shared_ptr<const GreedyResult> Find(const std::string& key);
+  void Insert(const std::string& key, GreedyResult result);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const GreedyResult>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 }  // namespace merch::core

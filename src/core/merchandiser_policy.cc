@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,6 +15,8 @@ namespace merch::core {
 namespace {
 
 using trace::AccessPattern;
+
+constexpr double kCurveQuartiles[] = {0.25, 0.5, 0.75, 1.0};
 
 int Severity(AccessPattern p) {
   switch (p) {
@@ -41,7 +45,9 @@ MerchandiserPolicy::MerchandiserPolicy(const CorrelationFunction* correlation,
       config_(config),
       pte_(config.pte, config.seed),
       thermostat_({}, config.seed + 1),
-      pebs_(config.pebs_period, config.seed + 2) {
+      pebs_(config.pebs_period, config.seed + 2),
+      memo_enabled_(
+          common::EnvToggle("MERCH_POLICY_MEMO", config.decision_memo)) {
   assert(correlation_ != nullptr && correlation_->trained());
 }
 
@@ -75,6 +81,22 @@ void MerchandiserPolicy::OnSimulationStart(sim::SimContext& ctx) {
     for (const sim::ObjectDecl& o : w.objects) base_sizes_.push_back(o.bytes);
   }
   object_target_pages_.assign(w.objects.size(), 0);
+  quartile_pages_.assign(w.objects.size() * 4, -1.0);
+  object_base_total_valid_ = false;
+  candidate_memo_region_ = nullptr;
+}
+
+double MerchandiserPolicy::QuartilePages(const trace::HeatProfile& heat,
+                                         std::size_t object,
+                                         int quartile_index,
+                                         std::uint64_t npages) {
+  const double q = kCurveQuartiles[quartile_index];
+  if (!memo_enabled_) {
+    return static_cast<double>(heat.PagesForFraction(q, npages));
+  }
+  double& slot = quartile_pages_[object * 4 + quartile_index];
+  if (slot < 0) slot = static_cast<double>(heat.PagesForFraction(q, npages));
+  return slot;
 }
 
 void MerchandiserPolicy::OnInterval(sim::SimContext& ctx) {
@@ -137,10 +159,39 @@ void MerchandiserPolicy::OnInterval(sim::SimContext& ctx) {
   (void)w;
 }
 
+const std::vector<double>& MerchandiserPolicy::ObjectBaseTotals(
+    const sim::Workload& w) {
+  if (!memo_enabled_ || !object_base_total_valid_) {
+    object_base_total_.assign(w.objects.size(), 0.0);
+    for (const auto& [key, acc] : base_accesses_) {
+      object_base_total_[key.object] += acc;
+    }
+    object_base_total_valid_ = true;
+  }
+  return object_base_total_;
+}
+
 std::vector<MerchandiserPolicy::PlacementCandidate>
 MerchandiserPolicy::BuildCandidates(sim::SimContext& ctx,
                                     const sim::Region& region, TaskId task,
                                     double* total_est) {
+  // The decision and ApplyPlacement both need this task's candidates for
+  // the same (region, alpha) state — memoize the first build. The memo is
+  // cleared whenever the region or the alpha version moves on.
+  if (memo_enabled_) {
+    if (candidate_memo_region_ == &region &&
+        candidate_memo_alpha_version_ == alpha_version_) {
+      const auto it = candidate_memo_.find(task);
+      if (it != candidate_memo_.end()) {
+        if (total_est != nullptr) *total_est = it->second.total_est;
+        return it->second.cands;
+      }
+    } else {
+      candidate_memo_.clear();
+      candidate_memo_region_ = &region;
+      candidate_memo_alpha_version_ = alpha_version_;
+    }
+  }
   MERCH_TRACE_SPAN(obs::Category::kCore, "core.estimate_accesses");
   const sim::Workload& w = ctx.workload();
   // Per-access DRAM benefit weight per (task, object): the knapsack item
@@ -179,10 +230,7 @@ MerchandiserPolicy::BuildCandidates(sim::SimContext& ctx,
     }
   }
   // Per-object base-access totals, for shared-object cost shares.
-  std::vector<double> object_base_total(w.objects.size(), 0.0);
-  for (const auto& [key, acc] : base_accesses_) {
-    object_base_total[key.object] += acc;
-  }
+  const std::vector<double>& object_base_total = ObjectBaseTotals(w);
   std::vector<PlacementCandidate> cands;
   double total = 0;
   for (std::size_t obj = 0; obj < w.objects.size(); ++obj) {
@@ -222,6 +270,9 @@ MerchandiserPolicy::BuildCandidates(sim::SimContext& ctx,
             [](const PlacementCandidate& a, const PlacementCandidate& b) {
               return a.est_accesses / a.pages > b.est_accesses / b.pages;
             });
+  if (memo_enabled_) {
+    candidate_memo_[task] = CandidateMemo{cands, total};
+  }
   if (total_est != nullptr) *total_est = total;
   return cands;
 }
@@ -232,16 +283,11 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
   MERCH_TRACE_SPAN_VAR(decision_span, obs::Category::kCore,
                        "core.instance_decision");
   decision_span.set_arg("region", static_cast<std::int64_t>(region));
+  const auto decision_start = std::chrono::steady_clock::now();
   const sim::Workload& w = ctx.workload();
   const sim::Region& reg = w.regions[region];
   const std::vector<std::uint64_t>& new_sizes =
       reg.active_bytes.empty() ? base_sizes_ : reg.active_bytes;
-
-  // Total base accesses per object (for shared-object task shares).
-  std::vector<double> object_base_total(w.objects.size(), 0.0);
-  for (const auto& [key, acc] : base_accesses_) {
-    object_base_total[key.object] += acc;
-  }
 
   // Per-task inputs for Algorithm 1.
   std::vector<GreedyTaskInput> inputs;
@@ -267,11 +313,11 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
         const trace::HeatProfile& heat = w.objects[c.object].heat;
         const auto npages = static_cast<std::uint64_t>(c.pages);
         const double cost_ratio = c.pages > 0 ? c.pages_cost / c.pages : 1.0;
-        for (const double q : {0.25, 0.5, 0.75, 1.0}) {
-          const double pages_q = static_cast<double>(
-              heat.PagesForFraction(q, std::max<std::uint64_t>(1, npages)));
+        for (int qi = 0; qi < 4; ++qi) {
+          const double pages_q = QuartilePages(
+              heat, c.object, qi, std::max<std::uint64_t>(1, npages));
           in.pages_for_access_fraction.emplace_back(
-              (cum_acc + q * c.est_accesses) / total_acc,
+              (cum_acc + kCurveQuartiles[qi] * c.est_accesses) / total_acc,
               cum_pages + pages_q * cost_ratio);
         }
         cum_acc += c.est_accesses;
@@ -280,14 +326,21 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
     }
     in.t_pm_only = homogeneous_.Predict(tp.task, hm::Tier::kPm, new_sizes);
     in.t_dram_only = homogeneous_.Predict(tp.task, hm::Tier::kDram, new_sizes);
-    // Workload characteristics: PMCs measured on the base instance.
-    for (const sim::RegionStats& rs : ctx.history()) {
-      for (const sim::TaskStats& ts : rs.tasks) {
-        if (ts.task == tp.task) {
-          in.pmcs = ts.pmcs;
+    // Workload characteristics: PMCs from the most recent completed
+    // instance of this task (walk the history backwards and stop at the
+    // first match — same stats the old full forward scan kept last).
+    const auto& hist = ctx.history();
+    [&] {
+      for (auto rit = hist.rbegin(); rit != hist.rend(); ++rit) {
+        for (auto tit = rit->tasks.rbegin(); tit != rit->tasks.rend();
+             ++tit) {
+          if (tit->task == tp.task) {
+            in.pmcs = tit->pmcs;
+            return;
+          }
         }
       }
-    }
+    }();
     decision.tasks.push_back(tp.task);
     decision.t_pm_only.push_back(in.t_pm_only);
     decision.t_dram_only.push_back(in.t_dram_only);
@@ -299,9 +352,25 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
   const std::uint64_t dram_pages =
       ctx.pages().spec().dram_capacity() / ctx.pages().page_bytes();
   GreedyResult greedy;
+  bool cache_hit = false;
   {
     MERCH_TRACE_SPAN_VAR(greedy_span, obs::Category::kCore, "core.greedy");
-    greedy = RunGreedyAllocation(inputs, dram_pages, model_, config_.greedy);
+    if (config_.greedy_cache != nullptr) {
+      // Warm-start: identical inputs (bitwise) replay the shared cached
+      // result — Algorithm 1 is a pure function of them.
+      const std::string key = GreedyResultCache::Fingerprint(
+          inputs, dram_pages, model_, config_.greedy);
+      if (const auto cached = config_.greedy_cache->Find(key)) {
+        greedy = *cached;
+        cache_hit = true;
+      } else {
+        greedy =
+            RunGreedyAllocation(inputs, dram_pages, model_, config_.greedy);
+        config_.greedy_cache->Insert(key, greedy);
+      }
+    } else {
+      greedy = RunGreedyAllocation(inputs, dram_pages, model_, config_.greedy);
+    }
     greedy_span.set_arg("rounds", static_cast<std::int64_t>(greedy.rounds));
   }
   MERCH_METRIC_COUNT("merch_core_decisions_total", 1);
@@ -311,6 +380,13 @@ void MerchandiserPolicy::OnRegionStart(sim::SimContext& ctx,
   decision.dram_fraction = greedy.dram_fraction;
   decision.predicted_seconds = greedy.predicted_seconds;
   decision.greedy_rounds = greedy.rounds;
+  decision.greedy_inputs = inputs;
+  decision.dram_capacity_pages = dram_pages;
+  decision.greedy_cache_hit = cache_hit;
+  decision.decision_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    decision_start)
+          .count();
   decisions_.push_back(decision);
 
   quota_pages_.clear();
@@ -442,6 +518,7 @@ void MerchandiserPolicy::OnRegionEnd(sim::SimContext& ctx,
         est.SetBase(static_cast<double>(base_sizes_[key.object]), it->second);
       }
     }
+    ++alpha_version_;
     return;
   }
   // Runtime alpha refinement from PEBS measurements of this instance
@@ -450,14 +527,19 @@ void MerchandiserPolicy::OnRegionEnd(sim::SimContext& ctx,
   const std::vector<std::uint64_t>& sizes =
       w.regions[region].active_bytes.empty() ? base_sizes_
                                              : w.regions[region].active_bytes;
+  bool refined = false;
   for (const sim::TaskStats& ts : stats.tasks) {
     for (std::size_t obj = 0; obj < ts.object_mm_accesses.size(); ++obj) {
       const auto it = alpha_.find(TaskObjectKey{ts.task, obj});
       if (it == alpha_.end() || !it->second.refines_at_runtime()) continue;
       const double measured = pebs_.Estimate(ts.object_mm_accesses[obj]);
       it->second.Refine(static_cast<double>(sizes[obj]), measured);
+      refined = true;
     }
   }
+  // Refinement changes Eq. 1 estimates — invalidate everything derived
+  // from them.
+  if (refined) ++alpha_version_;
 }
 
 double MerchandiserPolicy::AverageAlpha() const {

@@ -10,11 +10,43 @@ double PerformanceModel::PredictHybrid(double t_pm_only, double t_dram_only,
   const double r = std::clamp(r_dram, 0.0, 1.0);
   if (r >= 1.0) return t_dram_only;
   const double f = correlation_->Evaluate(pmcs, r);
-  const double t = t_pm_only * (1.0 - r) * f + t_dram_only * r;
   // The prediction is bounded by the homogeneous extremes (Section 5,
   // rationale 1).
-  return std::clamp(t, std::min(t_dram_only, t_pm_only),
-                    std::max(t_dram_only, t_pm_only));
+  return Combine(t_pm_only, t_dram_only, r, f);
+}
+
+std::vector<double> PerformanceModel::PrefixRow(
+    const sim::EventVector& pmcs) const {
+  return correlation_->PrefixRow(pmcs);
+}
+
+void PerformanceModel::PredictHybridGrid(double t_pm_only, double t_dram_only,
+                                         std::span<const double> prefix,
+                                         std::span<const double> r_values,
+                                         std::span<double> out) const {
+  const std::size_t n = r_values.size();
+  // Entries with r >= 1 short-circuit to t_dram_only exactly as the
+  // scalar path does; only the rest go to the model, as one batch.
+  std::vector<double> clamped(n);
+  std::vector<double> need_r;
+  std::vector<std::size_t> need_at;
+  need_r.reserve(n);
+  need_at.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clamped[i] = std::clamp(r_values[i], 0.0, 1.0);
+    if (clamped[i] >= 1.0) {
+      out[i] = t_dram_only;
+    } else {
+      need_r.push_back(clamped[i]);
+      need_at.push_back(i);
+    }
+  }
+  if (need_r.empty()) return;
+  std::vector<double> f(need_r.size());
+  correlation_->EvaluateGrid(prefix, need_r, f);
+  for (std::size_t k = 0; k < need_r.size(); ++k) {
+    out[need_at[k]] = Combine(t_pm_only, t_dram_only, need_r[k], f[k]);
+  }
 }
 
 double ProfilingRegressionPredict(double t_base, double s_base_total,

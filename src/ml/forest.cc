@@ -2,11 +2,16 @@
 
 #include <cmath>
 
+#include "common/env.h"
+
 namespace merch::ml {
 
 void RandomForestRegressor::Fit(const Dataset& data) {
   trees_.clear();
-  if (data.empty()) return;
+  if (data.empty()) {
+    CompileFlat();
+    return;
+  }
   TreeConfig tc = config_.tree;
   if (config_.feature_fraction > 0) {
     tc.max_features = std::max<std::size_t>(
@@ -27,6 +32,18 @@ void RandomForestRegressor::Fit(const Dataset& data) {
     tree.Fit(boot);
     trees_.push_back(std::move(tree));
   }
+  CompileFlat();
+}
+
+void RandomForestRegressor::CompileFlat() {
+  flat_.Clear();
+  // Scalar path: sum += tree.Predict(x); sum / num_trees. base 0 and
+  // tree_scale 1 reproduce the sum bitwise (1.0 * leaf is exact), the
+  // divisor reproduces the average.
+  flat_.divisor = trees_.empty() ? 1.0 : static_cast<double>(trees_.size());
+  for (const DecisionTreeRegressor& tree : trees_) {
+    tree.AppendToForest(&flat_);
+  }
 }
 
 double RandomForestRegressor::Predict(std::span<const double> x) const {
@@ -34,6 +51,24 @@ double RandomForestRegressor::Predict(std::span<const double> x) const {
   double sum = 0;
   for (const auto& t : trees_) sum += t.Predict(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::PredictBatch(std::span<const double> rows,
+                                         std::size_t num_features,
+                                         std::span<double> out) const {
+  if (!common::EnvToggle("MERCH_FLAT_FOREST", true)) {
+    Regressor::PredictBatch(rows, num_features, out);  // per-row walk
+    return;
+  }
+  flat_.PredictBatch(rows, num_features, out);
+}
+
+std::unique_ptr<PartialModel> RandomForestRegressor::Specialize(
+    std::span<const double> row, std::size_t var) const {
+  if (flat_.empty() || !common::EnvToggle("MERCH_FLAT_FOREST", true)) {
+    return nullptr;
+  }
+  return std::make_unique<FlatForestPartial>(&flat_, row, var);
 }
 
 std::vector<double> RandomForestRegressor::FeatureImportance() const {

@@ -23,15 +23,29 @@ class RandomForestRegressor final : public Regressor {
 
   void Fit(const Dataset& data) override;
   double Predict(std::span<const double> x) const override;
+  /// Flattened single-pass walk over all trees (ml/flat_forest.h);
+  /// bitwise equal to the per-row Predict loop. MERCH_FLAT_FOREST=0
+  /// falls back to the per-row path.
+  void PredictBatch(std::span<const double> rows, std::size_t num_features,
+                    std::span<double> out) const override;
+  /// Piecewise-constant collapse over the free feature (FlatForestPartial;
+  /// bitwise equal to Predict). Returns nullptr under MERCH_FLAT_FOREST=0.
+  std::unique_ptr<PartialModel> Specialize(std::span<const double> row,
+                                           std::size_t var) const override;
   std::string name() const override { return "RFR"; }
+
+  const FlatForest& flat_forest() const { return flat_; }
 
   /// Mean impurity importance over trees.
   std::vector<double> FeatureImportance() const;
 
  private:
+  void CompileFlat();
+
   ForestConfig config_;
   Rng rng_;
   std::vector<DecisionTreeRegressor> trees_;
+  FlatForest flat_;  // compiled at the end of Fit
 };
 
 }  // namespace merch::ml

@@ -12,12 +12,17 @@
 
 namespace merch::ml {
 
-std::vector<double> Regressor::PredictAll(const Dataset& data) const {
-  std::vector<double> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(Predict(data.row(i)));
+void Regressor::PredictBatch(std::span<const double> rows,
+                             std::size_t num_features,
+                             std::span<double> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Predict(rows.subspan(i * num_features, num_features));
   }
+}
+
+std::vector<double> Regressor::PredictAll(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  PredictBatch(data.raw(), data.num_features(), out);
   return out;
 }
 

@@ -136,6 +136,35 @@ double DecisionTreeRegressor::Predict(std::span<const double> x) const {
   }
 }
 
+void DecisionTreeRegressor::PredictBatch(std::span<const double> rows,
+                                         std::size_t num_features,
+                                         std::span<double> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Predict(rows.subspan(i * num_features, num_features));
+  }
+}
+
+void DecisionTreeRegressor::AppendToForest(FlatForest* forest) const {
+  const auto offset = static_cast<std::int32_t>(forest->num_nodes());
+  forest->roots.push_back(offset);  // root is local node 0 (see Predict)
+  if (nodes_.empty()) {  // unfitted tree predicts 0.0
+    forest->feature.push_back(-1);
+    forest->threshold.push_back(0.0);
+    forest->value.push_back(0.0);
+    forest->left.push_back(-1);
+    forest->right.push_back(-1);
+    return;
+  }
+  for (const Node& n : nodes_) {
+    const bool leaf = n.feature == static_cast<std::size_t>(-1);
+    forest->feature.push_back(leaf ? -1 : static_cast<std::int32_t>(n.feature));
+    forest->threshold.push_back(n.threshold);
+    forest->value.push_back(n.value);
+    forest->left.push_back(leaf ? -1 : n.left + offset);
+    forest->right.push_back(leaf ? -1 : n.right + offset);
+  }
+}
+
 std::vector<double> DecisionTreeRegressor::FeatureImportance() const {
   std::vector<double> out = importance_;
   double total = 0;

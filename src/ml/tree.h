@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "ml/flat_forest.h"
 #include "ml/model.h"
 
 namespace merch::ml {
@@ -30,6 +31,10 @@ class DecisionTreeRegressor final : public Regressor {
 
   void Fit(const Dataset& data) override;
   double Predict(std::span<const double> x) const override;
+  /// Per-row walk over the contiguous node vector; bitwise equal to
+  /// Predict on every row (no ensemble accumulation for a single tree).
+  void PredictBatch(std::span<const double> rows, std::size_t num_features,
+                    std::span<double> out) const override;
   std::string name() const override { return "DTR"; }
 
   /// Fit on externally supplied targets (gradient boosting fits trees to
@@ -38,6 +43,11 @@ class DecisionTreeRegressor final : public Regressor {
 
   /// Per-feature impurity decrease, normalised to sum 1.
   std::vector<double> FeatureImportance() const;
+
+  /// Appends this tree to a flattened ensemble (child indices rebased to
+  /// the forest's global node array). Build always places the root at
+  /// local index 0.
+  void AppendToForest(FlatForest* forest) const;
 
   std::size_t node_count() const { return nodes_.size(); }
 

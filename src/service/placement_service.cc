@@ -100,7 +100,7 @@ void PlacementService::RunJob(
   std::shared_ptr<const core::MerchandiserSystem> system;
   if (req.policy == "merch") system = TrainedSystem(req.train_regions);
 
-  PlacementResult result = RunRequest(req, system.get());
+  PlacementResult result = RunRequest(req, system.get(), &greedy_cache_);
   if (result.ok()) cache_.Put(key, result);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +126,8 @@ ServiceStats PlacementService::Stats() const {
     s.simulated = simulated_;
     s.failed = failed_;
   }
+  s.greedy_hits = greedy_cache_.hits();
+  s.greedy_misses = greedy_cache_.misses();
   s.cache = cache_.Stats();
   s.threads = pool_.thread_count();
   return s;
@@ -170,7 +172,8 @@ sim::SimConfig PlacementService::RequestSimConfig(const PlacementRequest& req) {
 }
 
 PlacementResult PlacementService::RunRequest(
-    const PlacementRequest& req, const core::MerchandiserSystem* system) {
+    const PlacementRequest& req, const core::MerchandiserSystem* system,
+    core::GreedyResultCache* greedy_cache) {
   PlacementResult out;
   out.request = req;
   try {
@@ -221,7 +224,9 @@ PlacementResult PlacementService::RunRequest(
         out.error = "policy 'merch' needs a trained MerchandiserSystem";
         return out;
       }
-      policy = system->MakePolicy(bundle.workload, machine);
+      core::MerchandiserConfig merch_config;
+      merch_config.greedy_cache = greedy_cache;
+      policy = system->MakePolicy(bundle.workload, machine, merch_config);
     } else {
       out.error = "unknown policy '" + req.policy + "'";
       return out;

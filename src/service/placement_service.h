@@ -44,6 +44,10 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;   // joined an identical in-flight request
   std::uint64_t simulated = 0;   // jobs that actually ran an Engine
   std::uint64_t failed = 0;      // jobs whose result carries an error
+  /// Shared greedy warm-start cache (see GreedyResultCache): instance
+  /// decisions replayed from / inserted into the cross-job memo.
+  std::uint64_t greedy_hits = 0;
+  std::uint64_t greedy_misses = 0;
   CacheStats cache;
   std::size_t threads = 0;
 };
@@ -91,8 +95,14 @@ class PlacementService {
 
   /// Synchronously run one canonicalized request. `system` may be null for
   /// policies other than 'merch'. Never throws; errors land in the result.
+  /// `greedy_cache` (optional, must outlive the call) lets 'merch' runs
+  /// warm-start Algorithm 1 from identical decisions made by other jobs
+  /// sharing the cache — bit-identical either way, since the cache only
+  /// replays exact-input hits.
   static PlacementResult RunRequest(const PlacementRequest& req,
-                                    const core::MerchandiserSystem* system);
+                                    const core::MerchandiserSystem* system,
+                                    core::GreedyResultCache* greedy_cache =
+                                        nullptr);
 
  private:
   /// The shared immutable trained system for `train_regions`, training it
@@ -117,6 +127,12 @@ class PlacementService {
   std::mutex train_mu_;  // serializes training; guards systems_
   std::map<std::size_t, std::shared_ptr<const core::MerchandiserSystem>>
       systems_;
+
+  /// Shared across jobs: parallel sweep points that reach the same
+  /// Algorithm 1 inputs replay each other's results (thread-safe; keyed
+  /// bitwise, so sharing never changes a result). Declared after systems_
+  /// — fingerprints reference correlation functions owned there.
+  core::GreedyResultCache greedy_cache_;
 
   ThreadPool pool_;  // last member: jobs may touch everything above
 };

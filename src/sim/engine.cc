@@ -8,6 +8,7 @@
 #include <latch>
 
 #include "cachesim/cpu_cache.h"
+#include "common/env.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,14 +25,7 @@ double MixedBandwidthBytesPerSec(const hm::TierSpec& tier, double read_fraction)
   return 1.0 / (r / rb + (1.0 - r) / wb);
 }
 
-/// Boolean escape hatch: unset/empty keeps `fallback`; "0"/"off"/"false"
-/// disables; anything else enables.
-bool EnvToggle(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
-         std::strcmp(v, "false") != 0;
-}
+using common::EnvToggle;
 
 }  // namespace
 
