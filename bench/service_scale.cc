@@ -1,0 +1,406 @@
+// service_scale — closed-loop load generator for the networked placement
+// service (src/net), the service-tier acceptance bench.
+//
+// Three phases against an in-process PlacementServer on a loopback socket:
+//
+//   1. verify    — every unique request in the mix is answered both by a
+//                  reference in-process PlacementService and over the wire;
+//                  the two results must be bit-identical (doubles compared
+//                  by bit pattern). This also warms the server's cache.
+//   2. saturate  — a concurrency sweep: at each level, N closed-loop
+//                  clients drive the warm server until the level's quota
+//                  is spent, recording per-request latency. Reports
+//                  p50/p99 and throughput per level (the saturation
+//                  curve); a sampled subset re-checks bit-identity under
+//                  full load. Default quotas total >= 100k requests.
+//   3. overload  — a deliberately tiny server (1 worker, max_inflight 1)
+//                  is flooded with cold cache-missing requests; the bench
+//                  asserts the server sheds with RETRY_LATER instead of
+//                  queueing without bound, that every call completes (no
+//                  hangs), and that merch_net_shed_total shows up in the
+//                  Prometheus export.
+//
+// Writes BENCH_service.json (override with --out <path>); --quick shrinks
+// quotas for CI smoke runs. Any mismatch, transport error, hang, or
+// missing shed is a non-zero exit.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "service/placement_service.h"
+#include "service/serialization.h"
+
+namespace merch {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(sorted.size() - 1.0,
+                       q * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+/// The request mix: every app under every policy, two seeds each, at a
+/// small scale so the cold pass stays cheap. 'merch' carries a reduced
+/// training budget — serving throughput, not training, is under test.
+std::vector<service::PlacementRequest> BuildMix() {
+  std::vector<service::PlacementRequest> mix;
+  for (const auto& app : apps::AppNames()) {
+    for (const char* policy : {"pm", "mm", "mo", "merch"}) {
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        service::PlacementRequest req{app, policy, 0.01, 0.02, 8, seed};
+        const std::string err = service::CanonicalizeRequest(req);
+        if (!err.empty()) {
+          std::fprintf(stderr, "[service_scale] bad mix request: %s\n",
+                       err.c_str());
+          std::exit(1);
+        }
+        mix.push_back(req);
+      }
+    }
+  }
+  return mix;
+}
+
+struct LevelRow {
+  std::size_t concurrency = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+struct OverloadRow {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t errors = 0;
+  double seconds = 0;
+};
+
+/// One closed-loop concurrency level: `concurrency` clients share a quota
+/// of `quota` requests round-robin over the warm mix. Every 97th response
+/// is re-checked for bit-identity against the reference results.
+LevelRow RunLevel(std::uint16_t port, std::size_t concurrency,
+                  std::size_t quota,
+                  const std::vector<service::PlacementRequest>& mix,
+                  const std::map<std::string, service::PlacementResult>& ref,
+                  std::atomic<std::size_t>* mismatches) {
+  std::atomic<std::size_t> issued{0};
+  std::atomic<std::size_t> errors{0};
+  std::mutex merge_mu;
+  std::vector<double> latencies;
+  latencies.reserve(quota);
+
+  const double t0 = Now();
+  std::vector<std::thread> workers;
+  workers.reserve(concurrency);
+  for (std::size_t w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      net::Client client;
+      std::string err;
+      if (!client.Connect("127.0.0.1", port, &err)) {
+        std::fprintf(stderr, "[service_scale] worker %zu: %s\n", w,
+                     err.c_str());
+        errors.fetch_add(1);
+        return;
+      }
+      std::vector<double> local;
+      for (;;) {
+        const std::size_t i = issued.fetch_add(1);
+        if (i >= quota) break;
+        const service::PlacementRequest& req = mix[i % mix.size()];
+        service::PlacementResult result;
+        net::ErrorCode code;
+        const double start = Now();
+        const net::Client::Status status =
+            client.Call(req, 30000, &result, &code, &err);
+        local.push_back(Now() - start);
+        if (status != net::Client::Status::kOk) {
+          std::fprintf(stderr, "[service_scale] call failed: %s\n",
+                       err.c_str());
+          errors.fetch_add(1);
+          if (status == net::Client::Status::kTransportError) return;
+          continue;
+        }
+        if (i % 97 == 0) {
+          const auto it = ref.find(service::CanonicalKey(req));
+          if (it == ref.end() ||
+              !service::BitIdentical(it->second, result)) {
+            mismatches->fetch_add(1);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  LevelRow row;
+  row.concurrency = concurrency;
+  row.requests = latencies.size();
+  row.errors = errors.load();
+  row.seconds = Now() - t0;
+  row.rps = row.seconds > 0 ? row.requests / row.seconds : 0;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_ms = Percentile(latencies, 0.50) * 1e3;
+  row.p99_ms = Percentile(latencies, 0.99) * 1e3;
+  return row;
+}
+
+/// Flood a deliberately tiny server with cold keys until it sheds. Every
+/// request varies its seed, so nothing hits the cache and admission
+/// control is the only thing between the flood and the one worker thread.
+OverloadRow RunOverload(std::uint16_t port, std::size_t concurrency,
+                        std::size_t per_client_rounds) {
+  OverloadRow row;
+  std::mutex mu;
+  const double t0 = Now();
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      net::Client client;
+      std::string err;
+      if (!client.Connect("127.0.0.1", port, &err)) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++row.errors;
+        return;
+      }
+      std::size_t ok = 0, shed = 0, errs = 0, sent = 0;
+      for (std::size_t i = 0; i < per_client_rounds; ++i) {
+        service::PlacementRequest req{"SpGEMM", "pm", 0.005, 0.01, 0,
+                                      1000 + w * 1000 + i};
+        (void)service::CanonicalizeRequest(req);
+        service::PlacementResult result;
+        net::ErrorCode code;
+        ++sent;
+        const net::Client::Status status =
+            client.Call(req, 30000, &result, &code, &err);
+        if (status == net::Client::Status::kOk) {
+          ++ok;
+        } else if (status == net::Client::Status::kRemoteError &&
+                   code == net::ErrorCode::kRetryLater) {
+          ++shed;
+        } else {
+          ++errs;
+          if (status == net::Client::Status::kTransportError) break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      row.requests += sent;
+      row.ok += ok;
+      row.shed += shed;
+      row.errors += errs;
+    });
+  }
+  for (auto& t : workers) t.join();
+  row.seconds = Now() - t0;
+  return row;
+}
+
+bool WriteJson(const char* path, bool quick, std::size_t mix_size,
+               std::size_t verified, std::size_t mismatches,
+               const std::vector<LevelRow>& levels,
+               const OverloadRow& overload, bool metric_present) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::size_t total = 0;
+  for (const auto& l : levels) total += l.requests;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"service_scale\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"mix_size\": %zu,\n", mix_size);
+  std::fprintf(f, "  \"verify\": {\"unique\": %zu, \"mismatches\": %zu},\n",
+               verified, mismatches);
+  std::fprintf(f, "  \"total_requests\": %zu,\n", total);
+  std::fprintf(f, "  \"saturation\": [\n");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelRow& l = levels[i];
+    std::fprintf(f,
+                 "    {\"concurrency\": %zu, \"requests\": %zu, \"errors\": "
+                 "%zu, \"seconds\": %.3f, \"rps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f}%s\n",
+                 l.concurrency, l.requests, l.errors, l.seconds, l.rps,
+                 l.p50_ms, l.p99_ms, i + 1 < levels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"overload\": {\"requests\": %zu, \"ok\": %zu, \"shed\": "
+               "%zu, \"errors\": %zu, \"seconds\": %.3f},\n",
+               overload.requests, overload.ok, overload.shed, overload.errors,
+               overload.seconds);
+  std::fprintf(f, "  \"metrics_has_shed_total\": %s\n",
+               metric_present ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+}  // namespace merch
+
+int main(int argc, char** argv) {
+  using namespace merch;
+  bool quick = false;
+  const char* out = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<service::PlacementRequest> mix = BuildMix();
+  const std::vector<std::size_t> levels =
+      quick ? std::vector<std::size_t>{1, 4, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+  const std::size_t quota_per_level = quick ? 500 : 20000;
+
+  // ---- phase 1: verify ------------------------------------------------
+  std::fprintf(stderr, "[service_scale] cold pass: %zu unique requests "
+               "(in-process reference + wire)\n", mix.size());
+  net::ServerConfig cfg;
+  cfg.threads = std::max(2u, std::thread::hardware_concurrency() / 2);
+  cfg.cache_capacity = 4096;
+  net::PlacementServer server(cfg);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "[service_scale] server: %s\n", err.c_str());
+    return 1;
+  }
+
+  service::PlacementService reference(
+      {.threads = cfg.threads, .cache_capacity = 4096});
+  std::map<std::string, service::PlacementResult> ref;
+  for (const auto& req : mix) {
+    ref[service::CanonicalKey(req)] = reference.Submit(req).future.get();
+  }
+  reference.Shutdown();
+
+  net::Client verifier;
+  if (!verifier.Connect("127.0.0.1", server.port(), &err)) {
+    std::fprintf(stderr, "[service_scale] connect: %s\n", err.c_str());
+    return 1;
+  }
+  std::size_t cold_mismatches = 0;
+  for (const auto& req : mix) {
+    service::PlacementResult result;
+    net::ErrorCode code;
+    if (verifier.Call(req, 120000, &result, &code, &err) !=
+        net::Client::Status::kOk) {
+      std::fprintf(stderr, "[service_scale] cold call failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    if (!service::BitIdentical(ref[service::CanonicalKey(req)], result)) {
+      ++cold_mismatches;
+    }
+  }
+  verifier.Close();
+  std::fprintf(stderr, "[service_scale] cold pass done (%zu mismatches)\n",
+               cold_mismatches);
+
+  // ---- phase 2: saturation sweep -------------------------------------
+  std::atomic<std::size_t> hot_mismatches{0};
+  std::vector<LevelRow> rows;
+  std::size_t sweep_errors = 0;
+  for (std::size_t c : levels) {
+    const LevelRow row = RunLevel(server.port(), c, quota_per_level, mix,
+                                  ref, &hot_mismatches);
+    std::fprintf(stderr,
+                 "[service_scale] c=%-3zu %zu reqs in %.2fs  %.0f rps  "
+                 "p50 %.3fms  p99 %.3fms  errors %zu\n",
+                 row.concurrency, row.requests, row.seconds, row.rps,
+                 row.p50_ms, row.p99_ms, row.errors);
+    sweep_errors += row.errors;
+    rows.push_back(row);
+  }
+  server.Stop();
+
+  // ---- phase 3: overload ---------------------------------------------
+  net::ServerConfig tiny;
+  tiny.threads = 1;
+  tiny.cache_capacity = 16;
+  tiny.max_inflight = 1;
+  tiny.max_queue_depth = 1;
+  net::PlacementServer small(tiny);
+  if (!small.Start(&err)) {
+    std::fprintf(stderr, "[service_scale] overload server: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  OverloadRow overload =
+      RunOverload(small.port(), 8, quick ? 8 : 32);
+  std::fprintf(stderr,
+               "[service_scale] overload: %zu reqs  ok %zu  shed %zu  "
+               "errors %zu in %.2fs\n",
+               overload.requests, overload.ok, overload.shed,
+               overload.errors, overload.seconds);
+  small.Stop();
+
+  const std::string prom = obs::MetricsRegistry::Instance().PrometheusText();
+  const bool metric_present =
+      prom.find("merch_net_shed_total") != std::string::npos;
+
+  if (!WriteJson(out, quick, mix.size(), mix.size(), cold_mismatches,
+                 rows, overload, metric_present)) {
+    std::fprintf(stderr, "[service_scale] cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(stderr, "[service_scale] wrote %s\n", out);
+
+  int rc = 0;
+  if (cold_mismatches > 0 || hot_mismatches.load() > 0) {
+    std::fprintf(stderr, "[service_scale] FAIL: %zu cold / %zu hot "
+                 "bit-identity mismatches\n",
+                 cold_mismatches, hot_mismatches.load());
+    rc = 1;
+  }
+  if (sweep_errors > 0) {
+    std::fprintf(stderr, "[service_scale] FAIL: %zu sweep errors\n",
+                 sweep_errors);
+    rc = 1;
+  }
+  if (overload.shed == 0) {
+    std::fprintf(stderr,
+                 "[service_scale] FAIL: overload produced no RETRY_LATER\n");
+    rc = 1;
+  }
+  if (overload.errors > 0) {
+    std::fprintf(stderr, "[service_scale] FAIL: %zu overload errors\n",
+                 overload.errors);
+    rc = 1;
+  }
+  if (!metric_present) {
+    std::fprintf(stderr, "[service_scale] FAIL: merch_net_shed_total "
+                 "missing from Prometheus export\n");
+    rc = 1;
+  }
+  return rc;
+}

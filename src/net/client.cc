@@ -1,0 +1,127 @@
+#include "net/client.h"
+
+#include "net/socket.h"
+#include "service/serialization.h"
+
+namespace merch::net {
+
+bool Client::Connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  Close();
+  fd_ = ConnectTo(host, port, error);
+  if (fd_ < 0) return false;
+  parser_ = FrameParser();
+  return true;
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Client::Status Client::Transact(const Frame& frame, Frame* reply,
+                                std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return Status::kTransportError;
+  }
+  const std::string bytes = EncodeFrame(frame);
+  if (!WriteAll(fd_, bytes.data(), bytes.size())) {
+    if (error != nullptr) *error = "write failed (server closed?)";
+    Close();
+    return Status::kTransportError;
+  }
+  char buf[1 << 16];
+  for (;;) {
+    std::string perr;
+    const FrameParser::Status st = parser_.Next(reply, &perr);
+    if (st == FrameParser::Status::kFrame) {
+      if (reply->seq != frame.seq) continue;  // stale frame: not ours
+      return Status::kOk;
+    }
+    if (st == FrameParser::Status::kBad) {
+      if (error != nullptr) *error = "protocol error from server: " + perr;
+      Close();
+      return Status::kTransportError;
+    }
+    const long n = ReadSome(fd_, buf, sizeof buf);
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = n == 0 ? "server closed the connection" : "read failed";
+      }
+      Close();
+      return Status::kTransportError;
+    }
+    parser_.Feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Client::Status Client::Call(const service::PlacementRequest& request,
+                            std::uint32_t deadline_ms,
+                            service::PlacementResult* result,
+                            ErrorCode* error_code, std::string* error) {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.seq = next_seq_++;
+  service::WireWriter w;
+  w.U32(deadline_ms);
+  service::EncodeRequest(request, &w);
+  frame.payload = w.Take();
+
+  Frame reply;
+  const Status st = Transact(frame, &reply, error);
+  if (st != Status::kOk) return st;
+
+  if (reply.type == FrameType::kError) {
+    ErrorCode code;
+    std::string message;
+    if (!DecodeErrorPayload(reply.payload, &code, &message)) {
+      if (error != nullptr) *error = "undecodable error frame";
+      Close();
+      return Status::kTransportError;
+    }
+    if (error_code != nullptr) *error_code = code;
+    if (error != nullptr) *error = message;
+    return Status::kRemoteError;
+  }
+  if (reply.type != FrameType::kResponse) {
+    if (error != nullptr) *error = "unexpected reply frame type";
+    Close();
+    return Status::kTransportError;
+  }
+  service::WireReader r(reply.payload);
+  if (!service::DecodeResult(&r, result) || r.remaining() != 0) {
+    if (error != nullptr) *error = "undecodable response payload";
+    Close();
+    return Status::kTransportError;
+  }
+  return Status::kOk;
+}
+
+Client::Status Client::Ping(std::string* error) {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.seq = next_seq_++;
+  Frame reply;
+  const Status st = Transact(frame, &reply, error);
+  if (st != Status::kOk) return st;
+  if (reply.type == FrameType::kPong) return Status::kOk;
+  if (reply.type == FrameType::kError) {
+    ErrorCode code;
+    std::string message;
+    if (DecodeErrorPayload(reply.payload, &code, &message)) {
+      if (error != nullptr) *error = message;
+      return Status::kRemoteError;
+    }
+  }
+  if (error != nullptr) *error = "unexpected reply to ping";
+  Close();
+  return Status::kTransportError;
+}
+
+Client::Status Client::Forward(const Frame& frame, Frame* reply,
+                               std::string* error) {
+  return Transact(frame, reply, error);
+}
+
+}  // namespace merch::net

@@ -1,0 +1,66 @@
+// Blocking client for the networked placement service.
+//
+// One Client owns one TCP connection and is not thread-safe — concurrent
+// callers (the load generator, router handler threads) each hold their
+// own. Call() sends a request frame and waits for the matching response;
+// the server may interleave pings/other seqs, so replies are matched by
+// sequence id.
+//
+// Outcomes are three-valued:
+//   kOk             — *result holds the server's PlacementResult (which
+//                     may itself carry a request-level .error, exactly as
+//                     the in-process service reports them)
+//   kRemoteError    — the server answered with an error frame
+//                     (*error_code: RETRY_LATER, TIMEOUT, ...); the
+//                     connection stays usable
+//   kTransportError — the socket died or the server broke protocol; the
+//                     client disconnects itself
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "service/request.h"
+
+namespace merch::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, std::uint16_t port,
+               std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  enum class Status { kOk, kRemoteError, kTransportError };
+
+  /// `deadline_ms == 0` asks for the server's default deadline.
+  Status Call(const service::PlacementRequest& request,
+              std::uint32_t deadline_ms, service::PlacementResult* result,
+              ErrorCode* error_code, std::string* error);
+
+  Status Ping(std::string* error);
+
+  /// Router data path: send a pre-encoded frame and return the matching
+  /// reply frame verbatim (whatever its type), so the router relays
+  /// responses and error frames without re-encoding them.
+  Status Forward(const Frame& frame, Frame* reply, std::string* error);
+
+  /// Sequence id the next Call()/Ping() will use (monotonic per client).
+  std::uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  Status Transact(const Frame& frame, Frame* reply, std::string* error);
+
+  int fd_ = -1;
+  FrameParser parser_;
+  std::uint32_t next_seq_ = 1;
+};
+
+}  // namespace merch::net

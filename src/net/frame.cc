@@ -1,0 +1,129 @@
+#include "net/frame.h"
+
+#include "service/serialization.h"
+
+namespace merch::net {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'C', 'H'};
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformed:
+      return "MALFORMED";
+    case ErrorCode::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
+    case ErrorCode::kRetryLater:
+      return "RETRY_LATER";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "?";
+}
+
+void AppendFrame(const Frame& frame, std::string* out) {
+  service::WireWriter w;
+  for (char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
+  w.U16(kProtocolVersion);
+  w.U8(static_cast<std::uint8_t>(frame.type));
+  w.U8(0);  // reserved
+  w.U32(frame.seq);
+  w.U32(static_cast<std::uint32_t>(frame.payload.size()));
+  out->append(w.bytes());
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendFrame(frame, &out);
+  return out;
+}
+
+std::string EncodeErrorPayload(ErrorCode code, const std::string& message) {
+  service::WireWriter w;
+  w.U16(static_cast<std::uint16_t>(code));
+  w.Str(message);
+  return w.Take();
+}
+
+bool DecodeErrorPayload(const std::string& payload, ErrorCode* code,
+                        std::string* message) {
+  service::WireReader r(payload);
+  std::uint16_t raw = 0;
+  r.U16(&raw);
+  r.Str(message);
+  if (!r.ok() || r.remaining() != 0) return false;
+  *code = static_cast<ErrorCode>(raw);
+  return true;
+}
+
+FrameParser::Status FrameParser::Next(Frame* out, std::string* error,
+                                      bool* bad_version) {
+  if (bad_version != nullptr) *bad_version = false;
+  if (buf_.size() < kFrameHeaderBytes) return Status::kNeedMore;
+
+  service::WireReader r(buf_.data(), kFrameHeaderBytes);
+  std::uint8_t magic[4];
+  for (std::uint8_t& m : magic) r.U8(&m);
+  std::uint16_t version = 0;
+  std::uint8_t type = 0, reserved = 0;
+  std::uint32_t seq = 0, payload_len = 0;
+  r.U16(&version);
+  r.U8(&type);
+  r.U8(&reserved);
+  r.U32(&seq);
+  r.U32(&payload_len);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (static_cast<char>(magic[i]) != kMagic[i]) {
+      if (error != nullptr) *error = "bad frame magic";
+      return Status::kBad;
+    }
+  }
+  if (version != kProtocolVersion) {
+    if (error != nullptr) {
+      *error = "unsupported protocol version " + std::to_string(version);
+    }
+    if (bad_version != nullptr) *bad_version = true;
+    return Status::kBad;
+  }
+  if (reserved != 0) {
+    if (error != nullptr) *error = "nonzero reserved header byte";
+    return Status::kBad;
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kPong)) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(type);
+    }
+    return Status::kBad;
+  }
+  if (payload_len > max_frame_bytes_) {
+    if (error != nullptr) {
+      *error = "frame payload of " + std::to_string(payload_len) +
+               " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+               "-byte limit";
+    }
+    return Status::kBad;
+  }
+  const std::size_t total = kFrameHeaderBytes + payload_len;
+  if (buf_.size() < total) return Status::kNeedMore;
+
+  out->type = static_cast<FrameType>(type);
+  out->seq = seq;
+  out->payload.assign(buf_, kFrameHeaderBytes, payload_len);
+  buf_.erase(0, total);
+  return Status::kFrame;
+}
+
+}  // namespace merch::net

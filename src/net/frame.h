@@ -1,0 +1,108 @@
+// Wire-protocol framing for the networked placement service.
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     magic "MRCH"
+//   4       2     protocol version (u16, currently 1)
+//   6       1     frame type (FrameType)
+//   7       1     reserved (must be 0)
+//   8       4     sequence id (u32, chosen by the client, echoed by the
+//                 server so responses can be pipelined out of order)
+//   12      4     payload length (u32, bounded by max_frame_bytes)
+//   16      ...   payload (type-specific, see service/serialization.h)
+//
+// Payloads:
+//   kRequest   u32 deadline_ms (0 = server default) + encoded
+//              PlacementRequest
+//   kResponse  encoded PlacementResult
+//   kError     u16 ErrorCode + str message
+//   kPing      empty
+//   kPong      empty
+//
+// Parsing is defensive end to end: a FrameParser fed truncated, oversized,
+// or garbage bytes reports kBad with a diagnostic — it never reads out of
+// bounds, never allocates more than the frame bound, and never aborts.
+// Version mismatches are detected per frame (the header carries the
+// version), so a future v2 server can answer v1 clients per message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace merch::net {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Default ceiling on a single frame's payload. Large enough for a result
+/// with thousands of placements, small enough that a hostile length prefix
+/// cannot drive an OOM.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// Error-frame codes. kRetryLater is the load-shedding contract: the
+/// request was well-formed but the server refused it under overload, and
+/// the client may retry (with backoff) without changing anything.
+enum class ErrorCode : std::uint16_t {
+  kMalformed = 1,            // undecodable or semantically broken frame
+  kUnsupportedVersion = 2,   // header version != kProtocolVersion
+  kRetryLater = 3,           // admission control shed the request
+  kTimeout = 4,              // per-request deadline expired server-side
+  kInternal = 5,             // unexpected server-side failure
+  kShuttingDown = 6,         // server is draining; no new work accepted
+  kUnavailable = 7,          // shard worker unreachable (router only)
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::uint32_t seq = 0;
+  std::string payload;
+};
+
+/// Serialize a frame (header + payload) into `out` (appended).
+void AppendFrame(const Frame& frame, std::string* out);
+std::string EncodeFrame(const Frame& frame);
+
+/// Convenience error-frame payload codec.
+std::string EncodeErrorPayload(ErrorCode code, const std::string& message);
+bool DecodeErrorPayload(const std::string& payload, ErrorCode* code,
+                        std::string* message);
+
+/// Incremental frame decoder for a byte stream. Feed() appends received
+/// bytes; Next() extracts complete frames until the buffer runs dry.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, std::size_t size) { buf_.append(data, size); }
+
+  enum class Status {
+    kFrame,     // *out holds the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // stream is broken (bad magic / reserved byte / oversized
+                // length); the connection must be dropped
+  };
+
+  /// `bad_version` distinguishes a version mismatch (answerable with a
+  /// kUnsupportedVersion error before closing) from stream corruption.
+  Status Next(Frame* out, std::string* error, bool* bad_version = nullptr);
+
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace merch::net

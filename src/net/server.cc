@@ -1,0 +1,549 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/serialization.h"
+
+namespace merch::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  out->clear();
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    out->append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                     bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+struct PlacementServer::Impl {
+  ServerConfig cfg;
+  service::PlacementService* svc = nullptr;
+
+  int listen_fd = -1;
+  int wake[2] = {-1, -1};
+  std::thread reactor;
+  std::atomic<bool> stop{false};
+  bool started = false;
+  bool stopped = false;
+
+  /// One request frame the client is still owed an answer for.
+  struct Pending {
+    Clock::time_point deadline;
+    Clock::time_point t0;  // frame-decode time, for the latency histogram
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameParser parser;
+    std::string out;        // encoded frames not yet written
+    std::size_t out_pos = 0;
+    std::unordered_map<std::uint32_t, Pending> pending;  // seq -> deadline
+  };
+
+  /// A finished simulation's answer, produced on a worker thread (already
+  /// encoded there, so the reactor only copies bytes).
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint32_t seq = 0;
+    std::string payload;  // encoded PlacementResult
+  };
+
+  std::mutex comp_mu;
+  std::vector<Completion> completions;
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+
+  /// Simulations admitted and not yet completed (includes ones whose
+  /// client already timed out or disconnected — they still hold a worker).
+  std::atomic<std::size_t> inflight{0};
+
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = 1;
+
+  void Wake() {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake[1], &byte, 1);
+  }
+
+  void Bump(std::uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.*field += 1;
+  }
+
+  void QueueFrame(Conn& conn, FrameType type, std::uint32_t seq,
+                  std::string payload) {
+    Frame frame;
+    frame.type = type;
+    frame.seq = seq;
+    frame.payload = std::move(payload);
+    AppendFrame(frame, &conn.out);
+  }
+
+  void QueueError(Conn& conn, std::uint32_t seq, ErrorCode code,
+                  const std::string& message) {
+    QueueFrame(conn, FrameType::kError, seq,
+               EncodeErrorPayload(code, message));
+  }
+
+  /// Write as much of conn.out as the socket accepts. False = dead peer.
+  bool FlushConn(Conn& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                                conn.out.size() - conn.out_pos);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      conn.out_pos += static_cast<std::size_t>(n);
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    return true;
+  }
+
+  void DestroyConn(std::uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    CloseFd(it->second.fd);
+    conns.erase(it);
+    MERCH_METRIC_GAUGE_ADD("merch_net_active_connections", -1);
+  }
+
+  void HandleAccepts() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient accept failure: try next round
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (conns.size() >= cfg.max_connections) {
+        // Connection-level shed: one best-effort RETRY_LATER, then close.
+        Frame refuse;
+        refuse.type = FrameType::kError;
+        refuse.payload = EncodeErrorPayload(
+            ErrorCode::kRetryLater, "connection limit reached, retry later");
+        const std::string bytes = EncodeFrame(refuse);
+        [[maybe_unused]] ssize_t n = ::write(fd, bytes.data(), bytes.size());
+        CloseFd(fd);
+        Bump(&ServerStats::refused_connections);
+        MERCH_METRIC_COUNT("merch_net_refused_connections_total", 1);
+        continue;
+      }
+      Conn conn;
+      conn.fd = fd;
+      conn.id = next_conn_id++;
+      conn.parser = FrameParser(cfg.max_frame_bytes);
+      conns.emplace(conn.id, std::move(conn));
+      Bump(&ServerStats::connections);
+      MERCH_METRIC_COUNT("merch_net_connections_total", 1);
+      MERCH_METRIC_GAUGE_ADD("merch_net_active_connections", 1);
+    }
+  }
+
+  void HandleRequestFrame(Conn& conn, Frame& frame, bool draining) {
+    Bump(&ServerStats::requests);
+    MERCH_METRIC_COUNT("merch_net_requests_total", 1);
+    const Clock::time_point t0 = Clock::now();
+
+    service::WireReader r(frame.payload);
+    std::uint32_t deadline_ms = 0;
+    service::PlacementRequest req;
+    r.U32(&deadline_ms);
+    if (!service::DecodeRequest(&r, &req) || r.remaining() != 0) {
+      Bump(&ServerStats::protocol_errors);
+      MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
+      QueueError(conn, frame.seq, ErrorCode::kMalformed,
+                 "undecodable request payload");
+      return;
+    }
+    if (draining) {
+      QueueError(conn, frame.seq, ErrorCode::kShuttingDown,
+                 "server is draining");
+      return;
+    }
+    if (conn.pending.count(frame.seq) != 0) {
+      Bump(&ServerStats::protocol_errors);
+      MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
+      QueueError(conn, frame.seq, ErrorCode::kMalformed,
+                 "sequence id already in flight on this connection");
+      return;
+    }
+
+    // Cache hits cost no simulation, so they bypass admission control:
+    // a saturated server keeps serving its warm set at full speed.
+    if (auto cached = svc->Peek(req)) {
+      service::WireWriter w;
+      service::EncodeResult(*cached, &w);
+      QueueFrame(conn, FrameType::kResponse, frame.seq, w.Take());
+      Bump(&ServerStats::responses);
+      MERCH_METRIC_COUNT("merch_net_responses_total", 1);
+      MERCH_METRIC_OBSERVE(
+          "merch_net_request_seconds",
+          std::chrono::duration<double>(Clock::now() - t0).count());
+      return;
+    }
+
+    // Admission control: shed rather than queue unboundedly.
+    if (inflight.load(std::memory_order_relaxed) >= cfg.max_inflight ||
+        svc->QueueDepth() >= cfg.max_queue_depth) {
+      Bump(&ServerStats::shed);
+      MERCH_METRIC_COUNT("merch_net_shed_total", 1);
+      MERCH_TRACE_INSTANT(obs::Category::kNet, "net.shed");
+      QueueError(conn, frame.seq, ErrorCode::kRetryLater,
+                 "server over capacity, retry later");
+      return;
+    }
+
+    if (deadline_ms == 0) deadline_ms = cfg.default_deadline_ms;
+    if (deadline_ms > cfg.max_deadline_ms) deadline_ms = cfg.max_deadline_ms;
+    Pending pending;
+    pending.t0 = t0;
+    pending.deadline = t0 + std::chrono::milliseconds(deadline_ms);
+    conn.pending.emplace(frame.seq, pending);
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    MERCH_METRIC_GAUGE_SET("merch_net_inflight",
+                           inflight.load(std::memory_order_relaxed));
+
+    const std::uint64_t conn_id = conn.id;
+    const std::uint32_t seq = frame.seq;
+    svc->SubmitAsync(
+        std::move(req),
+        [this, conn_id, seq](const service::PlacementResult& result) {
+          // Worker thread (or inline): encode here so the reactor only
+          // moves bytes, then wake it.
+          service::WireWriter w;
+          service::EncodeResult(result, &w);
+          {
+            std::lock_guard<std::mutex> lock(comp_mu);
+            completions.push_back({conn_id, seq, w.Take()});
+          }
+          Wake();
+        });
+  }
+
+  /// Returns false if the connection must be dropped.
+  bool HandleReadable(Conn& conn, bool draining) {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      if (n == 0) return false;  // orderly close
+      conn.parser.Feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+    }
+
+    for (;;) {
+      Frame frame;
+      std::string perr;
+      bool bad_version = false;
+      const FrameParser::Status st =
+          conn.parser.Next(&frame, &perr, &bad_version);
+      if (st == FrameParser::Status::kNeedMore) return true;
+      if (st == FrameParser::Status::kBad) {
+        Bump(&ServerStats::protocol_errors);
+        MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
+        // Answer what can be answered, then drop the stream — after a
+        // framing error the byte stream has no trustworthy resync point.
+        QueueError(conn, 0,
+                   bad_version ? ErrorCode::kUnsupportedVersion
+                               : ErrorCode::kMalformed,
+                   perr);
+        FlushConn(conn);
+        return false;
+      }
+      switch (frame.type) {
+        case FrameType::kPing:
+          Bump(&ServerStats::pings);
+          QueueFrame(conn, FrameType::kPong, frame.seq, {});
+          break;
+        case FrameType::kRequest:
+          HandleRequestFrame(conn, frame, draining);
+          break;
+        default:
+          // Clients must not send server-to-client frame types.
+          Bump(&ServerStats::protocol_errors);
+          MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
+          QueueError(conn, frame.seq, ErrorCode::kMalformed,
+                     "unexpected frame type from client");
+          break;
+      }
+    }
+  }
+
+  void DeliverCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(comp_mu);
+      batch.swap(completions);
+    }
+    for (Completion& c : batch) {
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      auto it = conns.find(c.conn_id);
+      if (it == conns.end()) continue;  // client went away
+      Conn& conn = it->second;
+      auto pit = conn.pending.find(c.seq);
+      if (pit == conn.pending.end()) continue;  // already timed out
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - pit->second.t0)
+              .count();
+      conn.pending.erase(pit);
+      QueueFrame(conn, FrameType::kResponse, c.seq, std::move(c.payload));
+      Bump(&ServerStats::responses);
+      MERCH_METRIC_COUNT("merch_net_responses_total", 1);
+      MERCH_METRIC_OBSERVE("merch_net_request_seconds", seconds);
+    }
+    MERCH_METRIC_GAUGE_SET("merch_net_inflight",
+                           inflight.load(std::memory_order_relaxed));
+  }
+
+  void ExpireDeadlines(const Clock::time_point& now) {
+    for (auto& [id, conn] : conns) {
+      for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+        if (it->second.deadline <= now) {
+          QueueError(conn, it->first, ErrorCode::kTimeout,
+                     "request deadline expired");
+          it = conn.pending.erase(it);
+          Bump(&ServerStats::timeouts);
+          MERCH_METRIC_COUNT("merch_net_timeout_total", 1);
+          MERCH_TRACE_INSTANT(obs::Category::kNet, "net.timeout");
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  int NextPollTimeoutMs(const Clock::time_point& now) const {
+    long best = 500;  // idle tick: refresh gauges, notice stop requests
+    for (const auto& [id, conn] : conns) {
+      for (const auto& [seq, p] : conn.pending) {
+        const long ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            p.deadline - now)
+                            .count();
+        if (ms < best) best = ms;
+      }
+    }
+    return static_cast<int>(best < 1 ? 1 : best);
+  }
+
+  void ReactorLoop() {
+    bool draining = false;
+    Clock::time_point drain_deadline{};
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids;  // ids[i] matches fds[i] for conns
+
+    for (;;) {
+      const Clock::time_point now = Clock::now();
+      if (!draining && stop.load(std::memory_order_relaxed)) {
+        draining = true;
+        drain_deadline =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          cfg.drain_timeout_seconds));
+        CloseFd(listen_fd);
+        listen_fd = -1;
+      }
+      if (draining) {
+        bool idle = true;
+        for (auto& [id, conn] : conns) {
+          if (!conn.pending.empty() || !conn.out.empty()) idle = false;
+        }
+        if (idle || now >= drain_deadline) break;
+      }
+
+      ExpireDeadlines(now);
+
+      fds.clear();
+      ids.clear();
+      fds.push_back({wake[0], POLLIN, 0});
+      if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
+      const std::size_t first_conn = fds.size();
+      for (auto& [id, conn] : conns) {
+        short events = POLLIN;
+        if (!conn.out.empty()) events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        ids.push_back(id);
+      }
+
+      const int timeout = draining ? 10 : NextPollTimeoutMs(now);
+      const int ready = ::poll(fds.data(), fds.size(), timeout);
+      if (ready < 0 && errno != EINTR) break;  // poll itself broke
+
+      if (fds[0].revents & POLLIN) {
+        char buf[64];
+        while (::read(wake[0], buf, sizeof buf) > 0) {
+        }
+      }
+      DeliverCompletions();
+      if (listen_fd >= 0 && fds.size() > 1 && (fds[1].revents & POLLIN)) {
+        HandleAccepts();
+      }
+
+      std::vector<std::uint64_t> doomed;
+      for (std::size_t i = first_conn; i < fds.size(); ++i) {
+        auto it = conns.find(ids[i - first_conn]);
+        if (it == conns.end()) continue;
+        Conn& conn = it->second;
+        const short re = fds[i].revents;
+        if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+          if (!(re & POLLIN)) {  // nothing left to read: drop now
+            doomed.push_back(conn.id);
+            continue;
+          }
+        }
+        if ((re & POLLIN) && !HandleReadable(conn, draining)) {
+          doomed.push_back(conn.id);
+          continue;
+        }
+        if (!conn.out.empty() && !FlushConn(conn)) {
+          doomed.push_back(conn.id);
+        }
+      }
+      for (std::uint64_t id : doomed) DestroyConn(id);
+    }
+
+    // Final flush: give fully-buffered responses one last blocking-ish
+    // chance, then close everything.
+    for (auto& [id, conn] : conns) {
+      FlushConn(conn);
+      CloseFd(conn.fd);
+    }
+    conns.clear();
+    MERCH_METRIC_GAUGE_SET("merch_net_active_connections", 0);
+    CloseFd(listen_fd);
+    listen_fd = -1;
+  }
+};
+
+PlacementServer::PlacementServer(ServerConfig config)
+    : config_(std::move(config)) {
+  service::PlacementService::Config svc_cfg;
+  svc_cfg.threads = config_.threads;
+  svc_cfg.cache_capacity = config_.cache_capacity;
+  svc_cfg.queue_capacity = config_.queue_capacity;
+  service_ = std::make_unique<service::PlacementService>(svc_cfg);
+  impl_ = std::make_unique<Impl>();
+  impl_->cfg = config_;
+  impl_->svc = service_.get();
+}
+
+PlacementServer::~PlacementServer() { Stop(); }
+
+bool PlacementServer::Start(std::string* error) {
+  if (impl_->started) return true;
+  if (!config_.snapshot_load.empty()) {
+    std::string bytes, serr;
+    if (!ReadWholeFile(config_.snapshot_load, &bytes)) {
+      MERCH_LOG(kWarn) << "net: cannot read cache snapshot '"
+                       << config_.snapshot_load << "', starting cold";
+    } else if (!service_->result_cache().Deserialize(bytes, &serr)) {
+      MERCH_LOG(kWarn) << "net: rejected cache snapshot '"
+                       << config_.snapshot_load << "': " << serr;
+    } else {
+      MERCH_LOG(kInfo) << "net: warmed result cache from '"
+                       << config_.snapshot_load << "' ("
+                       << service_->result_cache().Stats().entries
+                       << " entries)";
+    }
+  }
+  if (::pipe(impl_->wake) != 0) {
+    if (error != nullptr) *error = "cannot create wake pipe";
+    return false;
+  }
+  SetNonBlocking(impl_->wake[0]);
+  SetNonBlocking(impl_->wake[1]);
+  impl_->listen_fd = ListenOn(config_.host, config_.port, &port_, error);
+  if (impl_->listen_fd < 0) {
+    CloseFd(impl_->wake[0]);
+    CloseFd(impl_->wake[1]);
+    impl_->wake[0] = impl_->wake[1] = -1;
+    return false;
+  }
+  SetNonBlocking(impl_->listen_fd);
+  impl_->started = true;
+  impl_->reactor = std::thread([this] { impl_->ReactorLoop(); });
+  MERCH_LOG(kInfo) << "net: listening on " << config_.host << ":" << port_;
+  return true;
+}
+
+void PlacementServer::Stop() {
+  if (!impl_->started || impl_->stopped) return;
+  impl_->stopped = true;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->Wake();
+  if (impl_->reactor.joinable()) impl_->reactor.join();
+  CloseFd(impl_->wake[0]);
+  CloseFd(impl_->wake[1]);
+  // Drain whatever the reactor admitted before it exited (their responses
+  // are dropped, but the jobs must finish before teardown).
+  service_->Shutdown();
+  if (!config_.snapshot_save.empty()) {
+    if (WriteFileAtomic(config_.snapshot_save,
+                        service_->result_cache().Serialize())) {
+      MERCH_LOG(kInfo) << "net: saved cache snapshot to '"
+                       << config_.snapshot_save << "'";
+    } else {
+      MERCH_LOG(kWarn) << "net: cannot write cache snapshot '"
+                       << config_.snapshot_save << "'";
+    }
+  }
+}
+
+ServerStats PlacementServer::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mu);
+  return impl_->stats;
+}
+
+}  // namespace merch::net

@@ -1,0 +1,110 @@
+// Networked placement service: a poll()-reactor TCP front-end over the
+// in-process PlacementService.
+//
+// One reactor thread owns all socket I/O (accept, frame parsing, response
+// writes, per-request deadlines); simulation compute stays on the
+// PlacementService's bounded ThreadPool. Completed jobs hand their
+// responses back to the reactor through a completion queue + wake pipe, so
+// the reactor never blocks on compute and a slow simulation never stalls
+// other connections.
+//
+// Admission control (the load-shedding contract):
+//   - cache hits are always served (they cost no simulation),
+//   - a simulation is admitted only while net-level in-flight count <
+//     max_inflight AND the service pool backlog < max_queue_depth;
+//     otherwise the server answers RETRY_LATER immediately,
+//   - each admitted request carries a deadline (client-supplied, clamped
+//     to max_deadline_ms; 0 means default_deadline_ms). If it expires
+//     before the simulation completes, the client gets a TIMEOUT error and
+//     the late result is dropped (the simulation still finishes and warms
+//     the cache — a retry is typically a hit),
+//   - connections beyond max_connections are refused with RETRY_LATER.
+//
+// Everything is surfaced through the obs metrics registry:
+//   merch_net_connections_total / merch_net_active_connections
+//   merch_net_requests_total / merch_net_responses_total
+//   merch_net_shed_total / merch_net_timeout_total
+//   merch_net_protocol_errors_total
+//   merch_net_inflight (gauge), merch_net_request_seconds (histogram —
+//   the end-to-end server-side latency SLO gate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/placement_service.h"
+
+namespace merch::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; see PlacementServer::port()
+  /// PlacementService knobs.
+  std::size_t threads = 4;
+  std::size_t cache_capacity = 4096;
+  std::size_t queue_capacity = 1024;
+  /// Admission control.
+  std::size_t max_connections = 256;
+  std::size_t max_inflight = 128;
+  std::size_t max_queue_depth = 256;
+  std::uint32_t default_deadline_ms = 30000;
+  std::uint32_t max_deadline_ms = 120000;
+  std::size_t max_frame_bytes = 4u << 20;
+  /// Graceful-stop budget for in-flight simulations.
+  double drain_timeout_seconds = 30.0;
+  /// ResultCache snapshot paths (empty = disabled). Load happens in
+  /// Start() (corrupt snapshots log a warning and start cold), save in
+  /// Stop() after the drain.
+  std::string snapshot_load;
+  std::string snapshot_save;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;      // accepted
+  std::uint64_t refused_connections = 0;
+  std::uint64_t requests = 0;         // request frames decoded
+  std::uint64_t responses = 0;        // kResponse frames queued
+  std::uint64_t shed = 0;             // RETRY_LATER answers
+  std::uint64_t timeouts = 0;         // TIMEOUT answers
+  std::uint64_t protocol_errors = 0;  // bad frames / payloads
+  std::uint64_t pings = 0;
+};
+
+class PlacementServer {
+ public:
+  explicit PlacementServer(ServerConfig config);
+
+  /// Stops (gracefully) if still running.
+  ~PlacementServer();
+
+  PlacementServer(const PlacementServer&) = delete;
+  PlacementServer& operator=(const PlacementServer&) = delete;
+
+  /// Bind + listen + start the reactor. Returns false with `*error` set on
+  /// bind failures; a corrupt cache snapshot only logs a warning.
+  bool Start(std::string* error);
+
+  /// The bound port (after Start); useful with config.port == 0.
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, answer new requests with
+  /// SHUTTING_DOWN, wait up to drain_timeout_seconds for in-flight
+  /// simulations, flush responses, drain the service pool, save the cache
+  /// snapshot. Idempotent.
+  void Stop();
+
+  service::PlacementService& service() { return *service_; }
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<service::PlacementService> service_;
+  std::unique_ptr<Impl> impl_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace merch::net
+

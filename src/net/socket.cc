@@ -1,0 +1,177 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace merch::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+bool ParseAddr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad IPv4 address '" + host + "' (hostnames not supported)";
+    }
+    return false;
+  }
+  return true;
+}
+
+int NewTcpSocket(std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 && error != nullptr) *error = Errno("socket");
+  return fd;
+}
+
+}  // namespace
+
+int ListenOn(const std::string& host, std::uint16_t port,
+             std::uint16_t* actual_port, std::string* error) {
+  sockaddr_in addr;
+  if (!ParseAddr(host, port, &addr, error)) return -1;
+  int fd = NewTcpSocket(error);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = Errno("bind");
+    CloseFd(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = Errno("listen");
+    CloseFd(fd);
+    return -1;
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      if (error != nullptr) *error = Errno("getsockname");
+      CloseFd(fd);
+      return -1;
+    }
+    *actual_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int ConnectTo(const std::string& host, std::uint16_t port,
+              std::string* error) {
+  sockaddr_in addr;
+  if (!ParseAddr(host, port, &addr, error)) return -1;
+  int fd = NewTcpSocket(error);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = Errno("connect");
+    CloseFd(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long ReadSome(int fd, char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void MerchShutdownHandler(int) {
+  // Async-signal-safe: one flag store + one pipe write.
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  if (g_shutdown_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+void ShutdownSignal::Install() {
+  static bool installed = [] {
+    if (::pipe(g_shutdown_pipe) != 0) {
+      g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+    } else {
+      SetNonBlocking(g_shutdown_pipe[1]);
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = MerchShutdownHandler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    // A peer that vanishes mid-write must surface as a write error, not
+    // kill the process.
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+bool ShutdownSignal::requested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+int ShutdownSignal::fd() { return g_shutdown_pipe[0]; }
+
+void ShutdownSignal::ResetForTest() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+  if (g_shutdown_pipe[0] >= 0) {
+    SetNonBlocking(g_shutdown_pipe[0]);
+    char buf[16];
+    while (::read(g_shutdown_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace merch::net

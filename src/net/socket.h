@@ -1,0 +1,59 @@
+// Thin POSIX TCP helpers shared by the server, client, and router.
+//
+// Everything here is loopback/IPv4-oriented (the service fronts local
+// shard workers; cross-host deployment would sit behind a real proxy) and
+// returns errors as strings rather than throwing — the net layer's
+// contract is that hostile peers and dead sockets surface as clean error
+// paths, never as exceptions or UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace merch::net {
+
+/// Bind + listen on host:port. `port == 0` picks an ephemeral port; the
+/// chosen one is written to `*actual_port`. Returns the listening fd
+/// (CLOEXEC, SO_REUSEADDR) or -1 with `*error` set.
+int ListenOn(const std::string& host, std::uint16_t port,
+             std::uint16_t* actual_port, std::string* error);
+
+/// Blocking connect. Returns the fd (CLOEXEC, TCP_NODELAY) or -1.
+int ConnectTo(const std::string& host, std::uint16_t port,
+              std::string* error);
+
+bool SetNonBlocking(int fd);
+
+/// write(2) until everything is out or the peer dies. Retries EINTR.
+bool WriteAll(int fd, const char* data, std::size_t size);
+
+/// Blocking read of up to `size` bytes. Returns bytes read, 0 on orderly
+/// shutdown, -1 on error (EINTR retried).
+long ReadSome(int fd, char* data, std::size_t size);
+
+void CloseFd(int fd);
+
+/// Process-wide SIGINT/SIGTERM latch built on a self-pipe, so reactors can
+/// poll() for shutdown alongside their sockets and CLI drivers can drain
+/// in-flight work and flush final metrics instead of dying mid-interval.
+class ShutdownSignal {
+ public:
+  /// Install the handlers (idempotent). Must be called before threads that
+  /// should survive the signal are spawned only in the sense that any
+  /// thread may call requested()/fd() afterwards.
+  static void Install();
+
+  /// True once SIGINT or SIGTERM arrived.
+  static bool requested();
+
+  /// Readable end of the self-pipe: becomes readable on the first signal.
+  /// poll() this next to the sockets. Never read from it directly — the
+  /// single wake byte must stay readable for every poller.
+  static int fd();
+
+  /// Re-arm for tests (clears the latch; the pipe is drained).
+  static void ResetForTest();
+};
+
+}  // namespace merch::net

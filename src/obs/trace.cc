@@ -66,6 +66,8 @@ const char* CategoryName(Category cat) {
       return "pool";
     case Category::kCache:
       return "cache";
+    case Category::kNet:
+      return "net";
     case Category::kApp:
       return "app";
   }

@@ -36,6 +36,7 @@ enum class Category : std::uint8_t {
   kCore,     // core::Merchandiser estimation / model / greedy
   kPool,     // service::ThreadPool queueing
   kCache,    // service::ResultCache lookups
+  kNet,      // net::PlacementServer / ShardRouter wire traffic
   kApp,      // tools / benches / tests
 };
 

@@ -29,6 +29,16 @@ PlacementService::~PlacementService() { Shutdown(); }
 void PlacementService::Shutdown() { pool_.Shutdown(); }
 
 PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
+  return SubmitInternal(std::move(request), nullptr);
+}
+
+PlacementService::Ticket PlacementService::SubmitAsync(
+    PlacementRequest request, Callback done) {
+  return SubmitInternal(std::move(request), std::move(done));
+}
+
+PlacementService::Ticket PlacementService::SubmitInternal(
+    PlacementRequest request, Callback done) {
   Ticket ticket;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -40,20 +50,24 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
     bad.request = std::move(request);
     bad.error = std::move(err);
     std::promise<PlacementResult> p;
-    p.set_value(std::move(bad));
     ticket.future = p.get_future().share();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failed_;
+    p.set_value(std::move(bad));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failed_;
+    }
     MERCH_METRIC_COUNT("merch_service_failed_total", 1);
+    if (done) done(ticket.future.get());
     return ticket;
   }
   const std::string key = CanonicalKey(request);
 
   if (auto cached = cache_.Get(key)) {
     std::promise<PlacementResult> p;
-    p.set_value(*std::move(cached));
     ticket.future = p.get_future().share();
+    p.set_value(*std::move(cached));
     ticket.cache_hit = true;
+    if (done) done(ticket.future.get());
     return ticket;
   }
 
@@ -65,12 +79,16 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
       ++coalesced_;
       MERCH_METRIC_COUNT("merch_service_coalesced_total", 1);
       MERCH_TRACE_INSTANT(obs::Category::kService, "service.coalesced");
-      ticket.future = it->second;
+      ticket.future = it->second.future;
       ticket.coalesced = true;
+      if (done) it->second.callbacks.push_back(std::move(done));
       return ticket;
     }
     ticket.future = promise->get_future().share();
-    inflight_.emplace(key, ticket.future);
+    InFlight entry;
+    entry.future = ticket.future;
+    if (done) entry.callbacks.push_back(std::move(done));
+    inflight_.emplace(key, std::move(entry));
   }
 
   const bool accepted = pool_.Submit(
@@ -80,15 +98,31 @@ PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
   if (!accepted) {  // shutting down: fail the request instead of hanging it
     PlacementResult bad;
     bad.error = "service is shutting down";
+    std::vector<Callback> callbacks;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      inflight_.erase(key);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        callbacks = std::move(it->second.callbacks);
+        inflight_.erase(it);
+      }
       ++failed_;
     }
     MERCH_METRIC_COUNT("merch_service_failed_total", 1);
     promise->set_value(std::move(bad));
+    for (Callback& cb : callbacks) cb(ticket.future.get());
   }
   return ticket;
+}
+
+std::optional<PlacementResult> PlacementService::Peek(
+    PlacementRequest request) {
+  if (!CanonicalizeRequest(request).empty()) return std::nullopt;
+  return cache_.Get(CanonicalKey(request));
+}
+
+std::size_t PlacementService::QueueDepth() const {
+  return pool_.queue_depth();
 }
 
 void PlacementService::RunJob(
@@ -102,9 +136,14 @@ void PlacementService::RunJob(
 
   PlacementResult result = RunRequest(req, system.get(), &greedy_cache_);
   if (result.ok()) cache_.Put(key, result);
+  std::vector<Callback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inflight_.erase(key);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      callbacks = std::move(it->second.callbacks);
+      inflight_.erase(it);
+    }
     ++simulated_;
     if (!result.ok()) ++failed_;
   }
@@ -114,7 +153,14 @@ void PlacementService::RunJob(
   MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
   MERCH_METRIC_COUNT("merch_service_simulated_total", 1);
   if (!result.ok()) MERCH_METRIC_COUNT("merch_service_failed_total", 1);
-  promise->set_value(std::move(result));
+  // Resolve the shared future before running continuations, so a callback
+  // that hands off to a future-waiting path observes a completed future.
+  if (callbacks.empty()) {
+    promise->set_value(std::move(result));
+  } else {
+    promise->set_value(result);
+    for (Callback& cb : callbacks) cb(result);
+  }
 }
 
 ServiceStats PlacementService::Stats() const {

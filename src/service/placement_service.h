@@ -22,12 +22,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/merchandiser.h"
 #include "service/request.h"
@@ -79,6 +82,31 @@ class PlacementService {
   /// future whose result carries the error — Submit itself never throws.
   Ticket Submit(PlacementRequest request);
 
+  /// Completion callback: invoked exactly once per SubmitAsync, with the
+  /// finished result. Runs on the worker thread that completed the job —
+  /// or inline on the caller's thread for cache hits, invalid requests,
+  /// and shutdown rejections — so it must be cheap and non-blocking.
+  using Callback = std::function<void(const PlacementResult&)>;
+
+  /// Submit + continuation, for callers that must not block on a future
+  /// (the net reactor). Coalesces with in-flight identical requests like
+  /// Submit(); every coalesced waiter's callback fires when the shared job
+  /// completes.
+  Ticket SubmitAsync(PlacementRequest request, Callback done);
+
+  /// Cache-only probe: canonicalizes and returns the cached result if
+  /// present, without enqueueing anything. Invalid requests return
+  /// nullopt. Lets admission control serve warm keys even while shedding
+  /// simulation load.
+  std::optional<PlacementResult> Peek(PlacementRequest request);
+
+  /// Jobs accepted by the pool but not yet started (shedding signal).
+  std::size_t QueueDepth() const;
+
+  /// The result cache (snapshot save/load; see ResultCache::Serialize).
+  ResultCache& result_cache() { return cache_; }
+  const ResultCache& result_cache() const { return cache_; }
+
   ServiceStats Stats() const;
 
   /// Stop accepting work and finish everything accepted so far.
@@ -113,12 +141,20 @@ class PlacementService {
   void RunJob(const std::string& key, const PlacementRequest& req,
               std::shared_ptr<std::promise<PlacementResult>> promise);
 
+  /// One in-flight simulation: the shared future every coalesced Submit()
+  /// returned, plus the continuations attached by SubmitAsync().
+  struct InFlight {
+    std::shared_future<PlacementResult> future;
+    std::vector<Callback> callbacks;
+  };
+
+  Ticket SubmitInternal(PlacementRequest request, Callback done);
+
   Config config_;
   ResultCache cache_;
 
   mutable std::mutex mu_;  // guards inflight_ + counters
-  std::unordered_map<std::string, std::shared_future<PlacementResult>>
-      inflight_;
+  std::unordered_map<std::string, InFlight> inflight_;
   std::uint64_t submitted_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t simulated_ = 0;

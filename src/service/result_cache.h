@@ -43,6 +43,21 @@ class ResultCache {
   void Clear();
   CacheStats Stats() const;
 
+  /// Snapshot format: "MCSN" magic, format version, entry count, then
+  /// (key, result) records least-recently-used first, so replaying them
+  /// through Put() reconstructs the recency order exactly. Snapshots let a
+  /// warm cache survive restarts and be pre-shared across shard workers —
+  /// sound because results are deterministic functions of their canonical
+  /// key (no invalidation story needed).
+  std::string Serialize() const;
+
+  /// Merge a snapshot into the cache via Put() (capacity-driven eviction
+  /// still applies, so loading into a smaller cache keeps the most
+  /// recently used tail). Rejects corrupt, truncated, or
+  /// version-mismatched snapshots with `*error` set and the cache
+  /// untouched — a bad file must never crash or half-load.
+  bool Deserialize(const std::string& bytes, std::string* error);
+
  private:
   using Entry = std::pair<std::string, PlacementResult>;
 

@@ -1,0 +1,206 @@
+#include "service/serialization.h"
+
+#include <cstring>
+
+namespace merch::service {
+
+namespace {
+
+std::uint64_t F64Bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double BitsF64(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::U16(std::uint16_t v) {
+  U8(static_cast<std::uint8_t>(v));
+  U8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(std::uint32_t v) {
+  U16(static_cast<std::uint16_t>(v));
+  U16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void WireWriter::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v));
+  U32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::F64(double v) { U64(F64Bits(v)); }
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+bool WireReader::Take(std::size_t n, const unsigned char** out) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = p_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(std::uint8_t* v) {
+  const unsigned char* b;
+  if (!Take(1, &b)) return false;
+  *v = b[0];
+  return true;
+}
+
+bool WireReader::U16(std::uint16_t* v) {
+  const unsigned char* b;
+  if (!Take(2, &b)) return false;
+  *v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool WireReader::U32(std::uint32_t* v) {
+  const unsigned char* b;
+  if (!Take(4, &b)) return false;
+  *v = static_cast<std::uint32_t>(b[0]) |
+       (static_cast<std::uint32_t>(b[1]) << 8) |
+       (static_cast<std::uint32_t>(b[2]) << 16) |
+       (static_cast<std::uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool WireReader::U64(std::uint64_t* v) {
+  std::uint32_t lo, hi;
+  if (!U32(&lo) || !U32(&hi)) return false;
+  *v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+bool WireReader::F64(double* v) {
+  std::uint64_t bits;
+  if (!U64(&bits)) return false;
+  *v = BitsF64(bits);
+  return true;
+}
+
+bool WireReader::Str(std::string* s, std::size_t max_len) {
+  std::uint32_t len;
+  if (!U32(&len)) return false;
+  if (len > max_len || len > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  const unsigned char* b;
+  if (!Take(len, &b)) return false;
+  s->assign(reinterpret_cast<const char*>(b), len);
+  return true;
+}
+
+void EncodeRequest(const PlacementRequest& req, WireWriter* w) {
+  w->Str(req.app);
+  w->Str(req.policy);
+  w->F64(req.scale);
+  w->F64(req.work);
+  w->U64(req.train_regions);
+  w->U64(req.seed);
+}
+
+bool DecodeRequest(WireReader* r, PlacementRequest* req) {
+  std::uint64_t train_regions = 0;
+  r->Str(&req->app);
+  r->Str(&req->policy);
+  r->F64(&req->scale);
+  r->F64(&req->work);
+  r->U64(&train_regions);
+  r->U64(&req->seed);
+  req->train_regions = static_cast<std::size_t>(train_regions);
+  return r->ok();
+}
+
+void EncodeResult(const PlacementResult& result, WireWriter* w) {
+  EncodeRequest(result.request, w);
+  w->Str(result.error);
+  w->F64(result.makespan_seconds);
+  w->F64(result.task_cov);
+  w->U64(result.migrated_bytes);
+  w->U64(result.regions);
+  w->U32(static_cast<std::uint32_t>(result.placements.size()));
+  for (const ObjectPlacement& p : result.placements) {
+    w->Str(p.object);
+    w->U64(p.bytes);
+    w->F64(p.dram_fraction);
+  }
+}
+
+bool DecodeResult(WireReader* r, PlacementResult* result) {
+  std::uint64_t regions = 0;
+  std::uint32_t n_placements = 0;
+  if (!DecodeRequest(r, &result->request)) return false;
+  r->Str(&result->error);
+  r->F64(&result->makespan_seconds);
+  r->F64(&result->task_cov);
+  r->U64(&result->migrated_bytes);
+  r->U64(&regions);
+  r->U32(&n_placements);
+  if (!r->ok()) return false;
+  result->regions = static_cast<std::size_t>(regions);
+  // Each placement costs at least 20 encoded bytes; a count the remaining
+  // input cannot possibly hold is a hostile length prefix, not data.
+  if (n_placements > r->remaining() / 20) {
+    r->MarkBad();
+    return false;
+  }
+  result->placements.clear();
+  result->placements.reserve(n_placements);
+  for (std::uint32_t i = 0; i < n_placements; ++i) {
+    ObjectPlacement p;
+    r->Str(&p.object);
+    r->U64(&p.bytes);
+    r->F64(&p.dram_fraction);
+    if (!r->ok()) return false;
+    result->placements.push_back(std::move(p));
+  }
+  return r->ok();
+}
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return F64Bits(a) == F64Bits(b);
+}
+
+bool SameRequest(const PlacementRequest& a, const PlacementRequest& b) {
+  return a.app == b.app && a.policy == b.policy && SameBits(a.scale, b.scale) &&
+         SameBits(a.work, b.work) && a.train_regions == b.train_regions &&
+         a.seed == b.seed;
+}
+
+}  // namespace
+
+bool BitIdentical(const PlacementResult& a, const PlacementResult& b) {
+  if (!SameRequest(a.request, b.request) || a.error != b.error ||
+      !SameBits(a.makespan_seconds, b.makespan_seconds) ||
+      !SameBits(a.task_cov, b.task_cov) ||
+      a.migrated_bytes != b.migrated_bytes || a.regions != b.regions ||
+      a.placements.size() != b.placements.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    const ObjectPlacement& pa = a.placements[i];
+    const ObjectPlacement& pb = b.placements[i];
+    if (pa.object != pb.object || pa.bytes != pb.bytes ||
+        !SameBits(pa.dram_fraction, pb.dram_fraction)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace merch::service

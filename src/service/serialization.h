@@ -1,0 +1,94 @@
+// Binary serialization for the service types, shared by the src/net wire
+// protocol and the ResultCache snapshot format.
+//
+// Encoding rules (all multi-byte integers little-endian, independent of
+// host order):
+//   u8/u16/u32/u64  fixed-width unsigned integers
+//   f64             IEEE-754 bit pattern carried as u64 (bit-exact round
+//                   trip, including NaN payloads and signed zeros — the
+//                   determinism contract is bitwise, so the codec is too)
+//   str             u32 byte length + raw bytes (no terminator)
+//
+// WireReader is a non-throwing cursor: any underflow or limit violation
+// latches ok() == false and every later read returns false, so decoders
+// can run a straight-line field list and check once at the end. Feeding a
+// reader truncated or hostile bytes is safe by construction — it never
+// reads outside [data, data+size).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/request.h"
+
+namespace merch::service {
+
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void F64(double v);
+  /// Strings longer than kMaxString are a caller bug; Str() truncates
+  /// never — it asserts via the length check in the matching reader.
+  void Str(const std::string& s);
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const void* data, std::size_t size)
+      : p_(static_cast<const unsigned char*>(data)), size_(size) {}
+  explicit WireReader(const std::string& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  bool U8(std::uint8_t* v);
+  bool U16(std::uint16_t* v);
+  bool U32(std::uint32_t* v);
+  bool U64(std::uint64_t* v);
+  bool F64(double* v);
+  /// Rejects lengths beyond `max_len` (and beyond the remaining input) so
+  /// a hostile length prefix can never drive a huge allocation.
+  bool Str(std::string* s, std::size_t max_len = kMaxString);
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Latch a decode failure found by semantic checks outside the reader.
+  void MarkBad() { ok_ = false; }
+
+  /// Default per-string cap: object names and error messages are short.
+  static constexpr std::size_t kMaxString = 1 << 20;
+
+ private:
+  bool Take(std::size_t n, const unsigned char** out);
+
+  const unsigned char* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- service-type codecs -------------------------------------------------
+
+void EncodeRequest(const PlacementRequest& req, WireWriter* w);
+/// Returns false (without touching partial fields' validity) on truncated
+/// or oversized input; semantic validation stays CanonicalizeRequest's job.
+bool DecodeRequest(WireReader* r, PlacementRequest* req);
+
+void EncodeResult(const PlacementResult& result, WireWriter* w);
+bool DecodeResult(WireReader* r, PlacementResult* result);
+
+/// Bitwise equality of two results (doubles compared by bit pattern, so
+/// NaN == NaN and +0 != -0). This is the "networked results are
+/// bit-identical to in-process results" acceptance predicate.
+bool BitIdentical(const PlacementResult& a, const PlacementResult& b);
+
+}  // namespace merch::service

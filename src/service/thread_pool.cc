@@ -36,6 +36,25 @@ bool ThreadPool::Submit(std::function<void()> job) {
   return true;
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(job));
+    ++accepted_;
+    MERCH_METRIC_GAUGE_SET("merch_pool_queue_depth", queue_.size());
+  }
+  MERCH_METRIC_COUNT("merch_pool_jobs_accepted_total", 1);
+  MERCH_TRACE_INSTANT(obs::Category::kPool, "pool.enqueue");
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Shutdown() {
   bool join_here = false;
   {

@@ -35,6 +35,15 @@ class ThreadPool {
   /// (and drops the job) if the pool is shutting down.
   bool Submit(std::function<void()> job);
 
+  /// Non-blocking Submit: returns false immediately when the queue is at
+  /// capacity or the pool is shutting down. This is the admission-control
+  /// primitive — callers that must not block (the net reactor, the shard
+  /// router's accept path) shed load instead of queueing unboundedly.
+  bool TrySubmit(std::function<void()> job);
+
+  /// Jobs accepted but not yet started (point-in-time).
+  std::size_t queue_depth() const;
+
   /// Stop accepting new jobs, run everything already accepted, join all
   /// workers. Idempotent; safe to call concurrently with Submit().
   void Shutdown();

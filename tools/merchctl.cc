@@ -15,6 +15,9 @@
 //                  [--seed S] [--threads T] [--cache N] [--repeat R]
 //                  [--file requests.txt] [--placements]
 //   merchctl analyze <file.kir> [--json]
+//   merchctl remote --port P [--host H] [--app A] [--policy p] [--scale S]
+//                   [--file requests.txt] [--deadline-ms D] [--placements]
+//                   [--ping]
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +35,8 @@
 #include "baselines/static_priority.h"
 #include "common/log.h"
 #include "common/stats.h"
+#include "net/client.h"
+#include "net/frame.h"
 #include "common/table.h"
 #include "core/merchandiser.h"
 #include "obs/metrics.h"
@@ -66,6 +71,11 @@ struct Options {
   // analyze-only
   std::string kir_file;
   bool json = false;
+  // remote-only
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t deadline_ms = 0;  // 0 = server default
+  bool ping = false;
   // observability
   std::string trace_file;
   std::string metrics_file;
@@ -85,6 +95,12 @@ int Usage() {
                "                      [--cache N] [--repeat R] "
                "[--file requests.txt] [--placements]\n"
                "       merchctl analyze <file.kir> [--json]\n"
+               "       merchctl remote --port P [--host H] [--app A] "
+               "[--policy p] [--scale S]\n"
+               "                       [--work W] [--train-regions N] "
+               "[--seed N] [--file requests.txt]\n"
+               "                       [--deadline-ms D] [--placements] "
+               "[--ping]\n"
                "common: [--trace FILE.json] [--metrics FILE.prom]\n"
                "        [--log-level debug|info|warn|error]\n");
   return 2;
@@ -349,6 +365,87 @@ int AnalyzeCommand(const Options& opt) {
   return analysis::HasErrors(findings) ? 1 : 0;
 }
 
+/// Answer requests through a remote merchd (server or router) over the
+/// binary wire protocol. Output mirrors `sweep` so the two are diffable.
+int RemoteCommand(const Options& opt) {
+  if (opt.port == 0) {
+    std::fprintf(stderr, "merchctl: remote needs --port\n");
+    return 2;
+  }
+  net::Client client;
+  std::string err;
+  if (!client.Connect(opt.host, opt.port, &err)) {
+    std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+    return 1;
+  }
+  if (opt.ping) {
+    if (client.Ping(&err) != net::Client::Status::kOk) {
+      std::fprintf(stderr, "merchctl: ping failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("pong from %s:%u\n", opt.host.c_str(),
+                static_cast<unsigned>(opt.port));
+    return 0;
+  }
+
+  std::vector<service::PlacementRequest> requests;
+  if (!opt.file.empty()) {
+    if (!service::LoadRequestFile(opt.file, &requests, &err)) {
+      std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+      return 2;
+    }
+  } else {
+    requests.push_back({opt.app, opt.policy == "all" ? "pm" : opt.policy,
+                        opt.scale, opt.work, opt.train_regions, opt.seed});
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "merchctl: remote has no requests\n");
+    return 2;
+  }
+  // Validate locally before paying a round trip — the server would reject
+  // these with the same message anyway.
+  for (auto& req : requests) {
+    if (!ValidateRequest(req)) return 2;
+  }
+
+  int failures = 0;
+  for (const auto& req : requests) {
+    service::PlacementResult result;
+    net::ErrorCode code;
+    const net::Client::Status status =
+        client.Call(req, opt.deadline_ms, &result, &code, &err);
+    if (status == net::Client::Status::kTransportError) {
+      std::fprintf(stderr, "merchctl: %s\n", err.c_str());
+      return 1;
+    }
+    if (status == net::Client::Status::kRemoteError) {
+      ++failures;
+      std::printf("%-10s %-9s scale %-7.3g %s: %s\n", req.app.c_str(),
+                  req.policy.c_str(), req.scale, net::ErrorCodeName(code),
+                  err.c_str());
+      continue;
+    }
+    if (!result.ok()) {
+      ++failures;
+      std::printf("%-10s %-9s scale %-7.3g ERROR: %s\n", req.app.c_str(),
+                  req.policy.c_str(), req.scale, result.error.c_str());
+      continue;
+    }
+    std::printf("%-10s %-9s scale %-7.3g makespan %9.2fs  task-CoV %.3f  "
+                "migrated %s\n",
+                result.request.app.c_str(), result.request.policy.c_str(),
+                result.request.scale, result.makespan_seconds, result.task_cov,
+                FormatBytes(result.migrated_bytes).c_str());
+    if (opt.show_placements) {
+      for (const auto& p : result.placements) {
+        std::printf("    %-24s %-10s DRAM %.0f%%\n", p.object.c_str(),
+                    FormatBytes(p.bytes).c_str(), 100.0 * p.dram_fraction);
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,6 +494,14 @@ int main(int argc, char** argv) {
           1, static_cast<std::size_t>(std::atoll(next())));
     } else if (arg == "--placements") {
       opt.show_placements = true;
+    } else if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--ping") {
+      opt.ping = true;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--trace") {
@@ -439,6 +544,8 @@ int main(int argc, char** argv) {
     rc = SweepCommand(opt);
   } else if (opt.command == "analyze") {
     rc = AnalyzeCommand(opt);
+  } else if (opt.command == "remote") {
+    rc = RemoteCommand(opt);
   } else {
     std::fprintf(stderr, "merchctl: unknown command '%s'\n",
                  opt.command.c_str());

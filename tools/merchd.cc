@@ -1,21 +1,37 @@
-// merchd — batch placement-query driver ("Merchandiser daemon, offline").
+// merchd — the Merchandiser placement daemon.
 //
-// Reads a newline-delimited request file (see service/batch.h for the
-// grammar), answers every request through the concurrent PlacementService,
-// and prints one result line per request plus a throughput summary. The
-// same file answered twice (--repeat 2) demonstrates the result cache:
-// the second pass is pure cache hits.
+// Three modes:
 //
-//   merchd --file requests.txt [--threads N] [--cache N] [--repeat R]
-//          [--placements] [--quiet] [--log-level debug|info|warn|error]
-//          [--trace FILE.json]
-//          [--metrics-file FILE.prom] [--metrics-interval SECONDS]
+//   Batch (the original driver): answer a newline-delimited request file
+//   through the concurrent PlacementService and print one line per result.
 //
-// --metrics-file enables a periodic snapshot writer: a background thread
-// rewrites the file (Prometheus text format, atomically via rename) every
-// --metrics-interval seconds while the batch runs, and once more at exit,
-// so an external scraper tailing the file sees live queue depth and
-// request counters.
+//     merchd --file requests.txt [--threads N] [--cache N] [--repeat R]
+//            [--placements] [--quiet]
+//
+//   Server: serve the binary wire protocol (src/net) on a TCP socket.
+//
+//     merchd --listen [--host H] [--port P] [--port-file F]
+//            [--threads N] [--cache N] [--max-conns N] [--max-inflight N]
+//            [--max-queue-depth N] [--deadline-ms D]
+//            [--snapshot-load F] [--snapshot-save F]
+//
+//   Router: spawn N `merchd --listen` worker processes and route requests
+//   to shards by hashing the canonical request key (restart-on-crash).
+//
+//     merchd --router [--shards N] [--host H] [--port P] [--port-file F]
+//            [--threads N] [--cache N] [--snapshot-load F]
+//            [--snapshot-save F] [--max-conns N]
+//
+// Common: [--log-level debug|info|warn|error] [--trace FILE.json]
+//         [--metrics-file FILE.prom] [--metrics-interval SECONDS]
+//
+// All modes handle SIGINT/SIGTERM gracefully: in-flight requests drain,
+// the final --metrics-file snapshot is flushed (the periodic writer alone
+// could lose the last interval), servers save their cache snapshot, and
+// the router SIGTERMs its workers so they do the same.
+#include <poll.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -30,6 +46,9 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch.h"
@@ -40,13 +59,21 @@ namespace {
 using namespace merch;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: merchd --file requests.txt [--threads N] [--cache N]"
-               " [--repeat R] [--placements] [--quiet]\n"
-               "              [--log-level debug|info|warn|error]"
-               " [--trace FILE.json]\n"
-               "              [--metrics-file FILE.prom]"
-               " [--metrics-interval SECONDS]\n");
+  std::fprintf(
+      stderr,
+      "usage: merchd --file requests.txt [--threads N] [--cache N]"
+      " [--repeat R] [--placements] [--quiet]\n"
+      "       merchd --listen [--host H] [--port P] [--port-file F]"
+      " [--threads N] [--cache N]\n"
+      "              [--max-conns N] [--max-inflight N]"
+      " [--max-queue-depth N] [--deadline-ms D]\n"
+      "              [--snapshot-load F] [--snapshot-save F]\n"
+      "       merchd --router [--shards N] [--host H] [--port P]"
+      " [--port-file F] [--threads N]\n"
+      "              [--cache N] [--snapshot-load F] [--snapshot-save F]"
+      " [--max-conns N]\n"
+      "common: [--log-level debug|info|warn|error] [--trace FILE.json]\n"
+      "        [--metrics-file FILE.prom] [--metrics-interval SECONDS]\n");
   return 2;
 }
 
@@ -62,7 +89,9 @@ bool WriteMetricsFile(const std::string& path) {
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
-/// Background periodic metrics-snapshot writer.
+/// Background periodic metrics-snapshot writer. The destructor (and, on
+/// signal, FlushFinal) writes one last snapshot so the tail interval is
+/// never lost.
 class MetricsWriter {
  public:
   MetricsWriter(std::string path, double interval_seconds)
@@ -76,7 +105,14 @@ class MetricsWriter {
     }
     cv_.notify_all();
     thread_.join();
-    if (!WriteMetricsFile(path_)) {  // final snapshot at exit
+    FlushFinal();
+  }
+
+  /// Idempotent final snapshot (signal paths call this before _exit-style
+  /// returns; the destructor calls it again harmlessly).
+  void FlushFinal() {
+    if (flushed_.exchange(true)) return;
+    if (!WriteMetricsFile(path_)) {
       std::fprintf(stderr, "merchd: cannot write metrics file '%s'\n",
                    path_.c_str());
     }
@@ -98,76 +134,67 @@ class MetricsWriter {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<bool> flushed_{false};
   std::thread thread_;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Options {
+  // mode
+  bool listen = false;
+  bool router = false;
   std::string file;
+  // shared service knobs
   std::size_t threads = 1;
   std::size_t cache = 128;
+  // batch
   std::size_t repeat = 1;
   bool placements = false;
   bool quiet = false;
+  // net
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::size_t shards = 2;
+  std::size_t max_conns = 256;
+  std::size_t max_inflight = 128;
+  std::size_t max_queue_depth = 256;
+  std::uint32_t deadline_ms = 30000;
+  std::string snapshot_load;
+  std::string snapshot_save;
+  // observability
   std::string trace_file;
   std::string metrics_file;
   double metrics_interval = 1.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) std::exit(Usage());
-      return argv[++i];
-    };
-    if (arg == "--file") {
-      file = next();
-    } else if (arg == "--threads") {
-      threads = static_cast<std::size_t>(std::atoll(next()));
-    } else if (arg == "--cache") {
-      cache = static_cast<std::size_t>(std::atoll(next()));
-    } else if (arg == "--repeat") {
-      repeat = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::atoll(next())));
-    } else if (arg == "--placements") {
-      placements = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--trace") {
-      trace_file = next();
-    } else if (arg == "--metrics-file") {
-      metrics_file = next();
-    } else if (arg == "--metrics-interval") {
-      metrics_interval = std::atof(next());
-      if (metrics_interval <= 0) {
-        std::fprintf(stderr, "merchd: --metrics-interval must be > 0\n");
-        return 2;
-      }
-    } else if (arg == "--log-level") {
-      const std::string value = next();
-      if (value == "debug") SetLogLevel(LogLevel::kDebug);
-      else if (value == "info") SetLogLevel(LogLevel::kInfo);
-      else if (value == "warn") SetLogLevel(LogLevel::kWarn);
-      else if (value == "error") SetLogLevel(LogLevel::kError);
-      else {
-        std::fprintf(stderr, "merchd: unknown log level '%s'\n",
-                     value.c_str());
-        return 2;
-      }
-    } else {
-      std::fprintf(stderr, "merchd: unknown flag '%s'\n", arg.c_str());
-      return Usage();
-    }
-  }
-  if (file.empty()) return Usage();
+};
 
+bool WritePortFile(const std::string& path, std::uint16_t port) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return true;
+}
+
+/// Block until SIGINT/SIGTERM (via the ShutdownSignal self-pipe).
+void WaitForShutdownSignal() {
+  for (;;) {
+    pollfd pfd{net::ShutdownSignal::fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 500);
+    if (net::ShutdownSignal::requested()) return;
+    if (ready < 0 && errno != EINTR) return;
+  }
+}
+
+int BatchMode(const Options& opt, MetricsWriter* metrics_writer) {
   std::vector<service::PlacementRequest> requests;
   std::string err;
-  if (!service::LoadRequestFile(file, &requests, &err)) {
+  if (!service::LoadRequestFile(opt.file, &requests, &err)) {
     std::fprintf(stderr, "merchd: %s\n", err.c_str());
     return 2;
   }
   if (requests.empty()) {
-    std::fprintf(stderr, "merchd: %s contains no requests\n", file.c_str());
+    std::fprintf(stderr, "merchd: %s contains no requests\n",
+                 opt.file.c_str());
     return 2;
   }
   for (auto& req : requests) {
@@ -177,16 +204,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!trace_file.empty()) obs::TraceRecorder::Instance().Start();
-  std::unique_ptr<MetricsWriter> metrics_writer;
-  if (!metrics_file.empty()) {
-    metrics_writer =
-        std::make_unique<MetricsWriter>(metrics_file, metrics_interval);
-  }
+  service::PlacementService svc(
+      {.threads = opt.threads, .cache_capacity = opt.cache});
 
-  service::PlacementService svc({.threads = threads, .cache_capacity = cache});
+  // Graceful SIGINT/SIGTERM: drain everything the pool accepted, flush the
+  // final metrics interval, exit 130. The watcher owns the exit so a
+  // signal mid-batch cannot lose the tail snapshot; it is joined before
+  // `svc` is destroyed so it never races teardown.
+  std::atomic<bool> batch_done{false};
+  std::thread signal_watcher([&svc, &batch_done, metrics_writer] {
+    while (!batch_done.load(std::memory_order_acquire)) {
+      pollfd pfd{net::ShutdownSignal::fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 200);
+      if (net::ShutdownSignal::requested()) {
+        std::fprintf(stderr, "merchd: signal received, draining in-flight "
+                             "requests...\n");
+        svc.Shutdown();
+        if (metrics_writer != nullptr) metrics_writer->FlushFinal();
+        std::fflush(nullptr);
+        std::_Exit(130);
+      }
+    }
+  });
+
   int failures = 0;
-  for (std::size_t pass = 0; pass < repeat; ++pass) {
+  for (std::size_t pass = 0; pass < opt.repeat; ++pass) {
     const service::BatchReport report = service::RunBatch(svc, requests);
     std::size_t pass_hits = 0;
     for (std::size_t i = 0; i < report.results.size(); ++i) {
@@ -199,7 +241,7 @@ int main(int argc, char** argv) {
                     r.request.scale, r.error.c_str());
         continue;
       }
-      if (quiet || pass > 0) continue;
+      if (opt.quiet || pass > 0) continue;
       std::printf("%-10s %-9s scale %-7.3g seed %-6llu makespan %9.2fs  "
                   "task-CoV %.3f  migrated %s\n",
                   r.request.app.c_str(), r.request.policy.c_str(),
@@ -207,7 +249,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.request.seed),
                   r.makespan_seconds, r.task_cov,
                   FormatBytes(r.migrated_bytes).c_str());
-      if (placements) {
+      if (opt.placements) {
         for (const auto& p : r.placements) {
           std::printf("    %-24s %-10s DRAM %.0f%%\n", p.object.c_str(),
                       FormatBytes(p.bytes).c_str(), 100.0 * p.dram_fraction);
@@ -234,15 +276,216 @@ int main(int argc, char** argv) {
   // snapshot while threads still run could freeze `merch_pool_active` at
   // a non-zero value.
   svc.Shutdown();
+  batch_done.store(true, std::memory_order_release);
+  signal_watcher.join();
+  return failures == 0 ? 0 : 1;
+}
+
+int ListenMode(const Options& opt) {
+  net::ServerConfig cfg;
+  cfg.host = opt.host;
+  cfg.port = opt.port;
+  cfg.threads = opt.threads;
+  cfg.cache_capacity = opt.cache;
+  cfg.max_connections = opt.max_conns;
+  cfg.max_inflight = opt.max_inflight;
+  cfg.max_queue_depth = opt.max_queue_depth;
+  cfg.default_deadline_ms = opt.deadline_ms;
+  cfg.snapshot_load = opt.snapshot_load;
+  cfg.snapshot_save = opt.snapshot_save;
+
+  net::PlacementServer server(cfg);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "merchd: %s\n", err.c_str());
+    return 1;
+  }
+  if (!opt.port_file.empty() && !WritePortFile(opt.port_file, server.port())) {
+    std::fprintf(stderr, "merchd: cannot write port file '%s'\n",
+                 opt.port_file.c_str());
+    return 1;
+  }
+  std::printf("merchd: listening on %s:%u (threads %zu, cache %zu, "
+              "max-inflight %zu)\n",
+              opt.host.c_str(), server.port(), opt.threads, opt.cache,
+              opt.max_inflight);
+  std::fflush(stdout);
+
+  WaitForShutdownSignal();
+  std::fprintf(stderr, "merchd: signal received, draining...\n");
+  server.Stop();
+
+  const net::ServerStats stats = server.stats();
+  std::printf("server: conns %llu  requests %llu  responses %llu  shed %llu"
+              "  timeouts %llu  protocol-errors %llu\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
+int RouterMode(const Options& opt, const char* self) {
+  net::RouterConfig cfg;
+  cfg.host = opt.host;
+  cfg.port = opt.port;
+  cfg.shards = opt.shards;
+  cfg.max_client_connections = opt.max_conns;
+
+  // Workers re-exec this binary in --listen mode. A shared --snapshot-load
+  // pre-warms every shard from one file; --snapshot-save gets a per-shard
+  // suffix so workers never clobber each other.
+  cfg.worker_command = {self, "--threads", std::to_string(opt.threads),
+                        "--cache", std::to_string(opt.cache),
+                        "--max-inflight", std::to_string(opt.max_inflight),
+                        "--max-queue-depth",
+                        std::to_string(opt.max_queue_depth),
+                        "--deadline-ms", std::to_string(opt.deadline_ms)};
+  if (!opt.snapshot_load.empty()) {
+    cfg.worker_command.insert(cfg.worker_command.end(),
+                              {"--snapshot-load", opt.snapshot_load});
+  }
+  cfg.worker_snapshot_save_prefix = opt.snapshot_save;
+
+  net::ShardRouter router(cfg);
+  std::string err;
+  if (!router.Start(&err)) {
+    std::fprintf(stderr, "merchd: %s\n", err.c_str());
+    return 1;
+  }
+  if (!opt.port_file.empty() && !WritePortFile(opt.port_file, router.port())) {
+    std::fprintf(stderr, "merchd: cannot write port file '%s'\n",
+                 opt.port_file.c_str());
+    return 1;
+  }
+  std::printf("merchd: routing %s:%u across %zu shards\n", opt.host.c_str(),
+              router.port(), opt.shards);
+  std::fflush(stdout);
+
+  WaitForShutdownSignal();
+  std::fprintf(stderr, "merchd: signal received, stopping router...\n");
+  router.Stop();
+
+  const net::RouterStats stats = router.stats();
+  std::printf("router: conns %llu  forwarded %llu  worker-errors %llu  "
+              "restarts %llu\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.forwarded),
+              static_cast<unsigned long long>(stats.worker_errors),
+              static_cast<unsigned long long>(stats.restarts));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(Usage());
+      return argv[++i];
+    };
+    if (arg == "--file") {
+      opt.file = next();
+    } else if (arg == "--listen") {
+      opt.listen = true;
+    } else if (arg == "--router") {
+      opt.router = true;
+    } else if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--port-file") {
+      opt.port_file = next();
+    } else if (arg == "--shards") {
+      opt.shards = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(next())));
+    } else if (arg == "--max-conns") {
+      opt.max_conns = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-inflight") {
+      opt.max_inflight = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-queue-depth") {
+      opt.max_queue_depth = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--snapshot-load") {
+      opt.snapshot_load = next();
+    } else if (arg == "--snapshot-save") {
+      opt.snapshot_save = next();
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache") {
+      opt.cache = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--repeat") {
+      opt.repeat = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(next())));
+    } else if (arg == "--placements") {
+      opt.placements = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--trace") {
+      opt.trace_file = next();
+    } else if (arg == "--metrics-file") {
+      opt.metrics_file = next();
+    } else if (arg == "--metrics-interval") {
+      opt.metrics_interval = std::atof(next());
+      if (opt.metrics_interval <= 0) {
+        std::fprintf(stderr, "merchd: --metrics-interval must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      const std::string value = next();
+      if (value == "debug") SetLogLevel(LogLevel::kDebug);
+      else if (value == "info") SetLogLevel(LogLevel::kInfo);
+      else if (value == "warn") SetLogLevel(LogLevel::kWarn);
+      else if (value == "error") SetLogLevel(LogLevel::kError);
+      else {
+        std::fprintf(stderr, "merchd: unknown log level '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "merchd: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  const int modes = (opt.file.empty() ? 0 : 1) + (opt.listen ? 1 : 0) +
+                    (opt.router ? 1 : 0);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "merchd: pick exactly one of --file, --listen, --router\n");
+    return Usage();
+  }
+
+  net::ShutdownSignal::Install();
+  if (!opt.trace_file.empty()) obs::TraceRecorder::Instance().Start();
+  std::unique_ptr<MetricsWriter> metrics_writer;
+  if (!opt.metrics_file.empty()) {
+    metrics_writer = std::make_unique<MetricsWriter>(opt.metrics_file,
+                                                     opt.metrics_interval);
+  }
+
+  int rc;
+  if (opt.listen) {
+    rc = ListenMode(opt);
+  } else if (opt.router) {
+    rc = RouterMode(opt, argv[0]);
+  } else {
+    rc = BatchMode(opt, metrics_writer.get());
+  }
+
   metrics_writer.reset();  // final metrics snapshot
-  if (!trace_file.empty()) {
+  if (!opt.trace_file.empty()) {
     obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
     rec.Stop();
     std::string werr;
-    if (!rec.WriteChromeJson(trace_file, &werr)) {
+    if (!rec.WriteChromeJson(opt.trace_file, &werr)) {
       std::fprintf(stderr, "merchd: %s\n", werr.c_str());
       return 1;
     }
   }
-  return failures == 0 ? 0 : 1;
+  return rc;
 }
