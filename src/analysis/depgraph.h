@@ -1,0 +1,96 @@
+// Inter-task dependence engine: static task-DAG inference, race
+// detection, and placement-interference lint.
+//
+// The engine intersects per-task read/write region summaries
+// (analysis/summaries.h) pairwise to derive RAW/WAR/WAW dependence edges
+// with byte-overlap evidence, and compares the inferred conflicts against
+// the *declared* ordering (`task N after M,K` in the .kir grammar):
+//
+//   - a conflicting access pair (>=1 write, overlapping hulls) between
+//     tasks with no declared happens-before path is a *race* — an error
+//     when the overlap evidence is exact (neither side widened), a
+//     warning when an indirect/opaque ref widened the footprint,
+//   - a declared edge whose two tasks share no conflicting bytes is
+//     *over-synchronization* — latent parallelism the scheduler loses,
+//   - concurrent (unordered) tasks whose combined DRAM-hungry footprints
+//     exceed the fast tier's capacity are flagged as *placement
+//     interference*: the static early warning for the load imbalance the
+//     paper's Algorithm 1 fights at runtime (some of those tasks must run
+//     from the slow tier no matter what the greedy decides).
+//
+// Modules bridged from fork-join application bundles (Module::fork_join)
+// soften the race rules: concurrent writes to *shared* objects are the
+// runtime's partitioned streams (note severity), and only an exact
+// conflicting write to another task's *owned* object stays an error — the
+// PlacementService gate rejects that the way it rejects lint errors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/summaries.h"
+#include "hm/tier.h"
+
+namespace merch::analysis {
+
+enum class DepKind {
+  kRaw = 0,  // read-after-write (true dependence)
+  kWar = 1,  // write-after-read (anti dependence)
+  kWaw = 2,  // write-after-write (output dependence)
+};
+
+const char* DepKindName(DepKind k);
+
+/// One inferred dependence between two tasks on one object. `from`
+/// happens (or must happen) before `to`: for declared-ordered pairs this
+/// follows the happens-before direction, for unordered conflicting pairs
+/// the task declaration order.
+struct DepEdge {
+  std::size_t from = 0;  // index into TaskGraph::summary.tasks
+  std::size_t to = 0;
+  TaskId from_task = 0;
+  TaskId to_task = 0;
+  DepKind kind = DepKind::kRaw;
+  std::size_t object = SIZE_MAX;
+  std::uint64_t overlap_bytes = 0;
+  /// Neither side's footprint was widened: the overlapping hulls are
+  /// byte-accurate sweep ranges, so the conflict provably happens.
+  bool exact = false;
+  /// The pair has a declared happens-before path covering this edge.
+  bool declared = false;
+};
+
+struct TaskGraph {
+  ModuleSummary summary;
+  /// Direct declared edges as (predecessor index, successor index).
+  std::vector<std::pair<std::size_t, std::size_t>> declared;
+  /// All inferred dependences, declared-covered or not.
+  std::vector<DepEdge> edges;
+  /// cyclic == true when the declared edges contain a cycle (ordering is
+  /// undefined; the lint reports it and race analysis is suppressed).
+  bool cyclic = false;
+
+  /// Happens-before in either direction (declared-path reachability).
+  bool Ordered(std::size_t a, std::size_t b) const;
+  /// Index of task id `t` in summary.tasks, or SIZE_MAX.
+  std::size_t IndexOf(TaskId t) const;
+
+  /// reach_[a][b]: a declared path orders task a before task b.
+  std::vector<std::vector<bool>> reach_;
+};
+
+/// Build the task graph: resolve declared `after` edges, compute
+/// happens-before reachability, and infer dependence edges from pairwise
+/// summary intersection.
+TaskGraph BuildTaskGraph(const Module& module, ModuleSummary summary);
+
+/// Dependence-level findings: races, over-synchronization, unknown or
+/// cyclic declared edges, and placement interference against `hm`'s fast
+/// tier. Severities follow Module::fork_join as described above.
+std::vector<Finding> LintDependences(const Module& module,
+                                     const TaskGraph& graph,
+                                     const hm::HmSpec& hm);
+
+}  // namespace merch::analysis

@@ -53,6 +53,7 @@ Module ModuleFromWorkload(const sim::Workload& workload,
                           const std::vector<core::TaskIr>& task_irs) {
   Module m;
   m.name = workload.name;
+  m.fork_join = true;  // regions are barrier-synchronized parallel sections
   m.objects.reserve(workload.objects.size());
   for (const sim::ObjectDecl& obj : workload.objects) {
     ObjectDecl decl;

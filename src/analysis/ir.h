@@ -69,6 +69,11 @@ struct LoopIr {
 
 struct TaskDecl {
   TaskId task = 0;
+  /// Declared predecessors (`task N after M,K { ... }`): this task may not
+  /// start until every listed task has finished. Sorted and deduplicated
+  /// by the parser; the dependence engine treats the transitive closure of
+  /// these edges as the program's happens-before order.
+  std::vector<TaskId> after;
   std::vector<LoopIr> loops;
   SourceLoc loc;
 };
@@ -77,6 +82,15 @@ struct Module {
   std::string name;
   std::vector<ObjectDecl> objects;
   std::vector<TaskDecl> tasks;
+
+  /// True for modules bridged from an application bundle's fork-join
+  /// regions (ModuleFromWorkload). Fork-join tasks are all concurrent but
+  /// the runtime model guarantees each task writes its own slice of any
+  /// shared stream, so the race detector reports statically overlapping
+  /// writes to *shared* objects as notes (assumed partitioned) instead of
+  /// errors. Textual `.kir` programs default to task-DAG semantics where
+  /// an unordered conflict is a hard race.
+  bool fork_join = false;
 
   /// Index of the object named `name`, or SIZE_MAX.
   std::size_t FindObject(std::string_view name) const;

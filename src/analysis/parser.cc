@@ -1,5 +1,6 @@
 #include "analysis/parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -167,6 +168,33 @@ class Parser {
     return true;
   }
 
+  /// Comma-separated non-negative task ids ("0,1,4"), as in `after 0,1`.
+  void ParseTaskIdList(const Token& tok, std::string_view value,
+                       std::vector<TaskId>* out) {
+    std::size_t start = 0;
+    bool any = false;
+    while (start <= value.size()) {
+      const std::size_t comma = value.find(',', start);
+      const std::string_view item = value.substr(
+          start,
+          comma == std::string_view::npos ? std::string_view::npos
+                                          : comma - start);
+      std::int64_t v = 0;
+      if (!item.empty() && ParseI64(tok, item, &v)) {
+        if (v < 0) {
+          Error(tok.loc, "task id must be non-negative, got '" +
+                             std::string(item) + "'");
+        } else {
+          out->push_back(static_cast<TaskId>(v));
+          any = true;
+        }
+      }
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    if (!any) Error(tok.loc, "'after' names no predecessor tasks");
+  }
+
   /// Byte size with optional KiB/MiB/GiB/TiB (or K/M/G/T) suffix.
   bool ParseBytes(const Token& tok, std::string_view value,
                   std::uint64_t* out) {
@@ -303,11 +331,29 @@ class Parser {
       return;
     }
     task.task = static_cast<TaskId>(v);
+    if (const Token* t = Peek(); t != nullptr && t->text == "after") {
+      ++pos_;  // 'after'
+      const Token* list = Take("predecessor task list");
+      if (list == nullptr) return;
+      ParseTaskIdList(*list, list->text, &task.after);
+      // Canonical order: sorted, deduplicated, no self-edges.
+      std::sort(task.after.begin(), task.after.end());
+      task.after.erase(std::unique(task.after.begin(), task.after.end()),
+                       task.after.end());
+      if (std::find(task.after.begin(), task.after.end(), task.task) !=
+          task.after.end()) {
+        Error(list->loc, "task " + std::to_string(task.task) +
+                             " declares itself as a predecessor");
+        task.after.erase(std::remove(task.after.begin(), task.after.end(),
+                                     task.task),
+                         task.after.end());
+      }
+    }
     const Token* brace = Take("'{'");
     if (brace == nullptr || brace->text != "{") {
       if (brace != nullptr) {
-        Error(brace->loc, "expected '{' after task id, got '" + brace->text +
-                              "'");
+        Error(brace->loc, "expected '{' after task header, got '" +
+                              brace->text + "'");
       }
       return;
     }
@@ -324,7 +370,7 @@ class Parser {
       }
       if (t->text == "loop") {
         LoopIr body;
-        if (ParseLoop(&body)) task.loops.push_back(std::move(body));
+        if (ParseLoop(&body, /*depth=*/1)) task.loops.push_back(std::move(body));
       } else {
         Error(t->loc, "expected 'loop' or '}' inside task, got '" + t->text +
                           "'");
@@ -334,9 +380,17 @@ class Parser {
     result_.module.tasks.push_back(std::move(task));
   }
 
-  bool ParseLoop(LoopIr* out) {
+  bool ParseLoop(LoopIr* out, int depth) {
     const SourceLoc loc = tokens_[pos_].loc;
     ++pos_;  // 'loop'
+    if (depth > kMaxLoopDepth) {
+      Error(loc, "loop nest exceeds the maximum depth of " +
+                     std::to_string(kMaxLoopDepth));
+      // Consume the rest of the input: a nest this deep is adversarial and
+      // resynchronising on braces would recurse just the same.
+      pos_ = tokens_.size();
+      return false;
+    }
     const Token* name = Take("loop name");
     if (name == nullptr) return false;
     out->name = name->text;
@@ -381,7 +435,11 @@ class Parser {
       }
       if (t->text == "loop") {
         LoopIr child;
-        if (ParseLoop(&child)) out->children.push_back(std::move(child));
+        if (ParseLoop(&child, depth + 1)) {
+          out->children.push_back(std::move(child));
+        } else if (pos_ >= tokens_.size()) {
+          return false;  // depth limit drained the input
+        }
       } else if (t->text == "read" || t->text == "write") {
         RefIr ref;
         if (ParseRef(&ref)) out->refs.push_back(std::move(ref));
@@ -422,6 +480,11 @@ class Parser {
       if (key == "stride" &&
           out->subscript.kind == core::Subscript::Kind::kAffine) {
         ParseI64(*tok, value, &out->subscript.stride);
+      } else if (key == "base" &&
+                 (out->subscript.kind == core::Subscript::Kind::kAffine ||
+                  out->subscript.kind ==
+                      core::Subscript::Kind::kNeighborhood)) {
+        ParseI64(*tok, value, &out->subscript.base);
       } else if (key == "offsets" &&
                  out->subscript.kind == core::Subscript::Kind::kNeighborhood) {
         out->subscript.offsets.clear();
@@ -484,12 +547,18 @@ void SerializeLoop(const Module& m, const LoopIr& loop, int depth,
     switch (ref.subscript.kind) {
       case core::Subscript::Kind::kAffine:
         *out += " affine stride=" + std::to_string(ref.subscript.stride);
+        if (ref.subscript.base != 0) {
+          *out += " base=" + std::to_string(ref.subscript.base);
+        }
         break;
       case core::Subscript::Kind::kNeighborhood: {
         *out += " stencil offsets=";
         for (std::size_t i = 0; i < ref.subscript.offsets.size(); ++i) {
           if (i > 0) *out += ",";
           *out += std::to_string(ref.subscript.offsets[i]);
+        }
+        if (ref.subscript.base != 0) {
+          *out += " base=" + std::to_string(ref.subscript.base);
         }
         break;
       }
@@ -545,7 +614,15 @@ std::string SerializeKir(const Module& module) {
   }
   if (!registered.empty()) out += "register" + registered + "\n";
   for (const TaskDecl& task : module.tasks) {
-    out += "\ntask " + std::to_string(task.task) + " {\n";
+    out += "\ntask " + std::to_string(task.task);
+    if (!task.after.empty()) {
+      out += " after ";
+      for (std::size_t i = 0; i < task.after.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(task.after[i]);
+      }
+    }
+    out += " {\n";
     for (const LoopIr& loop : task.loops) {
       SerializeLoop(module, loop, 1, &out);
     }

@@ -6,20 +6,28 @@
 //   object <name> bytes=<size> [elem=<n>] [owner=<task>|owner=shared]
 //                 [pattern=stream|strided|stencil|random]
 //   register <name> [<name> ...]          # the LB_HM_config call
-//   task <id> {
+//   task <id> [after <id>,<id>,...] {     # declared ordering edges
 //     loop <name> trips=<n> [insns=<f>] [branch=<f>] [vector=<f>] {
-//       read|write <object> affine [stride=<int>] [elem=<n>] [rate=<f>]
-//       read|write <object> stencil offsets=<int>,<int>,... [...]
+//       read|write <object> affine [stride=<int>] [base=<elem-index>]
+//                           [elem=<n>] [rate=<f>]
+//       read|write <object> stencil offsets=<int>,<int>,...
+//                           [base=<elem-index>] [...]
 //       read|write <object> indirect via=<object> [...]
 //       read|write <object> opaque [...]
 //       loop ... { ... }                  # nests; trip counts multiply
 //     }
 //   }
 //
-// Sizes accept KiB/MiB/GiB/TiB suffixes; trip counts accept 10-based
-// scientific shorthand (`trips=1e6`). Parse errors carry precise 1-based
-// line:column locations. SerializeKir emits a canonical form that parses
-// back to a structurally identical Module (round-trip property).
+// `after` declares happens-before edges for the inter-task dependence
+// analysis (analysis/depgraph.h): a task may not start before its listed
+// predecessors finish. `base=` gives an affine/stencil sweep's starting
+// element so concurrent tasks can prove their slices of a shared object
+// disjoint. Sizes accept KiB/MiB/GiB/TiB suffixes; trip counts accept
+// 10-based scientific shorthand (`trips=1e6`). Loop nests deeper than
+// kMaxLoopDepth are a parse error (robustness against adversarial input).
+// Parse errors carry precise 1-based line:column locations. SerializeKir
+// emits a canonical form that parses back to a structurally identical
+// Module (round-trip property).
 #pragma once
 
 #include <string>
@@ -29,6 +37,11 @@
 #include "analysis/ir.h"
 
 namespace merch::analysis {
+
+/// Maximum loop-nest depth the parser accepts. Deeper input (hand-written
+/// kernels never exceed a handful of levels) is rejected with a located
+/// error instead of risking recursion-driven stack exhaustion.
+inline constexpr int kMaxLoopDepth = 64;
 
 struct ParseError {
   SourceLoc loc;

@@ -123,4 +123,142 @@ std::string JsonReport(const std::string& file, const Module& module,
   return out;
 }
 
+std::string DagTextReport(const std::string& file, const Module& module,
+                          const TaskGraph& graph,
+                          const std::vector<Finding>& findings) {
+  std::string out = "task DAG for kernel " + module.name;
+  if (!file.empty()) out += " (" + file + ")";
+  out += ": " + std::to_string(graph.summary.tasks.size()) + " tasks, " +
+         std::to_string(graph.edges.size()) + " dependence edge(s)";
+  if (graph.cyclic) out += "  [CYCLIC]";
+  out += "\n\n";
+
+  TextTable tasks({"task", "after", "reads", "writes", "footprint",
+                   "dram-hungry"});
+  for (const TaskSummary& t : graph.summary.tasks) {
+    std::string after;
+    for (const TaskId p : t.after) {
+      if (!after.empty()) after += ",";
+      after += std::to_string(p);
+    }
+    tasks.AddRow({std::to_string(t.task), after.empty() ? "-" : after,
+                  std::to_string(t.reads.size()),
+                  std::to_string(t.writes.size()),
+                  FormatBytes(t.footprint_bytes),
+                  FormatBytes(t.dram_hungry_bytes)});
+  }
+  out += tasks.Render();
+
+  out += "\ndependences:\n";
+  if (graph.edges.empty()) out += "  none — tasks share no data\n";
+  for (const DepEdge& e : graph.edges) {
+    const std::string obj = e.object < module.objects.size()
+                                ? module.objects[e.object].name
+                                : "?";
+    out += "  task " + std::to_string(e.from_task) + " -> task " +
+           std::to_string(e.to_task) + "  " + DepKindName(e.kind) + " on '" +
+           obj + "'  " + FormatBytes(e.overlap_bytes) +
+           (e.exact ? " exact" : " may") +
+           (e.declared ? ", ordered" : ", UNORDERED") + "\n";
+  }
+
+  out += "\nfindings:\n";
+  if (findings.empty()) out += "  clean — no findings\n";
+  std::size_t errors = 0, warnings = 0;
+  for (const Finding& f : findings) {
+    out += "  " + FormatFinding(file, f) + "\n";
+    if (f.severity == Severity::kError) ++errors;
+    if (f.severity == Severity::kWarning) ++warnings;
+  }
+  out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+         " warning(s)\n";
+  return out;
+}
+
+std::string DagJsonReport(const std::string& file, const Module& module,
+                          const TaskGraph& graph,
+                          const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"kernel\": \"" + JsonEscape(module.name) +
+                    "\",\n  \"file\": \"" + JsonEscape(file) + "\",\n";
+  out += std::string("  \"cyclic\": ") + (graph.cyclic ? "true" : "false") +
+         ",\n  \"tasks\": [\n";
+  for (std::size_t i = 0; i < graph.summary.tasks.size(); ++i) {
+    const TaskSummary& t = graph.summary.tasks[i];
+    out += "    {\"task\": " + std::to_string(t.task) + ", \"after\": [";
+    for (std::size_t j = 0; j < t.after.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(t.after[j]);
+    }
+    out += "], \"footprint_bytes\": " + std::to_string(t.footprint_bytes) +
+           ", \"dram_hungry_bytes\": " +
+           std::to_string(t.dram_hungry_bytes);
+    out += i + 1 < graph.summary.tasks.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"edges\": [\n";
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const DepEdge& e = graph.edges[i];
+    const std::string obj = e.object < module.objects.size()
+                                ? module.objects[e.object].name
+                                : "?";
+    out += "    {\"from\": " + std::to_string(e.from_task) +
+           ", \"to\": " + std::to_string(e.to_task) + ", \"kind\": \"" +
+           DepKindName(e.kind) + "\", \"object\": \"" + JsonEscape(obj) +
+           "\", \"overlap_bytes\": " + std::to_string(e.overlap_bytes) +
+           ", \"exact\": " + (e.exact ? "true" : "false") +
+           ", \"declared\": " + (e.declared ? "true" : "false");
+    out += i + 1 < graph.edges.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += std::string("    {\"severity\": \"") + SeverityName(f.severity) +
+           "\", \"code\": \"" + JsonEscape(f.code) + "\", \"object\": \"" +
+           JsonEscape(f.object) + "\", \"line\": " +
+           std::to_string(f.loc.line) + ", \"message\": \"" +
+           JsonEscape(f.message) + "\"";
+    out += i + 1 < findings.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string DagDotReport(const Module& module, const TaskGraph& graph) {
+  std::string out = "digraph \"" + JsonEscape(module.name) + "\" {\n";
+  out += "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const TaskSummary& t : graph.summary.tasks) {
+    out += "  t" + std::to_string(t.task) + " [label=\"task " +
+           std::to_string(t.task) + "\\n" + FormatBytes(t.footprint_bytes) +
+           " footprint\\n" + FormatBytes(t.dram_hungry_bytes) +
+           " dram-hungry\"];\n";
+  }
+  // Declared edges that carry no data flow render dotted so
+  // over-synchronization is visible at a glance.
+  for (const auto& [pi, si] : graph.declared) {
+    bool carries = false;
+    for (const DepEdge& e : graph.edges) {
+      if ((e.from == pi && e.to == si) || (e.from == si && e.to == pi)) {
+        carries = true;
+        break;
+      }
+    }
+    if (carries) continue;
+    out += "  t" + std::to_string(graph.summary.tasks[pi].task) + " -> t" +
+           std::to_string(graph.summary.tasks[si].task) +
+           " [style=dotted, label=\"after\"];\n";
+  }
+  for (const DepEdge& e : graph.edges) {
+    const std::string obj = e.object < module.objects.size()
+                                ? module.objects[e.object].name
+                                : "?";
+    out += "  t" + std::to_string(e.from_task) + " -> t" +
+           std::to_string(e.to_task) + " [label=\"" + DepKindName(e.kind) +
+           " " + JsonEscape(obj) + "\\n" + FormatBytes(e.overlap_bytes) +
+           "\"";
+    if (!e.declared) out += ", style=dashed, color=red";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace merch::analysis

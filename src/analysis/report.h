@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/depgraph.h"
 #include "analysis/ir.h"
 #include "analysis/lint.h"
 #include "analysis/passes.h"
@@ -21,5 +22,24 @@ std::string TextReport(const std::string& file, const Module& module,
 std::string JsonReport(const std::string& file, const Module& module,
                        const ModuleAnalysis& analysis,
                        const std::vector<Finding>& findings);
+
+/// Task-DAG report (`merchctl analyze --dag`): per-task footprint table,
+/// inferred dependence edges with byte-overlap evidence, and the
+/// dependence-level findings.
+std::string DagTextReport(const std::string& file, const Module& module,
+                          const TaskGraph& graph,
+                          const std::vector<Finding>& findings);
+
+/// The task graph as a JSON document (`--dag --json`): tasks (footprint,
+/// DRAM-hungry bytes, declared predecessors), edges (kind, object,
+/// overlap, exact/declared bits), and findings.
+std::string DagJsonReport(const std::string& file, const Module& module,
+                          const TaskGraph& graph,
+                          const std::vector<Finding>& findings);
+
+/// The task graph as a Graphviz digraph (`--dag --dot`). Solid edges are
+/// declared-covered dependences, dashed red edges are unordered conflicts
+/// (races), dotted edges are declared-only orderings with no data flow.
+std::string DagDotReport(const Module& module, const TaskGraph& graph);
 
 }  // namespace merch::analysis

@@ -1,0 +1,193 @@
+#include "analysis/summaries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace merch::analysis {
+namespace {
+
+/// Clamp a (possibly huge) double byte position into [0, limit].
+std::uint64_t ClampBytes(double v, std::uint64_t limit) {
+  if (!(v > 0)) return 0;
+  const double lim = static_cast<double>(limit);
+  return v >= lim ? limit : static_cast<std::uint64_t>(v);
+}
+
+PatternClass MergeClass(PatternClass a, PatternClass b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Find-or-create the (object, direction) summary in `list`, keeping it
+/// sorted by object index.
+AccessSummary* Slot(std::vector<AccessSummary>* list, std::size_t object,
+                    bool is_write) {
+  auto it = std::lower_bound(
+      list->begin(), list->end(), object,
+      [](const AccessSummary& s, std::size_t o) { return s.object < o; });
+  if (it != list->end() && it->object == object) return &*it;
+  AccessSummary fresh;
+  fresh.object = object;
+  fresh.is_write = is_write;
+  return &*list->insert(it, fresh);
+}
+
+/// Fold one reference's hull into the task's summaries.
+void Fold(AccessSummary* s, const ByteInterval& hull, bool widened,
+          double executions, PatternClass cls, SourceLoc loc) {
+  if (s->accesses == 0 && s->bytes.empty()) {
+    s->bytes = hull;
+    s->pattern = cls;
+    s->loc = loc;
+  } else {
+    s->bytes.lo = std::min(s->bytes.lo, hull.lo);
+    s->bytes.hi = std::max(s->bytes.hi, hull.hi);
+    s->pattern = MergeClass(s->pattern, cls);
+    if (!s->loc.valid()) s->loc = loc;
+  }
+  s->widened = s->widened || widened;
+  s->accesses += executions;
+}
+
+}  // namespace
+
+std::uint64_t IntervalOverlap(const ByteInterval& a, const ByteInterval& b) {
+  const std::uint64_t lo = std::max(a.lo, b.lo);
+  const std::uint64_t hi = std::min(a.hi, b.hi);
+  return hi > lo ? hi - lo : 0;
+}
+
+ByteInterval RefInterval(const core::ArrayRef& ref, std::uint64_t trip_count,
+                         std::uint64_t object_bytes, bool* widened) {
+  *widened = false;
+  const double e = static_cast<double>(ref.element_bytes);
+  const double n = static_cast<double>(std::max<std::uint64_t>(1, trip_count));
+  const double b = static_cast<double>(ref.subscript.base);
+  double elem_lo = 0, elem_hi = 0;
+  switch (ref.subscript.kind) {
+    case core::Subscript::Kind::kAffine: {
+      const double s = static_cast<double>(ref.subscript.stride);
+      if (s >= 0) {
+        elem_lo = b;
+        elem_hi = b + (n - 1) * s + 1;
+      } else {
+        elem_lo = b + (n - 1) * s;
+        elem_hi = b + 1;
+      }
+      break;
+    }
+    case core::Subscript::Kind::kNeighborhood: {
+      double min_off = 0, max_off = 0;
+      if (!ref.subscript.offsets.empty()) {
+        const auto [lo_it, hi_it] = std::minmax_element(
+            ref.subscript.offsets.begin(), ref.subscript.offsets.end());
+        min_off = static_cast<double>(*lo_it);
+        max_off = static_cast<double>(*hi_it);
+      }
+      elem_lo = b + min_off;
+      elem_hi = b + (n - 1) + max_off + 1;
+      break;
+    }
+    case core::Subscript::Kind::kIndirect:
+    case core::Subscript::Kind::kOpaque:
+      // Runtime data picks the element: every byte is reachable.
+      *widened = true;
+      return {0, object_bytes};
+  }
+  ByteInterval out;
+  out.lo = ClampBytes(elem_lo * e, object_bytes);
+  out.hi = ClampBytes(elem_hi * e, object_bytes);
+  return out;
+}
+
+const AccessSummary* FindSummary(const std::vector<AccessSummary>& list,
+                                 std::size_t object) {
+  auto it = std::lower_bound(
+      list.begin(), list.end(), object,
+      [](const AccessSummary& s, std::size_t o) { return s.object < o; });
+  return it != list.end() && it->object == object ? &*it : nullptr;
+}
+
+ModuleSummary Summarize(const Module& module) {
+  ModuleSummary out;
+  out.tasks.reserve(module.tasks.size());
+  const std::vector<core::TaskIr> tasks = module.ToCoreIr();
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    TaskSummary ts;
+    ts.task = tasks[ti].task;
+    ts.after = module.tasks[ti].after;
+    ts.loc = module.tasks[ti].loc;
+    for (const core::LoopNest& loop : tasks[ti].loops) {
+      for (const core::ArrayRef& ref : loop.refs) {
+        if (ref.object >= module.objects.size()) continue;
+        const std::uint64_t obj_bytes = module.objects[ref.object].bytes;
+        bool widened = false;
+        const ByteInterval hull =
+            RefInterval(ref, loop.trip_count, obj_bytes, &widened);
+        const double executions = static_cast<double>(loop.trip_count) *
+                                  ref.accesses_per_iteration;
+        // RefIr carries no SourceLoc once flattened; use the task's.
+        Fold(Slot(ref.is_write ? &ts.writes : &ts.reads, ref.object,
+                  ref.is_write),
+             hull, widened, executions, ClassifyRefClass(ref), ts.loc);
+        // An indirect gather sequentially sweeps its index object (int32
+        // indices, mirroring core lowering) — that read participates in
+        // dependences too: a task rewriting another task's index array is
+        // a real RAW/WAR hazard.
+        const std::size_t via = ref.subscript.index_object;
+        if (ref.subscript.kind == core::Subscript::Kind::kIndirect &&
+            via < module.objects.size()) {
+          core::ArrayRef index_ref;
+          index_ref.object = via;
+          index_ref.subscript.kind = core::Subscript::Kind::kAffine;
+          index_ref.subscript.stride = 1;
+          index_ref.element_bytes = 4;
+          bool iw = false;
+          const ByteInterval ih = RefInterval(
+              index_ref, loop.trip_count, module.objects[via].bytes, &iw);
+          Fold(Slot(&ts.reads, via, false), ih, iw, executions,
+               PatternClass::kStream, ts.loc);
+        }
+      }
+    }
+    // Per-object union of read and write hulls -> footprint and the
+    // DRAM-hungry share (latency-bound or write-heavy objects).
+    std::size_t ri = 0, wi = 0;
+    while (ri < ts.reads.size() || wi < ts.writes.size()) {
+      const AccessSummary* r =
+          ri < ts.reads.size() ? &ts.reads[ri] : nullptr;
+      const AccessSummary* w =
+          wi < ts.writes.size() ? &ts.writes[wi] : nullptr;
+      if (r != nullptr && w != nullptr && r->object == w->object) {
+        ByteInterval u{std::min(r->bytes.lo, w->bytes.lo),
+                       std::max(r->bytes.hi, w->bytes.hi)};
+        const PatternClass cls = MergeClass(r->pattern, w->pattern);
+        const double total = r->accesses + w->accesses;
+        const double wf = total > 0 ? w->accesses / total : 0;
+        ts.footprint_bytes += u.size();
+        if (cls == PatternClass::kRandom || cls == PatternClass::kOpaque ||
+            wf >= 0.5) {
+          ts.dram_hungry_bytes += u.size();
+        }
+        ++ri;
+        ++wi;
+      } else if (w == nullptr || (r != nullptr && r->object < w->object)) {
+        ts.footprint_bytes += r->bytes.size();
+        if (r->pattern == PatternClass::kRandom ||
+            r->pattern == PatternClass::kOpaque) {
+          ts.dram_hungry_bytes += r->bytes.size();
+        }
+        ++ri;
+      } else {
+        ts.footprint_bytes += w->bytes.size();
+        // Write-only regions are always hungry: PM writes are the 4.74x
+        // asymmetric direction (paper Fig. 3).
+        ts.dram_hungry_bytes += w->bytes.size();
+        ++wi;
+      }
+    }
+    out.tasks.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace merch::analysis

@@ -1,0 +1,98 @@
+// Abstract access-summary domain for whole-program dependence analysis.
+//
+// Every memory reference in a task's (flattened) loop nests is abstracted
+// to a *strided-interval footprint*: the hull of bytes the reference can
+// reach inside its object, derived from the subscript's stride / base
+// offset / stencil offset range and the loop's trip count. Indirect and
+// opaque subscripts widen conservatively to the whole object (any element
+// is reachable through runtime data — the classic may-analysis fallback).
+// Per task the per-reference footprints fold into read and write *region
+// summaries* (one merged hull per object per direction); the dependence
+// engine (analysis/depgraph.h) intersects these summaries pairwise to
+// derive RAW/WAR/WAW edges with byte-overlap evidence.
+//
+// Soundness contract: the hull over-approximates. Every byte a concrete
+// execution of the reference touches lies inside the interval, so a
+// dynamically observed inter-task overlap is always covered by a
+// statically inferred edge (tests/analysis_test.cc replays an access
+// oracle over examples/*.kir to enforce exactly this, with zero false
+// negatives). The converse does not hold: hulls of wide-strided sweeps
+// have holes and widened refs cover bytes never touched, which is why
+// edges carry an `exact` bit that severity decisions consult.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ir.h"
+#include "analysis/passes.h"
+
+namespace merch::analysis {
+
+/// Half-open byte range [lo, hi) inside one object; empty when lo >= hi.
+struct ByteInterval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t size() const { return hi > lo ? hi - lo : 0; }
+  bool empty() const { return hi <= lo; }
+};
+
+/// Bytes shared by two intervals (0 when disjoint).
+std::uint64_t IntervalOverlap(const ByteInterval& a, const ByteInterval& b);
+
+/// Merged footprint of every read (or every write) one task makes to one
+/// object.
+struct AccessSummary {
+  std::size_t object = SIZE_MAX;
+  bool is_write = false;
+  /// Hull of reachable bytes, clipped to [0, object bytes).
+  ByteInterval bytes;
+  /// True when an indirect/opaque reference forced whole-object widening
+  /// (the hull is a may-footprint, not a precise sweep range).
+  bool widened = false;
+  /// Total executions (trip count x rate) folded into this summary.
+  double accesses = 0;
+  /// Most cache-hostile pattern class among the folded references.
+  PatternClass pattern = PatternClass::kScalar;
+  /// Location of the first contributing reference (for diagnostics).
+  SourceLoc loc;
+};
+
+/// Everything the dependence engine needs to know about one task.
+struct TaskSummary {
+  TaskId task = 0;
+  std::vector<TaskId> after;  // declared predecessors (from the IR)
+  /// One entry per (object, direction) actually referenced, object-sorted.
+  std::vector<AccessSummary> reads;
+  std::vector<AccessSummary> writes;
+  /// Distinct bytes reachable across all of the task's summaries.
+  std::uint64_t footprint_bytes = 0;
+  /// Footprint share that wants fast-tier residency: objects this task
+  /// touches with latency-bound patterns (random gathers, opaque
+  /// scatters) or write-heavy access (PM write asymmetry, paper Fig. 3).
+  /// The placement-interference lint sums this across concurrent tasks.
+  std::uint64_t dram_hungry_bytes = 0;
+  SourceLoc loc;
+};
+
+struct ModuleSummary {
+  /// One entry per module task, in declaration order.
+  std::vector<TaskSummary> tasks;
+};
+
+/// Fold a module's per-reference strided-interval footprints into
+/// per-task read/write region summaries.
+ModuleSummary Summarize(const Module& module);
+
+/// Summary for `object` in `list`, or nullptr when the task never touches
+/// it in that direction.
+const AccessSummary* FindSummary(const std::vector<AccessSummary>& list,
+                                 std::size_t object);
+
+/// The strided-interval hull of one reference executed `trip_count` times
+/// inside an object of `object_bytes` bytes; sets `*widened` when the
+/// subscript forces whole-object widening. Exposed for tests.
+ByteInterval RefInterval(const core::ArrayRef& ref, std::uint64_t trip_count,
+                         std::uint64_t object_bytes, bool* widened);
+
+}  // namespace merch::analysis

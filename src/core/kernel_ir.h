@@ -20,13 +20,18 @@ namespace merch::core {
 /// variable.
 struct Subscript {
   enum class Kind {
-    kAffine,       // A[i*stride + c]
-    kNeighborhood, // A[i+o] for a set of offsets (stencils)
+    kAffine,       // A[i*stride + base]
+    kNeighborhood, // A[i+base+o] for a set of offsets (stencils)
     kIndirect,     // A[B[i]] — gather/scatter through an index object
     kOpaque,       // not analysable statically (function of runtime data)
   };
   Kind kind = Kind::kAffine;
   std::int64_t stride = 1;            // kAffine
+  /// Starting element of the sweep (kAffine / kNeighborhood). Lets tasks
+  /// express disjoint partitions of a shared object ("task t writes
+  /// elements [base, base+trips)"), which the inter-task dependence
+  /// analysis needs to prove slices race-free.
+  std::int64_t base = 0;
   std::vector<std::int64_t> offsets;  // kNeighborhood
   std::size_t index_object = SIZE_MAX;  // kIndirect: the index array
 };

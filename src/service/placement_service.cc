@@ -4,9 +4,11 @@
 #include <exception>
 #include <utility>
 
+#include "analysis/depgraph.h"
 #include "analysis/ir.h"
 #include "analysis/lint.h"
 #include "analysis/passes.h"
+#include "analysis/summaries.h"
 #include "apps/registry.h"
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
@@ -230,8 +232,21 @@ PlacementResult PlacementService::RunRequest(
     // registered with LB_HM_config) — the runtime could not place it.
     const analysis::Module module =
         analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
-    const std::vector<analysis::Finding> findings =
+    std::vector<analysis::Finding> findings =
         analysis::Lint(module, analysis::Analyze(module));
+
+    const sim::MachineSpec machine = RequestMachine(req);
+
+    // Dependence gate: a provably racy task graph (a non-owner task
+    // writing another task's object with exact overlap evidence) cannot
+    // be placed meaningfully — the access counts themselves are
+    // undefined. Rejected like lint errors.
+    const analysis::TaskGraph graph =
+        analysis::BuildTaskGraph(module, analysis::Summarize(module));
+    const std::vector<analysis::Finding> dep =
+        analysis::LintDependences(module, graph, machine.hm);
+    findings.insert(findings.end(), dep.begin(), dep.end());
+
     if (analysis::HasErrors(findings)) {
       for (const analysis::Finding& f : findings) {
         if (f.severity != analysis::Severity::kError) continue;
@@ -240,8 +255,6 @@ PlacementResult PlacementService::RunRequest(
       }
       return out;
     }
-
-    const sim::MachineSpec machine = RequestMachine(req);
     const sim::SimConfig cfg = RequestSimConfig(req);
 
     std::unique_ptr<sim::PlacementPolicy> policy;

@@ -1,0 +1,125 @@
+// End-to-end contract of `merchctl analyze` (exit codes and machine
+// outputs), exec-ing the real binary the way CI and users do:
+//   exit 0  clean program (warnings allowed)
+//   exit 1  error-severity findings (lint or dependence)
+//   exit 2  parse failure / usage error
+// `--dag --json` must parse with the in-tree JSON parser (obs::ParseJson)
+// and carry the task/edge/finding structure; `--dag --dot` must be a
+// balanced Graphviz digraph.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace merch {
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout only — stderr goes to the test log
+};
+
+CmdResult RunCtl(const std::string& args) {
+  CmdResult r;
+  const std::string cmd = std::string(MERCHCTL_BIN) + " " + args;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string Example(const char* name) {
+  return std::string(KIR_EXAMPLES_DIR) + "/" + name;
+}
+
+const obs::JsonValue* Field(const obs::JsonValue& obj, const char* name) {
+  for (const auto& [key, value] : obj.fields) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+TEST(AnalyzeCli, CleanProgramExitsZero) {
+  const CmdResult r = RunCtl("analyze " + Example("spgemm.kir") + " --dag");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("task DAG"), std::string::npos);
+  EXPECT_NE(r.output.find("RAW on 'C_part'"), std::string::npos);
+}
+
+TEST(AnalyzeCli, WarningsStillExitZero) {
+  // bfs carries the benign-BFS potential-race warning but no errors.
+  const CmdResult r = RunCtl("analyze " + Example("bfs.kir") + " --dag");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("potential-race"), std::string::npos);
+}
+
+TEST(AnalyzeCli, RaceFixtureReportsEveryPlantedFindingAndExitsOne) {
+  const CmdResult r = RunCtl("analyze " + Example("race_fixture.kir") + " --dag");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* code : {"data-race", "potential-race",
+                           "over-synchronization",
+                           "placement-interference"}) {
+    EXPECT_NE(r.output.find(code), std::string::npos) << code;
+  }
+}
+
+TEST(AnalyzeCli, ParseFailureExitsTwo) {
+  // A .kir that is not a .kir at all.
+  const std::string bogus = ::testing::TempDir() + "/bogus.kir";
+  std::ofstream(bogus) << "this is { not a kernel\n";
+  EXPECT_EQ(RunCtl("analyze " + bogus).exit_code, 2);
+  EXPECT_EQ(RunCtl("analyze " + bogus + " --dag").exit_code, 2);
+  EXPECT_EQ(RunCtl("analyze").exit_code, 2);  // usage error
+}
+
+TEST(AnalyzeCli, DagJsonIsWellFormedAndStructured) {
+  for (const char* file : {"spgemm.kir", "bfs.kir", "race_fixture.kir",
+                           "lint_fixture.kir"}) {
+    const CmdResult r = RunCtl("analyze " + Example(file) + " --dag --json");
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::ParseJson(r.output, &doc, &err)) << file << ": " << err;
+    ASSERT_EQ(doc.kind, obs::JsonValue::Kind::kObject) << file;
+    const obs::JsonValue* tasks = Field(doc, "tasks");
+    ASSERT_NE(tasks, nullptr) << file;
+    EXPECT_EQ(tasks->kind, obs::JsonValue::Kind::kArray);
+    EXPECT_FALSE(tasks->items.empty()) << file;
+    ASSERT_NE(Field(doc, "edges"), nullptr) << file;
+    ASSERT_NE(Field(doc, "findings"), nullptr) << file;
+    for (const obs::JsonValue& t : tasks->items) {
+      EXPECT_NE(Field(t, "footprint_bytes"), nullptr) << file;
+      EXPECT_NE(Field(t, "dram_hungry_bytes"), nullptr) << file;
+    }
+  }
+}
+
+TEST(AnalyzeCli, DagDotIsABalancedDigraph) {
+  const CmdResult r =
+      RunCtl("analyze " + Example("race_fixture.kir") + " --dag --dot");
+  EXPECT_EQ(r.exit_code, 1);  // --dot still gates on findings
+  ASSERT_EQ(r.output.rfind("digraph", 0), 0u) << r.output;
+  int depth = 0;
+  for (const char c : r.output) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  // The planted race renders as a dashed red conflict edge.
+  EXPECT_NE(r.output.find("style=dashed, color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merch

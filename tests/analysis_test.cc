@@ -1,21 +1,32 @@
 // Tests for the static analysis subsystem (src/analysis): parser
 // round-trips, pattern-classification edge cases, analytic-vs-profiled
 // alpha agreement on the five applications, footprint/reuse derivation,
-// and the placement lint.
+// the placement lint, and the whole-program dependence analysis (access
+// summaries, task-DAG inference, race detection) — including a dynamic
+// soundness gate that replays a sampled access oracle over every
+// examples/*.kir program and demands a static edge for every observed
+// inter-task overlap.
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <random>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analysis/depgraph.h"
 #include "analysis/ir.h"
 #include "analysis/lint.h"
 #include "analysis/parser.h"
 #include "analysis/passes.h"
 #include "analysis/report.h"
+#include "analysis/summaries.h"
 #include "apps/registry.h"
 #include "core/pattern_classifier.h"
+#include "hm/tier.h"
 
 namespace merch {
 namespace {
@@ -510,6 +521,574 @@ TEST(PlacementLint, AppBundlesLintClean) {
         analysis::Lint(module, analysis::Analyze(module));
     EXPECT_FALSE(analysis::HasErrors(findings)) << name;
   }
+}
+
+// ---- task ordering in the grammar ------------------------------------
+
+const char* kPipelineKir = R"(
+kernel pipeline
+object a bytes=8MiB elem=8 owner=shared
+object b bytes=8MiB elem=8 owner=shared
+register a b
+task 0 {
+  loop produce trips=500000 insns=4 {
+    write a affine stride=1 base=0
+  }
+}
+task 1 {
+  loop produce trips=500000 insns=4 {
+    write a affine stride=1 base=524288
+  }
+}
+task 2 after 0,1 {
+  loop consume trips=1000000 insns=4 {
+    read a affine stride=1
+    write b affine stride=1
+  }
+}
+)";
+
+TEST(KirParser, ParsesAfterClauseAndBaseOffset) {
+  const analysis::ParseResult r = analysis::ParseKir(kPipelineKir);
+  ASSERT_TRUE(r.ok()) << analysis::FormatParseError("", r.errors.front());
+  ASSERT_EQ(r.module.tasks.size(), 3u);
+  EXPECT_TRUE(r.module.tasks[0].after.empty());
+  EXPECT_EQ(r.module.tasks[2].after, (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(r.module.tasks[1].loops[0].refs[0].subscript.base, 524288);
+  EXPECT_FALSE(r.module.fork_join);
+}
+
+TEST(KirParser, AfterAndBaseSurviveTheCanonicalRoundTrip) {
+  const analysis::ParseResult first = analysis::ParseKir(kPipelineKir);
+  ASSERT_TRUE(first.ok());
+  const std::string canon = analysis::SerializeKir(first.module);
+  EXPECT_NE(canon.find("task 2 after 0,1 {"), std::string::npos);
+  EXPECT_NE(canon.find("base=524288"), std::string::npos);
+  const analysis::ParseResult second = analysis::ParseKir(canon);
+  ASSERT_TRUE(second.ok()) << canon;
+  EXPECT_EQ(analysis::SerializeKir(second.module), canon);
+  EXPECT_EQ(second.module.tasks[2].after, (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(second.module.tasks[1].loops[0].refs[0].subscript.base, 524288);
+}
+
+TEST(KirParser, RejectsEmptySelfAndNegativeAfterLists) {
+  EXPECT_FALSE(analysis::ParseKir("task 0 after {\n}\n").ok());
+  EXPECT_FALSE(analysis::ParseKir("task 1 after 1 {\n}\n").ok());
+  EXPECT_FALSE(analysis::ParseKir("task 1 after -2 {\n}\n").ok());
+  // Duplicates collapse silently (a set, not a list).
+  const analysis::ParseResult r =
+      analysis::ParseKir("task 1 after 0,0,0 {\n}\ntask 0 {\n}\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.module.tasks[0].after, (std::vector<TaskId>{0}));
+}
+
+// ---- parser robustness (fuzz-lite) -----------------------------------
+
+TEST(KirParserFuzz, DeeplyNestedLoopsHitTheDepthLimitNotTheStack) {
+  std::string text = "kernel deep\nobject a bytes=1MiB\nregister a\ntask 0 {\n";
+  for (int i = 0; i < 10000; ++i) text += "loop l trips=2 {\n";
+  text += "read a affine stride=1\n";
+  for (int i = 0; i < 10000; ++i) text += "}\n";
+  text += "}\n";
+  const analysis::ParseResult r = analysis::ParseKir(text);
+  ASSERT_FALSE(r.ok());
+  bool found = false;
+  for (const analysis::ParseError& e : r.errors) {
+    if (e.message.find("maximum depth") != std::string::npos) found = true;
+    EXPECT_GE(e.loc.line, 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KirParserFuzz, EveryTruncationOfAValidProgramParsesOrErrorsCleanly) {
+  const std::string whole = kPipelineKir;
+  for (std::size_t len = 0; len <= whole.size(); ++len) {
+    const analysis::ParseResult r = analysis::ParseKir(whole.substr(0, len));
+    for (const analysis::ParseError& e : r.errors) {
+      EXPECT_GE(e.loc.line, 1) << "truncated at " << len;
+      EXPECT_FALSE(e.message.empty()) << "truncated at " << len;
+    }
+  }
+}
+
+TEST(KirParserFuzz, GarbageBytesNeverCrashAndAlwaysLocateErrors) {
+  std::mt19937 rng(0xC0FFEE);
+  const std::string alphabet =
+      "kernel object task loop read write register after base= {}\n\t 0123=-e";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const std::size_t len = rng() % 512;
+    for (std::size_t i = 0; i < len; ++i) {
+      // Mix structured tokens with raw bytes so both lexer and grammar
+      // paths get exercised.
+      text += trial % 2 == 0 ? alphabet[rng() % alphabet.size()]
+                             : static_cast<char>(rng() % 256);
+    }
+    const analysis::ParseResult r = analysis::ParseKir(text);
+    for (const analysis::ParseError& e : r.errors) {
+      EXPECT_GE(e.loc.line, 1);
+      EXPECT_FALSE(e.message.empty());
+    }
+  }
+}
+
+// ---- access summaries ------------------------------------------------
+
+TEST(AccessSummaries, RefIntervalCoversEachSubscriptForm) {
+  bool widened = false;
+  core::ArrayRef affine = Affine(0, 2);
+  affine.subscript.base = 10;
+  affine.element_bytes = 8;
+  // elements 10, 12, ..., 28 -> bytes [80, 232)
+  const auto a = analysis::RefInterval(affine, 10, 1 * MiB, &widened);
+  EXPECT_EQ(a.lo, 80u);
+  EXPECT_EQ(a.hi, 232u);
+  EXPECT_FALSE(widened);
+
+  core::ArrayRef back = Affine(0, -1);
+  back.subscript.base = 99;
+  back.element_bytes = 8;
+  // elements 99, 98, ..., 90 -> bytes [720, 800)
+  const auto n = analysis::RefInterval(back, 10, 1 * MiB, &widened);
+  EXPECT_EQ(n.lo, 720u);
+  EXPECT_EQ(n.hi, 800u);
+
+  core::ArrayRef sten = Neighborhood(0, {-2, 0, 1});
+  sten.subscript.base = 4;
+  sten.element_bytes = 4;
+  // elements [2, 4+9+1+1) = [2, 15) -> bytes [8, 60)
+  const auto s = analysis::RefInterval(sten, 10, 1 * MiB, &widened);
+  EXPECT_EQ(s.lo, 8u);
+  EXPECT_EQ(s.hi, 60u);
+
+  core::ArrayRef gather = Indirect(0, 1);
+  const auto g = analysis::RefInterval(gather, 10, 4096, &widened);
+  EXPECT_TRUE(widened);
+  EXPECT_EQ(g.lo, 0u);
+  EXPECT_EQ(g.hi, 4096u);
+
+  // Sweeps past the end of the object clamp to its size.
+  core::ArrayRef runaway = Affine(0, 1);
+  runaway.element_bytes = 8;
+  const auto c = analysis::RefInterval(runaway, 1u << 30, 4096, &widened);
+  EXPECT_EQ(c.hi, 4096u);
+}
+
+TEST(AccessSummaries, SummarizeSplitsReadsFromWritesPerObject) {
+  const analysis::ParseResult r = analysis::ParseKir(kPipelineKir);
+  ASSERT_TRUE(r.ok());
+  const analysis::ModuleSummary s = analysis::Summarize(r.module);
+  ASSERT_EQ(s.tasks.size(), 3u);
+  // Task 0 writes the first half of `a` (500000 * 8 bytes).
+  ASSERT_EQ(s.tasks[0].writes.size(), 1u);
+  EXPECT_EQ(s.tasks[0].writes[0].bytes.lo, 0u);
+  EXPECT_EQ(s.tasks[0].writes[0].bytes.hi, 4000000u);
+  EXPECT_TRUE(s.tasks[0].reads.empty());
+  // Task 1 starts at element 524288 (byte 4194304).
+  EXPECT_EQ(s.tasks[1].writes[0].bytes.lo, 4194304u);
+  // Task 2 reads `a` and writes `b`; write-only `b` counts DRAM-hungry.
+  ASSERT_EQ(s.tasks[2].reads.size(), 1u);
+  ASSERT_EQ(s.tasks[2].writes.size(), 1u);
+  EXPECT_EQ(s.tasks[2].after, (std::vector<TaskId>{0, 1}));
+  EXPECT_GT(s.tasks[2].dram_hungry_bytes, 0u);
+  EXPECT_GE(s.tasks[2].footprint_bytes, s.tasks[2].dram_hungry_bytes);
+}
+
+// ---- dependence engine -----------------------------------------------
+
+analysis::TaskGraph Graph(const analysis::Module& m) {
+  return analysis::BuildTaskGraph(m, analysis::Summarize(m));
+}
+
+std::vector<analysis::Finding> DepFindings(const analysis::Module& m,
+                                           const hm::HmSpec& hm) {
+  return analysis::LintDependences(m, Graph(m), hm);
+}
+
+TEST(DepGraph, DeclaredEdgesCoverTheInferredDependences) {
+  const analysis::ParseResult r = analysis::ParseKir(kPipelineKir);
+  ASSERT_TRUE(r.ok());
+  const analysis::TaskGraph g = Graph(r.module);
+  EXPECT_FALSE(g.cyclic);
+  EXPECT_EQ(g.declared.size(), 2u);
+  EXPECT_TRUE(g.Ordered(0, 2));
+  EXPECT_TRUE(g.Ordered(1, 2));
+  EXPECT_FALSE(g.Ordered(0, 1));
+  // Writers 0 and 1 touch disjoint halves: no edge between them, one RAW
+  // edge each into the consumer.
+  int raw = 0;
+  for (const analysis::DepEdge& e : g.edges) {
+    EXPECT_TRUE(e.declared);
+    EXPECT_TRUE(e.exact);
+    EXPECT_EQ(e.to_task, 2u);
+    if (e.kind == analysis::DepKind::kRaw) ++raw;
+  }
+  EXPECT_EQ(raw, 2);
+  const auto findings = DepFindings(r.module, hm::HmSpec::PaperOptane());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DepGraph, UnorderedExactConflictIsADataRace) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel race\n"
+      "object a bytes=8MiB elem=8 owner=shared\n"
+      "register a\n"
+      "task 0 {\n  loop l trips=1000 insns=4 {\n"
+      "    write a affine stride=1\n  }\n}\n"
+      "task 1 {\n  loop l trips=1000 insns=4 {\n"
+      "    write a affine stride=1\n  }\n}\n");
+  ASSERT_TRUE(r.ok());
+  const auto findings = DepFindings(r.module, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "data-race");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kError);
+  EXPECT_TRUE(analysis::HasErrors(findings));
+}
+
+TEST(DepGraph, WidenedConflictDowngradesToPotentialRace) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel may\n"
+      "object t bytes=8MiB elem=8 owner=shared\n"
+      "object idx bytes=1MiB elem=4 owner=shared\n"
+      "register t idx\n"
+      "task 0 {\n  loop l trips=1000 insns=4 {\n"
+      "    read idx affine stride=1 elem=4\n"
+      "    write t indirect via=idx\n  }\n}\n"
+      "task 1 {\n  loop l trips=1000 insns=4 {\n"
+      "    read idx affine stride=1 elem=4\n"
+      "    write t indirect via=idx\n  }\n}\n");
+  ASSERT_TRUE(r.ok());
+  const auto findings = DepFindings(r.module, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "potential-race");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kWarning);
+  EXPECT_FALSE(analysis::HasErrors(findings));
+}
+
+TEST(DepGraph, UselessEdgeIsOverSynchronization) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel oversync\n"
+      "object a bytes=1MiB elem=8 owner=0\n"
+      "object b bytes=1MiB elem=8 owner=1\n"
+      "register a b\n"
+      "task 0 {\n  loop l trips=100 insns=4 {\n"
+      "    write a affine stride=1\n  }\n}\n"
+      "task 1 after 0 {\n  loop l trips=100 insns=4 {\n"
+      "    write b affine stride=1\n  }\n}\n");
+  ASSERT_TRUE(r.ok());
+  const auto findings = DepFindings(r.module, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "over-synchronization");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kWarning);
+}
+
+TEST(DepGraph, ConcurrentHungryFootprintsInterfereOnTinyMachines) {
+  // Two unordered tasks each gather a 12 MiB random pool: together 24 MiB
+  // against Tiny's 16 MiB DRAM -> interference; ordered they are fine.
+  const char* racy =
+      "kernel hog\n"
+      "object p0 bytes=12MiB elem=8 owner=0 pattern=random\n"
+      "object p1 bytes=12MiB elem=8 owner=1 pattern=random\n"
+      "register p0 p1\n"
+      "task 0 {\n  loop l trips=1000 insns=4 {\n"
+      "    read p0 opaque\n  }\n}\n"
+      "task 1 %s{\n  loop l trips=1000 insns=4 {\n"
+      "    read p1 opaque\n  }\n}\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf, racy, "");
+  const analysis::ParseResult concurrent = analysis::ParseKir(buf);
+  ASSERT_TRUE(concurrent.ok());
+  const auto findings = DepFindings(concurrent.module, hm::HmSpec::Tiny());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "placement-interference");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kWarning);
+
+  std::snprintf(buf, sizeof buf, racy, "after 0 ");
+  const analysis::ParseResult ordered = analysis::ParseKir(buf);
+  ASSERT_TRUE(ordered.ok());
+  // The serialized tasks no longer run together — but the edge now
+  // carries no data, so it reports as over-synchronization instead.
+  const auto ordered_findings = DepFindings(ordered.module, hm::HmSpec::Tiny());
+  ASSERT_EQ(ordered_findings.size(), 1u);
+  EXPECT_EQ(ordered_findings[0].code, "over-synchronization");
+}
+
+TEST(DepGraph, CyclesAndUnknownPredecessorsAreErrors) {
+  const analysis::ParseResult cyc = analysis::ParseKir(
+      "task 0 after 1 {\n}\ntask 1 after 0 {\n}\n");
+  ASSERT_TRUE(cyc.ok());
+  const analysis::TaskGraph g = Graph(cyc.module);
+  EXPECT_TRUE(g.cyclic);
+  auto findings = DepFindings(cyc.module, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "dependence-cycle");
+  EXPECT_TRUE(analysis::HasErrors(findings));
+
+  const analysis::ParseResult ghost =
+      analysis::ParseKir("task 0 after 7 {\n}\n");
+  ASSERT_TRUE(ghost.ok());
+  findings = DepFindings(ghost.module, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "unknown-predecessor");
+  EXPECT_TRUE(analysis::HasErrors(findings));
+}
+
+TEST(DepGraph, OrderingIsTransitiveThroughDeclaredChains) {
+  const analysis::ParseResult r = analysis::ParseKir(
+      "kernel chain\n"
+      "object a bytes=1MiB elem=8 owner=shared\n"
+      "register a\n"
+      "task 0 {\n  loop l trips=100 insns=4 {\n"
+      "    write a affine stride=1\n  }\n}\n"
+      "task 1 after 0 {\n  loop l trips=100 insns=4 {\n"
+      "    read a affine stride=1\n    write a affine stride=1\n  }\n}\n"
+      "task 2 after 1 {\n  loop l trips=100 insns=4 {\n"
+      "    read a affine stride=1\n  }\n}\n");
+  ASSERT_TRUE(r.ok());
+  const analysis::TaskGraph g = Graph(r.module);
+  // 0 -> 2 is not a direct edge but must be ordered transitively, so the
+  // 0->2 RAW on `a` counts as declared-covered, not a race.
+  EXPECT_TRUE(g.Ordered(0, 2));
+  const auto findings = DepFindings(r.module, hm::HmSpec::PaperOptane());
+  EXPECT_TRUE(findings.empty())
+      << analysis::FormatFinding("", findings.front());
+}
+
+TEST(DepGraph, ForkJoinModulesSoftenSharedWritesButNotOwnedOnes) {
+  // Shared-object co-writes in a fork-join region are the runtime's
+  // partitioned streams -> note; an exact write into another task's owned
+  // object stays an error.
+  analysis::Module m;
+  m.name = "fj";
+  m.fork_join = true;
+  analysis::ObjectDecl shared;
+  shared.name = "stream";
+  shared.bytes = 1 * MiB;
+  shared.registered = true;
+  analysis::ObjectDecl owned;
+  owned.name = "mine";
+  owned.bytes = 1 * MiB;
+  owned.owner = 0;
+  owned.registered = true;
+  m.objects = {shared, owned};
+  for (TaskId t = 0; t < 2; ++t) {
+    analysis::TaskDecl task;
+    task.task = t;
+    analysis::LoopIr loop;
+    loop.name = "l";
+    loop.trip_count = 1000;
+    analysis::RefIr w;
+    w.object = 0;
+    w.subscript.kind = Subscript::Kind::kAffine;
+    w.subscript.stride = 1;
+    w.is_write = true;
+    loop.refs.push_back(w);
+    task.loops.push_back(loop);
+    m.tasks.push_back(task);
+  }
+  auto findings = DepFindings(m, hm::HmSpec::PaperOptane());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "assumed-partitioned");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kNote);
+
+  // Task 1 now also writes task 0's owned object: error even fork-join.
+  analysis::RefIr foreign;
+  foreign.object = 1;
+  foreign.subscript.kind = Subscript::Kind::kAffine;
+  foreign.subscript.stride = 1;
+  foreign.is_write = true;
+  m.tasks[1].loops[0].refs.push_back(foreign);
+  analysis::RefIr own = foreign;  // owner writes it too -> conflict
+  m.tasks[0].loops[0].refs.push_back(own);
+  findings = DepFindings(m, hm::HmSpec::PaperOptane());
+  bool raced = false;
+  for (const auto& f : findings) {
+    if (f.code == "data-race") raced = true;
+  }
+  EXPECT_TRUE(raced);
+  EXPECT_TRUE(analysis::HasErrors(findings));
+}
+
+TEST(DepGraph, AppBundlesPassTheDependenceGate) {
+  // Mirror of the PlacementService gate: the five applications' bridged
+  // modules must come through without dependence errors.
+  for (const std::string& name : apps::AppNames()) {
+    const apps::AppBundle bundle = apps::BuildApp(name, 0.02, 0.05);
+    const analysis::Module module =
+        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    EXPECT_TRUE(module.fork_join) << name;
+    const auto findings = DepFindings(module, hm::HmSpec::PaperOptane());
+    EXPECT_FALSE(analysis::HasErrors(findings)) << name;
+  }
+}
+
+// ---- dynamic soundness gate ------------------------------------------
+
+// Deterministic 64-bit mix (splitmix64) standing in for the runtime's
+// data-dependent indices: the oracle must be reproducible, and only
+// *true* accesses matter — any index set works for a soundness check.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sampled concrete byte positions one reference touches across its
+/// sweep. At most ~2k iterations are sampled (even spacing); every byte
+/// of each touched element is recorded so differing element sizes still
+/// collide. Out-of-object accesses are skipped — the static hull is
+/// clipped the same way.
+void SampleRefBytes(const core::ArrayRef& ref, std::uint64_t trips,
+                    std::uint64_t object_bytes,
+                    std::unordered_set<std::uint64_t>* out) {
+  const std::uint64_t n = std::max<std::uint64_t>(1, trips);
+  const std::uint64_t step = std::max<std::uint64_t>(1, n / 2048);
+  const std::uint64_t elems = std::max<std::uint64_t>(
+      1, object_bytes / std::max<std::uint32_t>(1, ref.element_bytes));
+  auto touch = [&](std::int64_t elem) {
+    if (elem < 0) return;
+    const std::uint64_t lo = static_cast<std::uint64_t>(elem) *
+                             ref.element_bytes;
+    if (lo + ref.element_bytes > object_bytes) return;
+    for (std::uint32_t b = 0; b < ref.element_bytes; ++b) out->insert(lo + b);
+  };
+  for (std::uint64_t i = 0; i < n; i += step) {
+    switch (ref.subscript.kind) {
+      case Subscript::Kind::kAffine:
+        touch(ref.subscript.base +
+              static_cast<std::int64_t>(i) * ref.subscript.stride);
+        break;
+      case Subscript::Kind::kNeighborhood:
+        for (const std::int64_t off : ref.subscript.offsets) {
+          touch(ref.subscript.base + static_cast<std::int64_t>(i) + off);
+        }
+        break;
+      case Subscript::Kind::kIndirect:
+      case Subscript::Kind::kOpaque:
+        touch(static_cast<std::int64_t>(
+            Mix(ref.object * 0x10001ull + i) % elems));
+        break;
+    }
+  }
+}
+
+TEST(DependenceSoundness, EveryDynamicOverlapOnExamplesHasAStaticEdge) {
+  // The acceptance gate: replay a sampled access oracle over every
+  // examples/*.kir program; every observed inter-task overlap (with at
+  // least one writer) must be covered by a statically inferred edge of
+  // the matching kind — zero false negatives.
+  const std::filesystem::path dir = KIR_EXAMPLES_DIR;
+  int programs = 0, observed_overlaps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".kir") continue;
+    const analysis::ParseResult r =
+        analysis::ParseKirFile(entry.path().string());
+    ASSERT_TRUE(r.ok()) << entry.path();
+    ++programs;
+    const analysis::TaskGraph g = Graph(r.module);
+
+    // Oracle: per (task, object) sampled read- and write-byte sets.
+    const std::vector<core::TaskIr> tasks = r.module.ToCoreIr();
+    struct TaskBytes {
+      std::vector<std::unordered_set<std::uint64_t>> reads, writes;
+    };
+    std::vector<TaskBytes> oracle(tasks.size());
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      oracle[ti].reads.resize(r.module.objects.size());
+      oracle[ti].writes.resize(r.module.objects.size());
+      for (const core::LoopNest& loop : tasks[ti].loops) {
+        for (const core::ArrayRef& ref : loop.refs) {
+          if (ref.object >= r.module.objects.size()) continue;
+          std::unordered_set<std::uint64_t> fresh;
+          SampleRefBytes(ref, loop.trip_count,
+                         r.module.objects[ref.object].bytes, &fresh);
+          // Hull-soundness: every byte sampled from THIS reference sits
+          // inside its static footprint interval.
+          bool widened = false;
+          const analysis::ByteInterval hull = analysis::RefInterval(
+              ref, loop.trip_count, r.module.objects[ref.object].bytes,
+              &widened);
+          for (const std::uint64_t b : fresh) {
+            ASSERT_TRUE(b >= hull.lo && b < hull.hi)
+                << entry.path() << " task " << tasks[ti].task << " object "
+                << r.module.objects[ref.object].name << " byte " << b;
+          }
+          auto& slot = ref.is_write ? oracle[ti].writes[ref.object]
+                                    : oracle[ti].reads[ref.object];
+          slot.insert(fresh.begin(), fresh.end());
+        }
+      }
+    }
+
+    auto intersects = [](const std::unordered_set<std::uint64_t>& a,
+                         const std::unordered_set<std::uint64_t>& b) {
+      const auto& small = a.size() <= b.size() ? a : b;
+      const auto& large = a.size() <= b.size() ? b : a;
+      for (const std::uint64_t v : small) {
+        if (large.count(v) > 0) return true;
+      }
+      return false;
+    };
+    auto has_edge = [&](std::size_t x, std::size_t y, std::size_t obj,
+                        analysis::DepKind k1, analysis::DepKind k2) {
+      for (const analysis::DepEdge& e : g.edges) {
+        const bool pair = (e.from == x && e.to == y) ||
+                          (e.from == y && e.to == x);
+        if (pair && e.object == obj && (e.kind == k1 || e.kind == k2)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    for (std::size_t a = 0; a < tasks.size(); ++a) {
+      for (std::size_t b = a + 1; b < tasks.size(); ++b) {
+        for (std::size_t obj = 0; obj < r.module.objects.size(); ++obj) {
+          if (intersects(oracle[a].writes[obj], oracle[b].reads[obj]) ||
+              intersects(oracle[a].reads[obj], oracle[b].writes[obj])) {
+            ++observed_overlaps;
+            EXPECT_TRUE(has_edge(a, b, obj, analysis::DepKind::kRaw,
+                                 analysis::DepKind::kWar))
+                << entry.path() << ": tasks " << a << "," << b
+                << " read/write-overlap on "
+                << r.module.objects[obj].name << " with no static edge";
+          }
+          if (intersects(oracle[a].writes[obj], oracle[b].writes[obj])) {
+            ++observed_overlaps;
+            EXPECT_TRUE(has_edge(a, b, obj, analysis::DepKind::kWaw,
+                                 analysis::DepKind::kWaw))
+                << entry.path() << ": tasks " << a << "," << b
+                << " write/write-overlap on "
+                << r.module.objects[obj].name << " with no static edge";
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(programs, 4);           // spgemm, bfs, lint_fixture, race_fixture
+  EXPECT_GT(observed_overlaps, 0);  // the gate must actually bite
+}
+
+TEST(DagReports, TextJsonAndDotRenderTheGraph) {
+  const analysis::ParseResult r = analysis::ParseKir(kPipelineKir);
+  ASSERT_TRUE(r.ok());
+  const analysis::TaskGraph g = Graph(r.module);
+  const auto findings =
+      analysis::LintDependences(r.module, g, hm::HmSpec::PaperOptane());
+  const std::string text =
+      analysis::DagTextReport("p.kir", r.module, g, findings);
+  EXPECT_NE(text.find("RAW on 'a'"), std::string::npos);
+  EXPECT_NE(text.find("ordered"), std::string::npos);
+  const std::string json =
+      analysis::DagJsonReport("p.kir", r.module, g, findings);
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"RAW\""), std::string::npos);
+  const std::string dot = analysis::DagDotReport(r.module, g);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("t0 -> t2"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
 }
 
 TEST(Reports, TextAndJsonCarryPatternsAndFindings) {

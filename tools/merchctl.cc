@@ -15,6 +15,7 @@
 //                  [--seed S] [--threads T] [--cache N] [--repeat R]
 //                  [--file requests.txt] [--placements]
 //   merchctl analyze <file.kir> [--json]
+//   merchctl analyze <file.kir> --dag [--json|--dot]
 //   merchctl remote --port P [--host H] [--app A] [--policy p] [--scale S]
 //                   [--file requests.txt] [--deadline-ms D] [--placements]
 //                   [--ping]
@@ -24,10 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/depgraph.h"
 #include "analysis/lint.h"
 #include "analysis/parser.h"
 #include "analysis/passes.h"
 #include "analysis/report.h"
+#include "analysis/summaries.h"
 #include "apps/registry.h"
 #include "baselines/memory_mode_policy.h"
 #include "baselines/memory_optimizer.h"
@@ -71,6 +74,8 @@ struct Options {
   // analyze-only
   std::string kir_file;
   bool json = false;
+  bool dag = false;
+  bool dot = false;
   // remote-only
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -95,6 +100,7 @@ int Usage() {
                "                      [--cache N] [--repeat R] "
                "[--file requests.txt] [--placements]\n"
                "       merchctl analyze <file.kir> [--json]\n"
+               "       merchctl analyze <file.kir> --dag [--json|--dot]\n"
                "       merchctl remote --port P [--host H] [--app A] "
                "[--policy p] [--scale S]\n"
                "                       [--work W] [--train-regions N] "
@@ -339,7 +345,11 @@ int SweepCommand(const Options& opt) {
 
 /// Static analysis of a textual kernel IR: parse, derive per-object
 /// pattern/alpha/footprint, lint against the declared registrations.
-/// Exit codes: 0 clean, 1 error-severity lint findings, 2 parse failure.
+/// `--dag` adds whole-program dependence analysis: per-task access
+/// summaries, inferred RAW/WAR/WAW edges vs the declared `after` order,
+/// race / over-synchronization / placement-interference findings, and the
+/// graph itself as text, JSON, or Graphviz DOT.
+/// Exit codes: 0 clean, 1 error-severity findings, 2 parse failure.
 int AnalyzeCommand(const Options& opt) {
   if (opt.kir_file.empty()) {
     std::fprintf(stderr, "merchctl: analyze needs a .kir file\n");
@@ -354,13 +364,31 @@ int AnalyzeCommand(const Options& opt) {
     return 2;
   }
   const analysis::ModuleAnalysis result = analysis::Analyze(parsed.module);
-  const std::vector<analysis::Finding> findings =
+  std::vector<analysis::Finding> findings =
       analysis::Lint(parsed.module, result);
-  const std::string report =
-      opt.json ? analysis::JsonReport(opt.kir_file, parsed.module, result,
-                                      findings)
-               : analysis::TextReport(opt.kir_file, parsed.module, result,
-                                      findings);
+  std::string report;
+  if (opt.dag) {
+    const analysis::TaskGraph graph = analysis::BuildTaskGraph(
+        parsed.module, analysis::Summarize(parsed.module));
+    std::vector<analysis::Finding> dep = analysis::LintDependences(
+        parsed.module, graph, hm::HmSpec::PaperOptane());
+    if (opt.dot) {
+      report = analysis::DagDotReport(parsed.module, graph);
+    } else if (opt.json) {
+      report = analysis::DagJsonReport(opt.kir_file, parsed.module, graph,
+                                       dep);
+    } else {
+      report = analysis::DagTextReport(opt.kir_file, parsed.module, graph,
+                                       dep);
+    }
+    // Dependence errors gate the exit code together with the lint's.
+    findings.insert(findings.end(), dep.begin(), dep.end());
+  } else {
+    report = opt.json ? analysis::JsonReport(opt.kir_file, parsed.module,
+                                             result, findings)
+                      : analysis::TextReport(opt.kir_file, parsed.module,
+                                             result, findings);
+  }
   std::fputs(report.c_str(), stdout);
   return analysis::HasErrors(findings) ? 1 : 0;
 }
@@ -504,6 +532,10 @@ int main(int argc, char** argv) {
       opt.ping = true;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--dag") {
+      opt.dag = true;
+    } else if (arg == "--dot") {
+      opt.dot = true;
     } else if (arg == "--trace") {
       opt.trace_file = next();
     } else if (arg == "--metrics") {
