@@ -1,28 +1,38 @@
-// Engine hot-path benchmark: measures what the residency index and
-// timing-base memoization buy on real runs.
+// Engine hot-path benchmark: measures what the residency index, timing-base
+// memoization, SIMD cost kernels, and parallel epoch arbitration buy on
+// real runs.
 //
-// Each run executes in two engine variants:
+// Each run executes in several engine variants:
 //   legacy    — sweep_index=false, timing_memo=false: the pre-index
 //               engine's cost profile (full TimeKernel per task per
 //               fixed-point iteration; linear page/extent scans for
 //               page->object lookup, MoveHottest, and EvictColdest;
-//               strided PageEntry tier loads).
-//   optimized — the defaults (bitset/Fenwick residency index, dense tier
-//               array, memoized timing bases).
-// Results are bit-identical between variants (tests/engine_equiv_test.cc);
-// only the wall clock and the hot-path counters differ.
+//               strided PageEntry tier loads). SIMD lanes are forced off
+//               on this path by the engine's resolution rule.
+//   scalar    — index + memo on, SIMD lanes off, one arbitration thread:
+//               isolates the algorithmic wins from vectorization.
+//   simd      — scalar plus the SIMD lane kernels (MERCH_SIMD default).
+//   parallel  — simd plus timing_threads = --threads N: the full engine,
+//               and the headline "optimized" configuration.
+// Results are bit-identical across every variant (the bench exits 1 on any
+// sim_seconds divergence; tests/engine_equiv_test.cc proves the same over a
+// randomized matrix); only the wall clock and hot-path counters differ.
 //
 //   1. The tracked number: a fig4-style sweep — Engine::Run of the five
 //      paper applications under all four policies {pm-only, MemoryMode,
-//      MemoryOptimizer, Merchandiser} at full scale. The PR this bench
-//      landed with requires the aggregate speedup >= 3x.
-//   2. The same sweep at a second (quarter) scale.
+//      MemoryOptimizer, Merchandiser} at full scale, legacy vs the full
+//      optimized engine.
+//   2. The same sweep at a second (quarter) scale (legacy + optimized
+//      only; the variant curves are measured at the tracked scale).
 //   3. A PlacementService batch (five apps x {pm, mm, mo}) with the
 //      legacy pass driven through the MERCH_SWEEP_INDEX /
-//      MERCH_ENGINE_MEMO escape hatches, end-to-end through the service.
+//      MERCH_ENGINE_MEMO escape hatches, end-to-end through the service,
+//      plus the same batch submitted through SubmitFused (one pool job
+//      per shared-app group).
 //
 // Writes BENCH_engine.json (override with --out <path>); --quick shrinks
-// scales for CI smoke runs.
+// scales for CI smoke runs; --threads N sets the parallel variant's
+// arbitration workers (default 4); --repeat N takes min wall clock.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -51,11 +61,19 @@ const std::vector<std::string>& Policies() {
   return kPolicies;
 }
 
+/// One engine configuration under measurement.
+struct Variant {
+  const char* name;
+  bool indexed;        // sweep_index + timing_memo
+  bool simd;           // SIMD lane kernels (only meaningful when indexed)
+  std::size_t threads; // arbitration workers
+};
+
 struct RunRow {
   std::string app;
   std::string policy;
   double scale = 1.0;
-  std::string variant;  // "legacy" | "optimized"
+  std::string variant;
   double wall_seconds = 0;         // min over --repeat runs
   double wall_median_seconds = 0;  // median over --repeat runs
   double sim_seconds = 0;  // simulated makespan (must match across variants)
@@ -63,6 +81,7 @@ struct RunRow {
   double epochs_per_sec = 0;
   std::uint64_t timing_evals = 0;
   std::uint64_t base_builds = 0;
+  std::uint64_t partial_refreshes = 0;
 };
 
 double Now() {
@@ -85,7 +104,7 @@ const core::MerchandiserSystem& TrainedSystem(bool quick) {
 }
 
 RunRow TimeEngineRun(const std::string& app, const std::string& policy,
-                     double scale, double work, bool optimized, bool quick) {
+                     double scale, double work, const Variant& v, bool quick) {
   service::PlacementRequest req;
   req.app = app;
   req.scale = scale;
@@ -94,8 +113,10 @@ RunRow TimeEngineRun(const std::string& app, const std::string& policy,
   const sim::MachineSpec machine =
       service::PlacementService::RequestMachine(req);
   sim::SimConfig cfg = service::PlacementService::RequestSimConfig(req);
-  cfg.sweep_index = optimized;
-  cfg.timing_memo = optimized;
+  cfg.sweep_index = v.indexed;
+  cfg.timing_memo = v.indexed;
+  cfg.simd = v.simd;
+  cfg.timing_threads = v.threads;
 
   // Policy construction (incl. Merchandiser's offline steps) happens
   // outside the timed section: the engine's epoch loop is what is tracked.
@@ -125,13 +146,14 @@ RunRow TimeEngineRun(const std::string& app, const std::string& policy,
   row.app = app;
   row.policy = policy;
   row.scale = scale;
-  row.variant = optimized ? "optimized" : "legacy";
+  row.variant = v.name;
   row.wall_seconds = wall;
   row.sim_seconds = result.total_seconds;
   row.epochs = c.epochs;
   row.epochs_per_sec = wall > 0 ? static_cast<double>(c.epochs) / wall : 0;
   row.timing_evals = c.timing_evals;
   row.base_builds = c.base_builds;
+  row.partial_refreshes = c.partial_refreshes;
   row.wall_median_seconds = wall;
   return row;
 }
@@ -139,11 +161,11 @@ RunRow TimeEngineRun(const std::string& app, const std::string& policy,
 /// TimeEngineRun under --repeat: min/median wall clock over `repeats`
 /// otherwise-identical runs (deterministic, so every other field agrees).
 RunRow TimeEngineRunRepeated(const std::string& app, const std::string& policy,
-                             double scale, double work, bool optimized,
+                             double scale, double work, const Variant& v,
                              bool quick, int repeats) {
   RunRow row;
   const bench::RepeatTiming t = bench::MeasureRepeated(repeats, [&] {
-    row = TimeEngineRun(app, policy, scale, work, optimized, quick);
+    row = TimeEngineRun(app, policy, scale, work, v, quick);
     return row.wall_seconds;
   });
   row.wall_seconds = t.min_seconds;
@@ -152,9 +174,11 @@ RunRow TimeEngineRunRepeated(const std::string& app, const std::string& policy,
 }
 
 /// Wall seconds for a five-app x {pm, mm, mo} batch through the service.
-double TimeServiceBatch(double scale, double work) {
+/// `fused` routes the batch through SubmitFused (one pool job per
+/// shared-app group) instead of one Submit per request.
+double TimeServiceBatch(double scale, double work, bool fused) {
   service::PlacementService service({.threads = 2});
-  std::vector<service::PlacementService::Ticket> tickets;
+  std::vector<service::PlacementRequest> reqs;
   for (const std::string& app : apps::AppNames()) {
     for (const char* policy : {"pm", "mm", "mo"}) {
       service::PlacementRequest req;
@@ -162,6 +186,14 @@ double TimeServiceBatch(double scale, double work) {
       req.policy = policy;
       req.scale = scale;
       req.work = work;
+      reqs.push_back(req);
+    }
+  }
+  std::vector<service::PlacementService::Ticket> tickets;
+  if (fused) {
+    tickets = service.SubmitFused(reqs);
+  } else {
+    for (const service::PlacementRequest& req : reqs) {
       tickets.push_back(service.Submit(req));
     }
   }
@@ -180,7 +212,8 @@ double TimeServiceBatch(double scale, double work) {
 
 void WriteJson(const char* path, const std::vector<RunRow>& rows,
                double sweep_speedup, double service_legacy_wall,
-               double service_optimized_wall, bool quick) {
+               double service_optimized_wall, double service_fused_wall,
+               bool quick, std::size_t threads) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -188,6 +221,7 @@ void WriteJson(const char* path, const std::vector<RunRow>& rows,
   }
   std::fprintf(f, "{\n  \"bench\": \"engine_speed\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %zu,\n", threads);
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RunRow& r = rows[i];
@@ -205,12 +239,14 @@ void WriteJson(const char* path, const std::vector<RunRow>& rows,
         "\"wall_median_seconds\": %.6f, "
         "\"sim_seconds\": %.9g, \"epochs\": %llu, \"epochs_per_sec\": %.1f, "
         "\"timing_evals\": %llu, \"base_builds\": %llu, "
+        "\"partial_refreshes\": %llu, "
         "\"speedup\": %.3f}%s\n",
         r.app.c_str(), r.policy.c_str(), r.scale, r.variant.c_str(),
         r.wall_seconds, r.wall_median_seconds, r.sim_seconds,
         static_cast<unsigned long long>(r.epochs), r.epochs_per_sec,
         static_cast<unsigned long long>(r.timing_evals),
         static_cast<unsigned long long>(r.base_builds),
+        static_cast<unsigned long long>(r.partial_refreshes),
         r.wall_seconds > 0 ? legacy_wall / r.wall_seconds : 0.0,
         i + 1 < rows.size() ? "," : "");
   }
@@ -218,10 +254,15 @@ void WriteJson(const char* path, const std::vector<RunRow>& rows,
   std::fprintf(f, "  \"five_app_sweep_speedup\": %.3f,\n", sweep_speedup);
   std::fprintf(f,
                "  \"service_batch\": {\"legacy_wall_seconds\": %.6f, "
-               "\"optimized_wall_seconds\": %.6f, \"speedup\": %.3f}\n",
-               service_legacy_wall, service_optimized_wall,
+               "\"optimized_wall_seconds\": %.6f, "
+               "\"fused_wall_seconds\": %.6f, \"speedup\": %.3f, "
+               "\"fused_speedup\": %.3f}\n",
+               service_legacy_wall, service_optimized_wall, service_fused_wall,
                service_optimized_wall > 0
                    ? service_legacy_wall / service_optimized_wall
+                   : 0.0,
+               service_fused_wall > 0
+                   ? service_legacy_wall / service_fused_wall
                    : 0.0);
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -235,6 +276,7 @@ int main(int argc, char** argv) {
   using namespace merch;
   bool quick = false;
   int repeats = 1;
+  std::size_t threads = 4;
   const char* out = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -243,13 +285,22 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeats = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--repeat N] [--out <path>]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--quick] [--repeat N] [--threads N] [--out <path>]\n",
+          argv[0]);
       return 2;
     }
   }
+  if (threads == 0) threads = 1;
+
+  const Variant kLegacy{"legacy", false, false, 1};
+  const Variant kScalar{"scalar", true, false, 1};
+  const Variant kSimd{"simd", true, true, 1};
+  const Variant kParallel{"optimized", true, true, threads};
 
   // (scale, work) pairs; the first is the tracked fig4-scale measurement.
   std::vector<std::pair<double, double>> scales;
@@ -263,37 +314,55 @@ int main(int argc, char** argv) {
 
   std::vector<RunRow> rows;
   double sweep_legacy = 0, sweep_optimized = 0;
-  std::printf("=== engine_speed: five apps x {pm, mm, mo, merch} ===\n");
-  TextTable table({"application", "policy", "scale", "legacy s",
-                   "optimized s", "speedup", "evals", "base builds"});
+  std::printf("=== engine_speed: five apps x {pm, mm, mo, merch}, "
+              "%zu arbitration thread(s) ===\n", threads);
+  TextTable table({"application", "policy", "scale", "legacy s", "scalar s",
+                   "simd s", "optimized s", "speedup", "evals",
+                   "base builds"});
   for (std::size_t s = 0; s < scales.size(); ++s) {
     for (const std::string& app : apps::AppNames()) {
       for (const std::string& policy : Policies()) {
-        const RunRow legacy =
-            TimeEngineRunRepeated(app, policy, scales[s].first,
-                                  scales[s].second, false, quick, repeats);
-        const RunRow optimized =
-            TimeEngineRunRepeated(app, policy, scales[s].first,
-                                  scales[s].second, true, quick, repeats);
-        if (legacy.sim_seconds != optimized.sim_seconds) {
-          std::fprintf(stderr, "%s/%s: variants diverged (%.9g vs %.9g)\n",
-                       app.c_str(), policy.c_str(), legacy.sim_seconds,
-                       optimized.sim_seconds);
-          return 1;
+        const double scale = scales[s].first;
+        const double work = scales[s].second;
+        const RunRow legacy = TimeEngineRunRepeated(app, policy, scale, work,
+                                                    kLegacy, quick, repeats);
+        rows.push_back(legacy);
+        // Variant curves (scalar / simd) only at the tracked scale; the
+        // secondary scale tracks legacy vs the full engine.
+        std::vector<Variant> curve;
+        if (s == 0) curve = {kScalar, kSimd};
+        curve.push_back(kParallel);
+        RunRow optimized;
+        std::string scalar_s = "-", simd_s = "-";
+        for (const Variant& v : curve) {
+          const RunRow r = TimeEngineRunRepeated(app, policy, scale, work, v,
+                                                 quick, repeats);
+          if (legacy.sim_seconds != r.sim_seconds) {
+            std::fprintf(stderr, "%s/%s/%s: variants diverged (%.9g vs %.9g)\n",
+                         app.c_str(), policy.c_str(), v.name,
+                         legacy.sim_seconds, r.sim_seconds);
+            return 1;
+          }
+          rows.push_back(r);
+          if (std::strcmp(v.name, "scalar") == 0) {
+            scalar_s = TextTable::Num(r.wall_seconds);
+          } else if (std::strcmp(v.name, "simd") == 0) {
+            simd_s = TextTable::Num(r.wall_seconds);
+          } else {
+            optimized = r;
+          }
         }
         if (s == 0) {
           sweep_legacy += legacy.wall_seconds;
           sweep_optimized += optimized.wall_seconds;
         }
-        table.AddRow({app, policy, TextTable::Num(scales[s].first),
-                      TextTable::Num(legacy.wall_seconds),
+        table.AddRow({app, policy, TextTable::Num(scale),
+                      TextTable::Num(legacy.wall_seconds), scalar_s, simd_s,
                       TextTable::Num(optimized.wall_seconds),
                       TextTable::Num(legacy.wall_seconds /
                                      std::max(optimized.wall_seconds, 1e-9)),
                       std::to_string(optimized.timing_evals),
                       std::to_string(optimized.base_builds)});
-        rows.push_back(legacy);
-        rows.push_back(optimized);
       }
     }
   }
@@ -309,16 +378,21 @@ int main(int argc, char** argv) {
   std::printf("\n=== engine_speed: service batch (5 apps x pm/mm/mo) ===\n");
   setenv("MERCH_SWEEP_INDEX", "0", 1);
   setenv("MERCH_ENGINE_MEMO", "0", 1);
-  const double service_legacy = TimeServiceBatch(service_scale, service_work);
+  const double service_legacy =
+      TimeServiceBatch(service_scale, service_work, false);
   unsetenv("MERCH_SWEEP_INDEX");
   unsetenv("MERCH_ENGINE_MEMO");
   const double service_optimized =
-      TimeServiceBatch(service_scale, service_work);
-  std::printf("legacy %.2fs, optimized %.2fs -> %.2fx\n", service_legacy,
-              service_optimized,
-              service_legacy / std::max(service_optimized, 1e-9));
+      TimeServiceBatch(service_scale, service_work, false);
+  const double service_fused =
+      TimeServiceBatch(service_scale, service_work, true);
+  std::printf("legacy %.2fs, optimized %.2fs, fused %.2fs -> %.2fx "
+              "(%.2fx fused)\n",
+              service_legacy, service_optimized, service_fused,
+              service_legacy / std::max(service_optimized, 1e-9),
+              service_legacy / std::max(service_fused, 1e-9));
 
   WriteJson(out, rows, sweep_speedup, service_legacy, service_optimized,
-            quick);
+            service_fused, quick, threads);
   return 0;
 }

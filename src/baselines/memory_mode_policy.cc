@@ -45,15 +45,16 @@ void MemoryModePolicy::OnInterval(sim::SimContext& ctx) {
   const sim::Workload& w = ctx.workload();
   sim::AccessOracle& oracle = ctx.oracle();
 
-  std::vector<cachesim::MemoryModeObject> objects(w.objects.size());
+  std::vector<cachesim::MemoryModeObject>& objects = objects_scratch_;
+  objects.resize(w.objects.size());
   for (std::size_t i = 0; i < w.objects.size(); ++i) {
     objects[i].bytes = w.objects[i].bytes;
     objects[i].pattern = object_patterns_[i];
     objects[i].mm_accesses = oracle.ObjectEpochAccesses(i);
   }
   const cachesim::MemoryModeCache cache(ctx.machine().hm.dram_capacity());
-  const cachesim::MemoryModeResult result =
-      cache.Evaluate(objects, ctx.pages().page_bytes());
+  const cachesim::MemoryModeResult& result =
+      cache.Evaluate(objects, ctx.pages().page_bytes(), &mm_scratch_);
 
   for (std::size_t i = 0; i < w.objects.size(); ++i) {
     // Objects idle this interval keep their previous fraction (their lines

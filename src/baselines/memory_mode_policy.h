@@ -27,6 +27,11 @@ class MemoryModePolicy final : public sim::PlacementPolicy {
  private:
   /// Dominant (least cache-friendly) pattern per object across all kernels.
   std::vector<trace::AccessPattern> object_patterns_;
+  /// Interval-to-interval scratch: the activity summary and the cache
+  /// model's working buffers keep their capacity, so OnInterval stops
+  /// allocating after the first interval.
+  std::vector<cachesim::MemoryModeObject> objects_scratch_;
+  cachesim::MemoryModeScratch mm_scratch_;
 };
 
 }  // namespace merch::baselines

@@ -23,7 +23,17 @@ void MemoryOptimizerPolicy::OnInterval(sim::SimContext& ctx) {
   auto heat_fn = [&oracle, scans, salt](PageId p) {
     return profiler::SaturatedEvictionHeat(oracle, p, scans, salt);
   };
-  ctx.migration().MakeRoomInDram(batch.size(), heat_fn);
+  auto floor_fn = [&oracle, scans](PageId first_page) {
+    return profiler::SaturatedEvictionHeatFloor(
+        oracle.EpochAccessesFloor(first_page), scans);
+  };
+  auto batch_fn = [&oracle, scans, salt](std::span<const PageId> pages,
+                                         double obj_floor, double threshold,
+                                         std::span<double> out) {
+    profiler::SaturatedEvictionHeatBatch(oracle, pages, scans, salt,
+                                         obj_floor, threshold, out);
+  };
+  ctx.migration().MakeRoomInDram(batch.size(), heat_fn, floor_fn, batch_fn);
   promoted_ += ctx.migration().MigratePages(batch, hm::Tier::kDram);
 }
 

@@ -31,13 +31,23 @@ double LocalityFactor(trace::AccessPattern p) {
 MemoryModeResult MemoryModeCache::Evaluate(
     const std::vector<MemoryModeObject>& objects,
     std::uint64_t page_bytes) const {
-  MemoryModeResult result;
-  result.dram_fraction.resize(objects.size(), 0.0);
+  MemoryModeScratch scratch;
+  return Evaluate(objects, page_bytes, &scratch);
+}
+
+const MemoryModeResult& MemoryModeCache::Evaluate(
+    const std::vector<MemoryModeObject>& objects, std::uint64_t page_bytes,
+    MemoryModeScratch* scratch) const {
+  MemoryModeResult& result = scratch->result;
+  result.dram_fraction.assign(objects.size(), 0.0);
+  result.fill_bytes_from_pm = 0;
+  result.writeback_bytes_to_pm = 0;
 
   // Hardware LRU keeps the most frequently re-touched lines resident, so
   // the cache capacity effectively fills in access-density order. Direct
   // mapping wastes part of the capacity to set conflicts (0.85 factor).
-  std::vector<std::size_t> order;
+  std::vector<std::size_t>& order = scratch->order;
+  order.clear();
   for (std::size_t i = 0; i < objects.size(); ++i) {
     if (objects[i].mm_accesses > 0 && objects[i].bytes > 0) {
       order.push_back(i);

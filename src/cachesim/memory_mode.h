@@ -33,6 +33,14 @@ struct MemoryModeResult {
   double writeback_bytes_to_pm = 0;
 };
 
+/// Reusable buffers for per-interval Evaluate calls: the access-density
+/// ordering and the result vectors keep their capacity across intervals,
+/// so a policy evaluating every interval allocates only on the first one.
+struct MemoryModeScratch {
+  std::vector<std::size_t> order;
+  MemoryModeResult result;
+};
+
 class MemoryModeCache {
  public:
   /// `dram_bytes` is the cache capacity (all of DRAM under Memory Mode).
@@ -44,6 +52,12 @@ class MemoryModeCache {
   /// footprint, with per-pattern direct-mapped conflict factors.
   MemoryModeResult Evaluate(const std::vector<MemoryModeObject>& objects,
                             std::uint64_t page_bytes) const;
+
+  /// Allocation-free variant: computes into `scratch` and returns
+  /// scratch->result. Values are identical to Evaluate above.
+  const MemoryModeResult& Evaluate(const std::vector<MemoryModeObject>& objects,
+                                   std::uint64_t page_bytes,
+                                   MemoryModeScratch* scratch) const;
 
  private:
   std::uint64_t dram_bytes_;

@@ -126,6 +126,16 @@ void MerchandiserPolicy::OnInterval(sim::SimContext& ctx) {
   auto heat_fn = [&oracle, scans, salt](PageId p) {
     return profiler::SaturatedEvictionHeat(oracle, p, scans, salt);
   };
+  auto floor_fn = [&oracle, scans](PageId first_page) {
+    return profiler::SaturatedEvictionHeatFloor(
+        oracle.EpochAccessesFloor(first_page), scans);
+  };
+  auto batch_fn = [&oracle, scans, salt](std::span<const PageId> pages,
+                                         double obj_floor, double threshold,
+                                         std::span<double> out) {
+    profiler::SaturatedEvictionHeatBatch(oracle, pages, scans, salt,
+                                         obj_floor, threshold, out);
+  };
   std::size_t migrated = 0;
   std::vector<PageId> batch;
   for (const profiler::HotPage& h : hot) {
@@ -153,7 +163,7 @@ void MerchandiserPolicy::OnInterval(sim::SimContext& ctx) {
     ++migrated;
   }
   if (!batch.empty()) {
-    ctx.migration().MakeRoomInDram(batch.size(), heat_fn);
+    ctx.migration().MakeRoomInDram(batch.size(), heat_fn, floor_fn, batch_fn);
     ctx.migration().MigratePages(batch, hm::Tier::kDram);
   }
   (void)w;

@@ -1,6 +1,7 @@
 #include "hm/migration.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -70,6 +71,13 @@ std::uint64_t MigrationEngine::DemoteColdest(ObjectId obj, std::uint64_t k) {
 
 std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
                                               const HeatFn& heat) {
+  return MakeRoomInDram(pages_needed, heat, nullptr, nullptr);
+}
+
+std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
+                                              const HeatFn& heat,
+                                              const HeatFloorFn& floor,
+                                              const BatchHeatFn& batch_heat) {
   const std::uint64_t free_now = table_->tier_free_pages(Tier::kDram);
   if (free_now >= pages_needed) return 0;
   MERCH_TRACE_SPAN_VAR(span, obs::Category::kHm, "hm.make_room");
@@ -97,6 +105,10 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
   std::vector<Cold> candidates;
   // Index of the first candidate not yet in sorted order.
   std::size_t sorted = 0;
+  // Set when candidates hold only the `to_free` coldest pages (object-floor
+  // pruning below); the overflow continuation then re-gathers instead of
+  // extending a full list.
+  bool pruned = false;
   if (table_->legacy_scan()) {
     // Pre-index cost profile (bench baseline): probe every page of every
     // live object and sort the full candidate set.
@@ -111,6 +123,71 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
     }
     std::sort(candidates.begin(), candidates.end(), colder);
     sorted = candidates.size();
+  } else if (heat && floor) {
+    // Object-floor pruning: rank live objects by an exact lower bound of
+    // their pages' heat, then fill a bounded max-heap of the `to_free`
+    // coldest pages object by object, coldest-bound first. Once the heap
+    // is full, any object whose bound exceeds the heap's hottest retained
+    // key cannot contribute — pages strictly hotter than every retained
+    // one can never displace them under the total order — so the gather
+    // stops without probing the (typically hot, DRAM-filling) remainder.
+    pruned = true;
+    struct ObjFloor {
+      double lb;
+      ObjectId id;
+    };
+    std::vector<ObjFloor> objs;
+    for (ObjectId id = 0; id < table_->num_objects(); ++id) {
+      if (!table_->is_live(id)) continue;
+      if (table_->object_pages_on(id, Tier::kDram) == 0) continue;
+      objs.push_back({floor(table_->extent(id).first_page), id});
+    }
+    std::sort(objs.begin(), objs.end(),
+              [](const ObjFloor& a, const ObjFloor& b) { return a.lb < b.lb; });
+    std::vector<PageId> run_pages;    // one object's DRAM pages, ascending
+    std::vector<double> run_heats;    // batch_heat output for run_pages
+    const auto push_candidate = [&](const Cold& c) {
+      if (candidates.size() < to_free) {
+        candidates.push_back(c);
+        std::push_heap(candidates.begin(), candidates.end(), colder);
+      } else if (colder(c, candidates.front())) {
+        std::pop_heap(candidates.begin(), candidates.end(), colder);
+        candidates.back() = c;
+        std::push_heap(candidates.begin(), candidates.end(), colder);
+      }
+    };
+    for (const ObjFloor& of : objs) {
+      // Strict >: a page whose heat equals the bound could still win its
+      // tie on page id, so equal bounds must be probed.
+      if (candidates.size() >= to_free &&
+          of.lb > candidates.front().accesses) {
+        break;
+      }
+      run_pages.clear();
+      table_->AppendTierPages(of.id, /*on_dram=*/true, run_pages);
+      if (batch_heat) {
+        run_heats.resize(run_pages.size());
+        const double threshold =
+            candidates.size() >= to_free
+                ? candidates.front().accesses
+                : std::numeric_limits<double>::infinity();
+        batch_heat(run_pages, of.lb, threshold, run_heats);
+        for (std::size_t k = 0; k < run_pages.size(); ++k) {
+          // +inf marks a page screened out against `threshold`; it can
+          // never displace a retained candidate, so skip the insert.
+          if (run_heats[k] == std::numeric_limits<double>::infinity()) {
+            continue;
+          }
+          push_candidate({run_pages[k], run_heats[k]});
+        }
+      } else {
+        for (const PageId p : run_pages) {
+          push_candidate({p, count_of(p)});
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), colder);
+    sorted = candidates.size();
   } else {
     // Enumerate exactly the DRAM-resident pages via the residency bitsets
     // (same ascending page order the probe loop produces), then select
@@ -120,12 +197,12 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
     // O(n log n) with n = all DRAM pages per interval.
     candidates.reserve(table_->tier_used_bytes(Tier::kDram) /
                        table_->page_bytes());
+    std::vector<PageId> obj_pages;
     for (ObjectId id = 0; id < table_->num_objects(); ++id) {
       if (!table_->is_live(id)) continue;
-      const ObjectExtent& e = table_->extent(id);
-      for (std::uint64_t r = table_->FindRank(id, 0, /*on_dram=*/true);
-           r < e.num_pages; r = table_->FindRank(id, r + 1, true)) {
-        const PageId p = e.first_page + r;
+      obj_pages.clear();
+      table_->AppendTierPages(id, /*on_dram=*/true, obj_pages);
+      for (const PageId p : obj_pages) {
         candidates.push_back({p, count_of(p)});
       }
     }
@@ -152,6 +229,35 @@ std::uint64_t MigrationEngine::MakeRoomInDram(std::uint64_t pages_needed,
       sorted = candidates.size();
     }
     if (table_->MovePage(candidates[i].page, Tier::kPm)) ++freed;
+  }
+  if (pruned && freed < to_free) {
+    // PM itself ran out of room for some selected pages (rare). The
+    // unpruned gather would continue down the same global order, so
+    // re-gather the not-yet-attempted DRAM pages — moved ones already left
+    // DRAM; failed ones are excluded explicitly — and keep moving in that
+    // order. Heat is a pure function of this interval's oracle state, so
+    // the re-gathered keys match what one full gather would have held.
+    std::vector<PageId> attempted;
+    attempted.reserve(candidates.size());
+    for (const Cold& c : candidates) attempted.push_back(c.page);
+    std::sort(attempted.begin(), attempted.end());
+    std::vector<Cold> rest;
+    std::vector<PageId> obj_pages;
+    for (ObjectId id = 0; id < table_->num_objects(); ++id) {
+      if (!table_->is_live(id)) continue;
+      obj_pages.clear();
+      table_->AppendTierPages(id, /*on_dram=*/true, obj_pages);
+      for (const PageId p : obj_pages) {
+        if (!std::binary_search(attempted.begin(), attempted.end(), p)) {
+          rest.push_back({p, count_of(p)});
+        }
+      }
+    }
+    std::sort(rest.begin(), rest.end(), colder);
+    for (const Cold& c : rest) {
+      if (freed >= to_free) break;
+      if (table_->MovePage(c.page, Tier::kPm)) ++freed;
+    }
   }
   Account(Tier::kPm, freed);
   MERCH_METRIC_COUNT("merch_hm_evictions_total", freed);

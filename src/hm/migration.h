@@ -52,6 +52,27 @@ class MigrationEngine {
   std::uint64_t MakeRoomInDram(std::uint64_t pages_needed,
                                const HeatFn& heat = nullptr);
 
+  /// As above, with an exact per-object pruning bound: `floor(first_page)`
+  /// must return a lower bound of `heat(p)` over every page of the object
+  /// whose extent starts at `first_page`. The gather then skips whole
+  /// objects that provably cannot contain one of the coldest pages —
+  /// typically the hot objects that fill DRAM — instead of probing every
+  /// DRAM-resident page's heat. The evicted page sequence is identical to
+  /// the unpruned gather (the bound only skips, never reorders).
+  using HeatFloorFn = std::function<double(PageId)>;
+  /// `batch_heat(pages, obj_floor, threshold, out)`, when non-null, must
+  /// fill `out[i]` with exactly `heat(pages[i])` — or +infinity when it can
+  /// prove `heat(pages[i]) > threshold` more cheaply (`obj_floor` is the
+  /// `floor` value for the pages' object). The gather treats +infinity as
+  /// "provably hotter than every retained candidate" and drops the page; it
+  /// passes a finite threshold only once the candidate heap is full, so a
+  /// dropped page can never be among the `to_free` coldest.
+  using BatchHeatFn = std::function<void(
+      std::span<const PageId>, double, double, std::span<double>)>;
+  std::uint64_t MakeRoomInDram(std::uint64_t pages_needed, const HeatFn& heat,
+                               const HeatFloorFn& floor,
+                               const BatchHeatFn& batch_heat = nullptr);
+
   /// Demote `k` cold-end pages of `obj` from DRAM to PM, with traffic
   /// accounting.
   std::uint64_t DemoteColdest(ObjectId obj, std::uint64_t k);

@@ -31,7 +31,7 @@ std::optional<ObjectId> PageTable::RegisterObject(std::uint64_t bytes,
   const auto id = static_cast<ObjectId>(extents_.size());
   const PageId first = pages_.size();
   pages_.resize(pages_.size() + npages, PageEntry{.tier = tier});
-  tier_of_.resize(tier_of_.size() + npages, tier);
+  page_ref_.resize(page_ref_.size() + npages, PageRef{id, tier});
   used_pages_[static_cast<std::size_t>(tier)] += npages;
   extents_.push_back(ObjectExtent{.id = id,
                                   .owner = owner,
@@ -77,35 +77,13 @@ void PageTable::ReleaseObject(ObjectId id) {
                           e.num_pages);
 }
 
-std::optional<ObjectId> PageTable::OwnerOfPage(PageId p) const {
-  if (p >= pages_.size()) return std::nullopt;
-  // Extents are append-allocated: sorted by first_page and contiguous.
-  const auto it = std::upper_bound(
-      extents_.begin(), extents_.end(), p,
-      [](PageId v, const ObjectExtent& e) { return v < e.first_page; });
-  // The last extent with first_page <= p; zero-page extents at the same
-  // first_page sort before the one that actually holds pages.
-  for (auto cand = it; cand != extents_.begin();) {
-    --cand;
-    if (p < cand->first_page + cand->num_pages) return cand->id;
-    if (cand->num_pages > 0) break;  // real gap (cannot happen today)
+std::optional<ObjectId> PageTable::ObjectOfPageLegacy(PageId p) const {
+  for (const ObjectExtent& e : extents_) {
+    if (live_[e.id] && p >= e.first_page && p < e.first_page + e.num_pages) {
+      return e.id;
+    }
   }
   return std::nullopt;
-}
-
-std::optional<ObjectId> PageTable::ObjectOfPage(PageId p) const {
-  if (legacy_scan_) {
-    // Pre-index cost profile (bench baseline): scan every extent.
-    for (const ObjectExtent& e : extents_) {
-      if (live_[e.id] && p >= e.first_page && p < e.first_page + e.num_pages) {
-        return e.id;
-      }
-    }
-    return std::nullopt;
-  }
-  const std::optional<ObjectId> id = OwnerOfPage(p);
-  if (!id.has_value() || !live_[*id]) return std::nullopt;
-  return id;
 }
 
 std::uint64_t PageTable::object_pages_on(ObjectId id, Tier t) const {
@@ -157,6 +135,24 @@ std::uint64_t PageTable::FindRank(ObjectId id, std::uint64_t start,
   return n;
 }
 
+void PageTable::AppendTierPages(ObjectId id, bool on_dram,
+                                std::vector<PageId>& out) const {
+  const ObjectExtent& e = extents_[id];
+  const std::vector<std::uint64_t>& bits = residency_[id].bits;
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    // DRAM bits past num_pages stay clear by construction; the inverted
+    // (PM) view turns them on, so the rank guard below stops the tail.
+    std::uint64_t match = on_dram ? bits[w] : ~bits[w];
+    while (match != 0) {
+      const std::uint64_t rank =
+          (w << 6) + static_cast<std::uint64_t>(std::countr_zero(match));
+      if (rank >= e.num_pages) return;
+      out.push_back(e.first_page + rank);
+      match &= match - 1;
+    }
+  }
+}
+
 std::uint64_t PageTable::FindRankBefore(ObjectId id, std::uint64_t end,
                                         bool on_dram) const {
   const std::uint64_t n = extents_[id].num_pages;
@@ -188,7 +184,7 @@ void PageTable::CommitMove(ObjectId owner, PageId p, Tier to) {
   used_pages_[static_cast<std::size_t>(from)] -= 1;
   used_pages_[static_cast<std::size_t>(to)] += 1;
   pe.tier = to;
-  tier_of_[p] = to;
+  page_ref_[p].tier = to;
   SetResidency(owner, p - extents_[owner].first_page, to == Tier::kDram);
   if (live_[owner]) {
     dram_pages_per_object_[owner] += (to == Tier::kDram) ? 1 : -1;

@@ -72,16 +72,25 @@ class PageTable {
   std::uint64_t page_bytes() const { return page_bytes_; }
   const HmSpec& spec() const { return spec_; }
 
-  /// Tier of page `p`, served from a dense one-byte-per-page array so
-  /// random probes (profiler sampling, sweep windows) stay cache-resident;
-  /// always equal to page(p).tier.
-  Tier page_tier(PageId p) const { return tier_of_[p]; }
+  /// Tier of page `p`, served from the packed per-page record so random
+  /// probes (profiler sampling, sweep windows) stay cache-resident; always
+  /// equal to page(p).tier. Tier and owner share a cache line on purpose:
+  /// a profiler sample reads both, and the strided PageEntry array would
+  /// cost two misses where this costs one.
+  Tier page_tier(PageId p) const { return page_ref_[p].tier; }
   const PageEntry& page(PageId p) const { return pages_[p]; }
   std::uint64_t num_pages() const { return pages_.size(); }
 
-  /// Which live object owns page `p`. Binary search over the sorted
-  /// contiguous extents: O(log #objects).
-  std::optional<ObjectId> ObjectOfPage(PageId p) const;
+  /// Which live object owns page `p`. O(1) via the packed per-page record
+  /// (inline: profiler samples hit this tens of millions of times per
+  /// run); the legacy cost profile keeps the pre-index linear extent scan.
+  std::optional<ObjectId> ObjectOfPage(PageId p) const {
+    if (legacy_scan_) return ObjectOfPageLegacy(p);
+    if (p >= page_ref_.size()) return std::nullopt;
+    const ObjectId id = page_ref_[p].owner;
+    if (!live_[id]) return std::nullopt;
+    return id;
+  }
 
   /// Bytes currently resident on `t`.
   std::uint64_t tier_used_bytes(Tier t) const {
@@ -105,6 +114,14 @@ class PageTable {
   bool page_rank_on_dram(ObjectId id, std::uint64_t rank) const {
     const std::vector<std::uint64_t>& bits = residency_[id].bits;
     return ((bits[rank >> 6] >> (rank & 63)) & 1u) != 0;
+  }
+
+  /// Raw rank-order DRAM bitset of `id` (bit = 1 means on DRAM). Lets
+  /// batched probe loops (the engine's SIMD sweep windows) hoist the
+  /// per-object indirection out of their inner loop; each word read agrees
+  /// with page_rank_on_dram bit for bit.
+  std::span<const std::uint64_t> residency_bits(ObjectId id) const {
+    return residency_[id].bits;
   }
 
   /// DRAM pages among heat ranks [r0, r1) of `id`. O(log num_pages) via
@@ -147,6 +164,14 @@ class PageTable {
   /// pages.
   std::uint64_t FindRank(ObjectId id, std::uint64_t start, bool on_dram) const;
 
+  /// Append every page of `id` whose residency matches `on_dram`, in
+  /// ascending page order — the sequence FindRank hops would visit, in one
+  /// scan over the bitset words instead of a call per page. Eviction
+  /// gathers enumerate tens of millions of pages per run; the per-call
+  /// overhead of the hop loop was their largest cost.
+  void AppendTierPages(ObjectId id, bool on_dram,
+                       std::vector<PageId>& out) const;
+
   /// Highest rank < end whose residency matches `on_dram`, or num_pages
   /// when none exists.
   std::uint64_t FindRankBefore(ObjectId id, std::uint64_t end,
@@ -174,8 +199,16 @@ class PageTable {
   }
 
   /// Owning extent of `p` ignoring liveness (index maintenance must track
-  /// stale pages of released objects too).
-  std::optional<ObjectId> OwnerOfPage(PageId p) const;
+  /// stale pages of released objects too). Served from the dense
+  /// page->owner record filled at registration — O(1).
+  std::optional<ObjectId> OwnerOfPage(PageId p) const {
+    if (p >= page_ref_.size()) return std::nullopt;
+    return page_ref_[p].owner;
+  }
+
+  /// Pre-index cost profile of ObjectOfPage (bench baseline): linear scan
+  /// over every extent.
+  std::optional<ObjectId> ObjectOfPageLegacy(PageId p) const;
 
   /// Retier page `p` of object `owner`: usage counters, residency index,
   /// live-object DRAM count, listener. Caller has verified `p` is not on
@@ -188,8 +221,15 @@ class PageTable {
   HmSpec spec_;
   std::uint64_t page_bytes_;
   bool legacy_scan_ = false;
+  /// Dense per-page mirror of (owner, tier): one 8-byte record per page so
+  /// a random probe that needs both — every profiler sample — takes one
+  /// cache miss, not two. Owner ignores liveness, like OwnerOfPage.
+  struct PageRef {
+    ObjectId owner;
+    Tier tier;
+  };
   std::vector<PageEntry> pages_;
-  std::vector<Tier> tier_of_;  // dense mirror of pages_[p].tier
+  std::vector<PageRef> page_ref_;
   std::vector<ObjectExtent> extents_;
   std::vector<bool> live_;
   std::uint64_t used_pages_[kNumTiers] = {0, 0};

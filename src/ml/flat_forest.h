@@ -51,6 +51,14 @@ struct FlatForest {
   double tree_scale = 1.0;
   double divisor = 1.0;
 
+  /// MERCH_SIMD escape hatch, resolved per instance at construction (and
+  /// re-resolved by Clear, so rebuilt forests honour the current
+  /// environment): walk four rows per tree in lock-step. Each row keeps
+  /// its own node chain and its own accumulator, so the interleaving is
+  /// pure instruction-level parallelism — per-row results and the visit
+  /// count are bitwise those of the one-row walk.
+  bool simd = true;
+
   std::size_t num_trees() const { return roots.size(); }
   std::size_t num_nodes() const { return feature.size(); }
   bool empty() const { return roots.empty(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace merch::profiler {
 
@@ -100,6 +101,73 @@ double SaturatedEvictionHeat(const trace::PageAccessSource& source, PageId p,
   const double jitter =
       static_cast<double>(h & 0xFFFF) / 65536.0;  // [0, 1)
   return observed + jitter;
+}
+
+namespace {
+
+/// The deterministic per-page jitter of SaturatedEvictionHeat, bit for bit.
+double EvictionJitter(PageId p, std::uint64_t salt) {
+  std::uint64_t h = (p + 1) * 0x9E3779B97F4A7C15ull ^ salt;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<double>(h & 0xFFFF) / 65536.0;  // [0, 1)
+}
+
+}  // namespace
+
+void SaturatedEvictionHeatBatch(const trace::PageAccessSource& source,
+                                std::span<const PageId> pages,
+                                int scans_per_interval, std::uint64_t salt,
+                                double obj_floor, double threshold,
+                                std::span<double> out) {
+  const std::size_t n = pages.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Jitter-first screen: heat(p) = observed(p) + jitter(p), and observed
+  // is bounded below by the object floor, so obj_floor + jitter(p) >
+  // threshold already proves heat(p) > threshold (addition is weakly
+  // monotone) without touching the access counts. The hash is a handful of
+  // integer ops; the count probe walks heat profiles and sweep windows.
+  // Only the surviving pages pay for the count.
+  std::vector<PageId> need_pages;
+  std::vector<std::uint32_t> need_idx;
+  need_pages.reserve(n);
+  need_idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double jitter = EvictionJitter(pages[i], salt);
+    if (obj_floor + jitter > threshold) {
+      out[i] = kInf;
+    } else {
+      out[i] = jitter;  // stashed for the transform below
+      need_pages.push_back(pages[i]);
+      need_idx.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<double> counts(need_pages.size());
+  source.EpochAccessesBatch(need_pages, counts);
+  const double scans = std::max(1, scans_per_interval);
+  // Saturation is a pure function of the count, and counts within one
+  // object's run are frequently identical (uniform heat spreads the static
+  // total evenly), so memoize the last transform to skip repeated exps.
+  double last_a = 0.0;
+  double last_observed = 0.0;  // observed(0) == 0
+  for (std::size_t k = 0; k < need_pages.size(); ++k) {
+    const double a = counts[k];
+    if (a != last_a) {
+      last_a = a;
+      last_observed = a == 0.0 ? 0.0 : scans * (1.0 - std::exp(-a / scans));
+    }
+    const std::size_t i = need_idx[k];
+    out[i] = last_observed + out[i];  // out[i] held the jitter
+  }
+}
+
+double SaturatedEvictionHeatFloor(double min_accesses,
+                                  int scans_per_interval) {
+  if (min_accesses <= 0.0) return 0.0;
+  const double scans = std::max(1, scans_per_interval);
+  const double observed = scans * (1.0 - std::exp(-min_accesses / scans));
+  return observed * (1.0 - 1e-9);
 }
 
 }  // namespace merch::profiler

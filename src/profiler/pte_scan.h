@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -74,5 +75,27 @@ std::vector<double> AggregateByTask(const std::vector<HotPage>& pages,
 /// outrank persistently warm ones and pin DRAM uselessly.
 double SaturatedEvictionHeat(const trace::PageAccessSource& source, PageId p,
                              int scans_per_interval, std::uint64_t salt);
+
+/// Lower bound of SaturatedEvictionHeat over every page whose epoch access
+/// count is at least `min_accesses` (the jitter term is non-negative and
+/// the saturation curve is increasing). Shaved by a relative epsilon so
+/// libm's exp — faithfully but not correctly rounded — can never push the
+/// bound above a true heat value. Feeds MigrationEngine::MakeRoomInDram's
+/// object-skipping gather; it prunes work only, never changes a decision.
+double SaturatedEvictionHeatFloor(double min_accesses, int scans_per_interval);
+
+/// Batched SaturatedEvictionHeat with a cheap screen: `out[i]` is the exact
+/// scalar heat of pages[i], except pages provably hotter than `threshold`
+/// (their jitter alone pushes `obj_floor` past it) get +infinity without
+/// paying for the access-count probe. `obj_floor` must lower-bound the
+/// observed term over the pages (SaturatedEvictionHeatFloor of the object);
+/// pass threshold = +infinity to force every value exact. The surviving
+/// pages' counts come from one EpochAccessesBatch call, so same-extent runs
+/// share hoisted state. Exact values are bitwise those of the scalar calls.
+void SaturatedEvictionHeatBatch(const trace::PageAccessSource& source,
+                                std::span<const PageId> pages,
+                                int scans_per_interval, std::uint64_t salt,
+                                double obj_floor, double threshold,
+                                std::span<double> out);
 
 }  // namespace merch::profiler

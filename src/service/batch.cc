@@ -96,7 +96,8 @@ bool LoadRequestFile(const std::string& path,
 }
 
 BatchReport RunBatch(PlacementService& service,
-                     const std::vector<PlacementRequest>& requests) {
+                     const std::vector<PlacementRequest>& requests,
+                     bool fused) {
   BatchReport report;
   report.results.reserve(requests.size());
   report.cache_hits.reserve(requests.size());
@@ -104,8 +105,12 @@ BatchReport RunBatch(PlacementService& service,
   const auto start = std::chrono::steady_clock::now();
   std::vector<PlacementService::Ticket> tickets;
   tickets.reserve(requests.size());
-  for (const auto& req : requests) {
-    tickets.push_back(service.Submit(req));
+  if (fused) {
+    tickets = service.SubmitFused(requests);
+  } else {
+    for (const auto& req : requests) {
+      tickets.push_back(service.Submit(req));
+    }
   }
   for (const auto& t : tickets) {
     report.results.push_back(t.future.get());

@@ -41,7 +41,12 @@ struct BatchReport {
 };
 
 /// Submit every request, wait for all futures, measure wall-clock.
+/// `fused` routes the batch through PlacementService::SubmitFused, which
+/// runs cache-missing requests sharing an application instance in one
+/// pool job (one app build + analysis pass per group); per-request
+/// results are bit-identical either way.
 BatchReport RunBatch(PlacementService& service,
-                     const std::vector<PlacementRequest>& requests);
+                     const std::vector<PlacementRequest>& requests,
+                     bool fused = false);
 
 }  // namespace merch::service

@@ -1,6 +1,7 @@
 #include "service/placement_service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -32,6 +33,128 @@ void PlacementService::Shutdown() { pool_.Shutdown(); }
 
 PlacementService::Ticket PlacementService::Submit(PlacementRequest request) {
   return SubmitInternal(std::move(request), nullptr);
+}
+
+namespace {
+
+/// Application-instance identity: requests with equal fuse keys share
+/// BuildApp + static analysis (policy and train_regions deliberately
+/// excluded — they only pick the engine's policy object).
+std::string FuseKey(const PlacementRequest& req) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%s|%.17g|%.17g|%llu", req.app.c_str(),
+                req.scale, req.work,
+                static_cast<unsigned long long>(req.seed));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<PlacementService::Ticket> PlacementService::SubmitFused(
+    std::vector<PlacementRequest> requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  // Group insertion order is submission order, so job dispatch below stays
+  // deterministic for a given request list.
+  std::vector<std::string> group_order;
+  std::map<std::string, std::vector<FusedMember>> groups;
+  for (PlacementRequest& request : requests) {
+    Ticket ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++submitted_;
+    }
+    MERCH_METRIC_COUNT("merch_service_submitted_total", 1);
+    if (std::string err = CanonicalizeRequest(request); !err.empty()) {
+      PlacementResult bad;
+      bad.request = std::move(request);
+      bad.error = std::move(err);
+      std::promise<PlacementResult> p;
+      ticket.future = p.get_future().share();
+      p.set_value(std::move(bad));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+      }
+      MERCH_METRIC_COUNT("merch_service_failed_total", 1);
+      tickets.push_back(std::move(ticket));
+      continue;
+    }
+    const std::string key = CanonicalKey(request);
+    if (auto cached = cache_.Get(key)) {
+      std::promise<PlacementResult> p;
+      ticket.future = p.get_future().share();
+      p.set_value(*std::move(cached));
+      ticket.cache_hit = true;
+      tickets.push_back(std::move(ticket));
+      continue;
+    }
+    auto promise = std::make_shared<std::promise<PlacementResult>>();
+    bool joined = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {  // incl. duplicates earlier in this batch
+        ++coalesced_;
+        ticket.future = it->second.future;
+        ticket.coalesced = true;
+        joined = true;
+      } else {
+        ticket.future = promise->get_future().share();
+        InFlight entry;
+        entry.future = ticket.future;
+        inflight_.emplace(key, std::move(entry));
+      }
+    }
+    if (joined) {
+      MERCH_METRIC_COUNT("merch_service_coalesced_total", 1);
+      MERCH_TRACE_INSTANT(obs::Category::kService, "service.coalesced");
+      tickets.push_back(std::move(ticket));
+      continue;
+    }
+    const std::string fuse = FuseKey(request);
+    auto [it, inserted] = groups.try_emplace(fuse);
+    if (inserted) group_order.push_back(fuse);
+    it->second.push_back(
+        FusedMember{key, std::move(request), std::move(promise)});
+    tickets.push_back(std::move(ticket));
+  }
+
+  for (const std::string& fuse : group_order) {
+    auto members =
+        std::make_shared<std::vector<FusedMember>>(std::move(groups[fuse]));
+    if (members->size() > 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++fused_groups_;
+    }
+    const bool accepted = pool_.Submit(
+        [this, members] { RunFusedJob(std::move(*members)); });
+    if (!accepted) {  // shutting down: fail the members instead of hanging
+      for (FusedMember& m : *members) {
+        PlacementResult bad;
+        bad.request = m.req;
+        bad.error = "service is shutting down";
+        std::vector<Callback> callbacks;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = inflight_.find(m.key);
+          if (it != inflight_.end()) {
+            callbacks = std::move(it->second.callbacks);
+            inflight_.erase(it);
+          }
+          ++failed_;
+        }
+        MERCH_METRIC_COUNT("merch_service_failed_total", 1);
+        if (callbacks.empty()) {
+          m.promise->set_value(std::move(bad));
+        } else {
+          m.promise->set_value(bad);
+          for (Callback& cb : callbacks) cb(bad);
+        }
+      }
+    }
+  }
+  return tickets;
 }
 
 PlacementService::Ticket PlacementService::SubmitAsync(
@@ -137,6 +260,37 @@ void PlacementService::RunJob(
   if (req.policy == "merch") system = TrainedSystem(req.train_regions);
 
   PlacementResult result = RunRequest(req, system.get(), &greedy_cache_);
+  FinishJob(key, std::move(result), promise);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
+}
+
+void PlacementService::RunFusedJob(std::vector<FusedMember> members) {
+  MERCH_TRACE_SPAN_VAR(group_span, obs::Category::kService,
+                       "service.fused_group");
+  if (members.empty()) return;
+  // One app build + analysis pass for the whole group; every member's
+  // engine run reads the shared immutable instance.
+  const PreparedApp prepared = PrepareApp(members.front().req);
+  for (FusedMember& m : members) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const core::MerchandiserSystem> system;
+    if (m.req.policy == "merch") system = TrainedSystem(m.req.train_regions);
+    PlacementResult result =
+        RunPrepared(prepared, m.req, system.get(), &greedy_cache_);
+    FinishJob(m.key, std::move(result), m.promise);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
+  }
+}
+
+void PlacementService::FinishJob(
+    const std::string& key, PlacementResult result,
+    const std::shared_ptr<std::promise<PlacementResult>>& promise) {
   if (result.ok()) cache_.Put(key, result);
   std::vector<Callback> callbacks;
   {
@@ -149,10 +303,6 @@ void PlacementService::RunJob(
     ++simulated_;
     if (!result.ok()) ++failed_;
   }
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
   MERCH_METRIC_COUNT("merch_service_simulated_total", 1);
   if (!result.ok()) MERCH_METRIC_COUNT("merch_service_failed_total", 1);
   // Resolve the shared future before running continuations, so a callback
@@ -173,6 +323,7 @@ ServiceStats PlacementService::Stats() const {
     s.coalesced = coalesced_;
     s.simulated = simulated_;
     s.failed = failed_;
+    s.fused_groups = fused_groups_;
   }
   s.greedy_hits = greedy_cache_.hits();
   s.greedy_misses = greedy_cache_.misses();
@@ -222,20 +373,24 @@ sim::SimConfig PlacementService::RequestSimConfig(const PlacementRequest& req) {
 PlacementResult PlacementService::RunRequest(
     const PlacementRequest& req, const core::MerchandiserSystem* system,
     core::GreedyResultCache* greedy_cache) {
-  PlacementResult out;
-  out.request = req;
+  return RunPrepared(PrepareApp(req), req, system, greedy_cache);
+}
+
+PlacementService::PreparedApp PlacementService::PrepareApp(
+    const PlacementRequest& req) {
+  PreparedApp prepared;
   try {
-    const apps::AppBundle bundle = apps::BuildApp(req.app, req.scale, req.work);
+    prepared.bundle = apps::BuildApp(req.app, req.scale, req.work);
 
     // Static-analysis gate: reject requests whose kernel IR carries
     // error-severity lint findings (e.g. a referenced object the app never
     // registered with LB_HM_config) — the runtime could not place it.
-    const analysis::Module module =
-        analysis::ModuleFromWorkload(bundle.workload, bundle.task_irs);
+    const analysis::Module module = analysis::ModuleFromWorkload(
+        prepared.bundle.workload, prepared.bundle.task_irs);
     std::vector<analysis::Finding> findings =
         analysis::Lint(module, analysis::Analyze(module));
 
-    const sim::MachineSpec machine = RequestMachine(req);
+    prepared.machine = RequestMachine(req);
 
     // Dependence gate: a provably racy task graph (a non-owner task
     // writing another task's object with exact overlap evidence) cannot
@@ -244,19 +399,36 @@ PlacementResult PlacementService::RunRequest(
     const analysis::TaskGraph graph =
         analysis::BuildTaskGraph(module, analysis::Summarize(module));
     const std::vector<analysis::Finding> dep =
-        analysis::LintDependences(module, graph, machine.hm);
+        analysis::LintDependences(module, graph, prepared.machine.hm);
     findings.insert(findings.end(), dep.begin(), dep.end());
 
     if (analysis::HasErrors(findings)) {
       for (const analysis::Finding& f : findings) {
         if (f.severity != analysis::Severity::kError) continue;
-        if (!out.error.empty()) out.error += "; ";
-        out.error += "lint: [" + f.code + "] " + f.message;
+        if (!prepared.error.empty()) prepared.error += "; ";
+        prepared.error += "lint: [" + f.code + "] " + f.message;
       }
-      return out;
+      return prepared;
     }
-    const sim::SimConfig cfg = RequestSimConfig(req);
+    prepared.cfg = RequestSimConfig(req);
+  } catch (const std::exception& e) {
+    prepared.error = e.what();
+  }
+  return prepared;
+}
 
+PlacementResult PlacementService::RunPrepared(
+    const PreparedApp& prepared, const PlacementRequest& req,
+    const core::MerchandiserSystem* system,
+    core::GreedyResultCache* greedy_cache) {
+  PlacementResult out;
+  out.request = req;
+  if (!prepared.error.empty()) {
+    out.error = prepared.error;
+    return out;
+  }
+  const apps::AppBundle& bundle = prepared.bundle;
+  try {
     std::unique_ptr<sim::PlacementPolicy> policy;
     if (req.policy == "pm") {
       policy = std::make_unique<baselines::PmOnlyPolicy>();
@@ -285,13 +457,15 @@ PlacementResult PlacementService::RunRequest(
       }
       core::MerchandiserConfig merch_config;
       merch_config.greedy_cache = greedy_cache;
-      policy = system->MakePolicy(bundle.workload, machine, merch_config);
+      policy = system->MakePolicy(bundle.workload, prepared.machine,
+                                  merch_config);
     } else {
       out.error = "unknown policy '" + req.policy + "'";
       return out;
     }
 
-    sim::Engine engine(bundle.workload, machine, cfg, policy.get());
+    sim::Engine engine(bundle.workload, prepared.machine, prepared.cfg,
+                       policy.get());
     const sim::SimResult r = engine.Run();
     out.makespan_seconds = r.total_seconds;
     out.task_cov = r.AverageCoV();

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apps/registry.h"
 #include "core/merchandiser.h"
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -43,10 +44,12 @@ namespace merch::service {
 
 /// Point-in-time counters (cache counters come from the ResultCache).
 struct ServiceStats {
-  std::uint64_t submitted = 0;   // Submit() calls
+  std::uint64_t submitted = 0;   // Submit()/SubmitFused() requests
   std::uint64_t coalesced = 0;   // joined an identical in-flight request
   std::uint64_t simulated = 0;   // jobs that actually ran an Engine
   std::uint64_t failed = 0;      // jobs whose result carries an error
+  /// SubmitFused groups that shared one app build across >= 2 members.
+  std::uint64_t fused_groups = 0;
   /// Shared greedy warm-start cache (see GreedyResultCache): instance
   /// decisions replayed from / inserted into the cross-job memo.
   std::uint64_t greedy_hits = 0;
@@ -81,6 +84,17 @@ class PlacementService {
   /// Canonicalizes and enqueues `request`. Invalid requests yield a ready
   /// future whose result carries the error — Submit itself never throws.
   Ticket Submit(PlacementRequest request);
+
+  /// Batched sweep submission: like one Submit per request (same
+  /// canonicalization, cache, and coalescing, ticket i answers request i),
+  /// but cache-missing requests that share an application instance — same
+  /// (app, scale, work, seed) — are fused into ONE pool job that builds
+  /// the app and runs its static analysis once, then runs each member's
+  /// engine against the shared instance. Results are bit-identical to
+  /// individual Submit()s; only the redundant per-member app construction
+  /// and lint passes are elided. Sweep drivers (merchctl sweep --fused)
+  /// use this to amortize setup across the policy axis of a sweep.
+  std::vector<Ticket> SubmitFused(std::vector<PlacementRequest> requests);
 
   /// Completion callback: invoked exactly once per SubmitAsync, with the
   /// finished result. Runs on the worker thread that completed the job —
@@ -132,6 +146,27 @@ class PlacementService {
                                     core::GreedyResultCache* greedy_cache =
                                         nullptr);
 
+  /// The policy-independent half of RunRequest: app construction, the
+  /// static-analysis gates, machine and sim config. Shareable across every
+  /// request with the same (app, scale, work, seed); a build or lint
+  /// failure lands in `error` and fails each member run identically.
+  struct PreparedApp {
+    apps::AppBundle bundle;
+    sim::MachineSpec machine;
+    sim::SimConfig cfg;
+    std::string error;  // empty = usable
+  };
+  static PreparedApp PrepareApp(const PlacementRequest& req);
+
+  /// The per-policy half of RunRequest against an already-prepared app.
+  /// RunRequest(req, ...) == RunPrepared(PrepareApp(req), req, ...) bit for
+  /// bit; fused sweeps call PrepareApp once per group.
+  static PlacementResult RunPrepared(const PreparedApp& prepared,
+                                     const PlacementRequest& req,
+                                     const core::MerchandiserSystem* system,
+                                     core::GreedyResultCache* greedy_cache =
+                                         nullptr);
+
  private:
   /// The shared immutable trained system for `train_regions`, training it
   /// on first use. Training is serialized across jobs.
@@ -140,6 +175,23 @@ class PlacementService {
 
   void RunJob(const std::string& key, const PlacementRequest& req,
               std::shared_ptr<std::promise<PlacementResult>> promise);
+
+  /// One cache-missing member of a SubmitFused group.
+  struct FusedMember {
+    std::string key;
+    PlacementRequest req;
+    std::shared_ptr<std::promise<PlacementResult>> promise;
+  };
+
+  /// Pool job for one fused group: PrepareApp once, then run and finish
+  /// every member against the shared instance.
+  void RunFusedJob(std::vector<FusedMember> members);
+
+  /// Publish one finished job result: cache insert, in-flight retirement,
+  /// stats, promise resolution, queued callbacks. Shared by RunJob and
+  /// RunFusedJob.
+  void FinishJob(const std::string& key, PlacementResult result,
+                 const std::shared_ptr<std::promise<PlacementResult>>& promise);
 
   /// One in-flight simulation: the shared future every coalesced Submit()
   /// returned, plus the continuations attached by SubmitAsync().
@@ -159,6 +211,7 @@ class PlacementService {
   std::uint64_t coalesced_ = 0;
   std::uint64_t simulated_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t fused_groups_ = 0;
 
   std::mutex train_mu_;  // serializes training; guards systems_
   std::map<std::size_t, std::shared_ptr<const core::MerchandiserSystem>>

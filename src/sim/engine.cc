@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <latch>
+#include <thread>
 
 #include "cachesim/cpu_cache.h"
 #include "common/env.h"
@@ -24,6 +25,26 @@ double MixedBandwidthBytesPerSec(const hm::TierSpec& tier, double read_fraction)
   // Harmonic blend: time per byte is the mix of per-byte times.
   return 1.0 / (r / rb + (1.0 - r) / wb);
 }
+
+/// Read/write-blended access latency: writes pay the tier's write-latency
+/// factor (Optane's asymmetric write path). One definition serves both the
+/// scalar builder and the lane hoisting, so the two paths share every FP
+/// operation.
+double BlendedLatencyNs(const hm::TierSpec& tier, double read_fraction,
+                        bool sequential) {
+  const double base_lat =
+      sequential ? tier.seq_latency_ns : tier.rand_latency_ns;
+  return base_lat * (read_fraction +
+                     (1.0 - read_fraction) * tier.write_latency_factor);
+}
+
+/// Minimum live tasks before the fixed point fans TimingFromBase over the
+/// pool: below this the latch round-trip costs more than the evals.
+constexpr std::size_t kParallelTimingMinTasks = 8;
+
+/// Up-front capacity for the per-epoch bandwidth telemetry (grows beyond
+/// this only for very long runs; see SimResult::bandwidth).
+constexpr std::size_t kBandwidthReserve = 4096;
 
 using common::EnvToggle;
 
@@ -65,6 +86,11 @@ Engine::Engine(const Workload& workload, const MachineSpec& machine,
   hw_cache_mode_ = policy_ != nullptr && policy_->uses_hardware_cache();
   sweep_index_ = EnvToggle("MERCH_SWEEP_INDEX", config_.sweep_index);
   timing_memo_ = EnvToggle("MERCH_ENGINE_MEMO", config_.timing_memo);
+  // The lane path stores bases in SoA form and probes sweeps through the
+  // residency bitset, so it presumes both earlier hatches; turning either
+  // off falls all the way back to that path's cost profile.
+  simd_ = EnvToggle("MERCH_SIMD", config_.simd) && sweep_index_ && timing_memo_;
+  arena_.set_pooled(EnvToggle("MERCH_ARENA", config_.arena));
   if (config_.timing_threads > 1) {
     pool_ = std::make_unique<service::ThreadPool>(config_.timing_threads);
   }
@@ -87,7 +113,7 @@ Engine::Engine(const Workload& workload, const MachineSpec& machine,
   }
   // Keep heat-weighted DRAM fractions current as policies migrate pages,
   // and stamp every move so memoized timing bases know to rebuild. The
-  // owner lookup is the page table's O(log n) extent binary search.
+  // owner lookup is the page table's dense page->owner map (O(1)).
   pages_->SetMoveListener([this](PageId p, hm::Tier /*from*/, hm::Tier to) {
     ++placement_version_;
     std::size_t i = handles_.size();
@@ -135,8 +161,14 @@ double Engine::ObjectDramFraction(std::size_t object) const {
 }
 
 void Engine::SetHwDramFraction(std::size_t object, double fraction) {
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  // Bitwise-unchanged fractions cannot change any base: rebuilding against
+  // identical inputs reproduces identical costs, so skipping the
+  // invalidation is a value-level no-op (hardware-cache policies re-post
+  // mostly-stable fractions every interval).
+  if (simd_ && hw_fraction_[object] == clamped) return;
   ++placement_version_;
-  hw_fraction_[object] = std::clamp(fraction, 0.0, 1.0);
+  hw_fraction_[object] = clamped;
 }
 
 void Engine::AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram) {
@@ -149,11 +181,12 @@ EngineCounters Engine::counters() const {
   c.epochs = epochs_;
   c.timing_evals = timing_evals_;
   c.base_builds = base_builds_.load(std::memory_order_relaxed);
+  c.partial_refreshes = partial_refreshes_.load(std::memory_order_relaxed);
   return c;
 }
 
 Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
-                                           const Region& region) const {
+                                           const Region& region) {
   DerivedKernel d;
   d.instructions = kernel.instructions;
   d.branch_instructions = kernel.branch_fraction *
@@ -189,6 +222,46 @@ Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
     d.has_sweep = d.has_sweep || da.sweeping;
     d.accesses.push_back(da);
   }
+  if (simd_) {
+    // Hoist every placement-independent per-access term into stride-1
+    // lanes, computed by the same helpers (hence the same FP operations)
+    // the scalar builder would run on each rebuild.
+    LaneBlock& L = d.lanes;
+    const std::size_t n = d.accesses.size();
+    L.n = n;
+    L.mm = arena_.AllocSpan<double>(n);
+    L.bytes = arena_.AllocSpan<double>(n);
+    L.mlp = arena_.AllocSpan<double>(n);
+    L.bw_dram = arena_.AllocSpan<double>(n);
+    L.bw_pm = arena_.AllocSpan<double>(n);
+    L.lat_dram = arena_.AllocSpan<double>(n);
+    L.lat_pm = arena_.AllocSpan<double>(n);
+    L.f = arena_.AllocSpan<double>(n);
+    L.object = arena_.AllocSpan<std::uint32_t>(n);
+    std::size_t n_sweep = 0;
+    for (const DerivedAccess& a : d.accesses) n_sweep += a.sweeping ? 1 : 0;
+    L.sweep_ix = arena_.AllocSpan<std::uint32_t>(n_sweep);
+    const hm::TierSpec& dram = machine_.hm[hm::Tier::kDram];
+    const hm::TierSpec& pm = machine_.hm[hm::Tier::kPm];
+    std::size_t s = 0;
+    double overlap_weight = 0, mm_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const DerivedAccess& a = d.accesses[i];
+      L.mm[i] = a.mm;
+      L.bytes[i] = a.bytes;
+      L.mlp[i] = a.mlp;
+      L.bw_dram[i] = MixedBandwidthBytesPerSec(dram, a.read_fraction);
+      L.bw_pm[i] = MixedBandwidthBytesPerSec(pm, a.read_fraction);
+      L.lat_dram[i] = BlendedLatencyNs(dram, a.read_fraction, a.sequential);
+      L.lat_pm[i] = BlendedLatencyNs(pm, a.read_fraction, a.sequential);
+      L.object[i] = static_cast<std::uint32_t>(a.object);
+      if (a.sweeping) L.sweep_ix[s++] = static_cast<std::uint32_t>(i);
+      // The scalar builder's overlap reduction, in its order.
+      overlap_weight += a.overlap * a.mm;
+      mm_total += a.mm;
+    }
+    L.overlap = mm_total > 0 ? overlap_weight / mm_total : 0.0;
+  }
   return d;
 }
 
@@ -218,6 +291,46 @@ double Engine::SweepDramFraction(std::size_t object, double f0,
   return static_cast<double>(hits) / kProbes;
 }
 
+double Engine::SweepDramFractionLanes(std::size_t object, double f0,
+                                      double f1) const {
+  // Callers (the lane builder) handle force-tier / hardware-cache modes;
+  // this is the normal-mode probe with the same clamps and probe formula.
+  const hm::ObjectExtent& e = pages_->extent(handles_[object]);
+  if (e.num_pages == 0) return 0.0;
+  f0 = std::clamp(f0, 0.0, 1.0);
+  f1 = std::clamp(f1, f0, 1.0);
+  constexpr int kProbes = 16;
+  const double num_pages = static_cast<double>(e.num_pages);
+  const std::uint64_t last = e.num_pages - 1;
+  const double df = f1 - f0;
+  std::uint64_t ranks[kProbes];
+  // Independent lanes (vectorizable); the probe expression is the scalar
+  // path's, operation for operation, including the integer cast.
+  for (int i = 0; i < kProbes; ++i) {
+    const double f = f0 + df * (static_cast<double>(i) + 0.5) / kProbes;
+    ranks[i] = std::min<std::uint64_t>(
+        last, static_cast<std::uint64_t>(f * num_pages));
+  }
+  // Ranks are monotonically non-decreasing, so runs of equal ranks — all
+  // 16 of them for objects smaller than the probe count — share one
+  // residency-bitset word lookup. The hit count is unchanged.
+  const std::span<const std::uint64_t> bits =
+      pages_->residency_bits(handles_[object]);
+  std::uint64_t prev_rank = ranks[0];
+  int prev_hit =
+      static_cast<int>((bits[prev_rank >> 6] >> (prev_rank & 63)) & 1u);
+  int hits = prev_hit;
+  for (int i = 1; i < kProbes; ++i) {
+    if (ranks[i] != prev_rank) {
+      prev_rank = ranks[i];
+      prev_hit =
+          static_cast<int>((bits[prev_rank >> 6] >> (prev_rank & 63)) & 1u);
+    }
+    hits += prev_hit;
+  }
+  return static_cast<double>(hits) / kProbes;
+}
+
 void Engine::ComputeKernelBase(const DerivedKernel& kernel, double progress,
                                KernelBase* out) const {
   base_builds_.fetch_add(1, std::memory_order_relaxed);
@@ -243,13 +356,8 @@ void Engine::ComputeKernelBase(const DerivedKernel& kernel, double progress,
       const double bytes = a.bytes * share;
       const hm::TierSpec& spec = machine_.hm[tier];
       const double bw = MixedBandwidthBytesPerSec(spec, a.read_fraction);
-      const double base_lat =
-          a.sequential ? spec.seq_latency_ns : spec.rand_latency_ns;
-      // Writes pay the tier's write-latency factor (Optane's asymmetric
-      // write path); the blend follows the access's read/write mix.
-      const double lat_ns =
-          base_lat * (a.read_fraction +
-                      (1.0 - a.read_fraction) * spec.write_latency_factor);
+      const double lat_ns = BlendedLatencyNs(spec, a.read_fraction,
+                                             a.sequential);
       const double t_bw = bytes / bw;
       const double t_lat = accesses * lat_ns * 1e-9 / a.mlp;
       if (tier == hm::Tier::kDram) {
@@ -267,23 +375,174 @@ void Engine::ComputeKernelBase(const DerivedKernel& kernel, double progress,
   out->overlap = mm_total > 0 ? overlap_weight / mm_total : 0.0;
 }
 
+namespace {
+
+/// One lane of the branchless cost loop: exactly the scalar builder's FP
+/// sequence for both tiers. share == 0 degenerates to +0.0 everywhere,
+/// matching the scalar `share <= 0` skip that leaves the defaults.
+inline void CostLane(double f, double mm, double bytes, double mlp,
+                     double bw_dram, double bw_pm, double lat_dram,
+                     double lat_pm, double* t_dram, double* t_pm,
+                     double* b_dram, double* b_pm) {
+  const double fd = f;
+  const double fp = 1.0 - f;
+  const double acc_d = mm * fd;
+  const double by_d = bytes * fd;
+  const double tbw_d = by_d / bw_dram;
+  const double tlat_d = acc_d * lat_dram * 1e-9 / mlp;
+  *t_dram = std::max(tbw_d, tlat_d);
+  *b_dram = by_d;
+  const double acc_p = mm * fp;
+  const double by_p = bytes * fp;
+  const double tbw_p = by_p / bw_pm;
+  const double tlat_p = acc_p * lat_pm * 1e-9 / mlp;
+  *t_pm = std::max(tbw_p, tlat_p);
+  *b_pm = by_p;
+}
+
+}  // namespace
+
+void Engine::ComputeKernelBaseLanes(const DerivedKernel& kernel,
+                                    double progress, KernelBase* out) const {
+  base_builds_.fetch_add(1, std::memory_order_relaxed);
+  constexpr double kLookahead = 0.05;
+  const LaneBlock& L = kernel.lanes;
+  const std::size_t n = L.n;
+  out->n = n;
+  out->compute_seconds = kernel.compute_seconds;
+  out->overlap = L.overlap;
+  // Per-access DRAM fractions. The force-tier and hardware-cache modes
+  // collapse to a constant / direct array read for sweeping and
+  // non-sweeping lanes alike (SweepDramFraction's early-outs return the
+  // identical values), so only the normal mode probes residency.
+  double* f = L.f.data();
+  const std::uint32_t* obj = L.object.data();
+  if (config_.force_tier.has_value()) {
+    const double c = *config_.force_tier == hm::Tier::kDram ? 1.0 : 0.0;
+    for (std::size_t i = 0; i < n; ++i) f[i] = c;
+  } else if (hw_cache_mode_) {
+    for (std::size_t i = 0; i < n; ++i) f[i] = hw_fraction_[obj[i]];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) f[i] = dram_weight_[obj[i]];
+    const double p1 = std::min(1.0, progress + kLookahead);
+    for (const std::uint32_t ix : L.sweep_ix) {
+      f[ix] = SweepDramFractionLanes(obj[ix], progress, p1);
+    }
+  }
+  const double* mm = L.mm.data();
+  const double* bytes = L.bytes.data();
+  const double* mlp = L.mlp.data();
+  const double* bw_d = L.bw_dram.data();
+  const double* bw_p = L.bw_pm.data();
+  const double* lat_d = L.lat_dram.data();
+  const double* lat_p = L.lat_pm.data();
+  double* td = out->t_dram.data();
+  double* tp = out->t_pm.data();
+  double* bd = out->b_dram.data();
+  double* bp = out->b_pm.data();
+  // Lanes are independent: the compiler is free to vectorize at any width
+  // without reordering a single reduction.
+  for (std::size_t i = 0; i < n; ++i) {
+    CostLane(f[i], mm[i], bytes[i], mlp[i], bw_d[i], bw_p[i], lat_d[i],
+             lat_p[i], &td[i], &tp[i], &bd[i], &bp[i]);
+  }
+  // Order-exact per-tier sums: four independent serial chains, each in
+  // the access order TimingFromBase's scalar fold uses.
+  double s_td = 0, s_tp = 0, s_bd = 0, s_bp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s_td += td[i];
+    s_tp += tp[i];
+    s_bd += bd[i];
+    s_bp += bp[i];
+  }
+  out->sum_t_dram = s_td;
+  out->sum_t_pm = s_tp;
+  out->sum_b_dram = s_bd;
+  out->sum_b_pm = s_bp;
+}
+
+void Engine::PartialRefreshBaseLanes(const DerivedKernel& kernel,
+                                     double progress, KernelBase* out) const {
+  partial_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  constexpr double kLookahead = 0.05;
+  const LaneBlock& L = kernel.lanes;
+  // Placement is unchanged (the caller checked the version stamp), so
+  // non-sweeping lanes and — in the force/hardware-cache modes — even the
+  // sweeping ones would recompute to their current values; only normal-
+  // mode sweep windows can move with progress.
+  if (!config_.force_tier.has_value() && !hw_cache_mode_) {
+    double* f = L.f.data();
+    const std::uint32_t* obj = L.object.data();
+    const double p1 = std::min(1.0, progress + kLookahead);
+    double* td = out->t_dram.data();
+    double* tp = out->t_pm.data();
+    double* bd = out->b_dram.data();
+    double* bp = out->b_pm.data();
+    for (const std::uint32_t ix : L.sweep_ix) {
+      f[ix] = SweepDramFractionLanes(obj[ix], progress, p1);
+      CostLane(f[ix], L.mm[ix], L.bytes[ix], L.mlp[ix], L.bw_dram[ix],
+               L.bw_pm[ix], L.lat_dram[ix], L.lat_pm[ix], &td[ix], &tp[ix],
+               &bd[ix], &bp[ix]);
+    }
+    const std::size_t n = out->n;
+    double s_td = 0, s_tp = 0, s_bd = 0, s_bp = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s_td += td[i];
+      s_tp += tp[i];
+      s_bd += bd[i];
+      s_bp += bp[i];
+    }
+    out->sum_t_dram = s_td;
+    out->sum_t_pm = s_tp;
+    out->sum_b_dram = s_bd;
+    out->sum_b_pm = s_bp;
+  }
+}
+
 Engine::KernelTiming Engine::TimingFromBase(const KernelBase& base,
                                             double lambda_dram,
                                             double lambda_pm) const {
   ++timing_evals_;
+  return TimingFromBaseImpl(base, lambda_dram, lambda_pm);
+}
+
+Engine::KernelTiming Engine::TimingFromBaseImpl(const KernelBase& base,
+                                                double lambda_dram,
+                                                double lambda_pm) const {
   KernelTiming out;
   double dram_time = 0, pm_time = 0;
-  for (const AccessCost& c : base.costs) {
-    // Processor-sharing contention: when aggregate demand exceeds the
-    // tier's service capacity, every request stream on that tier slows
-    // by the same factor (queueing inflates both bandwidth- and
-    // latency-bound service). This keeps the achieved aggregate rate at
-    // or below the physical peak. The factor is linear per access, which
-    // is exactly why the base is reusable across contention iterations.
-    dram_time += c.t_dram * lambda_dram;
-    out.dram_bytes += c.dram_bytes;
-    pm_time += c.t_pm * lambda_pm;
-    out.pm_bytes += c.pm_bytes;
+  if (simd_) {
+    // Bytes are lambda-independent: the scalar fold's `+=` from zero in
+    // access order is exactly the build-time sum. Times match the fold
+    // through the sums when lambda == 1.0 (t * 1.0 == t bitwise), and
+    // through an in-order fold over the lanes otherwise.
+    out.dram_bytes = base.sum_b_dram;
+    out.pm_bytes = base.sum_b_pm;
+    if (lambda_dram == 1.0) {
+      dram_time = base.sum_t_dram;
+    } else {
+      const double* td = base.t_dram.data();
+      for (std::size_t i = 0; i < base.n; ++i) dram_time += td[i] * lambda_dram;
+    }
+    if (lambda_pm == 1.0) {
+      pm_time = base.sum_t_pm;
+    } else {
+      const double* tp = base.t_pm.data();
+      for (std::size_t i = 0; i < base.n; ++i) pm_time += tp[i] * lambda_pm;
+    }
+  } else {
+    for (const AccessCost& c : base.costs) {
+      // Processor-sharing contention: when aggregate demand exceeds the
+      // tier's service capacity, every request stream on that tier slows
+      // by the same factor (queueing inflates both bandwidth- and
+      // latency-bound service). This keeps the achieved aggregate rate at
+      // or below the physical peak. The factor is linear per access, which
+      // is exactly why the base is reusable across contention iterations.
+      dram_time += c.t_dram * lambda_dram;
+      out.dram_bytes += c.dram_bytes;
+      pm_time += c.t_pm * lambda_pm;
+      out.pm_bytes += c.pm_bytes;
+    }
   }
   const double memory = dram_time + pm_time;
   const double compute = base.compute_seconds;
@@ -311,12 +570,33 @@ bool Engine::BaseValid(const TaskRuntime& rt) const {
 }
 
 void Engine::BuildBase(TaskRuntime& rt) {
-  ComputeKernelBase(rt.kernels[rt.kernel_index], rt.kernel_fraction,
-                    &rt.base);
-  rt.base.valid = true;
-  rt.base.kernel_index = rt.kernel_index;
-  rt.base.progress = rt.kernel_fraction;
-  rt.base.placement_version = placement_version_;
+  const DerivedKernel& dk = rt.kernels[rt.kernel_index];
+  KernelBase& b = rt.base;
+  if (simd_) {
+    // When only the progress window moved (same kernel, same placement
+    // stamp), non-sweeping lanes recompute to their current values — skip
+    // them and refresh just the sweep lanes; bitwise equal to a full
+    // rebuild.
+    const bool sweep_only = b.valid && b.kernel_index == rt.kernel_index &&
+                            b.placement_version == placement_version_;
+    if (sweep_only) {
+      PartialRefreshBaseLanes(dk, rt.kernel_fraction, &b);
+    } else {
+      ComputeKernelBaseLanes(dk, rt.kernel_fraction, &b);
+    }
+  } else {
+    ComputeKernelBase(dk, rt.kernel_fraction, &b);
+  }
+  b.valid = true;
+  b.kernel_index = rt.kernel_index;
+  b.progress = rt.kernel_fraction;
+  b.placement_version = placement_version_;
+}
+
+bool Engine::ParallelFanOutAllowed() const {
+  if (config_.timing_fanout_min_lanes == 0) return true;  // forced by tests
+  static const unsigned hw_threads = std::thread::hardware_concurrency();
+  return hw_threads != 1;
 }
 
 void Engine::RefreshKernelBases() {
@@ -325,7 +605,7 @@ void Engine::RefreshKernelBases() {
     if (!running_[i].done && !BaseValid(running_[i])) rebuild_.push_back(i);
   }
   if (rebuild_.empty()) return;
-  if (pool_ == nullptr || rebuild_.size() == 1) {
+  if (pool_ == nullptr || rebuild_.size() == 1 || !ParallelFanOutAllowed()) {
     for (const std::size_t i : rebuild_) BuildBase(running_[i]);
     return;
   }
@@ -350,8 +630,43 @@ void Engine::RefreshKernelBases() {
   pending.wait();
 }
 
+void Engine::ParallelTimings(double lambda_dram, double lambda_pm) {
+  // Same static-chunk discipline as RefreshKernelBases: each worker writes
+  // only its own timing_ slots from quiescent bases; the demand reduction
+  // that follows is serial in task order on the caller, so pool width
+  // cannot change a bit. Evaluations are accounted here, serially.
+  const std::size_t chunks = std::min(pool_->thread_count(), running_.size());
+  std::latch pending(static_cast<std::ptrdiff_t>(chunks));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = running_.size() * c / chunks;
+    const std::size_t end = running_.size() * (c + 1) / chunks;
+    const bool accepted =
+        pool_->Submit([this, begin, end, lambda_dram, lambda_pm, &pending] {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!running_[i].done) {
+              timing_[i] =
+                  TimingFromBaseImpl(running_[i].base, lambda_dram, lambda_pm);
+            }
+          }
+          pending.count_down();
+        });
+    if (!accepted) {  // pool shut down (not reachable mid-run); stay serial
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!running_[i].done) {
+          timing_[i] =
+              TimingFromBaseImpl(running_[i].base, lambda_dram, lambda_pm);
+        }
+      }
+      pending.count_down();
+    }
+  }
+  pending.wait();
+  timing_evals_ += live_tasks_;
+}
+
 void Engine::BuildRegionRuntime(const Region& region) {
-  running_.clear();
+  running_.clear();  // drop every span into the arena before rewinding it
+  arena_.Reset();
   running_.reserve(region.tasks.size());
   for (const TaskProgram& tp : region.tasks) {
     TaskRuntime rt;
@@ -368,8 +683,23 @@ void Engine::BuildRegionRuntime(const Region& region) {
     rt.stats.agg.core_ghz = machine_.core_ghz;
     running_.push_back(std::move(rt));
   }
+  if (simd_) {
+    // One SoA cost table per task, sized for its widest kernel; rebuilds
+    // overwrite it in place, so the epoch loop never touches the heap.
+    for (TaskRuntime& rt : running_) {
+      std::size_t width = 0;
+      for (const DerivedKernel& dk : rt.kernels) {
+        width = std::max(width, dk.accesses.size());
+      }
+      rt.base.t_dram = arena_.AllocSpan<double>(width);
+      rt.base.t_pm = arena_.AllocSpan<double>(width);
+      rt.base.b_dram = arena_.AllocSpan<double>(width);
+      rt.base.b_pm = arena_.AllocSpan<double>(width);
+    }
+  }
   live_tasks_ = running_.size();
   timing_.assign(running_.size(), KernelTiming{});
+  rebuild_.reserve(running_.size());
 }
 
 void Engine::CollectMigrationTraffic() {
@@ -395,19 +725,42 @@ void Engine::StepEpoch() {
 
   // Fixed-point contention resolution.
   double lambda_dram = 1.0, lambda_pm = 1.0;
+  timing_at_final_lambda_ = false;
+  bool fan_out = pool_ != nullptr && timing_memo_ &&
+                 live_tasks_ >= kParallelTimingMinTasks &&
+                 ParallelFanOutAllowed();
+  if (fan_out && config_.timing_fanout_min_lanes > 0) {
+    // Fan out only when one iteration's serial evaluation work dwarfs a
+    // pool round trip; either path computes bitwise-identical timings.
+    std::size_t lanes = 0;
+    for (const TaskRuntime& rt : running_) {
+      if (rt.done) continue;
+      lanes += simd_ ? rt.base.n : rt.base.costs.size();
+    }
+    fan_out = lanes >= config_.timing_fanout_min_lanes;
+  }
   for (int iter = 0; iter < 8; ++iter) {
     double demand_dram = migration_rate + background_dram_rate_;
     double demand_pm = migration_rate + background_pm_rate_;
-    for (std::size_t i = 0; i < running_.size(); ++i) {
-      TaskRuntime& rt = running_[i];
-      if (rt.done) continue;
-      timing_[i] = timing_memo_
-                       ? TimingFromBase(rt.base, lambda_dram, lambda_pm)
-                       : TimeKernel(rt.kernels[rt.kernel_index],
-                                    rt.kernel_fraction, lambda_dram,
-                                    lambda_pm);
-      demand_dram += timing_[i].dram_bytes / timing_[i].seconds;
-      demand_pm += timing_[i].pm_bytes / timing_[i].seconds;
+    if (fan_out) {
+      ParallelTimings(lambda_dram, lambda_pm);
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].done) continue;
+        demand_dram += timing_[i].dram_bytes / timing_[i].seconds;
+        demand_pm += timing_[i].pm_bytes / timing_[i].seconds;
+      }
+    } else {
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        TaskRuntime& rt = running_[i];
+        if (rt.done) continue;
+        timing_[i] = timing_memo_
+                         ? TimingFromBase(rt.base, lambda_dram, lambda_pm)
+                         : TimeKernel(rt.kernels[rt.kernel_index],
+                                      rt.kernel_fraction, lambda_dram,
+                                      lambda_pm);
+        demand_dram += timing_[i].dram_bytes / timing_[i].seconds;
+        demand_pm += timing_[i].pm_bytes / timing_[i].seconds;
+      }
     }
     // Multiplicative update: demand was computed *under* the current
     // lambdas, so scaling them by achieved-demand/capacity converges to
@@ -420,8 +773,18 @@ void Engine::StepEpoch() {
     const double next_pm = std::max(1.0, lambda_pm * util_pm);
     if (std::abs(next_dram - lambda_dram) < 1e-3 * lambda_dram &&
         std::abs(next_pm - lambda_pm) < 1e-3 * lambda_pm && iter >= 1) {
+      timing_at_final_lambda_ =
+          next_dram == lambda_dram && next_pm == lambda_pm;
       lambda_dram = next_dram;
       lambda_pm = next_pm;
+      break;
+    }
+    if (simd_ && next_dram == lambda_dram && next_pm == lambda_pm) {
+      // iter == 0 with bitwise-unchanged lambdas (the uncontended common
+      // case; iter >= 1 hits the break above): the next iteration would
+      // recompute identical timings and demands, then break with the same
+      // lambdas. Skip it outright — a value-level no-op.
+      timing_at_final_lambda_ = true;
       break;
     }
     lambda_dram = next_dram;
@@ -434,17 +797,29 @@ void Engine::StepEpoch() {
     TaskRuntime& rt = running_[i];
     if (rt.done) continue;
     double dt_left = dt;
+    bool first_slice = true;
     while (dt_left > 0 && !rt.done) {
       const DerivedKernel& dk = rt.kernels[rt.kernel_index];
       // The first slice reuses the epoch's base directly; later slices
       // (kernel boundary or sweep progress inside the epoch) rebuild it.
       KernelTiming kt;
       if (timing_memo_) {
-        if (!BaseValid(rt)) BuildBase(rt);
-        kt = TimingFromBase(rt.base, lambda_dram, lambda_pm);
+        if (!BaseValid(rt)) {
+          BuildBase(rt);
+          first_slice = false;  // timing_[i] predates this base
+        }
+        if (simd_ && timing_at_final_lambda_ && first_slice) {
+          // The fixed point ended on exactly the lambdas timing_[i] was
+          // evaluated at, and the base is untouched since: re-evaluating
+          // would reproduce timing_[i] bit for bit.
+          kt = timing_[i];
+        } else {
+          kt = TimingFromBase(rt.base, lambda_dram, lambda_pm);
+        }
       } else {
         kt = TimeKernel(dk, rt.kernel_fraction, lambda_dram, lambda_pm);
       }
+      first_slice = false;
       const double remaining = (1.0 - rt.kernel_fraction) * kt.seconds;
       const double advance = std::min(remaining, dt_left);
       const double dprog = advance / kt.seconds;
@@ -532,6 +907,7 @@ void Engine::FinishRegion(const Region& region, double region_start) {
   RegionStats rs;
   rs.name = region.name;
   rs.start_time = region_start;
+  rs.tasks.reserve(running_.size());
   double slowest = 0;
   for (TaskRuntime& rt : running_) {
     rt.stats.exec_seconds = rt.finish_time - region_start;
@@ -552,6 +928,11 @@ SimResult Engine::Run() {
   run_span.set_arg("regions",
                    static_cast<std::int64_t>(workload_->regions.size()));
   interval_deadline_ = config_.interval_seconds;
+  // Size the run-long telemetry up front: one bandwidth sample per epoch,
+  // one stats entry per region. Exponential regrowth in the epoch loop
+  // would copy the whole history every doubling.
+  history_.reserve(workload_->regions.size());
+  bandwidth_.reserve(kBandwidthReserve);
   if (policy_ != nullptr) policy_->OnSimulationStart(*ctx_);
 
   for (region_index_ = 0; region_index_ < workload_->regions.size();

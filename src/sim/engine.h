@@ -23,18 +23,32 @@
 // (SimConfig::timing_threads); every reduction stays serial in task order,
 // so results are bit-identical at any width and with memoization or the
 // residency index disabled (tests/engine_equiv_test.cc enforces this).
+//
+// On top of the memo sits the lane-structured fast path (MERCH_SIMD, see
+// DESIGN.md §5): DeriveKernel hoists every placement-independent per-access
+// term (mixed bandwidths, blended latencies, the mm-weighted overlap) into
+// stride-1 SoA arrays once per region, base rebuilds run a branchless
+// vectorizable loop over those lanes (sweep-only partial rebuilds when only
+// the progress window moved), TimingFromBase serves the uncontended
+// lambda == 1 case from order-exact per-tier sums, and the contention
+// fixed point both skips iterations whose lambdas are bitwise unchanged
+// and fans TimingFromBase over the pool. Every shortcut recomputes the
+// exact FP operation sequence of the scalar path (or skips work whose
+// recomputation would be a bitwise no-op), so results stay identical.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 #include "hm/migration.h"
 #include "hm/page_table.h"
 #include "service/thread_pool.h"
+#include "sim/arena.h"
 #include "sim/machine.h"
 #include "sim/oracle.h"
 #include "sim/policy.h"
@@ -62,6 +76,15 @@ struct SimConfig {
   /// Threads refreshing per-task timing bases each epoch (1 = serial in
   /// the caller). Bit-identical results at any width.
   std::size_t timing_threads = 1;
+  /// Minimum total active cost-table lanes across live tasks before an
+  /// epoch's fixed-point arbitration fans out to the timing pool. Below
+  /// this, one iteration's serial work is smaller than a pool
+  /// dispatch+join round trip and fanning out only adds latency; the
+  /// serial and parallel evaluations are bit-identical, so the gate is a
+  /// pure scheduling heuristic. When active (> 0) it also refuses to fan
+  /// out on a single-hardware-thread host. Tests set 0 to force the
+  /// parallel path unconditionally.
+  std::size_t timing_fanout_min_lanes = 8192;
   /// Escape hatches, overridable by the MERCH_SWEEP_INDEX and
   /// MERCH_ENGINE_MEMO environment variables ("0"/"off"/"false" disables):
   /// serve SweepDramFraction probes from the page table's O(1) residency
@@ -70,6 +93,14 @@ struct SimConfig {
   /// identical either way (bench/engine_speed measures the gap).
   bool sweep_index = true;
   bool timing_memo = true;
+  /// MERCH_SIMD: the lane-structured (SoA) cost kernels, partial sweep
+  /// rebuilds, order-exact sum shortcuts, and fixed-point iteration
+  /// skipping. Builds on the memoized-base layout, so it is only effective
+  /// when sweep_index and timing_memo are also on. MERCH_ARENA: back the
+  /// lane scratch with the region-scoped bump arena instead of individual
+  /// heap blocks. Results are bit-identical in every combination.
+  bool simd = true;
+  bool arena = true;
 };
 
 /// Monotonic hot-path counters (bench/engine_speed reads these).
@@ -81,6 +112,10 @@ struct EngineCounters {
   /// memoization this is the small fraction of timing_evals not served
   /// from a cached base).
   std::uint64_t base_builds = 0;
+  /// Sweep-only partial base refreshes (MERCH_SIMD): rebuilds that touched
+  /// only the sweeping lanes because placement was unchanged and only the
+  /// progress window moved.
+  std::uint64_t partial_refreshes = 0;
 };
 
 class Engine {
@@ -122,6 +157,26 @@ class Engine {
     bool sweeping = true;
     double l2_misses = 0;
   };
+  /// Stride-1 per-access lanes for the SIMD base builder (MERCH_SIMD).
+  /// Everything placement-independent is hoisted here once per region by
+  /// DeriveKernel — with the exact FP operation sequence the scalar
+  /// builder uses per rebuild — so ComputeKernelBaseLanes is a branchless
+  /// loop over contiguous doubles. Arena-backed; valid until the next
+  /// region's BuildRegionRuntime.
+  struct LaneBlock {
+    std::size_t n = 0;
+    std::span<double> mm;        // main-memory accesses
+    std::span<double> bytes;     // mm * line size
+    std::span<double> mlp;
+    std::span<double> bw_dram;   // MixedBandwidthBytesPerSec per tier
+    std::span<double> bw_pm;
+    std::span<double> lat_dram;  // read/write-blended latency (ns)
+    std::span<double> lat_pm;
+    std::span<double> f;         // scratch: per-access DRAM fraction
+    std::span<std::uint32_t> object;
+    std::span<std::uint32_t> sweep_ix;  // indices of sweeping accesses
+    double overlap = 0;  // mm-weighted overlap (scalar builder's order)
+  };
   struct DerivedKernel {
     double compute_seconds = 0;
     std::uint64_t instructions = 0;
@@ -129,6 +184,7 @@ class Engine {
     double vector_instructions = 0;
     bool has_sweep = false;  // any sweeping access (timing depends on progress)
     std::vector<DerivedAccess> accesses;
+    LaneBlock lanes;  // populated only when the SIMD path is active
   };
   struct KernelTiming {
     double seconds = 0;    // contended kernel duration
@@ -145,9 +201,21 @@ class Engine {
     double pm_bytes = 0;
   };
   /// Memoized expensive half of TimeKernel, tagged with the inputs it was
-  /// built from so staleness is detectable.
+  /// built from so staleness is detectable. The scalar path fills `costs`;
+  /// the SIMD path fills the SoA spans (capacity = the task's widest
+  /// kernel, arena-backed) plus order-exact per-tier sums that serve the
+  /// uncontended lambda == 1 evaluations directly.
   struct KernelBase {
     std::vector<AccessCost> costs;
+    std::span<double> t_dram;  // SIMD lanes (n = active access count)
+    std::span<double> t_pm;
+    std::span<double> b_dram;
+    std::span<double> b_pm;
+    std::size_t n = 0;
+    double sum_t_dram = 0;  // serial in-order sums over the lanes
+    double sum_t_pm = 0;
+    double sum_b_dram = 0;
+    double sum_b_pm = 0;
     double compute_seconds = 0;
     double overlap = 0;  // mm-weighted average overlap factor
     bool valid = false;
@@ -169,7 +237,8 @@ class Engine {
 
   void RegisterObjects();
   void BuildRegionRuntime(const Region& region);
-  DerivedKernel DeriveKernel(const Kernel& kernel, const Region& region) const;
+  /// Non-const: the SIMD path carves the kernel's LaneBlock out of arena_.
+  DerivedKernel DeriveKernel(const Kernel& kernel, const Region& region);
   /// Contended duration of `kernel` under contention factors, evaluated at
   /// the given sweep progress (sequential accesses only benefit from DRAM
   /// pages in the upcoming rank window; see trace::PatternTraits::sweeping).
@@ -183,21 +252,53 @@ class Engine {
   /// an epoch).
   void ComputeKernelBase(const DerivedKernel& kernel, double progress,
                          KernelBase* out) const;
+  /// SIMD variant of ComputeKernelBase over the kernel's LaneBlock:
+  /// branchless stride-1 cost loop plus the order-exact per-tier sums.
+  /// Bitwise equal to the scalar builder (DESIGN.md §5).
+  void ComputeKernelBaseLanes(const DerivedKernel& kernel, double progress,
+                              KernelBase* out) const;
+  /// Recompute only the sweeping lanes of a base whose placement stamp is
+  /// current (only the progress window moved). Non-sweeping lanes cannot
+  /// have changed, so this equals a full rebuild bit for bit.
+  void PartialRefreshBaseLanes(const DerivedKernel& kernel, double progress,
+                               KernelBase* out) const;
   /// The cheap half: apply contention factors to a prepared base.
   /// Bit-identical to evaluating TimeKernel with the base's inputs.
   KernelTiming TimingFromBase(const KernelBase& base, double lambda_dram,
                               double lambda_pm) const;
+  /// TimingFromBase without the counter bump: the pure function the
+  /// parallel arbitration workers call (they may not touch mutable
+  /// engine state; the caller accounts evaluations serially).
+  KernelTiming TimingFromBaseImpl(const KernelBase& base, double lambda_dram,
+                                  double lambda_pm) const;
   bool BaseValid(const TaskRuntime& rt) const;
   void BuildBase(TaskRuntime& rt);
+  /// Scheduling heuristic shared by the base refresh and the fixed-point
+  /// fan-out: parallel dispatch is pointless on a single-hardware-thread
+  /// host, where workers can only timeshare the core the serial path
+  /// already owns. timing_fanout_min_lanes = 0 (the equivalence tests)
+  /// forces fan-out regardless. Both paths are bit-identical either way.
+  bool ParallelFanOutAllowed() const;
   /// Rebuild every live task's stale base, across timing_threads workers
   /// when a pool exists.
   void RefreshKernelBases();
+  /// Evaluate timing_[i] for every live task at the given lambdas over the
+  /// pool (static chunks, deterministic per-slot writes). Falls back to
+  /// the caller's serial loop below the fan-out threshold.
+  void ParallelTimings(double lambda_dram, double lambda_pm);
 
   /// Fraction of pages in the rank window [f0, f1) of `object` resident on
   /// DRAM (probed at fixed stride; exact for prefix placements). Each
   /// probe is an O(1) residency-bitset lookup (page-tier probe with the
   /// index disabled).
   double SweepDramFraction(std::size_t object, double f0, double f1) const;
+  /// SIMD-path SweepDramFraction: the same 16 probe ranks (vectorizable
+  /// batch computation), but consecutive equal ranks — the common case for
+  /// small objects, since ranks are monotonically non-decreasing — reuse
+  /// one bitset lookup. Identical hit count by construction; requires the
+  /// residency index (guaranteed by the simd_ resolution rule).
+  double SweepDramFractionLanes(std::size_t object, double f0,
+                                double f1) const;
   /// One epoch: contention fixed point, task advancement, telemetry.
   void StepEpoch();
   /// Run the policy's profiling interval and reset interval counters.
@@ -224,6 +325,10 @@ class Engine {
   bool hw_cache_mode_ = false;
   bool sweep_index_ = true;           // resolved sweep_index escape hatch
   bool timing_memo_ = true;           // resolved timing_memo escape hatch
+  /// Resolved MERCH_SIMD, and-ed with the hatches it builds on: the lane
+  /// path needs the memoized-base layout and the residency index.
+  bool simd_ = true;
+  EpochArena arena_{true};            // mode resolved from MERCH_ARENA
 
   /// Bumped on every page move and hardware-fraction update; memoized
   /// bases referencing an older version are stale.
@@ -243,6 +348,11 @@ class Engine {
   mutable std::uint64_t epochs_ = 0;
   mutable std::uint64_t timing_evals_ = 0;
   mutable std::atomic<std::uint64_t> base_builds_{0};  // workers increment
+  mutable std::atomic<std::uint64_t> partial_refreshes_{0};
+  /// Set by the fixed point when the final lambdas are bitwise the ones
+  /// timing_ was last evaluated at (exact convergence), letting the
+  /// advance pass reuse timing_[i] for each task's first slice.
+  bool timing_at_final_lambda_ = false;
 
   double migration_queue_bytes_ = 0;
   double background_pm_rate_ = 0;    // bytes/s charged to PM

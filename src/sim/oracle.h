@@ -52,9 +52,21 @@ class AccessOracle final : public trace::PageAccessSource {
   /// Lifetime totals (whole simulation so far).
   double ObjectLifetimeAccesses(std::size_t object) const;
 
+  /// Exact lower bound of EpochAccesses over *every* page of the object
+  /// containing `p`: the static-heat term at the object's coldest page
+  /// rank (sweep windows only ever add). FP rounding is monotone, so the
+  /// bound holds bitwise, not just mathematically. Eviction gathers use
+  /// it to skip whole hot objects without changing which pages they pick.
+  double EpochAccessesFloor(PageId p) const;
+
   // --- trace::PageAccessSource ---
   std::uint64_t num_pages() const override;
   double EpochAccesses(PageId p) const override;
+  /// Run-hoisted batch: consecutive pages from one extent share a single
+  /// object lookup, idle-object zero fill, and hoisted static/window
+  /// state. Bitwise equal to per-page EpochAccesses.
+  void EpochAccessesBatch(std::span<const PageId> pages,
+                          std::span<double> out) const override;
   hm::Tier PageTier(PageId p) const override;
   ObjectId PageObject(PageId p) const override;
   TaskId PageTask(PageId p) const override;

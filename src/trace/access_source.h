@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.h"
 #include "hm/tier.h"
@@ -21,6 +22,18 @@ class PageAccessSource {
   /// Expected accesses to page `p` during the current epoch. Fractional
   /// values are allowed (analytic oracles spread object totals over pages).
   virtual double EpochAccesses(PageId p) const = 0;
+
+  /// Fill `out[i] = EpochAccesses(pages[i])` (pages.size() == out.size()).
+  /// The default delegates page by page; sources with per-object structure
+  /// override it to hoist shared state across runs of pages from one
+  /// object (eviction gathers probe extents in ascending-page runs).
+  /// Values are bitwise those of the scalar calls.
+  virtual void EpochAccessesBatch(std::span<const PageId> pages,
+                                  std::span<double> out) const {
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      out[i] = EpochAccesses(pages[i]);
+    }
+  }
 
   /// Tier currently holding page `p`.
   virtual hm::Tier PageTier(PageId p) const = 0;

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -112,6 +114,42 @@ TEST(FlatForest, RfrBatchMatchesPointerWalkExactly) {
     ml::RandomForestRegressor rfr({}, /*seed=*/rng());
     rfr.Fit(RandomDataset(rng, 300, features));
     CheckFlatAgainstScalar(rfr, rng, features);
+  }
+}
+
+/// The 4-lane walk's edge cases: a batch size that is not a multiple of
+/// the lane width (the tail rows take the remainder path), NaN features
+/// (x <= t is false, so the walk takes the right child — same as the
+/// scalar comparison), and denormal features. Both lane settings must be
+/// bitwise equal to the per-tree pointer walk.
+TEST(FlatForest, LaneBoundaryNanAndDenormalRowsMatchScalar) {
+  std::mt19937_64 rng(17);
+  constexpr std::size_t kFeatures = 5;
+  ml::GbrConfig cfg;
+  cfg.num_stages = 40;
+  ml::GradientBoostedRegressor gbr(cfg, /*seed=*/rng());
+  gbr.Fit(RandomDataset(rng, 250, kFeatures));
+
+  std::uniform_real_distribution<double> u(-4.0, 4.0);
+  constexpr std::size_t kRows = 7;  // 4-lane block + 3-row tail
+  std::vector<double> rows(kRows * kFeatures);
+  for (double& v : rows) v = u(rng);
+  rows[1 * kFeatures + 2] = std::numeric_limits<double>::quiet_NaN();
+  rows[3 * kFeatures + 0] = std::numeric_limits<double>::denorm_min();
+  rows[4 * kFeatures + 1] = -std::numeric_limits<double>::denorm_min();
+  rows[6 * kFeatures + 4] = std::numeric_limits<double>::quiet_NaN();
+
+  ml::FlatForest forest = gbr.flat_forest();  // mutable copy: toggle lanes
+  std::vector<double> lanes_on(kRows), lanes_off(kRows);
+  forest.simd = true;
+  forest.PredictBatch(rows, kFeatures, lanes_on);
+  forest.simd = false;
+  forest.PredictBatch(rows, kFeatures, lanes_off);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const std::span<const double> row(rows.data() + i * kFeatures, kFeatures);
+    const double scalar = gbr.Predict(row);
+    ASSERT_EQ(scalar, lanes_on[i]) << "lanes row " << i;
+    ASSERT_EQ(scalar, lanes_off[i]) << "scalar-batch row " << i;
   }
 }
 

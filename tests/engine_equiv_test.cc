@@ -160,6 +160,7 @@ TEST_P(EngineEquivalence, VariantsBitIdentical) {
 
     sim::SimConfig threads = ScaledConfig();
     threads.timing_threads = 4;
+    threads.timing_fanout_min_lanes = 0;  // force the parallel path
     ExpectIdentical(baseline.result, RunOnce(bundle, policy, threads).result,
                     app + "/" + policy + " timing_threads=4");
   }
@@ -174,6 +175,42 @@ INSTANTIATE_TEST_SUITE_P(AllApps, EngineEquivalence,
                            }
                            return name;
                          });
+
+/// Full optimization matrix: {SIMD lanes on/off} x {timing_threads 1,3,8}
+/// x {epoch arena on/off}, each combination run on a randomized
+/// app/policy draw and compared field-for-field against the default
+/// single-threaded engine. The toggles are resolved from the environment
+/// per Engine construction, exactly as production runs resolve them.
+TEST(EngineEquivalence, RandomizedSimdThreadArenaMatrixBitIdentical) {
+  std::mt19937_64 rng(0x5EED);
+  const std::vector<std::string>& apps = apps::AppNames();
+  const std::vector<std::string> policies = {"pm", "mm", "mo", "merch"};
+  for (const bool simd : {true, false}) {
+    for (const std::size_t threads : {1u, 3u, 8u}) {
+      for (const bool arena : {true, false}) {
+        const std::string app = apps[rng() % apps.size()];
+        const std::string policy = policies[rng() % policies.size()];
+        const std::string label = app + "/" + policy + " simd=" +
+                                  (simd ? "1" : "0") + " threads=" +
+                                  std::to_string(threads) + " arena=" +
+                                  (arena ? "1" : "0");
+        const apps::AppBundle bundle =
+            apps::BuildApp(app, kScale, kScale / 4);
+        const RunOutcome baseline = RunOnce(bundle, policy, ScaledConfig());
+
+        setenv("MERCH_SIMD", simd ? "1" : "0", 1);
+        setenv("MERCH_ARENA", arena ? "1" : "0", 1);
+        sim::SimConfig cfg = ScaledConfig();
+        cfg.timing_threads = threads;
+        cfg.timing_fanout_min_lanes = 0;  // force the parallel path
+        const RunOutcome variant = RunOnce(bundle, policy, cfg);
+        unsetenv("MERCH_SIMD");
+        unsetenv("MERCH_ARENA");
+        ExpectIdentical(baseline.result, variant.result, label);
+      }
+    }
+  }
+}
 
 TEST(EngineEquivalence, EnvEscapeHatchesDisableBothPaths) {
   const apps::AppBundle bundle = apps::BuildApp("SpGEMM", kScale, kScale / 4);

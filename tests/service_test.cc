@@ -306,6 +306,42 @@ TEST(PlacementService, ResultsAreBitIdenticalAcrossPoolWidths) {
   }
 }
 
+TEST(PlacementService, SubmitFusedMatchesPerRequestSubmissionBitwise) {
+  // Three policies over one SpGEMM instance share a fused group (one app
+  // build), BFS rides alone, a duplicate coalesces, and a bad request
+  // fails — all in one batch, answers indexed like the input.
+  std::vector<PlacementRequest> requests = {
+      TinyRequest("SpGEMM", "pm", 7),  TinyRequest("SpGEMM", "mm", 7),
+      TinyRequest("SpGEMM", "mo", 7),  TinyRequest("BFS", "mo", 7),
+      TinyRequest("SpGEMM", "pm", 7),  TinyRequest("NoSuchApp", "pm", 7)};
+
+  PlacementService fused_svc({.threads = 2});
+  auto tickets = fused_svc.SubmitFused(requests);
+  ASSERT_EQ(tickets.size(), requests.size());
+  EXPECT_TRUE(tickets[4].coalesced);  // duplicate of requests[0]
+
+  PlacementService plain_svc({.threads = 2});
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    const PlacementResult f = tickets[i].future.get();
+    const PlacementResult p = plain_svc.Submit(requests[i]).future.get();
+    ASSERT_TRUE(f.ok()) << f.error;
+    EXPECT_EQ(f.makespan_seconds, p.makespan_seconds) << i;
+    EXPECT_EQ(f.task_cov, p.task_cov) << i;
+    EXPECT_EQ(f.migrated_bytes, p.migrated_bytes) << i;
+  }
+  const PlacementResult bad = tickets.back().future.get();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("unknown application"), std::string::npos);
+
+  const ServiceStats stats = fused_svc.Stats();
+  EXPECT_GE(stats.fused_groups, 1u);  // the three-policy SpGEMM group
+  EXPECT_EQ(stats.failed, 1u);
+
+  // Completed fused answers land in the same cache as Submit's.
+  auto cached = fused_svc.Submit(requests[0]);
+  EXPECT_TRUE(cached.cache_hit);
+}
+
 TEST(PlacementService, SeedIsPartOfTheRequestIdentity) {
   PlacementService svc({.threads = 2});
   auto t1 = svc.Submit(TinyRequest("BFS", "mo", 1));

@@ -13,7 +13,7 @@
 //   merchctl sweep [--apps all|A,B,...] [--policies all|p,q,...]
 //                  [--scales 1.0,0.5,...] [--work W] [--train-regions N]
 //                  [--seed S] [--threads T] [--cache N] [--repeat R]
-//                  [--file requests.txt] [--placements]
+//                  [--file requests.txt] [--placements] [--fused]
 //   merchctl analyze <file.kir> [--json]
 //   merchctl analyze <file.kir> --dag [--json|--dot]
 //   merchctl remote --port P [--host H] [--app A] [--policy p] [--scale S]
@@ -71,6 +71,10 @@ struct Options {
   std::size_t cache = 128;
   std::size_t repeat = 1;
   bool show_placements = false;
+  /// Route the sweep through SubmitFused: one pool job (one app build +
+  /// analysis pass) per shared application instance. Off by default; the
+  /// per-request results are bit-identical either way.
+  bool fused = false;
   // analyze-only
   std::string kir_file;
   bool json = false;
@@ -99,6 +103,8 @@ int Usage() {
                "[--seed N] [--threads T]\n"
                "                      [--cache N] [--repeat R] "
                "[--file requests.txt] [--placements]\n"
+               "                      [--fused]   # one job per shared app "
+               "instance\n"
                "       merchctl analyze <file.kir> [--json]\n"
                "       merchctl analyze <file.kir> --dag [--json|--dot]\n"
                "       merchctl remote --port P [--host H] [--app A] "
@@ -301,7 +307,8 @@ int SweepCommand(const Options& opt) {
       {.threads = opt.threads, .cache_capacity = opt.cache});
   int failures = 0;
   for (std::size_t pass = 0; pass < opt.repeat; ++pass) {
-    const service::BatchReport report = service::RunBatch(svc, requests);
+    const service::BatchReport report =
+        service::RunBatch(svc, requests, opt.fused);
     if (pass == 0) {
       for (std::size_t i = 0; i < report.results.size(); ++i) {
         const auto& r = report.results[i];
@@ -522,6 +529,8 @@ int main(int argc, char** argv) {
           1, static_cast<std::size_t>(std::atoll(next())));
     } else if (arg == "--placements") {
       opt.show_placements = true;
+    } else if (arg == "--fused") {
+      opt.fused = true;
     } else if (arg == "--host") {
       opt.host = next();
     } else if (arg == "--port") {
