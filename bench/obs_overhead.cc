@@ -25,6 +25,7 @@
 
 #include "apps/registry.h"
 #include "baselines/memory_optimizer.h"
+#include "obs/distributed/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/placement_service.h"
@@ -58,6 +59,12 @@ PassResult RunPass(const std::vector<Workload>& workloads, std::size_t repeat,
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t pass = 0; pass < repeat; ++pass) {
     for (const Workload& w : workloads) {
+      // The traced pass runs under a distributed trace context, exactly
+      // like a request arriving over the wire: every recorded span pays
+      // the trace-id stamp, so the budget covers propagation too.
+      obs::TraceContextScope scope(
+          traced ? obs::TraceContext{obs::NewTraceId(), obs::NewSpanId()}
+                 : obs::TraceContext{});
       const apps::AppBundle bundle = apps::BuildApp(w.app, w.scale, w.work);
       service::PlacementRequest req{w.app, "mo", w.scale, w.work, 6, 42};
       const sim::MachineSpec machine =

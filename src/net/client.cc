@@ -1,6 +1,8 @@
 #include "net/client.h"
 
 #include "net/socket.h"
+#include "obs/distributed/context.h"
+#include "obs/trace.h"
 #include "service/serialization.h"
 
 namespace merch::net {
@@ -65,6 +67,8 @@ Client::Status Client::Call(const service::PlacementRequest& request,
   frame.seq = next_seq_++;
   service::WireWriter w;
   w.U32(deadline_ms);
+  // v2 extension: the caller's trace context ({0,0} when untraced).
+  AppendTraceContext(obs::CurrentTraceContext(), &w);
   service::EncodeRequest(request, &w);
   frame.payload = w.Take();
 
@@ -90,6 +94,13 @@ Client::Status Client::Call(const service::PlacementRequest& request,
     return Status::kTransportError;
   }
   service::WireReader r(reply.payload);
+  if (reply.version >= 2) {
+    // v2 responses lead with the echoed trace context; the ids are
+    // informational here (the client already holds its own context).
+    std::uint64_t trace_id = 0, server_span_id = 0;
+    r.U64(&trace_id);
+    r.U64(&server_span_id);
+  }
   if (!service::DecodeResult(&r, result) || r.remaining() != 0) {
     if (error != nullptr) *error = "undecodable response payload";
     Close();
@@ -98,14 +109,24 @@ Client::Status Client::Call(const service::PlacementRequest& request,
   return Status::kOk;
 }
 
-Client::Status Client::Ping(std::string* error) {
+Client::Status Client::Ping(std::string* error, PongPayload* pong) {
+  if (pong != nullptr) *pong = PongPayload{};
   Frame frame;
   frame.type = FrameType::kPing;
   frame.seq = next_seq_++;
   Frame reply;
   const Status st = Transact(frame, &reply, error);
   if (st != Status::kOk) return st;
-  if (reply.type == FrameType::kPong) return Status::kOk;
+  if (reply.type == FrameType::kPong) {
+    if (pong != nullptr && reply.version >= 2 && !reply.payload.empty()) {
+      if (!DecodePongPayload(reply.payload, pong)) {
+        if (error != nullptr) *error = "undecodable pong payload";
+        Close();
+        return Status::kTransportError;
+      }
+    }
+    return Status::kOk;
+  }
   if (reply.type == FrameType::kError) {
     ErrorCode code;
     std::string message;
@@ -122,6 +143,69 @@ Client::Status Client::Ping(std::string* error) {
 Client::Status Client::Forward(const Frame& frame, Frame* reply,
                                std::string* error) {
   return Transact(frame, reply, error);
+}
+
+Client::Status Client::FetchMetrics(MetricsReplyPayload* reply,
+                                    ErrorCode* error_code,
+                                    std::string* error) {
+  Frame frame;
+  frame.type = FrameType::kMetrics;
+  frame.seq = next_seq_++;
+  Frame raw;
+  const Status st = Transact(frame, &raw, error);
+  if (st != Status::kOk) return st;
+  if (raw.type == FrameType::kError) {
+    ErrorCode code;
+    std::string message;
+    if (DecodeErrorPayload(raw.payload, &code, &message)) {
+      if (error_code != nullptr) *error_code = code;
+      if (error != nullptr) *error = message;
+      return Status::kRemoteError;
+    }
+    if (error != nullptr) *error = "undecodable error frame";
+    Close();
+    return Status::kTransportError;
+  }
+  if (raw.type != FrameType::kMetricsReply ||
+      !DecodeMetricsReplyPayload(raw.payload, reply)) {
+    if (error != nullptr) *error = "unexpected reply to metrics pull";
+    Close();
+    return Status::kTransportError;
+  }
+  return Status::kOk;
+}
+
+bool EstimatePeerClock(Client& client, int samples, obs::PeerClock* out,
+                       std::string* error) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+  if (rec.NowNs() == 0) {
+    if (error != nullptr) {
+      *error = "local trace recorder not started; no clock to sync against";
+    }
+    return false;
+  }
+  std::vector<obs::ClockSample> collected;
+  PongPayload last_pong;
+  for (int i = 0; i < samples; ++i) {
+    obs::ClockSample sample;
+    PongPayload pong;
+    sample.local_send_ns = rec.NowNs();
+    if (client.Ping(error, &pong) != Client::Status::kOk) return false;
+    sample.local_recv_ns = rec.NowNs();
+    if (pong.pid == 0) {
+      if (error != nullptr) {
+        *error = "peer answered a v1 pong (no clock reading)";
+      }
+      return false;
+    }
+    sample.peer_now_ns = pong.now_ns;
+    collected.push_back(sample);
+    last_pong = pong;
+  }
+  out->name = last_pong.process_name;
+  out->pid = last_pong.pid;
+  out->offset_ns = obs::EstimateClockOffset(collected);
+  return true;
 }
 
 }  // namespace merch::net

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "net/frame.h"
+#include "obs/distributed/export.h"
 #include "service/request.h"
 
 namespace merch::net {
@@ -40,12 +41,20 @@ class Client {
 
   enum class Status { kOk, kRemoteError, kTransportError };
 
-  /// `deadline_ms == 0` asks for the server's default deadline.
+  /// `deadline_ms == 0` asks for the server's default deadline. The
+  /// calling thread's trace context (obs::CurrentTraceContext) rides in
+  /// the v2 request payload, linking the server's spans to the caller's.
   Status Call(const service::PlacementRequest& request,
               std::uint32_t deadline_ms, service::PlacementResult* result,
               ErrorCode* error_code, std::string* error);
 
-  Status Ping(std::string* error);
+  /// `pong` (optional) receives the v2 pong payload: the peer's
+  /// trace-clock reading and identity. A v1 pong leaves it zeroed.
+  Status Ping(std::string* error, PongPayload* pong = nullptr);
+
+  /// Pull the peer's Prometheus export over a kMetrics frame.
+  Status FetchMetrics(MetricsReplyPayload* reply, ErrorCode* error_code,
+                      std::string* error);
 
   /// Router data path: send a pre-encoded frame and return the matching
   /// reply frame verbatim (whatever its type), so the router relays
@@ -62,5 +71,12 @@ class Client {
   FrameParser parser_;
   std::uint32_t next_seq_ = 1;
 };
+
+/// Measure the peer's clock relative to the local trace clock with
+/// `samples` ping round trips (obs::EstimateClockOffset keeps the
+/// minimum-RTT one). Fails if the peer answers v1 pongs (no clock) or
+/// the local recorder was never started (NowNs() is meaningless).
+bool EstimatePeerClock(Client& client, int samples, obs::PeerClock* out,
+                       std::string* error);
 
 }  // namespace merch::net

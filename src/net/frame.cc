@@ -33,7 +33,7 @@ const char* ErrorCodeName(ErrorCode code) {
 void AppendFrame(const Frame& frame, std::string* out) {
   service::WireWriter w;
   for (char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
-  w.U16(kProtocolVersion);
+  w.U16(frame.version);
   w.U8(static_cast<std::uint8_t>(frame.type));
   w.U8(0);  // reserved
   w.U32(frame.seq);
@@ -90,7 +90,7 @@ FrameParser::Status FrameParser::Next(Frame* out, std::string* error,
       return Status::kBad;
     }
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     if (error != nullptr) {
       *error = "unsupported protocol version " + std::to_string(version);
     }
@@ -101,8 +101,13 @@ FrameParser::Status FrameParser::Next(Frame* out, std::string* error,
     if (error != nullptr) *error = "nonzero reserved header byte";
     return Status::kBad;
   }
+  // The valid type range depends on the frame's own version: the
+  // metrics frames only exist from v2 on.
+  const std::uint8_t max_type =
+      version >= 2 ? static_cast<std::uint8_t>(FrameType::kMetricsReply)
+                   : static_cast<std::uint8_t>(FrameType::kPong);
   if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kPong)) {
+      type > max_type) {
     if (error != nullptr) {
       *error = "unknown frame type " + std::to_string(type);
     }
@@ -121,9 +126,55 @@ FrameParser::Status FrameParser::Next(Frame* out, std::string* error,
 
   out->type = static_cast<FrameType>(type);
   out->seq = seq;
+  out->version = version;
   out->payload.assign(buf_, kFrameHeaderBytes, payload_len);
   buf_.erase(0, total);
   return Status::kFrame;
+}
+
+void AppendTraceContext(const obs::TraceContext& ctx,
+                        service::WireWriter* w) {
+  w->U64(ctx.trace_id);
+  w->U64(ctx.parent_span_id);
+}
+
+bool ReadTraceContext(service::WireReader* r, obs::TraceContext* ctx) {
+  r->U64(&ctx->trace_id);
+  r->U64(&ctx->parent_span_id);
+  return r->ok();
+}
+
+std::string EncodePongPayload(const PongPayload& pong) {
+  service::WireWriter w;
+  w.U64(pong.now_ns);
+  w.U64(pong.pid);
+  w.Str(pong.process_name);
+  return w.Take();
+}
+
+bool DecodePongPayload(const std::string& payload, PongPayload* pong) {
+  service::WireReader r(payload);
+  r.U64(&pong->now_ns);
+  r.U64(&pong->pid);
+  r.Str(&pong->process_name);
+  return r.ok() && r.remaining() == 0;
+}
+
+std::string EncodeMetricsReplyPayload(const MetricsReplyPayload& reply) {
+  service::WireWriter w;
+  w.Str(reply.process_name);
+  w.U64(reply.pid);
+  w.Str(reply.prometheus_text);
+  return w.Take();
+}
+
+bool DecodeMetricsReplyPayload(const std::string& payload,
+                               MetricsReplyPayload* reply) {
+  service::WireReader r(payload);
+  r.Str(&reply->process_name);
+  r.U64(&reply->pid);
+  r.Str(&reply->prometheus_text);
+  return r.ok() && r.remaining() == 0;
 }
 
 }  // namespace merch::net

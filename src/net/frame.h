@@ -12,28 +12,45 @@
 //   12      4     payload length (u32, bounded by max_frame_bytes)
 //   16      ...   payload (type-specific, see service/serialization.h)
 //
-// Payloads:
-//   kRequest   u32 deadline_ms (0 = server default) + encoded
-//              PlacementRequest
-//   kResponse  encoded PlacementResult
-//   kError     u16 ErrorCode + str message
-//   kPing      empty
-//   kPong      empty
+// Payloads, by header version (the server echoes the request frame's
+// version in its reply, so v1 clients keep working against a v2 server
+// — the per-message version rule this header always promised):
+//   v1 kRequest   u32 deadline_ms (0 = server default) + encoded
+//                 PlacementRequest
+//   v2 kRequest   u32 deadline_ms + u64 trace_id + u64 parent_span_id
+//                 (both 0 = untraced) + encoded PlacementRequest
+//   v1 kResponse  encoded PlacementResult
+//   v2 kResponse  u64 trace_id + u64 server_span_id + encoded
+//                 PlacementResult
+//   kError        u16 ErrorCode + str message
+//   kPing         empty
+//   v1 kPong      empty
+//   v2 kPong      u64 now_ns (sender's trace clock) + u64 pid +
+//                 str process_name — the raw material for the
+//                 clock-offset estimate behind tools/trace_merge
+//   v2 kMetrics        empty (pull the peer's Prometheus export)
+//   v2 kMetricsReply   str process_name + u64 pid + str prometheus_text
 //
 // Parsing is defensive end to end: a FrameParser fed truncated, oversized,
 // or garbage bytes reports kBad with a diagnostic — it never reads out of
 // bounds, never allocates more than the frame bound, and never aborts.
 // Version mismatches are detected per frame (the header carries the
-// version), so a future v2 server can answer v1 clients per message.
+// version), so the v2 server answers v1 clients per message.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "obs/distributed/context.h"
+#include "service/serialization.h"
+
 namespace merch::net {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
+/// Oldest version still answerable. v1 frames carry no trace context and
+/// get v1-shaped replies.
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Default ceiling on a single frame's payload. Large enough for a result
 /// with thousands of placements, small enough that a hostile length prefix
@@ -46,6 +63,10 @@ enum class FrameType : std::uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  // v2-only frames: a v1 peer never sees them (the parser rejects them
+  // on a v1 header).
+  kMetrics = 6,       // pull the peer's Prometheus text export
+  kMetricsReply = 7,  // the export, tagged with the peer's identity
 };
 
 /// Error-frame codes. kRetryLater is the load-shedding contract: the
@@ -53,7 +74,7 @@ enum class FrameType : std::uint8_t {
 /// the client may retry (with backoff) without changing anything.
 enum class ErrorCode : std::uint16_t {
   kMalformed = 1,            // undecodable or semantically broken frame
-  kUnsupportedVersion = 2,   // header version != kProtocolVersion
+  kUnsupportedVersion = 2,   // header version outside [kMin, kCurrent]
   kRetryLater = 3,           // admission control shed the request
   kTimeout = 4,              // per-request deadline expired server-side
   kInternal = 5,             // unexpected server-side failure
@@ -67,6 +88,10 @@ struct Frame {
   FrameType type = FrameType::kPing;
   std::uint32_t seq = 0;
   std::string payload;
+  // Declared last with a default so pre-v2 aggregate initializers
+  // ({type, seq, payload}) keep meaning "current protocol". Parsed
+  // frames carry the version actually seen on the wire; replies echo it.
+  std::uint16_t version = kProtocolVersion;
 };
 
 /// Serialize a frame (header + payload) into `out` (appended).
@@ -77,6 +102,30 @@ std::string EncodeFrame(const Frame& frame);
 std::string EncodeErrorPayload(ErrorCode code, const std::string& message);
 bool DecodeErrorPayload(const std::string& payload, ErrorCode* code,
                         std::string* message);
+
+/// The 16-byte trace context carried after deadline_ms in v2 kRequest
+/// payloads ({0,0} = untraced).
+void AppendTraceContext(const obs::TraceContext& ctx, service::WireWriter* w);
+bool ReadTraceContext(service::WireReader* r, obs::TraceContext* ctx);
+
+/// v2 kPong payload: the responder's trace-clock reading and identity.
+struct PongPayload {
+  std::uint64_t now_ns = 0;  // responder's TraceRecorder::NowNs()
+  std::uint64_t pid = 0;
+  std::string process_name;
+};
+std::string EncodePongPayload(const PongPayload& pong);
+bool DecodePongPayload(const std::string& payload, PongPayload* pong);
+
+/// kMetricsReply payload: one process's Prometheus export plus identity.
+struct MetricsReplyPayload {
+  std::string process_name;
+  std::uint64_t pid = 0;
+  std::string prometheus_text;
+};
+std::string EncodeMetricsReplyPayload(const MetricsReplyPayload& reply);
+bool DecodeMetricsReplyPayload(const std::string& payload,
+                               MetricsReplyPayload* reply);
 
 /// Incremental frame decoder for a byte stream. Feed() appends received
 /// bytes; Next() extracts complete frames until the buffer runs dry.

@@ -22,7 +22,10 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/distributed/context.h"
+#include "obs/distributed/federation.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/request.h"
 #include "service/serialization.h"
 #include "service/thread_pool.h"
@@ -66,6 +69,7 @@ struct ShardRouter::Impl {
     std::uint16_t port = 0;
     std::uint64_t generation = 0;
     std::string port_file;
+    obs::PeerClock clock;  // pid == 0 until a ping sync succeeded
   };
 
   mutable std::mutex mu;  // guards workers + stats + client_fds
@@ -110,6 +114,14 @@ struct ShardRouter::Impl {
       argv_s.insert(argv_s.end(),
                     {"--snapshot-save", cfg.worker_snapshot_save_prefix +
                                             ".shard" + std::to_string(shard)});
+    }
+    if (!cfg.worker_trace_prefix.empty()) {
+      // Distributed tracing: each shard records its own timeline and
+      // identifies itself, so trace_merge can stitch all exports.
+      argv_s.insert(argv_s.end(),
+                    {"--process-name", "shard" + std::to_string(shard),
+                     "--trace", cfg.worker_trace_prefix + ".shard" +
+                                    std::to_string(shard) + ".json"});
     }
     std::vector<char*> argv;
     argv.reserve(argv_s.size() + 1);
@@ -168,6 +180,74 @@ struct ShardRouter::Impl {
     return {workers[shard].port, workers[shard].generation};
   }
 
+  /// Ping-sync one worker's trace clock against the local recorder (the
+  /// minimum-RTT sample dates the worker clock; see obs/distributed).
+  /// Skipped when the local recorder is not running — there is no clock
+  /// to measure against; any stale estimate is cleared either way.
+  void SyncWorkerClock(std::size_t shard) {
+    std::uint16_t wport;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      workers[shard].clock = obs::PeerClock{};
+      wport = workers[shard].port;
+    }
+    if (wport == 0 || !obs::TraceRecorder::Instance().enabled()) return;
+    Client client;
+    std::string err;
+    obs::PeerClock clock;
+    if (!client.Connect(cfg.host, wport, &err) ||
+        !EstimatePeerClock(client, cfg.clock_sync_samples, &clock, &err)) {
+      MERCH_LOG(kWarn) << "router: clock sync with shard " << shard
+                       << " failed: " << err;
+      return;
+    }
+    MERCH_LOG(kInfo) << "router: shard " << shard << " clock offset "
+                     << clock.offset_ns << "ns (pid " << clock.pid << ")";
+    std::lock_guard<std::mutex> lock(mu);
+    workers[shard].clock = clock;
+  }
+
+  /// One fleet-level export: the router's own registry plus a live pull
+  /// from every shard, merged by obs::FederateMetrics.
+  bool FederatedPrometheus(std::string* out, std::string* error) {
+    std::vector<obs::ShardMetrics> shards;
+    obs::ShardMetrics own;
+    own.label = cfg.process_name;
+    if (!obs::ParsePrometheusText(
+            obs::MetricsRegistry::Instance().PrometheusText(), &own.metrics,
+            error)) {
+      if (error != nullptr) *error = "router export: " + *error;
+      return false;
+    }
+    shards.push_back(std::move(own));
+    for (std::size_t shard = 0; shard < workers.size(); ++shard) {
+      const auto [wport, wgen] = ShardEndpoint(shard);
+      (void)wgen;
+      const std::string label = "shard" + std::to_string(shard);
+      std::string err;
+      Client client;
+      MetricsReplyPayload reply;
+      ErrorCode code;
+      if (wport == 0 || !client.Connect(cfg.host, wport, &err) ||
+          client.FetchMetrics(&reply, &code, &err) != Client::Status::kOk) {
+        if (error != nullptr) {
+          *error = label + " unreachable for metrics pull" +
+                   (err.empty() ? "" : ": " + err);
+        }
+        return false;
+      }
+      obs::ShardMetrics sm;
+      sm.label = label;
+      if (!obs::ParsePrometheusText(reply.prometheus_text, &sm.metrics,
+                                    error)) {
+        if (error != nullptr) *error = label + " export: " + *error;
+        return false;
+      }
+      shards.push_back(std::move(sm));
+    }
+    return obs::FederateMetrics(shards, out, error);
+  }
+
   void MonitorLoop() {
     while (!stopping.load(std::memory_order_relaxed)) {
       for (std::size_t shard = 0; shard < workers.size(); ++shard) {
@@ -191,10 +271,15 @@ struct ShardRouter::Impl {
         }
         if (!cfg.restart_workers) continue;
         std::string err;
-        std::lock_guard<std::mutex> lock(mu);
-        if (SpawnWorker(shard, &err)) {
-          stats.restarts += 1;
+        bool respawned;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          respawned = SpawnWorker(shard, &err);
+          if (respawned) stats.restarts += 1;
+        }
+        if (respawned) {
           MERCH_METRIC_COUNT("merch_router_restarts_total", 1);
+          SyncWorkerClock(shard);  // the respawned worker's clock is new
         } else {
           MERCH_LOG(kError) << "router: respawn of shard " << shard
                             << " failed: " << err;
@@ -261,29 +346,60 @@ struct ShardRouter::Impl {
                          std::vector<std::unique_ptr<Client>>& shard_clients,
                          std::vector<std::uint64_t>& shard_generations) {
     if (frame.type == FrameType::kPing) {
-      return SendFrame(fd, Frame{FrameType::kPong, frame.seq, {}});
+      std::string payload;
+      if (frame.version >= 2) {
+        PongPayload pong;
+        pong.now_ns = obs::TraceRecorder::Instance().NowNs();
+        pong.pid = static_cast<std::uint64_t>(::getpid());
+        pong.process_name = cfg.process_name;
+        payload = EncodePongPayload(pong);
+      }
+      return SendFrame(fd, Frame{FrameType::kPong, frame.seq,
+                                 std::move(payload), frame.version});
+    }
+    if (frame.type == FrameType::kMetrics) {
+      // Metrics pull against the router aggregates the whole fleet.
+      std::string text, merr;
+      if (!FederatedPrometheus(&text, &merr)) {
+        return SendFrame(fd, Frame{FrameType::kError, frame.seq,
+                                   EncodeErrorPayload(ErrorCode::kInternal,
+                                                      merr),
+                                   frame.version});
+      }
+      MetricsReplyPayload reply;
+      reply.process_name = cfg.process_name;
+      reply.pid = static_cast<std::uint64_t>(::getpid());
+      reply.prometheus_text = std::move(text);
+      return SendFrame(fd, Frame{FrameType::kMetricsReply, frame.seq,
+                                 EncodeMetricsReplyPayload(reply),
+                                 frame.version});
     }
     if (frame.type != FrameType::kRequest) {
       Bump(&RouterStats::protocol_errors);
       return SendFrame(fd, Frame{FrameType::kError, frame.seq,
                                  EncodeErrorPayload(
                                      ErrorCode::kMalformed,
-                                     "unexpected frame type from client")});
+                                     "unexpected frame type from client"),
+                                 frame.version});
     }
 
-    // Decode just enough to shard: the canonical key. The worker re-runs
+    // Decode just enough to shard: the canonical key (v2 payloads carry
+    // the trace context between deadline and request). The worker re-runs
     // full validation; invalid requests are answered locally with the same
     // error-carrying PlacementResult the in-process service produces.
     service::WireReader r(frame.payload);
     std::uint32_t deadline_ms = 0;
+    obs::TraceContext ctx;
     service::PlacementRequest req;
     r.U32(&deadline_ms);
+    if (frame.version >= 2) ReadTraceContext(&r, &ctx);
     if (!service::DecodeRequest(&r, &req) || r.remaining() != 0) {
       Bump(&RouterStats::protocol_errors);
       return SendFrame(fd, Frame{FrameType::kError, frame.seq,
                                  EncodeErrorPayload(
                                      ErrorCode::kMalformed,
-                                     "undecodable request payload")});
+                                     "undecodable request payload"),
+                                 frame.version});
     }
     service::PlacementRequest canonical = req;
     if (const std::string cerr = service::CanonicalizeRequest(canonical);
@@ -292,17 +408,36 @@ struct ShardRouter::Impl {
       bad.request = req;
       bad.error = cerr;
       service::WireWriter w;
+      if (frame.version >= 2) {
+        w.U64(ctx.trace_id);
+        w.U64(0);  // answered locally: no server span
+      }
       service::EncodeResult(bad, &w);
-      return SendFrame(fd, Frame{FrameType::kResponse, frame.seq, w.Take()});
+      return SendFrame(fd, Frame{FrameType::kResponse, frame.seq, w.Take(),
+                                 frame.version});
     }
     const std::size_t shard = static_cast<std::size_t>(
         Fnv1a64(service::CanonicalKey(canonical)) % workers.size());
+
+    // The frame is relayed verbatim, so the client's trace context rides
+    // through to the shard; the router's own forward span joins the same
+    // trace via the scope installed here.
+    obs::TraceContextScope scope(ctx);
+    obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+    const std::uint64_t fwd_t0 =
+        ctx.valid() && rec.enabled() ? rec.NowNs() : 0;
 
     Frame reply;
     if (ForwardToShard(shard, frame, shard_clients, shard_generations,
                        &reply)) {
       Bump(&RouterStats::forwarded);
       MERCH_METRIC_COUNT("merch_router_forwarded_total", 1);
+      if (fwd_t0 != 0 && rec.enabled()) {
+        const std::uint64_t now = rec.NowNs();
+        rec.RecordSpan(obs::Category::kNet, "router.forward", fwd_t0,
+                       now > fwd_t0 ? now - fwd_t0 : 0, "shard",
+                       static_cast<std::int64_t>(shard));
+      }
       return SendFrame(fd, reply);
     }
     Bump(&RouterStats::worker_errors);
@@ -311,7 +446,8 @@ struct ShardRouter::Impl {
         fd, Frame{FrameType::kError, frame.seq,
                   EncodeErrorPayload(ErrorCode::kUnavailable,
                                      "shard worker unavailable, retry "
-                                     "later")});
+                                     "later"),
+                  frame.version});
   }
 
   bool ForwardToShard(std::size_t shard, const Frame& frame,
@@ -410,6 +546,7 @@ bool ShardRouter::Start(std::string* error) {
       Stop();
       return false;
     }
+    im.SyncWorkerClock(shard);
   }
   im.listen_fd = ListenOn(im.cfg.host, im.cfg.port, &im.port, error);
   if (im.listen_fd < 0) {
@@ -482,6 +619,26 @@ std::vector<int> ShardRouter::worker_pids() const {
   pids.reserve(impl_->workers.size());
   for (const Impl::Worker& w : impl_->workers) pids.push_back(w.pid);
   return pids;
+}
+
+std::vector<std::uint16_t> ShardRouter::worker_ports() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::uint16_t> ports;
+  ports.reserve(impl_->workers.size());
+  for (const Impl::Worker& w : impl_->workers) ports.push_back(w.port);
+  return ports;
+}
+
+std::vector<obs::PeerClock> ShardRouter::worker_clocks() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<obs::PeerClock> clocks;
+  clocks.reserve(impl_->workers.size());
+  for (const Impl::Worker& w : impl_->workers) clocks.push_back(w.clock);
+  return clocks;
+}
+
+bool ShardRouter::FederatedPrometheus(std::string* out, std::string* error) {
+  return impl_->FederatedPrometheus(out, error);
 }
 
 }  // namespace merch::net

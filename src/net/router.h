@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/distributed/export.h"
+
 namespace merch::net {
 
 struct RouterConfig {
@@ -44,6 +46,16 @@ struct RouterConfig {
   std::size_t max_frame_bytes = 4u << 20;
   /// Seconds to wait for a spawned worker to publish its port.
   double worker_start_timeout_seconds = 30.0;
+  /// When non-empty, each worker gets `--trace <prefix>.shard<i>.json
+  /// --process-name shard<i>` appended, and the router ping-syncs every
+  /// worker's trace clock after spawn (see worker_clocks()) so
+  /// tools/trace_merge can put all exports on one timeline.
+  std::string worker_trace_prefix;
+  /// Identity in v2 pongs / metrics replies and the `shard` label of the
+  /// router's own series in federated exports.
+  std::string process_name = "router";
+  /// Ping round trips per clock-offset estimate (minimum-RTT sample wins).
+  int clock_sync_samples = 8;
 };
 
 struct RouterStats {
@@ -81,6 +93,20 @@ class ShardRouter {
 
   /// Worker pids by shard (tests kill one to exercise restart-on-crash).
   std::vector<int> worker_pids() const;
+
+  /// Worker ports by shard (tests pull per-shard metrics directly).
+  std::vector<std::uint16_t> worker_ports() const;
+
+  /// Measured worker trace-clock offsets (empty entries when the local
+  /// recorder was not running at spawn time). Feed these to
+  /// obs::WriteProcessTrace as `peers` so trace_merge can align shards.
+  std::vector<obs::PeerClock> worker_clocks() const;
+
+  /// One fleet-level Prometheus export: the router's own registry plus a
+  /// live kMetrics pull from every shard, merged by obs::FederateMetrics.
+  /// False (with `*error`) if a shard is unreachable or the shard exports
+  /// disagree on histogram bucket layouts.
+  bool FederatedPrometheus(std::string* out, std::string* error);
 
  private:
   struct Impl;

@@ -19,6 +19,7 @@
 #include "common/log.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/distributed/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/serialization.h"
@@ -72,6 +73,10 @@ struct PlacementServer::Impl {
   struct Pending {
     Clock::time_point deadline;
     Clock::time_point t0;  // frame-decode time, for the latency histogram
+    std::uint64_t t0_trace_ns = 0;     // trace clock at decode (0 = untraced)
+    obs::TraceContext ctx;             // client's v2 context ({0,0} on v1)
+    std::uint64_t server_span_id = 0;  // this request's server-side span
+    std::uint16_t version = kProtocolVersion;  // echoed in the reply header
   };
 
   struct Conn {
@@ -114,19 +119,51 @@ struct PlacementServer::Impl {
     stats.*field += 1;
   }
 
+  /// Replies echo the request frame's version (per-message version rule:
+  /// a v1 client of a v2 server sees only v1-shaped frames).
   void QueueFrame(Conn& conn, FrameType type, std::uint32_t seq,
-                  std::string payload) {
+                  std::string payload,
+                  std::uint16_t version = kProtocolVersion) {
     Frame frame;
     frame.type = type;
     frame.seq = seq;
     frame.payload = std::move(payload);
+    frame.version = version;
     AppendFrame(frame, &conn.out);
   }
 
   void QueueError(Conn& conn, std::uint32_t seq, ErrorCode code,
-                  const std::string& message) {
+                  const std::string& message,
+                  std::uint16_t version = kProtocolVersion) {
     QueueFrame(conn, FrameType::kError, seq,
-               EncodeErrorPayload(code, message));
+               EncodeErrorPayload(code, message), version);
+  }
+
+  /// v2 responses lead with the trace context so the client can associate
+  /// the server's spans; v1 responses are the bare encoded result.
+  static std::string EncodeResponsePayload(
+      std::uint16_t version, const obs::TraceContext& ctx,
+      std::uint64_t server_span_id, const service::PlacementResult& result) {
+    service::WireWriter w;
+    if (version >= 2) {
+      w.U64(ctx.trace_id);
+      w.U64(server_span_id);
+    }
+    service::EncodeResult(result, &w);
+    return w.Take();
+  }
+
+  /// The server-side "net.request" span: decode-to-reply, parented under
+  /// the client's span via the propagated context.
+  static void RecordRequestSpan(const obs::TraceContext& ctx,
+                                std::uint64_t t0_trace_ns) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+    if (!ctx.valid() || t0_trace_ns == 0 || !rec.enabled()) return;
+    obs::TraceContextScope scope(ctx);
+    const std::uint64_t now = rec.NowNs();
+    rec.RecordSpan(obs::Category::kNet, "net.request", t0_trace_ns,
+                   now > t0_trace_ns ? now - t0_trace_ns : 0, "parent_span",
+                   static_cast<std::int64_t>(ctx.parent_span_id));
   }
 
   /// Write as much of conn.out as the socket accepts. False = dead peer.
@@ -193,39 +230,51 @@ struct PlacementServer::Impl {
     MERCH_METRIC_COUNT("merch_net_requests_total", 1);
     const Clock::time_point t0 = Clock::now();
 
+    obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+    const std::uint64_t t0_trace_ns = rec.enabled() ? rec.NowNs() : 0;
+
     service::WireReader r(frame.payload);
     std::uint32_t deadline_ms = 0;
+    obs::TraceContext ctx;
     service::PlacementRequest req;
     r.U32(&deadline_ms);
+    if (frame.version >= 2) ReadTraceContext(&r, &ctx);
     if (!service::DecodeRequest(&r, &req) || r.remaining() != 0) {
       Bump(&ServerStats::protocol_errors);
       MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
       QueueError(conn, frame.seq, ErrorCode::kMalformed,
-                 "undecodable request payload");
+                 "undecodable request payload", frame.version);
       return;
     }
+    // Every span recorded while handling this request belongs to the
+    // client's trace, parented under a fresh server-side span.
+    const std::uint64_t server_span_id = ctx.valid() ? obs::NewSpanId() : 0;
     if (draining) {
       QueueError(conn, frame.seq, ErrorCode::kShuttingDown,
-                 "server is draining");
+                 "server is draining", frame.version);
       return;
     }
     if (conn.pending.count(frame.seq) != 0) {
       Bump(&ServerStats::protocol_errors);
       MERCH_METRIC_COUNT("merch_net_protocol_errors_total", 1);
       QueueError(conn, frame.seq, ErrorCode::kMalformed,
-                 "sequence id already in flight on this connection");
+                 "sequence id already in flight on this connection",
+                 frame.version);
       return;
     }
 
     // Cache hits cost no simulation, so they bypass admission control:
     // a saturated server keeps serving its warm set at full speed.
     if (auto cached = svc->Peek(req)) {
-      service::WireWriter w;
-      service::EncodeResult(*cached, &w);
-      QueueFrame(conn, FrameType::kResponse, frame.seq, w.Take());
+      QueueFrame(conn, FrameType::kResponse, frame.seq,
+                 EncodeResponsePayload(frame.version, ctx, server_span_id,
+                                       *cached),
+                 frame.version);
       Bump(&ServerStats::responses);
       MERCH_METRIC_COUNT("merch_net_responses_total", 1);
-      MERCH_METRIC_OBSERVE(
+      RecordRequestSpan(ctx, t0_trace_ns);
+      obs::TraceContextScope scope(ctx);
+      MERCH_METRIC_OBSERVE_TRACED(
           "merch_net_request_seconds",
           std::chrono::duration<double>(Clock::now() - t0).count());
       return;
@@ -236,9 +285,12 @@ struct PlacementServer::Impl {
         svc->QueueDepth() >= cfg.max_queue_depth) {
       Bump(&ServerStats::shed);
       MERCH_METRIC_COUNT("merch_net_shed_total", 1);
-      MERCH_TRACE_INSTANT(obs::Category::kNet, "net.shed");
+      {
+        obs::TraceContextScope scope(ctx);
+        MERCH_TRACE_INSTANT(obs::Category::kNet, "net.shed");
+      }
       QueueError(conn, frame.seq, ErrorCode::kRetryLater,
-                 "server over capacity, retry later");
+                 "server over capacity, retry later", frame.version);
       return;
     }
 
@@ -246,6 +298,10 @@ struct PlacementServer::Impl {
     if (deadline_ms > cfg.max_deadline_ms) deadline_ms = cfg.max_deadline_ms;
     Pending pending;
     pending.t0 = t0;
+    pending.t0_trace_ns = t0_trace_ns;
+    pending.ctx = ctx;
+    pending.server_span_id = server_span_id;
+    pending.version = frame.version;
     pending.deadline = t0 + std::chrono::milliseconds(deadline_ms);
     conn.pending.emplace(frame.seq, pending);
     inflight.fetch_add(1, std::memory_order_relaxed);
@@ -254,16 +310,22 @@ struct PlacementServer::Impl {
 
     const std::uint64_t conn_id = conn.id;
     const std::uint32_t seq = frame.seq;
+    const std::uint16_t version = frame.version;
+    // The service captures the submitting thread's context, so install
+    // {trace, server span} around SubmitAsync: the simulation's spans
+    // nest under this request's server-side span.
+    obs::TraceContextScope scope({ctx.trace_id, server_span_id});
     svc->SubmitAsync(
         std::move(req),
-        [this, conn_id, seq](const service::PlacementResult& result) {
+        [this, conn_id, seq, version, ctx,
+         server_span_id](const service::PlacementResult& result) {
           // Worker thread (or inline): encode here so the reactor only
           // moves bytes, then wake it.
-          service::WireWriter w;
-          service::EncodeResult(result, &w);
+          std::string payload =
+              EncodeResponsePayload(version, ctx, server_span_id, result);
           {
             std::lock_guard<std::mutex> lock(comp_mu);
-            completions.push_back({conn_id, seq, w.Take()});
+            completions.push_back({conn_id, seq, std::move(payload)});
           }
           Wake();
         });
@@ -304,10 +366,34 @@ struct PlacementServer::Impl {
         return false;
       }
       switch (frame.type) {
-        case FrameType::kPing:
+        case FrameType::kPing: {
           Bump(&ServerStats::pings);
-          QueueFrame(conn, FrameType::kPong, frame.seq, {});
+          std::string payload;
+          if (frame.version >= 2) {
+            // v2 pongs carry this process's trace clock + identity: the
+            // raw material for cross-process clock-offset estimation.
+            PongPayload pong;
+            pong.now_ns = obs::TraceRecorder::Instance().NowNs();
+            pong.pid = static_cast<std::uint64_t>(::getpid());
+            pong.process_name = cfg.process_name;
+            payload = EncodePongPayload(pong);
+          }
+          QueueFrame(conn, FrameType::kPong, frame.seq, std::move(payload),
+                     frame.version);
           break;
+        }
+        case FrameType::kMetrics: {
+          // Metrics pull (v2): answer with this process's Prometheus
+          // export so a router can federate shard metrics.
+          MetricsReplyPayload reply;
+          reply.process_name = cfg.process_name;
+          reply.pid = static_cast<std::uint64_t>(::getpid());
+          reply.prometheus_text =
+              obs::MetricsRegistry::Instance().PrometheusText();
+          QueueFrame(conn, FrameType::kMetricsReply, frame.seq,
+                     EncodeMetricsReplyPayload(reply), frame.version);
+          break;
+        }
         case FrameType::kRequest:
           HandleRequestFrame(conn, frame, draining);
           break;
@@ -338,11 +424,15 @@ struct PlacementServer::Impl {
       const double seconds =
           std::chrono::duration<double>(Clock::now() - pit->second.t0)
               .count();
+      const Pending pending = pit->second;
       conn.pending.erase(pit);
-      QueueFrame(conn, FrameType::kResponse, c.seq, std::move(c.payload));
+      QueueFrame(conn, FrameType::kResponse, c.seq, std::move(c.payload),
+                 pending.version);
       Bump(&ServerStats::responses);
       MERCH_METRIC_COUNT("merch_net_responses_total", 1);
-      MERCH_METRIC_OBSERVE("merch_net_request_seconds", seconds);
+      RecordRequestSpan(pending.ctx, pending.t0_trace_ns);
+      obs::TraceContextScope scope(pending.ctx);
+      MERCH_METRIC_OBSERVE_TRACED("merch_net_request_seconds", seconds);
     }
     MERCH_METRIC_GAUGE_SET("merch_net_inflight",
                            inflight.load(std::memory_order_relaxed));
@@ -353,7 +443,7 @@ struct PlacementServer::Impl {
       for (auto it = conn.pending.begin(); it != conn.pending.end();) {
         if (it->second.deadline <= now) {
           QueueError(conn, it->first, ErrorCode::kTimeout,
-                     "request deadline expired");
+                     "request deadline expired", it->second.version);
           it = conn.pending.erase(it);
           Bump(&ServerStats::timeouts);
           MERCH_METRIC_COUNT("merch_net_timeout_total", 1);

@@ -59,6 +59,9 @@ struct ServerConfig {
   /// Stop() after the drain.
   std::string snapshot_load;
   std::string snapshot_save;
+  /// Identity reported in v2 pongs and kMetricsReply frames (and stitched
+  /// into merged traces by tools/trace_merge).
+  std::string process_name = "merchd";
 };
 
 struct ServerStats {

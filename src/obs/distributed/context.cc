@@ -1,0 +1,65 @@
+#include "obs/distributed/context.h"
+
+#include <atomic>
+#include <chrono>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace merch::obs {
+namespace {
+
+thread_local TraceContext t_current;
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ProcessSeed() {
+  // Computed once: pid ⊕ process start time. Two processes forked in the
+  // same nanosecond still differ by pid.
+  static const std::uint64_t seed = [] {
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#if defined(_WIN32)
+    const std::uint64_t pid = static_cast<std::uint64_t>(_getpid());
+#else
+    const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+#endif
+    return now ^ (pid << 32) ^ pid;
+  }();
+  return seed;
+}
+
+std::uint64_t NewId() {
+  static std::atomic<std::uint64_t> counter{0};
+  // Whiten a strictly increasing counter: ids from one process never
+  // collide with each other, and the seed makes cross-process collisions
+  // a 2^-48 lottery per pair.
+  std::uint64_t id = 0;
+  while (id == 0) {
+    const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    id = SplitMix64(ProcessSeed() + n) & kTraceIdMask;
+  }
+  return id;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return t_current; }
+
+void SetCurrentTraceContext(const TraceContext& ctx) { t_current = ctx; }
+
+std::uint64_t NewTraceId() { return NewId(); }
+
+std::uint64_t NewSpanId() { return NewId(); }
+
+}  // namespace merch::obs

@@ -1,0 +1,63 @@
+// Cross-process trace context: the 16-byte identity (trace_id,
+// parent_span_id) that ties spans recorded in different processes into
+// one causal tree. The context travels on the wire in protocol-v2
+// REQUEST/RESPONSE frames (src/net/frame.h) and lives in a thread-local
+// between hops, so any span recorded while a TraceContextScope is active
+// is stamped with the current trace_id automatically (see
+// TraceRecorder::RecordSpan).
+//
+// Unlike the MERCH_TRACE_* macros this module is always compiled — the
+// context is plain data and setting a thread-local is cheap — so the
+// wire protocol can carry contexts even in a -DMERCH_OBS=OFF build
+// (they just never reach a recorded span there).
+#pragma once
+
+#include <cstdint>
+
+namespace merch::obs {
+
+/// Identifiers are generated within 48 bits so they survive a round trip
+/// through JSON numbers (IEEE-754 doubles are exact up to 2^53): the
+/// Chrome-trace exporter writes trace ids as plain numbers and
+/// tools/trace_merge reads them back.
+inline constexpr std::uint64_t kTraceIdMask = (1ull << 48) - 1;
+
+/// The propagated pair. trace_id == 0 means "no active trace": spans
+/// recorded outside any context keep trace_id 0 and are left unlinked by
+/// the merge tool.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// The calling thread's active context ({0, 0} when none).
+TraceContext CurrentTraceContext();
+void SetCurrentTraceContext(const TraceContext& ctx);
+
+/// Nonzero 48-bit identifier, unique within and (probabilistically)
+/// across processes: a per-process counter whitened with the pid and the
+/// process start time.
+std::uint64_t NewTraceId();
+/// Same generator; span ids share the id space with trace ids.
+std::uint64_t NewSpanId();
+
+/// RAII: install `ctx` as the thread's current context, restore the
+/// previous one on scope exit.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx)
+      : saved_(CurrentTraceContext()) {
+    SetCurrentTraceContext(ctx);
+  }
+  ~TraceContextScope() { SetCurrentTraceContext(saved_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace merch::obs

@@ -1,0 +1,84 @@
+#include "obs/distributed/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace merch::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += static_cast<char>(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t EstimateClockOffset(const std::vector<ClockSample>& samples) {
+  bool have = false;
+  std::uint64_t best_rtt = 0;
+  std::int64_t best_offset = 0;
+  for (const ClockSample& s : samples) {
+    if (s.local_recv_ns < s.local_send_ns) continue;
+    const std::uint64_t rtt = s.local_recv_ns - s.local_send_ns;
+    if (have && rtt >= best_rtt) continue;
+    const std::int64_t midpoint =
+        static_cast<std::int64_t>(s.local_send_ns + rtt / 2);
+    best_offset = midpoint - static_cast<std::int64_t>(s.peer_now_ns);
+    best_rtt = rtt;
+    have = true;
+  }
+  return best_offset;
+}
+
+ExportMeta BuildExportMeta(const ProcessExportMeta& meta) {
+  ExportMeta out;
+  out.process_name = meta.process_name;
+  out.pid = meta.pid;
+#if !defined(_WIN32)
+  if (out.pid == 0) out.pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  if (out.pid == 0) out.pid = 1;
+
+  char buf[64];
+  out.extra_json = "{\"process_name\": \"";
+  AppendEscaped(&out.extra_json, meta.process_name);
+  std::snprintf(buf, sizeof buf, "\", \"pid\": %" PRIu64 ", \"peers\": [",
+                out.pid);
+  out.extra_json += buf;
+  bool first = true;
+  for (const PeerClock& peer : meta.peers) {
+    if (!first) out.extra_json += ", ";
+    first = false;
+    out.extra_json += "{\"name\": \"";
+    AppendEscaped(&out.extra_json, peer.name);
+    std::snprintf(buf, sizeof buf,
+                  "\", \"pid\": %" PRIu64 ", \"offset_ns\": %" PRId64 "}",
+                  peer.pid, peer.offset_ns);
+    out.extra_json += buf;
+  }
+  out.extra_json += "]}";
+  return out;
+}
+
+bool WriteProcessTrace(const TraceRecorder& rec, const std::string& path,
+                       const ProcessExportMeta& meta, std::string* error) {
+  const ExportMeta lowered = BuildExportMeta(meta);
+  return rec.WriteChromeJson(path, error, &lowered);
+}
+
+}  // namespace merch::obs

@@ -1,0 +1,60 @@
+// Per-process export metadata for distributed traces: which process an
+// exported ring buffer belongs to, and how its trace clock relates to
+// its peers'. Every process clock is "nanoseconds since
+// TraceRecorder::Start()", so two processes' timestamps are unrelated
+// until shifted by a measured offset; tools/trace_merge consumes the
+// metadata written here to put all files on one timeline.
+//
+// The offset model is classic ping/pong (NTP with one sample kept): the
+// pinger records send/receive times around a PING, the peer reports its
+// own trace-clock reading in the v2 PONG payload, and the sample with
+// the smallest round trip — the one with the least queueing noise —
+// dates the peer reading at the midpoint of the round trip. The error
+// is bounded by half that minimum RTT (loopback: microseconds, far
+// below the millisecond-scale spans being aligned).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace merch::obs {
+
+/// A measured peer clock relation: `peer trace time + offset_ns =
+/// local trace time`.
+struct PeerClock {
+  std::string name;  // peer's process name, as reported in its PONG
+  std::uint64_t pid = 0;
+  std::int64_t offset_ns = 0;
+};
+
+/// One ping/pong measurement, all in trace-clock nanoseconds.
+struct ClockSample {
+  std::uint64_t local_send_ns = 0;  // local clock when PING left
+  std::uint64_t local_recv_ns = 0;  // local clock when PONG arrived
+  std::uint64_t peer_now_ns = 0;    // peer clock carried in the PONG
+};
+
+/// Offset from the minimum-RTT sample: midpoint(local send, local recv)
+/// minus the peer reading. Empty input returns 0.
+std::int64_t EstimateClockOffset(const std::vector<ClockSample>& samples);
+
+/// Everything trace_merge needs to know about one process's export.
+struct ProcessExportMeta {
+  std::string process_name;
+  std::uint64_t pid = 0;  // 0 = use the calling process's pid
+  std::vector<PeerClock> peers;
+};
+
+/// Lower to the trace recorder's ExportMeta: real pid, process_name, and
+/// a merchMeta JSON object `{"process_name":…, "pid":…, "peers":[…]}`.
+ExportMeta BuildExportMeta(const ProcessExportMeta& meta);
+
+/// WriteChromeJson with the process metadata attached.
+bool WriteProcessTrace(const TraceRecorder& rec, const std::string& path,
+                       const ProcessExportMeta& meta,
+                       std::string* error = nullptr);
+
+}  // namespace merch::obs

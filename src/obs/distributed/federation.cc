@@ -1,0 +1,384 @@
+#include "obs/distributed/federation.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace merch::obs {
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  // Counter/bucket values are integral u64 well below 2^53: print them
+  // without an exponent so the output byte-matches the per-shard
+  // exporter. Everything else gets the exporter's %.9g.
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  *out += buf;
+}
+
+void AppendExemplar(std::string* out, const PromExemplar& ex) {
+  if (ex.trace_id == 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " # {trace_id=\"%" PRIx64 "\"} ",
+                ex.trace_id);
+  *out += buf;
+  char val[48];
+  std::snprintf(val, sizeof val, "%.9g", ex.value);
+  *out += val;
+}
+
+struct RawBucket {
+  double le = 0;  // +Inf bucket holds INFINITY
+  std::uint64_t cumulative = 0;
+  PromExemplar exemplar;
+};
+
+struct RawHistogram {
+  std::vector<RawBucket> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+bool Fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Consume a `{…}` label block starting at `*pos` (which must point at
+/// '{'); returns the inner text and advances past the closing brace.
+/// Understands quoted values so a '}' inside a label value is not a
+/// terminator.
+bool TakeLabelBlock(const std::string& line, std::size_t* pos,
+                    std::string* inner) {
+  std::size_t i = *pos + 1;
+  bool in_string = false;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '}') {
+      *inner = line.substr(*pos + 1, i - *pos - 1);
+      *pos = i + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The value of label `key` inside a raw label block, or "" if absent.
+std::string LabelValue(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const std::size_t at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = labels.find('"', start);
+  if (end == std::string::npos) return "";
+  return labels.substr(start, end - start);
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text, ParsedMetrics* out,
+                         std::string* error) {
+  *out = ParsedMetrics{};
+  std::map<std::string, std::string> types;
+  std::map<std::string, RawHistogram> raw_histograms;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t name_start = 7;
+      const std::size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) {
+        return Fail(error, line_no, "malformed # TYPE line");
+      }
+      types[line.substr(name_start, name_end - name_start)] =
+          line.substr(name_end + 1);
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments
+
+    // Sample line: name[{labels}] value [# {labels} exemplar-value]
+    std::size_t i = 0;
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    if (i == 0) return Fail(error, line_no, "expected metric name");
+    const std::string name = line.substr(0, i);
+    std::string labels;
+    if (i < line.size() && line[i] == '{') {
+      if (!TakeLabelBlock(line, &i, &labels)) {
+        return Fail(error, line_no, "unterminated label block");
+      }
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    char* value_end = nullptr;
+    const double value = std::strtod(line.c_str() + i, &value_end);
+    if (value_end == line.c_str() + i) {
+      return Fail(error, line_no, "expected sample value");
+    }
+    i = static_cast<std::size_t>(value_end - line.c_str());
+
+    PromExemplar exemplar;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '#') {
+      ++i;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '{') {
+        return Fail(error, line_no, "malformed exemplar");
+      }
+      std::string ex_labels;
+      if (!TakeLabelBlock(line, &i, &ex_labels)) {
+        return Fail(error, line_no, "unterminated exemplar labels");
+      }
+      const std::string id = LabelValue(ex_labels, "trace_id");
+      exemplar.trace_id = std::strtoull(id.c_str(), nullptr, 16);
+      while (i < line.size() && line[i] == ' ') ++i;
+      exemplar.value = std::strtod(line.c_str() + i, nullptr);
+    }
+
+    if (name == "merch_build_info") {
+      out->build_info_labels = labels;
+      continue;
+    }
+
+    // Histogram series: name_bucket / name_sum / name_count where the
+    // stem was declared `# TYPE <stem> histogram`.
+    auto stem_of = [&](const char* suffix) -> std::string {
+      const std::size_t len = std::strlen(suffix);
+      if (name.size() <= len || name.compare(name.size() - len, len, suffix)) {
+        return "";
+      }
+      const std::string stem = name.substr(0, name.size() - len);
+      const auto it = types.find(stem);
+      return it != types.end() && it->second == "histogram" ? stem : "";
+    };
+    if (const std::string stem = stem_of("_bucket"); !stem.empty()) {
+      const std::string le = LabelValue(labels, "le");
+      if (le.empty()) return Fail(error, line_no, "bucket without le label");
+      RawBucket bucket;
+      bucket.le = le == "+Inf" ? INFINITY : std::strtod(le.c_str(), nullptr);
+      bucket.cumulative = static_cast<std::uint64_t>(value);
+      bucket.exemplar = exemplar;
+      raw_histograms[stem].buckets.push_back(bucket);
+      continue;
+    }
+    if (const std::string stem = stem_of("_sum"); !stem.empty()) {
+      raw_histograms[stem].sum = value;
+      continue;
+    }
+    if (const std::string stem = stem_of("_count"); !stem.empty()) {
+      raw_histograms[stem].count = static_cast<std::uint64_t>(value);
+      continue;
+    }
+
+    const auto type_it = types.find(name);
+    if (type_it == types.end()) {
+      return Fail(error, line_no, "sample for undeclared metric '" + name + "'");
+    }
+    if (type_it->second == "counter") {
+      out->counters[name] = value;
+    } else if (type_it->second == "gauge") {
+      out->gauges[name] = value;
+    } else {
+      return Fail(error, line_no,
+                  "unsupported metric type '" + type_it->second + "'");
+    }
+  }
+
+  for (auto& [name, raw] : raw_histograms) {
+    PromHistogram h;
+    for (std::size_t b = 0; b < raw.buckets.size(); ++b) {
+      const RawBucket& bucket = raw.buckets[b];
+      if (std::isinf(bucket.le)) {
+        if (b + 1 != raw.buckets.size()) {
+          return Fail(error, 0,
+                      "histogram '" + name + "': +Inf bucket is not last");
+        }
+      } else {
+        if (!h.bounds.empty() && bucket.le <= h.bounds.back()) {
+          return Fail(error, 0,
+                      "histogram '" + name + "': le bounds not ascending");
+        }
+        h.bounds.push_back(bucket.le);
+      }
+      h.cumulative.push_back(bucket.cumulative);
+      h.exemplars.push_back(bucket.exemplar);
+    }
+    if (h.cumulative.size() != h.bounds.size() + 1) {
+      return Fail(error, 0, "histogram '" + name + "': missing +Inf bucket");
+    }
+    h.count = raw.count;
+    h.sum = raw.sum;
+    out->histograms[name] = std::move(h);
+  }
+  return true;
+}
+
+bool FederateMetrics(const std::vector<ShardMetrics>& shards,
+                     std::string* out_text, std::string* error) {
+  std::string out;
+
+  // Build info: one line per shard, shard label first.
+  bool any_build_info = false;
+  for (const ShardMetrics& shard : shards) {
+    if (shard.metrics.build_info_labels.empty()) continue;
+    if (!any_build_info) out += "# TYPE merch_build_info gauge\n";
+    any_build_info = true;
+    out += "merch_build_info{shard=\"" + shard.label + "\"," +
+           shard.metrics.build_info_labels + "} 1\n";
+  }
+
+  std::set<std::string> counter_names;
+  std::set<std::string> gauge_names;
+  std::set<std::string> histogram_names;
+  for (const ShardMetrics& shard : shards) {
+    for (const auto& [name, v] : shard.metrics.counters) {
+      (void)v;
+      counter_names.insert(name);
+    }
+    for (const auto& [name, v] : shard.metrics.gauges) {
+      (void)v;
+      gauge_names.insert(name);
+    }
+    for (const auto& [name, h] : shard.metrics.histograms) {
+      (void)h;
+      histogram_names.insert(name);
+    }
+  }
+
+  const auto emit_scalar = [&](const std::string& name, const char* type,
+                               const std::map<std::string, double>
+                                   ParsedMetrics::* field) {
+    out += "# TYPE " + name + " " + type + "\n";
+    double total = 0;
+    for (const ShardMetrics& shard : shards) {
+      const auto& values = shard.metrics.*field;
+      const auto it = values.find(name);
+      if (it == values.end()) continue;
+      out += name + "{shard=\"" + shard.label + "\"} ";
+      AppendNumber(&out, it->second);
+      out += "\n";
+      total += it->second;
+    }
+    out += name + " ";
+    AppendNumber(&out, total);
+    out += "\n";
+  };
+  for (const std::string& name : counter_names) {
+    emit_scalar(name, "counter", &ParsedMetrics::counters);
+  }
+  for (const std::string& name : gauge_names) {
+    emit_scalar(name, "gauge", &ParsedMetrics::gauges);
+  }
+
+  for (const std::string& name : histogram_names) {
+    PromHistogram merged;
+    const std::string* first_shard = nullptr;
+    for (const ShardMetrics& shard : shards) {
+      const auto it = shard.metrics.histograms.find(name);
+      if (it == shard.metrics.histograms.end()) continue;
+      const PromHistogram& h = it->second;
+      if (first_shard == nullptr) {
+        merged = h;
+        first_shard = &shard.label;
+        continue;
+      }
+      if (h.bounds != merged.bounds) {
+        if (error != nullptr) {
+          const auto join = [](const std::vector<double>& bounds) {
+            std::string s;
+            char buf[48];
+            for (std::size_t i = 0; i < bounds.size(); ++i) {
+              if (i > 0) s += ",";
+              std::snprintf(buf, sizeof buf, "%.9g", bounds[i]);
+              s += buf;
+            }
+            return s;
+          };
+          *error = "histogram '" + name + "': shard \"" + *first_shard +
+                   "\" bounds [" + join(merged.bounds) + "] != shard \"" +
+                   shard.label + "\" bounds [" + join(h.bounds) +
+                   "]; refusing to merge mismatched bucket layouts";
+        }
+        return false;
+      }
+      for (std::size_t b = 0; b < merged.cumulative.size(); ++b) {
+        merged.cumulative[b] += h.cumulative[b];
+        // Keep the most extreme exemplar: the whole point is linking the
+        // slowest request in the fleet to its trace.
+        if (h.exemplars[b].trace_id != 0 &&
+            (merged.exemplars[b].trace_id == 0 ||
+             h.exemplars[b].value > merged.exemplars[b].value)) {
+          merged.exemplars[b] = h.exemplars[b];
+        }
+      }
+      merged.count += h.count;
+      merged.sum += h.sum;
+    }
+
+    out += "# TYPE " + name + " histogram\n";
+    for (std::size_t b = 0; b < merged.cumulative.size(); ++b) {
+      out += name + "_bucket{le=\"";
+      if (b < merged.bounds.size()) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.9g", merged.bounds[b]);
+        out += buf;
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      AppendNumber(&out, static_cast<double>(merged.cumulative[b]));
+      AppendExemplar(&out, merged.exemplars[b]);
+      out += "\n";
+    }
+    // Per-shard series before the fleet totals, so re-parsing the
+    // federated text (labels are not keyed by the parser) lands on the
+    // merged values.
+    for (const ShardMetrics& shard : shards) {
+      const auto it = shard.metrics.histograms.find(name);
+      if (it == shard.metrics.histograms.end()) continue;
+      out += name + "_count{shard=\"" + shard.label + "\"} ";
+      AppendNumber(&out, static_cast<double>(it->second.count));
+      out += "\n" + name + "_sum{shard=\"" + shard.label + "\"} ";
+      AppendNumber(&out, it->second.sum);
+      out += "\n";
+    }
+    out += name + "_sum ";
+    AppendNumber(&out, merged.sum);
+    out += "\n" + name + "_count ";
+    AppendNumber(&out, static_cast<double>(merged.count));
+    out += "\n";
+  }
+
+  *out_text = std::move(out);
+  return true;
+}
+
+}  // namespace merch::obs

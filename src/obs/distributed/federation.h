@@ -1,0 +1,64 @@
+// Metrics federation: parse the Prometheus text exposition produced by
+// MetricsRegistry::PrometheusText (including OpenMetrics-style
+// exemplars) and merge N shard exports into one fleet-level export.
+//
+// Merge semantics:
+//   - counters and gauges: exact sums, plus one `{shard="…"}`-labelled
+//     series per shard so the individual contributions stay visible;
+//   - histograms: le-bucket-wise sums of the cumulative bucket counts,
+//     which is only meaningful when every shard uses the same bucket
+//     layout — mismatched layouts are a hard error, never a silent
+//     mis-sum (the buckets would not be comparable);
+//   - exemplars: per bucket, the largest-valued exemplar across shards
+//     survives, so a p99 outlier keeps its trace_id through federation;
+//   - merch_build_info: passed through per shard with the shard label
+//     spliced in (summing build infos is meaningless).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace merch::obs {
+
+/// Exemplar attached to one histogram bucket: the trace that produced
+/// one recent observation in that bucket. trace_id 0 = no exemplar.
+struct PromExemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0;
+};
+
+struct PromHistogram {
+  std::vector<double> bounds;              // finite le bounds, ascending
+  std::vector<std::uint64_t> cumulative;   // bounds.size()+1; last = +Inf
+  std::uint64_t count = 0;
+  double sum = 0;
+  std::vector<PromExemplar> exemplars;     // bounds.size()+1, per bucket
+};
+
+/// One parsed export. Values are doubles (counter values in this
+/// codebase are u64 well below 2^53, so sums stay exact).
+struct ParsedMetrics {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, PromHistogram> histograms;
+  std::string build_info_labels;  // raw label block, "" if absent
+};
+
+/// Parse `text` (the subset of the exposition format this codebase
+/// emits). Unknown or malformed lines fail with a line-numbered error.
+bool ParsePrometheusText(const std::string& text, ParsedMetrics* out,
+                         std::string* error);
+
+struct ShardMetrics {
+  std::string label;  // value for the `shard` label, e.g. "0", "router"
+  ParsedMetrics metrics;
+};
+
+/// Render the federated export. Returns false (with a metric-naming
+/// error) on mismatched histogram bucket layouts.
+bool FederateMetrics(const std::vector<ShardMetrics>& shards,
+                     std::string* out_text, std::string* error);
+
+}  // namespace merch::obs

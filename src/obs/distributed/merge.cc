@@ -1,0 +1,342 @@
+#include "obs/distributed/merge.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/json.h"
+#include "obs/validate.h"
+
+namespace merch::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += static_cast<char>(c);
+    }
+  }
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  *out += buf;
+}
+
+/// Re-serialize a parsed JSON value (the merge rewrites `ts`, everything
+/// else passes through).
+void AppendJson(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendJsonNumber(out, v.number);
+      break;
+    case JsonValue::Kind::kString:
+      *out += '"';
+      AppendEscaped(out, v.str);
+      *out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) *out += ", ";
+        first = false;
+        AppendJson(item, out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.fields) {
+        if (!first) *out += ", ";
+        first = false;
+        *out += '"';
+        AppendEscaped(out, key);
+        *out += "\": ";
+        AppendJson(value, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+struct FileInfo {
+  JsonValue doc;
+  std::string process_name;
+  std::uint64_t pid = 0;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> peers;  // pid, offset
+  double shift_us = 0;
+  bool anchored = false;
+};
+
+/// One span eligible to anchor a flow arrow.
+struct FlowPoint {
+  std::uint64_t pid = 0;
+  double tid = 0;
+  double ts = 0;   // already shifted + rebased
+  double dur = 0;
+};
+
+bool Fail(std::string* error, std::size_t file_index, const std::string& why) {
+  if (error != nullptr) {
+    *error = "input " + std::to_string(file_index) + ": " + why;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MergeTraces(const std::vector<std::string>& jsons, std::string* out_json,
+                 std::string* error, MergeSummary* summary) {
+  if (jsons.empty()) {
+    if (error != nullptr) *error = "no input traces";
+    return false;
+  }
+  std::vector<FileInfo> files(jsons.size());
+  std::map<std::uint64_t, std::size_t> by_pid;
+  for (std::size_t i = 0; i < jsons.size(); ++i) {
+    FileInfo& file = files[i];
+    std::string parse_error;
+    if (!ParseJson(jsons[i], &file.doc, &parse_error)) {
+      return Fail(error, i, "not valid JSON: " + parse_error);
+    }
+    if (!file.doc.is_object() || file.doc.Find("traceEvents") == nullptr ||
+        !file.doc.Find("traceEvents")->is_array()) {
+      return Fail(error, i, "missing 'traceEvents' array");
+    }
+    const JsonValue* meta = file.doc.Find("merchMeta");
+    if (meta == nullptr || !meta->is_object()) {
+      return Fail(error, i,
+                  "missing 'merchMeta' (not exported with process metadata; "
+                  "see obs/distributed/export.h)");
+    }
+    const JsonValue* name = meta->Find("process_name");
+    const JsonValue* pid = meta->Find("pid");
+    if (name == nullptr || !name->is_string() || pid == nullptr ||
+        !pid->is_number()) {
+      return Fail(error, i, "merchMeta missing process_name/pid");
+    }
+    file.process_name = name->str;
+    file.pid = static_cast<std::uint64_t>(pid->number);
+    if (const JsonValue* peers = meta->Find("peers");
+        peers != nullptr && peers->is_array()) {
+      for (const JsonValue& peer : peers->items) {
+        const JsonValue* peer_pid = peer.Find("pid");
+        const JsonValue* offset = peer.Find("offset_ns");
+        if (peer_pid == nullptr || !peer_pid->is_number() ||
+            offset == nullptr || !offset->is_number()) {
+          return Fail(error, i, "malformed merchMeta peer entry");
+        }
+        file.peers.emplace_back(static_cast<std::uint64_t>(peer_pid->number),
+                                static_cast<std::int64_t>(offset->number));
+      }
+    }
+    if (!by_pid.emplace(file.pid, i).second) {
+      return Fail(error, i,
+                  "duplicate pid " + std::to_string(file.pid) +
+                      " (two inputs from the same process?)");
+    }
+  }
+
+  // Root: a process no other file measured as a peer — the initiating
+  // client. Fall back to the first input.
+  std::set<std::uint64_t> referenced;
+  for (const FileInfo& file : files) {
+    for (const auto& [peer_pid, offset] : file.peers) {
+      (void)offset;
+      referenced.insert(peer_pid);
+    }
+  }
+  std::size_t root = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (referenced.count(files[i].pid) == 0) {
+      root = i;
+      break;
+    }
+  }
+
+  // Propagate shifts over the peer edges, both directions: if A measured
+  // B at offset o (t_B + o = t_A), then shift_B = shift_A + o.
+  files[root].anchored = true;
+  std::vector<std::size_t> queue = {root};
+  while (!queue.empty()) {
+    const std::size_t at = queue.back();
+    queue.pop_back();
+    for (const auto& [peer_pid, offset] : files[at].peers) {
+      const auto it = by_pid.find(peer_pid);
+      if (it == by_pid.end() || files[it->second].anchored) continue;
+      files[it->second].shift_us =
+          files[at].shift_us + static_cast<double>(offset) / 1000.0;
+      files[it->second].anchored = true;
+      queue.push_back(it->second);
+    }
+    for (const auto& [other_pid, other_index] : by_pid) {
+      (void)other_pid;
+      if (files[other_index].anchored) continue;
+      for (const auto& [peer_pid, offset] : files[other_index].peers) {
+        if (peer_pid != files[at].pid) continue;
+        files[other_index].shift_us =
+            files[at].shift_us - static_cast<double>(offset) / 1000.0;
+        files[other_index].anchored = true;
+        queue.push_back(other_index);
+        break;
+      }
+    }
+  }
+
+  // Rebase so the earliest shifted timestamp lands at 0 (per-process
+  // clocks start at their own Start(), so raw shifted values can be
+  // negative, which Chrome rejects).
+  double min_ts = 0;
+  bool have_ts = false;
+  for (const FileInfo& file : files) {
+    for (const JsonValue& ev : file.doc.Find("traceEvents")->items) {
+      const JsonValue* ts = ev.Find("ts");
+      if (ts == nullptr || !ts->is_number()) continue;
+      const double shifted = ts->number + file.shift_us;
+      if (!have_ts || shifted < min_ts) min_ts = shifted;
+      have_ts = true;
+    }
+  }
+
+  MergeSummary sum;
+  sum.files = files.size();
+  sum.root_process = files[root].process_name;
+  for (const FileInfo& file : files) {
+    if (!file.anchored) ++sum.unanchored;
+  }
+
+  std::map<std::uint64_t, std::map<std::uint64_t, FlowPoint>> flows_by_trace;
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[96];
+  for (const FileInfo& file : files) {
+    for (const JsonValue& ev : file.doc.Find("traceEvents")->items) {
+      if (!ev.is_object()) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\n{";
+      bool first_field = true;
+      double adjusted_ts = 0;
+      bool has_ts = false;
+      for (const auto& [key, value] : ev.fields) {
+        if (!first_field) out += ", ";
+        first_field = false;
+        out += '"';
+        AppendEscaped(&out, key);
+        out += "\": ";
+        if (key == "ts" && value.is_number()) {
+          adjusted_ts = value.number + file.shift_us - min_ts;
+          has_ts = true;
+          std::snprintf(buf, sizeof buf, "%.3f", adjusted_ts);
+          out += buf;
+        } else {
+          AppendJson(value, &out);
+        }
+      }
+      out += "}";
+      ++sum.events;
+
+      // Candidate flow anchor: a complete span stamped with a trace id.
+      const JsonValue* ph = ev.Find("ph");
+      const JsonValue* args = ev.Find("args");
+      if (has_ts && ph != nullptr && ph->is_string() && ph->str == "X" &&
+          args != nullptr && args->is_object()) {
+        const JsonValue* trace_id = args->Find("trace_id");
+        if (trace_id != nullptr && trace_id->is_number() &&
+            trace_id->number > 0) {
+          const std::uint64_t id =
+              static_cast<std::uint64_t>(trace_id->number);
+          const JsonValue* tid = ev.Find("tid");
+          const JsonValue* dur = ev.Find("dur");
+          FlowPoint point;
+          point.pid = file.pid;
+          point.tid = tid != nullptr && tid->is_number() ? tid->number : 0;
+          point.ts = adjusted_ts;
+          point.dur = dur != nullptr && dur->is_number() ? dur->number : 0;
+          // Earliest span per (trace, process): the arrow enters each
+          // process where the request first touched it.
+          auto [it, inserted] =
+              flows_by_trace[id].emplace(file.pid, point);
+          if (!inserted && point.ts < it->second.ts) it->second = point;
+        }
+      }
+    }
+  }
+
+  // Flow arrows for every trace spanning at least two processes.
+  for (const auto& [trace_id, by_process] : flows_by_trace) {
+    if (by_process.size() < 2) continue;
+    ++sum.linked_traces;
+    std::vector<FlowPoint> chain;
+    for (const auto& [pid, point] : by_process) {
+      (void)pid;
+      chain.push_back(point);
+    }
+    std::stable_sort(chain.begin(), chain.end(),
+                     [](const FlowPoint& a, const FlowPoint& b) {
+                       return a.ts < b.ts;
+                     });
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      const FlowPoint& point = chain[k];
+      const char* ph =
+          k == 0 ? "s" : (k + 1 == chain.size() ? "f" : "t");
+      // Nudge the binding point inside the span so the arrow attaches to
+      // the slice rather than its edge.
+      const double ts = point.ts + std::min(point.dur / 2.0, 1.0);
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"name\": \"request\", \"cat\": \"net\", \"ph\": \"";
+      out += ph;
+      std::snprintf(buf, sizeof buf,
+                    "\", \"id\": %" PRIu64 ", \"ts\": %.3f, \"pid\": %" PRIu64
+                    ", \"tid\": ",
+                    trace_id, ts, point.pid);
+      out += buf;
+      AppendJsonNumber(&out, point.tid);
+      if (ph[0] == 'f') out += ", \"bp\": \"e\"";
+      out += "}";
+      ++sum.flows;
+    }
+  }
+  out += "\n]}\n";
+
+  const TraceValidation check = ValidateChromeTrace(out);
+  if (!check.ok) {
+    if (error != nullptr) {
+      *error = "internal: merged trace failed validation: " + check.error;
+    }
+    return false;
+  }
+
+  if (summary != nullptr) *summary = sum;
+  *out_json = std::move(out);
+  return true;
+}
+
+}  // namespace merch::obs

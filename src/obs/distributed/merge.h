@@ -1,0 +1,38 @@
+// Cross-process trace merge: stitch per-process Chrome-trace exports
+// (written via obs/distributed/export.h, so each carries merchMeta with
+// pid/process_name/peer clock offsets) into one Perfetto-loadable
+// timeline.
+//
+//   - Clock alignment: each file's timestamps are shifted into a common
+//     frame by walking the measured peer offsets (peer time + offset =
+//     measurer time) from a root process — the one no other file lists
+//     as a peer, i.e. the client that initiated the requests. The whole
+//     merged timeline is then rebased so the earliest event sits at 0.
+//   - Flow events: spans that share a nonzero trace_id across two or
+//     more processes get Chrome flow arrows ("s"/"t"/"f" with the
+//     trace_id as flow id) from the earliest such span in each process
+//     to the next, drawing the client → router → shard hop chain.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace merch::obs {
+
+struct MergeSummary {
+  std::size_t files = 0;
+  std::size_t events = 0;         // events carried through
+  std::size_t flows = 0;          // synthesized flow events
+  std::size_t linked_traces = 0;  // trace ids seen in >= 2 processes
+  std::size_t unanchored = 0;     // files with no offset path to the root
+  std::string root_process;
+};
+
+/// Merge the parsed contents of `jsons` (one Chrome-trace JSON document
+/// per process) into `*out_json`. Fails on unparseable input, missing
+/// merchMeta, or duplicate pids.
+bool MergeTraces(const std::vector<std::string>& jsons, std::string* out_json,
+                 std::string* error, MergeSummary* summary = nullptr);
+
+}  // namespace merch::obs

@@ -20,15 +20,25 @@ void AppendCount(std::string* out, std::uint64_t v) {
   *out += buf;
 }
 
+// Build identity, baked in by src/obs/CMakeLists.txt at configure time.
+#if !defined(MERCH_VERSION)
+#define MERCH_VERSION "0.0.0"
+#endif
+#if !defined(MERCH_GIT_SHA)
+#define MERCH_GIT_SHA "unknown"
+#endif
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
          "histogram bounds must be ascending");
 }
 
-void Histogram::Observe(double v) {
+void Histogram::Observe(double v, std::uint64_t exemplar_trace_id) {
   // First bound >= v: Prometheus `le` semantics (v on a boundary counts
   // in that boundary's bucket).
   const std::size_t idx = static_cast<std::size_t>(
@@ -36,12 +46,26 @@ void Histogram::Observe(double v) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[idx].trace_id.store(exemplar_trace_id,
+                                   std::memory_order_relaxed);
+    exemplars_[idx].value.store(v, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::uint64_t> Histogram::BucketCounts() const {
   std::vector<std::uint64_t> out(buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> Histogram::Exemplars() const {
+  std::vector<std::pair<std::uint64_t, double>> out(exemplars_.size());
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    out[i] = {exemplars_[i].trace_id.load(std::memory_order_relaxed),
+              exemplars_[i].value.load(std::memory_order_relaxed)};
   }
   return out;
 }
@@ -97,6 +121,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     hs.name = name;
     hs.bounds = h->bounds();
     hs.counts = h->BucketCounts();
+    hs.exemplars = h->Exemplars();
     hs.count = h->Count();
     hs.sum = h->Sum();
     snap.histograms.push_back(std::move(hs));
@@ -107,6 +132,18 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::PrometheusText() const {
   const MetricsSnapshot snap = Snapshot();
   std::string out;
+  // Build identity first, in every export: federation keys per-shard
+  // provenance off it, and a scrape with nothing recorded yet still
+  // identifies the process.
+  out += "# TYPE merch_build_info gauge\n";
+  out += "merch_build_info{version=\"" MERCH_VERSION
+         "\",git_sha=\"" MERCH_GIT_SHA "\",obs=\"";
+#if defined(MERCH_OBS_ENABLED)
+  out += "on";
+#else
+  out += "off";
+#endif
+  out += "\"} 1\n";
   for (const auto& [name, value] : snap.counters) {
     out += "# TYPE " + name + " counter\n" + name + " ";
     AppendCount(&out, value);
@@ -119,6 +156,16 @@ std::string MetricsRegistry::PrometheusText() const {
   }
   for (const HistogramSnapshot& h : snap.histograms) {
     out += "# TYPE " + h.name + " histogram\n";
+    // OpenMetrics-style exemplar suffix on buckets that have one: the
+    // hex trace_id links the observation to its distributed trace.
+    const auto append_exemplar = [&](std::size_t i) {
+      if (i >= h.exemplars.size() || h.exemplars[i].first == 0) return;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, " # {trace_id=\"%" PRIx64 "\"} ",
+                    h.exemplars[i].first);
+      out += buf;
+      AppendNumber(&out, h.exemplars[i].second);
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];
@@ -126,10 +173,12 @@ std::string MetricsRegistry::PrometheusText() const {
       AppendNumber(&out, h.bounds[i]);
       out += "\"} ";
       AppendCount(&out, cumulative);
+      append_exemplar(i);
       out += "\n";
     }
     out += h.name + "_bucket{le=\"+Inf\"} ";
     AppendCount(&out, h.count);
+    append_exemplar(h.bounds.size());
     out += "\n" + h.name + "_sum ";
     AppendNumber(&out, h.sum);
     out += "\n" + h.name + "_count ";
@@ -184,6 +233,10 @@ std::string MetricsRegistry::Json() const {
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) {
+    e.trace_id.store(0, std::memory_order_relaxed);
+    e.value.store(0.0, std::memory_order_relaxed);
+  }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }

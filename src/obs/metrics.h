@@ -15,7 +15,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/distributed/context.h"  // MERCH_METRIC_OBSERVE_TRACED
 
 namespace merch::obs {
 
@@ -53,12 +56,20 @@ class Histogram {
   /// `bounds` must be strictly ascending; the +Inf bucket is implicit.
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double v);
+  /// With a nonzero `exemplar_trace_id`, the observation also becomes
+  /// the bucket's exemplar (latest writer wins — the two stores are
+  /// individually relaxed, so a reader can pair an id with a neighbour
+  /// observation's value; exemplars are diagnostic samples, not
+  /// accounting), exported OpenMetrics-style so a slow bucket links to
+  /// its distributed trace.
+  void Observe(double v, std::uint64_t exemplar_trace_id = 0);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Raw (non-cumulative) per-bucket counts; size() == bounds().size()+1,
   /// the final entry being the +Inf bucket.
   std::vector<std::uint64_t> BucketCounts() const;
+  /// Per-bucket (trace_id, value) exemplars; trace_id 0 = none yet.
+  std::vector<std::pair<std::uint64_t, double>> Exemplars() const;
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -66,8 +77,14 @@ class Histogram {
   void Reset();
 
  private:
+  struct BucketExemplar {
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::vector<BucketExemplar> exemplars_;            // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -79,6 +96,8 @@ struct HistogramSnapshot {
   std::string name;
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // raw, bounds.size() + 1 entries
+  // Per-bucket (trace_id, value); trace_id 0 = no exemplar recorded.
+  std::vector<std::pair<std::uint64_t, double>> exemplars;
   std::uint64_t count = 0;
   double sum = 0;
 };
@@ -161,6 +180,18 @@ class MetricsRegistry {
     merch_obs_hist.Observe(static_cast<double>(v));                     \
   } while (0)
 
+/// Observe `v` and, when a distributed trace context is active, record
+/// the observation as the bucket's exemplar so the export links the
+/// latency to its trace (obs/distributed/context.h).
+#define MERCH_METRIC_OBSERVE_TRACED(name, v)                            \
+  do {                                                                  \
+    static ::merch::obs::Histogram& merch_obs_hist =                    \
+        ::merch::obs::MetricsRegistry::Instance().GetHistogram(         \
+            name, ::merch::obs::DefaultLatencyBounds());                \
+    merch_obs_hist.Observe(static_cast<double>(v),                      \
+                           ::merch::obs::CurrentTraceContext().trace_id); \
+  } while (0)
+
 #else  // !MERCH_OBS_ENABLED
 
 #define MERCH_METRIC_COUNT(name, n) \
@@ -174,6 +205,9 @@ class MetricsRegistry {
   } while (0)
 #define MERCH_METRIC_OBSERVE(name, v) \
   do {                                \
+  } while (0)
+#define MERCH_METRIC_OBSERVE_TRACED(name, v) \
+  do {                                       \
   } while (0)
 
 #endif  // MERCH_OBS_ENABLED

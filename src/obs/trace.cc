@@ -7,6 +7,8 @@
 #include <map>
 #include <utility>
 
+#include "obs/distributed/context.h"
+
 namespace merch::obs {
 namespace {
 
@@ -144,6 +146,7 @@ void TraceRecorder::RecordSpan(Category cat, const char* name,
   ev.arg = arg;
   ev.ts_ns = start_ns;
   ev.dur_ns = dur_ns;
+  ev.trace_id = CurrentTraceContext().trace_id;
   ev.cat = cat;
   ev.span = true;
   Append(ev);
@@ -157,6 +160,7 @@ void TraceRecorder::RecordInstant(Category cat, const char* name,
   ev.arg_name = arg_name;
   ev.arg = arg;
   ev.ts_ns = NowNs();
+  ev.trace_id = CurrentTraceContext().trace_id;
   ev.cat = cat;
   ev.span = false;
   Append(ev);
@@ -208,13 +212,24 @@ std::uint64_t TraceRecorder::dropped() const {
   return total;
 }
 
-std::string TraceRecorder::ChromeJson() const {
+std::string TraceRecorder::ChromeJson(const ExportMeta* meta) const {
   const std::vector<TraceEvent> events = Snapshot();
+  const std::uint64_t pid = meta != nullptr ? meta->pid : 1;
   std::string out;
   out.reserve(events.size() * 96 + 64);
   out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   char buf[160];
   bool first = true;
+  if (meta != nullptr && !meta->process_name.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                  "%" PRIu64 ", \"tid\": 0, \"args\": {\"name\": \"",
+                  pid);
+    out += buf;
+    AppendJsonEscaped(&out, meta->process_name.c_str());
+    out += "\"}}";
+    first = false;
+  }
   for (const TraceEvent& ev : events) {
     if (!first) out += ",";
     first = false;
@@ -235,18 +250,34 @@ std::string TraceRecorder::ChromeJson() const {
     } else {
       out += ", \"s\": \"t\"";  // thread-scoped instant
     }
-    std::snprintf(buf, sizeof buf, ", \"pid\": 1, \"tid\": %u",
-                  ev.tid);
+    std::snprintf(buf, sizeof buf, ", \"pid\": %" PRIu64 ", \"tid\": %u",
+                  pid, ev.tid);
     out += buf;
-    if (ev.arg_name != nullptr) {
-      out += ", \"args\": {\"";
-      AppendJsonEscaped(&out, ev.arg_name);
-      std::snprintf(buf, sizeof buf, "\": %" PRId64 "}", ev.arg);
-      out += buf;
+    // trace_id stays within 48 bits (obs/distributed/context.h), so a
+    // plain JSON number round-trips exactly through double parsers.
+    if (ev.arg_name != nullptr || ev.trace_id != 0) {
+      out += ", \"args\": {";
+      if (ev.arg_name != nullptr) {
+        out += "\"";
+        AppendJsonEscaped(&out, ev.arg_name);
+        std::snprintf(buf, sizeof buf, "\": %" PRId64, ev.arg);
+        out += buf;
+        if (ev.trace_id != 0) out += ", ";
+      }
+      if (ev.trace_id != 0) {
+        std::snprintf(buf, sizeof buf, "\"trace_id\": %" PRIu64, ev.trace_id);
+        out += buf;
+      }
+      out += "}";
     }
     out += "}";
   }
-  out += "\n]}\n";
+  out += "\n]";
+  if (meta != nullptr && !meta->extra_json.empty()) {
+    out += ", \"merchMeta\": ";
+    out += meta->extra_json;
+  }
+  out += "}\n";
   return out;
 }
 
@@ -287,9 +318,9 @@ std::string TraceRecorder::TextSummary() const {
   return out;
 }
 
-bool TraceRecorder::WriteChromeJson(const std::string& path,
-                                    std::string* error) const {
-  const std::string json = ChromeJson();
+bool TraceRecorder::WriteChromeJson(const std::string& path, std::string* error,
+                                    const ExportMeta* meta) const {
+  const std::string json = ChromeJson(meta);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";

@@ -50,9 +50,22 @@ struct TraceEvent {
   std::int64_t arg = 0;
   std::uint64_t ts_ns = 0;   // nanoseconds since Start()
   std::uint64_t dur_ns = 0;  // spans only; 0 for instants
+  std::uint64_t trace_id = 0;  // distributed trace id; 0 = not in a trace
   std::uint32_t tid = 0;     // small per-thread id (assigned at first use)
   Category cat = Category::kApp;
   bool span = false;  // true = complete span ("X"), false = instant ("i")
+};
+
+/// Per-process identity attached to an export so tools/trace_merge can
+/// stitch files from different processes: the real pid replaces the
+/// default `"pid": 1`, the process name becomes a Chrome "M" metadata
+/// event, and `extra_json` (a complete JSON object, typically built by
+/// obs/distributed/export.h) is emitted verbatim as a top-level
+/// `"merchMeta"` member carrying peer clock offsets.
+struct ExportMeta {
+  std::string process_name;
+  std::uint64_t pid = 1;
+  std::string extra_json;  // "" = omit the merchMeta member
 };
 
 class TraceRecorder {
@@ -92,13 +105,15 @@ class TraceRecorder {
   std::uint64_t dropped() const;
 
   /// Chrome trace_event JSON (the `{"traceEvents": [...]}` object form).
-  std::string ChromeJson() const;
+  /// With `meta`, events carry the real pid, a process_name metadata
+  /// event is emitted, and meta->extra_json becomes `"merchMeta"`.
+  std::string ChromeJson(const ExportMeta* meta = nullptr) const;
   /// Per-(category, name) count / total / mean table, for terminals.
   std::string TextSummary() const;
-  /// Write ChromeJson() to `path`. Returns false (and sets `*error`) on
-  /// I/O failure.
-  bool WriteChromeJson(const std::string& path,
-                       std::string* error = nullptr) const;
+  /// Write ChromeJson(meta) to `path`. Returns false (and sets `*error`)
+  /// on I/O failure.
+  bool WriteChromeJson(const std::string& path, std::string* error = nullptr,
+                       const ExportMeta* meta = nullptr) const;
 
  private:
   struct ThreadBuffer {

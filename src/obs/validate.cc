@@ -18,13 +18,18 @@ bool CheckEvent(const JsonValue& ev, std::size_t index, TraceValidation* v) {
   if (name == nullptr || !name->is_string() || name->str.empty()) {
     return FailEvent(v, index, "missing string 'name'");
   }
-  const JsonValue* cat = ev.Find("cat");
-  if (cat == nullptr || !cat->is_string() || cat->str.empty()) {
-    return FailEvent(v, index, "missing string 'cat'");
-  }
   const JsonValue* ph = ev.Find("ph");
   if (ph == nullptr || !ph->is_string()) {
     return FailEvent(v, index, "missing string 'ph'");
+  }
+  if (ph->str == "M") {
+    // Process/thread metadata (e.g. process_name): no cat/ts required.
+    ++v->metadata;
+    return true;
+  }
+  const JsonValue* cat = ev.Find("cat");
+  if (cat == nullptr || !cat->is_string() || cat->str.empty()) {
+    return FailEvent(v, index, "missing string 'cat'");
   }
   const JsonValue* ts = ev.Find("ts");
   if (ts == nullptr || !ts->is_number() || ts->number < 0) {
@@ -39,6 +44,12 @@ bool CheckEvent(const JsonValue& ev, std::size_t index, TraceValidation* v) {
     ++v->spans;
   } else if (ph->str == "i") {
     ++v->instants;
+  } else if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+    const JsonValue* id = ev.Find("id");
+    if (id == nullptr || !id->is_number()) {
+      return FailEvent(v, index, "flow event missing numeric 'id'");
+    }
+    ++v->flows;
   } else {
     return FailEvent(v, index, "unexpected ph '" + ph->str + "'");
   }

@@ -15,13 +15,17 @@ struct TraceValidation {
   std::size_t events = 0;
   std::size_t spans = 0;
   std::size_t instants = 0;
+  std::size_t flows = 0;     // flow events ("s"/"t"/"f") — merged traces
+  std::size_t metadata = 0;  // "M" events (process_name); not in `events`
   std::set<std::string> categories;  // distinct `cat` values seen
 };
 
 /// Checks that `json` is well-formed JSON shaped like a Chrome trace:
 /// a top-level object with a `traceEvents` array whose entries each carry
-/// a string `name`, a string `cat`, a one-char `ph` of "X" or "i", a
-/// non-negative numeric `ts`, and (for "X" events) a non-negative `dur`.
+/// a string `name` and a `ph` of "X", "i", "M", or a flow phase
+/// ("s"/"t"/"f"). "X"/"i"/flow events also need a string `cat` and a
+/// non-negative numeric `ts`; "X" additionally a non-negative `dur`;
+/// flow events a numeric `id` binding the arrow endpoints.
 TraceValidation ValidateChromeTrace(const std::string& json);
 
 }  // namespace merch::obs

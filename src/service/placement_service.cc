@@ -15,6 +15,7 @@
 #include "baselines/memory_optimizer.h"
 #include "baselines/pm_only.h"
 #include "baselines/static_priority.h"
+#include "obs/distributed/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/policy.h"
@@ -127,8 +128,13 @@ std::vector<PlacementService::Ticket> PlacementService::SubmitFused(
       std::lock_guard<std::mutex> lock(mu_);
       ++fused_groups_;
     }
+    // The submitter's trace context rides to the worker thread, so the
+    // fused-group span lands in the caller's distributed trace.
     const bool accepted = pool_.Submit(
-        [this, members] { RunFusedJob(std::move(*members)); });
+        [this, members, ctx = obs::CurrentTraceContext()] {
+          obs::TraceContextScope scope(ctx);
+          RunFusedJob(std::move(*members));
+        });
     if (!accepted) {  // shutting down: fail the members instead of hanging
       for (FusedMember& m : *members) {
         PlacementResult bad;
@@ -216,8 +222,12 @@ PlacementService::Ticket PlacementService::SubmitInternal(
     inflight_.emplace(key, std::move(entry));
   }
 
+  // Capture the submitter's trace context (e.g. the server's per-request
+  // context) so the simulation's spans join the caller's trace.
   const bool accepted = pool_.Submit(
-      [this, key, request = std::move(request), promise]() mutable {
+      [this, key, request = std::move(request), promise,
+       ctx = obs::CurrentTraceContext()]() mutable {
+        obs::TraceContextScope scope(ctx);
         RunJob(key, request, promise);
       });
   if (!accepted) {  // shutting down: fail the request instead of hanging it
@@ -264,7 +274,7 @@ void PlacementService::RunJob(
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
+  MERCH_METRIC_OBSERVE_TRACED("merch_service_request_seconds", seconds);
 }
 
 void PlacementService::RunFusedJob(std::vector<FusedMember> members) {
@@ -284,7 +294,7 @@ void PlacementService::RunFusedJob(std::vector<FusedMember> members) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    MERCH_METRIC_OBSERVE("merch_service_request_seconds", seconds);
+    MERCH_METRIC_OBSERVE_TRACED("merch_service_request_seconds", seconds);
   }
 }
 

@@ -1,0 +1,419 @@
+// Tests for the distributed-observability layer (src/obs/distributed):
+// trace-context generation and scoping, span stamping, clock-offset
+// estimation, process export metadata, Prometheus parsing/federation
+// (including the mismatched-bucket-layout rejection), and the
+// cross-process trace merge with flow-event synthesis.
+//
+// Carries the "obs" ctest label (`ctest -L obs`).
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/distributed/context.h"
+#include "obs/distributed/export.h"
+#include "obs/distributed/federation.h"
+#include "obs/distributed/merge.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+
+namespace merch::obs {
+namespace {
+
+// --- trace context -------------------------------------------------------
+
+TEST(Context, IdsAreNonzeroDistinctAnd48Bit) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = i % 2 == 0 ? NewTraceId() : NewSpanId();
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(id & ~kTraceIdMask, 0u) << "id exceeds 48 bits";
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id";
+  }
+}
+
+TEST(Context, ScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentTraceContext(), (TraceContext{0, 0}));
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    TraceContextScope outer({42, 7});
+    EXPECT_EQ(CurrentTraceContext(), (TraceContext{42, 7}));
+    EXPECT_TRUE(CurrentTraceContext().valid());
+    {
+      TraceContextScope inner({99, 42});
+      EXPECT_EQ(CurrentTraceContext(), (TraceContext{99, 42}));
+    }
+    EXPECT_EQ(CurrentTraceContext(), (TraceContext{42, 7}));
+  }
+  EXPECT_EQ(CurrentTraceContext(), (TraceContext{0, 0}));
+}
+
+TEST(Context, SpansAreStampedWithTheActiveTraceId) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Start();
+  rec.RecordSpan(Category::kApp, "outside", 0, 10);
+  {
+    TraceContextScope scope({0xABCDEF, 1});
+    rec.RecordSpan(Category::kApp, "inside", 20, 10);
+    rec.RecordInstant(Category::kApp, "inside-instant");
+  }
+  rec.Stop();
+  std::uint64_t outside_id = 1, inside_id = 0, instant_id = 0;
+  for (const TraceEvent& ev : rec.Snapshot()) {
+    const std::string name = ev.name;
+    if (name == "outside") outside_id = ev.trace_id;
+    if (name == "inside") inside_id = ev.trace_id;
+    if (name == "inside-instant") instant_id = ev.trace_id;
+  }
+  EXPECT_EQ(outside_id, 0u);
+  EXPECT_EQ(inside_id, 0xABCDEFu);
+  EXPECT_EQ(instant_id, 0xABCDEFu);
+}
+
+// --- clock offsets -------------------------------------------------------
+
+TEST(ClockOffset, MinimumRttSampleWins) {
+  // Sample 1: RTT 100, midpoint 150, peer read 1000 -> offset -850.
+  // Sample 2: RTT 40 (least queueing noise), midpoint 320, peer read
+  // 1320 -> offset -1000. The estimator must keep sample 2.
+  const std::vector<ClockSample> samples = {
+      {100, 200, 1000},
+      {300, 340, 1320},
+      {400, 600, 1200},
+  };
+  EXPECT_EQ(EstimateClockOffset(samples), -1000);
+  EXPECT_EQ(EstimateClockOffset({}), 0);
+}
+
+TEST(ClockOffset, OffsetMapsPeerTimeToLocalTime) {
+  // peer time + offset = local time: a peer whose clock started 5ms
+  // after ours reads 5ms less at the same instant.
+  const std::vector<ClockSample> samples = {{10'000'000, 10'002'000,
+                                             5'001'000}};
+  EXPECT_EQ(EstimateClockOffset(samples), 10'001'000 - 5'001'000);
+}
+
+// --- export metadata -----------------------------------------------------
+
+TEST(ProcessExport, MetaCarriesIdentityAndPeers) {
+  ProcessExportMeta meta;
+  meta.process_name = "client";
+  meta.pid = 123;
+  meta.peers.push_back({"server", 456, -7890});
+  const ExportMeta lowered = BuildExportMeta(meta);
+  EXPECT_EQ(lowered.process_name, "client");
+  EXPECT_EQ(lowered.pid, 123u);
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(lowered.extra_json, &doc, &err)) << err;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("process_name")->str, "client");
+  EXPECT_EQ(doc.Find("pid")->number, 123);
+  const JsonValue* peers = doc.Find("peers");
+  ASSERT_TRUE(peers != nullptr && peers->is_array());
+  ASSERT_EQ(peers->items.size(), 1u);
+  EXPECT_EQ(peers->items[0].Find("name")->str, "server");
+  EXPECT_EQ(peers->items[0].Find("pid")->number, 456);
+  EXPECT_EQ(peers->items[0].Find("offset_ns")->number, -7890);
+}
+
+TEST(ProcessExport, ChromeJsonEmbedsMerchMeta) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Start();
+  rec.RecordSpan(Category::kApp, "work", 0, 5);
+  rec.Stop();
+  ProcessExportMeta meta;
+  meta.process_name = "merchctl";
+  meta.pid = 77;
+  const ExportMeta lowered = BuildExportMeta(meta);
+  const std::string json = rec.ChromeJson(&lowered);
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(json, &doc, &err)) << err;
+  const JsonValue* mm = doc.Find("merchMeta");
+  ASSERT_TRUE(mm != nullptr && mm->is_object());
+  EXPECT_EQ(mm->Find("pid")->number, 77);
+  // The export stays a valid Chrome trace (with the process_name "M"
+  // metadata event counted, not rejected).
+  const TraceValidation v = ValidateChromeTrace(json);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_GE(v.metadata, 1u);
+}
+
+// --- Prometheus parsing --------------------------------------------------
+
+TEST(PromParse, RoundTripsTheRegistryExport) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.Reset();
+  reg.GetCounter("rt_requests_total").Add(281);
+  reg.GetGauge("rt_depth").Set(2.5);
+  Histogram& h = reg.GetHistogram("rt_seconds", {0.1, 1.0});
+  h.Observe(0.05, /*exemplar_trace_id=*/0xBEEF);
+  h.Observe(0.5);
+  h.Observe(3.0);
+
+  ParsedMetrics parsed;
+  std::string err;
+  ASSERT_TRUE(ParsePrometheusText(reg.PrometheusText(), &parsed, &err))
+      << err;
+  EXPECT_EQ(parsed.counters.at("rt_requests_total"), 281);
+  EXPECT_EQ(parsed.gauges.at("rt_depth"), 2.5);
+  // Every export carries the build-info identity (version/sha/obs).
+  EXPECT_NE(parsed.build_info_labels.find("version="), std::string::npos);
+  EXPECT_NE(parsed.build_info_labels.find("obs="), std::string::npos);
+
+  const PromHistogram& hist = parsed.histograms.at("rt_seconds");
+  ASSERT_EQ(hist.bounds, (std::vector<double>{0.1, 1.0}));
+  EXPECT_EQ(hist.cumulative, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_NEAR(hist.sum, 3.55, 1e-9);
+  ASSERT_EQ(hist.exemplars.size(), 3u);
+  EXPECT_EQ(hist.exemplars[0].trace_id, 0xBEEFu);
+  EXPECT_NEAR(hist.exemplars[0].value, 0.05, 1e-9);
+  EXPECT_EQ(hist.exemplars[1].trace_id, 0u);
+  reg.Reset();
+}
+
+TEST(PromParse, MalformedLinesFailWithLineNumbers) {
+  ParsedMetrics parsed;
+  std::string err;
+  EXPECT_FALSE(ParsePrometheusText("!!!\n", &parsed, &err));
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+  // A sample for a metric that never had a # TYPE declaration.
+  EXPECT_FALSE(
+      ParsePrometheusText("# TYPE a counter\na 1\nmystery 2\n", &parsed,
+                          &err));
+  EXPECT_NE(err.find("line 3"), std::string::npos);
+  EXPECT_NE(err.find("mystery"), std::string::npos);
+}
+
+// --- federation ----------------------------------------------------------
+
+ParsedMetrics ShardExport(double requests, std::uint64_t b0,
+                          std::uint64_t b1, std::uint64_t binf,
+                          std::uint64_t exemplar_id, double exemplar_v) {
+  ParsedMetrics m;
+  m.counters["fed_requests_total"] = requests;
+  m.gauges["fed_depth"] = requests / 2;
+  PromHistogram h;
+  h.bounds = {0.1, 1.0};
+  h.cumulative = {b0, b1, binf};
+  h.count = binf;
+  h.sum = static_cast<double>(binf) * 0.25;
+  h.exemplars.resize(3);
+  h.exemplars[0] = {exemplar_id, exemplar_v};
+  m.histograms["fed_seconds"] = h;
+  m.build_info_labels = "version=\"0.9.0\"";
+  return m;
+}
+
+TEST(Federation, SumsCountersAndBucketsExactly) {
+  const std::vector<ShardMetrics> shards = {
+      {"shard0", ShardExport(5, 1, 2, 4, 0xA, 0.05)},
+      {"shard1", ShardExport(7, 2, 3, 5, 0xB, 0.09)},
+  };
+  std::string text, err;
+  ASSERT_TRUE(FederateMetrics(shards, &text, &err)) << err;
+
+  // Per-shard contributions stay visible as labelled series...
+  EXPECT_NE(text.find("fed_requests_total{shard=\"shard0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("fed_requests_total{shard=\"shard1\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("merch_build_info{shard=\"shard0\","),
+            std::string::npos);
+
+  // ...and re-parsing the federated text lands on the exact fleet sums
+  // (the unlabelled totals are emitted after the labelled series).
+  ParsedMetrics fed;
+  ASSERT_TRUE(ParsePrometheusText(text, &fed, &err)) << err;
+  EXPECT_EQ(fed.counters.at("fed_requests_total"), 12);
+  EXPECT_EQ(fed.gauges.at("fed_depth"), 6);
+  const PromHistogram& h = fed.histograms.at("fed_seconds");
+  EXPECT_EQ(h.cumulative, (std::vector<std::uint64_t>{3, 5, 9}));
+  EXPECT_EQ(h.count, 9u);
+  EXPECT_NEAR(h.sum, 2.25, 1e-9);
+  // The larger-valued exemplar survives federation with its trace id.
+  EXPECT_EQ(h.exemplars[0].trace_id, 0xBu);
+  EXPECT_NEAR(h.exemplars[0].value, 0.09, 1e-9);
+}
+
+TEST(Federation, MissingSeriesOnOneShardStillSums) {
+  ShardMetrics a{"a", {}};
+  a.metrics.counters["only_on_a_total"] = 3;
+  ShardMetrics b{"b", {}};
+  std::string text, err;
+  ASSERT_TRUE(FederateMetrics({a, b}, &text, &err)) << err;
+  ParsedMetrics fed;
+  ASSERT_TRUE(ParsePrometheusText(text, &fed, &err)) << err;
+  EXPECT_EQ(fed.counters.at("only_on_a_total"), 3);
+}
+
+TEST(Federation, MismatchedBucketLayoutsAreRejectedWithClearError) {
+  std::vector<ShardMetrics> shards = {
+      {"shard0", ShardExport(1, 1, 1, 1, 0, 0)},
+      {"shard1", ShardExport(1, 1, 1, 1, 0, 0)},
+  };
+  shards[1].metrics.histograms["fed_seconds"].bounds = {0.25, 2.0};
+  std::string text, err;
+  EXPECT_FALSE(FederateMetrics(shards, &text, &err));
+  // The error must name the histogram, both shards, and both layouts —
+  // never a silent mis-sum of incomparable buckets.
+  EXPECT_NE(err.find("fed_seconds"), std::string::npos);
+  EXPECT_NE(err.find("shard0"), std::string::npos);
+  EXPECT_NE(err.find("shard1"), std::string::npos);
+  EXPECT_NE(err.find("refusing to merge"), std::string::npos);
+}
+
+// --- cross-process trace merge -------------------------------------------
+
+/// Record `events` (name, start_ns, dur_ns, trace_id) as one process's
+/// export with the given identity and measured peers.
+std::string ProcessTraceJson(
+    const std::string& name, std::uint64_t pid,
+    const std::vector<PeerClock>& peers,
+    const std::vector<std::tuple<const char*, std::uint64_t, std::uint64_t,
+                                 std::uint64_t>>& events) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Start();
+  for (const auto& [ev_name, start, dur, trace_id] : events) {
+    TraceContextScope scope({trace_id, 0});
+    rec.RecordSpan(Category::kNet, ev_name, start, dur);
+  }
+  rec.Stop();
+  ProcessExportMeta meta;
+  meta.process_name = name;
+  meta.pid = pid;
+  meta.peers = peers;
+  const ExportMeta lowered = BuildExportMeta(meta);
+  return rec.ChromeJson(&lowered);
+}
+
+TEST(Merge, LinksSharedTraceIdsWithFlowArrows) {
+  const std::uint64_t kTrace = 0x123456;
+  // The client measured the server's clock: server + (-500000) = client,
+  // i.e. the server's clock started 0.5ms before the client's.
+  const std::string client = ProcessTraceJson(
+      "client", 100, {{"server", 200, -500'000}},
+      {{"remote.call", 1'000'000, 2'000'000, kTrace}});
+  const std::string server = ProcessTraceJson(
+      "server", 200, {},
+      {{"net.request", 2'200'000, 1'000'000, kTrace},
+       {"unrelated", 50'000, 10'000, 0}});
+
+  std::string merged, err;
+  MergeSummary summary;
+  ASSERT_TRUE(MergeTraces({client, server}, &merged, &err, &summary)) << err;
+  EXPECT_EQ(summary.files, 2u);
+  EXPECT_EQ(summary.root_process, "client");
+  EXPECT_EQ(summary.linked_traces, 1u);
+  EXPECT_EQ(summary.flows, 2u);  // one s -> f arrow for the one hop
+  EXPECT_EQ(summary.unanchored, 0u);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(merged, &doc, &err)) << err;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  // Clock alignment: server ts shifts by -0.5ms into the client frame,
+  // then the whole timeline rebases to the earliest event (the server's
+  // "unrelated" span at aligned -450us). Expected ts in exported us:
+  //   unrelated 0, remote.call 1450, net.request 2150.
+  double client_ts = -1, server_ts = -1;
+  std::size_t flow_events = 0;
+  std::set<double> flow_pids;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* ev_name = ev.Find("name");
+    if (ph == nullptr || !ph->is_string()) continue;
+    if (ph->str == "X" && ev_name != nullptr) {
+      if (ev_name->str == "remote.call") client_ts = ts->number;
+      if (ev_name->str == "net.request") server_ts = ts->number;
+    }
+    if (ph->str == "s" || ph->str == "f") {
+      ++flow_events;
+      const JsonValue* id = ev.Find("id");
+      ASSERT_TRUE(id != nullptr && id->is_number());
+      EXPECT_EQ(static_cast<std::uint64_t>(id->number), kTrace);
+      flow_pids.insert(ev.Find("pid")->number);
+    }
+  }
+  EXPECT_NEAR(client_ts, 1450.0, 1.0);
+  EXPECT_NEAR(server_ts, 2150.0, 1.0);
+  EXPECT_EQ(flow_events, 2u);
+  EXPECT_EQ(flow_pids, (std::set<double>{100, 200}));
+
+  // The merged document is itself a valid trace with counted flows.
+  const TraceValidation v = ValidateChromeTrace(merged);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.flows, 2u);
+}
+
+TEST(Merge, ShiftsPropagateThroughTwoHops) {
+  const std::uint64_t kTrace = 0x777;
+  // client measures router (+1ms), router measures shard (+2ms): the
+  // shard's events must shift by the composed +3ms into the client frame.
+  const std::string client = ProcessTraceJson(
+      "client", 1, {{"router", 2, 1'000'000}},
+      {{"remote.call", 0, 9'000'000, kTrace}});
+  const std::string router = ProcessTraceJson(
+      "router", 2, {{"shard0", 3, 2'000'000}},
+      {{"router.forward", 500'000, 7'000'000, kTrace}});
+  const std::string shard = ProcessTraceJson(
+      "shard0", 3, {}, {{"net.request", 100'000, 5'000'000, kTrace}});
+
+  std::string merged, err;
+  MergeSummary summary;
+  ASSERT_TRUE(MergeTraces({shard, router, client}, &merged, &err, &summary))
+      << err;
+  EXPECT_EQ(summary.root_process, "client");
+  EXPECT_EQ(summary.linked_traces, 1u);
+  EXPECT_EQ(summary.flows, 3u);  // s -> t -> f across three processes
+  EXPECT_EQ(summary.unanchored, 0u);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(merged, &doc, &err)) << err;
+  double shard_ts = -1;
+  for (const JsonValue& ev : doc.Find("traceEvents")->items) {
+    const JsonValue* ev_name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (ev_name != nullptr && ph != nullptr && ph->str == "X" &&
+        ev_name->str == "net.request") {
+      shard_ts = ev.Find("ts")->number;
+    }
+  }
+  // shard 100us + 2ms (to router) + 1ms (to client) = 3100us; the client
+  // span at 0 is the earliest event, so no rebase shift applies.
+  EXPECT_NEAR(shard_ts, 3100.0, 1.0);
+}
+
+TEST(Merge, RejectsDuplicatePids) {
+  const std::string a =
+      ProcessTraceJson("a", 42, {}, {{"x", 0, 1, 0}});
+  const std::string b =
+      ProcessTraceJson("b", 42, {}, {{"y", 0, 1, 0}});
+  std::string merged, err;
+  EXPECT_FALSE(MergeTraces({a, b}, &merged, &err));
+  EXPECT_NE(err.find("42"), std::string::npos);
+}
+
+TEST(Merge, RejectsExportsWithoutProcessMetadata) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Start();
+  rec.RecordSpan(Category::kApp, "bare", 0, 1);
+  rec.Stop();
+  const std::string bare = rec.ChromeJson();  // no merchMeta
+  std::string merged, err;
+  EXPECT_FALSE(MergeTraces({bare}, &merged, &err));
+  EXPECT_NE(err.find("merchMeta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merch::obs

@@ -7,10 +7,12 @@
 // the real merchd binary (MERCHD_BIN, injected by CMake).
 #include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +23,9 @@
 #include "net/router.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/distributed/federation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/placement_service.h"
 #include "service/result_cache.h"
 #include "service/serialization.h"
@@ -189,7 +194,7 @@ TEST(Frame, BadMagicIsFatal) {
 
 TEST(Frame, VersionMismatchIsDistinguished) {
   std::string bytes = net::EncodeFrame({net::FrameType::kPing, 1, ""});
-  bytes[4] = 2;  // version u16 LE -> 2
+  bytes[4] = 99;  // version u16 LE -> far beyond kProtocolVersion
   net::FrameParser parser;
   parser.Feed(bytes.data(), bytes.size());
   net::Frame f;
@@ -198,6 +203,86 @@ TEST(Frame, VersionMismatchIsDistinguished) {
   EXPECT_EQ(parser.Next(&f, &err, &bad_version),
             net::FrameParser::Status::kBad);
   EXPECT_TRUE(bad_version);
+}
+
+TEST(Frame, ParserAcceptsBothProtocolVersions) {
+  for (std::uint16_t version :
+       {net::kMinProtocolVersion, net::kProtocolVersion}) {
+    const std::string bytes =
+        net::EncodeFrame({net::FrameType::kPing, 7, "", version});
+    net::FrameParser parser;
+    parser.Feed(bytes.data(), bytes.size());
+    net::Frame out;
+    std::string err;
+    ASSERT_EQ(parser.Next(&out, &err), net::FrameParser::Status::kFrame)
+        << "version " << version << ": " << err;
+    EXPECT_EQ(out.version, version);
+  }
+}
+
+TEST(Frame, V2OnlyFrameTypesAreRejectedOnV1Headers) {
+  // kMetrics does not exist in protocol v1: a v1 header carrying it is a
+  // broken stream, not a version problem.
+  const std::string bytes = net::EncodeFrame(
+      {net::FrameType::kMetrics, 1, "", net::kMinProtocolVersion});
+  net::FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  net::Frame out;
+  std::string err;
+  bool bad_version = false;
+  EXPECT_EQ(parser.Next(&out, &err, &bad_version),
+            net::FrameParser::Status::kBad);
+  EXPECT_FALSE(bad_version);
+
+  // The same type under a v2 header parses fine.
+  const std::string v2 = net::EncodeFrame({net::FrameType::kMetrics, 1, ""});
+  net::FrameParser fresh;
+  fresh.Feed(v2.data(), v2.size());
+  EXPECT_EQ(fresh.Next(&out, &err), net::FrameParser::Status::kFrame);
+}
+
+TEST(Frame, TraceContextRoundTrip) {
+  service::WireWriter w;
+  net::AppendTraceContext({0xABCDEF012345ull, 0x123456ull}, &w);
+  EXPECT_EQ(w.bytes().size(), 16u);  // the advertised fixed width
+  service::WireReader r(w.bytes());
+  obs::TraceContext ctx;
+  ASSERT_TRUE(net::ReadTraceContext(&r, &ctx));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(ctx.trace_id, 0xABCDEF012345ull);
+  EXPECT_EQ(ctx.parent_span_id, 0x123456ull);
+
+  // Truncated context fails cleanly.
+  service::WireReader short_r(w.bytes().data(), 15);
+  EXPECT_FALSE(net::ReadTraceContext(&short_r, &ctx));
+}
+
+TEST(Frame, PongPayloadRoundTrip) {
+  const net::PongPayload pong{981726354ull, 4242, "shard1"};
+  const std::string bytes = net::EncodePongPayload(pong);
+  net::PongPayload back;
+  ASSERT_TRUE(net::DecodePongPayload(bytes, &back));
+  EXPECT_EQ(back.now_ns, pong.now_ns);
+  EXPECT_EQ(back.pid, pong.pid);
+  EXPECT_EQ(back.process_name, pong.process_name);
+  // A v1 pong (empty payload) and trailing garbage both fail the decode.
+  EXPECT_FALSE(net::DecodePongPayload("", &back));
+  EXPECT_FALSE(net::DecodePongPayload(bytes + "x", &back));
+}
+
+TEST(Frame, MetricsReplyPayloadRoundTrip) {
+  const net::MetricsReplyPayload reply{
+      "router", 99, "# TYPE a counter\na 1\n"};
+  const std::string bytes = net::EncodeMetricsReplyPayload(reply);
+  net::MetricsReplyPayload back;
+  ASSERT_TRUE(net::DecodeMetricsReplyPayload(bytes, &back));
+  EXPECT_EQ(back.process_name, reply.process_name);
+  EXPECT_EQ(back.pid, reply.pid);
+  EXPECT_EQ(back.prometheus_text, reply.prometheus_text);
+  EXPECT_FALSE(net::DecodeMetricsReplyPayload(bytes + "x", &back));
+  EXPECT_FALSE(
+      net::DecodeMetricsReplyPayload(bytes.substr(0, bytes.size() - 1),
+                                     &back));
 }
 
 TEST(Frame, OversizedLengthPrefixIsFatalNotAllocated) {
@@ -368,6 +453,119 @@ TEST(Server, PingPong) {
   std::string err;
   EXPECT_EQ(fx.client_.Ping(&err), net::Client::Status::kOk) << err;
   EXPECT_GE(fx.server_.stats().pings, 1u);
+}
+
+/// Send one frame over a raw socket and read back the first reply frame.
+net::Frame RawTransact(std::uint16_t port, const net::Frame& frame) {
+  std::string err;
+  const int fd = net::ConnectTo("127.0.0.1", port, &err);
+  EXPECT_GE(fd, 0) << err;
+  const std::string bytes = net::EncodeFrame(frame);
+  EXPECT_TRUE(net::WriteAll(fd, bytes.data(), bytes.size()));
+  net::FrameParser parser;
+  net::Frame reply;
+  for (;;) {
+    char buf[4096];
+    const long n = net::ReadSome(fd, buf, sizeof buf);
+    EXPECT_GT(n, 0) << "connection closed before a reply frame";
+    if (n <= 0) break;
+    parser.Feed(buf, static_cast<std::size_t>(n));
+    std::string perr;
+    const auto status = parser.Next(&reply, &perr);
+    if (status == net::FrameParser::Status::kFrame) break;
+    EXPECT_EQ(status, net::FrameParser::Status::kNeedMore) << perr;
+  }
+  net::CloseFd(fd);
+  return reply;
+}
+
+TEST(Server, V1ClientsGetV1ShapedReplies) {
+  // The per-message version rule: a v1 request frame (no trace context in
+  // the payload) gets a v1 response — the result bytes directly, no
+  // trace-id prefix — so pre-v2 clients keep working against this server.
+  ServerFixture fx;
+  const service::PlacementRequest req = MakeRequest("SpGEMM", "pm");
+  service::WireWriter w;
+  w.U32(0);  // deadline_ms; a v1 payload has no trace context after it
+  service::EncodeRequest(req, &w);
+  const net::Frame reply = RawTransact(
+      fx.server_.port(),
+      {net::FrameType::kRequest, 31, w.bytes(), net::kMinProtocolVersion});
+  ASSERT_EQ(reply.type, net::FrameType::kResponse);
+  EXPECT_EQ(reply.seq, 31u);
+  EXPECT_EQ(reply.version, net::kMinProtocolVersion);
+  service::WireReader r(reply.payload);
+  service::PlacementResult result;
+  ASSERT_TRUE(service::DecodeResult(&r, &result));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(result.ok()) << result.error;
+
+  // Same for pings: a v1 ping gets the classic empty pong.
+  const net::Frame pong = RawTransact(
+      fx.server_.port(),
+      {net::FrameType::kPing, 32, "", net::kMinProtocolVersion});
+  ASSERT_EQ(pong.type, net::FrameType::kPong);
+  EXPECT_EQ(pong.version, net::kMinProtocolVersion);
+  EXPECT_TRUE(pong.payload.empty());
+}
+
+TEST(Server, V2ResponsesEchoTheRequestTraceContext) {
+  ServerFixture fx;
+  const service::PlacementRequest req = MakeRequest("SpGEMM", "pm");
+  service::WireWriter w;
+  w.U32(0);
+  net::AppendTraceContext({0xABC123, 0x456}, &w);
+  service::EncodeRequest(req, &w);
+  const net::Frame reply = RawTransact(
+      fx.server_.port(), {net::FrameType::kRequest, 8, w.bytes()});
+  ASSERT_EQ(reply.type, net::FrameType::kResponse);
+  EXPECT_EQ(reply.version, net::kProtocolVersion);
+  service::WireReader r(reply.payload);
+  std::uint64_t trace_id = 0, server_span = 0;
+  ASSERT_TRUE(r.U64(&trace_id));
+  ASSERT_TRUE(r.U64(&server_span));
+  EXPECT_EQ(trace_id, 0xABC123u) << "response lost the trace context";
+  EXPECT_NE(server_span, 0u);
+  service::PlacementResult result;
+  ASSERT_TRUE(service::DecodeResult(&r, &result));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(result.ok()) << result.error;
+}
+
+TEST(Server, MetricsFrameReturnsIdentityAndExport) {
+  net::ServerConfig cfg;
+  cfg.process_name = "metrics-test-server";
+  ServerFixture fx(cfg);
+  net::MetricsReplyPayload reply;
+  net::ErrorCode code;
+  std::string err;
+  ASSERT_EQ(fx.client_.FetchMetrics(&reply, &code, &err),
+            net::Client::Status::kOk)
+      << err;
+  EXPECT_EQ(reply.process_name, "metrics-test-server");
+  EXPECT_EQ(reply.pid, static_cast<std::uint64_t>(::getpid()));
+  // Every export leads with the build identity.
+  EXPECT_NE(reply.prometheus_text.find("merch_build_info"),
+            std::string::npos);
+  obs::ParsedMetrics parsed;
+  EXPECT_TRUE(
+      obs::ParsePrometheusText(reply.prometheus_text, &parsed, &err))
+      << err;
+}
+
+TEST(Server, PeerClockEstimateUsesV2Pongs) {
+  ServerFixture fx;
+  obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+  rec.Start();
+  obs::PeerClock peer;
+  std::string err;
+  ASSERT_TRUE(net::EstimatePeerClock(fx.client_, 4, &peer, &err)) << err;
+  rec.Stop();
+  EXPECT_EQ(peer.name, "merchd");  // ServerConfig default identity
+  EXPECT_EQ(peer.pid, static_cast<std::uint64_t>(::getpid()));
+  // Server and client share this process's trace clock, so the measured
+  // offset is bounded by loopback round-trip noise.
+  EXPECT_LT(std::abs(peer.offset_ns), 500'000'000ll);
 }
 
 TEST(Server, OverloadShedsWithRetryLaterButServesCacheHits) {
@@ -595,6 +793,87 @@ TEST(Router, CrashedWorkerIsRestartedAndServiceContinues) {
   for (int pid : fresh) {
     EXPECT_EQ(::kill(pid, 0), -1) << "worker " << pid << " still alive";
   }
+}
+
+/// Pull and parse one process's Prometheus export over the wire.
+obs::ParsedMetrics FetchParsedMetrics(std::uint16_t port,
+                                      std::string* process_name = nullptr) {
+  net::Client client;
+  std::string err;
+  EXPECT_TRUE(client.Connect("127.0.0.1", port, &err)) << err;
+  net::MetricsReplyPayload reply;
+  net::ErrorCode code;
+  EXPECT_EQ(client.FetchMetrics(&reply, &code, &err),
+            net::Client::Status::kOk)
+      << err;
+  if (process_name != nullptr) *process_name = reply.process_name;
+  obs::ParsedMetrics parsed;
+  EXPECT_TRUE(obs::ParsePrometheusText(reply.prometheus_text, &parsed, &err))
+      << err;
+  return parsed;
+}
+
+TEST(Router, FederatedMetricsSumShardCountersExactly) {
+  net::ShardRouter router(TestRouterConfig(2));
+  std::string err;
+  ASSERT_TRUE(router.Start(&err)) << err;
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router.port(), &err)) << err;
+
+  // Distinct requests so the shard workers do real engine work.
+  for (std::uint64_t seed : {1, 2, 3, 4}) {
+    const service::PlacementRequest req =
+        MakeRequest("SpGEMM", "pm", 0.01, seed);
+    service::PlacementResult result;
+    net::ErrorCode code;
+    ASSERT_EQ(client.Call(req, 0, &result, &code, &err),
+              net::Client::Status::kOk)
+        << err;
+  }
+
+  // Ground truth: the workers' own exports plus this process's registry
+  // (the router federates itself under its process name). Only counters
+  // that nothing but placement execution moves are compared, so the pulls
+  // themselves cannot skew the books.
+  const char* const kStable[] = {"merch_engine_base_builds_total",
+                                 "merch_cache_misses_total",
+                                 "merch_service_simulated_total"};
+  const std::vector<std::uint16_t> ports = router.worker_ports();
+  ASSERT_EQ(ports.size(), 2u);
+  std::map<std::string, double> expected;
+  for (const std::uint16_t port : ports) {
+    for (const auto& [name, value] : FetchParsedMetrics(port).counters) {
+      expected[name] += value;
+    }
+  }
+  obs::ParsedMetrics own;
+  ASSERT_TRUE(obs::ParsePrometheusText(
+      obs::MetricsRegistry::Instance().PrometheusText(), &own, &err))
+      << err;
+  for (const auto& [name, value] : own.counters) expected[name] += value;
+
+  std::string responder;
+  const obs::ParsedMetrics fed =
+      FetchParsedMetrics(router.port(), &responder);
+  EXPECT_EQ(responder, "router");
+  for (const char* name : kStable) {
+    const auto it = fed.counters.find(name);
+    const double fleet = it == fed.counters.end() ? 0 : it->second;
+    EXPECT_EQ(fleet, expected[name]) << name;
+  }
+
+  // The raw federated text keeps per-shard series and build identities.
+  std::string raw_err;
+  std::string raw;
+  ASSERT_TRUE(router.FederatedPrometheus(&raw, &raw_err)) << raw_err;
+  for (const char* shard : {"router", "shard0", "shard1"}) {
+    EXPECT_NE(raw.find("merch_build_info{shard=\"" + std::string(shard) +
+                       "\","),
+              std::string::npos)
+        << shard;
+  }
+
+  router.Stop();
 }
 
 }  // namespace

@@ -42,6 +42,8 @@
 #include "net/frame.h"
 #include "common/table.h"
 #include "core/merchandiser.h"
+#include "obs/distributed/context.h"
+#include "obs/distributed/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch.h"
@@ -51,6 +53,11 @@
 namespace {
 
 using namespace merch;
+
+/// Peer clocks measured by `remote` (via ping round trips), attached to
+/// the trace export so tools/trace_merge can align the server's timeline
+/// with ours.
+std::vector<obs::PeerClock> g_peer_clocks;
 
 struct Options {
   std::string command;
@@ -414,13 +421,37 @@ int RemoteCommand(const Options& opt) {
     return 1;
   }
   if (opt.ping) {
-    if (client.Ping(&err) != net::Client::Status::kOk) {
+    net::PongPayload pong;
+    if (client.Ping(&err, &pong) != net::Client::Status::kOk) {
       std::fprintf(stderr, "merchctl: ping failed: %s\n", err.c_str());
       return 1;
     }
-    std::printf("pong from %s:%u\n", opt.host.c_str(),
-                static_cast<unsigned>(opt.port));
+    if (pong.pid != 0) {
+      std::printf("pong from %s:%u (%s, pid %llu)\n", opt.host.c_str(),
+                  static_cast<unsigned>(opt.port), pong.process_name.c_str(),
+                  static_cast<unsigned long long>(pong.pid));
+    } else {
+      std::printf("pong from %s:%u\n", opt.host.c_str(),
+                  static_cast<unsigned>(opt.port));
+    }
     return 0;
+  }
+
+  // Under --trace, measure the server's trace-clock offset first (so
+  // trace_merge can put both timelines on one axis), then give every
+  // request its own trace context: the server and its workers attach
+  // their spans to the id we send.
+  obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
+  if (rec.enabled()) {
+    obs::PeerClock peer;
+    if (EstimatePeerClock(client, 8, &peer, &err)) {
+      g_peer_clocks.push_back(peer);
+    } else {
+      std::fprintf(stderr,
+                   "merchctl: warning: clock sync failed (%s); the merged "
+                   "trace will not be time-aligned\n",
+                   err.c_str());
+    }
   }
 
   std::vector<service::PlacementRequest> requests;
@@ -447,8 +478,25 @@ int RemoteCommand(const Options& opt) {
   for (const auto& req : requests) {
     service::PlacementResult result;
     net::ErrorCode code;
+    // One trace per request: a fresh root context rides to the server in
+    // the v2 payload, and the local "remote.call" span anchors the
+    // client's side of the timeline.
+    obs::TraceContext ctx;
+    std::uint64_t call_t0 = 0;
+    if (rec.enabled()) {
+      ctx.trace_id = obs::NewTraceId();
+      ctx.parent_span_id = obs::NewSpanId();
+      call_t0 = rec.NowNs();
+    }
+    obs::TraceContextScope scope(ctx);
     const net::Client::Status status =
         client.Call(req, opt.deadline_ms, &result, &code, &err);
+    if (ctx.valid() && rec.enabled()) {
+      const std::uint64_t now = rec.NowNs();
+      rec.RecordSpan(obs::Category::kNet, "remote.call", call_t0,
+                     now > call_t0 ? now - call_t0 : 0, "ok",
+                     status == net::Client::Status::kOk ? 1 : 0);
+    }
     if (status == net::Client::Status::kTransportError) {
       std::fprintf(stderr, "merchctl: %s\n", err.c_str());
       return 1;
@@ -576,6 +624,16 @@ int main(int argc, char** argv) {
   }
 
   const bool tracing = !opt.trace_file.empty();
+#if !defined(MERCH_OBS_ENABLED)
+  if (tracing && opt.command == "remote") {
+    // A distributed trace without span hooks is an empty timeline; fail
+    // loudly instead of shipping a useless file into trace_merge.
+    std::fprintf(stderr,
+                 "merchctl: remote --trace needs observability compiled in; "
+                 "this binary was built with -DMERCH_OBS=OFF\n");
+    return 2;
+  }
+#endif
   if (tracing) obs::TraceRecorder::Instance().Start();
 
   int rc;
@@ -596,8 +654,11 @@ int main(int argc, char** argv) {
   if (tracing) {
     obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
     rec.Stop();
+    obs::ProcessExportMeta meta;
+    meta.process_name = "merchctl";
+    meta.peers = g_peer_clocks;
     std::string err;
-    if (!rec.WriteChromeJson(opt.trace_file, &err)) {
+    if (!obs::WriteProcessTrace(rec, opt.trace_file, meta, &err)) {
       std::fprintf(stderr, "merchctl: %s\n", err.c_str());
       return rc != 0 ? rc : 1;
     }

@@ -38,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,6 +50,7 @@
 #include "net/router.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/distributed/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch.h"
@@ -73,15 +75,17 @@ int Usage() {
       "              [--cache N] [--snapshot-load F] [--snapshot-save F]"
       " [--max-conns N]\n"
       "common: [--log-level debug|info|warn|error] [--trace FILE.json]\n"
-      "        [--metrics-file FILE.prom] [--metrics-interval SECONDS]\n");
+      "        [--metrics-file FILE.prom] [--metrics-interval SECONDS]\n"
+      "        [--metrics-aggregate]  # router: write the federated fleet "
+      "export\n"
+      "        [--process-name NAME]  # identity in traces/pongs/metrics\n");
   return 2;
 }
 
-/// Writes the metrics registry to `path` (Prometheus text format) via a
-/// temp file + rename so readers never observe a torn snapshot.
-bool WriteMetricsFile(const std::string& path) {
+/// Writes `text` to `path` via a temp file + rename so readers never
+/// observe a torn snapshot.
+bool WriteMetricsFile(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
-  const std::string text = obs::MetricsRegistry::Instance().PrometheusText();
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   std::fwrite(text.data(), 1, text.size(), f);
@@ -89,11 +93,16 @@ bool WriteMetricsFile(const std::string& path) {
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
-/// Background periodic metrics-snapshot writer. The destructor (and, on
-/// signal, FlushFinal) writes one last snapshot so the tail interval is
-/// never lost.
+/// Background periodic metrics-snapshot writer. Writes once immediately
+/// (so short-lived runs still leave a file before the first interval
+/// elapses), then every interval; the destructor (and, on signal,
+/// FlushFinal) writes one last snapshot so the tail interval is never
+/// lost. The text source defaults to the local registry and can be
+/// swapped (SetProducer) for e.g. the router's federated export.
 class MetricsWriter {
  public:
+  using Producer = std::function<std::string()>;
+
   MetricsWriter(std::string path, double interval_seconds)
       : path_(std::move(path)), interval_(interval_seconds) {
     thread_ = std::thread([this] { Loop(); });
@@ -108,23 +117,48 @@ class MetricsWriter {
     FlushFinal();
   }
 
+  /// Swap the text source; writes a snapshot immediately so the file
+  /// reflects the new producer without waiting out an interval. Pass
+  /// nullptr to fall back to the local registry (do this before the
+  /// producer's captures die).
+  void SetProducer(Producer producer) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      producer_ = std::move(producer);
+    }
+    if (!flushed_.load()) WriteSnapshot();
+  }
+
   /// Idempotent final snapshot (signal paths call this before _exit-style
   /// returns; the destructor calls it again harmlessly).
   void FlushFinal() {
     if (flushed_.exchange(true)) return;
-    if (!WriteMetricsFile(path_)) {
+    if (!WriteSnapshot()) {
       std::fprintf(stderr, "merchd: cannot write metrics file '%s'\n",
                    path_.c_str());
     }
   }
 
  private:
+  std::string Render() {
+    Producer producer;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      producer = producer_;
+    }
+    return producer ? producer()
+                    : obs::MetricsRegistry::Instance().PrometheusText();
+  }
+
+  bool WriteSnapshot() { return WriteMetricsFile(path_, Render()); }
+
   void Loop() {
+    WriteSnapshot();  // first interval: a file exists from the start
     std::unique_lock<std::mutex> lock(mu_);
     const auto period = std::chrono::duration<double>(interval_);
     while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
       lock.unlock();
-      WriteMetricsFile(path_);
+      WriteSnapshot();
       lock.lock();
     }
   }
@@ -133,6 +167,7 @@ class MetricsWriter {
   double interval_;
   std::mutex mu_;
   std::condition_variable cv_;
+  Producer producer_;
   bool stop_ = false;
   std::atomic<bool> flushed_{false};
   std::thread thread_;
@@ -165,6 +200,8 @@ struct Options {
   std::string trace_file;
   std::string metrics_file;
   double metrics_interval = 1.0;
+  bool metrics_aggregate = false;
+  std::string process_name;  // "" = per-mode default (merchd / router)
 };
 
 bool WritePortFile(const std::string& path, std::uint16_t port) {
@@ -293,6 +330,7 @@ int ListenMode(const Options& opt) {
   cfg.default_deadline_ms = opt.deadline_ms;
   cfg.snapshot_load = opt.snapshot_load;
   cfg.snapshot_save = opt.snapshot_save;
+  if (!opt.process_name.empty()) cfg.process_name = opt.process_name;
 
   net::PlacementServer server(cfg);
   std::string err;
@@ -327,12 +365,19 @@ int ListenMode(const Options& opt) {
   return 0;
 }
 
-int RouterMode(const Options& opt, const char* self) {
+int RouterMode(const Options& opt, const char* self,
+               MetricsWriter* metrics_writer,
+               std::vector<obs::PeerClock>* peer_clocks) {
   net::RouterConfig cfg;
   cfg.host = opt.host;
   cfg.port = opt.port;
   cfg.shards = opt.shards;
   cfg.max_client_connections = opt.max_conns;
+  if (!opt.process_name.empty()) cfg.process_name = opt.process_name;
+  // Distributed tracing: the shards inherit the router's trace path with
+  // a per-shard suffix, and the router ping-syncs their clocks so
+  // tools/trace_merge can align all the exports afterwards.
+  if (!opt.trace_file.empty()) cfg.worker_trace_prefix = opt.trace_file;
 
   // Workers re-exec this binary in --listen mode. A shared --snapshot-load
   // pre-warms every shard from one file; --snapshot-save gets a per-shard
@@ -364,8 +409,24 @@ int RouterMode(const Options& opt, const char* self) {
               router.port(), opt.shards);
   std::fflush(stdout);
 
+  if (opt.metrics_aggregate && metrics_writer != nullptr) {
+    metrics_writer->SetProducer([&router] {
+      std::string text, ferr;
+      if (router.FederatedPrometheus(&text, &ferr)) return text;
+      MERCH_LOG(kWarn) << "router: metrics federation failed: " << ferr;
+      return obs::MetricsRegistry::Instance().PrometheusText();
+    });
+  }
+
   WaitForShutdownSignal();
   std::fprintf(stderr, "merchd: signal received, stopping router...\n");
+  if (peer_clocks != nullptr) *peer_clocks = router.worker_clocks();
+  if (opt.metrics_aggregate && metrics_writer != nullptr) {
+    // Final federated snapshot while the shards can still answer, then
+    // detach the producer before the router object goes away.
+    metrics_writer->FlushFinal();
+    metrics_writer->SetProducer(nullptr);
+  }
   router.Stop();
 
   const net::RouterStats stats = router.stats();
@@ -430,6 +491,10 @@ int main(int argc, char** argv) {
       opt.trace_file = next();
     } else if (arg == "--metrics-file") {
       opt.metrics_file = next();
+    } else if (arg == "--metrics-aggregate") {
+      opt.metrics_aggregate = true;
+    } else if (arg == "--process-name") {
+      opt.process_name = next();
     } else if (arg == "--metrics-interval") {
       opt.metrics_interval = std::atof(next());
       if (opt.metrics_interval <= 0) {
@@ -459,6 +524,12 @@ int main(int argc, char** argv) {
                  "merchd: pick exactly one of --file, --listen, --router\n");
     return Usage();
   }
+  if (opt.metrics_aggregate && (!opt.router || opt.metrics_file.empty())) {
+    std::fprintf(stderr,
+                 "merchd: --metrics-aggregate needs --router and "
+                 "--metrics-file\n");
+    return 2;
+  }
 
   net::ShutdownSignal::Install();
   if (!opt.trace_file.empty()) obs::TraceRecorder::Instance().Start();
@@ -469,10 +540,11 @@ int main(int argc, char** argv) {
   }
 
   int rc;
+  std::vector<obs::PeerClock> peer_clocks;
   if (opt.listen) {
     rc = ListenMode(opt);
   } else if (opt.router) {
-    rc = RouterMode(opt, argv[0]);
+    rc = RouterMode(opt, argv[0], metrics_writer.get(), &peer_clocks);
   } else {
     rc = BatchMode(opt, metrics_writer.get());
   }
@@ -481,8 +553,13 @@ int main(int argc, char** argv) {
   if (!opt.trace_file.empty()) {
     obs::TraceRecorder& rec = obs::TraceRecorder::Instance();
     rec.Stop();
+    obs::ProcessExportMeta meta;
+    meta.process_name = !opt.process_name.empty()
+                            ? opt.process_name
+                            : (opt.router ? "router" : "merchd");
+    meta.peers = std::move(peer_clocks);
     std::string werr;
-    if (!rec.WriteChromeJson(opt.trace_file, &werr)) {
+    if (!obs::WriteProcessTrace(rec, opt.trace_file, meta, &werr)) {
       std::fprintf(stderr, "merchd: %s\n", werr.c_str());
       return 1;
     }

@@ -7,7 +7,11 @@
 // layers (sim, hm, service, core).
 //
 //   trace_check trace.json [--require sim,hm,service,core]
-//               [--min-events N] [--quiet]
+//               [--min-events N] [--min-flows N] [--quiet]
+//
+// --min-flows gates merged distributed traces: flow events only exist
+// when trace_merge linked spans across processes, so requiring them
+// asserts the cross-process stitching actually happened.
 //
 // Exit codes: 0 valid (and requirements met), 1 structural or coverage
 // failure, 2 usage / unreadable file.
@@ -23,7 +27,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: trace_check <trace.json> [--require cat1,cat2,...]"
-               " [--min-events N] [--quiet]\n");
+               " [--min-events N] [--min-flows N] [--quiet]\n");
   return 2;
 }
 
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
   std::size_t min_events = 1;
+  std::size_t min_flows = 0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,6 +63,8 @@ int main(int argc, char** argv) {
       required = SplitCsv(next());
     } else if (arg == "--min-events") {
       min_events = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--min-flows") {
+      min_flows = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -96,6 +103,13 @@ int main(int argc, char** argv) {
                  path.c_str(), v.events, min_events);
     return 1;
   }
+  if (v.flows < min_flows) {
+    std::fprintf(stderr,
+                 "trace_check: %s: %zu flow events, expected at least %zu "
+                 "(was this merged by trace_merge?)\n",
+                 path.c_str(), v.flows, min_flows);
+    return 1;
+  }
   int missing = 0;
   for (const std::string& cat : required) {
     if (v.categories.count(cat) == 0) {
@@ -112,8 +126,10 @@ int main(int argc, char** argv) {
       if (!cats.empty()) cats += ",";
       cats += c;
     }
-    std::printf("%s: %zu events (%zu spans, %zu instants) categories %s\n",
-                path.c_str(), v.events, v.spans, v.instants, cats.c_str());
+    std::printf("%s: %zu events (%zu spans, %zu instants, %zu flows) "
+                "categories %s\n",
+                path.c_str(), v.events, v.spans, v.instants, v.flows,
+                cats.c_str());
   }
   return 0;
 }

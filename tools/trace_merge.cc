@@ -1,0 +1,104 @@
+// trace_merge — stitch per-process Chrome traces into one Perfetto
+// timeline.
+//
+//   trace_merge --out merged.json client.json router.json shard0.json ...
+//
+// Each input must have been exported with process metadata
+// (obs::WriteProcessTrace): a merchMeta block naming the process/pid and
+// its measured peer-clock offsets. The merger puts every file on one
+// time axis (shifts propagate through the peer-clock graph from the root
+// process — the one no other file lists as a peer), keeps per-process
+// pid lanes, and synthesizes flow arrows connecting the spans that share
+// a trace_id across processes (client → router → shard → response).
+// The output loads in Perfetto / chrome://tracing as one timeline.
+//
+// Exit codes: 0 merged, 1 merge failure (missing process metadata,
+// duplicate pids, structurally broken input), 2 usage / unreadable file.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/distributed/merge.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_merge --out merged.json trace1.json "
+               "trace2.json [...]\n");
+  return 2;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  out->clear();
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return Usage();
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "trace_merge: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (out_path.empty() || paths.empty()) return Usage();
+
+  std::vector<std::string> jsons(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!ReadWholeFile(paths[i], &jsons[i])) {
+      std::fprintf(stderr, "trace_merge: cannot read '%s'\n",
+                   paths[i].c_str());
+      return 2;
+    }
+  }
+
+  std::string merged, error;
+  merch::obs::MergeSummary summary;
+  if (!merch::obs::MergeTraces(jsons, &merged, &error, &summary)) {
+    std::fprintf(stderr, "trace_merge: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_merge: cannot write '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::fwrite(merged.data(), 1, merged.size(), f);
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "trace_merge: cannot write '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+
+  std::string unanchored;
+  if (summary.unanchored != 0) {
+    unanchored = ", " + std::to_string(summary.unanchored) +
+                 " unanchored file(s)";
+  }
+  std::printf("%s: %zu files, %zu events, %zu flow arrows across %zu "
+              "cross-process traces (root %s%s)\n",
+              out_path.c_str(), summary.files, summary.events, summary.flows,
+              summary.linked_traces, summary.root_process.c_str(),
+              unanchored.c_str());
+  return 0;
+}
