@@ -97,7 +97,7 @@ bool LoadRequestFile(const std::string& path,
 
 BatchReport RunBatch(PlacementService& service,
                      const std::vector<PlacementRequest>& requests,
-                     bool fused) {
+                     BatchMode mode) {
   BatchReport report;
   report.results.reserve(requests.size());
   report.cache_hits.reserve(requests.size());
@@ -105,12 +105,18 @@ BatchReport RunBatch(PlacementService& service,
   const auto start = std::chrono::steady_clock::now();
   std::vector<PlacementService::Ticket> tickets;
   tickets.reserve(requests.size());
-  if (fused) {
-    tickets = service.SubmitFused(requests);
-  } else {
-    for (const auto& req : requests) {
-      tickets.push_back(service.Submit(req));
-    }
+  switch (mode) {
+    case BatchMode::kFused:
+      tickets = service.SubmitFused(requests);
+      break;
+    case BatchMode::kIncremental:
+      tickets = service.SubmitIncremental(requests);
+      break;
+    case BatchMode::kPerRequest:
+      for (const auto& req : requests) {
+        tickets.push_back(service.Submit(req));
+      }
+      break;
   }
   for (const auto& t : tickets) {
     report.results.push_back(t.future.get());
@@ -123,6 +129,13 @@ BatchReport RunBatch(PlacementService& service,
         static_cast<double>(requests.size()) / report.wall_seconds;
   }
   return report;
+}
+
+BatchReport RunBatch(PlacementService& service,
+                     const std::vector<PlacementRequest>& requests,
+                     bool fused) {
+  return RunBatch(service, requests,
+                  fused ? BatchMode::kFused : BatchMode::kPerRequest);
 }
 
 }  // namespace merch::service

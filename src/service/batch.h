@@ -40,11 +40,21 @@ struct BatchReport {
   double jobs_per_second = 0;            // requests / wall_seconds
 };
 
+/// How RunBatch pushes requests into the service. Results are
+/// bit-identical across all three; the modes only change how much work
+/// is shared between requests.
+enum class BatchMode {
+  kPerRequest,   // one Submit() per request
+  kFused,        // SubmitFused: one app build + analysis per group
+  kIncremental,  // SubmitIncremental: fused + cross-point delta simulation
+};
+
 /// Submit every request, wait for all futures, measure wall-clock.
-/// `fused` routes the batch through PlacementService::SubmitFused, which
-/// runs cache-missing requests sharing an application instance in one
-/// pool job (one app build + analysis pass per group); per-request
-/// results are bit-identical either way.
+BatchReport RunBatch(PlacementService& service,
+                     const std::vector<PlacementRequest>& requests,
+                     BatchMode mode);
+
+/// Back-compat shim: `fused` picks kFused over kPerRequest.
 BatchReport RunBatch(PlacementService& service,
                      const std::vector<PlacementRequest>& requests,
                      bool fused = false);

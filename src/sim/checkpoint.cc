@@ -1,0 +1,310 @@
+#include "sim/checkpoint.h"
+
+#include <cstring>
+
+namespace merch::sim {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D434B50;  // "MCKP"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void U32(std::uint32_t v) { Raw(&v, sizeof v); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void U8(std::uint8_t v) { out_->push_back(v); }
+
+  void VecF64(const std::vector<double>& v) {
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(double));
+  }
+  void VecU64(const std::vector<std::uint64_t>& v) {
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    if (!s.empty()) Raw(s.data(), s.size());
+  }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_->insert(out_->end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == in_.size(); }
+
+  std::uint32_t U32() { std::uint32_t v = 0; Raw(&v, sizeof v); return v; }
+  std::uint64_t U64() { std::uint64_t v = 0; Raw(&v, sizeof v); return v; }
+  double F64() { double v = 0; Raw(&v, sizeof v); return v; }
+  std::uint8_t U8() { std::uint8_t v = 0; Raw(&v, sizeof v); return v; }
+
+  std::vector<double> VecF64() {
+    const std::uint64_t n = U64();
+    std::vector<double> v;
+    if (!Check(n, sizeof(double))) return v;
+    v.resize(n);
+    if (n != 0) Raw(v.data(), n * sizeof(double));
+    return v;
+  }
+  std::vector<std::uint64_t> VecU64() {
+    const std::uint64_t n = U64();
+    std::vector<std::uint64_t> v;
+    if (!Check(n, sizeof(std::uint64_t))) return v;
+    v.resize(n);
+    if (n != 0) Raw(v.data(), n * sizeof(std::uint64_t));
+    return v;
+  }
+  std::string Str() {
+    const std::uint64_t n = U64();
+    std::string s;
+    if (!Check(n, 1)) return s;
+    s.resize(n);
+    if (n != 0) Raw(s.data(), n);
+    return s;
+  }
+
+ private:
+  bool Check(std::uint64_t n, std::size_t elem) {
+    // Reject length prefixes pointing past the buffer before allocating.
+    if (!ok_ || n > (in_.size() - pos_) / elem) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void Raw(void* p, std::size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void PutStats(Writer& w, const hm::MigrationStats& s) {
+  w.U64(s.pages_to_dram);
+  w.U64(s.pages_to_pm);
+  w.U64(s.bytes_to_dram);
+  w.U64(s.bytes_to_pm);
+  w.U64(s.failed_capacity);
+}
+
+hm::MigrationStats GetStats(Reader& r) {
+  hm::MigrationStats s;
+  s.pages_to_dram = r.U64();
+  s.pages_to_pm = r.U64();
+  s.bytes_to_dram = r.U64();
+  s.bytes_to_pm = r.U64();
+  s.failed_capacity = r.U64();
+  return s;
+}
+
+void PutTaskStats(Writer& w, const TaskStats& s) {
+  w.U32(s.task);
+  w.F64(s.exec_seconds);
+  w.F64(s.barrier_wait);
+  w.U64(s.agg.instructions);
+  w.F64(s.agg.program_accesses);
+  w.F64(s.agg.mm_accesses);
+  w.F64(s.agg.l2_misses);
+  w.F64(s.agg.prefetch_miss_weighted);
+  w.F64(s.agg.overlap_weighted);
+  w.F64(s.agg.branch_instructions);
+  w.F64(s.agg.vector_instructions);
+  w.F64(s.agg.exec_seconds);
+  w.F64(s.agg.compute_seconds);
+  w.F64(s.agg.memory_seconds);
+  w.F64(s.agg.core_ghz);
+  for (const double v : s.pmcs) w.F64(v);
+  w.VecF64(s.object_program_accesses);
+  w.VecF64(s.object_mm_accesses);
+  w.VecF64(s.kernel_seconds);
+}
+
+TaskStats GetTaskStats(Reader& r) {
+  TaskStats s;
+  s.task = r.U32();
+  s.exec_seconds = r.F64();
+  s.barrier_wait = r.F64();
+  s.agg.instructions = r.U64();
+  s.agg.program_accesses = r.F64();
+  s.agg.mm_accesses = r.F64();
+  s.agg.l2_misses = r.F64();
+  s.agg.prefetch_miss_weighted = r.F64();
+  s.agg.overlap_weighted = r.F64();
+  s.agg.branch_instructions = r.F64();
+  s.agg.vector_instructions = r.F64();
+  s.agg.exec_seconds = r.F64();
+  s.agg.compute_seconds = r.F64();
+  s.agg.memory_seconds = r.F64();
+  s.agg.core_ghz = r.F64();
+  for (double& v : s.pmcs) v = r.F64();
+  s.object_program_accesses = r.VecF64();
+  s.object_mm_accesses = r.VecF64();
+  s.kernel_seconds = r.VecF64();
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EngineCheckpoint::ToBytes() const {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<std::uint32_t>(phase));
+  w.U64(region_index);
+  w.F64(region_start);
+  w.F64(t);
+  w.F64(interval_deadline);
+  w.U64(epochs);
+  w.F64(migration_queue_bytes);
+  w.F64(background_pm_rate);
+  w.F64(background_dram_rate);
+  w.F64(pending_background_pm);
+  w.F64(pending_background_dram);
+  w.U64(placement_version);
+  for (const std::uint64_t s : rng.s) w.U64(s);
+  w.U8(rng.have_cached_gaussian ? 1 : 0);
+  w.F64(rng.cached_gaussian);
+  w.VecF64(dram_weight);
+  w.VecF64(hw_fraction);
+  w.U64(page_tiers.size());
+  for (const hm::Tier t : page_tiers) {
+    w.U8(static_cast<std::uint8_t>(t));
+  }
+  w.VecF64(oracle.epoch_by_object);
+  w.VecF64(oracle.lifetime_by_object);
+  w.VecU64(oracle.sweep_counts);
+  w.VecF64(oracle.sweep_data);
+  w.VecF64(oracle.epoch_by_object_task);
+  PutStats(w, migration_epoch);
+  PutStats(w, migration_lifetime);
+  w.U64(tasks.size());
+  for (const TaskCheckpoint& tc : tasks) {
+    w.U64(tc.kernel_index);
+    w.F64(tc.kernel_fraction);
+    w.U8(tc.done ? 1 : 0);
+    w.F64(tc.finish_time);
+    PutTaskStats(w, tc.stats);
+  }
+  w.U64(history.size());
+  for (const RegionStats& rs : history) {
+    w.Str(rs.name);
+    w.F64(rs.start_time);
+    w.F64(rs.duration);
+    w.U64(rs.tasks.size());
+    for (const TaskStats& ts : rs.tasks) PutTaskStats(w, ts);
+  }
+  w.U64(bandwidth.size());
+  for (const BandwidthSample& b : bandwidth) {
+    w.F64(b.t);
+    w.F64(b.dram_gbps);
+    w.F64(b.pm_gbps);
+    w.F64(b.migration_gbps);
+  }
+  return out;
+}
+
+std::optional<EngineCheckpoint> EngineCheckpoint::FromBytes(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.U32() != kMagic || r.U32() != kVersion) return std::nullopt;
+  EngineCheckpoint ck;
+  const std::uint32_t phase = r.U32();
+  if (phase > static_cast<std::uint32_t>(EnginePhase::kAfterFlush)) {
+    return std::nullopt;
+  }
+  ck.phase = static_cast<EnginePhase>(phase);
+  ck.region_index = r.U64();
+  ck.region_start = r.F64();
+  ck.t = r.F64();
+  ck.interval_deadline = r.F64();
+  ck.epochs = r.U64();
+  ck.migration_queue_bytes = r.F64();
+  ck.background_pm_rate = r.F64();
+  ck.background_dram_rate = r.F64();
+  ck.pending_background_pm = r.F64();
+  ck.pending_background_dram = r.F64();
+  ck.placement_version = r.U64();
+  for (std::uint64_t& s : ck.rng.s) s = r.U64();
+  ck.rng.have_cached_gaussian = r.U8() != 0;
+  ck.rng.cached_gaussian = r.F64();
+  ck.dram_weight = r.VecF64();
+  ck.hw_fraction = r.VecF64();
+  const std::uint64_t npages = r.U64();
+  if (!r.ok() || npages > bytes.size()) return std::nullopt;
+  ck.page_tiers.reserve(npages);
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const std::uint8_t t = r.U8();
+    if (t >= hm::kNumTiers) return std::nullopt;
+    ck.page_tiers.push_back(static_cast<hm::Tier>(t));
+  }
+  ck.oracle.epoch_by_object = r.VecF64();
+  ck.oracle.lifetime_by_object = r.VecF64();
+  ck.oracle.sweep_counts = r.VecU64();
+  ck.oracle.sweep_data = r.VecF64();
+  ck.oracle.epoch_by_object_task = r.VecF64();
+  ck.migration_epoch = GetStats(r);
+  ck.migration_lifetime = GetStats(r);
+  const std::uint64_t ntasks = r.U64();
+  if (!r.ok() || ntasks > bytes.size()) return std::nullopt;
+  ck.tasks.reserve(ntasks);
+  for (std::uint64_t i = 0; i < ntasks; ++i) {
+    TaskCheckpoint tc;
+    tc.kernel_index = r.U64();
+    tc.kernel_fraction = r.F64();
+    tc.done = r.U8() != 0;
+    tc.finish_time = r.F64();
+    tc.stats = GetTaskStats(r);
+    ck.tasks.push_back(std::move(tc));
+  }
+  const std::uint64_t nregions = r.U64();
+  if (!r.ok() || nregions > bytes.size()) return std::nullopt;
+  ck.history.reserve(nregions);
+  for (std::uint64_t i = 0; i < nregions; ++i) {
+    RegionStats rs;
+    rs.name = r.Str();
+    rs.start_time = r.F64();
+    rs.duration = r.F64();
+    const std::uint64_t nt = r.U64();
+    if (!r.ok() || nt > bytes.size()) return std::nullopt;
+    rs.tasks.reserve(nt);
+    for (std::uint64_t k = 0; k < nt; ++k) rs.tasks.push_back(GetTaskStats(r));
+    ck.history.push_back(std::move(rs));
+  }
+  const std::uint64_t nsamples = r.U64();
+  if (!r.ok() || nsamples > bytes.size() / 8) return std::nullopt;
+  ck.bandwidth.reserve(nsamples);
+  for (std::uint64_t i = 0; i < nsamples; ++i) {
+    BandwidthSample b;
+    b.t = r.F64();
+    b.dram_gbps = r.F64();
+    b.pm_gbps = r.F64();
+    b.migration_gbps = r.F64();
+    ck.bandwidth.push_back(b);
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return ck;
+}
+
+}  // namespace merch::sim

@@ -1,0 +1,111 @@
+// Engine checkpoints: a complete, serializable snapshot of the simulation
+// state at a hook boundary.
+//
+// The incremental sweep driver (sim/incremental.h) runs one engine for a
+// whole ladder of sweep points and forks a point off onto its own engine
+// the first time its policy's decisions diverge from the shared
+// trajectory. A fork restores one of these checkpoints into a freshly
+// constructed engine and resumes mid-run; the contract — enforced by
+// tests/checkpoint_test.cc across the {SIMD}x{threads}x{arena} matrix —
+// is that the resumed run's SimResult is byte-identical to an
+// uninterrupted one.
+//
+// Contents (everything the epoch loop reads, nothing it rebuilds):
+//   clock        t, interval deadline, region index/start, resume phase
+//   tasks        per-task kernel cursor, progress, finish time, TaskStats
+//   placement    per-page tiers (the residency bitset + Fenwick index are
+//                derived state and rebuilt on restore), heat-weighted DRAM
+//                weights, hardware-cache fractions, placement version
+//   profiling    the access oracle's interval/lifetime accounting
+//   traffic      migration queue depth, epoch+lifetime migration stats,
+//                background rates and pending charges
+//   rng          the PMC-noise generator's exact state
+//   telemetry    completed-region stats and bandwidth samples so far
+//
+// Not captured: memoized timing bases (restore invalidates them — a full
+// rebuild against identical placement reproduces identical values bit for
+// bit), the per-epoch timing scratch (recomputed by the first fixed-point
+// iteration of every epoch), and the page table's per-page access
+// counters (never written on the engine path; the oracle is the access
+// store).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "hm/migration.h"
+#include "hm/tier.h"
+#include "sim/oracle.h"
+#include "sim/telemetry.h"
+
+namespace merch::sim {
+
+/// Where inside Engine::Run a restored engine resumes. Checkpoints are
+/// taken immediately after a policy hook ran, so the phase encodes which
+/// engine work is still pending for the current position.
+enum class EnginePhase : std::uint32_t {
+  /// About to build region `region_index` (covers post-OnSimulationStart
+  /// and post-OnRegionEnd positions).
+  kRegionTop = 0,
+  /// Mid-region, about to continue the epoch loop (post-OnRegionStart).
+  kEpochLoop = 1,
+  /// Mid-region, an OnInterval hook just ran; the interval reset and
+  /// deadline advance are pending, then the epoch loop continues.
+  kAfterInterval = 2,
+  /// The region's flush OnInterval just ran; the interval reset,
+  /// FinishRegion, and OnRegionEnd are pending.
+  kAfterFlush = 3,
+};
+
+/// One task's in-region execution cursor.
+struct TaskCheckpoint {
+  std::uint64_t kernel_index = 0;
+  double kernel_fraction = 0;
+  bool done = false;
+  double finish_time = 0;
+  TaskStats stats;
+};
+
+struct EngineCheckpoint {
+  EnginePhase phase = EnginePhase::kRegionTop;
+  std::uint64_t region_index = 0;
+  double region_start = 0;
+  double t = 0;
+  double interval_deadline = 0;
+  std::uint64_t epochs = 0;
+
+  double migration_queue_bytes = 0;
+  double background_pm_rate = 0;
+  double background_dram_rate = 0;
+  double pending_background_pm = 0;
+  double pending_background_dram = 0;
+
+  std::uint64_t placement_version = 1;
+  RngState rng;
+
+  std::vector<double> dram_weight;
+  std::vector<double> hw_fraction;
+  std::vector<hm::Tier> page_tiers;
+  AccessOracle::Snapshot oracle;
+  hm::MigrationStats migration_epoch;
+  hm::MigrationStats migration_lifetime;
+
+  /// Per-task cursors; populated only for in-region phases.
+  std::vector<TaskCheckpoint> tasks;
+  std::vector<RegionStats> history;
+  std::vector<BandwidthSample> bandwidth;
+
+  /// Self-contained binary encoding (magic + version + length-prefixed
+  /// fields; doubles are raw IEEE-754 bit patterns, so a round trip is
+  /// exact). MERCH_CKPT-style persistence and the fuzz tests use it.
+  std::vector<std::uint8_t> ToBytes() const;
+
+  /// Decode; nullopt on truncated input, bad magic, or version mismatch.
+  static std::optional<EngineCheckpoint> FromBytes(
+      std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace merch::sim

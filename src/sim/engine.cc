@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -114,7 +115,13 @@ Engine::Engine(const Workload& workload, const MachineSpec& machine,
   // Keep heat-weighted DRAM fractions current as policies migrate pages,
   // and stamp every move so memoized timing bases know to rebuild. The
   // owner lookup is the page table's dense page->owner map (O(1)).
-  pages_->SetMoveListener([this](PageId p, hm::Tier /*from*/, hm::Tier to) {
+  pages_->SetMoveListener([this](PageId p, hm::Tier from, hm::Tier to) {
+    if (recording_) {
+      // Divergence fingerprint: every successful move, in stream order.
+      FoldAction(1, p, (static_cast<std::uint64_t>(from) << 1) |
+                           static_cast<std::uint64_t>(to));
+      record_moves_.push_back(MoveRecord{p, from, to});
+    }
     ++placement_version_;
     std::size_t i = handles_.size();
     if (sweep_index_) {
@@ -162,6 +169,13 @@ double Engine::ObjectDramFraction(std::size_t object) const {
 
 void Engine::SetHwDramFraction(std::size_t object, double fraction) {
   const double clamped = std::clamp(fraction, 0.0, 1.0);
+  // Record before the bitwise-skip: the fingerprint must capture what the
+  // policy *posted*, not what survived the no-op filter (the filter's
+  // outcome depends on prior state, which is identical across points that
+  // have identical fingerprints — by induction).
+  if (recording_) {
+    FoldAction(2, object, std::bit_cast<std::uint64_t>(clamped));
+  }
   // Bitwise-unchanged fractions cannot change any base: rebuilding against
   // identical inputs reproduces identical costs, so skipping the
   // invalidation is a value-level no-op (hardware-cache policies re-post
@@ -172,6 +186,10 @@ void Engine::SetHwDramFraction(std::size_t object, double fraction) {
 }
 
 void Engine::AddBackgroundTraffic(double bytes_on_pm, double bytes_on_dram) {
+  if (recording_) {
+    FoldAction(3, std::bit_cast<std::uint64_t>(bytes_on_pm),
+               std::bit_cast<std::uint64_t>(bytes_on_dram));
+  }
   pending_background_pm_ += bytes_on_pm;
   pending_background_dram_ += bytes_on_dram;
 }
@@ -183,6 +201,203 @@ EngineCounters Engine::counters() const {
   c.base_builds = base_builds_.load(std::memory_order_relaxed);
   c.partial_refreshes = partial_refreshes_.load(std::memory_order_relaxed);
   return c;
+}
+
+// ------------------------------------------------- incremental sweep support
+
+void Engine::FoldAction(std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+  // FNV-1a, one byte at a time: order-sensitive, so the fingerprint is a
+  // hash of the action *stream*, not the action *set*.
+  const auto fold = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      record_fp_ ^= (v >> (8 * i)) & 0xffu;
+      record_fp_ *= 1099511628211ull;
+    }
+  };
+  fold(tag);
+  fold(a);
+  fold(b);
+}
+
+void Engine::BeginActionRecord() {
+  recording_ = true;
+  record_fp_ = 1469598103934665603ull;  // FNV-1a offset basis
+  record_moves_.clear();
+  record_mig_base_ = migration_->epoch_stats();
+}
+
+Engine::ActionRecord Engine::TakeActionRecord() {
+  // Capacity-rejected moves leave no page motion but do mark the epoch
+  // stats; folding the stat delta makes points that differ only in failed
+  // migrations diverge too.
+  const hm::MigrationStats now = migration_->epoch_stats();
+  FoldAction(4, now.pages_to_dram - record_mig_base_.pages_to_dram,
+             now.pages_to_pm - record_mig_base_.pages_to_pm);
+  FoldAction(5, now.bytes_to_dram - record_mig_base_.bytes_to_dram,
+             now.bytes_to_pm - record_mig_base_.bytes_to_pm);
+  FoldAction(6, now.failed_capacity - record_mig_base_.failed_capacity, 0);
+  recording_ = false;
+  ActionRecord rec;
+  rec.fingerprint = record_fp_;
+  rec.moves = std::move(record_moves_);
+  record_moves_.clear();
+  return rec;
+}
+
+Engine::LightState Engine::CaptureLight() const {
+  LightState s;
+  s.dram_weight = dram_weight_;
+  s.hw_fraction = hw_fraction_;
+  s.placement_version = placement_version_;
+  s.pending_background_pm = pending_background_pm_;
+  s.pending_background_dram = pending_background_dram_;
+  s.migration_epoch = migration_->epoch_stats();
+  s.migration_lifetime = migration_->lifetime_stats();
+  return s;
+}
+
+void Engine::RestoreLight(const LightState& s) {
+  dram_weight_ = s.dram_weight;
+  hw_fraction_ = s.hw_fraction;
+  placement_version_ = s.placement_version;
+  pending_background_pm_ = s.pending_background_pm;
+  pending_background_dram_ = s.pending_background_dram;
+  migration_->RestoreStats(s.migration_epoch, s.migration_lifetime);
+}
+
+void Engine::UndoMoves(std::span<const MoveRecord> moves) {
+  // Reverse order: each inverse move returns a page to the slot its own
+  // forward move vacated, so capacity can never reject it.
+  const bool was_recording = recording_;
+  recording_ = false;
+  for (std::size_t i = moves.size(); i > 0; --i) {
+    const MoveRecord& m = moves[i - 1];
+    const bool ok = pages_->MovePage(m.page, m.from);
+    (void)ok;
+    assert(ok && "inverse move must be feasible");
+  }
+  recording_ = was_recording;
+}
+
+void Engine::RedoMoves(std::span<const MoveRecord> moves) {
+  const bool was_recording = recording_;
+  recording_ = false;
+  for (const MoveRecord& m : moves) {
+    const bool ok = pages_->MovePage(m.page, m.to);
+    (void)ok;
+    assert(ok && "replayed move must be feasible");
+  }
+  recording_ = was_recording;
+}
+
+void Engine::OverrideDramCapacity(std::uint64_t bytes) {
+  machine_.hm[hm::Tier::kDram].capacity_bytes = bytes;
+  pages_->OverrideTierCapacity(hm::Tier::kDram, bytes);
+}
+
+EngineCheckpoint Engine::SaveCheckpoint(HookPoint just_ran) const {
+  EngineCheckpoint ck;
+  switch (just_ran) {
+    case HookPoint::kSimStart:
+      ck.phase = EnginePhase::kRegionTop;
+      ck.region_index = 0;
+      break;
+    case HookPoint::kRegionStart:
+      ck.phase = EnginePhase::kEpochLoop;
+      ck.region_index = region_index_;
+      break;
+    case HookPoint::kInterval:
+      ck.phase = EnginePhase::kAfterInterval;
+      ck.region_index = region_index_;
+      break;
+    case HookPoint::kFlush:
+      ck.phase = EnginePhase::kAfterFlush;
+      ck.region_index = region_index_;
+      break;
+    case HookPoint::kRegionEnd:
+      ck.phase = EnginePhase::kRegionTop;
+      ck.region_index = region_index_ + 1;
+      break;
+  }
+  ck.region_start = region_start_;
+  ck.t = t_;
+  ck.interval_deadline = interval_deadline_;
+  ck.epochs = epochs_;
+  ck.migration_queue_bytes = migration_queue_bytes_;
+  ck.background_pm_rate = background_pm_rate_;
+  ck.background_dram_rate = background_dram_rate_;
+  ck.pending_background_pm = pending_background_pm_;
+  ck.pending_background_dram = pending_background_dram_;
+  ck.placement_version = placement_version_;
+  ck.rng = rng_.state();
+  ck.dram_weight = dram_weight_;
+  ck.hw_fraction = hw_fraction_;
+  ck.page_tiers = pages_->SnapshotTiers();
+  ck.oracle = oracle_->SnapshotState();
+  ck.migration_epoch = migration_->epoch_stats();
+  ck.migration_lifetime = migration_->lifetime_stats();
+  if (ck.phase != EnginePhase::kRegionTop) {
+    ck.tasks.reserve(running_.size());
+    for (const TaskRuntime& rt : running_) {
+      TaskCheckpoint tc;
+      tc.kernel_index = rt.kernel_index;
+      tc.kernel_fraction = rt.kernel_fraction;
+      tc.done = rt.done;
+      tc.finish_time = rt.finish_time;
+      tc.stats = rt.stats;
+      ck.tasks.push_back(std::move(tc));
+    }
+  }
+  ck.history = history_;
+  ck.bandwidth = bandwidth_;
+  return ck;
+}
+
+void Engine::RestoreCheckpoint(const EngineCheckpoint& ck) {
+  region_index_ = static_cast<std::size_t>(ck.region_index);
+  region_start_ = ck.region_start;
+  t_ = ck.t;
+  interval_deadline_ = ck.interval_deadline;
+  epochs_ = ck.epochs;
+  migration_queue_bytes_ = ck.migration_queue_bytes;
+  background_pm_rate_ = ck.background_pm_rate;
+  background_dram_rate_ = ck.background_dram_rate;
+  pending_background_pm_ = ck.pending_background_pm;
+  pending_background_dram_ = ck.pending_background_dram;
+  placement_version_ = ck.placement_version;
+  rng_.set_state(ck.rng);
+  dram_weight_ = ck.dram_weight;
+  hw_fraction_ = ck.hw_fraction;
+  pages_->RestoreTiers(ck.page_tiers);
+  oracle_->RestoreState(ck.oracle);
+  migration_->RestoreStats(ck.migration_epoch, ck.migration_lifetime);
+  history_ = ck.history;
+  bandwidth_ = ck.bandwidth;
+  // The per-epoch reuse flag only ever carries across one StepEpoch call;
+  // the first fixed-point iteration after resume recomputes it.
+  timing_at_final_lambda_ = false;
+  stop_requested_ = false;
+  if (ck.phase != EnginePhase::kRegionTop) {
+    // Rebuild the region runtime (kernels, lane blocks, scratch), then
+    // overwrite the freshly initialised task cursors with the checkpointed
+    // ones. Memoized bases stay invalid: a full rebuild against identical
+    // placement reproduces the memoized values bit for bit.
+    assert(region_index_ < workload_->regions.size());
+    BuildRegionRuntime(workload_->regions[region_index_]);
+    assert(ck.tasks.size() == running_.size() &&
+           "checkpoint from a different workload");
+    live_tasks_ = 0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      TaskRuntime& rt = running_[i];
+      const TaskCheckpoint& tc = ck.tasks[i];
+      rt.kernel_index = static_cast<std::size_t>(tc.kernel_index);
+      rt.kernel_fraction = tc.kernel_fraction;
+      rt.done = tc.done;
+      rt.finish_time = tc.finish_time;
+      rt.stats = tc.stats;
+      if (!rt.done) ++live_tasks_;
+    }
+  }
 }
 
 Engine::DerivedKernel Engine::DeriveKernel(const Kernel& kernel,
@@ -683,6 +898,18 @@ void Engine::BuildRegionRuntime(const Region& region) {
     rt.stats.agg.core_ghz = machine_.core_ghz;
     running_.push_back(std::move(rt));
   }
+  // Region-level fan-out bound: per task, the widest kernel's access count
+  // is the most lanes its base can ever hold, so the sum bounds every
+  // epoch's active-lane count from above. StepEpoch uses it to skip the
+  // per-epoch counting loop when the gate's outcome is already decided.
+  region_lane_bound_ = 0;
+  for (const TaskRuntime& rt : running_) {
+    std::size_t width = 0;
+    for (const DerivedKernel& dk : rt.kernels) {
+      width = std::max(width, dk.accesses.size());
+    }
+    region_lane_bound_ += width;
+  }
   if (simd_) {
     // One SoA cost table per task, sized for its widest kernel; rebuilds
     // overwrite it in place, so the epoch loop never touches the heap.
@@ -730,14 +957,20 @@ void Engine::StepEpoch() {
                  live_tasks_ >= kParallelTimingMinTasks &&
                  ParallelFanOutAllowed();
   if (fan_out && config_.timing_fanout_min_lanes > 0) {
-    // Fan out only when one iteration's serial evaluation work dwarfs a
-    // pool round trip; either path computes bitwise-identical timings.
-    std::size_t lanes = 0;
-    for (const TaskRuntime& rt : running_) {
-      if (rt.done) continue;
-      lanes += simd_ ? rt.base.n : rt.base.costs.size();
+    if (region_lane_bound_ < config_.timing_fanout_min_lanes) {
+      // The region-wide lane bound already rules the gate out: the active
+      // count can never exceed it, so skip the per-epoch counting loop.
+      fan_out = false;
+    } else {
+      // Fan out only when one iteration's serial evaluation work dwarfs a
+      // pool round trip; either path computes bitwise-identical timings.
+      std::size_t lanes = 0;
+      for (const TaskRuntime& rt : running_) {
+        if (rt.done) continue;
+        lanes += simd_ ? rt.base.n : rt.base.costs.size();
+      }
+      fan_out = lanes >= config_.timing_fanout_min_lanes;
     }
-    fan_out = lanes >= config_.timing_fanout_min_lanes;
   }
   for (int iter = 0; iter < 8; ++iter) {
     double demand_dram = migration_rate + background_dram_rate_;
@@ -885,16 +1118,49 @@ void Engine::StepEpoch() {
   bandwidth_.push_back(sample);
 
   t_ += dt;
+}
 
-  if (t_ >= interval_deadline_ - 1e-12) {
-    FireInterval();
-    interval_deadline_ += config_.interval_seconds;
+void Engine::DispatchHook(HookPoint hook) {
+  if (hook == HookPoint::kInterval || hook == HookPoint::kFlush) {
+    MERCH_TRACE_SPAN(obs::Category::kSim, "engine.interval");
+    if (hook_observer_ != nullptr) {
+      hook_observer_->OnHook(*this, hook);
+    } else {
+      RunHookDirect(hook);
+    }
+    return;
+  }
+  if (hook_observer_ != nullptr) {
+    hook_observer_->OnHook(*this, hook);
+    return;
+  }
+  RunHookDirect(hook);
+}
+
+void Engine::RunHookDirect(HookPoint hook) {
+  if (policy_ == nullptr) return;
+  RunHookForPolicy(*policy_, hook);
+}
+
+void Engine::RunHookForPolicy(PlacementPolicy& policy, HookPoint hook) {
+  switch (hook) {
+    case HookPoint::kSimStart:
+      policy.OnSimulationStart(*ctx_);
+      break;
+    case HookPoint::kRegionStart:
+      policy.OnRegionStart(*ctx_, region_index_);
+      break;
+    case HookPoint::kInterval:
+    case HookPoint::kFlush:
+      policy.OnInterval(*ctx_);
+      break;
+    case HookPoint::kRegionEnd:
+      policy.OnRegionEnd(*ctx_, region_index_);
+      break;
   }
 }
 
-void Engine::FireInterval() {
-  MERCH_TRACE_SPAN(obs::Category::kSim, "engine.interval");
-  if (policy_ != nullptr) policy_->OnInterval(*ctx_);
+void Engine::PostInterval() {
   oracle_->ResetEpoch();
   // Background traffic set during OnInterval applies to the next interval.
   background_pm_rate_ = pending_background_pm_ / config_.interval_seconds;
@@ -924,35 +1190,74 @@ void Engine::FinishRegion(const Region& region, double region_start) {
 }
 
 SimResult Engine::Run() {
-  MERCH_TRACE_SPAN_VAR(run_span, obs::Category::kSim, "engine.run");
-  run_span.set_arg("regions",
-                   static_cast<std::int64_t>(workload_->regions.size()));
   interval_deadline_ = config_.interval_seconds;
   // Size the run-long telemetry up front: one bandwidth sample per epoch,
   // one stats entry per region. Exponential regrowth in the epoch loop
   // would copy the whole history every doubling.
   history_.reserve(workload_->regions.size());
   bandwidth_.reserve(kBandwidthReserve);
-  if (policy_ != nullptr) policy_->OnSimulationStart(*ctx_);
+  DispatchHook(HookPoint::kSimStart);
+  if (stop_requested_) return SimResult{};
+  region_index_ = 0;
+  return RunInternal(EnginePhase::kRegionTop);
+}
 
-  for (region_index_ = 0; region_index_ < workload_->regions.size();
-       ++region_index_) {
+SimResult Engine::ResumeRun(const EngineCheckpoint& ck) {
+  RestoreCheckpoint(ck);
+  history_.reserve(workload_->regions.size());
+  bandwidth_.reserve(std::max(bandwidth_.size(), kBandwidthReserve));
+  return RunInternal(ck.phase);
+}
+
+SimResult Engine::RunInternal(EnginePhase phase) {
+  MERCH_TRACE_SPAN_VAR(run_span, obs::Category::kSim, "engine.run");
+  run_span.set_arg("regions",
+                   static_cast<std::int64_t>(workload_->regions.size()));
+
+  while (region_index_ < workload_->regions.size()) {
     const Region& region = workload_->regions[region_index_];
     MERCH_TRACE_SPAN_VAR(region_span, obs::Category::kSim, "engine.region");
     region_span.set_arg("region",
                         static_cast<std::int64_t>(region_index_));
-    BuildRegionRuntime(region);
-    const double region_start = t_;
-    if (policy_ != nullptr) policy_->OnRegionStart(*ctx_, region_index_);
-    while (live_tasks_ > 0) {
-      StepEpoch();
+    if (phase == EnginePhase::kRegionTop) {
+      BuildRegionRuntime(region);
+      region_start_ = t_;
+      DispatchHook(HookPoint::kRegionStart);
+      if (stop_requested_) return SimResult{};
+      phase = EnginePhase::kEpochLoop;
     }
-    // Synchronisation point: flush the profiling interval so policies see
-    // the region's tail activity (regions shorter than the interval would
-    // otherwise never be profiled).
-    FireInterval();
-    FinishRegion(region, region_start);
-    if (policy_ != nullptr) policy_->OnRegionEnd(*ctx_, region_index_);
+    if (phase == EnginePhase::kAfterInterval) {
+      // The OnInterval hook already ran before the checkpoint; finish the
+      // interval's engine-side work and rejoin the epoch loop.
+      PostInterval();
+      interval_deadline_ += config_.interval_seconds;
+      phase = EnginePhase::kEpochLoop;
+    }
+    if (phase == EnginePhase::kEpochLoop) {
+      while (live_tasks_ > 0) {
+        StepEpoch();
+        if (t_ >= interval_deadline_ - 1e-12) {
+          DispatchHook(HookPoint::kInterval);
+          if (stop_requested_) return SimResult{};
+          PostInterval();
+          interval_deadline_ += config_.interval_seconds;
+        }
+      }
+      // Synchronisation point: flush the profiling interval so policies see
+      // the region's tail activity (regions shorter than the interval would
+      // otherwise never be profiled). The deadline does not advance here.
+      DispatchHook(HookPoint::kFlush);
+      if (stop_requested_) return SimResult{};
+      phase = EnginePhase::kAfterFlush;
+    }
+    // phase == kAfterFlush: the flush hook ran (just above, or before the
+    // checkpoint being resumed); close the region out.
+    PostInterval();
+    FinishRegion(region, region_start_);
+    DispatchHook(HookPoint::kRegionEnd);
+    if (stop_requested_) return SimResult{};
+    ++region_index_;
+    phase = EnginePhase::kRegionTop;
   }
 
   // One registry update per run, so the hot loops above never touch the

@@ -1,0 +1,204 @@
+#include "sim/incremental.h"
+
+#include <cassert>
+#include <utility>
+
+#include "hm/tier.h"
+
+namespace merch::sim {
+namespace {
+
+/// A sweep point currently riding a shared engine.
+struct Passenger {
+  std::size_t index = 0;  // into the sweep's spec array
+  std::uint64_t forks = 0;
+};
+
+/// Passengers that diverged with the same post-hook fingerprint share one
+/// checkpoint and recursively form a sub-ladder.
+struct ForkGroup {
+  std::uint64_t fingerprint = 0;
+  EngineCheckpoint checkpoint;
+  std::vector<Passenger> members;
+};
+
+std::uint64_t DramCapacity(const MachineSpec& machine) {
+  return machine.hm[hm::Tier::kDram].capacity_bytes;
+}
+
+/// Interposes on every hook of the shared engine: runs the parent's hook
+/// under the action recorder, then sandboxes each passenger's policy
+/// against the pre-hook state and compares mutation fingerprints.
+///
+/// Rollback discipline (all bitwise-exact):
+///   page tiers   exact inverse moves, replayed in reverse order — each
+///                returns a page to the slot its forward move vacated, so
+///                capacity can never reject the undo;
+///   everything   restored by full copy from a LightState capture (never
+///   else         by inverse arithmetic, which is not exact in FP).
+class ForkObserver : public Engine::HookObserver {
+ public:
+  ForkObserver(std::span<const SweepPointSpec> specs,
+               std::uint64_t parent_dram_capacity,
+               std::vector<Passenger> passengers)
+      : specs_(specs),
+        parent_dram_capacity_(parent_dram_capacity),
+        passengers_(std::move(passengers)) {}
+
+  const std::vector<Passenger>& passengers() const { return passengers_; }
+  std::vector<ForkGroup> TakeForks() { return std::move(forks_); }
+
+  void OnHook(Engine& engine, HookPoint hook) override {
+    if (passengers_.empty()) {
+      engine.RunHookDirect(hook);
+      return;
+    }
+
+    const Engine::LightState pre = engine.CaptureLight();
+    engine.BeginActionRecord();
+    engine.RunHookDirect(hook);
+    const Engine::ActionRecord parent = engine.TakeActionRecord();
+    const Engine::LightState post = engine.CaptureLight();
+
+    // Rewind to the pre-hook state; every passenger probes from here.
+    engine.UndoMoves(parent.moves);
+    engine.RestoreLight(pre);
+
+    std::vector<Passenger> riding;
+    riding.reserve(passengers_.size());
+    for (Passenger& passenger : passengers_) {
+      const SweepPointSpec& spec = specs_[passenger.index];
+      engine.OverrideDramCapacity(DramCapacity(spec.machine));
+      engine.BeginActionRecord();
+      engine.RunHookForPolicy(*spec.policy, hook);
+      const Engine::ActionRecord probe = engine.TakeActionRecord();
+      if (probe.fingerprint == parent.fingerprint) {
+        riding.push_back(passenger);
+      } else {
+        // Diverged: checkpoint the post-probe state (the passenger's own
+        // actions applied) once per distinct fingerprint; equal
+        // fingerprints reached identical states, so the group shares it.
+        ForkGroup* group = nullptr;
+        for (ForkGroup& g : forks_) {
+          if (g.fingerprint == probe.fingerprint) {
+            group = &g;
+            break;
+          }
+        }
+        if (group == nullptr) {
+          forks_.push_back(ForkGroup{probe.fingerprint,
+                                     engine.SaveCheckpoint(hook),
+                                     {}});
+          group = &forks_.back();
+        }
+        passenger.forks += 1;
+        group->members.push_back(passenger);
+      }
+      engine.UndoMoves(probe.moves);
+      engine.RestoreLight(pre);
+    }
+
+    // Re-apply the parent's actions and its DRAM budget; the engine
+    // continues exactly as if the hook had run uninterposed.
+    engine.OverrideDramCapacity(parent_dram_capacity_);
+    engine.RedoMoves(parent.moves);
+    engine.RestoreLight(post);
+    passengers_ = std::move(riding);
+  }
+
+ private:
+  std::span<const SweepPointSpec> specs_;
+  std::uint64_t parent_dram_capacity_ = 0;
+  std::vector<Passenger> passengers_;
+  std::vector<ForkGroup> forks_;
+};
+
+std::vector<double> FinalFractions(const Engine& engine,
+                                   const Workload& workload) {
+  std::vector<double> f;
+  f.reserve(workload.objects.size());
+  for (std::size_t i = 0; i < workload.objects.size(); ++i) {
+    f.push_back(engine.ObjectDramFraction(i));
+  }
+  return f;
+}
+
+/// Run one ladder: points[0] drives an engine (fresh, or resumed from the
+/// fork checkpoint); the rest ride as passengers until they diverge.
+/// Diverged groups recurse as sub-ladders.
+void RunLadder(const Workload& workload, const SimConfig& config,
+               std::span<const SweepPointSpec> specs,
+               std::vector<Passenger> points, const EngineCheckpoint* resume,
+               std::vector<SweepPointOutcome>& outcomes) {
+  const Passenger root = points.front();
+  const SweepPointSpec& root_spec = specs[root.index];
+  const std::uint64_t inherited = resume != nullptr ? resume->epochs : 0;
+
+  Engine engine(workload, root_spec.machine, config, root_spec.policy);
+  ForkObserver observer(
+      specs, DramCapacity(root_spec.machine),
+      std::vector<Passenger>(points.begin() + 1, points.end()));
+  engine.set_hook_observer(&observer);
+  SimResult result =
+      resume != nullptr ? engine.ResumeRun(*resume) : engine.Run();
+
+  const std::uint64_t total_epochs = engine.epoch_count();
+  const std::vector<double> fractions = FinalFractions(engine, workload);
+
+  // Passengers that never diverged share the root's entire trajectory:
+  // identical state evolution means an identical SimResult up to the
+  // policy name.
+  for (const Passenger& passenger : observer.passengers()) {
+    SweepPointOutcome& out = outcomes[passenger.index];
+    out.result = result;
+    out.result.policy = specs[passenger.index].policy->name();
+    out.final_dram_fraction = fractions;
+    out.checkpoint_forks = passenger.forks;
+    out.epochs_skipped = total_epochs;
+    out.epochs_executed = 0;
+  }
+
+  SweepPointOutcome& out = outcomes[root.index];
+  out.result = std::move(result);
+  out.final_dram_fraction = fractions;
+  out.checkpoint_forks = root.forks;
+  out.epochs_skipped = inherited;
+  out.epochs_executed = total_epochs - inherited;
+
+  for (ForkGroup& group : observer.TakeForks()) {
+    RunLadder(workload, config, specs, std::move(group.members),
+              &group.checkpoint, outcomes);
+  }
+}
+
+}  // namespace
+
+std::vector<SweepPointOutcome> RunIncrementalSweep(
+    const Workload& workload, const SimConfig& config,
+    std::span<const SweepPointSpec> specs) {
+  std::vector<SweepPointOutcome> outcomes(specs.size());
+
+  // Ladders are keyed by uses_hardware_cache: it decides which state array
+  // ObjectDramFraction reads, so mixing modes on one engine is structural
+  // divergence no fingerprint can capture.
+  std::vector<Passenger> ladders[2];
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SweepPointSpec& spec = specs[i];
+    if (spec.policy == nullptr) {
+      Engine engine(workload, spec.machine, config, nullptr);
+      outcomes[i].result = engine.Run();
+      outcomes[i].final_dram_fraction = FinalFractions(engine, workload);
+      outcomes[i].epochs_executed = engine.epoch_count();
+      continue;
+    }
+    ladders[spec.policy->uses_hardware_cache() ? 1 : 0].push_back(
+        Passenger{i, 0});
+  }
+  for (std::vector<Passenger>& ladder : ladders) {
+    if (ladder.empty()) continue;
+    RunLadder(workload, config, specs, std::move(ladder), nullptr, outcomes);
+  }
+  return outcomes;
+}
+
+}  // namespace merch::sim

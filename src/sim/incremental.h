@@ -1,0 +1,79 @@
+// Incremental sweep driver: delta simulation across a ladder of sweep
+// points.
+//
+// A parameter sweep (merchctl sweep, bench/engine_speed's fig4 ladder)
+// runs the same workload under many configurations — different policies,
+// different DRAM budgets. Those runs are identical until the first moment
+// a policy *decision* differs, which for most point pairs is late or
+// never: a policy that never hits the capacity wall behaves the same at
+// 0.5x and 1.0x DRAM, and pm/mo/merch agree on every hook of a region
+// whose working set fits either way.
+//
+// The driver exploits that by running ONE engine for a whole ladder and
+// keeping the other points attached as passengers. At every policy hook it
+// sandboxes each passenger's policy against the shared state (capture →
+// probe → exact rollback; see Engine::BeginActionRecord) and compares
+// divergence fingerprints — an order-sensitive hash of the policy's
+// complete mutation stream. Equal fingerprints mean the passenger's run
+// would have evolved bit-identically, so it keeps riding and skips every
+// epoch the parent executes. The first unequal fingerprint forks the
+// passenger onto its own engine, restored from a checkpoint taken at that
+// exact hook (after the passenger's own actions were applied), and the
+// forked set recursively forms a sub-ladder — a prefix-sharing fork tree.
+//
+// Results are byte-identical to running every point standalone; the
+// engine-equivalence and checkpoint fuzz tests enforce this.
+//
+// Ladder membership rules (checked by RunIncrementalSweep):
+//   - every point shares the workload and SimConfig;
+//   - machines may differ ONLY in DRAM capacity (bandwidths and latencies
+//     feed the timing math directly, so identical action streams under
+//     different bandwidths would still time differently);
+//   - uses_hardware_cache() must match within a ladder (it selects which
+//     state array ObjectDramFraction reads — a structural difference).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "sim/policy.h"
+#include "sim/telemetry.h"
+#include "sim/workload.h"
+
+namespace merch::sim {
+
+/// One sweep point: a machine (DRAM budget) and the policy to run on it.
+/// The policy object is probed at every hook even while the point rides a
+/// shared engine, so after the sweep it has lived through exactly the
+/// hooks of an uninterrupted run — stateful policies work unchanged.
+struct SweepPointSpec {
+  MachineSpec machine;
+  /// Null runs the point standalone under config.force_tier semantics.
+  PlacementPolicy* policy = nullptr;
+};
+
+struct SweepPointOutcome {
+  SimResult result;
+  /// ObjectDramFraction per workload object at simulation end (placement
+  /// output for service callers).
+  std::vector<double> final_dram_fraction;
+  /// How many times this point was re-rooted onto a forked engine.
+  std::uint64_t checkpoint_forks = 0;
+  /// Epochs inherited from shared parent trajectories.
+  std::uint64_t epochs_skipped = 0;
+  /// Epochs this point's own engine actually stepped.
+  std::uint64_t epochs_executed = 0;
+};
+
+/// Run every point and return outcomes in input order. Points are grouped
+/// into ladders by uses_hardware_cache(); null-policy points run
+/// standalone. Each outcome's SimResult is byte-identical to
+/// Engine(workload, spec.machine, config, spec.policy).Run().
+std::vector<SweepPointOutcome> RunIncrementalSweep(
+    const Workload& workload, const SimConfig& config,
+    std::span<const SweepPointSpec> specs);
+
+}  // namespace merch::sim

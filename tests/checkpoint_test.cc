@@ -1,0 +1,366 @@
+// Checkpoint fidelity and incremental-sweep equivalence.
+//
+// The contracts under test (both carry the "perf" ctest label):
+//   1. Pausing a run at an arbitrary policy hook, round-tripping the
+//      checkpoint through its binary encoding, and resuming on a freshly
+//      constructed engine yields a SimResult byte-identical to the
+//      uninterrupted run — across the {SIMD} x {threads} x {arena}
+//      optimisation matrix.
+//   2. RunIncrementalSweep's fork-tree delta simulation returns, for every
+//      sweep point, exactly the SimResult a standalone Engine::Run of that
+//      point produces, while actually sharing epochs between points.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "baselines/memory_mode_policy.h"
+#include "baselines/memory_optimizer.h"
+#include "baselines/pm_only.h"
+#include "core/merchandiser.h"
+#include "sim/checkpoint.h"
+#include "sim/engine.h"
+#include "sim/incremental.h"
+
+namespace merch {
+namespace {
+
+constexpr double kScale = 1.0 / 64;
+
+sim::MachineSpec ScaledMachine() {
+  sim::MachineSpec m = sim::MachineSpec::Paper();
+  m.hm[hm::Tier::kDram].capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(m.hm[hm::Tier::kDram].capacity_bytes) * kScale);
+  m.hm[hm::Tier::kPm].capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(m.hm[hm::Tier::kPm].capacity_bytes) * kScale);
+  return m;
+}
+
+sim::SimConfig ScaledConfig() {
+  sim::SimConfig cfg;
+  cfg.epoch_seconds = 0.02;
+  cfg.interval_seconds = 0.25;
+  cfg.page_bytes = 512 * KiB;
+  return cfg;
+}
+
+const core::MerchandiserSystem& System() {
+  static const core::MerchandiserSystem* kSystem = [] {
+    workloads::TrainingConfig cfg;
+    cfg.num_regions = 12;
+    cfg.placements_per_region = 4;
+    return new core::MerchandiserSystem(core::MerchandiserSystem::Train(cfg));
+  }();
+  return *kSystem;
+}
+
+/// Fresh policy instance (policies are stateful: one object per run).
+std::unique_ptr<sim::PlacementPolicy> MakePolicy(
+    const std::string& policy, const apps::AppBundle& bundle,
+    const sim::MachineSpec& machine) {
+  if (policy == "pm") return std::make_unique<baselines::PmOnlyPolicy>();
+  if (policy == "mm") return std::make_unique<baselines::MemoryModePolicy>();
+  if (policy == "mo") {
+    return std::make_unique<baselines::MemoryOptimizerPolicy>();
+  }
+  return System().MakePolicy(bundle.workload, machine);
+}
+
+/// Exact (no-tolerance) equality over every SimResult field.
+void ExpectIdentical(const sim::SimResult& a, const sim::SimResult& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.migration.pages_to_dram, b.migration.pages_to_dram);
+  EXPECT_EQ(a.migration.pages_to_pm, b.migration.pages_to_pm);
+  EXPECT_EQ(a.migration.bytes_to_dram, b.migration.bytes_to_dram);
+  EXPECT_EQ(a.migration.bytes_to_pm, b.migration.bytes_to_pm);
+  EXPECT_EQ(a.migration.failed_capacity, b.migration.failed_capacity);
+  ASSERT_EQ(a.bandwidth.size(), b.bandwidth.size());
+  for (std::size_t i = 0; i < a.bandwidth.size(); ++i) {
+    EXPECT_EQ(a.bandwidth[i].t, b.bandwidth[i].t);
+    EXPECT_EQ(a.bandwidth[i].dram_gbps, b.bandwidth[i].dram_gbps);
+    EXPECT_EQ(a.bandwidth[i].pm_gbps, b.bandwidth[i].pm_gbps);
+    EXPECT_EQ(a.bandwidth[i].migration_gbps, b.bandwidth[i].migration_gbps);
+  }
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t r = 0; r < a.regions.size(); ++r) {
+    const sim::RegionStats& ra = a.regions[r];
+    const sim::RegionStats& rb = b.regions[r];
+    EXPECT_EQ(ra.name, rb.name);
+    EXPECT_EQ(ra.start_time, rb.start_time);
+    EXPECT_EQ(ra.duration, rb.duration);
+    ASSERT_EQ(ra.tasks.size(), rb.tasks.size());
+    for (std::size_t t = 0; t < ra.tasks.size(); ++t) {
+      const sim::TaskStats& ta = ra.tasks[t];
+      const sim::TaskStats& tb = rb.tasks[t];
+      EXPECT_EQ(ta.task, tb.task);
+      EXPECT_EQ(ta.exec_seconds, tb.exec_seconds);
+      EXPECT_EQ(ta.barrier_wait, tb.barrier_wait);
+      EXPECT_EQ(ta.agg.instructions, tb.agg.instructions);
+      EXPECT_EQ(ta.agg.program_accesses, tb.agg.program_accesses);
+      EXPECT_EQ(ta.agg.mm_accesses, tb.agg.mm_accesses);
+      EXPECT_EQ(ta.agg.l2_misses, tb.agg.l2_misses);
+      EXPECT_EQ(ta.agg.compute_seconds, tb.agg.compute_seconds);
+      EXPECT_EQ(ta.agg.memory_seconds, tb.agg.memory_seconds);
+      EXPECT_EQ(ta.pmcs, tb.pmcs);
+      EXPECT_EQ(ta.object_program_accesses, tb.object_program_accesses);
+      EXPECT_EQ(ta.object_mm_accesses, tb.object_mm_accesses);
+      EXPECT_EQ(ta.kernel_seconds, tb.kernel_seconds);
+    }
+  }
+}
+
+/// Counts hooks and, at hook `stop_at`, snapshots the engine and abandons
+/// the run. Hooks always pass through to the engine's policy first, so the
+/// captured checkpoint is the post-hook state.
+class PauseObserver : public sim::Engine::HookObserver {
+ public:
+  explicit PauseObserver(int stop_at) : stop_at_(stop_at) {}
+
+  void OnHook(sim::Engine& engine, sim::HookPoint hook) override {
+    engine.RunHookDirect(hook);
+    if (count_++ == stop_at_) {
+      checkpoint_ = engine.SaveCheckpoint(hook);
+      engine.RequestStop();
+    }
+  }
+
+  int count() const { return count_; }
+  const std::optional<sim::EngineCheckpoint>& checkpoint() const {
+    return checkpoint_;
+  }
+
+ private:
+  int stop_at_;
+  int count_ = 0;
+  std::optional<sim::EngineCheckpoint> checkpoint_;
+};
+
+/// Pause at hook `stop_at`, serialize/deserialize the checkpoint, resume on
+/// a fresh engine with the same (prefix-advanced) policy object, and demand
+/// byte-identity with `baseline`. Returns the total hook count observed.
+int PauseAndResume(const apps::AppBundle& bundle, const std::string& policy,
+                   const sim::SimConfig& cfg, const sim::SimResult& baseline,
+                   int stop_at, const std::string& label) {
+  const sim::MachineSpec machine = ScaledMachine();
+  const std::unique_ptr<sim::PlacementPolicy> p =
+      MakePolicy(policy, bundle, machine);
+  sim::Engine paused(bundle.workload, machine, cfg, p.get());
+  PauseObserver observer(stop_at);
+  paused.set_hook_observer(&observer);
+  const sim::SimResult partial = paused.Run();
+
+  if (!observer.checkpoint().has_value()) {
+    // stop_at was past the last hook: the observer was a pure passthrough
+    // and the run completed normally — still a contract worth checking.
+    ExpectIdentical(baseline, partial, label + " passthrough");
+    return observer.count();
+  }
+
+  const std::vector<std::uint8_t> bytes = observer.checkpoint()->ToBytes();
+  const std::optional<sim::EngineCheckpoint> decoded =
+      sim::EngineCheckpoint::FromBytes(bytes);
+  EXPECT_TRUE(decoded.has_value()) << label;
+  if (!decoded.has_value()) return observer.count();
+
+  sim::Engine resumed(bundle.workload, machine, cfg, p.get());
+  ExpectIdentical(baseline, resumed.ResumeRun(*decoded), label);
+  return observer.count();
+}
+
+sim::SimResult RunBaseline(const apps::AppBundle& bundle,
+                           const std::string& policy,
+                           const sim::SimConfig& cfg) {
+  const sim::MachineSpec machine = ScaledMachine();
+  const std::unique_ptr<sim::PlacementPolicy> p =
+      MakePolicy(policy, bundle, machine);
+  sim::Engine engine(bundle.workload, machine, cfg, p.get());
+  return engine.Run();
+}
+
+// --- checkpoint fidelity ---------------------------------------------------
+
+/// Every hook flavour (kSimStart, kRegionStart, kInterval, kFlush,
+/// kRegionEnd — i.e. every EnginePhase a checkpoint can encode) is hit by
+/// pausing at each of the first hooks of a run, plus deeper random ones.
+TEST(CheckpointFidelity, EveryEarlyHookRoundTripsBitIdentical) {
+  const apps::AppBundle bundle = apps::BuildApp("SpGEMM", kScale, kScale / 4);
+  const sim::SimResult baseline = RunBaseline(bundle, "merch", ScaledConfig());
+  // A never-firing pause point exercises the passthrough contract and
+  // reports the run's total hook count.
+  const int total_hooks = PauseAndResume(bundle, "merch", ScaledConfig(),
+                                         baseline, 1 << 30,
+                                         "SpGEMM/merch passthrough");
+  for (int stop_at = 0; stop_at < 10; ++stop_at) {
+    PauseAndResume(bundle, "merch", ScaledConfig(), baseline, stop_at,
+                   "SpGEMM/merch hook " + std::to_string(stop_at));
+  }
+  ASSERT_GT(total_hooks, 10);
+  std::mt19937_64 rng(0x5EED5);
+  for (int i = 0; i < 4; ++i) {
+    const int stop_at = 10 + static_cast<int>(
+        rng() % static_cast<std::uint64_t>(total_hooks - 10));
+    PauseAndResume(bundle, "merch", ScaledConfig(), baseline, stop_at,
+                   "SpGEMM/merch hook " + std::to_string(stop_at));
+  }
+}
+
+/// Randomized pause points across the {SIMD} x {threads} x {arena} matrix
+/// and the full policy set, with the toggles resolved from the environment
+/// exactly as production runs resolve them.
+TEST(CheckpointFidelity, PauseResumeMatrixBitIdentical) {
+  std::mt19937_64 rng(0xF1DE11);
+  const std::vector<std::string>& apps = apps::AppNames();
+  const std::vector<std::string> policies = {"pm", "mm", "mo", "merch"};
+  for (const bool simd : {true, false}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      for (const bool arena : {true, false}) {
+        const std::string app = apps[rng() % apps.size()];
+        const std::string policy = policies[rng() % policies.size()];
+        const int stop_at = static_cast<int>(rng() % 24);
+        const std::string label =
+            app + "/" + policy + " simd=" + (simd ? "1" : "0") +
+            " threads=" + std::to_string(threads) + " arena=" +
+            (arena ? "1" : "0") + " hook=" + std::to_string(stop_at);
+        const apps::AppBundle bundle = apps::BuildApp(app, kScale, kScale / 4);
+
+        setenv("MERCH_SIMD", simd ? "1" : "0", 1);
+        setenv("MERCH_ARENA", arena ? "1" : "0", 1);
+        sim::SimConfig cfg = ScaledConfig();
+        cfg.timing_threads = threads;
+        if (threads > 1) cfg.timing_fanout_min_lanes = 0;
+        const sim::SimResult baseline = RunBaseline(bundle, policy, cfg);
+        PauseAndResume(bundle, policy, cfg, baseline, stop_at, label);
+        unsetenv("MERCH_SIMD");
+        unsetenv("MERCH_ARENA");
+      }
+    }
+  }
+}
+
+TEST(CheckpointCodec, RejectsTruncatedAndCorruptedInput) {
+  const apps::AppBundle bundle = apps::BuildApp("SpGEMM", kScale, kScale / 4);
+  const sim::MachineSpec machine = ScaledMachine();
+  const std::unique_ptr<sim::PlacementPolicy> p =
+      MakePolicy("mo", bundle, machine);
+  sim::Engine engine(bundle.workload, machine, ScaledConfig(), p.get());
+  PauseObserver observer(3);
+  engine.set_hook_observer(&observer);
+  (void)engine.Run();
+  ASSERT_TRUE(observer.checkpoint().has_value());
+
+  const std::vector<std::uint8_t> bytes = observer.checkpoint()->ToBytes();
+  ASSERT_TRUE(sim::EngineCheckpoint::FromBytes(bytes).has_value());
+
+  // Every strict prefix must be rejected, not crash or misparse.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(sim::EngineCheckpoint::FromBytes(
+                     std::span<const std::uint8_t>(bytes.data(), cut))
+                     .has_value())
+        << "prefix " << cut;
+  }
+  // Trailing garbage and a bad magic are rejected too.
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(sim::EngineCheckpoint::FromBytes(padded).has_value());
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(sim::EngineCheckpoint::FromBytes(bad_magic).has_value());
+}
+
+// --- incremental sweep equivalence -----------------------------------------
+
+/// The fork-tree driver across a DRAM-capacity ladder x the full policy
+/// set must reproduce every standalone run byte for byte, while sharing a
+/// meaningful number of epochs between points.
+TEST(IncrementalSweep, CapacityPolicyLadderMatchesStandaloneRuns) {
+  const apps::AppBundle bundle = apps::BuildApp("SpGEMM", kScale, kScale / 4);
+  const std::vector<double> capacity_scale = {0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::string> policies = {"pm", "mm", "mo", "merch"};
+  const sim::SimConfig cfg = ScaledConfig();
+
+  std::vector<std::unique_ptr<sim::PlacementPolicy>> owners;
+  std::vector<sim::SweepPointSpec> specs;
+  for (const std::string& policy : policies) {
+    for (const double scale : capacity_scale) {
+      sim::MachineSpec machine = ScaledMachine();
+      machine.hm[hm::Tier::kDram].capacity_bytes =
+          static_cast<std::uint64_t>(
+              static_cast<double>(
+                  machine.hm[hm::Tier::kDram].capacity_bytes) *
+              scale);
+      owners.push_back(MakePolicy(policy, bundle, machine));
+      specs.push_back(sim::SweepPointSpec{machine, owners.back().get()});
+    }
+  }
+
+  const std::vector<sim::SweepPointOutcome> outcomes =
+      sim::RunIncrementalSweep(bundle.workload, cfg, specs);
+  ASSERT_EQ(outcomes.size(), specs.size());
+
+  std::uint64_t skipped = 0;
+  std::size_t i = 0;
+  for (const std::string& policy : policies) {
+    for (const double scale : capacity_scale) {
+      const sim::SweepPointSpec& spec = specs[i];
+      const std::unique_ptr<sim::PlacementPolicy> standalone_policy =
+          MakePolicy(policy, bundle, spec.machine);
+      sim::Engine standalone(bundle.workload, spec.machine, cfg,
+                             standalone_policy.get());
+      const sim::SimResult expect = standalone.Run();
+      const std::string label =
+          policy + " @" + std::to_string(scale) + "x DRAM";
+      ExpectIdentical(expect, outcomes[i].result, label);
+      // The shared+own epochs of each point account for exactly the epochs
+      // its standalone run executes.
+      EXPECT_EQ(outcomes[i].epochs_skipped + outcomes[i].epochs_executed,
+                standalone.epoch_count())
+          << label;
+      for (const double f : outcomes[i].final_dram_fraction) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+      skipped += outcomes[i].epochs_skipped;
+      ++i;
+    }
+  }
+  // Delta simulation actually happened: a meaningful share of the ladder's
+  // epochs ran once on a shared engine instead of per point.
+  EXPECT_GT(skipped, 0u);
+}
+
+/// Identical policies on identical machines never diverge: one engine
+/// serves the whole ladder and every passenger skips every epoch.
+TEST(IncrementalSweep, IdenticalPointsFullyConverge) {
+  const apps::AppBundle bundle = apps::BuildApp("BFS", kScale, kScale / 4);
+  const sim::SimConfig cfg = ScaledConfig();
+  std::vector<std::unique_ptr<sim::PlacementPolicy>> owners;
+  std::vector<sim::SweepPointSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    owners.push_back(MakePolicy("mo", bundle, ScaledMachine()));
+    specs.push_back(sim::SweepPointSpec{ScaledMachine(), owners.back().get()});
+  }
+  const std::vector<sim::SweepPointOutcome> outcomes =
+      sim::RunIncrementalSweep(bundle.workload, cfg, specs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_GT(outcomes[0].epochs_executed, 0u);
+  EXPECT_EQ(outcomes[0].checkpoint_forks, 0u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(outcomes[i].epochs_executed, 0u);
+    EXPECT_EQ(outcomes[i].checkpoint_forks, 0u);
+    EXPECT_EQ(outcomes[i].epochs_skipped, outcomes[0].epochs_executed);
+    ExpectIdentical(outcomes[0].result, outcomes[i].result, "converged twin");
+  }
+}
+
+}  // namespace
+}  // namespace merch

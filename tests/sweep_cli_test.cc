@@ -21,9 +21,10 @@ struct CmdResult {
   std::string output;  // stdout only — stderr goes to the test log
 };
 
-CmdResult RunCtl(const std::string& args) {
+CmdResult RunCtl(const std::string& args, const std::string& env = "") {
   CmdResult r;
-  const std::string cmd = std::string(MERCHCTL_BIN) + " " + args;
+  const std::string cmd = (env.empty() ? "" : "env " + env + " ") +
+                          std::string(MERCHCTL_BIN) + " " + args;
   std::FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return r;
   char buf[4096];
@@ -78,6 +79,54 @@ TEST(SweepCli, FusedSweepWithPlacementsPrintsIdenticalPlans) {
   const std::string plain_answers = Answers(plain.output);
   EXPECT_EQ(plain_answers, Answers(fused.output));
   EXPECT_NE(plain_answers.find("DRAM"), std::string::npos) << plain.output;
+}
+
+TEST(SweepCli, IncrementalAnswersAreByteIdenticalAcrossAllAppsAndPolicies) {
+  // The acceptance grid: all five apps x all five defined policies. The
+  // incremental path shares one engine per (app, cache-mode) ladder and
+  // forks on divergence, so this exercises every fork/converge path the
+  // real sweep hits. ("sparta" is undefined for some apps; those ERROR
+  // lines must match byte-for-byte too.)
+  const std::string grid =
+      "sweep --apps all --policies pm,mm,mo,sparta,merch "
+      "--scales 0.02 --work 0.1 --train-regions 6 --threads 2";
+  const CmdResult plain = RunCtl(grid);
+  const CmdResult incremental = RunCtl(grid + " --incremental");
+  // The sparta ERROR rows make both exits 1; what matters is that the
+  // paths agree, line for line.
+  EXPECT_EQ(plain.exit_code, incremental.exit_code);
+
+  const std::string plain_answers = Answers(plain.output);
+  EXPECT_EQ(plain_answers, Answers(incremental.output));
+  EXPECT_NE(plain_answers.find("makespan"), std::string::npos)
+      << plain.output;
+  EXPECT_NE(plain_answers.find("ERROR"), std::string::npos) << plain.output;
+}
+
+TEST(SweepCli, IncrementalSweepWithPlacementsPrintsIdenticalPlans) {
+  const std::string grid =
+      "sweep --apps WarpX --policies pm,mo,merch --scales 0.02 --work 0.1 "
+      "--train-regions 6 --threads 2 --placements";
+  const CmdResult plain = RunCtl(grid);
+  const CmdResult incremental = RunCtl(grid + " --incremental");
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  ASSERT_EQ(incremental.exit_code, 0) << incremental.output;
+  const std::string plain_answers = Answers(plain.output);
+  EXPECT_EQ(plain_answers, Answers(incremental.output));
+  EXPECT_NE(plain_answers.find("DRAM"), std::string::npos) << plain.output;
+}
+
+TEST(SweepCli, CkptHatchRestoresTheFusedPath) {
+  // MERCH_CKPT=0 must make --incremental behave exactly like --fused:
+  // same answers, and the service line reports fused groups again.
+  const std::string grid =
+      "sweep --apps BFS --policies pm,mo --scales 0.02 --work 0.1 "
+      "--threads 1";
+  const CmdResult fused = RunCtl(grid + " --fused");
+  const CmdResult off = RunCtl(grid + " --incremental", "MERCH_CKPT=0");
+  ASSERT_EQ(fused.exit_code, 0) << fused.output;
+  ASSERT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_EQ(Answers(fused.output), Answers(off.output));
 }
 
 }  // namespace
